@@ -1,0 +1,46 @@
+// Command rethink-bench runs the reproduction's experiment harnesses —
+// the paper's Table 1 and Figure 1 plus experiments E1–E16 and the
+// DESIGN.md ablations — and prints each report. EXPERIMENTS.md is
+// generated from this tool's output.
+//
+// Usage:
+//
+//	rethink-bench            # run everything
+//	rethink-bench -only E7   # one experiment
+//	rethink-bench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E7)")
+	list := flag.Bool("list", false, "list experiment IDs and titles")
+	flag.Parse()
+
+	reports := experiments.All()
+	if *list {
+		for _, r := range reports {
+			fmt.Printf("%-12s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	matched := false
+	for _, r := range reports {
+		if *only != "" && !strings.EqualFold(r.ID, *only) {
+			continue
+		}
+		matched = true
+		fmt.Println(r.Render())
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "rethink-bench: no experiment %q (try -list)\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,64 @@
+// Command rethink-roadmap synthesizes the stakeholder corpus, re-derives
+// the paper's four key findings, scores the twelve recommendations and
+// prints the complete roadmap document (including Table 1 and Figure 1).
+//
+// Usage:
+//
+//	rethink-roadmap [-seed N] [-year Y] [-section all|table1|figure1|findings|recommendations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/survey"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rethink-roadmap: ")
+	seed := flag.Uint64("seed", 2016, "corpus synthesis seed")
+	year := flag.Int("year", 2016, "roadmap base year")
+	section := flag.String("section", "all", "what to print: all|table1|figure1|findings|recommendations|timeline")
+	flag.Parse()
+
+	switch *section {
+	case "table1":
+		fmt.Print(core.Table1().Render())
+		return
+	case "figure1":
+		fmt.Print(core.Figure1().Render())
+		return
+	}
+
+	corpus, err := survey.Synthesize(survey.DefaultSpec(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	roadmap, err := core.BuildRoadmap(corpus, *year)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *section {
+	case "all":
+		fmt.Print(roadmap.Render())
+	case "findings":
+		for _, f := range roadmap.Findings {
+			status := "SUPPORTED"
+			if !f.Holds {
+				status = "NOT SUPPORTED"
+			}
+			fmt.Printf("(%d) %s\n    evidence: %s [%s]\n", f.ID, f.Statement, f.Detail, status)
+		}
+	case "recommendations":
+		fmt.Print(roadmap.Table().Render())
+	case "timeline":
+		fmt.Print(core.AdoptionTimeline(*year-1, *year+9).Render())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown section %q\n", *section)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,73 @@
+// Command rethink-sql runs SQL queries against the synthetic star schema
+// (sales × customers) on the internal relational engine.
+//
+// Usage:
+//
+//	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
+//	rethink-sql -explain "SELECT ... "
+//	rethink-sql            # runs a demo query set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/metrics"
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rethink-sql: ")
+	rows := flag.Int("rows", 20000, "sales fact rows")
+	customers := flag.Int("customers", 500, "customer dimension rows")
+	seed := flag.Uint64("seed", 42, "data generation seed")
+	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	flag.Parse()
+
+	db := sql.DemoDB(*seed, *rows, *customers)
+	queries := flag.Args()
+	if len(queries) == 0 {
+		queries = []string{
+			"SELECT region, COUNT(*) AS orders, SUM(price) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC",
+			"SELECT c.segment, SUM(s.price * (1 - s.discount)) AS net FROM sales s JOIN customers c ON s.customer_id = c.customer_id GROUP BY c.segment ORDER BY net DESC",
+			"SELECT product, MAX(price) AS top_price FROM sales WHERE year >= 2014 GROUP BY product ORDER BY top_price DESC LIMIT 5",
+		}
+	}
+	for _, q := range queries {
+		fmt.Printf("sql> %s\n", q)
+		if *explain {
+			plan, err := db.Plan(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(plan.Explain())
+			fmt.Println()
+			continue
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(renderRelation(res))
+		fmt.Println()
+	}
+}
+
+func renderRelation(rel *relational.Relation) string {
+	headers := make([]string, len(rel.Schema))
+	for i, c := range rel.Schema {
+		headers[i] = c.Name
+	}
+	t := metrics.NewTable(fmt.Sprintf("%d rows", rel.Len()), headers...)
+	for _, row := range rel.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render()
+}

@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "RETHINK big: European Roadmap
+// for Hardware and Networking Optimizations for Big Data" (DATE 2017) as
+// an executable Go toolkit: every subsystem the roadmap analyses —
+// datacenter fabrics, SDN/NFV control planes, disaggregated
+// infrastructure, heterogeneous accelerators and their economics,
+// MapReduce/dataflow/SQL processing layers, heterogeneous scheduling and
+// the roadmap process itself (survey corpus → findings → prioritized
+// recommendations) — implemented as libraries under internal/, exercised
+// by the experiment harnesses in internal/experiments, and reproduced as
+// benchmarks in bench_test.go. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package repro

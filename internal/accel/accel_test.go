@@ -1,0 +1,305 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// normalize is the canonical example program: scale, clamp negative
+// values away, and sum.
+func normalize() *Program {
+	return &Program{
+		Name: "normalize",
+		Stages: []Stage{
+			MapE(Bin{Op: Mul, L: X{}, R: Const(0.5)}),
+			FilterE(X{}), // keep x > 0
+			ReduceE(SumReduce),
+		},
+	}
+}
+
+func randVec(seed uint64, n int) []float64 {
+	rng := sim.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Range(-1, 1)
+	}
+	return out
+}
+
+func TestExprEvalAndOps(t *testing.T) {
+	e := Bin{Op: Add, L: Un{Op: Sq, E: X{}}, R: Const(1)} // x² + 1
+	if got := e.Eval(3); got != 10 {
+		t.Fatalf("eval = %v", got)
+	}
+	if got := e.Ops(); got != 2 {
+		t.Fatalf("ops = %d, want 2", got)
+	}
+	if e.String() != "(sq(x) + 1)" {
+		t.Fatalf("string = %q", e.String())
+	}
+}
+
+func TestBinOps(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		want float64
+	}{
+		{Add, 7}, {Sub, 3}, {Mul, 10}, {Div, 2.5}, {Min, 2}, {Max, 5},
+	}
+	for _, c := range cases {
+		e := Bin{Op: c.op, L: Const(5), R: Const(2)}
+		if got := e.Eval(0); got != c.want {
+			t.Fatalf("%v: got %v want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestUnOps(t *testing.T) {
+	if (Un{Op: Neg, E: X{}}).Eval(3) != -3 {
+		t.Fatal("neg")
+	}
+	if (Un{Op: Abs, E: X{}}).Eval(-3) != 3 {
+		t.Fatal("abs")
+	}
+	if (Un{Op: Sq, E: X{}}).Eval(-3) != 9 {
+		t.Fatal("sq")
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	bad := &Program{Name: "empty"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty program must not validate")
+	}
+	misplaced := &Program{Name: "mid-reduce", Stages: []Stage{ReduceE(SumReduce), MapE(X{})}}
+	if err := misplaced.Validate(); err == nil {
+		t.Fatal("mid-pipeline reduce must not validate")
+	}
+	nilExpr := &Program{Name: "nil", Stages: []Stage{{Kind: MapStage}}}
+	if err := nilExpr.Validate(); err == nil {
+		t.Fatal("nil expression must not validate")
+	}
+	if err := normalize().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReferenceSemantics(t *testing.T) {
+	p := normalize()
+	in := []float64{2, -4, 6}
+	res, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IsScalar {
+		t.Fatal("reduced program must return a scalar")
+	}
+	// map: 1, -2, 3 ; filter: 1, 3 ; sum: 4
+	if res.Scalar != 4 {
+		t.Fatalf("scalar = %v, want 4", res.Scalar)
+	}
+	if sel := res.Selectivity[1]; math.Abs(sel-2.0/3) > 1e-12 {
+		t.Fatalf("selectivity = %v, want 2/3", sel)
+	}
+	// Input untouched.
+	if in[1] != -4 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRunVectorProgram(t *testing.T) {
+	p := &Program{Name: "vec", Stages: []Stage{MapE(Bin{Op: Add, L: X{}, R: Const(1)})}}
+	res, err := p.Run([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IsScalar || len(res.Vec) != 2 || res.Vec[0] != 2 || res.Vec[1] != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestReduceKinds(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if reduce(SumReduce, xs) != 6 {
+		t.Fatal("sum")
+	}
+	if reduce(MinReduce, xs) != 1 {
+		t.Fatal("min")
+	}
+	if reduce(MaxReduce, xs) != 3 {
+		t.Fatal("max")
+	}
+	if reduce(CountReduce, xs) != 3 {
+		t.Fatal("count")
+	}
+	if !math.IsInf(reduce(MinReduce, nil), 1) {
+		t.Fatal("empty min must be +Inf")
+	}
+}
+
+func TestEstimatesAgreeOnSemanticsDivergeOnCost(t *testing.T) {
+	// The E9 claim in miniature: identical results, different costs.
+	p := normalize()
+	in := randVec(1, 1<<20)
+	res, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var times []float64
+	for _, b := range DefaultBackends() {
+		est, err := b.Estimate(p, len(in), res.Selectivity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Seconds <= 0 {
+			t.Fatalf("%s: non-positive time", est.Backend)
+		}
+		times = append(times, est.Seconds)
+	}
+	// All three must differ pairwise by more than 5%.
+	for i := 0; i < len(times); i++ {
+		for j := i + 1; j < len(times); j++ {
+			if math.Abs(times[i]-times[j]) < 0.05*times[i] {
+				t.Fatalf("backends %d and %d suspiciously close: %v vs %v", i, j, times[i], times[j])
+			}
+		}
+	}
+}
+
+func TestGPUPaysLaunchAndTransfer(t *testing.T) {
+	p := &Program{Name: "tiny", Stages: []Stage{MapE(Bin{Op: Mul, L: X{}, R: Const(2)})}}
+	gpu := NewGPU()
+	cpu := NewCPU()
+	// At tiny sizes the CPU wins (no launch/PCIe overhead).
+	gs, _ := gpu.Estimate(p, 64, nil)
+	cs, _ := cpu.Estimate(p, 64, nil)
+	if gs.Seconds <= cs.Seconds {
+		t.Fatalf("tiny input: GPU (%v) should lose to CPU (%v)", gs.Seconds, cs.Seconds)
+	}
+}
+
+func TestFPGAFusionBeatsStageAtATimeOnDeepPipelines(t *testing.T) {
+	// A deep map pipeline is bandwidth-bound stage-at-a-time but single-
+	// pass on the FPGA; at steady state (amortized reconfig) FPGA wins.
+	var stages []Stage
+	for i := 0; i < 12; i++ {
+		stages = append(stages, MapE(Bin{Op: Add, L: X{}, R: Const(1)}))
+	}
+	p := &Program{Name: "deep", Stages: stages}
+	n := 1 << 24
+	fe, _ := NewFPGA().Estimate(p, n, nil)
+	ce, _ := NewCPU().Estimate(p, n, nil)
+	ge, _ := NewGPU().Estimate(p, n, nil)
+	if fe.Seconds >= ce.Seconds || fe.Seconds >= ge.Seconds {
+		t.Fatalf("fused FPGA (%v) should beat CPU (%v) and GPU (%v) on deep pipelines",
+			fe.Seconds, ce.Seconds, ge.Seconds)
+	}
+	if fe.SetupSeconds <= 0 {
+		t.Fatal("FPGA must carry a reconfiguration setup cost")
+	}
+}
+
+func TestTunerAmortizationShiftsChoice(t *testing.T) {
+	var stages []Stage
+	for i := 0; i < 12; i++ {
+		stages = append(stages, MapE(Bin{Op: Add, L: X{}, R: Const(1)}))
+	}
+	p := &Program{Name: "deep", Stages: stages}
+	tuner := NewTuner()
+	n := 1 << 24
+	// Single run: the 100 ms reconfiguration disqualifies the FPGA.
+	once, err := tuner.Choose(p, n, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once.Backend.Style == Pipeline {
+		t.Fatal("single run should not pick FPGA (reconfig dominates)")
+	}
+	// Thousands of runs amortize it away.
+	many, err := tuner.Choose(p, n, 100000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Backend.Style != Pipeline {
+		t.Fatalf("steady-state deep pipeline should pick FPGA, got %v", many.Backend.Style)
+	}
+}
+
+func TestTunerPicksCPUForSmallInputs(t *testing.T) {
+	p := normalize()
+	got, err := NewTuner().Choose(p, 128, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend.Style != SIMD {
+		t.Fatalf("tiny input should stay on CPU, got %v", got.Backend.Style)
+	}
+}
+
+func TestPerformancePortabilityBounds(t *testing.T) {
+	same := []Estimate{{Seconds: 1}, {Seconds: 1}, {Seconds: 1}}
+	if pp := PerformancePortability(same); math.Abs(pp-1) > 1e-12 {
+		t.Fatalf("identical backends PP = %v, want 1", pp)
+	}
+	skewed := []Estimate{{Seconds: 1}, {Seconds: 10}, {Seconds: 100}}
+	pp := PerformancePortability(skewed)
+	if pp <= 0 || pp >= 1 {
+		t.Fatalf("skewed PP = %v, want interior", pp)
+	}
+	if PerformancePortability(nil) != 0 {
+		t.Fatal("empty PP must be 0")
+	}
+}
+
+func TestCorrectnessPortabilityProperty(t *testing.T) {
+	// For any input vector, the reference result is deterministic and
+	// selectivities are within [0,1] — the correctness contract every
+	// backend shares.
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = 1
+			}
+		}
+		p := normalize()
+		r1, err1 := p.Run(xs)
+		r2, err2 := p.Run(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.Scalar != r2.Scalar {
+			return false
+		}
+		for _, s := range r1.Selectivity {
+			if s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateRejectsInvalidProgram(t *testing.T) {
+	bad := &Program{Name: "bad"}
+	if _, err := NewCPU().Estimate(bad, 10, nil); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := NewTuner().Choose(bad, 10, 1, nil); err == nil {
+		t.Fatal("expected validation error via tuner")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := normalize().String()
+	want := "normalize: map[(x * 0.5)] filter[x>0] reduce[sum]"
+	if s != want {
+		t.Fatalf("String() = %q, want %q", s, want)
+	}
+}

@@ -1,0 +1,196 @@
+package accel
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Backend models how one device class executes the IR. All backends are
+// semantically identical (they would run Program.Run); Estimate prices the
+// execution in that backend's style.
+type Backend struct {
+	Device *hw.Device
+	Style  Style
+}
+
+// Style captures the execution idiom the roadmap's Section IV.C.3
+// enumerates: SIMD on CPU cores, SIMT on GPUs, spatial pipelines on FPGAs.
+type Style int
+
+// Styles.
+const (
+	SIMD Style = iota
+	SIMT
+	Pipeline
+)
+
+func (s Style) String() string {
+	switch s {
+	case SIMD:
+		return "simd"
+	case SIMT:
+		return "simt"
+	case Pipeline:
+		return "pipeline"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// Estimate is a backend's predicted cost for one program execution.
+type Estimate struct {
+	Backend string
+	Seconds float64
+	EnergyJ float64
+	// SetupSeconds is one-off cost (FPGA reconfiguration) amortized by the
+	// tuner over repeated runs; it is NOT included in Seconds.
+	SetupSeconds float64
+	// StageSeconds breaks Seconds down per stage (fused backends report a
+	// single entry).
+	StageSeconds []float64
+}
+
+// Constants of the backend cost models.
+const (
+	// gpuLaunchS is the per-stage kernel-launch latency.
+	gpuLaunchS = 10e-6
+	// gpuPCIeGBs is host<->device transfer bandwidth.
+	gpuPCIeGBs = 12.0
+	// gpuDivergenceEff is SIMT efficiency on branchy (filter) stages.
+	gpuDivergenceEff = 0.5
+	// cpuBranchyEff is SIMD efficiency on branchy (filter) stages: the
+	// vector units largely idle.
+	cpuBranchyEff = 0.35
+	// fpgaReconfigS is the bitstream reconfiguration time for a new
+	// program.
+	fpgaReconfigS = 0.1
+	// fpgaFillFactor inflates the single-pass time slightly for pipeline
+	// fill/drain.
+	fpgaFillFactor = 1.02
+)
+
+// NewCPU returns the SIMD backend over the catalog CPU.
+func NewCPU() Backend { return Backend{Device: hw.XeonCPU(), Style: SIMD} }
+
+// NewGPU returns the SIMT backend over the catalog GPGPU.
+func NewGPU() Backend { return Backend{Device: hw.GPGPU(), Style: SIMT} }
+
+// NewFPGA returns the pipeline backend over the catalog FPGA card.
+func NewFPGA() Backend { return Backend{Device: hw.FPGACard(), Style: Pipeline} }
+
+// DefaultBackends returns the three standard backends.
+func DefaultBackends() []Backend { return []Backend{NewCPU(), NewGPU(), NewFPGA()} }
+
+// stagePlan holds the per-stage element counts given input size and
+// filter selectivities.
+func stagePlan(p *Program, n int, sel map[int]float64) []float64 {
+	counts := make([]float64, len(p.Stages))
+	cur := float64(n)
+	for i, s := range p.Stages {
+		counts[i] = cur
+		if s.Kind == FilterStage {
+			f, ok := sel[i]
+			if !ok {
+				f = 0.5 // planner default when unobserved
+			}
+			cur *= f
+		}
+	}
+	return counts
+}
+
+// Estimate prices one run of p over n input elements. sel carries observed
+// filter selectivities (pass Result.Selectivity; nil uses the planner
+// default of 0.5).
+func (b Backend) Estimate(p *Program, n int, sel map[int]float64) (Estimate, error) {
+	if err := p.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	counts := stagePlan(p, n, sel)
+	d := b.Device
+	est := Estimate{Backend: fmt.Sprintf("%s/%s", d.Name, b.Style)}
+	switch b.Style {
+	case SIMD, SIMT:
+		// Stage-at-a-time execution: each stage reads and writes memory.
+		for i, s := range p.Stages {
+			elems := counts[i]
+			ops := float64(stageOps(s)) * elems
+			bytes := 16 * elems // read + write 8B per element
+			eff := 1.0
+			if s.Kind == FilterStage {
+				if b.Style == SIMT {
+					eff = gpuDivergenceEff
+				} else {
+					eff = cpuBranchyEff
+				}
+			}
+			computeS := ops / (d.GOpsPeak * 1e9 * eff)
+			memS := bytes / (d.MemGBs * 1e9)
+			t := computeS
+			if memS > t {
+				t = memS
+			}
+			if b.Style == SIMT {
+				t += gpuLaunchS
+			}
+			est.StageSeconds = append(est.StageSeconds, t)
+			est.Seconds += t
+		}
+		if b.Style == SIMT {
+			// Host <-> device transfers at the pipeline ends.
+			out := counts[len(counts)-1]
+			if p.HasReduce() {
+				out = 1
+			}
+			xfer := (float64(n) + out) * 8 / (gpuPCIeGBs * 1e9)
+			est.Seconds += xfer
+			est.StageSeconds = append(est.StageSeconds, xfer)
+		}
+	case Pipeline:
+		// All stages fuse into one spatial pipeline: a single pass over the
+		// input with no intermediate memory traffic. Reconfiguration is a
+		// one-off setup cost.
+		totalOps := 0.0
+		for i, s := range p.Stages {
+			totalOps += float64(stageOps(s)) * counts[i]
+		}
+		bytes := float64(n) * 8 // stream in once
+		if !p.HasReduce() {
+			bytes += counts[len(counts)-1] * 8 // stream result out
+		}
+		computeS := totalOps / (d.GOpsPeak * 1e9)
+		memS := bytes / (d.MemGBs * 1e9)
+		t := computeS
+		if memS > t {
+			t = memS
+		}
+		t *= fpgaFillFactor
+		est.Seconds = t
+		est.StageSeconds = []float64{t}
+		est.SetupSeconds = fpgaReconfigS
+	default:
+		return Estimate{}, fmt.Errorf("accel: unknown style %d", int(b.Style))
+	}
+	est.EnergyJ = est.Seconds * d.Power(1)
+	return est, nil
+}
+
+// stageOps returns arithmetic ops per element for a stage.
+func stageOps(s Stage) int {
+	switch s.Kind {
+	case MapStage, FilterStage:
+		ops := s.E.Ops()
+		if s.Kind == FilterStage {
+			ops++ // the compare
+		}
+		if ops == 0 {
+			ops = 1
+		}
+		return ops
+	case ReduceStage:
+		return 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,93 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Result is a program's output: a vector, or a scalar for reduced
+// programs.
+type Result struct {
+	Vec    []float64
+	Scalar float64
+	// IsScalar reports which field is meaningful.
+	IsScalar bool
+	// Selectivity records, per filter stage index, the observed keep
+	// fraction — fed back into the cost models.
+	Selectivity map[int]float64
+}
+
+// Run executes the program over input on the reference interpreter. All
+// backends produce exactly this result; they differ only in modeled cost
+// (see Estimate). The input slice is not modified.
+func (p *Program) Run(input []float64) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	cur := append([]float64(nil), input...)
+	res := Result{Selectivity: map[int]float64{}}
+	for i, s := range p.Stages {
+		switch s.Kind {
+		case MapStage:
+			for j, x := range cur {
+				cur[j] = s.E.Eval(x)
+			}
+		case FilterStage:
+			kept := cur[:0]
+			for _, x := range cur {
+				if s.E.Eval(x) > 0 {
+					kept = append(kept, x)
+				}
+			}
+			if len(cur) > 0 {
+				res.Selectivity[i] = float64(len(kept)) / float64(len(cur))
+			} else {
+				res.Selectivity[i] = 0
+			}
+			cur = kept
+		case ReduceStage:
+			res.IsScalar = true
+			res.Scalar = reduce(s.R, cur)
+			return res, nil
+		}
+	}
+	res.Vec = cur
+	return res, nil
+}
+
+func reduce(k ReduceKind, xs []float64) float64 {
+	switch k {
+	case SumReduce:
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t
+	case MinReduce:
+		if len(xs) == 0 {
+			return math.Inf(1)
+		}
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	case MaxReduce:
+		if len(xs) == 0 {
+			return math.Inf(-1)
+		}
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	case CountReduce:
+		return float64(len(xs))
+	default:
+		panic(fmt.Sprintf("accel: unknown reduce %d", int(k)))
+	}
+}

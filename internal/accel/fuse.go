@@ -1,0 +1,51 @@
+package accel
+
+// Kernel fusion — the classic optimization that separates a naive
+// stage-at-a-time backend from a tuned one (and the reason FPGAs' spatial
+// pipelines look so good in E9): adjacent map stages compose into a single
+// pass, eliminating an intermediate memory round trip per fused pair.
+// Fusion preserves semantics exactly; the ablation quantifies its effect
+// per backend.
+
+// substitute replaces every X leaf of outer with inner: the expression of
+// outer∘inner.
+func substitute(outer, inner Expr) Expr {
+	switch e := outer.(type) {
+	case X:
+		return inner
+	case Const:
+		return e
+	case Bin:
+		return Bin{Op: e.Op, L: substitute(e.L, inner), R: substitute(e.R, inner)}
+	case Un:
+		return Un{Op: e.Op, E: substitute(e.E, inner)}
+	default:
+		// Unknown node kinds pass through unchanged (they cannot contain X
+		// leaves this package knows how to rewrite).
+		return e
+	}
+}
+
+// Fuse returns a semantically identical program with adjacent map stages
+// composed. Filters and reductions act as fusion barriers (a filter
+// changes the value *set*, not just values; a reduction is terminal).
+// Map stages immediately before a filter additionally fuse into the
+// filter's predicate only when the map is pure value-scaling — which
+// cannot be decided for the general IR — so this pass keeps them apart.
+func (p *Program) Fuse() *Program {
+	out := &Program{Name: p.Name + ".fused"}
+	for _, s := range p.Stages {
+		n := len(out.Stages)
+		if s.Kind == MapStage && n > 0 && out.Stages[n-1].Kind == MapStage {
+			prev := out.Stages[n-1]
+			out.Stages[n-1] = MapE(substitute(s.E, prev.E))
+			continue
+		}
+		out.Stages = append(out.Stages, s)
+	}
+	return out
+}
+
+// FusedStageCount reports how many stages fusion would leave — used by
+// planners deciding whether a program is worth re-optimizing.
+func (p *Program) FusedStageCount() int { return len(p.Fuse().Stages) }

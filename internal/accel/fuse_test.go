@@ -1,0 +1,119 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func deepMapProgram(depth int) *Program {
+	p := &Program{Name: "deep"}
+	for i := 0; i < depth; i++ {
+		p.Stages = append(p.Stages, MapE(Bin{Op: Add, L: Bin{Op: Mul, L: X{}, R: Const(1.01)}, R: Const(0.5)}))
+	}
+	return p
+}
+
+func TestFuseCollapsesAdjacentMaps(t *testing.T) {
+	p := deepMapProgram(8)
+	f := p.Fuse()
+	if len(f.Stages) != 1 {
+		t.Fatalf("fused stages = %d, want 1", len(f.Stages))
+	}
+	if p.FusedStageCount() != 1 {
+		t.Fatal("FusedStageCount disagrees")
+	}
+}
+
+func TestFuseRespectsBarriers(t *testing.T) {
+	p := &Program{Name: "mixed", Stages: []Stage{
+		MapE(Bin{Op: Mul, L: X{}, R: Const(2)}),
+		MapE(Bin{Op: Add, L: X{}, R: Const(1)}),
+		FilterE(X{}),
+		MapE(Bin{Op: Mul, L: X{}, R: Const(3)}),
+		MapE(Bin{Op: Sub, L: X{}, R: Const(4)}),
+		ReduceE(SumReduce),
+	}}
+	f := p.Fuse()
+	// map+map | filter | map+map | reduce → 4 stages.
+	if len(f.Stages) != 4 {
+		t.Fatalf("fused stages = %d, want 4", len(f.Stages))
+	}
+	if f.Stages[0].Kind != MapStage || f.Stages[1].Kind != FilterStage ||
+		f.Stages[2].Kind != MapStage || f.Stages[3].Kind != ReduceStage {
+		t.Fatalf("fused shape wrong: %v", f)
+	}
+}
+
+func TestFusePreservesSemantics(t *testing.T) {
+	p := &Program{Name: "mixed", Stages: []Stage{
+		MapE(Bin{Op: Mul, L: X{}, R: Const(2)}),
+		MapE(Un{Op: Sq, E: X{}}),
+		FilterE(Bin{Op: Sub, L: X{}, R: Const(1)}),
+		MapE(Bin{Op: Add, L: X{}, R: Const(10)}),
+		ReduceE(SumReduce),
+	}}
+	in := randVec(3, 4096)
+	orig, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := p.Fuse().Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Scalar != fused.Scalar {
+		t.Fatalf("fusion changed result: %v vs %v", orig.Scalar, fused.Scalar)
+	}
+}
+
+func TestFuseSemanticsProperty(t *testing.T) {
+	f := func(seed uint64, depth uint8) bool {
+		d := int(depth%6) + 1
+		p := deepMapProgram(d)
+		p.Stages = append(p.Stages, ReduceE(SumReduce))
+		in := randVec(seed, 512)
+		a, err1 := p.Run(in)
+		b, err2 := p.Fuse().Run(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// Composition is exact (same operation order per element).
+		return a.Scalar == b.Scalar || math.Abs(a.Scalar-b.Scalar) < 1e-9*math.Abs(a.Scalar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusionSpeedsUpStagedBackends(t *testing.T) {
+	p := deepMapProgram(10)
+	n := 1 << 22
+	for _, b := range []Backend{NewCPU(), NewGPU()} {
+		orig, err := b.Estimate(p, n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := b.Estimate(p.Fuse(), n, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fused.Seconds >= orig.Seconds {
+			t.Fatalf("%s: fusion did not help: %v vs %v", orig.Backend, fused.Seconds, orig.Seconds)
+		}
+	}
+	// The FPGA pipeline already fuses spatially: estimates match closely.
+	fp := NewFPGA()
+	orig, _ := fp.Estimate(p, n, nil)
+	fused, _ := fp.Estimate(p.Fuse(), n, nil)
+	if math.Abs(orig.Seconds-fused.Seconds) > 0.1*orig.Seconds {
+		t.Fatalf("FPGA estimate should be fusion-invariant: %v vs %v", orig.Seconds, fused.Seconds)
+	}
+}
+
+func TestSubstituteUnknownNodePassthrough(t *testing.T) {
+	// A Const contains no X: substitution is identity.
+	if got := substitute(Const(5), X{}); got != Const(5) {
+		t.Fatalf("const substitution = %v", got)
+	}
+}

@@ -1,0 +1,283 @@
+// Package accel implements a small portable kernel IR for data-parallel
+// programs — the OpenCL-style abstraction of Section IV.C.3 — together
+// with backend cost models for CPU (SIMD), GPU (SIMT) and FPGA (pipeline)
+// execution. Every backend computes the *same result* (correctness is
+// portable); each backend's time and energy estimates differ according to
+// its execution style (performance is not), which is precisely the claim
+// the E9 experiment quantifies. An autotuner picks placements, standing in
+// for the "dynamic scheduling and resource allocation strategies" of
+// Recommendation 11 at the single-kernel level.
+package accel
+
+import "fmt"
+
+// Expr is a scalar expression over one input element. Keeping the
+// expression language first-order (no arbitrary Go closures) is what lets
+// every backend both execute it and *count* it for its cost model — the
+// same property real kernel IRs (OpenCL SPIR, CUDA PTX) rely on.
+type Expr interface {
+	// Eval computes the expression at x.
+	Eval(x float64) float64
+	// Ops returns the arithmetic operation count of one evaluation.
+	Ops() int
+	// String renders the expression.
+	String() string
+}
+
+// X is the input element.
+type X struct{}
+
+// Eval implements Expr.
+func (X) Eval(x float64) float64 { return x }
+
+// Ops implements Expr.
+func (X) Ops() int { return 0 }
+
+// String implements fmt.Stringer.
+func (X) String() string { return "x" }
+
+// Const is a literal.
+type Const float64
+
+// Eval implements Expr.
+func (c Const) Eval(float64) float64 { return float64(c) }
+
+// Ops implements Expr.
+func (Const) Ops() int { return 0 }
+
+// String implements fmt.Stringer.
+func (c Const) String() string { return fmt.Sprintf("%g", float64(c)) }
+
+// BinOp is a binary operator kind.
+type BinOp int
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Min
+	Max
+)
+
+func (o BinOp) String() string {
+	switch o {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Bin applies a binary operator to two subexpressions.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b Bin) Eval(x float64) float64 {
+	l, r := b.L.Eval(x), b.R.Eval(x)
+	switch b.Op {
+	case Add:
+		return l + r
+	case Sub:
+		return l - r
+	case Mul:
+		return l * r
+	case Div:
+		return l / r
+	case Min:
+		if l < r {
+			return l
+		}
+		return r
+	case Max:
+		if l > r {
+			return l
+		}
+		return r
+	default:
+		panic(fmt.Sprintf("accel: unknown binop %d", int(b.Op)))
+	}
+}
+
+// Ops implements Expr.
+func (b Bin) Ops() int { return 1 + b.L.Ops() + b.R.Ops() }
+
+// String implements fmt.Stringer.
+func (b Bin) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// UnOp is a unary operator kind.
+type UnOp int
+
+// Unary operators.
+const (
+	Neg UnOp = iota
+	Abs
+	Sq // x*x, counted as one multiply
+)
+
+// Un applies a unary operator.
+type Un struct {
+	Op UnOp
+	E  Expr
+}
+
+// Eval implements Expr.
+func (u Un) Eval(x float64) float64 {
+	v := u.E.Eval(x)
+	switch u.Op {
+	case Neg:
+		return -v
+	case Abs:
+		if v < 0 {
+			return -v
+		}
+		return v
+	case Sq:
+		return v * v
+	default:
+		panic(fmt.Sprintf("accel: unknown unop %d", int(u.Op)))
+	}
+}
+
+// Ops implements Expr.
+func (u Un) Ops() int { return 1 + u.E.Ops() }
+
+// String implements fmt.Stringer.
+func (u Un) String() string {
+	name := map[UnOp]string{Neg: "neg", Abs: "abs", Sq: "sq"}[u.Op]
+	return fmt.Sprintf("%s(%s)", name, u.E)
+}
+
+// ReduceKind selects the terminal reduction.
+type ReduceKind int
+
+// Reductions.
+const (
+	SumReduce ReduceKind = iota
+	MinReduce
+	MaxReduce
+	CountReduce
+)
+
+func (k ReduceKind) String() string {
+	switch k {
+	case SumReduce:
+		return "sum"
+	case MinReduce:
+		return "min"
+	case MaxReduce:
+		return "max"
+	case CountReduce:
+		return "count"
+	default:
+		return fmt.Sprintf("reduce(%d)", int(k))
+	}
+}
+
+// Stage is one step of a program.
+type Stage struct {
+	// Exactly one of the following shapes, selected by Kind.
+	Kind StageKind
+	// E is the map expression or filter predicate (kept where E(x) > 0).
+	E Expr
+	// R is the reduction kind for Reduce stages.
+	R ReduceKind
+}
+
+// StageKind discriminates stages.
+type StageKind int
+
+// Stage kinds.
+const (
+	MapStage StageKind = iota
+	FilterStage
+	ReduceStage
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case MapStage:
+		return "map"
+	case FilterStage:
+		return "filter"
+	case ReduceStage:
+		return "reduce"
+	default:
+		return fmt.Sprintf("stage(%d)", int(k))
+	}
+}
+
+// MapE returns a map stage.
+func MapE(e Expr) Stage { return Stage{Kind: MapStage, E: e} }
+
+// FilterE returns a filter stage keeping elements where e(x) > 0.
+func FilterE(e Expr) Stage { return Stage{Kind: FilterStage, E: e} }
+
+// ReduceE returns a terminal reduction stage.
+func ReduceE(k ReduceKind) Stage { return Stage{Kind: ReduceStage, R: k} }
+
+// Program is a straight-line pipeline of stages. A Reduce, if present,
+// must be last.
+type Program struct {
+	Name   string
+	Stages []Stage
+}
+
+// Validate checks structural rules.
+func (p *Program) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("accel: program %q has no stages", p.Name)
+	}
+	for i, s := range p.Stages {
+		switch s.Kind {
+		case MapStage, FilterStage:
+			if s.E == nil {
+				return fmt.Errorf("accel: program %q stage %d: nil expression", p.Name, i)
+			}
+		case ReduceStage:
+			if i != len(p.Stages)-1 {
+				return fmt.Errorf("accel: program %q: reduce must be the final stage", p.Name)
+			}
+		default:
+			return fmt.Errorf("accel: program %q stage %d: unknown kind %d", p.Name, i, int(s.Kind))
+		}
+	}
+	return nil
+}
+
+// HasReduce reports whether the program ends in a reduction.
+func (p *Program) HasReduce() bool {
+	return len(p.Stages) > 0 && p.Stages[len(p.Stages)-1].Kind == ReduceStage
+}
+
+// String renders the pipeline.
+func (p *Program) String() string {
+	out := p.Name + ":"
+	for _, s := range p.Stages {
+		switch s.Kind {
+		case MapStage:
+			out += fmt.Sprintf(" map[%s]", s.E)
+		case FilterStage:
+			out += fmt.Sprintf(" filter[%s>0]", s.E)
+		case ReduceStage:
+			out += fmt.Sprintf(" reduce[%s]", s.R)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Placement is the tuner's decision for a program.
+type Placement struct {
+	Backend  Backend
+	Estimate Estimate
+	// AmortizedSeconds includes setup spread over the planned runs.
+	AmortizedSeconds float64
+}
+
+// Tuner picks the best backend per (program, input size, run count) — the
+// single-kernel version of Recommendation 11's dynamic placement.
+type Tuner struct {
+	Backends []Backend
+}
+
+// NewTuner returns a tuner over the default CPU/GPU/FPGA trio.
+func NewTuner() *Tuner { return &Tuner{Backends: DefaultBackends()} }
+
+// Choose returns the placement minimizing amortized time per run for a
+// program executed `runs` times over n-element inputs.
+func (t *Tuner) Choose(p *Program, n, runs int, sel map[int]float64) (Placement, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	best := Placement{AmortizedSeconds: math.Inf(1)}
+	for _, b := range t.Backends {
+		est, err := b.Estimate(p, n, sel)
+		if err != nil {
+			return Placement{}, err
+		}
+		amort := est.Seconds + est.SetupSeconds/float64(runs)
+		if amort < best.AmortizedSeconds {
+			best = Placement{Backend: b, Estimate: est, AmortizedSeconds: amort}
+		}
+	}
+	if math.IsInf(best.AmortizedSeconds, 1) {
+		return Placement{}, fmt.Errorf("accel: no backends available")
+	}
+	return best, nil
+}
+
+// PerformancePortability computes the Pennycook performance-portability
+// metric for a program across backends: the harmonic mean over backends of
+// (best time / backend time), in (0, 1]. A program that runs at the best
+// achievable speed everywhere scores 1; a program an order of magnitude
+// off-peak on some backend scores low — Section IV.C.3's "OpenCL only
+// ensures correctness ... not that the computation has been optimized".
+func PerformancePortability(ests []Estimate) float64 {
+	if len(ests) == 0 {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, e := range ests {
+		if e.Seconds < best {
+			best = e.Seconds
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, e := range ests {
+		eff := best / e.Seconds
+		acc += 1 / eff
+	}
+	return float64(len(ests)) / acc
+}

@@ -1,0 +1,214 @@
+// Package benchsuite implements Recommendation 9: "establishing
+// benchmarks to compare current and novel architectures using Big Data
+// applications". A standard suite of Big-Data workload classes (scan,
+// sort, join, ML, graph, text) is scored on candidate system
+// configurations against a commodity baseline, producing the side-by-side
+// comparison the roadmap says industry lacks ("the lack of a clean metric
+// or benchmark for side-by-side comparisons for novel hardware").
+package benchsuite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/tco"
+)
+
+// Benchmark is one suite entry: a workload-class kernel plus how much of
+// it can be offloaded to an accelerator in a realistic deployment.
+type Benchmark struct {
+	Name   string
+	Kernel hw.Kernel
+	// OffloadFraction is the share of the workload an accelerator can
+	// absorb (the rest stays on the host CPU).
+	OffloadFraction float64
+	// Weight scales the benchmark's contribution to the overall score.
+	Weight float64
+}
+
+// StandardSuite returns the six workload classes of the suite, built from
+// the Recommendation-10 building-block descriptors.
+func StandardSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "scan", Kernel: kernels.FilterDescriptor(1<<24, 0.1), OffloadFraction: 0.9, Weight: 1},
+		{Name: "sort", Kernel: kernels.SortDescriptor(1 << 24), OffloadFraction: 0.8, Weight: 1},
+		{Name: "join", Kernel: kernels.JoinDescriptor(1<<22, 1<<24), OffloadFraction: 0.7, Weight: 1},
+		{Name: "ml-kmeans", Kernel: kernels.KMeansDescriptor(1<<19, 16, 32), OffloadFraction: 0.95, Weight: 1},
+		{Name: "graph-pagerank", Kernel: kernels.PageRankDescriptor(1<<20, 1<<23), OffloadFraction: 0.85, Weight: 1},
+		{Name: "text-scan", Kernel: kernels.ScanTextDescriptor(1 << 28), OffloadFraction: 0.9, Weight: 1},
+	}
+}
+
+// SUT is one system under test.
+type SUT struct {
+	Name string
+	Node *hw.Node
+}
+
+// StandardSUTs returns the four architecture configurations the E10
+// experiment compares.
+func StandardSUTs() []SUT {
+	return []SUT{
+		{Name: "commodity", Node: hw.CommodityNode()},
+		{Name: "gpu", Node: hw.GPUNode()},
+		{Name: "fpga", Node: hw.FPGANode()},
+		{Name: "hetero", Node: hw.KitchenSinkNode()},
+	}
+}
+
+// BenchScore is one (SUT, benchmark) cell.
+type BenchScore struct {
+	Throughput  float64 // kernels/second
+	Ratio       float64 // vs baseline
+	OpsPerJ     float64
+	EnergyRatio float64 // ops/J vs baseline
+}
+
+// Result is a full suite run.
+type Result struct {
+	Baseline string
+	Suite    []Benchmark
+	SUTs     []SUT
+	// Cells[sutIndex][benchIndex].
+	Cells [][]BenchScore
+	// Overall is the weighted geometric mean of the throughput ratios per
+	// SUT (geomean is the standard for cross-benchmark aggregation since
+	// it is unit-free and composition-order independent).
+	Overall []float64
+	// OverallEnergy is the analogous energy-efficiency score.
+	OverallEnergy []float64
+}
+
+// Run scores every SUT against the baseline (SUT index 0 by convention is
+// not required; baseline is passed explicitly).
+func Run(suite []Benchmark, baseline SUT, suts []SUT) (*Result, error) {
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("benchsuite: empty suite")
+	}
+	if baseline.Node == nil {
+		return nil, fmt.Errorf("benchsuite: baseline has no node")
+	}
+	res := &Result{Baseline: baseline.Name, Suite: suite, SUTs: suts}
+	baseT := make([]float64, len(suite))
+	baseE := make([]float64, len(suite))
+	for bi, b := range suite {
+		baseT[bi] = tco.NodeThroughput(baseline.Node, b.Kernel, offloadFor(baseline.Node, b))
+		baseE[bi] = nodeOpsPerJoule(baseline.Node, b)
+		if baseT[bi] <= 0 {
+			return nil, fmt.Errorf("benchsuite: baseline throughput zero on %s", b.Name)
+		}
+	}
+	for _, sut := range suts {
+		if sut.Node == nil {
+			return nil, fmt.Errorf("benchsuite: SUT %q has no node", sut.Name)
+		}
+		row := make([]BenchScore, len(suite))
+		logSum, logESum, wSum := 0.0, 0.0, 0.0
+		for bi, b := range suite {
+			thr := tco.NodeThroughput(sut.Node, b.Kernel, offloadFor(sut.Node, b))
+			opj := nodeOpsPerJoule(sut.Node, b)
+			cell := BenchScore{
+				Throughput: thr, Ratio: thr / baseT[bi],
+				OpsPerJ: opj, EnergyRatio: opj / baseE[bi],
+			}
+			row[bi] = cell
+			w := b.Weight
+			if w <= 0 {
+				w = 1
+			}
+			logSum += w * math.Log(cell.Ratio)
+			logESum += w * math.Log(cell.EnergyRatio)
+			wSum += w
+		}
+		res.Cells = append(res.Cells, row)
+		res.Overall = append(res.Overall, math.Exp(logSum/wSum))
+		res.OverallEnergy = append(res.OverallEnergy, math.Exp(logESum/wSum))
+	}
+	return res, nil
+}
+
+func offloadFor(n *hw.Node, b Benchmark) float64 {
+	if len(n.Accels) == 0 {
+		return 0
+	}
+	return b.OffloadFraction
+}
+
+// nodeOpsPerJoule prices energy assuming the deployment offloads for
+// efficiency: the accelerator with the best ops/J takes the offloadable
+// share (a 25 W FPGA beats a 290 W CPU on ops/J even when it is slower —
+// the Catapult trade the roadmap describes). The throughput score is
+// computed separately with throughput-optimal placement.
+func nodeOpsPerJoule(n *hw.Node, b Benchmark) float64 {
+	host := n.Host.OpsPerJoule(b.Kernel)
+	if len(n.Accels) == 0 || b.OffloadFraction <= 0 {
+		return host
+	}
+	best := host
+	for _, d := range n.Accels {
+		if e := d.OpsPerJoule(b.Kernel); e > best {
+			best = e
+		}
+	}
+	if best == host {
+		return host
+	}
+	f := b.OffloadFraction
+	// Harmonic mix: energy per op averages over the split work.
+	return 1 / (f/best + (1-f)/host)
+}
+
+// Table renders the throughput-ratio matrix as the Recommendation-9
+// side-by-side comparison.
+func (r *Result) Table() *metrics.Table {
+	headers := []string{"benchmark"}
+	for _, s := range r.SUTs {
+		headers = append(headers, s.Name)
+	}
+	t := metrics.NewTable(fmt.Sprintf("Suite scores (throughput ratio vs %s)", r.Baseline), headers...)
+	for bi, b := range r.Suite {
+		row := []string{b.Name}
+		for si := range r.SUTs {
+			row = append(row, fmt.Sprintf("%.2f", r.Cells[si][bi].Ratio))
+		}
+		t.AddRow(row...)
+	}
+	overall := []string{"OVERALL (geomean)"}
+	for si := range r.SUTs {
+		overall = append(overall, fmt.Sprintf("%.2f", r.Overall[si]))
+	}
+	t.AddRow(overall...)
+	energy := []string{"ENERGY (geomean ops/J)"}
+	for si := range r.SUTs {
+		energy = append(energy, fmt.Sprintf("%.2f", r.OverallEnergy[si]))
+	}
+	t.AddRow(energy...)
+	return t
+}
+
+// Ranking returns SUT names ordered by overall score, best first.
+func (r *Result) Ranking() []string {
+	type rank struct {
+		name  string
+		score float64
+	}
+	rs := make([]rank, len(r.SUTs))
+	for i, s := range r.SUTs {
+		rs[i] = rank{name: s.Name, score: r.Overall[i]}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].score != rs[j].score {
+			return rs[i].score > rs[j].score
+		}
+		return rs[i].name < rs[j].name
+	})
+	names := make([]string, len(rs))
+	for i, x := range rs {
+		names[i] = x.name
+	}
+	return names
+}

@@ -1,0 +1,145 @@
+package benchsuite
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestBaselineScoresOne(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := Run(StandardSuite(), base, []SUT{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range res.Suite {
+		if r := res.Cells[0][bi].Ratio; math.Abs(r-1) > 1e-9 {
+			t.Fatalf("baseline ratio on %s = %v, want 1", res.Suite[bi].Name, r)
+		}
+	}
+	if math.Abs(res.Overall[0]-1) > 1e-9 {
+		t.Fatalf("baseline overall = %v", res.Overall[0])
+	}
+}
+
+func TestAcceleratedSUTsBeatBaseline(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for i, s := range res.SUTs {
+		byName[s.Name] = res.Overall[i]
+	}
+	if byName["gpu"] <= 1 {
+		t.Fatalf("gpu overall = %v, want > 1", byName["gpu"])
+	}
+	if byName["hetero"] < byName["gpu"] {
+		t.Fatalf("hetero (%v) should be at least gpu (%v): superset of accelerators", byName["hetero"], byName["gpu"])
+	}
+}
+
+func TestFPGAWinsEnergyScore(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fpgaE, gpuE float64
+	for i, s := range res.SUTs {
+		switch s.Name {
+		case "fpga":
+			fpgaE = res.OverallEnergy[i]
+		case "gpu":
+			gpuE = res.OverallEnergy[i]
+		}
+	}
+	if fpgaE <= 1 {
+		t.Fatalf("fpga energy score = %v, want > 1", fpgaE)
+	}
+	_ = gpuE // gpu may also score > 1; fpga's 25 W just must clear the bar
+}
+
+func TestRankingOrdered(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Ranking()
+	if len(names) != 4 {
+		t.Fatalf("ranking = %v", names)
+	}
+	scores := map[string]float64{}
+	for i, s := range res.SUTs {
+		scores[s.Name] = res.Overall[i]
+	}
+	for i := 1; i < len(names); i++ {
+		if scores[names[i]] > scores[names[i-1]] {
+			t.Fatalf("ranking not descending: %v", names)
+		}
+	}
+	// The hetero box (GPU+FPGA+ASIC) leads on throughput, the GPU next.
+	// The FPGA node ties commodity on *throughput* (the suite's kernels
+	// are memory-bound and the Xeon has 3× the FPGA's DRAM bandwidth) —
+	// its win is energy, covered by TestFPGAWinsEnergyScore. That split
+	// is the roadmap's own framing: GPUs for throughput, FPGAs for
+	// efficiency and determinism.
+	if names[0] != "hetero" || names[1] != "gpu" {
+		t.Fatalf("expected hetero, gpu at the top, got %v", names)
+	}
+}
+
+func TestTableRendersAllRows(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Table()
+	text := tab.Render()
+	for _, b := range StandardSuite() {
+		if !strings.Contains(text, b.Name) {
+			t.Fatalf("table missing benchmark %s:\n%s", b.Name, text)
+		}
+	}
+	if !strings.Contains(text, "OVERALL") || !strings.Contains(text, "ENERGY") {
+		t.Fatalf("table missing summary rows:\n%s", text)
+	}
+	if tab.NumRows() != len(StandardSuite())+2 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	base := SUT{Name: "b", Node: hw.CommodityNode()}
+	if _, err := Run(nil, base, nil); err == nil {
+		t.Fatal("empty suite must error")
+	}
+	if _, err := Run(StandardSuite(), SUT{Name: "x"}, nil); err == nil {
+		t.Fatal("nil baseline node must error")
+	}
+	if _, err := Run(StandardSuite(), base, []SUT{{Name: "broken"}}); err == nil {
+		t.Fatal("nil SUT node must error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	base := SUT{Name: "commodity", Node: hw.CommodityNode()}
+	a, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(StandardSuite(), base, StandardSUTs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Overall {
+		if a.Overall[i] != b.Overall[i] {
+			t.Fatal("suite scores nondeterministic")
+		}
+	}
+}

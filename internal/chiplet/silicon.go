@@ -1,0 +1,328 @@
+// Package chiplet models the silicon economics behind Section IV.B.3: the
+// cost of a monolithic market-specific SoC versus a System-in-Package
+// (SiP) assembled from chiplets, as pioneered by the EUROSERVER project
+// the roadmap cites. The model is the standard one used for such
+// feasibility arguments: negative-binomial die yield, dies-per-wafer
+// geometry, per-node wafer and mask-set (NRE) costs, and packaging/test
+// overheads for multi-die integration. The roadmap's claims are about
+// ratios — smaller dies yield better, mature nodes are cheaper, an I/O
+// retrofit should not force a leading-edge respin — all of which this
+// model exposes.
+package chiplet
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProcessNode is one silicon technology generation.
+type ProcessNode struct {
+	Name string
+	// WaferCostEUR is the processed-wafer price (300 mm).
+	WaferCostEUR float64
+	// DefectD0 is defect density in defects/cm².
+	DefectD0 float64
+	// MaskNREEUR is the full mask-set + design-enablement NRE.
+	MaskNREEUR float64
+	// Leading marks the frontier node (needed for performance-critical
+	// compute dies; Section IV.B.3 notes an SoC forces the *whole* design
+	// onto this node).
+	Leading bool
+}
+
+// Nodes of the 2016 era. Defect density improves as nodes mature; wafer
+// and mask costs climb steeply toward the edge.
+var (
+	N28 = ProcessNode{Name: "28nm", WaferCostEUR: 3000, DefectD0: 0.08, MaskNREEUR: 3e6}
+	N16 = ProcessNode{Name: "16nm", WaferCostEUR: 6000, DefectD0: 0.12, MaskNREEUR: 12e6, Leading: true}
+	N10 = ProcessNode{Name: "10nm", WaferCostEUR: 9000, DefectD0: 0.20, MaskNREEUR: 30e6, Leading: true}
+)
+
+// WaferDiameterMM is the standard wafer size.
+const WaferDiameterMM = 300
+
+// YieldAlpha is the defect-clustering parameter of the negative-binomial
+// yield model (3 is the industry-typical value).
+const YieldAlpha = 3.0
+
+// Yield returns the negative-binomial die yield for a die of areaMM2 on
+// the node: (1 + A·D0/α)^(−α).
+func (n ProcessNode) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	aCM2 := areaMM2 / 100
+	return math.Pow(1+aCM2*n.DefectD0/YieldAlpha, -YieldAlpha)
+}
+
+// DiesPerWafer returns the gross dies per wafer for a square die of
+// areaMM2, using the standard geometric approximation that discounts edge
+// loss.
+func DiesPerWafer(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 0
+	}
+	d := float64(WaferDiameterMM)
+	return math.Floor(math.Pi*d*d/(4*areaMM2) - math.Pi*d/math.Sqrt(2*areaMM2))
+}
+
+// DieCostEUR returns the cost of one *good* die of areaMM2 on the node.
+func (n ProcessNode) DieCostEUR(areaMM2 float64) float64 {
+	gross := DiesPerWafer(areaMM2)
+	if gross <= 0 {
+		return math.Inf(1)
+	}
+	y := n.Yield(areaMM2)
+	if y <= 0 {
+		return math.Inf(1)
+	}
+	return n.WaferCostEUR / (gross * y)
+}
+
+// Die is one silicon component of a product.
+type Die struct {
+	Name    string
+	AreaMM2 float64
+	Node    ProcessNode
+	// IO marks interface dies (NIC/SerDes/PHY); retrofit scenarios swap
+	// only these.
+	IO bool
+}
+
+// SoC is a monolithic product: all blocks merged into one die that must be
+// fabricated on a single process — the leading-edge one if any block needs
+// it (Section IV.B.3: "the die must be fabricated using an expensive
+// leading edge silicon technology").
+type SoC struct {
+	Name string
+	// Blocks are the functional areas folded into the single die.
+	Blocks []Die
+}
+
+// TotalAreaMM2 sums block areas (monolithic integration gives a modest
+// area credit for shared pads/PHY, folded in as 0.95×).
+func (s *SoC) TotalAreaMM2() float64 {
+	a := 0.0
+	for _, b := range s.Blocks {
+		a += b.AreaMM2
+	}
+	return a * 0.95
+}
+
+// node returns the process the merged die must use: the most expensive
+// (leading) node among blocks.
+func (s *SoC) node() ProcessNode {
+	best := s.Blocks[0].Node
+	for _, b := range s.Blocks[1:] {
+		if b.Node.WaferCostEUR > best.WaferCostEUR {
+			best = b.Node
+		}
+	}
+	return best
+}
+
+// UnitCostEUR returns the silicon cost of one good SoC.
+func (s *SoC) UnitCostEUR() float64 {
+	return s.node().DieCostEUR(s.TotalAreaMM2())
+}
+
+// SiliconCostEUR is the good-die silicon cost alone (identical to
+// UnitCostEUR for a monolithic part; provided for symmetry with SiP).
+func (s *SoC) SiliconCostEUR() float64 { return s.UnitCostEUR() }
+
+// NREEUR returns the mask-set NRE: one full set on the merged die's node.
+func (s *SoC) NREEUR() float64 { return s.node().MaskNREEUR }
+
+// ProductCostEUR returns per-unit cost at the given volume: silicon plus
+// amortized NRE plus single-die packaging.
+func (s *SoC) ProductCostEUR(volume float64) float64 {
+	if volume <= 0 {
+		return math.Inf(1)
+	}
+	const packageEUR = 8 // single-die flip-chip package
+	return s.UnitCostEUR() + packageEUR + s.NREEUR()/volume
+}
+
+// SiP is a multi-die product: chiplets on their own best-fit nodes, joined
+// in one package. Mature-node chiplets can be reused across products, so
+// their NRE may be shared.
+type SiP struct {
+	Name     string
+	Chiplets []Die
+	// ReusedNRE marks chiplets whose mask sets are amortized elsewhere
+	// (commodity compute chiplets bought from a catalog); indexed like
+	// Chiplets. Nil means all NRE is borne by this product.
+	ReusedNRE []bool
+	// PackagePremiumEUR is the multi-die package/interposer cost.
+	PackagePremiumEUR float64
+	// KGDTestEUR is the known-good-die test cost per chiplet.
+	KGDTestEUR float64
+	// AssemblyYield is the per-package assembly success rate.
+	AssemblyYield float64
+}
+
+// NewSiP returns a SiP with representative integration overheads:
+// 25 EUR package premium, 2 EUR KGD test per chiplet, 98% assembly yield.
+func NewSiP(name string, chiplets ...Die) *SiP {
+	return &SiP{
+		Name: name, Chiplets: chiplets,
+		PackagePremiumEUR: 25, KGDTestEUR: 2, AssemblyYield: 0.98,
+	}
+}
+
+// SiliconCostEUR sums the good-die costs of the chiplets, excluding
+// packaging, test and assembly-yield overheads. Splitting a design always
+// wins on this term (smaller dies yield better on right-fit nodes); whether
+// the *unit* cost wins depends on whether that saving exceeds the
+// integration overhead — it does for reticle-scale products, not for small
+// ones. See the E7 experiment.
+func (s *SiP) SiliconCostEUR() float64 {
+	total := 0.0
+	for _, c := range s.Chiplets {
+		total += c.Node.DieCostEUR(c.AreaMM2)
+	}
+	return total
+}
+
+// UnitCostEUR returns the silicon + integration cost of one good SiP.
+func (s *SiP) UnitCostEUR() float64 {
+	total := s.PackagePremiumEUR
+	for _, c := range s.Chiplets {
+		total += c.Node.DieCostEUR(c.AreaMM2) + s.KGDTestEUR
+	}
+	if s.AssemblyYield > 0 {
+		total /= s.AssemblyYield
+	}
+	return total
+}
+
+// NREEUR returns the mask NRE this product must fund: one mask set per
+// non-reused chiplet, on that chiplet's own node.
+func (s *SiP) NREEUR() float64 {
+	total := 0.0
+	for i, c := range s.Chiplets {
+		if s.ReusedNRE != nil && i < len(s.ReusedNRE) && s.ReusedNRE[i] {
+			continue
+		}
+		total += c.Node.MaskNREEUR
+	}
+	return total
+}
+
+// ProductCostEUR returns per-unit cost at the given volume.
+func (s *SiP) ProductCostEUR(volume float64) float64 {
+	if volume <= 0 {
+		return math.Inf(1)
+	}
+	return s.UnitCostEUR() + s.NREEUR()/volume
+}
+
+// Product is either packaging style.
+type Product interface {
+	ProductCostEUR(volume float64) float64
+	NREEUR() float64
+	UnitCostEUR() float64
+}
+
+// CrossoverVolume returns the volume at which a's per-unit cost drops to
+// b's, searching volumes in [1, 1e9]. It returns 0 when a never becomes
+// cheaper in that range and reports which side wins at 1e9.
+func CrossoverVolume(a, b Product) (volume float64, aWinsAtScale bool) {
+	lo, hi := 1.0, 1e9
+	aAtHi := a.ProductCostEUR(hi)
+	bAtHi := b.ProductCostEUR(hi)
+	aWinsAtScale = aAtHi < bAtHi
+	if a.ProductCostEUR(lo) < b.ProductCostEUR(lo) {
+		return lo, aWinsAtScale // a already cheaper at volume 1
+	}
+	if !aWinsAtScale {
+		return 0, false
+	}
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi)
+		if a.ProductCostEUR(mid) < b.ProductCostEUR(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// Retrofit models adding a new interface (the roadmap's example: a 40 GbE
+// port) to an existing product.
+type Retrofit struct {
+	// NREEUR is the engineering + mask cost of the change.
+	NREEUR float64
+	// TimeMonths is the design-to-silicon lead time.
+	TimeMonths float64
+	// Description says what had to be redone.
+	Description string
+}
+
+// RetrofitSoC returns the cost of adding an interface to a monolithic SoC:
+// the whole die respins on its (leading) node — full mask set again plus
+// a long schedule.
+func RetrofitSoC(s *SoC) Retrofit {
+	return Retrofit{
+		NREEUR:      s.node().MaskNREEUR,
+		TimeMonths:  18,
+		Description: fmt.Sprintf("full respin of %s on %s", s.Name, s.node().Name),
+	}
+}
+
+// RetrofitSiP returns the cost of adding an interface to a SiP: only the
+// I/O chiplet respins, on its own mature node; other chiplets are
+// untouched. If the SiP has no I/O chiplet the new interface needs a new
+// small die on the cheapest node present.
+func RetrofitSiP(s *SiP) Retrofit {
+	var io *Die
+	for i := range s.Chiplets {
+		if s.Chiplets[i].IO {
+			io = &s.Chiplets[i]
+			break
+		}
+	}
+	if io == nil {
+		cheapest := s.Chiplets[0].Node
+		for _, c := range s.Chiplets[1:] {
+			if c.Node.MaskNREEUR < cheapest.MaskNREEUR {
+				cheapest = c.Node
+			}
+		}
+		return Retrofit{
+			NREEUR:      cheapest.MaskNREEUR,
+			TimeMonths:  9,
+			Description: fmt.Sprintf("new I/O chiplet for %s on %s", s.Name, cheapest.Name),
+		}
+	}
+	return Retrofit{
+		NREEUR:      io.Node.MaskNREEUR,
+		TimeMonths:  9,
+		Description: fmt.Sprintf("respin of I/O chiplet %s on %s", io.Name, io.Node.Name),
+	}
+}
+
+// EuroserverParts returns the dies of a EUROSERVER-style microserver: a
+// leading-node compute chiplet, a mature-node memory/peripheral hub, and a
+// mature-node I/O chiplet. Folding the same blocks into one die gives the
+// SoC comparator.
+func EuroserverParts() []Die {
+	return []Die{
+		{Name: "compute", AreaMM2: 120, Node: N16},
+		{Name: "hub", AreaMM2: 80, Node: N28},
+		{Name: "io", AreaMM2: 40, Node: N28, IO: true},
+	}
+}
+
+// EuroserverSoC folds the parts into a monolithic SoC.
+func EuroserverSoC() *SoC { return &SoC{Name: "mono-soc", Blocks: EuroserverParts()} }
+
+// EuroserverSiP assembles the parts as chiplets, with the compute chiplet's
+// NRE treated as reused commodity silicon (the roadmap's "market-specific
+// products ... built from commodity compute chiplet(s)").
+func EuroserverSiP() *SiP {
+	s := NewSiP("euroserver-sip", EuroserverParts()...)
+	s.ReusedNRE = []bool{true, false, false}
+	return s
+}

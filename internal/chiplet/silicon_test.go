@@ -1,0 +1,184 @@
+package chiplet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestYieldDecreasesWithArea(t *testing.T) {
+	if N16.Yield(50) <= N16.Yield(300) {
+		t.Fatal("bigger dies must yield worse")
+	}
+	if y := N16.Yield(0); y != 1 {
+		t.Fatalf("zero-area yield = %v, want 1", y)
+	}
+}
+
+func TestYieldDecreasesWithDefectDensity(t *testing.T) {
+	if N28.Yield(200) <= N10.Yield(200) {
+		t.Fatal("mature node (lower D0) must yield better at equal area")
+	}
+}
+
+func TestYieldInUnitIntervalProperty(t *testing.T) {
+	f := func(a float64) bool {
+		area := math.Mod(math.Abs(a), 800) // realistic die sizes
+		y := N16.Yield(area)
+		return y > 0 && y <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiesPerWaferGeometry(t *testing.T) {
+	// 100 mm² die on a 300 mm wafer: ~640 gross dies by the standard
+	// approximation.
+	n := DiesPerWafer(100)
+	if n < 550 || n > 700 {
+		t.Fatalf("dies per wafer = %v, want ~640", n)
+	}
+	if small, big := DiesPerWafer(50), DiesPerWafer(400); small <= big {
+		t.Fatal("smaller dies must give more per wafer")
+	}
+}
+
+func TestDieCostGrowsSuperlinearlyWithArea(t *testing.T) {
+	// Doubling area more than doubles good-die cost (fewer dies AND worse
+	// yield).
+	c1 := N16.DieCostEUR(150)
+	c2 := N16.DieCostEUR(300)
+	if c2 <= 2*c1 {
+		t.Fatalf("300mm² (%v) should cost > 2x 150mm² (%v)", c2, c1)
+	}
+}
+
+func TestSoCUsesLeadingNode(t *testing.T) {
+	s := EuroserverSoC()
+	if got := s.node().Name; got != "16nm" {
+		t.Fatalf("SoC node = %s, want 16nm (most expensive block)", got)
+	}
+	if s.NREEUR() != N16.MaskNREEUR {
+		t.Fatalf("SoC NRE = %v, want full 16nm mask set", s.NREEUR())
+	}
+}
+
+func TestSiPSplitsNodesAndNRE(t *testing.T) {
+	s := EuroserverSiP()
+	// Only hub + io NRE borne (compute reused): 2 × 28nm mask sets.
+	if want := 2 * N28.MaskNREEUR; s.NREEUR() != want {
+		t.Fatalf("SiP NRE = %v, want %v", s.NREEUR(), want)
+	}
+}
+
+func TestSiPCheaperAtLowVolumeSoCAtHigh(t *testing.T) {
+	soc := EuroserverSoC()
+	sip := EuroserverSiP()
+	lowV, highV := 20e3, 20e6
+	if sip.ProductCostEUR(lowV) >= soc.ProductCostEUR(lowV) {
+		t.Fatalf("at %g units SiP (%v) should beat SoC (%v) — NRE dominates",
+			lowV, sip.ProductCostEUR(lowV), soc.ProductCostEUR(lowV))
+	}
+	if soc.ProductCostEUR(highV) >= sip.ProductCostEUR(highV) {
+		t.Fatalf("at %g units SoC (%v) should beat SiP (%v) — packaging overhead dominates",
+			highV, soc.ProductCostEUR(highV), sip.ProductCostEUR(highV))
+	}
+}
+
+func TestCrossoverVolumeFound(t *testing.T) {
+	soc := EuroserverSoC()
+	sip := EuroserverSiP()
+	v, socWins := CrossoverVolume(soc, sip)
+	if !socWins {
+		t.Fatal("SoC must win at extreme volume")
+	}
+	if v <= 1 || v >= 1e9 {
+		t.Fatalf("crossover volume = %v, want interior point", v)
+	}
+	// Verify the crossover is genuine.
+	if soc.ProductCostEUR(v*1.1) >= sip.ProductCostEUR(v*1.1) {
+		t.Fatal("SoC not cheaper just above crossover")
+	}
+	if soc.ProductCostEUR(v*0.9) < sip.ProductCostEUR(v*0.9) {
+		t.Fatal("SoC already cheaper just below crossover")
+	}
+}
+
+func TestSiliconCostSiPBeatsMonolithic(t *testing.T) {
+	// Pure silicon: three small dies on right-fit nodes beat one big
+	// leading-edge die.
+	soc := EuroserverSoC()
+	sip := EuroserverSiP()
+	if sip.SiliconCostEUR() >= soc.SiliconCostEUR() {
+		t.Fatalf("SiP silicon (%v) should undercut SoC silicon (%v)",
+			sip.SiliconCostEUR(), soc.SiliconCostEUR())
+	}
+	// But at this modest 240 mm² total, packaging overhead exceeds the
+	// yield saving: the monolithic *unit* cost stays lower. The unit-cost
+	// win flips at reticle scale (next test).
+	if sip.UnitCostEUR() <= soc.UnitCostEUR() {
+		t.Fatalf("small product: SoC unit (%v) should beat SiP unit (%v)",
+			soc.UnitCostEUR(), sip.UnitCostEUR())
+	}
+}
+
+func TestUnitCostSiPWinsAtReticleScale(t *testing.T) {
+	// A ~700 mm² product: monolithic yield collapses and splitting wins on
+	// unit cost even after integration overheads.
+	blocks := []Die{
+		{Name: "compute", AreaMM2: 300, Node: N16},
+		{Name: "hub", AreaMM2: 250, Node: N28},
+		{Name: "io", AreaMM2: 150, Node: N28, IO: true},
+	}
+	soc := &SoC{Name: "big-soc", Blocks: blocks}
+	sip := NewSiP("big-sip", blocks...)
+	if sip.UnitCostEUR() >= soc.UnitCostEUR() {
+		t.Fatalf("reticle scale: SiP unit (%v) should beat SoC unit (%v)",
+			sip.UnitCostEUR(), soc.UnitCostEUR())
+	}
+}
+
+func TestRetrofitSoCForcesLeadingRespin(t *testing.T) {
+	r := RetrofitSoC(EuroserverSoC())
+	if r.NREEUR != N16.MaskNREEUR {
+		t.Fatalf("SoC retrofit NRE = %v, want full 16nm respin", r.NREEUR)
+	}
+}
+
+func TestRetrofitSiPSwapsIOChiplet(t *testing.T) {
+	r := RetrofitSiP(EuroserverSiP())
+	if r.NREEUR != N28.MaskNREEUR {
+		t.Fatalf("SiP retrofit NRE = %v, want 28nm I/O respin", r.NREEUR)
+	}
+	soc := RetrofitSoC(EuroserverSoC())
+	if r.NREEUR >= soc.NREEUR || r.TimeMonths >= soc.TimeMonths {
+		t.Fatal("SiP retrofit must be cheaper and faster than SoC respin")
+	}
+}
+
+func TestRetrofitSiPWithoutIODie(t *testing.T) {
+	s := NewSiP("no-io", Die{Name: "compute", AreaMM2: 100, Node: N16})
+	r := RetrofitSiP(s)
+	if r.NREEUR != N16.MaskNREEUR {
+		t.Fatalf("fallback retrofit NRE = %v", r.NREEUR)
+	}
+}
+
+func TestProductCostInfiniteAtZeroVolume(t *testing.T) {
+	if !math.IsInf(EuroserverSoC().ProductCostEUR(0), 1) {
+		t.Fatal("zero volume must be infinite cost")
+	}
+	if !math.IsInf(EuroserverSiP().ProductCostEUR(0), 1) {
+		t.Fatal("zero volume must be infinite cost")
+	}
+}
+
+func TestAssemblyYieldRaisesCost(t *testing.T) {
+	a := NewSiP("a", EuroserverParts()...)
+	b := NewSiP("b", EuroserverParts()...)
+	b.AssemblyYield = 0.90
+	if b.UnitCostEUR() <= a.UnitCostEUR() {
+		t.Fatal("worse assembly yield must raise unit cost")
+	}
+}

@@ -1,0 +1,238 @@
+// Package core is the roadmap engine — the paper's primary contribution
+// turned into a library. It holds the project model (the Table 1
+// consortium), the European roadmap landscape (Figure 1's ETP/PPP
+// collaboration map as an executable scope classifier), a technology
+// catalog with Bass-diffusion adoption projections for 2015–2025, and the
+// twelve Section V.B recommendations, each scored for impact and
+// feasibility from the survey corpus and the technology model and ordered
+// into a prioritized, time-phased roadmap.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Partner is one consortium member (Table 1).
+type Partner struct {
+	Name      string
+	Short     string
+	Expertise string
+}
+
+// Consortium returns the RETHINK big consortium exactly as Table 1 lists
+// it.
+func Consortium() []Partner {
+	return []Partner{
+		{"Barcelona Supercomputing Center", "BSC", "Computer architecture and system architecture"},
+		{"Technische Universitat Berlin", "TUB", "Database systems and information management"},
+		{"École Polytechnique Fédérale de Lausanne", "EPFL", "Database systems and applications"},
+		{"Centrum Voor Wiskunde en Informatica", "CWI", "Hardware-conscious database technologies"},
+		{"University of Manchester", "UoM", "Computer architecture"},
+		{"Universidad Politécnica de Madrid", "UPM", "Data mining and warehousing"},
+		{"ARM Ltd.", "ARM", "Silicon IP provider"},
+		{"Internet Memory Research", "IMR", "Web-scale sourcing platform for business intelligence"},
+		{"Thales SA", "THALES", "Situation and decision analysis, planning and optimization"},
+	}
+}
+
+// Table1 renders the consortium as the paper's Table 1.
+func Table1() *metrics.Table {
+	t := metrics.NewTable("Table 1: RETHINK big Project Consortium", "Partner Name", "Expertise")
+	for _, p := range Consortium() {
+		t.AddRow(fmt.Sprintf("%s (%s)", p.Name, p.Short), p.Expertise)
+	}
+	return t
+}
+
+// Topic is a technology/policy area that some European roadmap owns.
+type Topic int
+
+// Topics across the roadmap landscape.
+const (
+	BigDataHardware Topic = iota // RETHINK big's own scope
+	BigDataNetworking
+	BigDataApplications // BDVA
+	HPC                 // ETP4HPC
+	IoTDevices          // AIOTI
+	TelecomStandards    // 5G-PPP
+	GeneralCompute      // ETPs: NEM, NESSI, EPoSS, Photonics21
+)
+
+// String implements fmt.Stringer.
+func (t Topic) String() string {
+	switch t {
+	case BigDataHardware:
+		return "big-data hardware"
+	case BigDataNetworking:
+		return "big-data networking"
+	case BigDataApplications:
+		return "big-data applications & value"
+	case HPC:
+		return "high-performance computing"
+	case IoTDevices:
+		return "IoT devices & edge"
+	case TelecomStandards:
+		return "telecom network standards"
+	case GeneralCompute:
+		return "general compute (post-Moore)"
+	default:
+		return fmt.Sprintf("topic(%d)", int(t))
+	}
+}
+
+// Initiative is one roadmap body in Figure 1's landscape.
+type Initiative struct {
+	Name   string
+	Covers []Topic
+}
+
+// Landscape returns the Figure 1 collaboration map: which initiative owns
+// which topics, with RETHINK big scoped to Big-Data hardware and
+// networking and everything else delegated (Section III).
+func Landscape() []Initiative {
+	return []Initiative{
+		{Name: "RETHINK big", Covers: []Topic{BigDataHardware, BigDataNetworking}},
+		{Name: "BDVA", Covers: []Topic{BigDataApplications}},
+		{Name: "ETP4HPC", Covers: []Topic{HPC}},
+		{Name: "AIOTI", Covers: []Topic{IoTDevices}},
+		{Name: "5G-PPP", Covers: []Topic{TelecomStandards}},
+		{Name: "ETPs (NEM/NESSI/EPoSS/Photonics21)", Covers: []Topic{GeneralCompute}},
+	}
+}
+
+// OwnerOf returns the initiative responsible for a topic — the executable
+// form of the Section III scoping discussion.
+func OwnerOf(t Topic) (Initiative, bool) {
+	for _, ini := range Landscape() {
+		for _, c := range ini.Covers {
+			if c == t {
+				return ini, true
+			}
+		}
+	}
+	return Initiative{}, false
+}
+
+// Figure1 renders the landscape as a coverage table (the text analogue of
+// the paper's Figure 1).
+func Figure1() *metrics.Table {
+	t := metrics.NewTable("Figure 1: ETP/PPP roadmap collaboration landscape", "Initiative", "Covers")
+	for _, ini := range Landscape() {
+		names := make([]string, len(ini.Covers))
+		for i, c := range ini.Covers {
+			names[i] = c.String()
+		}
+		t.AddRow(ini.Name, strings.Join(names, "; "))
+	}
+	return t
+}
+
+// Technology is one roadmap technology with its 2016 state and a Bass
+// diffusion model of its adoption.
+type Technology struct {
+	Name string
+	// TRL is the 2016 technology readiness level (1–9).
+	TRL int
+	// IntroYear is when meaningful commercial availability starts.
+	IntroYear int
+	// BassP and BassQ are the innovation and imitation coefficients of
+	// the Bass diffusion model.
+	BassP, BassQ float64
+	// Relevance weights the technology's importance to European Big Data
+	// competitiveness, in (0, 1].
+	Relevance float64
+}
+
+// Adoption returns the cumulative adoption fraction in the given year
+// under the Bass model: F(t) = (1-e^{-(p+q)t}) / (1+(q/p)e^{-(p+q)t}).
+func (tech Technology) Adoption(year int) float64 {
+	t := float64(year - tech.IntroYear)
+	if t <= 0 {
+		return 0
+	}
+	p, q := tech.BassP, tech.BassQ
+	e := math.Exp(-(p + q) * t)
+	return (1 - e) / (1 + (q/p)*e)
+}
+
+// YearToAdoption returns the first year adoption reaches the target
+// fraction, searching up to 2060 (0 when never reached).
+func (tech Technology) YearToAdoption(target float64) int {
+	for y := tech.IntroYear; y <= 2060; y++ {
+		if tech.Adoption(y) >= target {
+			return y
+		}
+	}
+	return 0
+}
+
+// TechCatalog returns the roadmap's technology set with 2016-era TRLs and
+// diffusion parameters. Bass p/q values bracket the classic empirical
+// range (p≈0.01–0.06, q≈0.3–0.5); mature commodity tech diffuses fast,
+// disruptive tech slowly.
+func TechCatalog() []Technology {
+	return []Technology{
+		{Name: "10/40GbE adoption", TRL: 9, IntroYear: 2012, BassP: 0.06, BassQ: 0.50, Relevance: 0.7},
+		{Name: "100GbE fabrics", TRL: 7, IntroYear: 2016, BassP: 0.04, BassQ: 0.45, Relevance: 0.8},
+		{Name: "400GbE + silicon photonics", TRL: 4, IntroYear: 2020, BassP: 0.02, BassQ: 0.40, Relevance: 0.8},
+		{Name: "SDN/NFV", TRL: 7, IntroYear: 2014, BassP: 0.05, BassQ: 0.45, Relevance: 0.9},
+		{Name: "GPGPU analytics", TRL: 8, IntroYear: 2013, BassP: 0.04, BassQ: 0.42, Relevance: 0.85},
+		{Name: "FPGA acceleration", TRL: 6, IntroYear: 2015, BassP: 0.02, BassQ: 0.38, Relevance: 0.9},
+		{Name: "ASIC/TPU-class accelerators", TRL: 5, IntroYear: 2017, BassP: 0.015, BassQ: 0.40, Relevance: 0.75},
+		{Name: "SiP/chiplet integration", TRL: 5, IntroYear: 2017, BassP: 0.02, BassQ: 0.35, Relevance: 0.8},
+		{Name: "Non-volatile memory (SCM)", TRL: 5, IntroYear: 2017, BassP: 0.02, BassQ: 0.35, Relevance: 0.7},
+		{Name: "Composable/disaggregated DC", TRL: 4, IntroYear: 2019, BassP: 0.015, BassQ: 0.35, Relevance: 0.75},
+		{Name: "Neuromorphic computing", TRL: 3, IntroYear: 2021, BassP: 0.008, BassQ: 0.30, Relevance: 0.5},
+		{Name: "Accelerated building blocks", TRL: 5, IntroYear: 2016, BassP: 0.025, BassQ: 0.40, Relevance: 0.85},
+	}
+}
+
+// TechByName indexes the catalog.
+func TechByName() map[string]Technology {
+	out := map[string]Technology{}
+	for _, t := range TechCatalog() {
+		out[t.Name] = t
+	}
+	return out
+}
+
+// AdoptionTimeline renders catalog adoption curves over [from, to] as a
+// figure (one series per technology) — the roadmap's ten-year projection.
+func AdoptionTimeline(from, to int) *metrics.Figure {
+	fig := metrics.NewFigure(fmt.Sprintf("Projected technology adoption %d-%d (Bass diffusion)", from, to))
+	for _, tech := range TechCatalog() {
+		s := fig.Line(tech.Name)
+		for y := from; y <= to; y++ {
+			s.Add(float64(y), tech.Adoption(y))
+		}
+	}
+	return fig
+}
+
+// Horizon is a roadmap phase.
+type Horizon int
+
+// Phases of the ten-year roadmap.
+const (
+	NearTerm Horizon = iota // 0–2 years
+	MidTerm                 // 2–5 years
+	LongTerm                // 5–10 years
+)
+
+// String implements fmt.Stringer.
+func (h Horizon) String() string {
+	switch h {
+	case NearTerm:
+		return "near-term (0-2y)"
+	case MidTerm:
+		return "mid-term (2-5y)"
+	case LongTerm:
+		return "long-term (5-10y)"
+	default:
+		return fmt.Sprintf("horizon(%d)", int(h))
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/survey"
+)
+
+func TestConsortiumMatchesTable1(t *testing.T) {
+	ps := Consortium()
+	if len(ps) != 9 {
+		t.Fatalf("partners = %d, want 9 (Table 1)", len(ps))
+	}
+	shorts := map[string]bool{}
+	for _, p := range ps {
+		shorts[p.Short] = true
+		if p.Name == "" || p.Expertise == "" {
+			t.Fatalf("incomplete partner %+v", p)
+		}
+	}
+	for _, want := range []string{"BSC", "TUB", "EPFL", "CWI", "UoM", "UPM", "ARM", "IMR", "THALES"} {
+		if !shorts[want] {
+			t.Fatalf("missing partner %s", want)
+		}
+	}
+	if Consortium()[0].Short != "BSC" {
+		t.Fatal("BSC led the project and heads Table 1")
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	tab := Table1()
+	if tab.NumRows() != 9 {
+		t.Fatalf("table rows = %d", tab.NumRows())
+	}
+	text := tab.Render()
+	if !strings.Contains(text, "Barcelona Supercomputing Center") {
+		t.Fatal("missing BSC row")
+	}
+}
+
+func TestLandscapeCoversEveryTopicOnce(t *testing.T) {
+	topics := []Topic{BigDataHardware, BigDataNetworking, BigDataApplications,
+		HPC, IoTDevices, TelecomStandards, GeneralCompute}
+	for _, topic := range topics {
+		owner, ok := OwnerOf(topic)
+		if !ok {
+			t.Fatalf("topic %v has no owner", topic)
+		}
+		// Count owners to detect overlaps (the paper's point is clean
+		// separation of scope).
+		n := 0
+		for _, ini := range Landscape() {
+			for _, c := range ini.Covers {
+				if c == topic {
+					n++
+				}
+			}
+		}
+		if n != 1 {
+			t.Fatalf("topic %v covered by %d initiatives (owner %s)", topic, n, owner.Name)
+		}
+	}
+}
+
+func TestRethinkBigScope(t *testing.T) {
+	for _, topic := range []Topic{BigDataHardware, BigDataNetworking} {
+		owner, _ := OwnerOf(topic)
+		if owner.Name != "RETHINK big" {
+			t.Fatalf("topic %v owned by %s, want RETHINK big", topic, owner.Name)
+		}
+	}
+	owner, _ := OwnerOf(HPC)
+	if owner.Name != "ETP4HPC" {
+		t.Fatalf("HPC owned by %s", owner.Name)
+	}
+}
+
+func TestBassAdoptionShape(t *testing.T) {
+	tech := Technology{Name: "x", IntroYear: 2016, BassP: 0.03, BassQ: 0.4}
+	if tech.Adoption(2015) != 0 || tech.Adoption(2016) != 0 {
+		t.Fatal("no adoption before/at introduction")
+	}
+	prev := 0.0
+	for y := 2017; y <= 2060; y++ {
+		a := tech.Adoption(y)
+		if a < prev-1e-12 {
+			t.Fatalf("adoption not monotone at %d: %v < %v", y, a, prev)
+		}
+		if a < 0 || a > 1 {
+			t.Fatalf("adoption out of [0,1]: %v", a)
+		}
+		prev = a
+	}
+	if prev < 0.95 {
+		t.Fatalf("adoption should approach 1 by 2060, got %v", prev)
+	}
+}
+
+func TestBassAdoptionProperty(t *testing.T) {
+	f := func(p8, q8 uint8) bool {
+		p := 0.005 + float64(p8%60)/1000 // 0.005..0.065
+		q := 0.25 + float64(q8%25)/100   // 0.25..0.50
+		tech := Technology{IntroYear: 2016, BassP: p, BassQ: q}
+		prev := 0.0
+		for y := 2016; y <= 2040; y++ {
+			a := tech.Adoption(y)
+			if a < prev-1e-12 || a < 0 || a > 1 {
+				return false
+			}
+			prev = a
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYearToAdoptionOrdering(t *testing.T) {
+	techs := TechByName()
+	mature := techs["10/40GbE adoption"]
+	disruptive := techs["Neuromorphic computing"]
+	my := mature.YearToAdoption(0.5)
+	dy := disruptive.YearToAdoption(0.5)
+	if my == 0 || dy == 0 {
+		t.Fatalf("adoption years not found: %d, %d", my, dy)
+	}
+	if my >= dy {
+		t.Fatalf("mature tech (%d) must reach 50%% before neuromorphic (%d)", my, dy)
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	for _, tech := range TechCatalog() {
+		if tech.TRL < 1 || tech.TRL > 9 {
+			t.Fatalf("%s: TRL %d", tech.Name, tech.TRL)
+		}
+		if tech.BassP <= 0 || tech.BassQ <= 0 || tech.Relevance <= 0 || tech.Relevance > 1 {
+			t.Fatalf("%s: bad parameters %+v", tech.Name, tech)
+		}
+	}
+}
+
+func buildRoadmap(t *testing.T) *Roadmap {
+	t.Helper()
+	c, err := survey.Synthesize(survey.DefaultSpec(2016))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildRoadmap(c, 2016)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRoadmapHasTwelveRecommendations(t *testing.T) {
+	r := buildRoadmap(t)
+	if len(r.Recommendations) != 12 {
+		t.Fatalf("recommendations = %d, want 12", len(r.Recommendations))
+	}
+	seen := map[int]bool{}
+	for _, rec := range r.Recommendations {
+		if rec.ID < 1 || rec.ID > 12 || seen[rec.ID] {
+			t.Fatalf("bad/duplicate recommendation ID %d", rec.ID)
+		}
+		seen[rec.ID] = true
+		if rec.Impact <= 0 || rec.Impact > 1 || rec.Feasibility <= 0 || rec.Feasibility > 1 {
+			t.Fatalf("rec %d scores out of range: %+v", rec.ID, rec)
+		}
+		if rec.Priority != rec.Impact*rec.Feasibility {
+			t.Fatalf("rec %d priority mismatch", rec.ID)
+		}
+	}
+}
+
+func TestRoadmapSortedByPriority(t *testing.T) {
+	r := buildRoadmap(t)
+	for i := 1; i < len(r.Recommendations); i++ {
+		if r.Recommendations[i].Priority > r.Recommendations[i-1].Priority {
+			t.Fatal("recommendations not sorted by priority")
+		}
+	}
+}
+
+func TestHorizonAssignment(t *testing.T) {
+	r := buildRoadmap(t)
+	byID := map[int]Recommendation{}
+	for _, rec := range r.Recommendations {
+		byID[rec.ID] = rec
+	}
+	// Networking standards (mature 10/40GbE) must be near-term; the
+	// neuromorphic market (TRL 3, intro 2021) must be long-term.
+	if byID[1].Horizon != NearTerm {
+		t.Fatalf("rec 1 horizon = %v, want near-term", byID[1].Horizon)
+	}
+	if byID[7].Horizon != LongTerm {
+		t.Fatalf("rec 7 horizon = %v, want long-term", byID[7].Horizon)
+	}
+	// Accelerator de-risking beats neuromorphic pioneering in priority:
+	// stronger evidence (findings 1+2) and more mature technology.
+	if byID[4].Priority <= byID[7].Priority {
+		t.Fatalf("rec 4 (%v) should outrank rec 7 (%v)", byID[4].Priority, byID[7].Priority)
+	}
+}
+
+func TestRoadmapRenderComplete(t *testing.T) {
+	r := buildRoadmap(t)
+	text := r.Render()
+	for _, want := range []string{
+		"Table 1", "Figure 1", "KEY FINDINGS",
+		"(1) Industry is still focused",
+		"prioritized", "Bass diffusion",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	// Every recommendation title appears.
+	for _, rec := range r.Recommendations {
+		if !strings.Contains(text, rec.Title) {
+			t.Fatalf("render missing recommendation %d: %s", rec.ID, rec.Title)
+		}
+	}
+}
+
+func TestBuildRoadmapValidation(t *testing.T) {
+	if _, err := BuildRoadmap(nil, 2016); err == nil {
+		t.Fatal("nil corpus must error")
+	}
+}
+
+func TestRoadmapDeterministic(t *testing.T) {
+	a := buildRoadmap(t)
+	b := buildRoadmap(t)
+	for i := range a.Recommendations {
+		if a.Recommendations[i].ID != b.Recommendations[i].ID ||
+			a.Recommendations[i].Priority != b.Recommendations[i].Priority {
+			t.Fatal("roadmap nondeterministic")
+		}
+	}
+}
+
+func TestAdoptionTimelineFigure(t *testing.T) {
+	fig := AdoptionTimeline(2015, 2025)
+	if len(fig.Series) != len(TechCatalog()) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(TechCatalog()))
+	}
+	for _, s := range fig.Series {
+		if s.Len() != 11 {
+			t.Fatalf("series %s has %d points, want 11", s.Name, s.Len())
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/survey"
+)
+
+// Recommendation 12 is itself a prediction: "as more companies learn how
+// to extract value from Big Data ... we expect companies to run into more
+// and more undesirable performance bottlenecks that will require optimized
+// hardware." This file makes the prediction executable: the survey
+// calibration is projected forward with analytics adoption (a Bass curve
+// for Big-Data production maturity), awareness of hardware bottlenecks
+// rising with it, and the findings re-derived year by year until
+// Finding 1 — "industry does not see hardware problems" — inverts.
+
+// maturityCurve is the Bass diffusion of *production* Big-Data analytics
+// deployments (the precondition for feeling hardware bottlenecks). 2016
+// sits early on this curve, matching the paper's "industry is not yet
+// mature enough".
+var maturityCurve = Technology{
+	Name: "Big-Data production maturity", IntroYear: 2013,
+	BassP: 0.03, BassQ: 0.45, Relevance: 1,
+}
+
+// ProjectedRates returns the survey calibration shifted to the given
+// year: bottleneck awareness and accelerator-ROI conviction rise with
+// maturity; pure value-focus recedes.
+func ProjectedRates(year int) survey.CalibratedRates {
+	r := survey.DefaultRates()
+	m := maturityCurve.Adoption(year)
+	base2016 := maturityCurve.Adoption(2016)
+	// Shift relative to the 2016 anchor so the base year reproduces the
+	// paper's calibration exactly.
+	d := m - base2016
+	clamp := func(x float64) float64 {
+		if x < 0.02 {
+			return 0.02
+		}
+		if x > 0.98 {
+			return 0.98
+		}
+		return x
+	}
+	r.EndUserSeesBottleneck = clamp(r.EndUserSeesBottleneck + 1.1*d)
+	r.EndUserValueFocus = clamp(r.EndUserValueFocus - 0.9*d)
+	r.EndUserConvincedROI = clamp(r.EndUserConvincedROI + 0.8*d)
+	r.EndUserNoRoadmap = clamp(r.EndUserNoRoadmap - 0.6*d)
+	r.EndUserCommodityOnly = clamp(r.EndUserCommodityOnly - 0.5*d)
+	return r
+}
+
+// YearPoint is one year of the longitudinal projection.
+type YearPoint struct {
+	Year int
+	// Maturity is the Bass adoption of production analytics.
+	Maturity float64
+	// SeesBottleneck is the projected share of end-user interviews
+	// reporting hardware bottlenecks.
+	SeesBottleneck float64
+	// Finding1Holds reports whether "industry does not see hardware
+	// problems" still holds in the synthesized corpus for that year.
+	Finding1Holds bool
+}
+
+// ProjectFindings re-derives the findings year by year on corpora
+// synthesized with the projected rates. seed fixes the corpus stream.
+func ProjectFindings(seed uint64, from, to int) ([]YearPoint, error) {
+	if to < from {
+		return nil, fmt.Errorf("core: bad projection range [%d, %d]", from, to)
+	}
+	var out []YearPoint
+	for y := from; y <= to; y++ {
+		spec := survey.DefaultSpec(seed + uint64(y))
+		spec.Rates = ProjectedRates(y)
+		c, err := survey.Synthesize(spec)
+		if err != nil {
+			return nil, err
+		}
+		fs := survey.DeriveFindings(c)
+		sees := c.Proportion(survey.EndUsers, func(iv survey.Interview) bool { return iv.SeesHWBottleneck })
+		out = append(out, YearPoint{
+			Year: y, Maturity: maturityCurve.Adoption(y),
+			SeesBottleneck: sees, Finding1Holds: fs[0].Holds,
+		})
+	}
+	return out, nil
+}
+
+// InversionYear returns the first year Finding 1 stops holding — the
+// moment Recommendation 12 predicts, when hardware bottlenecks become an
+// industry concern. ok is false if it never inverts in the range.
+func InversionYear(points []YearPoint) (int, bool) {
+	for _, p := range points {
+		if !p.Finding1Holds {
+			return p.Year, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/survey"
+)
+
+func TestProjectedRatesAnchor2016(t *testing.T) {
+	// The base year must reproduce the paper's calibration exactly.
+	if got, want := ProjectedRates(2016), survey.DefaultRates(); got != want {
+		t.Fatalf("2016 projection %+v != calibration %+v", got, want)
+	}
+}
+
+func TestProjectedRatesTrend(t *testing.T) {
+	early := ProjectedRates(2016)
+	late := ProjectedRates(2024)
+	if late.EndUserSeesBottleneck <= early.EndUserSeesBottleneck {
+		t.Fatal("bottleneck awareness must rise with maturity")
+	}
+	if late.EndUserValueFocus >= early.EndUserValueFocus {
+		t.Fatal("pure value-focus must recede")
+	}
+	if late.EndUserNoRoadmap >= early.EndUserNoRoadmap {
+		t.Fatal("roadmap-less share must shrink")
+	}
+	// All projected probabilities stay in (0, 1).
+	for y := 2014; y <= 2035; y++ {
+		r := ProjectedRates(y)
+		for _, p := range []float64{
+			r.EndUserSeesBottleneck, r.EndUserValueFocus, r.EndUserConvincedROI,
+			r.EndUserNoRoadmap, r.EndUserCommodityOnly,
+		} {
+			if p <= 0 || p >= 1 {
+				t.Fatalf("year %d: probability %v out of range", y, p)
+			}
+		}
+	}
+}
+
+func TestProjectFindingsInverts(t *testing.T) {
+	points, err := ProjectFindings(2016, 2016, 2030)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 15 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if !points[0].Finding1Holds {
+		t.Fatal("Finding 1 must hold in the paper's base year")
+	}
+	year, ok := InversionYear(points)
+	if !ok {
+		t.Fatal("Finding 1 should invert as analytics matures (Recommendation 12's prediction)")
+	}
+	if year <= 2017 || year > 2030 {
+		t.Fatalf("inversion year = %d, want within (2017, 2030]", year)
+	}
+	// Maturity is monotone.
+	for i := 1; i < len(points); i++ {
+		if points[i].Maturity < points[i-1].Maturity {
+			t.Fatal("maturity not monotone")
+		}
+	}
+}
+
+func TestProjectFindingsValidation(t *testing.T) {
+	if _, err := ProjectFindings(1, 2020, 2016); err == nil {
+		t.Fatal("bad range must error")
+	}
+}

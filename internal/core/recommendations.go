@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/survey"
+)
+
+// Recommendation is one of the twelve Section V.B actions, scored against
+// the evidence base and the technology model.
+type Recommendation struct {
+	ID     int
+	Title  string
+	Action string
+	// Findings lists the Section V.A findings (1–4) it addresses.
+	Findings []int
+	// Technologies names the TechCatalog entries it depends on.
+	Technologies []string
+	// Impact and Feasibility are in (0, 1], computed by BuildRoadmap.
+	Impact, Feasibility float64
+	// Priority = Impact × Feasibility.
+	Priority float64
+	Horizon  Horizon
+}
+
+// baseRecommendations returns the twelve actions verbatim from Section
+// V.B, with their finding and technology linkage.
+func baseRecommendations() []Recommendation {
+	return []Recommendation{
+		{ID: 1, Title: "Promote adoption of current and upcoming networking standards",
+			Action:       "Accelerate 10/40GbE adoption with low-power European components; connect vendors to end users and operators.",
+			Findings:     []int{2, 4},
+			Technologies: []string{"10/40GbE adoption", "100GbE fabrics"}},
+		{ID: 2, Title: "Prepare for next-generation hardware; exploit HPC/Big-Data convergence",
+			Action:       "Encourage dual-purpose HPC/Big-Data products differentiated in software to widen markets and cut product risk.",
+			Findings:     []int{3, 4},
+			Technologies: []string{"GPGPU analytics", "100GbE fabrics", "Non-volatile memory (SCM)"}},
+		{ID: 3, Title: "Anticipate data-center designs for 400GbE and beyond",
+			Action:       "Invest in photonics-on-silicon integration and novel interconnect designs required at 400Gb operation.",
+			Findings:     []int{4},
+			Technologies: []string{"400GbE + silicon photonics", "Composable/disaggregated DC"}},
+		{ID: 4, Title: "Reduce risk and cost of using accelerators",
+			Action:       "Collaborative projects demonstrating ≥10x throughput per node on real analytics applications.",
+			Findings:     []int{1, 2},
+			Technologies: []string{"FPGA acceleration", "GPGPU analytics", "Accelerated building blocks"}},
+		{ID: 5, Title: "Encourage system co-design for new technologies",
+			Action:       "Bring end users, application providers, integrators and technology providers together around integrated hardware-software solutions.",
+			Findings:     []int{3},
+			Technologies: []string{"SiP/chiplet integration", "Non-volatile memory (SCM)"}},
+		{ID: 6, Title: "Improve programmability of FPGAs",
+			Action:       "Fund tools, abstractions and high-level languages for FPGAs; encourage a new European entrant into the FPGA industry.",
+			Findings:     []int{2, 4},
+			Technologies: []string{"FPGA acceleration"}},
+		{ID: 7, Title: "Pioneer markets for neuromorphic computing",
+			Action:       "Collaborative research across the value chain demonstrating real value from neuromorphic computing.",
+			Findings:     []int{3},
+			Technologies: []string{"Neuromorphic computing"}},
+		{ID: 8, Title: "Create a sustainable business environment including training data",
+			Action:   "Open anonymized training data; encourage sharing inside EC projects; networks-of-excellence between hardware and Big Data companies.",
+			Findings: []int{1, 3}},
+		{ID: 9, Title: "Establish standard benchmarks",
+			Action:       "Benchmarks comparing current and novel architectures on Big Data applications, enabling side-by-side assessment.",
+			Findings:     []int{1, 2},
+			Technologies: []string{"Accelerated building blocks"}},
+		{ID: 10, Title: "Identify and build accelerated building blocks",
+			Action:       "Replace often-required functional blocks of processing frameworks with (partially) hardware-accelerated implementations.",
+			Findings:     []int{2},
+			Technologies: []string{"Accelerated building blocks", "FPGA acceleration", "ASIC/TPU-class accelerators"}},
+		{ID: 11, Title: "Investigate use of heterogeneous resources",
+			Action:       "Dynamic scheduling and resource allocation strategies for heterogeneous edge/cloud platforms.",
+			Findings:     []int{2, 3},
+			Technologies: []string{"GPGPU analytics", "FPGA acceleration", "Composable/disaggregated DC"}},
+		{ID: 12, Title: "Continue to ask the question",
+			Action:   "Keep surveying whether hardware/networking optimizations can solve industry's problems as Big Data value matures into bottlenecks.",
+			Findings: []int{1}},
+	}
+}
+
+// Roadmap is the scored, prioritized output.
+type Roadmap struct {
+	Findings        []survey.Finding
+	Recommendations []Recommendation // sorted by descending priority
+	// BaseYear anchors horizon phases (the paper's 2016).
+	BaseYear int
+}
+
+// BuildRoadmap derives findings from the corpus and scores every
+// recommendation.
+//
+// Impact aggregates the support of the findings a recommendation
+// addresses (the stronger the evidence of the problem, the more impactful
+// fixing it) weighted by the relevance of the technologies it unlocks.
+// Feasibility reflects technology maturity (TRL and projected adoption
+// within the roadmap's ten-year window). Horizon assignment follows the
+// slowest technology's 10%-adoption year.
+func BuildRoadmap(c *survey.Corpus, baseYear int) (*Roadmap, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil corpus")
+	}
+	findings := survey.DeriveFindings(c)
+	supportByID := map[int]float64{}
+	for _, f := range findings {
+		supportByID[f.ID] = f.Support
+	}
+	techs := TechByName()
+	recs := baseRecommendations()
+	for i := range recs {
+		r := &recs[i]
+		// Impact: mean finding support × mean technology relevance.
+		fs := 0.0
+		for _, fid := range r.Findings {
+			fs += supportByID[fid]
+		}
+		if len(r.Findings) > 0 {
+			fs /= float64(len(r.Findings))
+		} else {
+			fs = 0.5
+		}
+		rel := 1.0
+		if len(r.Technologies) > 0 {
+			rel = 0.0
+			for _, tn := range r.Technologies {
+				t, ok := techs[tn]
+				if !ok {
+					return nil, fmt.Errorf("core: recommendation %d references unknown technology %q", r.ID, tn)
+				}
+				rel += t.Relevance
+			}
+			rel /= float64(len(r.Technologies))
+		}
+		r.Impact = fs * rel
+
+		// Feasibility: mean of TRL/9 and adoption reachability.
+		if len(r.Technologies) == 0 {
+			r.Feasibility = 0.9 // policy actions need no new silicon
+			r.Horizon = NearTerm
+		} else {
+			f := 0.0
+			worstStart := baseYear
+			for _, tn := range r.Technologies {
+				t := techs[tn]
+				trlScore := float64(t.TRL) / 9
+				y := t.YearToAdoption(0.10)
+				reach := 0.0
+				if y > 0 && y <= baseYear+10 {
+					reach = 1 - float64(y-baseYear)/10
+					if reach < 0 {
+						reach = 0
+					}
+					if reach > 1 {
+						reach = 1
+					}
+				}
+				f += (trlScore + reach) / 2
+				if y > worstStart {
+					worstStart = y
+				}
+			}
+			r.Feasibility = f / float64(len(r.Technologies))
+			switch {
+			case worstStart <= baseYear+2:
+				r.Horizon = NearTerm
+			case worstStart <= baseYear+5:
+				r.Horizon = MidTerm
+			default:
+				r.Horizon = LongTerm
+			}
+		}
+		r.Priority = r.Impact * r.Feasibility
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Priority != recs[j].Priority {
+			return recs[i].Priority > recs[j].Priority
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	return &Roadmap{Findings: findings, Recommendations: recs, BaseYear: baseYear}, nil
+}
+
+// Table renders the prioritized recommendation list.
+func (r *Roadmap) Table() *metrics.Table {
+	t := metrics.NewTable("RETHINK big recommendations, prioritized",
+		"rank", "id", "title", "impact", "feasibility", "priority", "horizon")
+	for i, rec := range r.Recommendations {
+		t.AddRow(
+			fmt.Sprint(i+1), fmt.Sprint(rec.ID), rec.Title,
+			fmt.Sprintf("%.2f", rec.Impact),
+			fmt.Sprintf("%.2f", rec.Feasibility),
+			fmt.Sprintf("%.2f", rec.Priority),
+			rec.Horizon.String(),
+		)
+	}
+	return t
+}
+
+// Render produces the full text roadmap document: findings,
+// recommendations and the adoption timeline.
+func (r *Roadmap) Render() string {
+	var b strings.Builder
+	b.WriteString("EUROPEAN ROADMAP FOR HARDWARE AND NETWORKING OPTIMIZATIONS FOR BIG DATA\n")
+	b.WriteString(strings.Repeat("=", 72) + "\n\n")
+	b.WriteString(Table1().Render())
+	b.WriteString("\n")
+	b.WriteString(Figure1().Render())
+	b.WriteString("\nKEY FINDINGS\n------------\n")
+	for _, f := range r.Findings {
+		status := "SUPPORTED"
+		if !f.Holds {
+			status = "NOT SUPPORTED"
+		}
+		fmt.Fprintf(&b, "(%d) %s\n    evidence: %s [%s]\n", f.ID, f.Statement, f.Detail, status)
+	}
+	b.WriteString("\n")
+	b.WriteString(r.Table().Render())
+	b.WriteString("\n")
+	b.WriteString(AdoptionTimeline(r.BaseYear-1, r.BaseYear+9).Render())
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KeyedEvent is one timestamped record of a stream.
+type KeyedEvent struct {
+	Key   string
+	Time  float64 // event time, seconds
+	Value float64
+}
+
+// WindowResult is the aggregate of one (key, window) pair.
+type WindowResult struct {
+	Key         string
+	WindowStart float64
+	Sum         float64
+	Count       int
+	// EmitTime is when the engine produced the result; EmitTime minus
+	// window end is the result latency.
+	EmitTime float64
+}
+
+// Latency returns result latency relative to the window end.
+func (w WindowResult) Latency(windowS float64) float64 {
+	return w.EmitTime - (w.WindowStart + windowS)
+}
+
+// MicroBatchConfig drives the streaming engine.
+type MicroBatchConfig struct {
+	// WindowS is the tumbling-window length.
+	WindowS float64
+	// BatchS is the micro-batch interval: results for a closed window are
+	// emitted at the end of the batch that passes the window boundary —
+	// the Spark-Streaming-style latency/overhead knob.
+	BatchS float64
+	// PerBatchOverheadS is the fixed scheduling cost charged per batch.
+	PerBatchOverheadS float64
+}
+
+// StreamStats summarizes one streaming run.
+type StreamStats struct {
+	Batches      int
+	OverheadS    float64
+	MeanLatencyS float64
+	MaxLatencyS  float64
+}
+
+// TumblingWindowSum processes time-ordered events through a micro-batch
+// engine, summing values per (key, tumbling window). Events must be sorted
+// by Time (enforced). Results are ordered by (window, key).
+func TumblingWindowSum(events []KeyedEvent, cfg MicroBatchConfig) ([]WindowResult, StreamStats, error) {
+	if cfg.WindowS <= 0 || cfg.BatchS <= 0 {
+		return nil, StreamStats{}, fmt.Errorf("dataflow: window and batch must be positive")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Time < events[i-1].Time {
+			return nil, StreamStats{}, fmt.Errorf("dataflow: events out of order at %d", i)
+		}
+	}
+	type wkey struct {
+		start float64
+		key   string
+	}
+	open := map[wkey]*WindowResult{}
+	var results []WindowResult
+	stats := StreamStats{}
+
+	var horizon float64 // end of the last event's batch
+	if len(events) > 0 {
+		horizon = events[len(events)-1].Time
+	}
+	// Process batch by batch. Batch boundaries are computed as k×BatchS
+	// (not accumulated) so floating-point drift cannot push a boundary
+	// just below a window edge and delay emission by a full batch.
+	batch := 1
+	batchEnd := cfg.BatchS
+	i := 0
+	emitClosed := func(watermark, emitAt float64) {
+		var due []wkey
+		for k := range open {
+			if k.start+cfg.WindowS <= watermark {
+				due = append(due, k)
+			}
+		}
+		sort.Slice(due, func(a, b int) bool {
+			if due[a].start != due[b].start {
+				return due[a].start < due[b].start
+			}
+			return due[a].key < due[b].key
+		})
+		for _, k := range due {
+			r := *open[k]
+			r.EmitTime = emitAt
+			results = append(results, r)
+			delete(open, k)
+		}
+	}
+	for batchEnd <= horizon+cfg.BatchS {
+		// Ingest events of this batch.
+		for i < len(events) && events[i].Time < batchEnd {
+			e := events[i]
+			start := float64(int(e.Time/cfg.WindowS)) * cfg.WindowS
+			k := wkey{start: start, key: e.Key}
+			w, ok := open[k]
+			if !ok {
+				w = &WindowResult{Key: e.Key, WindowStart: start}
+				open[k] = w
+			}
+			w.Sum += e.Value
+			w.Count++
+			i++
+		}
+		stats.Batches++
+		stats.OverheadS += cfg.PerBatchOverheadS
+		// Watermark = batch end; emit closed windows at the end of batch
+		// processing (including the per-batch overhead).
+		emitClosed(batchEnd, batchEnd+cfg.PerBatchOverheadS)
+		if i >= len(events) && len(open) == 0 {
+			break
+		}
+		batch++
+		batchEnd = float64(batch) * cfg.BatchS
+	}
+	// Latency stats.
+	if len(results) > 0 {
+		total := 0.0
+		for _, r := range results {
+			l := r.Latency(cfg.WindowS)
+			total += l
+			if l > stats.MaxLatencyS {
+				stats.MaxLatencyS = l
+			}
+		}
+		stats.MeanLatencyS = total / float64(len(results))
+	}
+	return results, stats, nil
+}

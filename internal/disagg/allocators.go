@@ -1,0 +1,231 @@
+package disagg
+
+import "fmt"
+
+// Allocator grants logical machines from physical inventory and releases
+// them again. Implementations: Monolithic (fixed servers) and Composable
+// (per-kind pools).
+type Allocator interface {
+	// Allocate tries to grant the request; ok is false when it cannot.
+	Allocate(r Request) (Placement, bool)
+	// Release returns a granted placement's resources.
+	Release(p Placement)
+	// Capacity is total physical inventory; Used is currently granted.
+	Capacity() Vector
+	Used() Vector
+}
+
+// Utilization returns per-kind used/capacity fractions for an allocator.
+func Utilization(a Allocator) Vector {
+	c, u := a.Capacity(), a.Used()
+	var out Vector
+	for i := range out {
+		if c[i] > 0 {
+			out[i] = u[i] / c[i]
+		}
+	}
+	return out
+}
+
+// Packing selects the monolithic bin-packing rule.
+type Packing int
+
+const (
+	// FirstFit scans servers in ID order and takes the first that fits.
+	FirstFit Packing = iota
+	// BestFit takes the feasible server with the least remaining slack
+	// (measured in normalized volume), packing tighter at higher cost.
+	BestFit
+)
+
+// String implements fmt.Stringer.
+func (p Packing) String() string {
+	if p == BestFit {
+		return "best-fit"
+	}
+	return "first-fit"
+}
+
+// ServerSpec is the fixed shape of one monolithic server model.
+type ServerSpec struct {
+	Name     string
+	Shape    Vector
+	PriceEUR float64
+}
+
+// CommodityServer returns a typical 2016 2-socket server: 32 cores,
+// 256 GiB, 8 TiB, 10 Gbps, no accelerator, ~8 kEUR.
+func CommodityServer() ServerSpec {
+	return ServerSpec{Name: "2s-commodity", Shape: V(32, 256, 8, 10, 0), PriceEUR: 8000}
+}
+
+// Monolithic is the conventional datacenter: n identical servers; a request
+// must fit entirely within one server, so unused remainders are stranded.
+type Monolithic struct {
+	Spec    ServerSpec
+	Pack    Packing
+	free    []Vector
+	granted map[int]Vector // request ID -> demand (for release accounting)
+	used    Vector
+	// Rejected counts failed allocations.
+	Rejected int
+}
+
+// NewMonolithic builds a monolithic datacenter of n servers.
+func NewMonolithic(spec ServerSpec, n int, pack Packing) *Monolithic {
+	m := &Monolithic{Spec: spec, Pack: pack, granted: map[int]Vector{}}
+	for i := 0; i < n; i++ {
+		m.free = append(m.free, spec.Shape)
+	}
+	return m
+}
+
+// Servers returns the server count.
+func (m *Monolithic) Servers() int { return len(m.free) }
+
+// Capacity implements Allocator.
+func (m *Monolithic) Capacity() Vector {
+	return m.Spec.Shape.Scale(float64(len(m.free)))
+}
+
+// Used implements Allocator.
+func (m *Monolithic) Used() Vector { return m.used }
+
+// volume normalizes a remainder against the server shape for best-fit
+// comparison (sum of per-kind fractions).
+func (m *Monolithic) volume(v Vector) float64 {
+	t := 0.0
+	for i := range v {
+		if m.Spec.Shape[i] > 0 {
+			t += v[i] / m.Spec.Shape[i]
+		}
+	}
+	return t
+}
+
+// Allocate implements Allocator.
+func (m *Monolithic) Allocate(r Request) (Placement, bool) {
+	chosen := -1
+	switch m.Pack {
+	case FirstFit:
+		for i, f := range m.free {
+			if f.Fits(r.Demand) {
+				chosen = i
+				break
+			}
+		}
+	case BestFit:
+		bestSlack := 0.0
+		for i, f := range m.free {
+			if !f.Fits(r.Demand) {
+				continue
+			}
+			slack := m.volume(f.Sub(r.Demand))
+			if chosen == -1 || slack < bestSlack {
+				chosen, bestSlack = i, slack
+			}
+		}
+	}
+	if chosen == -1 {
+		m.Rejected++
+		return Placement{}, false
+	}
+	m.free[chosen] = m.free[chosen].Sub(r.Demand)
+	m.used = m.used.Add(r.Demand)
+	m.granted[r.ID] = r.Demand
+	return Placement{Request: r, ServerID: chosen}, true
+}
+
+// Release implements Allocator.
+func (m *Monolithic) Release(p Placement) {
+	d, ok := m.granted[p.Request.ID]
+	if !ok {
+		panic(fmt.Sprintf("disagg: release of unknown request %d", p.Request.ID))
+	}
+	delete(m.granted, p.Request.ID)
+	m.free[p.ServerID] = m.free[p.ServerID].Add(d)
+	m.used = m.used.Sub(d)
+}
+
+// Stranded returns, per kind, the fraction of total capacity that sits in
+// partially-used servers yet cannot serve a probe request of the given
+// shape — the roadmap's stranding argument in one number.
+func (m *Monolithic) Stranded(probe Vector) Vector {
+	var stranded Vector
+	cap := m.Capacity()
+	for _, f := range m.free {
+		if f == m.Spec.Shape {
+			continue // fully free server: not stranded
+		}
+		if !f.Fits(probe) {
+			stranded = stranded.Add(f)
+		}
+	}
+	for i := range stranded {
+		if cap[i] > 0 {
+			stranded[i] /= cap[i]
+		}
+	}
+	return stranded
+}
+
+// Composable is the disaggregated datacenter: one pool per resource kind
+// connected by a high-bandwidth fabric; a request draws independently from
+// each pool.
+type Composable struct {
+	pool    Vector
+	cap     Vector
+	granted map[int]Vector
+	// FabricGbpsPerMachine is the fabric bandwidth consumed per granted
+	// logical machine to reach its remote memory/storage — the cost side
+	// of disaggregation (Section IV.A.3 requires "high bandwidth available
+	// at all key interconnect nodes").
+	FabricGbpsPerMachine float64
+	fabricGbps           float64
+	// Rejected counts failed allocations.
+	Rejected int
+}
+
+// NewComposable builds pools with the given total capacity.
+func NewComposable(total Vector) *Composable {
+	return &Composable{pool: total, cap: total, granted: map[int]Vector{}, FabricGbpsPerMachine: 40}
+}
+
+// NewComposableFromServers builds pools holding exactly the resources of n
+// servers of the given spec — the apples-to-apples comparison used by E4.
+func NewComposableFromServers(spec ServerSpec, n int) *Composable {
+	return NewComposable(spec.Shape.Scale(float64(n)))
+}
+
+// Capacity implements Allocator.
+func (c *Composable) Capacity() Vector { return c.cap }
+
+// Used implements Allocator.
+func (c *Composable) Used() Vector { return c.cap.Sub(c.pool) }
+
+// FabricGbps returns the fabric bandwidth currently committed to granted
+// machines.
+func (c *Composable) FabricGbps() float64 { return c.fabricGbps }
+
+// Allocate implements Allocator.
+func (c *Composable) Allocate(r Request) (Placement, bool) {
+	if !c.pool.Fits(r.Demand) {
+		c.Rejected++
+		return Placement{}, false
+	}
+	c.pool = c.pool.Sub(r.Demand)
+	c.granted[r.ID] = r.Demand
+	c.fabricGbps += c.FabricGbpsPerMachine
+	return Placement{Request: r, ServerID: -1}, true
+}
+
+// Release implements Allocator.
+func (c *Composable) Release(p Placement) {
+	d, ok := c.granted[p.Request.ID]
+	if !ok {
+		panic(fmt.Sprintf("disagg: release of unknown request %d", p.Request.ID))
+	}
+	delete(c.granted, p.Request.ID)
+	c.pool = c.pool.Add(d)
+	c.fabricGbps -= c.FabricGbpsPerMachine
+}

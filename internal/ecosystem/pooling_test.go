@@ -1,0 +1,104 @@
+package ecosystem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLearningCurveMonotone(t *testing.T) {
+	c := DefaultCurve()
+	prev := math.Inf(1)
+	for _, n := range []float64{1, 10, 100, 1e3, 1e5, 1e7} {
+		e := c.Err(n)
+		if e >= prev {
+			t.Fatalf("error not decreasing at n=%g: %v >= %v", n, e, prev)
+		}
+		if e < c.IrreducibleErr {
+			t.Fatalf("error below floor at n=%g", n)
+		}
+		prev = e
+	}
+}
+
+func TestSamplesForInvertsErr(t *testing.T) {
+	c := DefaultCurve()
+	for _, target := range []float64{0.3, 0.15, 0.08} {
+		n := c.SamplesFor(target)
+		if math.Abs(c.Err(n)-target) > 1e-9 {
+			t.Fatalf("Err(SamplesFor(%v)) = %v", target, c.Err(n))
+		}
+	}
+	if !math.IsInf(c.SamplesFor(c.IrreducibleErr), 1) {
+		t.Fatal("floor must need infinite data")
+	}
+}
+
+func TestPoolingNeverHurtsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := NewStudy(seed, 12, 500, 2e6)
+		results, err := s.Run()
+		if err != nil {
+			return false
+		}
+		for _, r := range results {
+			if r.PooledErr > r.SiloedErr+1e-12 || r.Improvement < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallMembersGainMost(t *testing.T) {
+	s := NewStudy(2016, 15, 500, 5e6)
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results, 0.10)
+	if sum.SmallestMemberGain <= sum.LargestMemberGain {
+		t.Fatalf("data-poor member gain (%v) should exceed data-rich (%v)",
+			sum.SmallestMemberGain, sum.LargestMemberGain)
+	}
+	if sum.MeanPooledErr >= sum.MeanSiloedErr {
+		t.Fatal("pooling must cut mean error")
+	}
+	if sum.ViablePooled < sum.ViableSolo {
+		t.Fatal("pooling must not reduce viability")
+	}
+}
+
+func TestPoolingViabilityExpands(t *testing.T) {
+	s := NewStudy(7, 20, 200, 1e6)
+	results, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(results, 0.12)
+	if sum.ViablePooled <= sum.ViableSolo {
+		t.Fatalf("pooling should make more members viable: %d vs %d",
+			sum.ViablePooled, sum.ViableSolo)
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	s := &Study{Curve: DefaultCurve(), PoolEfficiency: 0}
+	s.Members = []Member{{Name: "a", Samples: 100}}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("bad pool efficiency must error")
+	}
+	empty := &Study{Curve: DefaultCurve(), PoolEfficiency: 0.8}
+	if _, err := empty.Run(); err == nil {
+		t.Fatal("empty consortium must error")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil, 0.1); s.MeanSiloedErr != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/benchsuite"
+	"repro/internal/disagg"
+	"repro/internal/hw"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// E4 quantifies disaggregation: acceptance and stranding under skewed
+// machine shapes, plus the upgrade economics over a six-year horizon.
+func E4() *Report {
+	r := newReport("E4", "Composable vs monolithic datacenter",
+		`Section IV.A.3: disaggregating the data center "facilitates regular upgrades and potentially eliminates the need and cost of replacing entire servers"`)
+	spec := disagg.CommodityServer()
+	const servers = 32
+	// The canonical stranding scenario: machine shapes skewed against the
+	// server's fixed ratio. Memory-heavy analytics VMs exhaust a server's
+	// DRAM at 2 cores used out of 32; pooled hardware serves the same
+	// stream until the *total* DRAM runs out.
+	memHeavy := disagg.V(2, 192, 1, 1, 0)
+	run := func(a disagg.Allocator) (granted int, util disagg.Vector) {
+		for i := 0; i < 400; i++ {
+			if _, ok := a.Allocate(disagg.Request{ID: i, Demand: memHeavy}); ok {
+				granted++
+			}
+		}
+		return granted, disagg.Utilization(a)
+	}
+	mono := disagg.NewMonolithic(spec, servers, disagg.BestFit)
+	comp := disagg.NewComposableFromServers(spec, servers)
+	gm, um := run(mono)
+	gc, uc := run(comp)
+	stranded := mono.Stranded(memHeavy)
+
+	tab := metrics.NewTable("Memory-heavy machines (2 cores / 192 GiB) on 32 servers' worth of hardware",
+		"architecture", "granted", "cpu util", "mem util", "stranded cpu")
+	tab.AddRowf("monolithic (best-fit)", gm, um[disagg.CPU], um[disagg.Memory], stranded[disagg.CPU])
+	tab.AddRowf("composable pools", gc, uc[disagg.CPU], uc[disagg.Memory], 0.0)
+	r.Tables = append(r.Tables, tab)
+	r.Key["stranded_cpu_fraction"] = stranded[disagg.CPU]
+
+	plan := disagg.NewUpgradePlan(spec.PriceEUR, 100, 6)
+	delta, ratio := plan.Savings()
+	up := metrics.NewTable("Keeping a 100-server fleet current for 6 years",
+		"strategy", "cost (MEUR)", "relative")
+	up.AddRowf("monolithic (whole-server refresh)", plan.MonolithicCostEUR()/1e6, 1.0)
+	up.AddRowf("composable (per-sled refresh)", plan.ComposableCostEUR()/1e6, ratio)
+	r.Tables = append(r.Tables, up)
+
+	r.Key["granted_monolithic"] = float64(gm)
+	r.Key["granted_composable"] = float64(gc)
+	r.Key["upgrade_savings_eur"] = delta
+	r.Key["upgrade_cost_ratio"] = ratio
+	return r
+}
+
+// E10 runs the Recommendation-9 standard suite over the four architecture
+// configurations.
+func E10() *Report {
+	r := newReport("E10", "Standard benchmark suite",
+		"Recommendation 9: establish benchmarks to compare current and novel architectures using Big Data applications")
+	base := benchsuite.SUT{Name: "commodity", Node: hw.CommodityNode()}
+	res, err := benchsuite.Run(benchsuite.StandardSuite(), base, benchsuite.StandardSUTs())
+	if err != nil {
+		panic(err)
+	}
+	r.Tables = append(r.Tables, res.Table())
+	for i, s := range res.SUTs {
+		r.Key["overall_"+s.Name] = res.Overall[i]
+		r.Key["energy_"+s.Name] = res.OverallEnergy[i]
+	}
+	ranking := res.Ranking()
+	r.Key["winner_is_hetero"] = b2f(ranking[0] == "hetero")
+	return r
+}
+
+// E12 compares the six scheduling policies on a heterogeneous cluster.
+func E12() *Report {
+	r := newReport("E12", "Heterogeneous scheduling policies",
+		"Recommendation 11: dynamic scheduling and resource allocation strategies for heterogeneous platforms")
+	dag := sched.AnalyticsDAG(sched.AnalyticsDAGSpec{Seed: 17, Stages: 6, WidthPerStage: 8, ComputeHeavy: true})
+	cluster := sched.Heterogeneous(6)
+	tab := metrics.NewTable("48-task analytics DAG on 6 heterogeneous nodes",
+		"policy", "makespan (s)", "energy (kJ)", "mean utilization")
+	best := ""
+	bestMk := 0.0
+	for _, p := range sched.AllPolicies() {
+		res, err := sched.Schedule(dag, cluster, p)
+		if err != nil {
+			panic(err)
+		}
+		tab.AddRowf(p.String(), res.MakespanS, res.EnergyJ/1000, res.MeanUtilization())
+		r.Key["makespan_"+p.String()] = res.MakespanS
+		r.Key["energy_"+p.String()] = res.EnergyJ
+		if best == "" || res.MakespanS < bestMk {
+			best, bestMk = p.String(), res.MakespanS
+		}
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Key["heft_vs_rr_speedup"] = r.Key["makespan_round-robin"] / r.Key["makespan_heft"]
+	return r
+}
+
+// E16 studies HPC/Big-Data convergence: segregated versus shared clusters
+// across fabric speeds — pooling pays only once the fabric stops
+// penalizing spreading (Recommendations 2 and 3 interlock).
+func E16() *Report {
+	r := newReport("E16", "HPC/Big-Data convergence",
+		"Recommendation 2: dual-purpose HPC/Big-Data hardware differentiated in software widens markets — contingent on fabric headroom (Recommendation 3)")
+	hpc := sched.AnalyticsDAG(sched.AnalyticsDAGSpec{Seed: 21, Stages: 4, WidthPerStage: 6, ComputeHeavy: true})
+	bd := sched.AnalyticsDAG(sched.AnalyticsDAGSpec{Seed: 22, Stages: 4, WidthPerStage: 6})
+	merged := mergeDAGs(hpc, bd)
+
+	tab := metrics.NewTable("Worst job completion: segregated 2+2 nodes vs shared 4 nodes",
+		"fabric GB/s", "segregated (s)", "shared (s)", "shared wins")
+	fig := metrics.NewFigure("Convergence benefit vs fabric bandwidth")
+	segLine := fig.Line("segregated")
+	shLine := fig.Line("shared")
+	for _, gbs := range []float64{1.25, 5, 12.5, 50} {
+		a, b := sched.Heterogeneous(2), sched.Heterogeneous(2)
+		a.InterNodeGBs, b.InterNodeGBs = gbs, gbs
+		sh := sched.NewCluster(append(append([]*hw.Node{}, a.Nodes...), b.Nodes...)...)
+		sh.InterNodeGBs = gbs
+		ra, err := sched.Schedule(hpc, a, sched.HEFT)
+		if err != nil {
+			panic(err)
+		}
+		rb, err := sched.Schedule(bd, b, sched.HEFT)
+		if err != nil {
+			panic(err)
+		}
+		seg := ra.MakespanS
+		if rb.MakespanS > seg {
+			seg = rb.MakespanS
+		}
+		rs, err := sched.Schedule(merged, sh, sched.HEFT)
+		if err != nil {
+			panic(err)
+		}
+		tab.AddRowf(gbs, seg, rs.MakespanS, b2f(rs.MakespanS <= seg))
+		segLine.Add(gbs, seg)
+		shLine.Add(gbs, rs.MakespanS)
+		r.Key[fmt.Sprintf("shared_minus_seg_at_%g", gbs)] = rs.MakespanS - seg
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Figures = append(r.Figures, fig)
+	return r
+}
+
+func mergeDAGs(a, b *sched.DAG) *sched.DAG {
+	out := &sched.DAG{}
+	out.Tasks = append(out.Tasks, a.Tasks...)
+	off := len(out.Tasks)
+	for _, t := range b.Tasks {
+		nt := t
+		nt.ID += off
+		nt.Deps = append([]int(nil), t.Deps...)
+		for i := range nt.Deps {
+			nt.Deps[i] += off
+		}
+		out.Tasks = append(out.Tasks, nt)
+	}
+	return out
+}
+
+// AblationPacking compares first-fit and best-fit monolithic packing
+// under allocate/release churn: fragmentation is what separates them —
+// best-fit preserves large holes for large requests, first-fit sprays
+// small requests across them.
+func AblationPacking() *Report {
+	r := newReport("ABL-packing", "Bin-packing ablation",
+		"DESIGN.md: best-fit vs first-fit composition in disagg")
+	spec := disagg.CommodityServer()
+	run := func(p disagg.Packing) (granted, rejectedBig int) {
+		rng := sim.NewRNG(23)
+		m := disagg.NewMonolithic(spec, 16, p)
+		var live []disagg.Placement
+		for i := 0; i < 2000; i++ {
+			// Churn: 40% of the time release something.
+			if len(live) > 0 && rng.Bool(0.4) {
+				j := rng.Intn(len(live))
+				m.Release(live[j])
+				live = append(live[:j], live[j+1:]...)
+				continue
+			}
+			var d disagg.Vector
+			big := rng.Bool(0.25)
+			if big {
+				d = disagg.V(24, 192, 4, 5, 0)
+			} else {
+				d = disagg.V(4, 32, 1, 1, 0)
+			}
+			pl, ok := m.Allocate(disagg.Request{ID: i, Demand: d})
+			if ok {
+				granted++
+				live = append(live, pl)
+			} else if big {
+				rejectedBig++
+			}
+		}
+		return granted, rejectedBig
+	}
+	ffG, ffR := run(disagg.FirstFit)
+	bfG, bfR := run(disagg.BestFit)
+	tab := metrics.NewTable("2000 allocate/release events on 16 servers",
+		"packing", "granted", "large requests rejected")
+	tab.AddRowf("first-fit", ffG, ffR)
+	tab.AddRowf("best-fit", bfG, bfR)
+	r.Tables = append(r.Tables, tab)
+	r.Key["first_fit_granted"] = float64(ffG)
+	r.Key["best_fit_granted"] = float64(bfG)
+	r.Key["first_fit_big_rejects"] = float64(ffR)
+	r.Key["best_fit_big_rejects"] = float64(bfR)
+	return r
+}

@@ -1,0 +1,344 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests are the integration layer of the reproduction: each runs a
+// full experiment across its modules and asserts the *directional* claim
+// the paper makes (who wins, roughly by how much) — not absolute numbers.
+
+func TestT1ConsortiumTable(t *testing.T) {
+	r := T1()
+	if r.Key["partners"] != 9 {
+		t.Fatalf("partners = %v", r.Key["partners"])
+	}
+	if !strings.Contains(r.Render(), "ARM") {
+		t.Fatal("missing ARM in Table 1")
+	}
+}
+
+func TestF1LandscapeCoverage(t *testing.T) {
+	r := F1()
+	if r.Key["initiatives"] != 6 || r.Key["topics_covered"] != 7 {
+		t.Fatalf("landscape keys = %v", r.Key)
+	}
+}
+
+func TestE1TailCutInCatapultBand(t *testing.T) {
+	r := E1()
+	cut := r.Key["p99_cut_fraction"]
+	// The paper cites a 29% tail-latency reduction; the simulated system
+	// must land in a credible band around it.
+	if cut < 0.15 || cut > 0.60 {
+		t.Fatalf("p99 cut = %.2f, want within [0.15, 0.60] around the 29%% claim", cut)
+	}
+	if r.Key["p99_fpga"] >= r.Key["p99_software"] {
+		t.Fatal("FPGA system must have lower P99")
+	}
+}
+
+func TestE2SDNOpsCollapse(t *testing.T) {
+	r := E2()
+	if r.Key["ops_ratio"] < 10 {
+		t.Fatalf("SDN should cut operator actions by >=10x, got %.1fx", r.Key["ops_ratio"])
+	}
+}
+
+func TestE3FasterFabricsMonotone(t *testing.T) {
+	r := E3()
+	if !(r.Key["maxfct_10"] > r.Key["maxfct_40"] &&
+		r.Key["maxfct_40"] > r.Key["maxfct_100"] &&
+		r.Key["maxfct_100"] >= r.Key["maxfct_400"]) {
+		t.Fatalf("shuffle FCT not monotone in fabric speed: %v", r.Key)
+	}
+	if r.Key["speedup_400_vs_10"] < 2 {
+		t.Fatalf("400GbE speedup vs 10GbE = %.2f, want >= 2", r.Key["speedup_400_vs_10"])
+	}
+}
+
+func TestE4DisaggregationWins(t *testing.T) {
+	r := E4()
+	if r.Key["granted_composable"] <= r.Key["granted_monolithic"] {
+		t.Fatalf("composable granted %v <= monolithic %v", r.Key["granted_composable"], r.Key["granted_monolithic"])
+	}
+	if r.Key["stranded_cpu_fraction"] < 0.5 {
+		t.Fatalf("monolithic stranded cpu = %v, want >= 0.5 under memory pressure", r.Key["stranded_cpu_fraction"])
+	}
+	if r.Key["upgrade_savings_eur"] <= 0 {
+		t.Fatalf("6-year upgrade savings = %v, want positive", r.Key["upgrade_savings_eur"])
+	}
+}
+
+func TestE5TenXReached(t *testing.T) {
+	r := E5()
+	if r.Key["max_speedup"] < 10 {
+		t.Fatalf("max accelerator speedup = %.1f, want >= 10 (Recommendation 4)", r.Key["max_speedup"])
+	}
+	// The honest roofline finding: only compute-intense blocks clear 10×;
+	// bandwidth-bound blocks hit the memory wall well below it.
+	if r.Key["cells_at_10x"] < 2 {
+		t.Fatalf("only %v block/device cells reach 10x", r.Key["cells_at_10x"])
+	}
+}
+
+func TestE6ROISignFlipsWithScale(t *testing.T) {
+	r := E6()
+	if r.Key["savings_at_10"] >= 0 {
+		t.Fatalf("small operator (10 kernels/s) should lose on GPUs: %v", r.Key["savings_at_10"])
+	}
+	if r.Key["savings_at_100000"] <= 0 {
+		t.Fatalf("hyperscale (100k kernels/s) should win on GPUs: %v", r.Key["savings_at_100000"])
+	}
+	if r.Key["breakeven_workrate_kernels_per_s"] <= 0 {
+		t.Fatal("no break-even work rate found")
+	}
+}
+
+func TestE7SiPStoryHolds(t *testing.T) {
+	r := E7()
+	if r.Key["soc_wins_at_scale"] != 1 {
+		t.Fatal("SoC must win at extreme volume (NRE amortized)")
+	}
+	if v := r.Key["crossover_volume"]; v < 1e4 || v > 1e8 {
+		t.Fatalf("crossover volume = %g, want interior to [1e4, 1e8]", v)
+	}
+	if r.Key["retrofit_nre_ratio"] < 2 {
+		t.Fatalf("SoC retrofit should cost >=2x the SiP I/O respin, got %.1fx", r.Key["retrofit_nre_ratio"])
+	}
+}
+
+func TestE8AbstractionsAgree(t *testing.T) {
+	r := E8()
+	if r.Key["results_agree"] != 1 {
+		t.Fatal("SQL, MapReduce and dataflow must compute identical revenue")
+	}
+	if r.Key["segments"] != 5 {
+		t.Fatalf("segments = %v, want 5", r.Key["segments"])
+	}
+	// The MapReduce contortion (reduce-side join) shuffles more than the
+	// dataflow pipeline, which combines map-side per partition.
+	if r.Key["mr_shuffled"] <= 0 || r.Key["df_shuffled"] <= 0 {
+		t.Fatal("shuffle accounting missing")
+	}
+}
+
+func TestE9PerformanceNotPortable(t *testing.T) {
+	r := E9()
+	pp := r.Key["performance_portability"]
+	if pp <= 0 || pp >= 0.95 {
+		t.Fatalf("performance portability = %.2f, want a real gap (< 0.95)", pp)
+	}
+	if r.Key["spread_worst_over_best"] < 1.5 {
+		t.Fatalf("backend spread = %.2fx, want >= 1.5x", r.Key["spread_worst_over_best"])
+	}
+}
+
+func TestE10SuiteRanksAcceleratedFirst(t *testing.T) {
+	r := E10()
+	if r.Key["winner_is_hetero"] != 1 {
+		t.Fatal("hetero box should win the suite")
+	}
+	if r.Key["overall_gpu"] <= 1 {
+		t.Fatalf("gpu overall = %v", r.Key["overall_gpu"])
+	}
+	if r.Key["energy_fpga"] <= 1 {
+		t.Fatalf("fpga energy score = %v", r.Key["energy_fpga"])
+	}
+}
+
+func TestE12HEFTWins(t *testing.T) {
+	r := E12()
+	if r.Key["heft_vs_rr_speedup"] < 1 {
+		t.Fatalf("HEFT should not lose to round-robin: %.2f", r.Key["heft_vs_rr_speedup"])
+	}
+	if r.Key["energy_power-aware"] > r.Key["energy_fifo"] {
+		t.Fatal("power-aware policy should not burn more energy than FIFO")
+	}
+}
+
+func TestE13CorpusAndFindings(t *testing.T) {
+	r := E13()
+	if r.Key["interviews"] != 89 || r.Key["companies"] != 70 {
+		t.Fatalf("corpus = %v interviews / %v companies", r.Key["interviews"], r.Key["companies"])
+	}
+	if r.Key["findings_holding"] != 4 {
+		t.Fatalf("findings holding = %v, want 4", r.Key["findings_holding"])
+	}
+}
+
+func TestE14RoadmapComplete(t *testing.T) {
+	r := E14()
+	if r.Key["recommendations"] != 12 {
+		t.Fatalf("recommendations = %v", r.Key["recommendations"])
+	}
+	if r.Key["near_term_actions"] < 1 {
+		t.Fatal("no near-term actions")
+	}
+}
+
+func TestE15NFVTradeoffs(t *testing.T) {
+	r := E15()
+	// Appliances are fastest but dearest; offload closes the latency gap.
+	if r.Key["latency_appliance"] >= r.Key["latency_nfv"] {
+		t.Fatalf("appliance latency (%v) should beat software NFV (%v)",
+			r.Key["latency_appliance"], r.Key["latency_nfv"])
+	}
+	if r.Key["latency_nfv+offload"] >= r.Key["latency_nfv"] {
+		t.Fatal("offload must cut NFV latency")
+	}
+	if r.Key["price_ratio_hw_vs_sw"] < 3 {
+		t.Fatalf("appliance chain should cost >=3x software, got %.1fx", r.Key["price_ratio_hw_vs_sw"])
+	}
+}
+
+func TestE16ConvergenceNeedsFabric(t *testing.T) {
+	r := E16()
+	// At 50 GB/s sharing wins; at 1.25 GB/s it need not.
+	if r.Key["shared_minus_seg_at_50"] > 1e-9 {
+		t.Fatalf("at 50 GB/s shared should not lose: delta = %v", r.Key["shared_minus_seg_at_50"])
+	}
+}
+
+func TestE17NeuromorphicNiche(t *testing.T) {
+	r := E17()
+	// At 1 event/s idle power dominates: the 0.2 W NPU must crush the
+	// 30 W-idle GPU by an order of magnitude or more.
+	if r.Key["npu_advantage_at_1eps"] < 10 {
+		t.Fatalf("NPU advantage at 1 ev/s = %.1fx, want >= 10x", r.Key["npu_advantage_at_1eps"])
+	}
+	// The advantage shrinks as rates rise (the GPU amortizes its idle
+	// floor) but the NPU stays ahead on this sparse workload.
+	if r.Key["npu_advantage_at_10keps"] >= r.Key["npu_advantage_at_1eps"] {
+		t.Fatal("NPU advantage should shrink with event rate")
+	}
+	if r.Key["npu_advantage_at_10keps"] < 1 {
+		t.Fatalf("NPU should stay ahead at 10k ev/s: %.2fx", r.Key["npu_advantage_at_10keps"])
+	}
+	if r.Key["adoption_gap_years"] < 4 {
+		t.Fatalf("ecosystem gap = %v years, want >= 4 (the Rec-7 problem)", r.Key["adoption_gap_years"])
+	}
+}
+
+func TestE18PoolingPaysAndLevels(t *testing.T) {
+	r := E18()
+	if r.Key["mean_err_pooled"] >= r.Key["mean_err_siloed"] {
+		t.Fatal("pooling must cut mean error")
+	}
+	if r.Key["viable_pooled"] <= r.Key["viable_solo"] {
+		t.Fatalf("pooling should expand viability: %v vs %v",
+			r.Key["viable_pooled"], r.Key["viable_solo"])
+	}
+	if r.Key["small_member_gain"] <= 0 {
+		t.Fatal("data-poor members must gain")
+	}
+}
+
+func TestE19BottleneckAwarenessInverts(t *testing.T) {
+	r := E19()
+	y := r.Key["finding1_inversion_year"]
+	if y < 2018 || y > 2026 {
+		t.Fatalf("Finding-1 inversion year = %v, want within [2018, 2026]", y)
+	}
+	if r.Key["bottleneck_awareness_2026"] <= r.Key["bottleneck_awareness_2016"] {
+		t.Fatal("bottleneck awareness must rise over the decade")
+	}
+}
+
+func TestE20NVMCutsCostAtTightTargets(t *testing.T) {
+	r := E20()
+	// At microsecond-class targets the NVM tier substitutes for expensive
+	// DRAM; savings must be substantial.
+	if r.Key["saving_at_2us"] < 0.2 {
+		t.Fatalf("NVM saving at 2µs = %v, want >= 20%%", r.Key["saving_at_2us"])
+	}
+	// At loose targets cheap flash suffices and the advantage shrinks.
+	if r.Key["saving_at_20us"] > r.Key["saving_at_2us"] {
+		t.Fatal("NVM advantage should shrink as the target relaxes")
+	}
+}
+
+func TestE21HybridDominates(t *testing.T) {
+	r := E21()
+	if r.Key["misses_hybrid"] != 0 || r.Key["misses_edge"] != 0 {
+		t.Fatalf("edge compute present must meet deadlines: hybrid=%v edge=%v",
+			r.Key["misses_hybrid"], r.Key["misses_edge"])
+	}
+	if r.Key["misses_cloud"] == 0 {
+		t.Fatal("cloud-only should miss edge deadlines (WAN fetch)")
+	}
+	if r.Key["makespan_hybrid"] >= r.Key["makespan_edge"] {
+		t.Fatalf("hybrid (%v) should beat edge-only (%v) on makespan",
+			r.Key["makespan_hybrid"], r.Key["makespan_edge"])
+	}
+}
+
+func TestAblationFusionHelpsStagedBackends(t *testing.T) {
+	r := AblationFusion()
+	if r.Key["fusion_speedup_xeon-2s/simd"] < 2 {
+		t.Fatalf("CPU fusion speedup = %v, want >= 2 on a 10-map pipeline",
+			r.Key["fusion_speedup_xeon-2s/simd"])
+	}
+	// The GPU's gain is capped by the host↔device transfer floor (the
+	// data crosses PCIe once regardless of stage count) — fusion only
+	// removes inter-stage HBM traffic and launches.
+	if g := r.Key["fusion_speedup_gpgpu/simt"]; g < 1.1 {
+		t.Fatalf("GPU fusion speedup = %v, want >= 1.1", g)
+	}
+	fpga := r.Key["fusion_speedup_fpga/pipeline"]
+	if fpga < 0.9 || fpga > 1.1 {
+		t.Fatalf("FPGA must be fusion-invariant: %v", fpga)
+	}
+}
+
+func TestAblationFairness(t *testing.T) {
+	r := AblationFairness()
+	if r.Key["maxmin_fct"] >= r.Key["proportional_fct"] {
+		t.Fatalf("max-min (%v) should strictly beat proportional (%v) when a flow is throttled elsewhere",
+			r.Key["maxmin_fct"], r.Key["proportional_fct"])
+	}
+	if r.Key["stranding_penalty"] <= 0 {
+		t.Fatalf("proportional must strand capacity: penalty = %v", r.Key["stranding_penalty"])
+	}
+}
+
+func TestAblationSDNMode(t *testing.T) {
+	r := AblationSDNMode()
+	if r.Key["proactive_first_packet_us"] != 0 {
+		t.Fatal("proactive first packet must pay zero control latency")
+	}
+	if r.Key["reactive_first_packet_us"] <= 0 {
+		t.Fatal("reactive first packet must pay the punt")
+	}
+}
+
+func TestAblationSortRadixWins(t *testing.T) {
+	r := AblationSort()
+	if r.Key["radix_speedup_at_1M"] < 1 {
+		t.Fatalf("radix should beat stdlib at 1M keys: %.2fx", r.Key["radix_speedup_at_1M"])
+	}
+}
+
+func TestAblationPackingBestFitProtectsLargeRequests(t *testing.T) {
+	r := AblationPacking()
+	// Best-fit's defining property under churn: it preserves large holes,
+	// so fewer large requests bounce. (Total grants can tip either way —
+	// each admitted large machine displaces several small ones.)
+	if r.Key["best_fit_big_rejects"] > r.Key["first_fit_big_rejects"] {
+		t.Fatalf("best-fit rejected more large requests (%v) than first-fit (%v)",
+			r.Key["best_fit_big_rejects"], r.Key["first_fit_big_rejects"])
+	}
+}
+
+func TestAllReportsRender(t *testing.T) {
+	for _, r := range All() {
+		text := r.Render()
+		if !strings.Contains(text, r.ID) {
+			t.Fatalf("report %s: render missing ID", r.ID)
+		}
+		if len(r.Tables) == 0 && len(r.Figures) == 0 {
+			t.Fatalf("report %s has no exhibits", r.ID)
+		}
+	}
+}

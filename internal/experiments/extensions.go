@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/ecosystem"
+	"repro/internal/hw"
+	"repro/internal/memtier"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// E17 makes Recommendation 7 quantitative: where neuromorphic processors
+// actually win (always-on sparse event-driven inference, where idle power
+// dominates) and how far behind its market ecosystem sits (Bass adoption
+// lead time vs GPGPU).
+func E17() *Report {
+	r := newReport("E17", "Neuromorphic computing: workload fit and market gap",
+		"Recommendation 7: pioneer markets for neuromorphic computing; the principal issue is the lack of a market ecosystem")
+	npu := hw.Neuromorphic()
+	gpu := hw.GPGPU()
+	cpu := hw.XeonCPU()
+	// One sparse inference event: ~2 MOps of spiking network activity over
+	// ~64 KiB of state (event-driven sparsity: only active paths compute).
+	event := hw.Kernel{Name: "sparse-inference", Ops: 2e6, Bytes: 6.4e4, ParallelFraction: 0.99}
+
+	tab := metrics.NewTable("Always-on edge inference: energy per day (J) by event rate",
+		"events/s", "npu", "gpu", "cpu", "npu advantage vs gpu")
+	const (
+		daySeconds = 86400.0
+		// batchWindow is the latency budget within which a deployment may
+		// batch events to amortize launch overhead (10 ms).
+		batchWindow = 0.01
+	)
+	perDay := func(d *hw.Device, rate float64) float64 {
+		batch := rate * batchWindow
+		if batch < 1 {
+			batch = 1
+		}
+		kb := hw.Kernel{
+			Name: event.Name, Ops: event.Ops * batch,
+			Bytes: event.Bytes * batch, ParallelFraction: event.ParallelFraction,
+		}
+		busy := d.Seconds(kb) * rate / batch // fraction of each second busy
+		if busy > 1 {
+			busy = 1
+		}
+		// Busy time at full power, the rest at idle floor.
+		return daySeconds * (busy*d.Power(1) + (1-busy)*d.Power(0))
+	}
+	var advLow, advHigh float64
+	rates := []float64{1, 10, 100, 1000, 10000}
+	for _, rate := range rates {
+		n, g, c := perDay(npu, rate), perDay(gpu, rate), perDay(cpu, rate)
+		adv := g / n
+		tab.AddRowf(rate, n, g, c, adv)
+		if rate == rates[0] {
+			advLow = adv
+		}
+		advHigh = adv
+		r.Key[fmt.Sprintf("npu_day_J_at_%g", rate)] = n
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Key["npu_advantage_at_1eps"] = advLow
+	r.Key["npu_advantage_at_10keps"] = advHigh
+
+	// Market-ecosystem gap: years to 10% adoption vs GPGPU.
+	techs := core.TechByName()
+	neuro := techs["Neuromorphic computing"]
+	gpgpu := techs["GPGPU analytics"]
+	ny := neuro.YearToAdoption(0.10)
+	gy := gpgpu.YearToAdoption(0.10)
+	gap := metrics.NewTable("Ecosystem gap (Bass diffusion)", "technology", "TRL 2016", "year to 10% adoption")
+	gap.AddRowf(gpgpu.Name, gpgpu.TRL, gy)
+	gap.AddRowf(neuro.Name, neuro.TRL, ny)
+	r.Tables = append(r.Tables, gap)
+	r.Key["adoption_gap_years"] = float64(ny - gy)
+	return r
+}
+
+// E18 makes Recommendation 8 quantitative: pooled anonymized training data
+// versus siloed corpora on the standard learning-curve model.
+func E18() *Report {
+	r := newReport("E18", "Training-data pooling",
+		"Recommendation 8: encourage collection of open anonymized training data and sharing inside EC-funded projects")
+	study := ecosystem.NewStudy(2016, 15, 500, 5e6)
+	results, err := study.Run()
+	if err != nil {
+		panic(err)
+	}
+	const target = 0.10
+	sum := ecosystem.Summarize(results, target)
+
+	tab := metrics.NewTable("Consortium of 15 members (Zipf data holdings), target error 10%",
+		"metric", "siloed", "pooled (80% efficiency)")
+	tab.AddRowf("mean model error", sum.MeanSiloedErr, sum.MeanPooledErr)
+	tab.AddRowf("members at target", sum.ViableSolo, sum.ViablePooled)
+	r.Tables = append(r.Tables, tab)
+
+	gains := metrics.NewTable("Who gains (improvement in model error)", "member profile", "gain")
+	gains.AddRowf("most data-poor member", sum.SmallestMemberGain)
+	gains.AddRowf("most data-rich member", sum.LargestMemberGain)
+	r.Tables = append(r.Tables, gains)
+
+	r.Key["mean_err_siloed"] = sum.MeanSiloedErr
+	r.Key["mean_err_pooled"] = sum.MeanPooledErr
+	r.Key["viable_solo"] = float64(sum.ViableSolo)
+	r.Key["viable_pooled"] = float64(sum.ViablePooled)
+	r.Key["small_member_gain"] = sum.SmallestMemberGain
+	return r
+}
+
+// E20 makes Recommendation 5's memory argument quantitative: what a
+// latency target costs for a 10 TB analytics footprint with and without a
+// storage-class-memory tier between DRAM and flash.
+func E20() *Report {
+	r := newReport("E20", "Non-volatile memory tiering",
+		"Recommendation 5: hardware must integrate more subsystems, new non-volatile memories and I/O interfaces")
+	const footprintGB = 10000.0
+	tab := metrics.NewTable("Cheapest hierarchy meeting an average-latency target (10 TB footprint, 80/20 skew)",
+		"target (µs)", "DRAM+SSD cost (kEUR)", "DRAM+NVM+SSD cost (kEUR)", "NVM saving", "NVM GB in winner")
+	for _, targetUS := range []float64{0.5, 1, 2, 5, 20} {
+		targetNS := targetUS * 1000
+		with, okW := memtier.CheapestMeeting(footprintGB, targetNS, true)
+		without, okO := memtier.CheapestMeeting(footprintGB, targetNS, false)
+		if !okW || !okO {
+			tab.AddRowf(targetUS, "infeasible", "infeasible", "-", 0)
+			continue
+		}
+		saving := 1 - with.CostEUR/without.CostEUR
+		tab.AddRowf(targetUS, without.CostEUR/1000, with.CostEUR/1000,
+			fmt.Sprintf("%.0f%%", saving*100), with.NVMGB)
+		r.Key[fmt.Sprintf("saving_at_%gus", targetUS)] = saving
+	}
+	r.Tables = append(r.Tables, tab)
+	return r
+}
+
+// E21 exercises Recommendation 11's edge/cloud clause: a sensor-analytics
+// DAG with latency-critical detection (data at the edge, 40 ms deadlines)
+// feeding heavy training, placed on edge-only, cloud-only and hybrid
+// clusters.
+func E21() *Report {
+	r := newReport("E21", "Edge/cloud heterogeneous placement",
+		"Recommendation 11: edge computing and cloud computing environments calling for heterogeneous hardware platforms")
+	buildDAG := func() *sched.DAG {
+		detect := hw.Kernel{Name: "detect", Ops: 5e8, Bytes: 5e7, ParallelFraction: 0.95}
+		train := hw.Kernel{Name: "train", Ops: 5e10, Bytes: 5e8, ParallelFraction: 0.99}
+		d := &sched.DAG{}
+		for i := 0; i < 4; i++ {
+			d.Tasks = append(d.Tasks, sched.Task{
+				ID: i, Name: "detect", Kernel: detect,
+				InputBytes: 2e7, InputSite: sched.Edge,
+				DeadlineS: 0.04, OutBytes: 1e6,
+			})
+		}
+		d.Tasks = append(d.Tasks, sched.Task{
+			ID: 4, Name: "train", Kernel: train, Deps: []int{0, 1, 2, 3},
+		})
+		return d
+	}
+	tab := metrics.NewTable("Sensor analytics: 4 detect tasks (40 ms deadline) + 1 training task",
+		"cluster", "makespan (s)", "deadline misses", "energy (kJ)")
+	for _, cfg := range []struct {
+		name        string
+		edge, cloud int
+	}{
+		{"edge-only (4 CPU)", 4, 0},
+		{"cloud-only (4 accel)", 0, 4},
+		{"hybrid (2+2)", 2, 2},
+	} {
+		cluster := sched.EdgeCloud(cfg.edge, cfg.cloud)
+		res, err := sched.Schedule(buildDAG(), cluster, sched.MinMin)
+		if err != nil {
+			panic(err)
+		}
+		tab.AddRowf(cfg.name, res.MakespanS, res.DeadlineMisses, res.EnergyJ/1000)
+		key := map[string]string{
+			"edge-only (4 CPU)":    "edge",
+			"cloud-only (4 accel)": "cloud",
+			"hybrid (2+2)":         "hybrid",
+		}[cfg.name]
+		r.Key["makespan_"+key] = res.MakespanS
+		r.Key["misses_"+key] = float64(res.DeadlineMisses)
+	}
+	r.Tables = append(r.Tables, tab)
+	return r
+}
+
+// AblationFusion quantifies map-map kernel fusion per backend: fused
+// pipelines skip intermediate memory round trips on stage-at-a-time
+// backends; the FPGA's spatial pipeline is fusion-invariant.
+func AblationFusion() *Report {
+	r := newReport("ABL-fusion", "Kernel fusion ablation",
+		"accel IR: adjacent map stages composed into one pass (the optimization separating naive from tuned backends, Section IV.C.3)")
+	p := &accel.Program{Name: "deep"}
+	for i := 0; i < 10; i++ {
+		p.Stages = append(p.Stages, accel.MapE(accel.Bin{
+			Op: accel.Add, L: accel.Bin{Op: accel.Mul, L: accel.X{}, R: accel.Const(1.01)}, R: accel.Const(0.5),
+		}))
+	}
+	fused := p.Fuse()
+	n := 1 << 22
+	tab := metrics.NewTable("10-map pipeline over 4M elements: modeled time (ms)",
+		"backend", "unfused", "fused", "speedup")
+	for _, b := range accel.DefaultBackends() {
+		orig, err := b.Estimate(p, n, nil)
+		if err != nil {
+			panic(err)
+		}
+		fu, err := b.Estimate(fused, n, nil)
+		if err != nil {
+			panic(err)
+		}
+		speed := orig.Seconds / fu.Seconds
+		tab.AddRowf(orig.Backend, orig.Seconds*1000, fu.Seconds*1000, speed)
+		r.Key["fusion_speedup_"+orig.Backend] = speed
+	}
+	r.Tables = append(r.Tables, tab)
+	return r
+}
+
+// E19 makes Recommendation 12 quantitative: re-asking the survey question
+// year after year on corpora whose calibration follows analytics maturity,
+// until "industry sees no hardware bottleneck" inverts.
+func E19() *Report {
+	r := newReport("E19", "Longitudinal re-survey (continue to ask the question)",
+		`Recommendation 12: "we expect companies to run into more and more undesirable performance bottlenecks that will require optimized hardware"`)
+	points, err := core.ProjectFindings(2016, 2016, 2026)
+	if err != nil {
+		panic(err)
+	}
+	tab := metrics.NewTable("Projected corpus, year by year",
+		"year", "analytics maturity", "sees HW bottleneck", "finding 1 holds")
+	fig := metrics.NewFigure("Bottleneck awareness vs analytics maturity")
+	aw := fig.Line("sees bottleneck")
+	mt := fig.Line("maturity")
+	for _, p := range points {
+		tab.AddRowf(p.Year, p.Maturity, p.SeesBottleneck, b2f(p.Finding1Holds) == 1)
+		aw.Add(float64(p.Year), p.SeesBottleneck)
+		mt.Add(float64(p.Year), p.Maturity)
+	}
+	r.Tables = append(r.Tables, tab)
+	r.Figures = append(r.Figures, fig)
+	if y, ok := core.InversionYear(points); ok {
+		r.Key["finding1_inversion_year"] = float64(y)
+	} else {
+		r.Key["finding1_inversion_year"] = 0
+	}
+	r.Key["bottleneck_awareness_2016"] = points[0].SeesBottleneck
+	r.Key["bottleneck_awareness_2026"] = points[len(points)-1].SeesBottleneck
+	return r
+}

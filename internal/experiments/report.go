@@ -1,0 +1,74 @@
+// Package experiments implements the per-experiment harnesses of the
+// reproduction: one function per experiment ID (T1, F1, E1–E16 and the
+// ablations listed in DESIGN.md). Each returns a Report whose tables and
+// figures are the reproduced exhibits; the repo-root benchmarks wrap these
+// functions, cmd/rethink-bench prints them, and EXPERIMENTS.md records
+// paper-vs-measured for each.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Report is one experiment's output.
+type Report struct {
+	ID    string
+	Title string
+	// PaperClaim is the sentence in the paper this experiment tests.
+	PaperClaim string
+	Tables     []*metrics.Table
+	Figures    []*metrics.Figure
+	// Key holds the headline numbers (asserted by tests, reported by
+	// benchmarks).
+	Key map[string]float64
+}
+
+func newReport(id, title, claim string) *Report {
+	return &Report{ID: id, Title: title, PaperClaim: claim, Key: map[string]float64{}}
+}
+
+// Render emits the full report as text.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.PaperClaim != "" {
+		fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.Render())
+		b.WriteByte('\n')
+	}
+	if len(r.Key) > 0 {
+		keys := make([]string, 0, len(r.Key))
+		for k := range r.Key {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("key metrics:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s = %.6g\n", k, r.Key[k])
+		}
+	}
+	return b.String()
+}
+
+// All runs every experiment in ID order and returns the reports. It is
+// the single entry point cmd/rethink-bench uses.
+func All() []*Report {
+	return []*Report{
+		T1(), F1(),
+		E1(), E2(), E3(), E4(), E5(), E6(), E7(), E8(),
+		E9(), E10(), E11(), E12(), E13(), E14(), E15(), E16(),
+		E17(), E18(), E19(), E20(), E21(),
+		AblationFairness(), AblationSDNMode(), AblationSort(), AblationPacking(),
+		AblationFusion(),
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/survey"
+)
+
+// corpusSeed fixes the evidence base across experiments.
+const corpusSeed = 2016
+
+func corpus() *survey.Corpus {
+	c, err := survey.Synthesize(survey.DefaultSpec(corpusSeed))
+	if err != nil {
+		panic(err) // DefaultSpec is statically valid
+	}
+	return c
+}
+
+// T1 regenerates Table 1 (the project consortium).
+func T1() *Report {
+	r := newReport("T1", "Project consortium", "Table 1: RETHINK big Project Consortium")
+	r.Tables = append(r.Tables, core.Table1())
+	r.Key["partners"] = float64(len(core.Consortium()))
+	return r
+}
+
+// F1 regenerates Figure 1 (the ETP/PPP roadmap landscape) and checks
+// scope separation.
+func F1() *Report {
+	r := newReport("F1", "ETP/PPP collaboration landscape",
+		"Figure 1: the RETHINK big roadmap is one piece of the framework of roadmaps; "+
+			"HPC is covered by ETP4HPC, applications by BDVA, IoT by AIOTI, telecom by 5G-PPP")
+	r.Tables = append(r.Tables, core.Figure1())
+	owned := 0
+	for _, ini := range core.Landscape() {
+		owned += len(ini.Covers)
+	}
+	r.Key["initiatives"] = float64(len(core.Landscape()))
+	r.Key["topics_covered"] = float64(owned)
+	return r
+}
+
+// E13 re-derives the four key findings from the synthesized corpus.
+func E13() *Report {
+	r := newReport("E13", "Industry key findings",
+		"Section V.A: findings from 89 in-depth interviews with 70 distinct European companies")
+	c := corpus()
+	r.Key["interviews"] = float64(len(c.Interviews))
+	r.Key["companies"] = float64(c.DistinctCompanies())
+
+	tab := metrics.NewTable("Key findings re-derived from the corpus",
+		"finding", "support", "holds", "evidence")
+	holds := 0
+	for _, f := range survey.DeriveFindings(c) {
+		h := "no"
+		if f.Holds {
+			h = "yes"
+			holds++
+		}
+		tab.AddRowf(f.ID, f.Support, h, f.Detail)
+	}
+	r.Tables = append(r.Tables, tab)
+
+	sectors := metrics.NewTable("Interviews by sector", "sector", "interviews")
+	counts := c.SectorCounts()
+	for _, s := range survey.Sectors() {
+		sectors.AddRowf(s.String(), counts[s])
+	}
+	r.Tables = append(r.Tables, sectors)
+	r.Key["findings_holding"] = float64(holds)
+	return r
+}
+
+// E14 scores and prioritizes the twelve recommendations.
+func E14() *Report {
+	r := newReport("E14", "Recommendation prioritization and timeline",
+		"Section V.B: twelve concrete recommendations; roadmap maximizes competitiveness over the next 10 years")
+	roadmap, err := core.BuildRoadmap(corpus(), 2016)
+	if err != nil {
+		panic(err)
+	}
+	r.Tables = append(r.Tables, roadmap.Table())
+	r.Figures = append(r.Figures, core.AdoptionTimeline(2015, 2025))
+	r.Key["recommendations"] = float64(len(roadmap.Recommendations))
+	r.Key["top_priority_id"] = float64(roadmap.Recommendations[0].ID)
+	near := 0
+	for _, rec := range roadmap.Recommendations {
+		if rec.Horizon == core.NearTerm {
+			near++
+		}
+	}
+	r.Key["near_term_actions"] = float64(near)
+	return r
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/kernels"
+)
+
+// mathLog is math.Log, aliased so experiment files keep their imports
+// minimal.
+func mathLog(x float64) float64 { return math.Log(x) }
+
+// kernelBlocks returns the Recommendation-10 block descriptors.
+func kernelBlocks() map[string]hw.Kernel { return kernels.Blocks() }
+
+// kernelsRadix and kernelsComparison re-export the sort building blocks
+// for the measured sort ablation.
+func kernelsRadix(xs []uint64)      { kernels.RadixSortUint64(xs) }
+func kernelsComparison(xs []uint64) { kernels.ComparisonSortUint64(xs) }

@@ -1,0 +1,140 @@
+package hw
+
+// The catalog instantiates device models with datasheet-class parameters
+// for the 2016/2017 technology generation the roadmap describes. Absolute
+// numbers are representative, not vendor-exact; experiments depend on the
+// ratios (GPU ~an order of magnitude more parallel throughput than a CPU
+// socket, FPGA lower peak but far better ops/J and deterministic latency,
+// ASIC best-in-class for its one function), which are robust across
+// datasheets of that era.
+
+// XeonCPU returns a two-socket-class server CPU model (~1 TFLOP-equivalent
+// integer/FP mix, ~120 GB/s, 2×145 W).
+func XeonCPU() *Device {
+	return &Device{
+		Name: "xeon-2s", Class: CPU,
+		GOpsPeak: 1000, MemGBs: 120, LaunchOverheadUS: 0,
+		TDPWatts: 290, IdleWatts: 100, PriceEUR: 4000,
+		SerialFraction: 0,
+	}
+}
+
+// GPGPU returns a datacenter GPU accelerator model (~10 TOPS usable,
+// ~700 GB/s HBM, 300 W, PCIe launch overhead).
+func GPGPU() *Device {
+	return &Device{
+		Name: "gpgpu", Class: GPU,
+		GOpsPeak: 10000, MemGBs: 700, LaunchOverheadUS: 30,
+		TDPWatts: 300, IdleWatts: 30, PriceEUR: 8000,
+		SerialFraction: 0.005,
+	}
+}
+
+// FPGACard returns a Catapult-class FPGA board model: moderate peak,
+// pipeline determinism (no serial stall term), very low launch overhead on
+// the datapath, 25 W.
+func FPGACard() *Device {
+	return &Device{
+		Name: "fpga", Class: FPGA,
+		GOpsPeak: 2000, MemGBs: 40, LaunchOverheadUS: 2,
+		TDPWatts: 25, IdleWatts: 10, PriceEUR: 3500,
+		SerialFraction: 0,
+	}
+}
+
+// RankingASIC returns a fixed-function accelerator for one kernel family
+// (e.g. scoring or compression): very high throughput and efficiency, but
+// only applicable where the kernel matches.
+func RankingASIC() *Device {
+	return &Device{
+		Name: "asic", Class: ASIC,
+		GOpsPeak: 40000, MemGBs: 500, LaunchOverheadUS: 1,
+		TDPWatts: 75, IdleWatts: 5, PriceEUR: 12000,
+		SerialFraction: 0,
+	}
+}
+
+// Neuromorphic returns a spiking-network processor model: modest raw ops
+// but extreme ops/J on sparse event-driven inference (Recommendation 7).
+func Neuromorphic() *Device {
+	return &Device{
+		Name: "npu", Class: NPU,
+		GOpsPeak: 500, MemGBs: 20, LaunchOverheadUS: 5,
+		TDPWatts: 1.5, IdleWatts: 0.2, PriceEUR: 6000,
+		SerialFraction: 0,
+	}
+}
+
+// Catalog returns the full device roster keyed by class name.
+func Catalog() map[string]*Device {
+	return map[string]*Device{
+		"cpu":  XeonCPU(),
+		"gpu":  GPGPU(),
+		"fpga": FPGACard(),
+		"asic": RankingASIC(),
+		"npu":  Neuromorphic(),
+	}
+}
+
+// Node is a compute node composed of a host CPU and optional accelerators.
+type Node struct {
+	Name   string
+	Host   *Device
+	Accels []*Device
+}
+
+// Devices returns the host followed by accelerators.
+func (n *Node) Devices() []*Device {
+	out := []*Device{n.Host}
+	return append(out, n.Accels...)
+}
+
+// BestDevice returns the device with the highest throughput for k and the
+// achieved speedup over the host CPU.
+func (n *Node) BestDevice(k Kernel) (*Device, float64) {
+	best := n.Host
+	bt := n.Host.Throughput(k)
+	for _, d := range n.Accels {
+		if t := d.Throughput(k); t > bt {
+			best, bt = d, t
+		}
+	}
+	return best, bt / n.Host.Throughput(k)
+}
+
+// TotalPrice returns the node acquisition cost.
+func (n *Node) TotalPrice() float64 {
+	p := n.Host.PriceEUR
+	for _, d := range n.Accels {
+		p += d.PriceEUR
+	}
+	return p
+}
+
+// IdlePower returns the node floor draw in watts.
+func (n *Node) IdlePower() float64 {
+	w := n.Host.Power(0)
+	for _, d := range n.Accels {
+		w += d.Power(0)
+	}
+	return w
+}
+
+// CommodityNode returns a CPU-only server.
+func CommodityNode() *Node { return &Node{Name: "commodity", Host: XeonCPU()} }
+
+// GPUNode returns a server with one GPGPU.
+func GPUNode() *Node {
+	return &Node{Name: "gpu-node", Host: XeonCPU(), Accels: []*Device{GPGPU()}}
+}
+
+// FPGANode returns a Catapult-style server with one FPGA in the datapath.
+func FPGANode() *Node {
+	return &Node{Name: "fpga-node", Host: XeonCPU(), Accels: []*Device{FPGACard()}}
+}
+
+// KitchenSinkNode returns a server with GPU, FPGA and ASIC for the
+// heterogeneous-scheduling experiments.
+func KitchenSinkNode() *Node {
+	return &Node{Name: "hetero-node", Host: XeonCPU(), Accels: []*Device{GPGPU(), FPGACard(), RankingASIC()}}
+}

@@ -1,0 +1,172 @@
+// Package hw models heterogeneous compute devices — CPUs, GPGPUs, FPGAs,
+// ASICs and neuromorphic processors — with a roofline performance model and
+// a utilization-scaled power model. It is the node-architecture substrate
+// for the accelerator experiments (Sections IV.B, Recommendations 4, 10).
+//
+// The model is deliberately first-order: a device executes a kernel at
+// min(compute throughput × kernel parallel efficiency, memory bandwidth /
+// kernel byte intensity), plus a fixed offload/launch overhead. That is
+// the level of fidelity at which the roadmap's claims (10× per-node
+// throughput, GPGPU ROI, FPGA tail-latency) are stated, and it is the
+// standard model used for such feasibility arguments.
+package hw
+
+import "fmt"
+
+// Class identifies the device technology.
+type Class int
+
+// Device classes discussed in the roadmap.
+const (
+	CPU Class = iota
+	GPU
+	FPGA
+	ASIC
+	NPU // neuromorphic processor
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case CPU:
+		return "cpu"
+	case GPU:
+		return "gpu"
+	case FPGA:
+		return "fpga"
+	case ASIC:
+		return "asic"
+	case NPU:
+		return "npu"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Device is a parametric compute device.
+type Device struct {
+	Name  string
+	Class Class
+
+	// GOpsPeak is peak compute throughput in giga-operations per second
+	// (for the operation mix of the target kernels).
+	GOpsPeak float64
+	// MemGBs is sustained memory bandwidth in GB/s.
+	MemGBs float64
+	// LaunchOverheadUS is the fixed cost to dispatch work (kernel launch,
+	// PCIe transfer setup, reconfiguration amortization), in microseconds.
+	LaunchOverheadUS float64
+	// TDPWatts is the thermal design power; IdleWatts the floor draw.
+	TDPWatts  float64
+	IdleWatts float64
+	// PriceEUR is the acquisition cost used by the TCO/ROI experiments.
+	PriceEUR float64
+	// SerialFraction is the fraction of kernel work this device cannot
+	// parallelize (Amdahl); 0 for fully-streaming devices like ASICs.
+	SerialFraction float64
+}
+
+// Kernel describes a unit of offloadable work in roofline terms.
+type Kernel struct {
+	Name string
+	// Ops is total operations (in units matching GOpsPeak ×1e9).
+	Ops float64
+	// Bytes is total memory traffic in bytes.
+	Bytes float64
+	// ParallelFraction is the fraction of the kernel that parallelizes
+	// (1 - Amdahl serial fraction of the *algorithm*).
+	ParallelFraction float64
+}
+
+// Intensity returns operational intensity in ops/byte (Inf for zero-byte
+// kernels is avoided by returning a large value).
+func (k Kernel) Intensity() float64 {
+	if k.Bytes <= 0 {
+		return 1e12
+	}
+	return k.Ops / k.Bytes
+}
+
+// Seconds returns the roofline execution time of kernel k on device d,
+// including launch overhead and the Amdahl serial term.
+func (d *Device) Seconds(k Kernel) float64 {
+	if k.Ops <= 0 {
+		return d.LaunchOverheadUS * 1e-6
+	}
+	computeS := k.Ops / (d.GOpsPeak * 1e9)
+	memS := 0.0
+	if d.MemGBs > 0 {
+		memS = k.Bytes / (d.MemGBs * 1e9)
+	}
+	// Parallel portion is bounded by the slower of the two rooflines.
+	parallel := computeS
+	if memS > parallel {
+		parallel = memS
+	}
+	// Serial portion runs at 1/SerialEff of peak single-stream rate: model
+	// it as the serial fraction of ops at 1/32 of device peak for wide
+	// devices (they lose their width) and full rate for CPUs.
+	serialFrac := d.SerialFraction
+	if k.ParallelFraction < 1 {
+		f := 1 - k.ParallelFraction
+		if f > serialFrac {
+			serialFrac = f
+		}
+	}
+	serial := 0.0
+	if serialFrac > 0 {
+		narrowPeak := d.GOpsPeak
+		if d.Class != CPU {
+			narrowPeak = d.GOpsPeak / 32 // wide devices stall on serial code
+		}
+		serial = serialFrac * k.Ops / (narrowPeak * 1e9)
+		parallel *= (1 - serialFrac)
+	}
+	return d.LaunchOverheadUS*1e-6 + parallel + serial
+}
+
+// Throughput returns kernels/second for kernel k on device d.
+func (d *Device) Throughput(k Kernel) float64 {
+	s := d.Seconds(k)
+	if s <= 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// Power returns the draw in watts at the given utilization in [0, 1],
+// linearly interpolated between idle and TDP (the standard first-order
+// server power model).
+func (d *Device) Power(utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	return d.IdleWatts + (d.TDPWatts-d.IdleWatts)*utilization
+}
+
+// EnergyJ returns the energy in joules to run kernel k once at full
+// utilization.
+func (d *Device) EnergyJ(k Kernel) float64 {
+	return d.Seconds(k) * d.Power(1)
+}
+
+// OpsPerJoule returns energy efficiency for kernel k.
+func (d *Device) OpsPerJoule(k Kernel) float64 {
+	e := d.EnergyJ(k)
+	if e <= 0 {
+		return 0
+	}
+	return k.Ops / e
+}
+
+// Speedup returns d's throughput on k relative to the baseline device.
+func Speedup(baseline, d *Device, k Kernel) float64 {
+	b := baseline.Throughput(k)
+	if b <= 0 {
+		return 0
+	}
+	return d.Throughput(k) / b
+}

@@ -1,0 +1,212 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// analyticsKernel is a compute-heavy, highly parallel scoring kernel
+// (operational intensity 100 ops/byte, e.g. dense feature scoring).
+func analyticsKernel() Kernel {
+	return Kernel{Name: "score", Ops: 1e10, Bytes: 1e8, ParallelFraction: 0.999}
+}
+
+// scanKernel is memory-bound.
+func scanKernel() Kernel {
+	return Kernel{Name: "scan", Ops: 1e8, Bytes: 4e9, ParallelFraction: 1.0}
+}
+
+func TestRooflineComputeBound(t *testing.T) {
+	cpu := XeonCPU()
+	k := Kernel{Ops: 1e12, Bytes: 1, ParallelFraction: 1}
+	want := 1e12 / (cpu.GOpsPeak * 1e9)
+	if got := cpu.Seconds(k); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("compute-bound time = %v, want %v", got, want)
+	}
+}
+
+func TestRooflineMemoryBound(t *testing.T) {
+	cpu := XeonCPU()
+	k := Kernel{Ops: 1, Bytes: 120e9, ParallelFraction: 1}
+	if got := cpu.Seconds(k); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("memory-bound time = %v, want ~1s", got)
+	}
+}
+
+func TestLaunchOverheadDominatesSmallKernels(t *testing.T) {
+	gpu := GPGPU()
+	cpu := XeonCPU()
+	tiny := Kernel{Ops: 1e4, Bytes: 1e3, ParallelFraction: 1}
+	if gpu.Seconds(tiny) <= cpu.Seconds(tiny) {
+		t.Fatal("GPU should lose on tiny kernels due to launch overhead")
+	}
+}
+
+func TestGPUWinsBigParallelKernels(t *testing.T) {
+	gpu := GPGPU()
+	cpu := XeonCPU()
+	if s := Speedup(cpu, gpu, analyticsKernel()); s < 5 {
+		t.Fatalf("GPU speedup on analytics kernel = %v, want >= 5", s)
+	}
+}
+
+func TestASICDominatesThroughput(t *testing.T) {
+	k := analyticsKernel()
+	asic := RankingASIC()
+	for name, d := range Catalog() {
+		if name == "asic" {
+			continue
+		}
+		if d.Throughput(k) >= asic.Throughput(k) {
+			t.Fatalf("%s beats ASIC on its kernel", name)
+		}
+	}
+}
+
+func TestFPGAEnergyEfficiencyBeatsCPUAndGPU(t *testing.T) {
+	k := analyticsKernel()
+	fpga := FPGACard()
+	if fpga.OpsPerJoule(k) <= XeonCPU().OpsPerJoule(k) {
+		t.Fatal("FPGA should beat CPU on ops/J")
+	}
+	if fpga.OpsPerJoule(k) <= GPGPU().OpsPerJoule(k)/2 {
+		t.Fatal("FPGA ops/J should be at least comparable to GPU")
+	}
+}
+
+func TestNeuromorphicOpsPerJoule(t *testing.T) {
+	// Sparse inference kernel: moderate ops, tiny memory traffic.
+	k := Kernel{Ops: 1e8, Bytes: 1e6, ParallelFraction: 1}
+	npu := Neuromorphic()
+	if npu.OpsPerJoule(k) <= GPGPU().OpsPerJoule(k) {
+		t.Fatal("NPU should lead on ops/J for sparse inference")
+	}
+}
+
+func TestAmdahlSerialFractionHurtsWideDevices(t *testing.T) {
+	gpu := GPGPU()
+	parallel := Kernel{Ops: 1e10, Bytes: 1e8, ParallelFraction: 1.0}
+	halfSerial := Kernel{Ops: 1e10, Bytes: 1e8, ParallelFraction: 0.5}
+	ratio := gpu.Seconds(halfSerial) / gpu.Seconds(parallel)
+	if ratio < 4 {
+		t.Fatalf("serial fraction penalty on GPU = %vx, want >= 4x", ratio)
+	}
+	cpu := XeonCPU()
+	cpuRatio := cpu.Seconds(halfSerial) / cpu.Seconds(parallel)
+	if cpuRatio >= ratio {
+		t.Fatal("CPU should degrade less than GPU under serial code")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	cpu := XeonCPU()
+	if cpu.Power(0) != cpu.IdleWatts {
+		t.Fatal("idle power wrong")
+	}
+	if cpu.Power(1) != cpu.TDPWatts {
+		t.Fatal("full power wrong")
+	}
+	mid := cpu.Power(0.5)
+	if mid <= cpu.IdleWatts || mid >= cpu.TDPWatts {
+		t.Fatalf("midpoint power %v out of range", mid)
+	}
+	if cpu.Power(2) != cpu.TDPWatts || cpu.Power(-1) != cpu.IdleWatts {
+		t.Fatal("power not clamped")
+	}
+}
+
+func TestPowerMonotoneProperty(t *testing.T) {
+	d := GPGPU()
+	err := quick.Check(func(a, b float64) bool {
+		ua := math.Abs(math.Mod(a, 1))
+		ub := math.Abs(math.Mod(b, 1))
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return d.Power(ua) <= d.Power(ub)+1e-12
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondsPositiveProperty(t *testing.T) {
+	devices := []*Device{XeonCPU(), GPGPU(), FPGACard(), RankingASIC(), Neuromorphic()}
+	err := quick.Check(func(opsRaw, bytesRaw uint32, pfRaw uint8) bool {
+		k := Kernel{
+			Ops:              float64(opsRaw) + 1,
+			Bytes:            float64(bytesRaw),
+			ParallelFraction: float64(pfRaw%101) / 100,
+		}
+		for _, d := range devices {
+			if !(d.Seconds(k) > 0) {
+				return false
+			}
+			if d.Throughput(k) <= 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeBestDevice(t *testing.T) {
+	n := KitchenSinkNode()
+	d, sp := n.BestDevice(analyticsKernel())
+	if d.Class != ASIC {
+		t.Fatalf("best device = %v, want asic", d.Name)
+	}
+	if sp < 10 {
+		t.Fatalf("hetero node speedup = %v, want >= 10 (Recommendation 4 target)", sp)
+	}
+	// Memory-bound scan: GPU's HBM should win.
+	d2, _ := n.BestDevice(scanKernel())
+	if d2.Class != GPU {
+		t.Fatalf("best device for scan = %v, want gpu", d2.Name)
+	}
+}
+
+func TestNodeAggregates(t *testing.T) {
+	n := GPUNode()
+	if n.TotalPrice() != XeonCPU().PriceEUR+GPGPU().PriceEUR {
+		t.Fatalf("price = %v", n.TotalPrice())
+	}
+	if n.IdlePower() != XeonCPU().IdleWatts+GPGPU().IdleWatts {
+		t.Fatalf("idle = %v", n.IdlePower())
+	}
+	if len(CommodityNode().Devices()) != 1 {
+		t.Fatal("commodity node should be CPU-only")
+	}
+}
+
+func TestIntensity(t *testing.T) {
+	k := Kernel{Ops: 100, Bytes: 50}
+	if k.Intensity() != 2 {
+		t.Fatalf("intensity = %v", k.Intensity())
+	}
+	z := Kernel{Ops: 100, Bytes: 0}
+	if z.Intensity() < 1e11 {
+		t.Fatal("zero-byte kernel should have huge intensity")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	names := map[Class]string{CPU: "cpu", GPU: "gpu", FPGA: "fpga", ASIC: "asic", NPU: "npu"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Fatalf("%d.String() = %q", int(c), c.String())
+		}
+	}
+}
+
+func TestZeroOpsKernel(t *testing.T) {
+	gpu := GPGPU()
+	k := Kernel{Ops: 0, Bytes: 0}
+	if got := gpu.Seconds(k); got != gpu.LaunchOverheadUS*1e-6 {
+		t.Fatalf("zero kernel time = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+package kernels
+
+import "repro/internal/hw"
+
+// Descriptors translate each building block at a given input size into the
+// roofline terms (total ops, total memory traffic, parallel fraction) the
+// hw device models price. Constants are first-order counts of the
+// reference implementations: what matters downstream are the *ratios*
+// between blocks (sort is memory-bound, k-means and matmul are
+// compute-bound, scans are pure bandwidth), which these counts preserve.
+
+// SortDescriptor describes an n-key radix sort: 8 passes over 8-byte keys,
+// each pass a counting pass plus a scatter (≈4 ops/byte-touch), almost
+// perfectly parallel.
+func SortDescriptor(n int) hw.Kernel {
+	fn := float64(n)
+	return hw.Kernel{
+		Name:             "sort",
+		Ops:              8 * 4 * fn,
+		Bytes:            8 * 2 * 8 * fn, // 8 passes × read+write × 8 bytes
+		ParallelFraction: 0.99,
+	}
+}
+
+// FilterDescriptor describes a selection scan over n 8-byte values with
+// the given selectivity (fraction of rows kept): one compare per row plus
+// output writes.
+func FilterDescriptor(n int, selectivity float64) hw.Kernel {
+	fn := float64(n)
+	return hw.Kernel{
+		Name:             "filter",
+		Ops:              2 * fn,
+		Bytes:            8*fn + 4*fn*selectivity,
+		ParallelFraction: 1.0,
+	}
+}
+
+// JoinDescriptor describes a hash join of build and probe rows: hash +
+// insert per build row, hash + chain walk per probe row.
+func JoinDescriptor(build, probe int) hw.Kernel {
+	fb, fp := float64(build), float64(probe)
+	return hw.Kernel{
+		Name:             "hash-join",
+		Ops:              12*fb + 16*fp,
+		Bytes:            16*fb + 16*fp + 24*fp, // inputs + table traffic
+		ParallelFraction: 0.95,
+	}
+}
+
+// AggregateDescriptor describes a group-by sum of n rows into k groups.
+func AggregateDescriptor(n, k int) hw.Kernel {
+	fn := float64(n)
+	return hw.Kernel{
+		Name:             "aggregate",
+		Ops:              8 * fn,
+		Bytes:            16*fn + 16*float64(k),
+		ParallelFraction: 0.97,
+	}
+}
+
+// TopKDescriptor describes a bounded-heap top-k over n values.
+func TopKDescriptor(n, k int) hw.Kernel {
+	fn := float64(n)
+	logk := 1.0
+	for x := k; x > 1; x /= 2 {
+		logk++
+	}
+	return hw.Kernel{
+		Name:             "top-k",
+		Ops:              fn * logk,
+		Bytes:            8 * fn,
+		ParallelFraction: 0.9,
+	}
+}
+
+// HistogramDescriptor describes bucketing n values.
+func HistogramDescriptor(n int) hw.Kernel {
+	fn := float64(n)
+	return hw.Kernel{
+		Name:             "histogram",
+		Ops:              4 * fn,
+		Bytes:            8 * fn,
+		ParallelFraction: 0.98,
+	}
+}
+
+// KMeansDescriptor describes one Lloyd iteration over n points of dims
+// dimensions against k centroids: a fused multiply-add per dimension per
+// centroid per point.
+func KMeansDescriptor(n, dims, k int) hw.Kernel {
+	work := float64(n) * float64(dims) * float64(k)
+	return hw.Kernel{
+		Name:             "kmeans",
+		Ops:              3 * work,
+		Bytes:            8 * float64(n) * float64(dims),
+		ParallelFraction: 0.995,
+	}
+}
+
+// PageRankDescriptor describes one power iteration over a graph with n
+// vertices and e edges: one FMA per edge plus vertex-side normalization,
+// with irregular (gather/scatter) traffic.
+func PageRankDescriptor(n, e int) hw.Kernel {
+	return hw.Kernel{
+		Name:             "pagerank",
+		Ops:              2*float64(e) + 4*float64(n),
+		Bytes:            12*float64(e) + 16*float64(n),
+		ParallelFraction: 0.97,
+	}
+}
+
+// MatMulDescriptor describes a dense m×k × k×n multiply: 2mkn flops over
+// the classic blocked traffic approximation.
+func MatMulDescriptor(m, k, n int) hw.Kernel {
+	fm, fk, fn := float64(m), float64(k), float64(n)
+	return hw.Kernel{
+		Name:             "matmul",
+		Ops:              2 * fm * fk * fn,
+		Bytes:            8 * (fm*fk + fk*fn + fm*fn),
+		ParallelFraction: 0.999,
+	}
+}
+
+// ScanTextDescriptor describes substring scanning over bytes of text:
+// about one compare per byte with streaming reads.
+func ScanTextDescriptor(bytes int) hw.Kernel {
+	fb := float64(bytes)
+	return hw.Kernel{
+		Name:             "text-scan",
+		Ops:              2 * fb,
+		Bytes:            fb,
+		ParallelFraction: 0.99,
+	}
+}
+
+// Blocks returns the named descriptor constructors at a standard "medium"
+// size, for table-driven experiments over every building block.
+func Blocks() map[string]hw.Kernel {
+	const n = 1 << 22 // 4M rows
+	return map[string]hw.Kernel{
+		"sort":      SortDescriptor(n),
+		"filter":    FilterDescriptor(n, 0.1),
+		"hash-join": JoinDescriptor(n/4, n),
+		"aggregate": AggregateDescriptor(n, 1024),
+		"top-k":     TopKDescriptor(n, 100),
+		"histogram": HistogramDescriptor(n),
+		"kmeans":    KMeansDescriptor(1<<20, 32, 64),
+		"pagerank":  PageRankDescriptor(1<<18, 1<<21),
+		"matmul":    MatMulDescriptor(2048, 2048, 2048),
+		"text-scan": ScanTextDescriptor(1 << 26),
+	}
+}

@@ -1,0 +1,109 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/workload"
+)
+
+// PageRank runs power iteration with damping d until the L1 delta falls
+// below eps or maxIter is reached. Dangling mass is redistributed
+// uniformly, so ranks sum to 1 at every iteration.
+func PageRank(g *workload.Graph, d float64, eps float64, maxIter int) ([]float64, int) {
+	n := g.N
+	if n == 0 {
+		return nil, 0
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		base := (1 - d) / float64(n)
+		dangling := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			out := g.Adj[u]
+			if len(out) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := rank[u] / float64(len(out))
+			for _, v := range out {
+				next[v] += share
+			}
+		}
+		spread := d * dangling / float64(n)
+		delta := 0.0
+		for i := range next {
+			next[i] = base + d*next[i] + spread
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < eps {
+			iter++
+			break
+		}
+	}
+	return rank, iter
+}
+
+// BFS returns hop distances from src (-1 when unreachable) — the graph
+// traversal building block.
+func BFS(g *workload.Graph, src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v32 := range g.Adj[u] {
+			v := int(v32)
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// TriangleCount counts directed triangles u→v→w→u, each reported once
+// (the three rotations are deduplicated). On an undirected graph stored
+// with both arcs, the result is twice the number of undirected triangles
+// (each has two orientations).
+func TriangleCount(g *workload.Graph) int64 {
+	// Adjacency sets for O(1) membership.
+	sets := make([]map[int32]struct{}, g.N)
+	for u := 0; u < g.N; u++ {
+		sets[u] = make(map[int32]struct{}, len(g.Adj[u]))
+		for _, v := range g.Adj[u] {
+			sets[u][v] = struct{}{}
+		}
+	}
+	var count int64
+	for u := 0; u < g.N; u++ {
+		u32 := int32(u)
+		for _, v := range g.Adj[u] {
+			if v == u32 {
+				continue
+			}
+			for _, w := range g.Adj[v] {
+				if w == u32 || w == v {
+					continue
+				}
+				if _, ok := sets[w][u32]; ok {
+					count++
+				}
+			}
+		}
+	}
+	return count / 3
+}

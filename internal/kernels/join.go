@@ -1,0 +1,100 @@
+package kernels
+
+// Pair is one (key, value) tuple of a join input.
+type Pair struct {
+	Key uint64
+	Val int64
+}
+
+// JoinRow is one output tuple of a join: the key plus both sides' values.
+type JoinRow struct {
+	Key         uint64
+	Left, Right int64
+}
+
+// HashJoin computes the inner equi-join of build and probe on Key using a
+// chained hash table built over the smaller conventionally-left side.
+// Output order follows the probe side (stable with respect to probe), with
+// matches for one probe row emitted in build order.
+func HashJoin(build, probe []Pair) []JoinRow {
+	type slot struct {
+		val  int64
+		next int32
+	}
+	// Open chaining over a power-of-two bucket array.
+	buckets := 1
+	for buckets < len(build)*2 {
+		buckets *= 2
+	}
+	if buckets == 0 {
+		buckets = 1
+	}
+	head := make([]int32, buckets)
+	for i := range head {
+		head[i] = -1
+	}
+	keys := make([]uint64, len(build))
+	slots := make([]slot, len(build))
+	mask := uint64(buckets - 1)
+	// Insert in reverse so chains read in build order.
+	for i := len(build) - 1; i >= 0; i-- {
+		p := build[i]
+		h := mix64(p.Key) & mask
+		keys[i] = p.Key
+		slots[i] = slot{val: p.Val, next: head[h]}
+		head[h] = int32(i)
+	}
+	var out []JoinRow
+	for _, p := range probe {
+		h := mix64(p.Key) & mask
+		for j := head[h]; j >= 0; j = slots[j].next {
+			if keys[j] == p.Key {
+				out = append(out, JoinRow{Key: p.Key, Left: slots[j].val, Right: p.Val})
+			}
+		}
+	}
+	return out
+}
+
+// NestedLoopJoin is the quadratic reference implementation used to verify
+// HashJoin and as the unaccelerated worst-case baseline.
+func NestedLoopJoin(build, probe []Pair) []JoinRow {
+	var out []JoinRow
+	for _, p := range probe {
+		for _, b := range build {
+			if b.Key == p.Key {
+				out = append(out, JoinRow{Key: p.Key, Left: b.Val, Right: p.Val})
+			}
+		}
+	}
+	return out
+}
+
+// mix64 is the SplitMix64 finalizer, a strong cheap hash for join keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// GroupSum aggregates vals by key, returning a map — the group-by
+// building block.
+func GroupSum(pairs []Pair) map[uint64]int64 {
+	out := make(map[uint64]int64, len(pairs)/4+1)
+	for _, p := range pairs {
+		out[p.Key] += p.Val
+	}
+	return out
+}
+
+// GroupCount counts tuples per key.
+func GroupCount(pairs []Pair) map[uint64]int64 {
+	out := make(map[uint64]int64, len(pairs)/4+1)
+	for _, p := range pairs {
+		out[p.Key]++
+	}
+	return out
+}

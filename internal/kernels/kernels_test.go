@@ -1,0 +1,474 @@
+package kernels
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// equalSlices compares element-wise, treating nil and empty as equal
+// (reflect.DeepEqual does not).
+func equalSlices[T comparable](a, b []T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randKeys(seed uint64, n int) []uint64 {
+	rng := sim.NewRNG(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+func TestRadixSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 100, 4096} {
+		a := randKeys(uint64(n)+1, n)
+		b := append([]uint64(nil), a...)
+		RadixSortUint64(a)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		if !equalSlices(a, b) {
+			t.Fatalf("n=%d: radix sort diverges from stdlib", n)
+		}
+	}
+}
+
+func TestRadixSortProperty(t *testing.T) {
+	f := func(xs []uint64) bool {
+		orig := append([]uint64(nil), xs...)
+		RadixSortUint64(xs)
+		if !IsSortedUint64(xs) {
+			return false
+		}
+		// Multiset preserved.
+		sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+		return equalSlices(orig, xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadixSortSmallValues(t *testing.T) {
+	// High bytes all zero: the skip-pass optimization must not break.
+	a := []uint64{5, 3, 9, 1, 3, 0, 255}
+	RadixSortUint64(a)
+	if !IsSortedUint64(a) {
+		t.Fatalf("got %v", a)
+	}
+}
+
+func TestSortPairsByKeyKeepsPairs(t *testing.T) {
+	rng := sim.NewRNG(7)
+	n := 1000
+	keys := make([]uint64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % 64 // many duplicates
+		vals[i] = int64(keys[i]) * 10
+	}
+	SortPairsByKey(keys, vals)
+	if !IsSortedUint64(keys) {
+		t.Fatal("keys not sorted")
+	}
+	for i := range keys {
+		if vals[i] != int64(keys[i])*10 {
+			t.Fatalf("pair broken at %d: key=%d val=%d", i, keys[i], vals[i])
+		}
+	}
+}
+
+func TestSortPairsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SortPairsByKey(make([]uint64, 3), make([]int64, 2))
+}
+
+func TestFilterScanAndRangeAgree(t *testing.T) {
+	rng := sim.NewRNG(3)
+	col := make([]int64, 5000)
+	for i := range col {
+		col[i] = int64(rng.Intn(1000))
+	}
+	a := FilterScan(col, func(v int64) bool { return v >= 100 && v < 300 })
+	b := FilterRange(col, 100, 300)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("FilterScan and FilterRange disagree")
+	}
+	for _, i := range a {
+		if col[i] < 100 || col[i] >= 300 {
+			t.Fatalf("index %d value %d escapes predicate", i, col[i])
+		}
+	}
+}
+
+func TestGatherRoundTrip(t *testing.T) {
+	col := []int64{10, 20, 30, 40}
+	idx := FilterRange(col, 15, 45)
+	got := Gather(col, idx)
+	if !reflect.DeepEqual(got, []int64{20, 30, 40}) {
+		t.Fatalf("gather = %v", got)
+	}
+}
+
+func TestPrefixSumAndSum(t *testing.T) {
+	xs := []int64{1, 2, 3, 4}
+	if s := SumInt64(xs); s != 10 {
+		t.Fatalf("sum = %d", s)
+	}
+	total := PrefixSum(xs)
+	if total != 10 || !reflect.DeepEqual(xs, []int64{1, 3, 6, 10}) {
+		t.Fatalf("prefix = %v total = %d", xs, total)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn, mx := MinMaxInt64([]int64{5, -3, 9, 0})
+	if mn != -3 || mx != 9 {
+		t.Fatalf("min=%d max=%d", mn, mx)
+	}
+}
+
+func TestHistogramCountsEverything(t *testing.T) {
+	rng := sim.NewRNG(9)
+	col := make([]int64, 10000)
+	for i := range col {
+		col[i] = int64(rng.Intn(100)) - 20 // some out of [0,80) range
+	}
+	h := Histogram(col, 0, 80, 8)
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != int64(len(col)) {
+		t.Fatalf("histogram total = %d, want %d (clamping must not lose values)", total, len(col))
+	}
+}
+
+func TestHistogramInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Histogram([]int64{1}, 10, 10, 4)
+}
+
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	rng := sim.NewRNG(11)
+	build := make([]Pair, 300)
+	probe := make([]Pair, 500)
+	for i := range build {
+		build[i] = Pair{Key: uint64(rng.Intn(100)), Val: int64(i)}
+	}
+	for i := range probe {
+		probe[i] = Pair{Key: uint64(rng.Intn(150)), Val: int64(i + 1000)}
+	}
+	got := HashJoin(build, probe)
+	want := NestedLoopJoin(build, probe)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hash join diverges: %d vs %d rows", len(got), len(want))
+	}
+}
+
+func TestHashJoinEmptySides(t *testing.T) {
+	if out := HashJoin(nil, []Pair{{1, 1}}); len(out) != 0 {
+		t.Fatal("empty build must give empty join")
+	}
+	if out := HashJoin([]Pair{{1, 1}}, nil); len(out) != 0 {
+		t.Fatal("empty probe must give empty join")
+	}
+}
+
+func TestHashJoinProperty(t *testing.T) {
+	f := func(bk, pk []uint8) bool {
+		build := make([]Pair, len(bk))
+		for i, k := range bk {
+			build[i] = Pair{Key: uint64(k % 16), Val: int64(i)}
+		}
+		probe := make([]Pair, len(pk))
+		for i, k := range pk {
+			probe[i] = Pair{Key: uint64(k % 16), Val: int64(i)}
+		}
+		return equalSlices(HashJoin(build, probe), NestedLoopJoin(build, probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupSumAndCount(t *testing.T) {
+	pairs := []Pair{{1, 10}, {2, 20}, {1, 5}, {3, 7}, {2, -20}}
+	sums := GroupSum(pairs)
+	if sums[1] != 15 || sums[2] != 0 || sums[3] != 7 {
+		t.Fatalf("sums = %v", sums)
+	}
+	counts := GroupCount(pairs)
+	if counts[1] != 2 || counts[2] != 2 || counts[3] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestTopKDescendingAndBounded(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 9, 2, 8}
+	got := TopK(xs, 3)
+	if !reflect.DeepEqual(got, []int64{9, 9, 8}) {
+		t.Fatalf("top3 = %v", got)
+	}
+	if got := TopK(xs, 100); len(got) != len(xs) {
+		t.Fatalf("k>n should return all, got %d", len(got))
+	}
+	if TopK(xs, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestTopKMatchesSortProperty(t *testing.T) {
+	f := func(xs []int64, k8 uint8) bool {
+		k := int(k8%16) + 1
+		got := TopK(xs, k)
+		ref := append([]int64(nil), xs...)
+		sort.Slice(ref, func(i, j int) bool { return ref[i] > ref[j] })
+		if k > len(ref) {
+			k = len(ref)
+		}
+		return equalSlices(got, ref[:k])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKWeightedDeterministicTies(t *testing.T) {
+	items := []WeightedItem{{Key: 5, Weight: 1}, {Key: 2, Weight: 1}, {Key: 9, Weight: 2}}
+	got := TopKWeighted(items, 2)
+	if got[0].Key != 9 || got[1].Key != 2 {
+		t.Fatalf("got %v, want key 9 then key 2 (tie toward lower key)", got)
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	pts, centers := workload.Points(42, 300, 2, 3)
+	res := KMeans(pts, centers, 50)
+	if res.Iterations == 0 {
+		t.Fatal("expected at least one iteration")
+	}
+	// Every point should sit closer to its assigned centroid than to any
+	// other (Lloyd invariant at convergence).
+	for i, p := range pts {
+		own := sqDist(p, res.Centroids[res.Assign[i]])
+		for c := range res.Centroids {
+			if sqDist(p, res.Centroids[c]) < own-1e-9 {
+				t.Fatalf("point %d assigned to %d but closer to %d", i, res.Assign[i], c)
+			}
+		}
+	}
+}
+
+func TestKMeansInertiaNonIncreasing(t *testing.T) {
+	pts, centers := workload.Points(7, 200, 4, 4)
+	prev := math.Inf(1)
+	for iters := 1; iters <= 5; iters++ {
+		res := KMeans(pts, centers, iters)
+		if res.Inertia > prev+1e-6 {
+			t.Fatalf("inertia rose from %v to %v at %d iters", prev, res.Inertia, iters)
+		}
+		prev = res.Inertia
+	}
+}
+
+func TestKMeansEmptyInputs(t *testing.T) {
+	if res := KMeans(nil, nil, 10); res.Assign != nil || res.Centroids != nil {
+		t.Fatal("empty inputs must give empty result")
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	rng := sim.NewRNG(5)
+	m, k, n := 33, 65, 29 // non-multiples of the block size
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	got := MatMulNew(a, b, m, k, n)
+	want := MatMulNaive(a, b, m, k, n)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("C[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	n := 16
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	rng := sim.NewRNG(1)
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	got := MatMulNew(a, id, n, n, n)
+	for i := range got {
+		if math.Abs(got[i]-a[i]) > 1e-12 {
+			t.Fatal("A × I must equal A")
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := workload.RMAT(3, 500, 2500)
+	rank, iters := PageRank(g, 0.85, 1e-9, 200)
+	if iters == 0 {
+		t.Fatal("no iterations ran")
+	}
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+}
+
+func TestPageRankStarCenterWins(t *testing.T) {
+	g := workload.Star(50) // spokes point at vertex 0
+	rank, _ := PageRank(g, 0.85, 1e-12, 500)
+	for v := 1; v < g.N; v++ {
+		if rank[0] <= rank[v] {
+			t.Fatalf("hub rank %v not above spoke %v", rank[0], rank[v])
+		}
+	}
+}
+
+func TestPageRankRingUniform(t *testing.T) {
+	g := workload.Ring(20)
+	rank, _ := PageRank(g, 0.85, 1e-12, 1000)
+	for v := 1; v < g.N; v++ {
+		if math.Abs(rank[v]-rank[0]) > 1e-9 {
+			t.Fatalf("ring must be uniform: rank[%d]=%v rank[0]=%v", v, rank[v], rank[0])
+		}
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := workload.Ring(6)
+	d := BFS(g, 0)
+	// Directed ring: distance is the forward walk length.
+	want := []int{0, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("bfs = %v, want %v", d, want)
+	}
+}
+
+func TestTriangleCountDirected(t *testing.T) {
+	g := &workload.Graph{N: 3, Adj: [][]int32{{1}, {2}, {0}}}
+	if c := TriangleCount(g); c != 1 {
+		t.Fatalf("directed 3-cycle count = %d, want 1", c)
+	}
+	// No triangle in a directed path.
+	p := &workload.Graph{N: 3, Adj: [][]int32{{1}, {2}, nil}}
+	if c := TriangleCount(p); c != 0 {
+		t.Fatalf("path count = %d, want 0", c)
+	}
+}
+
+func TestSubstringScanMatchesNaive(t *testing.T) {
+	docs := workload.Corpus(13, 20, 200, 500)
+	var text bytes.Buffer
+	for _, d := range docs {
+		for _, w := range d.Words {
+			text.WriteString(w)
+			text.WriteByte(' ')
+		}
+	}
+	tb := text.Bytes()
+	for _, pat := range []string{"a", "the", "zq", "w0 w1", ""} {
+		got := SubstringScan(tb, []byte(pat))
+		want := NaiveScan(tb, []byte(pat))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pattern %q: BMH diverges from naive (%d vs %d hits)", pat, len(got), len(want))
+		}
+	}
+}
+
+func TestSubstringScanOverlapping(t *testing.T) {
+	got := SubstringScan([]byte("aaaa"), []byte("aa"))
+	if !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("overlapping = %v", got)
+	}
+}
+
+func TestSubstringScanProperty(t *testing.T) {
+	f := func(text []byte, pat []byte) bool {
+		if len(pat) > 4 {
+			pat = pat[:4]
+		}
+		return equalSlices(SubstringScan(text, pat), NaiveScan(text, pat))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiScanCount(t *testing.T) {
+	docs := [][]byte{[]byte("the cat and the hat"), []byte("the end")}
+	got := MultiScanCount(docs, [][]byte{[]byte("the"), []byte("cat"), []byte("zzz")})
+	if got[0] != 3 || got[1] != 1 || got[2] != 0 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestDescriptorsPositiveAndOrdered(t *testing.T) {
+	for name, k := range Blocks() {
+		if k.Ops <= 0 || k.Bytes <= 0 {
+			t.Fatalf("%s: non-positive descriptor %+v", name, k)
+		}
+		if k.ParallelFraction <= 0 || k.ParallelFraction > 1 {
+			t.Fatalf("%s: bad parallel fraction %v", name, k.ParallelFraction)
+		}
+	}
+	// Matmul must be far more compute-intense than sort.
+	if MatMulDescriptor(1024, 1024, 1024).Intensity() <= SortDescriptor(1<<22).Intensity() {
+		t.Fatal("matmul must have higher operational intensity than sort")
+	}
+}
+
+func TestDescriptorsDriveAcceleratorSpeedups(t *testing.T) {
+	// Recommendation 4's 10× target: the compute-bound blocks should show
+	// order-of-magnitude gains on the GPU model; bandwidth-bound scans
+	// should not (they're capped by memory, not compute).
+	cpu, gpu := hw.XeonCPU(), hw.GPGPU()
+	mm := MatMulDescriptor(2048, 2048, 2048)
+	if s := hw.Speedup(cpu, gpu, mm); s < 8 {
+		t.Fatalf("matmul GPU speedup = %v, want >= 8", s)
+	}
+	scan := FilterDescriptor(1<<24, 0.1)
+	if s := hw.Speedup(cpu, gpu, scan); s > 8 {
+		t.Fatalf("bandwidth-bound filter speedup = %v, want < 8 (memory wall)", s)
+	}
+}

@@ -1,0 +1,144 @@
+package kernels
+
+import "math"
+
+// KMeansResult holds the converged model.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Assign     []int
+	Iterations int
+	// Inertia is the within-cluster sum of squared distances.
+	Inertia float64
+}
+
+// KMeans runs Lloyd's algorithm from the given initial centroids until
+// assignments stabilize or maxIter is reached. It is deterministic for a
+// fixed initialization. Initial centroids are copied, not mutated.
+func KMeans(points [][]float64, init [][]float64, maxIter int) KMeansResult {
+	k := len(init)
+	if k == 0 || len(points) == 0 {
+		return KMeansResult{}
+	}
+	dims := len(points[0])
+	cents := make([][]float64, k)
+	for i, c := range init {
+		cents[i] = append([]float64(nil), c...)
+	}
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bd := 0, math.Inf(1)
+			for c, cent := range cents {
+				d := sqDist(p, cent)
+				if d < bd {
+					best, bd = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; empty clusters keep their position.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dims)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, x := range p {
+				sums[c][d] += x
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := range cents[c] {
+				cents[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	inertia := 0.0
+	for i, p := range points {
+		inertia += sqDist(p, cents[assign[i]])
+	}
+	return KMeansResult{Centroids: cents, Assign: assign, Iterations: iter, Inertia: inertia}
+}
+
+func sqDist(a, b []float64) float64 {
+	t := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		t += d * d
+	}
+	return t
+}
+
+// MatMul computes C = A×B for dense row-major matrices, with cache
+// blocking. A is m×k, B is k×n, C is m×n; C must be zeroed by the caller
+// or freshly allocated via MatMulNew.
+func MatMul(a, b, c []float64, m, k, n int) {
+	const bs = 64
+	for ii := 0; ii < m; ii += bs {
+		for kk := 0; kk < k; kk += bs {
+			for jj := 0; jj < n; jj += bs {
+				iMax := min(ii+bs, m)
+				kMax := min(kk+bs, k)
+				jMax := min(jj+bs, n)
+				for i := ii; i < iMax; i++ {
+					for l := kk; l < kMax; l++ {
+						av := a[i*k+l]
+						if av == 0 {
+							continue
+						}
+						bRow := b[l*n : l*n+n]
+						cRow := c[i*n : i*n+n]
+						for j := jj; j < jMax; j++ {
+							cRow[j] += av * bRow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulNew allocates and returns C = A×B.
+func MatMulNew(a, b []float64, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	MatMul(a, b, c, m, k, n)
+	return c
+}
+
+// MatMulNaive is the unblocked reference used to verify MatMul.
+func MatMulNaive(a, b []float64, m, k, n int) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t := 0.0
+			for l := 0; l < k; l++ {
+				t += a[i*k+l] * b[l*n+j]
+			}
+			c[i*n+j] = t
+		}
+	}
+	return c
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

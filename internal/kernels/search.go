@@ -1,0 +1,66 @@
+package kernels
+
+// SubstringScan returns the start offsets of every (possibly overlapping)
+// occurrence of pattern in text using Boyer–Moore–Horspool — the
+// regex-lite text-scan building block behind NLP pre-filters and log
+// analytics. An empty pattern matches nowhere.
+func SubstringScan(text, pattern []byte) []int {
+	m := len(pattern)
+	if m == 0 || m > len(text) {
+		return nil
+	}
+	var shift [256]int
+	for i := range shift {
+		shift[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		shift[pattern[i]] = m - 1 - i
+	}
+	var out []int
+	pos := 0
+	last := pattern[m-1]
+	for pos+m <= len(text) {
+		c := text[pos+m-1]
+		if c == last && matchAt(text[pos:], pattern) {
+			out = append(out, pos)
+		}
+		pos += shift[c]
+	}
+	return out
+}
+
+func matchAt(text, pattern []byte) bool {
+	for i := 0; i < len(pattern); i++ {
+		if text[i] != pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NaiveScan is the quadratic reference used to verify SubstringScan.
+func NaiveScan(text, pattern []byte) []int {
+	m := len(pattern)
+	if m == 0 || m > len(text) {
+		return nil
+	}
+	var out []int
+	for i := 0; i+m <= len(text); i++ {
+		if matchAt(text[i:], pattern) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MultiScanCount counts total occurrences of each pattern across docs —
+// the batched form used by the E11 building-block table.
+func MultiScanCount(docs [][]byte, patterns [][]byte) []int64 {
+	out := make([]int64, len(patterns))
+	for _, d := range docs {
+		for i, p := range patterns {
+			out[i] += int64(len(SubstringScan(d, p)))
+		}
+	}
+	return out
+}

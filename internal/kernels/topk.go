@@ -1,0 +1,92 @@
+package kernels
+
+import "container/heap"
+
+// TopK returns the k largest values in descending order using a bounded
+// min-heap (O(n log k)); for k >= n it returns all values sorted
+// descending.
+func TopK(xs []int64, k int) []int64 {
+	if k <= 0 {
+		return nil
+	}
+	h := &minHeap{}
+	for _, x := range xs {
+		if h.Len() < k {
+			heap.Push(h, x)
+		} else if x > (*h)[0] {
+			(*h)[0] = x
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]int64, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(int64)
+	}
+	return out
+}
+
+type minHeap []int64
+
+func (h minHeap) Len() int           { return len(h) }
+func (h minHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h minHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *minHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// WeightedTopK returns the keys of the k largest weights, descending.
+// Ties break toward the lower key for determinism.
+type WeightedItem struct {
+	Key    uint64
+	Weight float64
+}
+
+// TopKWeighted selects the k heaviest items, descending by weight then
+// ascending by key.
+func TopKWeighted(items []WeightedItem, k int) []WeightedItem {
+	if k <= 0 {
+		return nil
+	}
+	h := &itemHeap{}
+	for _, it := range items {
+		if h.Len() < k {
+			heap.Push(h, it)
+		} else if itemLess((*h)[0], it) {
+			(*h)[0] = it
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]WeightedItem, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(WeightedItem)
+	}
+	return out
+}
+
+// itemLess orders a strictly below b (a is "worse": lighter, or equal
+// weight with a higher key).
+func itemLess(a, b WeightedItem) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	return a.Key > b.Key
+}
+
+type itemHeap []WeightedItem
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return itemLess(h[i], h[j]) }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(WeightedItem)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

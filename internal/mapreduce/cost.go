@@ -1,0 +1,74 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// ClusterModel prices a MapReduce job on a simulated shared-nothing
+// cluster: map and reduce phases scale with node count and per-node
+// processing rate; the shuffle crosses the fabric's bisection, which is
+// where the Ethernet-generation experiments (E3) bite.
+type ClusterModel struct {
+	Nodes int
+	// RecordsPerSecPerNode is the map/reduce processing rate.
+	RecordsPerSecPerNode float64
+	// BytesPerRecord sizes shuffle traffic.
+	BytesPerRecord float64
+	// Fabric is the network generation connecting the nodes.
+	Fabric topo.GbE
+	// BisectionFraction is the share of aggregate access bandwidth
+	// available across the bisection (1.0 for full-bisection fabrics,
+	// lower for oversubscribed ones).
+	BisectionFraction float64
+	// TaskOverheadS is the fixed scheduling overhead per wave of tasks.
+	TaskOverheadS float64
+}
+
+// DefaultCluster returns a 16-node 10 GbE cluster with 2M records/s/node,
+// 100-byte records, full bisection and 0.5 s of per-phase overhead.
+func DefaultCluster() ClusterModel {
+	return ClusterModel{
+		Nodes: 16, RecordsPerSecPerNode: 2e6, BytesPerRecord: 100,
+		Fabric: topo.Gen10, BisectionFraction: 1.0, TaskOverheadS: 0.5,
+	}
+}
+
+// Estimate prices a job from its counters.
+type Estimate struct {
+	MapS     float64
+	ShuffleS float64
+	ReduceS  float64
+	TotalS   float64
+}
+
+// Price estimates the wall-clock phases of a job with the given counters.
+func (m ClusterModel) Price(c Counters) (Estimate, error) {
+	if m.Nodes <= 0 || m.RecordsPerSecPerNode <= 0 {
+		return Estimate{}, fmt.Errorf("mapreduce: invalid cluster model %+v", m)
+	}
+	var e Estimate
+	rate := float64(m.Nodes) * m.RecordsPerSecPerNode
+	e.MapS = float64(c.InputRecords)/rate + m.TaskOverheadS
+	// Shuffle: all combined map output crosses the bisection once; with
+	// random key distribution, (Nodes-1)/Nodes of it is remote.
+	remote := float64(c.ShuffleRecords) * m.BytesPerRecord
+	if m.Nodes > 1 {
+		remote *= float64(m.Nodes-1) / float64(m.Nodes)
+	} else {
+		remote = 0
+	}
+	bisection := float64(m.Nodes) * m.Fabric.BytesPerSec() * m.BisectionFraction / 2
+	if bisection > 0 {
+		e.ShuffleS = remote / bisection
+	}
+	e.ReduceS = float64(c.ShuffleRecords)/rate + m.TaskOverheadS
+	e.TotalS = e.MapS + e.ShuffleS + e.ReduceS
+	return e, nil
+}
+
+// ShuffleBytes returns the network bytes the job's shuffle moves.
+func (m ClusterModel) ShuffleBytes(c Counters) float64 {
+	return float64(c.ShuffleRecords) * m.BytesPerRecord
+}

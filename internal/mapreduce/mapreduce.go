@@ -1,0 +1,187 @@
+// Package mapreduce is a working MapReduce engine: goroutine-parallel map
+// tasks, hash-partitioned shuffle with optional map-side combiners, and
+// parallel reduce tasks, plus a cluster cost model that prices the same
+// job on a simulated cluster (nodes × network generation). It is the
+// "distributed framework" endpoint of Section IV.C.1 — the E8 experiment
+// runs the same analytics through SQL, MapReduce and dataflow and compares
+// the abstractions; the unit of parallelization here is an OS thread
+// (goroutine), exactly the property Section IV.C.3 calls out.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Pair is one intermediate key/value record.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Mapper turns one input record into zero or more intermediate pairs via
+// emit.
+type Mapper[I any, K comparable, V any] func(rec I, emit func(K, V))
+
+// Combiner folds map-side values for one key (associative+commutative).
+type Combiner[V any] func(a, b V) V
+
+// Reducer folds all values of one key into the final output.
+type Reducer[K comparable, V any, O any] func(key K, vals []V) O
+
+// Config sets the engine's parallelism.
+type Config struct {
+	// MapTasks is the number of parallel map workers (default 4).
+	MapTasks int
+	// ReduceTasks is the number of partitions / reduce workers (default 4).
+	ReduceTasks int
+	// Hash partitions keys; the default uses fmt-based hashing which works
+	// for any comparable key. Provide a custom one for speed.
+	Hash func(k any) uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MapTasks <= 0 {
+		c.MapTasks = 4
+	}
+	if c.ReduceTasks <= 0 {
+		c.ReduceTasks = 4
+	}
+	if c.Hash == nil {
+		c.Hash = func(k any) uint64 { return fnv64(fmt.Sprint(k)) }
+	}
+	return c
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Counters reports job-level data movement — the numbers the E8
+// abstraction comparison tabulates.
+type Counters struct {
+	InputRecords   int
+	MapOutRecords  int
+	ShuffleRecords int // after combining: what actually crosses the network
+	ReduceGroups   int
+	MapTasks       int
+	ReduceTasks    int
+}
+
+// Run executes a MapReduce job in-process. combiner may be nil.
+// The output map holds one entry per distinct key.
+func Run[I any, K comparable, V any, O any](
+	cfg Config, input []I,
+	mapper Mapper[I, K, V],
+	combiner Combiner[V],
+	reducer Reducer[K, V, O],
+) (map[K]O, Counters, error) {
+	if mapper == nil || reducer == nil {
+		return nil, Counters{}, fmt.Errorf("mapreduce: mapper and reducer are required")
+	}
+	cfg = cfg.withDefaults()
+	ctr := Counters{InputRecords: len(input), MapTasks: cfg.MapTasks, ReduceTasks: cfg.ReduceTasks}
+
+	// ---- Map phase: split input into MapTasks slices, run in parallel.
+	// Each map task partitions its output by reduce task, combining
+	// map-side when a combiner is given.
+	type partition map[K][]V
+	taskParts := make([][]partition, cfg.MapTasks) // [mapTask][reduceTask]
+	mapOut := make([]int, cfg.MapTasks)
+	var wg sync.WaitGroup
+	chunk := (len(input) + cfg.MapTasks - 1) / cfg.MapTasks
+	for t := 0; t < cfg.MapTasks; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if lo > len(input) {
+			lo = len(input)
+		}
+		if hi > len(input) {
+			hi = len(input)
+		}
+		parts := make([]partition, cfg.ReduceTasks)
+		for i := range parts {
+			parts[i] = partition{}
+		}
+		taskParts[t] = parts
+		wg.Add(1)
+		go func(t int, recs []I, parts []partition) {
+			defer wg.Done()
+			emit := func(k K, v V) {
+				mapOut[t]++
+				p := parts[int(cfg.Hash(k)%uint64(cfg.ReduceTasks))]
+				if combiner != nil {
+					if prev, ok := p[k]; ok {
+						p[k] = []V{combiner(prev[0], v)}
+						return
+					}
+					p[k] = []V{v}
+					return
+				}
+				p[k] = append(p[k], v)
+			}
+			for _, r := range recs {
+				mapper(r, emit)
+			}
+		}(t, input[lo:hi], parts)
+	}
+	wg.Wait()
+	for _, n := range mapOut {
+		ctr.MapOutRecords += n
+	}
+
+	// ---- Shuffle: merge per-map partitions into per-reduce groups.
+	merged := make([]partition, cfg.ReduceTasks)
+	for r := range merged {
+		merged[r] = partition{}
+	}
+	for _, parts := range taskParts {
+		for r, p := range parts {
+			for k, vs := range p {
+				ctr.ShuffleRecords += len(vs)
+				merged[r][k] = append(merged[r][k], vs...)
+			}
+		}
+	}
+
+	// ---- Reduce phase: one worker per partition.
+	outs := make([]map[K]O, cfg.ReduceTasks)
+	for r := 0; r < cfg.ReduceTasks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out := make(map[K]O, len(merged[r]))
+			for k, vs := range merged[r] {
+				out[k] = reducer(k, vs)
+			}
+			outs[r] = out
+		}(r)
+	}
+	wg.Wait()
+
+	final := map[K]O{}
+	for _, out := range outs {
+		for k, v := range out {
+			final[k] = v
+		}
+	}
+	ctr.ReduceGroups = len(final)
+	return final, ctr, nil
+}
+
+// SortedKeys returns the output's keys in sorted order for deterministic
+// rendering (keys must be ordered via the less function).
+func SortedKeys[K comparable, O any](m map[K]O, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

@@ -1,0 +1,230 @@
+package mapreduce
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func wordCount(t *testing.T, cfg Config, docs []workload.Doc, combine bool) (map[string]int, Counters) {
+	t.Helper()
+	var comb Combiner[int]
+	if combine {
+		comb = func(a, b int) int { return a + b }
+	}
+	out, ctr, err := Run(cfg, docs,
+		func(d workload.Doc, emit func(string, int)) {
+			for _, w := range d.Words {
+				emit(w, 1)
+			}
+		},
+		comb,
+		func(_ string, vals []int) int {
+			t := 0
+			for _, v := range vals {
+				t += v
+			}
+			return t
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, ctr
+}
+
+func TestWordCountMatchesSequential(t *testing.T) {
+	docs := workload.Corpus(5, 50, 100, 300)
+	got, _ := wordCount(t, Config{MapTasks: 8, ReduceTasks: 4}, docs, false)
+	want := map[string]int{}
+	for _, d := range docs {
+		for _, w := range d.Words {
+			want[w]++
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct words: got %d want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Fatalf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+}
+
+func TestCombinerPreservesResultsCutsShuffle(t *testing.T) {
+	docs := workload.Corpus(5, 50, 100, 300)
+	plain, cp := wordCount(t, Config{MapTasks: 8, ReduceTasks: 4}, docs, false)
+	combined, cc := wordCount(t, Config{MapTasks: 8, ReduceTasks: 4}, docs, true)
+	if len(plain) != len(combined) {
+		t.Fatal("combiner changed result cardinality")
+	}
+	for w, n := range plain {
+		if combined[w] != n {
+			t.Fatalf("combiner changed count[%q]: %d vs %d", w, combined[w], n)
+		}
+	}
+	if cc.ShuffleRecords >= cp.ShuffleRecords {
+		t.Fatalf("combiner should cut shuffle: %d vs %d", cc.ShuffleRecords, cp.ShuffleRecords)
+	}
+	if cc.MapOutRecords != cp.MapOutRecords {
+		t.Fatalf("map output records must not change: %d vs %d", cc.MapOutRecords, cp.MapOutRecords)
+	}
+}
+
+func TestParallelismInvariance(t *testing.T) {
+	// The result must not depend on task counts.
+	docs := workload.Corpus(11, 30, 80, 200)
+	configs := []Config{
+		{MapTasks: 1, ReduceTasks: 1},
+		{MapTasks: 3, ReduceTasks: 2},
+		{MapTasks: 16, ReduceTasks: 8},
+	}
+	var ref map[string]int
+	for i, cfg := range configs {
+		out, _ := wordCount(t, cfg, docs, true)
+		if i == 0 {
+			ref = out
+			continue
+		}
+		if len(out) != len(ref) {
+			t.Fatalf("config %d: cardinality %d != %d", i, len(out), len(ref))
+		}
+		for k, v := range ref {
+			if out[k] != v {
+				t.Fatalf("config %d: %q = %d, want %d", i, k, out[k], v)
+			}
+		}
+	}
+}
+
+func TestNumericAggregation(t *testing.T) {
+	recs := workload.RecordStream(3, 10000, 64, 1.0)
+	out, ctr, err := Run(Config{MapTasks: 4, ReduceTasks: 4}, recs,
+		func(r workload.Record, emit func(string, float64)) { emit(r.Key, r.Value) },
+		func(a, b float64) float64 { return a + b },
+		func(_ string, vals []float64) float64 {
+			t := 0.0
+			for _, v := range vals {
+				t += v
+			}
+			return t
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctr.InputRecords != 10000 {
+		t.Fatalf("input = %d", ctr.InputRecords)
+	}
+	want := map[string]float64{}
+	for _, r := range recs {
+		want[r.Key] += r.Value
+	}
+	for k, v := range want {
+		if diff := out[k] - v; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("sum[%s] = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, _, err := Run[int, int, int, int](Config{}, nil, nil, nil, nil); err == nil {
+		t.Fatal("expected mapper/reducer validation error")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, ctr, err := Run(Config{}, []int{},
+		func(i int, emit func(int, int)) { emit(i, 1) },
+		nil,
+		func(_ int, vs []int) int { return len(vs) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || ctr.MapOutRecords != 0 {
+		t.Fatalf("empty input gave %v %v", out, ctr)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m, func(a, b string) bool { return a < b })
+	if strings.Join(keys, "") != "abc" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestDeterministicAcrossRunsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		docs := workload.Corpus(seed%100, 10, 40, 100)
+		a, _ := wordCount(t, Config{MapTasks: 4, ReduceTasks: 3}, docs, true)
+		b, _ := wordCount(t, Config{MapTasks: 4, ReduceTasks: 3}, docs, true)
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterPriceFasterFabricCutsShuffle(t *testing.T) {
+	ctr := Counters{InputRecords: 10_000_000, MapOutRecords: 10_000_000, ShuffleRecords: 10_000_000}
+	m := DefaultCluster()
+	m.Fabric = topo.Gen10
+	slow, err := m.Price(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Fabric = topo.Gen100
+	fast, err := m.Price(ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ShuffleS >= slow.ShuffleS {
+		t.Fatalf("100GbE shuffle (%v) should beat 10GbE (%v)", fast.ShuffleS, slow.ShuffleS)
+	}
+	if fast.MapS != slow.MapS {
+		t.Fatal("fabric must not affect map phase")
+	}
+}
+
+func TestClusterPriceSingleNodeNoShuffle(t *testing.T) {
+	m := DefaultCluster()
+	m.Nodes = 1
+	e, err := m.Price(Counters{InputRecords: 1000, ShuffleRecords: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ShuffleS != 0 {
+		t.Fatalf("single node shuffle = %v, want 0 (all local)", e.ShuffleS)
+	}
+}
+
+func TestClusterPriceValidation(t *testing.T) {
+	m := ClusterModel{}
+	if _, err := m.Price(Counters{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestMoreNodesCutMapTime(t *testing.T) {
+	ctr := Counters{InputRecords: 100_000_000, ShuffleRecords: 1_000_000}
+	small := DefaultCluster()
+	small.Nodes = 4
+	big := DefaultCluster()
+	big.Nodes = 64
+	se, _ := small.Price(ctr)
+	be, _ := big.Price(ctr)
+	if be.MapS >= se.MapS {
+		t.Fatalf("64 nodes map (%v) should beat 4 nodes (%v)", be.MapS, se.MapS)
+	}
+}

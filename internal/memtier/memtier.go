@@ -1,0 +1,203 @@
+// Package memtier models the storage/memory hierarchy that Recommendation
+// 5 says future Big-Data processors must integrate ("new non-volatile
+// memories and I/O interfaces"). A hierarchy assigns a data footprint to
+// ordered tiers (DRAM, storage-class NVM, NVMe flash, disk); accesses
+// follow a concentration curve (the 80/20 skew of analytics working sets),
+// so the hottest bytes land in the fastest tier. The model answers the
+// economic question behind the recommendation: how much does a latency
+// target cost with and without an NVM tier between DRAM and flash?
+package memtier
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tier is one level of the hierarchy.
+type Tier struct {
+	Name string
+	// LatencyNS is the average access latency.
+	LatencyNS float64
+	// GBs is sustained bandwidth in GB/s.
+	GBs float64
+	// EURPerGB is the acquisition cost.
+	EURPerGB float64
+}
+
+// The 2016-era catalog.
+var (
+	DRAM = Tier{Name: "dram", LatencyNS: 80, GBs: 100, EURPerGB: 8.0}
+	// NVM is storage-class memory (3D XPoint-class): between DRAM and
+	// flash on every axis.
+	NVM  = Tier{Name: "nvm", LatencyNS: 350, GBs: 15, EURPerGB: 3.0}
+	SSD  = Tier{Name: "ssd", LatencyNS: 80e3, GBs: 3, EURPerGB: 0.5}
+	Disk = Tier{Name: "disk", LatencyNS: 8e6, GBs: 0.2, EURPerGB: 0.03}
+)
+
+// Level is a tier with an allocated capacity.
+type Level struct {
+	Tier Tier
+	GB   float64
+}
+
+// Hierarchy is an ordered set of levels, fastest first, plus the access
+// skew of the workload.
+type Hierarchy struct {
+	Levels []Level
+	// SkewTheta parameterizes the concentration curve: the hottest
+	// fraction x of the footprint absorbs x^θ of accesses (θ≈0.14
+	// reproduces the 80/20 rule; θ=1 is uniform).
+	SkewTheta float64
+}
+
+// NewHierarchy builds a hierarchy with the default analytics skew.
+func NewHierarchy(levels ...Level) *Hierarchy {
+	return &Hierarchy{Levels: levels, SkewTheta: thetaFor8020}
+}
+
+// thetaFor8020 solves 0.2^θ = 0.8.
+var thetaFor8020 = math.Log(0.8) / math.Log(0.2)
+
+// Validate checks ordering (strictly faster above) and capacities.
+func (h *Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("memtier: empty hierarchy")
+	}
+	if h.SkewTheta <= 0 || h.SkewTheta > 1 {
+		return fmt.Errorf("memtier: skew theta %v out of (0, 1]", h.SkewTheta)
+	}
+	for i, l := range h.Levels {
+		if l.GB < 0 {
+			return fmt.Errorf("memtier: level %d negative capacity", i)
+		}
+		if i > 0 && l.Tier.LatencyNS <= h.Levels[i-1].Tier.LatencyNS {
+			return fmt.Errorf("memtier: level %d (%s) not slower than level %d (%s)",
+				i, l.Tier.Name, i-1, h.Levels[i-1].Tier.Name)
+		}
+	}
+	return nil
+}
+
+// CapacityGB sums level capacities.
+func (h *Hierarchy) CapacityGB() float64 {
+	t := 0.0
+	for _, l := range h.Levels {
+		t += l.GB
+	}
+	return t
+}
+
+// CostEUR prices the hierarchy.
+func (h *Hierarchy) CostEUR() float64 {
+	t := 0.0
+	for _, l := range h.Levels {
+		t += l.GB * l.Tier.EURPerGB
+	}
+	return t
+}
+
+// hitFraction returns the share of accesses landing in the hottest gb
+// bytes of a footprint.
+func (h *Hierarchy) hitFraction(gb, footprint float64) float64 {
+	if gb <= 0 {
+		return 0
+	}
+	if gb >= footprint {
+		return 1
+	}
+	return math.Pow(gb/footprint, h.SkewTheta)
+}
+
+// AvgLatencyNS returns the expected access latency for a footprint placed
+// hottest-first down the hierarchy. Footprint beyond total capacity is an
+// error (data must live somewhere).
+func (h *Hierarchy) AvgLatencyNS(footprintGB float64) (float64, error) {
+	if err := h.Validate(); err != nil {
+		return 0, err
+	}
+	if footprintGB <= 0 {
+		return 0, fmt.Errorf("memtier: non-positive footprint")
+	}
+	if h.CapacityGB()+1e-9 < footprintGB {
+		return 0, fmt.Errorf("memtier: footprint %.0f GB exceeds capacity %.0f GB",
+			footprintGB, h.CapacityGB())
+	}
+	total := 0.0
+	cumGB := 0.0
+	cumHit := 0.0
+	for _, l := range h.Levels {
+		upper := cumGB + l.GB
+		if upper > footprintGB {
+			upper = footprintGB
+		}
+		hitUpper := h.hitFraction(upper, footprintGB)
+		share := hitUpper - cumHit
+		total += share * l.Tier.LatencyNS
+		cumGB = upper
+		cumHit = hitUpper
+		if cumGB >= footprintGB {
+			break
+		}
+	}
+	return total, nil
+}
+
+// Config is a candidate capacity split for CheapestMeeting.
+type Config struct {
+	DRAMGB, NVMGB, SSDGB float64
+	AvgLatencyNS         float64
+	CostEUR              float64
+}
+
+// CheapestMeeting searches DRAM/NVM/SSD splits for the cheapest hierarchy
+// whose average latency meets the target for the footprint. useNVM toggles
+// the middle tier — the Recommendation 5 comparison. The search sweeps
+// DRAM and NVM capacities on a geometric grid; the SSD tier absorbs the
+// remainder. ok is false if no configuration meets the target.
+func CheapestMeeting(footprintGB, targetNS float64, useNVM bool) (Config, bool) {
+	best := Config{CostEUR: math.Inf(1)}
+	found := false
+	grid := geometricGrid(footprintGB)
+	nvmGrid := grid
+	if !useNVM {
+		nvmGrid = []float64{0}
+	}
+	for _, dram := range grid {
+		for _, nvm := range nvmGrid {
+			if dram+nvm > footprintGB {
+				continue
+			}
+			h := NewHierarchy(
+				Level{Tier: DRAM, GB: dram},
+				Level{Tier: NVM, GB: nvm},
+				Level{Tier: SSD, GB: footprintGB - dram - nvm},
+			)
+			lat, err := h.AvgLatencyNS(footprintGB)
+			if err != nil {
+				continue
+			}
+			if lat > targetNS {
+				continue
+			}
+			cost := h.CostEUR()
+			if cost < best.CostEUR {
+				best = Config{
+					DRAMGB: dram, NVMGB: nvm, SSDGB: footprintGB - dram - nvm,
+					AvgLatencyNS: lat, CostEUR: cost,
+				}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// geometricGrid returns candidate capacities: 0 plus a geometric sweep up
+// to the footprint.
+func geometricGrid(footprintGB float64) []float64 {
+	out := []float64{0}
+	for c := footprintGB / 1024; c <= footprintGB; c *= math.Sqrt2 {
+		out = append(out, c)
+	}
+	return append(out, footprintGB)
+}

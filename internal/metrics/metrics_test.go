@@ -1,0 +1,206 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// population std of this classic set is 2; sample std is sqrt(32/7)
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std()-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std(), want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Sum() != 40 {
+		t.Fatalf("sum = %v", s.Sum())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Std() != 0 || s.Var() != 0 {
+		t.Fatal("empty stream should report zeros")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.P50(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 50.5", got)
+	}
+	if got := s.P99(); math.Abs(got-99.01) > 0.5 {
+		t.Fatalf("p99 = %v, want ~99", got)
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := NewSample(len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			s.Add(x)
+		}
+		a := math.Abs(math.Mod(qa, 1))
+		b := math.Abs(math.Mod(qb, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return s.Quantile(a) <= s.Quantile(b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	s := NewSample(0)
+	s.Add(5)
+	_ = s.P50()
+	s.Add(1)
+	if s.Min() != 1 {
+		t.Fatal("sample did not re-sort after Add")
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 0)  // value 0 on [0, 10)
+	w.Observe(10, 4) // value 4 on [10, 20)
+	if got := w.MeanUntil(20); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("time-weighted mean = %v, want 2", got)
+	}
+	if w.Max() != 4 {
+		t.Fatalf("max = %v", w.Max())
+	}
+}
+
+func TestTimeWeightedBeforeStart(t *testing.T) {
+	var w TimeWeighted
+	if w.MeanUntil(5) != 0 {
+		t.Fatal("unstarted signal should average 0")
+	}
+	w.Observe(3, 7)
+	if w.MeanUntil(3) != 0 {
+		t.Fatal("zero-width window should average 0")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Addn(9)
+	if c.Value() != 10 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if got := c.Rate(5); got != 2 {
+		t.Fatalf("rate = %v", got)
+	}
+	if c.Rate(0) != 0 {
+		t.Fatal("rate over zero elapsed should be 0")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRowf("beta", 2.5)
+	out := tab.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("render produced %d lines:\n%s", len(lines), out)
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("only-one")
+	out := tab.Render()
+	if !strings.Contains(out, "only-one") {
+		t.Fatalf("row dropped:\n%s", out)
+	}
+}
+
+func TestSeriesAndFigure(t *testing.T) {
+	f := NewFigure("test fig")
+	s := f.Line("curve")
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	out := f.Render()
+	if !strings.Contains(out, "test fig") || !strings.Contains(out, "curve") || !strings.Contains(out, "x=3") {
+		t.Fatalf("figure render missing content:\n%s", out)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[float64]string{
+		512:                "512B",
+		2048:               "2KiB",
+		3 * 1024 * 1024:    "3MiB",
+		1024 * 1024 * 1024: "1GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		999:     "999",
+		1500:    "1.5k",
+		2e6:     "2M",
+		3.5e9:   "3.5G",
+		1.25e12: "1.25T",
+	}
+	for in, want := range cases {
+		if got := FormatSI(in); got != want {
+			t.Errorf("FormatSI(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

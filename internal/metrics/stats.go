@@ -1,0 +1,217 @@
+// Package metrics provides the statistics and reporting primitives shared
+// by every experiment harness in the repository: exact-quantile samples,
+// streaming moments, time-weighted averages, and plain-text table/series
+// renderers so all harness output is uniform.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Stream accumulates streaming moments with Welford's algorithm. The zero
+// value is ready to use.
+type Stream struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	s.sum += x
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int { return s.n }
+
+// Sum returns the running total.
+func (s *Stream) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (0 with fewer than two observations).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (0 with no observations).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with no observations).
+func (s *Stream) Max() float64 { return s.max }
+
+// Sample retains every observation and answers exact quantiles. Use it
+// where tails matter (latency experiments); use Stream when only moments
+// are needed.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// NewSample returns a sample with capacity hint n.
+func NewSample(n int) *Sample { return &Sample{xs: make([]float64, 0, n)} }
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 with no observations).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, x := range s.xs {
+		t += x
+	}
+	return t / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	t := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		t += d * d
+	}
+	return math.Sqrt(t / float64(n-1))
+}
+
+func (s *Sample) sortIfNeeded() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the exact q-quantile (0 <= q <= 1) with linear
+// interpolation between order statistics. It returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		s.sortIfNeeded()
+		return s.xs[0]
+	}
+	if q >= 1 {
+		s.sortIfNeeded()
+		return s.xs[len(s.xs)-1]
+	}
+	s.sortIfNeeded()
+	pos := q * float64(len(s.xs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// P50, P95, P99 and P999 are convenience accessors for common tail
+// quantiles.
+func (s *Sample) P50() float64  { return s.Quantile(0.50) }
+func (s *Sample) P95() float64  { return s.Quantile(0.95) }
+func (s *Sample) P99() float64  { return s.Quantile(0.99) }
+func (s *Sample) P999() float64 { return s.Quantile(0.999) }
+
+// Min returns the smallest observation.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// TimeWeighted tracks the time-average of a piecewise-constant signal,
+// e.g. queue length or link utilization over virtual time.
+type TimeWeighted struct {
+	lastT   float64
+	lastV   float64
+	area    float64
+	started bool
+	start   float64
+	max     float64
+}
+
+// Observe records that the signal takes value v from time t onward.
+// Calls must have non-decreasing t.
+func (w *TimeWeighted) Observe(t, v float64) {
+	if !w.started {
+		w.started = true
+		w.start = t
+	} else {
+		w.area += w.lastV * (t - w.lastT)
+	}
+	if v > w.max {
+		w.max = v
+	}
+	w.lastT, w.lastV = t, v
+}
+
+// MeanUntil returns the time-average of the signal on [start, t].
+func (w *TimeWeighted) MeanUntil(t float64) float64 {
+	if !w.started || t <= w.start {
+		return 0
+	}
+	area := w.area + w.lastV*(t-w.lastT)
+	return area / (t - w.start)
+}
+
+// Max returns the maximum observed value.
+func (w *TimeWeighted) Max() float64 { return w.max }
+
+// Counter is a monotonically increasing event counter with a convenience
+// rate helper.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n.
+func (c *Counter) Addn(n uint64) { c.n += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Rate returns counts per unit over elapsed (0 if elapsed <= 0).
+func (c *Counter) Rate(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed
+}

@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a plain-text table builder used by every experiment harness so
+// that reproduced "paper tables" render uniformly.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted values: each argument is rendered with
+// %v unless it is a float64, which renders with %.4g.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			out[i] = v
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", width[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is a labelled (x, y) sequence — the text analogue of a figure
+// line. Harnesses reproducing paper figures emit one Series per curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// Render returns "name: (x, y) ..." as text, one point per line.
+func (s *Series) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "series %s\n", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, "  x=%.6g y=%.6g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// Figure groups series under a caption, mirroring a paper figure.
+type Figure struct {
+	Caption string
+	Series  []*Series
+}
+
+// NewFigure returns an empty figure.
+func NewFigure(caption string) *Figure { return &Figure{Caption: caption} }
+
+// Line adds and returns a named series.
+func (f *Figure) Line(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// Render emits the caption and every series as text.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "figure: %s\n", f.Caption)
+	for _, s := range f.Series {
+		b.WriteString(s.Render())
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count using binary units (KiB, MiB, ...).
+func FormatBytes(n float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB"}
+	i := 0
+	for n >= 1024 && i < len(units)-1 {
+		n /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.4g%s", n, units[i])
+}
+
+// FormatSI renders a value with SI magnitude suffixes (k, M, G, T).
+func FormatSI(n float64) string {
+	abs := n
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.4gT", n/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.4gG", n/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.4gM", n/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.4gk", n/1e3)
+	default:
+		return fmt.Sprintf("%.4g", n)
+	}
+}

@@ -1,0 +1,107 @@
+package netsim
+
+// maxMinRates computes progressive-filling max-min fair rates for all
+// active flows over directed links.
+func (s *Simulator) maxMinRates() {
+	// Build directed-link usage sets.
+	type linkState struct {
+		cap      float64
+		unfrozen []*Flow
+	}
+	links := map[dirLink]*linkState{}
+	flowLinks := map[int][]dirLink{}
+	for _, f := range s.flows {
+		f.rate = 0
+		var dls []dirLink
+		for i, lid := range f.Path.LinkIDs {
+			forward := s.Net.Links[lid].A == f.Path.NodeIDs[i]
+			dl := dirLinkID(lid, forward)
+			dls = append(dls, dl)
+			st, ok := links[dl]
+			if !ok {
+				st = &linkState{cap: s.Net.Links[lid].Speed.BytesPerSec()}
+				links[dl] = st
+			}
+			st.unfrozen = append(st.unfrozen, f)
+		}
+		flowLinks[f.ID] = dls
+	}
+	frozen := map[int]bool{}
+	for len(frozen) < len(s.flows) {
+		// Find the bottleneck: the link with the smallest fair share among
+		// links that still carry unfrozen flows.
+		var bottleneck *linkState
+		bestShare := 0.0
+		for _, st := range links {
+			n := 0
+			for _, f := range st.unfrozen {
+				if !frozen[f.ID] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := st.cap / float64(n)
+			if bottleneck == nil || share < bestShare {
+				bottleneck = st
+				bestShare = share
+			}
+		}
+		if bottleneck == nil {
+			// Remaining flows traverse no capacity-constrained links
+			// (shouldn't happen on real topologies); give them a huge rate.
+			for _, f := range s.flows {
+				if !frozen[f.ID] {
+					f.rate = 1e18
+					frozen[f.ID] = true
+				}
+			}
+			return
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share,
+		// then charge that rate against every link those flows use.
+		for _, f := range bottleneck.unfrozen {
+			if frozen[f.ID] {
+				continue
+			}
+			f.rate = bestShare
+			frozen[f.ID] = true
+			for _, dl := range flowLinks[f.ID] {
+				links[dl].cap -= bestShare
+				if links[dl].cap < 0 {
+					links[dl].cap = 0
+				}
+			}
+		}
+	}
+}
+
+// proportionalRates is the single-pass ablation baseline: each flow's rate
+// is the minimum over its path of capacity divided by the number of flows
+// sharing that directed link. It never overbooks a link but can leave
+// capacity stranded relative to max-min.
+func (s *Simulator) proportionalRates() {
+	counts := map[dirLink]int{}
+	for _, f := range s.flows {
+		for i, lid := range f.Path.LinkIDs {
+			forward := s.Net.Links[lid].A == f.Path.NodeIDs[i]
+			counts[dirLinkID(lid, forward)]++
+		}
+	}
+	for _, f := range s.flows {
+		rate := -1.0
+		for i, lid := range f.Path.LinkIDs {
+			forward := s.Net.Links[lid].A == f.Path.NodeIDs[i]
+			dl := dirLinkID(lid, forward)
+			share := s.Net.Links[lid].Speed.BytesPerSec() / float64(counts[dl])
+			if rate < 0 || share < rate {
+				rate = share
+			}
+		}
+		if rate < 0 {
+			rate = 1e18
+		}
+		f.rate = rate
+	}
+}

@@ -1,0 +1,266 @@
+// Package netsim is a flow-level datacenter network simulator. Flows are
+// routed over an internal/topo topology, share directed link capacity
+// according to max-min fairness (progressive filling, the standard
+// flow-level abstraction of TCP-like sharing), and the simulator reports
+// flow completion times and link utilization. A multi-server queueing
+// station is also provided for service-latency (tail) experiments.
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Flow is one bulk transfer between two hosts.
+type Flow struct {
+	ID    int
+	Src   int
+	Dst   int
+	Bytes float64
+	Path  topo.Path
+
+	Start sim.Time
+	End   sim.Time
+	Done  bool
+
+	remaining float64
+	rate      float64 // current bytes/sec
+	lastTouch sim.Time
+}
+
+// FCT returns the flow completion time in seconds, including path
+// propagation delay; it returns 0 for unfinished flows.
+func (f *Flow) FCT() float64 {
+	if !f.Done {
+		return 0
+	}
+	return float64(f.End - f.Start)
+}
+
+// dirLink identifies one direction of a full-duplex link.
+type dirLink int
+
+func dirLinkID(linkID int, forward bool) dirLink {
+	if forward {
+		return dirLink(linkID * 2)
+	}
+	return dirLink(linkID*2 + 1)
+}
+
+// Fairness selects the bandwidth-sharing model.
+type Fairness int
+
+const (
+	// MaxMin is progressive-filling max-min fairness (default; models
+	// TCP-like sharing at flow granularity).
+	MaxMin Fairness = iota
+	// Proportional is a single-pass heuristic: each flow gets the minimum
+	// over its links of capacity divided by flow count. It under-allocates
+	// relative to max-min and exists for the fairness ablation.
+	Proportional
+)
+
+// Simulator runs flows over a topology.
+type Simulator struct {
+	Net      *topo.Network
+	Engine   *sim.Engine
+	Fairness Fairness
+	// ECMPWidth bounds the ECMP path set considered per flow (default 8).
+	ECMPWidth int
+
+	flows     map[int]*Flow
+	nextID    int
+	doneFCT   *metrics.Sample
+	doneBytes float64
+	completeC *sim.Event
+	linkBusy  []float64 // cumulative byte-seconds per directed link
+	onDone    func(*Flow)
+}
+
+// NewSimulator returns a simulator over the given network with its own
+// event engine.
+func NewSimulator(net *topo.Network) *Simulator {
+	return &Simulator{
+		Net:       net,
+		Engine:    sim.NewEngine(),
+		ECMPWidth: 8,
+		flows:     map[int]*Flow{},
+		doneFCT:   metrics.NewSample(1024),
+		linkBusy:  make([]float64, len(net.Links)*2),
+	}
+}
+
+// OnFlowDone registers a callback invoked when any flow completes.
+func (s *Simulator) OnFlowDone(fn func(*Flow)) { s.onDone = fn }
+
+// StartFlow routes and injects a flow of the given size now. It returns the
+// flow, or an error if no route exists.
+func (s *Simulator) StartFlow(src, dst int, bytes float64) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("netsim: flow size must be positive, got %v", bytes)
+	}
+	id := s.nextID
+	path, ok := s.Net.PickECMP(src, dst, id, s.ECMPWidth)
+	if !ok {
+		return nil, fmt.Errorf("netsim: no route %d -> %d", src, dst)
+	}
+	s.nextID++
+	f := &Flow{
+		ID: id, Src: src, Dst: dst, Bytes: bytes, Path: path,
+		Start: s.Engine.Now(), remaining: bytes, lastTouch: s.Engine.Now(),
+	}
+	s.flows[id] = f
+	s.reallocate()
+	return f, nil
+}
+
+// ScheduleFlow injects a flow after the given delay.
+func (s *Simulator) ScheduleFlow(delay sim.Time, src, dst int, bytes float64) {
+	s.Engine.Schedule(delay, func() {
+		if _, err := s.StartFlow(src, dst, bytes); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// Run drives the engine until all flows complete.
+func (s *Simulator) Run() { s.Engine.Run() }
+
+// FCTs returns the sample of completed flow completion times (seconds).
+func (s *Simulator) FCTs() *metrics.Sample { return s.doneFCT }
+
+// BytesDelivered returns total bytes of completed flows.
+func (s *Simulator) BytesDelivered() float64 { return s.doneBytes }
+
+// ActiveFlows returns the number of in-flight flows.
+func (s *Simulator) ActiveFlows() int { return len(s.flows) }
+
+// MeanLinkUtilization returns the average utilization across directed
+// links over [0, Now], in [0, 1].
+func (s *Simulator) MeanLinkUtilization() float64 {
+	now := float64(s.Engine.Now())
+	if now <= 0 || len(s.linkBusy) == 0 {
+		return 0
+	}
+	total := 0.0
+	for d, busy := range s.linkBusy {
+		cap := s.Net.Links[d/2].Speed.BytesPerSec()
+		total += busy / (cap * now)
+	}
+	return total / float64(len(s.linkBusy))
+}
+
+// retireThreshold is the residue below which a flow counts as complete.
+// It is relative to the flow size: progressive filling accumulates rounding
+// on the order of Bytes*eps, so an absolute cutoff would strand large flows
+// with residues whose completion events are too small to advance the
+// float64 clock.
+func retireThreshold(f *Flow) float64 { return 1e-9 + 1e-9*f.Bytes }
+
+// advanceProgress charges each active flow for bytes sent since its last
+// touch, at its current rate.
+func (s *Simulator) advanceProgress() {
+	now := s.Engine.Now()
+	for _, f := range s.flows {
+		dt := float64(now - f.lastTouch)
+		if dt > 0 && f.rate > 0 {
+			s.charge(f, f.rate*dt)
+		}
+		f.lastTouch = now
+	}
+}
+
+// chargeExact charges every flow for exactly dt seconds at its current
+// rate, independent of the clock. The completion event uses this so that
+// the flow that defined the event's delay retires even when the delay is
+// too small to move the float64 clock.
+func (s *Simulator) chargeExact(dt float64) {
+	now := s.Engine.Now()
+	for _, f := range s.flows {
+		if f.rate > 0 {
+			s.charge(f, f.rate*dt)
+		}
+		f.lastTouch = now
+	}
+}
+
+func (s *Simulator) charge(f *Flow, sent float64) {
+	if sent > f.remaining || f.remaining-sent <= retireThreshold(f) {
+		sent = f.remaining
+	}
+	f.remaining -= sent
+	s.chargeLinks(f, sent)
+}
+
+func (s *Simulator) chargeLinks(f *Flow, bytes float64) {
+	for i, lid := range f.Path.LinkIDs {
+		forward := s.Net.Links[lid].A == f.Path.NodeIDs[i]
+		s.linkBusy[dirLinkID(lid, forward)] += bytes
+	}
+}
+
+// retire finishes every flow whose residue is at or below its threshold.
+func (s *Simulator) retire() {
+	for id, f := range s.flows {
+		if f.remaining <= retireThreshold(f) {
+			s.finish(f)
+			delete(s.flows, id)
+		}
+	}
+}
+
+// reallocate recomputes fair rates and schedules the next completion.
+func (s *Simulator) reallocate() {
+	s.advanceProgress()
+	s.retire()
+	if len(s.flows) == 0 {
+		return
+	}
+	switch s.Fairness {
+	case MaxMin:
+		s.maxMinRates()
+	case Proportional:
+		s.proportionalRates()
+	}
+	// Schedule the earliest completion.
+	if s.completeC != nil {
+		s.Engine.Cancel(s.completeC)
+		s.completeC = nil
+	}
+	best := sim.Time(-1)
+	for _, f := range s.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		t := sim.Time(f.remaining / f.rate)
+		if best < 0 || t < best {
+			best = t
+		}
+	}
+	if best < 0 {
+		panic("netsim: active flows but no positive rates (disconnected capacity?)")
+	}
+	dt := float64(best)
+	s.completeC = s.Engine.Schedule(best, func() {
+		s.completeC = nil
+		// Charge analytically for the scheduled interval: rates are
+		// unchanged since scheduling (any change would have cancelled this
+		// event), and the clock delta may round to zero for tiny residues.
+		s.chargeExact(dt)
+		s.retire()
+		s.reallocate()
+	})
+}
+
+func (s *Simulator) finish(f *Flow) {
+	f.Done = true
+	f.End = s.Engine.Now() + sim.Time(f.Path.DelayNS(s.Net)*1e-9)
+	s.doneFCT.Add(float64(f.End - f.Start))
+	s.doneBytes += f.Bytes
+	if s.onDone != nil {
+		s.onDone(f)
+	}
+}

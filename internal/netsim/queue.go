@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Station is a FIFO multi-server queueing station (G/G/k) driven by a
+// sim.Engine. It is the substrate for service tail-latency experiments
+// such as the Catapult ranking study: arrivals queue for one of k servers,
+// each job carries its own service demand.
+type Station struct {
+	Engine  *sim.Engine
+	Servers int
+
+	queue    []job
+	busy     int
+	lat      *metrics.Sample
+	svc      *metrics.Sample
+	qlen     metrics.TimeWeighted
+	departed int
+}
+
+type job struct {
+	arrived sim.Time
+	service sim.Time
+	done    func(wait, total sim.Time)
+}
+
+// NewStation returns a station with k servers on the given engine.
+func NewStation(e *sim.Engine, k int) *Station {
+	if k <= 0 {
+		panic("netsim: station needs at least one server")
+	}
+	return &Station{Engine: e, Servers: k, lat: metrics.NewSample(1024), svc: metrics.NewSample(1024)}
+}
+
+// Submit enqueues a job with the given service demand. The optional done
+// callback receives the waiting time and total sojourn time.
+func (st *Station) Submit(service sim.Time, done func(wait, total sim.Time)) {
+	j := job{arrived: st.Engine.Now(), service: service, done: done}
+	if st.busy < st.Servers {
+		st.start(j)
+		return
+	}
+	st.queue = append(st.queue, j)
+	st.qlen.Observe(float64(st.Engine.Now()), float64(len(st.queue)))
+}
+
+func (st *Station) start(j job) {
+	st.busy++
+	st.Engine.Schedule(j.service, func() {
+		st.busy--
+		now := st.Engine.Now()
+		total := now - j.arrived
+		wait := total - j.service
+		st.lat.Add(float64(total))
+		st.svc.Add(float64(j.service))
+		st.departed++
+		if j.done != nil {
+			j.done(wait, total)
+		}
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			st.qlen.Observe(float64(now), float64(len(st.queue)))
+			st.start(next)
+		}
+	})
+}
+
+// Latency returns the sample of total sojourn times (seconds).
+func (st *Station) Latency() *metrics.Sample { return st.lat }
+
+// ServiceTimes returns the sample of service demands of departed jobs.
+func (st *Station) ServiceTimes() *metrics.Sample { return st.svc }
+
+// Departed returns the number of completed jobs.
+func (st *Station) Departed() int { return st.departed }
+
+// QueueLenMean returns the time-average queue length up to now.
+func (st *Station) QueueLenMean() float64 {
+	return st.qlen.MeanUntil(float64(st.Engine.Now()))
+}

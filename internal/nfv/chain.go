@@ -1,0 +1,207 @@
+package nfv
+
+import "fmt"
+
+// Chain is an ordered service chain: every packet traverses all stages.
+type Chain struct {
+	Name   string
+	Stages []*Stage
+}
+
+// Stage is one function in a chain, horizontally scaled across instances.
+// Packets are sprayed across instances (per-flow ECMP), so stage capacity
+// is the sum of instance capacities and stage latency is an instance's
+// latency at its share of the load.
+type Stage struct {
+	Instances []*VNF
+	// Appliance, when non-nil, implements this stage in hardware and the
+	// Instances slice is ignored.
+	Appliance *Appliance
+	// HopToNextUS is the network latency to the next stage (0 when
+	// co-located on the same server, ~10 µs across a rack).
+	HopToNextUS float64
+}
+
+// NewSoftwareChain builds a chain of software VNFs with one instance per
+// stage and interStageHopUS between consecutive stages.
+func NewSoftwareChain(name string, cores int, interStageHopUS float64, fns ...Function) *Chain {
+	c := &Chain{Name: name}
+	for i, f := range fns {
+		st := &Stage{Instances: []*VNF{DefaultVNF(f, cores)}}
+		if i < len(fns)-1 {
+			st.HopToNextUS = interStageHopUS
+		}
+		c.Stages = append(c.Stages, st)
+	}
+	return c
+}
+
+// NewApplianceChain builds the hardware-appliance baseline chain.
+func NewApplianceChain(name string, interStageHopUS float64, fns ...Function) *Chain {
+	c := &Chain{Name: name}
+	for i, f := range fns {
+		st := &Stage{Appliance: DefaultAppliance(f)}
+		if i < len(fns)-1 {
+			st.HopToNextUS = interStageHopUS
+		}
+		c.Stages = append(c.Stages, st)
+	}
+	return c
+}
+
+// OffloadAll returns a copy of the chain with every software stage
+// offloaded to SmartNIC/FPGA.
+func (c *Chain) OffloadAll() *Chain {
+	out := &Chain{Name: c.Name + "+offload"}
+	for _, st := range c.Stages {
+		ns := &Stage{HopToNextUS: st.HopToNextUS, Appliance: st.Appliance}
+		for _, v := range st.Instances {
+			ns.Instances = append(ns.Instances, Offload(v))
+		}
+		out.Stages = append(out.Stages, ns)
+	}
+	return out
+}
+
+// ScaleStage adds clones of the stage's first instance until the stage has
+// n instances. It panics on appliance stages or empty stages.
+func (c *Chain) ScaleStage(i, n int) {
+	st := c.Stages[i]
+	if st.Appliance != nil {
+		panic("nfv: cannot scale an appliance stage")
+	}
+	if len(st.Instances) == 0 {
+		panic("nfv: stage has no instance to clone")
+	}
+	for len(st.Instances) < n {
+		st.Instances = append(st.Instances, st.Instances[0].Clone())
+	}
+}
+
+// CapacityPPS returns the stage saturation throughput.
+func (s *Stage) CapacityPPS() float64 {
+	if s.Appliance != nil {
+		return s.Appliance.PPS
+	}
+	total := 0.0
+	for _, v := range s.Instances {
+		total += v.CapacityPPS()
+	}
+	return total
+}
+
+// LatencyUS returns the stage sojourn at offered load lambda.
+func (s *Stage) LatencyUS(lambda float64) (float64, error) {
+	if s.Appliance != nil {
+		return s.Appliance.ApplianceLatencyUS(lambda)
+	}
+	if len(s.Instances) == 0 {
+		return 0, fmt.Errorf("nfv: empty stage")
+	}
+	// Even spray across instances.
+	share := lambda / float64(len(s.Instances))
+	return s.Instances[0].LatencyUS(share)
+}
+
+// CapacityPPS returns the chain's saturation throughput: the minimum stage
+// capacity (the chain bottleneck).
+func (c *Chain) CapacityPPS() float64 {
+	if len(c.Stages) == 0 {
+		return 0
+	}
+	min := c.Stages[0].CapacityPPS()
+	for _, s := range c.Stages[1:] {
+		if x := s.CapacityPPS(); x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Bottleneck returns the index of the stage with the least capacity.
+func (c *Chain) Bottleneck() int {
+	best, idx := -1.0, -1
+	for i, s := range c.Stages {
+		x := s.CapacityPPS()
+		if idx == -1 || x < best {
+			best, idx = x, i
+		}
+	}
+	return idx
+}
+
+// LatencyUS returns end-to-end chain latency at offered load lambda,
+// including inter-stage hops.
+func (c *Chain) LatencyUS(lambda float64) (float64, error) {
+	total := 0.0
+	for i, s := range c.Stages {
+		l, err := s.LatencyUS(lambda)
+		if err != nil {
+			return 0, fmt.Errorf("stage %d: %w", i, err)
+		}
+		total += l + s.HopToNextUS
+	}
+	return total, nil
+}
+
+// PriceEUR returns the chain acquisition cost. Software stages are priced
+// as their core share of a serverPriceEUR machine with serverCores cores;
+// offloaded stages add nicPriceEUR per instance.
+func (c *Chain) PriceEUR(serverPriceEUR float64, serverCores int, nicPriceEUR float64) float64 {
+	total := 0.0
+	for _, s := range c.Stages {
+		if s.Appliance != nil {
+			total += s.Appliance.PriceEUR
+			continue
+		}
+		for _, v := range s.Instances {
+			total += serverPriceEUR * float64(v.Cores) / float64(serverCores)
+			if v.Offloaded {
+				total += nicPriceEUR
+			}
+		}
+	}
+	return total
+}
+
+// DeployDays returns the lead time to stand the chain up: appliances
+// serialize procurement (the max of their lead times), software deploys in
+// a fraction of a day.
+func (c *Chain) DeployDays() float64 {
+	worst := 0.1 // software rollout
+	for _, s := range c.Stages {
+		if s.Appliance != nil && s.Appliance.DeployDays > worst {
+			worst = s.Appliance.DeployDays
+		}
+	}
+	return worst
+}
+
+// AutoScale grows software stages until the chain supports targetPPS with
+// per-stage utilization at most maxRho. It returns total instances added,
+// or an error if an appliance stage is the bottleneck (hardware cannot
+// scale out by software means).
+func (c *Chain) AutoScale(targetPPS, maxRho float64) (int, error) {
+	if maxRho <= 0 || maxRho >= 1 {
+		return 0, fmt.Errorf("nfv: maxRho must be in (0,1)")
+	}
+	added := 0
+	for i, s := range c.Stages {
+		if s.Appliance != nil {
+			if s.Appliance.PPS*maxRho < targetPPS {
+				return added, fmt.Errorf("nfv: appliance stage %d cannot reach %.3g pps", i, targetPPS)
+			}
+			continue
+		}
+		per := s.Instances[0].CapacityPPS()
+		need := 1
+		for float64(need)*per*maxRho < targetPPS {
+			need++
+		}
+		if need > len(s.Instances) {
+			added += need - len(s.Instances)
+			c.ScaleStage(i, need)
+		}
+	}
+	return added, nil
+}

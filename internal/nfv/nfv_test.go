@@ -1,0 +1,189 @@
+package nfv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVNFCapacityScalesWithCores(t *testing.T) {
+	one := DefaultVNF(Firewall, 1)
+	four := DefaultVNF(Firewall, 4)
+	if r := four.CapacityPPS() / one.CapacityPPS(); math.Abs(r-4) > 1e-9 {
+		t.Fatalf("4-core capacity ratio = %v, want 4", r)
+	}
+}
+
+func TestVNFServiceTime(t *testing.T) {
+	v := DefaultVNF(Firewall, 1) // 1200 cycles at 2.4 GHz = 500 ns
+	if got := v.ServiceTimeS(); math.Abs(got-5e-7) > 1e-12 {
+		t.Fatalf("service time = %v, want 500ns", got)
+	}
+}
+
+func TestVNFLatencyGrowsWithLoad(t *testing.T) {
+	v := DefaultVNF(DPI, 4)
+	mu := v.CapacityPPS()
+	lo, err := v.LatencyUS(0.2 * mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := v.LatencyUS(0.9 * mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("latency must grow with load: %v <= %v", hi, lo)
+	}
+}
+
+func TestVNFOverloadIsError(t *testing.T) {
+	v := DefaultVNF(NAT, 2)
+	if _, err := v.LatencyUS(v.CapacityPPS() * 1.01); err == nil {
+		t.Fatal("expected overload error")
+	}
+}
+
+func TestOffloadCutsServiceTime(t *testing.T) {
+	v := DefaultVNF(DPI, 2)
+	o := Offload(v)
+	if o.ServiceTimeS() >= v.ServiceTimeS() {
+		t.Fatal("offload must cut service time")
+	}
+	if r := v.ServiceTimeS() / o.ServiceTimeS(); math.Abs(r-20) > 1e-9 {
+		t.Fatalf("DPI offload factor = %v, want 20", r)
+	}
+}
+
+func TestChainCapacityIsBottleneck(t *testing.T) {
+	c := NewSoftwareChain("edge", 4, 10, Firewall, DPI, Router)
+	// DPI is by far the most expensive → bottleneck.
+	if got := c.Bottleneck(); got != 1 {
+		t.Fatalf("bottleneck stage = %d, want 1 (dpi)", got)
+	}
+	if c.CapacityPPS() != c.Stages[1].CapacityPPS() {
+		t.Fatal("chain capacity must equal bottleneck capacity")
+	}
+}
+
+func TestChainLatencyIncludesHops(t *testing.T) {
+	withHops := NewSoftwareChain("a", 4, 10, Firewall, NAT)
+	coLocated := NewSoftwareChain("b", 4, 0, Firewall, NAT)
+	lambda := withHops.CapacityPPS() * 0.3
+	lw, err := withHops.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, err := coLocated.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((lw-lc)-10) > 1e-9 {
+		t.Fatalf("hop latency delta = %v, want 10", lw-lc)
+	}
+}
+
+func TestApplianceChainFasterButDearer(t *testing.T) {
+	fns := []Function{Firewall, DPI, LoadBalancer}
+	hwc := NewApplianceChain("hw", 5, fns...)
+	swc := NewSoftwareChain("sw", 8, 5, fns...)
+	lambda := 1e6 // 1 Mpps, within both capacities after scaling
+	if _, err := swc.AutoScale(lambda, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	hl, err := hwc.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := swc.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl >= sl {
+		t.Fatalf("appliance latency (%v) should beat software (%v)", hl, sl)
+	}
+	hp := hwc.PriceEUR(8000, 32, 2000)
+	sp := swc.PriceEUR(8000, 32, 2000)
+	if hp <= sp {
+		t.Fatalf("appliance price (%v) should exceed software (%v)", hp, sp)
+	}
+	if hwc.DeployDays() <= swc.DeployDays() {
+		t.Fatal("appliances must have longer lead time")
+	}
+}
+
+func TestOffloadClosesLatencyGap(t *testing.T) {
+	fns := []Function{Firewall, DPI}
+	sw := NewSoftwareChain("sw", 8, 5, fns...)
+	off := sw.OffloadAll()
+	lambda := sw.CapacityPPS() * 0.6
+	sl, err := sw.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ol, err := off.LatencyUS(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ol >= sl {
+		t.Fatalf("offloaded latency (%v) should beat software (%v)", ol, sl)
+	}
+	if off.CapacityPPS() <= sw.CapacityPPS() {
+		t.Fatal("offload must raise chain capacity")
+	}
+}
+
+func TestAutoScaleReachesTarget(t *testing.T) {
+	c := NewSoftwareChain("scale", 4, 5, Firewall, DPI, Router)
+	target := 5e6
+	added, err := c.AutoScale(target, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added == 0 {
+		t.Fatal("expected scale-out for 5 Mpps")
+	}
+	if c.CapacityPPS()*0.8 < target {
+		t.Fatalf("scaled capacity %v insufficient for %v at rho 0.8", c.CapacityPPS(), target)
+	}
+	if _, err := c.LatencyUS(target); err != nil {
+		t.Fatalf("chain overloaded after autoscale: %v", err)
+	}
+}
+
+func TestAutoScaleApplianceBottleneckFails(t *testing.T) {
+	c := NewApplianceChain("hw", 5, DPI)
+	if _, err := c.AutoScale(100e6, 0.7); err == nil {
+		t.Fatal("expected failure: appliance cannot scale out")
+	}
+}
+
+func TestAutoScaleBadRho(t *testing.T) {
+	c := NewSoftwareChain("x", 4, 0, Firewall)
+	if _, err := c.AutoScale(1e6, 0); err == nil {
+		t.Fatal("expected rho validation error")
+	}
+	if _, err := c.AutoScale(1e6, 1); err == nil {
+		t.Fatal("expected rho validation error")
+	}
+}
+
+func TestScaleStagePanicsOnAppliance(t *testing.T) {
+	c := NewApplianceChain("hw", 0, Firewall)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.ScaleStage(0, 2)
+}
+
+func TestFunctionString(t *testing.T) {
+	names := map[Function]string{
+		Firewall: "firewall", NAT: "nat", DPI: "dpi", LoadBalancer: "lb", Router: "router",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package relational
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestValueStringRendering(t *testing.T) {
+	if IntV(-5).String() != "-5" {
+		t.Fatal("int render")
+	}
+	if FloatV(2.5).String() != "2.5" {
+		t.Fatal("float render")
+	}
+	if StringV("x").String() != "x" {
+		t.Fatal("string render")
+	}
+	if Int.String() != "int" || Float.String() != "float" || String.String() != "string" {
+		t.Fatal("type names")
+	}
+}
+
+func TestAsFloatErrors(t *testing.T) {
+	if _, err := StringV("a").AsFloat(); err == nil {
+		t.Fatal("string AsFloat must error")
+	}
+	if f, err := IntV(3).AsFloat(); err != nil || f != 3 {
+		t.Fatal("int AsFloat")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := Schema{{Name: "a", Type: Int}, {Name: "b", Type: Float}}
+	if s.ColIndex("b") != 1 || s.ColIndex("zz") != -1 {
+		t.Fatal("ColIndex")
+	}
+	c := s.Concat(Schema{{Name: "c", Type: String}})
+	if len(c) != 3 || c[2].Name != "c" {
+		t.Fatal("Concat")
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{IntV(1), StringV("x")}
+	c := r.Clone()
+	c[0] = IntV(9)
+	if r[0].I != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestErrorsPropagateThroughPipeline(t *testing.T) {
+	rel := sample()
+	boom := fmt.Errorf("boom")
+	f := NewFilter(NewScan(rel), func(Row) (bool, error) { return false, boom })
+	if _, err := Collect(f, "x"); err != boom {
+		t.Fatalf("filter error not propagated: %v", err)
+	}
+	p, err := NewProject(NewScan(rel), Schema{{Name: "e", Type: Int}},
+		[]Projector{func(Row) (Value, error) { return Value{}, boom }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(p, "x"); err != boom {
+		t.Fatalf("project error not propagated: %v", err)
+	}
+	// Error inside a join's build side.
+	j, err := NewHashJoin(NewFilter(NewScan(rel), func(Row) (bool, error) { return false, boom }), NewScan(rel), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := j.Next(); err != boom {
+		t.Fatalf("join build error not propagated: %v", err)
+	}
+	// Error under a sort.
+	s, err := NewSort(NewFilter(NewScan(rel), func(Row) (bool, error) { return false, boom }), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Next(); err != boom {
+		t.Fatalf("sort error not propagated: %v", err)
+	}
+	// Error under a group-agg.
+	g, err := NewGroupAgg(NewFilter(NewScan(rel), func(Row) (bool, error) { return false, boom }), nil, []AggSpec{{Fn: CountAgg, Col: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Next(); err != boom {
+		t.Fatalf("group error not propagated: %v", err)
+	}
+}
+
+func TestGroupAggValidation(t *testing.T) {
+	rel := sample()
+	if _, err := NewGroupAgg(NewScan(rel), []int{99}, nil); err == nil {
+		t.Fatal("bad group column must error")
+	}
+	if _, err := NewGroupAgg(NewScan(rel), nil, []AggSpec{{Fn: SumAgg, Col: 99}}); err == nil {
+		t.Fatal("bad aggregate column must error")
+	}
+}
+
+func TestSumOverStringColumnErrors(t *testing.T) {
+	rel := sample()
+	g, err := NewGroupAgg(NewScan(rel), nil, []AggSpec{{Fn: SumAgg, Col: 1}}) // region: string
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.Next(); err == nil {
+		t.Fatal("SUM(string) must fail at execution")
+	}
+}
+
+func TestMinMaxOnStrings(t *testing.T) {
+	rel := sample()
+	g, err := NewGroupAgg(NewScan(rel), nil, []AggSpec{
+		{Fn: MinAgg, Col: 1, Name: "lo"},
+		{Fn: MaxAgg, Col: 1, Name: "hi"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Collect(g, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].S != "APAC" || out.Rows[0][1].S != "NA" {
+		t.Fatalf("string min/max = %v", out.Rows[0])
+	}
+}
+
+func TestAggFnStrings(t *testing.T) {
+	for fn, want := range map[AggFn]string{
+		CountAgg: "count", SumAgg: "sum", MinAgg: "min", MaxAgg: "max", AvgAgg: "avg",
+	} {
+		if fn.String() != want {
+			t.Fatalf("%d.String() = %q", int(fn), fn.String())
+		}
+	}
+}
+
+func TestStatsCountRows(t *testing.T) {
+	rel := sample()
+	sc := NewScan(rel)
+	if _, err := Collect(sc, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Stats().RowsOut != rel.Len() {
+		t.Fatalf("scan stats = %+v", sc.Stats())
+	}
+}

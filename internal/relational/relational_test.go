@@ -1,0 +1,343 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Relation {
+	r := NewRelation("t", Schema{
+		{Name: "id", Type: Int},
+		{Name: "region", Type: String},
+		{Name: "amount", Type: Float},
+	})
+	rows := []struct {
+		id     int64
+		region string
+		amount float64
+	}{
+		{1, "EU", 10.0},
+		{2, "NA", 20.0},
+		{3, "EU", 30.0},
+		{4, "APAC", 5.0},
+		{5, "EU", 7.5},
+		{6, "NA", 2.5},
+	}
+	for _, x := range rows {
+		r.MustAppend(Row{IntV(x.id), StringV(x.region), FloatV(x.amount)})
+	}
+	return r
+}
+
+func TestValueCompare(t *testing.T) {
+	if c, _ := Compare(IntV(3), FloatV(3.0)); c != 0 {
+		t.Fatal("int/float cross compare")
+	}
+	if c, _ := Compare(IntV(2), IntV(5)); c != -1 {
+		t.Fatal("int ordering")
+	}
+	if c, _ := Compare(StringV("a"), StringV("b")); c != -1 {
+		t.Fatal("string ordering")
+	}
+	if _, err := Compare(StringV("a"), IntV(1)); err == nil {
+		t.Fatal("string vs int must error")
+	}
+}
+
+func TestValueKeyDistinguishesTypes(t *testing.T) {
+	if IntV(1).Key() == StringV("1").Key() {
+		t.Fatal("int 1 and string \"1\" must hash differently")
+	}
+	if IntV(1).Key() == FloatV(1).Key() {
+		t.Fatal("int 1 and float 1.0 must hash differently (typed keys)")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	r := NewRelation("t", Schema{{Name: "a", Type: Int}})
+	if err := r.Append(Row{IntV(1), IntV(2)}); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	if err := r.Append(Row{StringV("x")}); err == nil {
+		t.Fatal("type mismatch must error")
+	}
+	if err := r.Append(Row{IntV(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanStreamsAll(t *testing.T) {
+	rel := sample()
+	got, err := Collect(NewScan(rel), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != rel.Len() {
+		t.Fatalf("scan produced %d rows, want %d", got.Len(), rel.Len())
+	}
+}
+
+func TestFilterPredicate(t *testing.T) {
+	rel := sample()
+	f := NewFilter(NewScan(rel), func(r Row) (bool, error) {
+		return r[1].S == "EU", nil
+	})
+	got, err := Collect(f, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("EU rows = %d, want 3", got.Len())
+	}
+	if f.Stats().RowsOut != 3 {
+		t.Fatalf("stats = %+v", f.Stats())
+	}
+}
+
+func TestFilterComposesLikeConjunction(t *testing.T) {
+	f := func(seed int64) bool {
+		rel := sample()
+		p := func(r Row) (bool, error) { return r[0].I%2 == 0, nil }
+		q := func(r Row) (bool, error) { return r[2].F > 3, nil }
+		chained, err := Collect(NewFilter(NewFilter(NewScan(rel), p), q), "a")
+		if err != nil {
+			return false
+		}
+		both := NewFilter(NewScan(rel), func(r Row) (bool, error) {
+			a, _ := p(r)
+			b, _ := q(r)
+			return a && b, nil
+		})
+		combined, err := Collect(both, "b")
+		if err != nil {
+			return false
+		}
+		if chained.Len() != combined.Len() {
+			return false
+		}
+		for i := range chained.Rows {
+			if chained.Rows[i][0].I != combined.Rows[i][0].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectComputesColumns(t *testing.T) {
+	rel := sample()
+	p, err := NewProject(NewScan(rel),
+		Schema{{Name: "id", Type: Int}, {Name: "double", Type: Float}},
+		[]Projector{
+			func(r Row) (Value, error) { return r[0], nil },
+			func(r Row) (Value, error) { return FloatV(r[2].F * 2), nil },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(p, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0][1].F != 20.0 {
+		t.Fatalf("projected value = %v", got.Rows[0][1])
+	}
+}
+
+func TestProjectArityMismatch(t *testing.T) {
+	if _, err := NewProject(NewScan(sample()), Schema{{Name: "a", Type: Int}}, nil); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	dims := NewRelation("dims", Schema{
+		{Name: "region", Type: String},
+		{Name: "continent", Type: String},
+	})
+	dims.MustAppend(Row{StringV("EU"), StringV("europe")})
+	dims.MustAppend(Row{StringV("NA"), StringV("america")})
+
+	j, err := NewHashJoin(NewScan(dims), NewScan(sample()), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// APAC rows drop (no dimension); 5 survive.
+	if got.Len() != 5 {
+		t.Fatalf("join rows = %d, want 5", got.Len())
+	}
+	if len(got.Schema) != 5 {
+		t.Fatalf("join schema arity = %d, want 5", len(got.Schema))
+	}
+	for _, r := range got.Rows {
+		if r[0].S != r[3].S {
+			t.Fatalf("join key mismatch in %v", r)
+		}
+	}
+}
+
+func TestHashJoinDuplicateKeys(t *testing.T) {
+	l := NewRelation("l", Schema{{Name: "k", Type: Int}})
+	r := NewRelation("r", Schema{{Name: "k", Type: Int}})
+	for i := 0; i < 3; i++ {
+		l.MustAppend(Row{IntV(1)})
+	}
+	for i := 0; i < 2; i++ {
+		r.MustAppend(Row{IntV(1)})
+	}
+	j, err := NewHashJoin(NewScan(l), NewScan(r), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(j, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 6 {
+		t.Fatalf("cartesian-on-key rows = %d, want 3×2=6", got.Len())
+	}
+}
+
+func TestHashJoinColumnRangeErrors(t *testing.T) {
+	if _, err := NewHashJoin(NewScan(sample()), NewScan(sample()), 9, 0); err == nil {
+		t.Fatal("expected build column range error")
+	}
+	if _, err := NewHashJoin(NewScan(sample()), NewScan(sample()), 0, 9); err == nil {
+		t.Fatal("expected probe column range error")
+	}
+}
+
+func TestGroupAggSumCountAvgMinMax(t *testing.T) {
+	g, err := NewGroupAgg(NewScan(sample()), []int{1}, []AggSpec{
+		{Fn: CountAgg, Col: -1, Name: "n"},
+		{Fn: SumAgg, Col: 2, Name: "total"},
+		{Fn: AvgAgg, Col: 2, Name: "mean"},
+		{Fn: MinAgg, Col: 2, Name: "lo"},
+		{Fn: MaxAgg, Col: 2, Name: "hi"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(g, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", got.Len())
+	}
+	// First-seen order: EU, NA, APAC.
+	eu := got.Rows[0]
+	if eu[0].S != "EU" || eu[1].I != 3 || eu[2].F != 47.5 {
+		t.Fatalf("EU row = %v", eu)
+	}
+	if eu[3].F != 47.5/3 {
+		t.Fatalf("EU avg = %v", eu[3])
+	}
+	if eu[4].F != 7.5 || eu[5].F != 30.0 {
+		t.Fatalf("EU min/max = %v/%v", eu[4], eu[5])
+	}
+}
+
+func TestGroupAggGlobalOnEmptyInput(t *testing.T) {
+	empty := NewRelation("e", Schema{{Name: "x", Type: Int}})
+	g, err := NewGroupAgg(NewScan(empty), nil, []AggSpec{{Fn: CountAgg, Col: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(g, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 || got.Rows[0][0].I != 0 {
+		t.Fatalf("global count over empty = %v", got.Rows)
+	}
+}
+
+func TestGroupAggIntSumStaysInt(t *testing.T) {
+	r := NewRelation("t", Schema{{Name: "k", Type: Int}, {Name: "v", Type: Int}})
+	r.MustAppend(Row{IntV(1), IntV(10)})
+	r.MustAppend(Row{IntV(1), IntV(20)})
+	g, err := NewGroupAgg(NewScan(r), []int{0}, []AggSpec{{Fn: SumAgg, Col: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Collect(g, "out")
+	if got.Rows[0][1].T != Int || got.Rows[0][1].I != 30 {
+		t.Fatalf("int sum = %v", got.Rows[0][1])
+	}
+}
+
+func TestSortAscDescStable(t *testing.T) {
+	rel := sample()
+	s, err := NewSort(NewScan(rel), []SortKey{{Col: 1, Desc: false}, {Col: 2, Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(s, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions ascending: APAC, EU, EU, EU, NA, NA; amounts desc within.
+	if got.Rows[0][1].S != "APAC" || got.Rows[1][1].S != "EU" {
+		t.Fatalf("order = %v", got.Rows)
+	}
+	if got.Rows[1][2].F != 30.0 || got.Rows[3][2].F != 7.5 {
+		t.Fatal("descending amounts within region broken")
+	}
+}
+
+func TestSortColumnRangeError(t *testing.T) {
+	if _, err := NewSort(NewScan(sample()), []SortKey{{Col: 7}}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got, err := Collect(NewLimit(NewScan(sample()), 2), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("limit rows = %d", got.Len())
+	}
+	// Unlimited.
+	got, _ = Collect(NewLimit(NewScan(sample()), -1), "out")
+	if got.Len() != 6 {
+		t.Fatalf("unlimited rows = %d", got.Len())
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	// SELECT region, SUM(amount) FROM t WHERE amount > 3 GROUP BY region
+	// ORDER BY 2 DESC LIMIT 2 — hand-built.
+	rel := sample()
+	f := NewFilter(NewScan(rel), func(r Row) (bool, error) { return r[2].F > 3, nil })
+	g, err := NewGroupAgg(f, []int{1}, []AggSpec{{Fn: SumAgg, Col: 2, Name: "total"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSort(g, []SortKey{{Col: 1, Desc: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(NewLimit(s, 2), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("rows = %d", got.Len())
+	}
+	if got.Rows[0][0].S != "EU" || got.Rows[0][1].F != 47.5 {
+		t.Fatalf("top group = %v", got.Rows[0])
+	}
+	if got.Rows[1][0].S != "NA" || got.Rows[1][1].F != 20.0 {
+		t.Fatalf("second group = %v", got.Rows[1])
+	}
+}

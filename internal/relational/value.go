@@ -1,0 +1,191 @@
+// Package relational is a small in-memory relational engine: typed
+// schemas, row relations, and volcano-style pull operators (scan, filter,
+// project, hash join, group/aggregate, sort, limit). It is the execution
+// substrate the SQL layer (internal/sql) lowers onto, standing in for the
+// "query language" side of Section IV.C.1's query-languages-to-frameworks
+// discussion.
+package relational
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types.
+const (
+	Int Type = iota
+	Float
+	String
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Value is one typed cell.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// IntV, FloatV and StringV construct cells.
+func IntV(v int64) Value     { return Value{T: Int, I: v} }
+func FloatV(v float64) Value { return Value{T: Float, F: v} }
+func StringV(v string) Value { return Value{T: String, S: v} }
+
+// AsFloat coerces numeric values to float64; it returns an error for
+// strings.
+func (v Value) AsFloat() (float64, error) {
+	switch v.T {
+	case Int:
+		return float64(v.I), nil
+	case Float:
+		return v.F, nil
+	default:
+		return 0, fmt.Errorf("relational: cannot treat %q as a number", v.S)
+	}
+}
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.T {
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// Compare orders two values: -1, 0 or +1. Numerics compare numerically
+// (int and float intermix); strings compare lexicographically. Comparing a
+// string with a numeric is an error.
+func Compare(a, b Value) (int, error) {
+	if a.T == String || b.T == String {
+		if a.T != String || b.T != String {
+			return 0, fmt.Errorf("relational: cannot compare %v with %v", a.T, b.T)
+		}
+		switch {
+		case a.S < b.S:
+			return -1, nil
+		case a.S > b.S:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	af, _ := a.AsFloat()
+	bf, _ := b.AsFloat()
+	switch {
+	case af < bf:
+		return -1, nil
+	case af > bf:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+// Equal reports a == b under Compare semantics.
+func Equal(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// Key returns a map-key form of the value for hashing (group-by, join).
+func (v Value) Key() string {
+	switch v.T {
+	case Int:
+		return "i" + strconv.FormatInt(v.I, 10)
+	case Float:
+		return "f" + strconv.FormatFloat(v.F, 'b', -1, 64)
+	default:
+		return "s" + v.S
+	}
+}
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered column list.
+type Schema []Column
+
+// ColIndex returns the index of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Concat returns the schema of a join output: s then t.
+func (s Schema) Concat(t Schema) Schema {
+	out := make(Schema, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Row is one tuple.
+type Row []Value
+
+// Clone copies the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Relation is a materialized table.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds a row after arity/type checking.
+func (r *Relation) Append(row Row) error {
+	if len(row) != len(r.Schema) {
+		return fmt.Errorf("relational: %s: row arity %d != schema arity %d", r.Name, len(row), len(r.Schema))
+	}
+	for i, v := range row {
+		if v.T != r.Schema[i].Type {
+			return fmt.Errorf("relational: %s: column %s expects %v, got %v", r.Name, r.Schema[i].Name, r.Schema[i].Type, v.T)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+	return nil
+}
+
+// MustAppend is Append, panicking on error (for table literals in tests
+// and generators).
+func (r *Relation) MustAppend(row Row) {
+	if err := r.Append(row); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the row count.
+func (r *Relation) Len() int { return len(r.Rows) }

@@ -1,0 +1,219 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+)
+
+// Site locates a node in the edge/cloud split of Recommendation 11
+// ("edge computing and cloud computing environments calling for
+// heterogeneous hardware platforms").
+type Site int
+
+// Sites.
+const (
+	Edge Site = iota
+	Cloud
+)
+
+// String implements fmt.Stringer.
+func (s Site) String() string {
+	if s == Cloud {
+		return "cloud"
+	}
+	return "edge"
+}
+
+// Cluster is a set of heterogeneous nodes joined by a fabric, optionally
+// split across edge and cloud sites with a WAN between them.
+type Cluster struct {
+	Nodes []*hw.Node
+	// InterNodeGBs is same-site node-to-node bandwidth; InterNodeLatS the
+	// per transfer latency. Intra-node transfers are free.
+	InterNodeGBs  float64
+	InterNodeLatS float64
+	// Sites assigns each node a site (nil: all nodes share one site).
+	Sites []Site
+	// WANGBs / WANLatS price cross-site transfers.
+	WANGBs  float64
+	WANLatS float64
+}
+
+// NewCluster returns a single-site cluster over the nodes with a
+// 10 GbE-class fabric (1.25 GB/s, 50 µs).
+func NewCluster(nodes ...*hw.Node) *Cluster {
+	return &Cluster{Nodes: nodes, InterNodeGBs: 1.25, InterNodeLatS: 50e-6}
+}
+
+// SiteOf returns a node's site (single-site clusters are all Edge).
+func (c *Cluster) SiteOf(node int) Site {
+	if c.Sites == nil || node >= len(c.Sites) {
+		return Edge
+	}
+	return c.Sites[node]
+}
+
+// EdgeCloud builds the Recommendation-11 environment: `edge` small
+// CPU-only nodes near the data, `cloud` accelerator-rich nodes behind a
+// WAN (1 GB/s, 25 ms one-way).
+func EdgeCloud(edge, cloud int) *Cluster {
+	var nodes []*hw.Node
+	var sites []Site
+	for i := 0; i < edge; i++ {
+		nodes = append(nodes, hw.CommodityNode())
+		sites = append(sites, Edge)
+	}
+	for i := 0; i < cloud; i++ {
+		if i%2 == 0 {
+			nodes = append(nodes, hw.GPUNode())
+		} else {
+			nodes = append(nodes, hw.KitchenSinkNode())
+		}
+		sites = append(sites, Cloud)
+	}
+	c := NewCluster(nodes...)
+	c.Sites = sites
+	c.WANGBs = 1.0
+	c.WANLatS = 25e-3
+	return c
+}
+
+// SiteCommS returns the transfer time for bytes between two sites.
+func (c *Cluster) SiteCommS(from, to Site, bytes float64) float64 {
+	if from == to || bytes <= 0 {
+		return 0
+	}
+	return c.WANLatS + bytes/(c.WANGBs*1e9)
+}
+
+// DeviceRef addresses one device instance in the cluster.
+type DeviceRef struct {
+	Node   int
+	Device *hw.Device
+}
+
+// Devices enumerates every device instance.
+func (c *Cluster) Devices() []DeviceRef {
+	var out []DeviceRef
+	for ni, n := range c.Nodes {
+		for _, d := range n.Devices() {
+			out = append(out, DeviceRef{Node: ni, Device: d})
+		}
+	}
+	return out
+}
+
+// CommS returns the transfer time for bytes between two node indices:
+// free within a node, fabric within a site, WAN across sites.
+func (c *Cluster) CommS(from, to int, bytes float64) float64 {
+	if from == to || bytes <= 0 {
+		return 0
+	}
+	if c.SiteOf(from) != c.SiteOf(to) {
+		return c.SiteCommS(c.SiteOf(from), c.SiteOf(to), bytes)
+	}
+	return c.InterNodeLatS + bytes/(c.InterNodeGBs*1e9)
+}
+
+// HomogeneousCPU returns n CPU-only nodes.
+func HomogeneousCPU(n int) *Cluster {
+	nodes := make([]*hw.Node, n)
+	for i := range nodes {
+		nodes[i] = hw.CommodityNode()
+	}
+	return NewCluster(nodes...)
+}
+
+// Heterogeneous returns n nodes alternating between GPU-, FPGA- and
+// CPU-only configurations — the Recommendation-11 target environment.
+func Heterogeneous(n int) *Cluster {
+	nodes := make([]*hw.Node, n)
+	for i := range nodes {
+		switch i % 3 {
+		case 0:
+			nodes[i] = hw.GPUNode()
+		case 1:
+			nodes[i] = hw.FPGANode()
+		default:
+			nodes[i] = hw.CommodityNode()
+		}
+	}
+	return NewCluster(nodes...)
+}
+
+// Assignment records one scheduled task.
+type Assignment struct {
+	Task    int
+	Ref     DeviceRef
+	Start   float64
+	Finish  float64
+	EnergyJ float64
+}
+
+// Result is a complete schedule.
+type Result struct {
+	Policy      Policy
+	Assignments []Assignment
+	MakespanS   float64
+	EnergyJ     float64
+	// UtilByDevice is busy time / makespan per device instance, indexed
+	// like Cluster.Devices().
+	UtilByDevice []float64
+	// DeadlineMisses counts tasks finishing after their DeadlineS.
+	DeadlineMisses int
+}
+
+// MeanUtilization averages device utilization.
+func (r Result) MeanUtilization() float64 {
+	if len(r.UtilByDevice) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, u := range r.UtilByDevice {
+		t += u
+	}
+	return t / float64(len(r.UtilByDevice))
+}
+
+// Validate checks the schedule respects dependencies and device
+// exclusivity.
+func (r Result) Validate(d *DAG, c *Cluster) error {
+	finish := make(map[int]Assignment, len(r.Assignments))
+	for _, a := range r.Assignments {
+		finish[a.Task] = a
+	}
+	if len(finish) != len(d.Tasks) {
+		return fmt.Errorf("sched: %d of %d tasks scheduled", len(finish), len(d.Tasks))
+	}
+	for _, a := range r.Assignments {
+		for _, dep := range d.Tasks[a.Task].Deps {
+			da, ok := finish[dep]
+			if !ok {
+				return fmt.Errorf("sched: task %d scheduled before dep %d", a.Task, dep)
+			}
+			comm := c.CommS(da.Ref.Node, a.Ref.Node, d.Tasks[dep].OutBytes)
+			if a.Start+1e-9 < da.Finish+comm {
+				return fmt.Errorf("sched: task %d starts at %g before dep %d ready at %g",
+					a.Task, a.Start, dep, da.Finish+comm)
+			}
+		}
+	}
+	// Device exclusivity: no overlapping intervals on one device instance.
+	byDev := map[DeviceRef][]Assignment{}
+	for _, a := range r.Assignments {
+		byDev[a.Ref] = append(byDev[a.Ref], a)
+	}
+	for ref, as := range byDev {
+		for i := 0; i < len(as); i++ {
+			for j := i + 1; j < len(as); j++ {
+				a, b := as[i], as[j]
+				if a.Start < b.Finish-1e-9 && b.Start < a.Finish-1e-9 {
+					return fmt.Errorf("sched: tasks %d and %d overlap on node %d %s",
+						a.Task, b.Task, ref.Node, ref.Device.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package sched implements the "dynamic scheduling and resource
+// allocation strategies" of Recommendation 11: task DAGs with roofline
+// kernel descriptors scheduled onto heterogeneous clusters (CPU, GPU,
+// FPGA, ASIC devices) under six policies — FIFO, round-robin, min-min,
+// max-min, HEFT and a power-aware greedy — with makespan, energy and
+// utilization reported. The E12 experiment compares the policies; E16
+// uses the same machinery for the HPC/Big-Data convergence study.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Task is one schedulable unit.
+type Task struct {
+	ID     int
+	Name   string
+	Kernel hw.Kernel
+	// Deps are task IDs that must finish first.
+	Deps []int
+	// OutBytes is the data volume shipped to each dependent.
+	OutBytes float64
+	// InputBytes and InputSite locate the task's source data (sensor
+	// streams at the edge, historic stores in the cloud); tasks without
+	// external input leave InputBytes at 0.
+	InputBytes float64
+	InputSite  Site
+	// DeadlineS is a completion deadline in seconds (0 = none) — the
+	// latency constraint edge analytics carry.
+	DeadlineS float64
+	// Eligible restricts eligible devices (e.g. an ASIC only accelerates
+	// its kernel family). Nil means any device.
+	Eligible func(*hw.Device) bool
+}
+
+// DAG is a dependency graph of tasks, indexed by position (IDs must equal
+// indices).
+type DAG struct {
+	Tasks []Task
+}
+
+// Validate checks ID/index agreement, dependency ranges and acyclicity.
+func (d *DAG) Validate() error {
+	for i, t := range d.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("sched: task %d has ID %d (must equal index)", i, t.ID)
+		}
+		for _, dep := range t.Deps {
+			if dep < 0 || dep >= len(d.Tasks) {
+				return fmt.Errorf("sched: task %d depends on out-of-range %d", i, dep)
+			}
+			if dep == i {
+				return fmt.Errorf("sched: task %d depends on itself", i)
+			}
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a topological order (Kahn), erroring on cycles. Ties
+// resolve by ascending ID, so the order is deterministic.
+func (d *DAG) TopoOrder() ([]int, error) {
+	n := len(d.Tasks)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for i, t := range d.Tasks {
+		indeg[i] = len(t.Deps)
+		for _, dep := range t.Deps {
+			succ[dep] = append(succ[dep], i)
+		}
+	}
+	// Deterministic min-ID ready selection via a simple ordered scan
+	// (n is small for scheduling DAGs).
+	ready := make([]bool, n)
+	done := make([]bool, n)
+	for i := range indeg {
+		ready[i] = indeg[i] == 0
+	}
+	var order []int
+	for len(order) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if ready[i] && !done[i] {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			return nil, fmt.Errorf("sched: dependency cycle detected")
+		}
+		done[picked] = true
+		order = append(order, picked)
+		for _, s := range succ[picked] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready[s] = true
+			}
+		}
+	}
+	return order, nil
+}
+
+// Succ returns the successor lists.
+func (d *DAG) Succ() [][]int {
+	succ := make([][]int, len(d.Tasks))
+	for i, t := range d.Tasks {
+		for _, dep := range t.Deps {
+			succ[dep] = append(succ[dep], i)
+		}
+	}
+	return succ
+}
+
+// AnalyticsDAGSpec drives the synthetic pipeline generator.
+type AnalyticsDAGSpec struct {
+	Seed uint64
+	// Stages is the pipeline depth; WidthPerStage the parallel tasks per
+	// stage (fan-out then fan-in, like a shuffle boundary).
+	Stages, WidthPerStage int
+	// ComputeHeavy biases kernels toward high operational intensity
+	// (HPC-ish) instead of bandwidth-bound analytics kernels.
+	ComputeHeavy bool
+}
+
+// AnalyticsDAG generates a layered DAG shaped like a distributed analytics
+// job: each stage's tasks depend on all tasks of the previous stage (a
+// shuffle), with kernel mixes drawn from the building-block descriptors.
+func AnalyticsDAG(spec AnalyticsDAGSpec) *DAG {
+	rng := sim.NewRNG(spec.Seed)
+	d := &DAG{}
+	var prev []int
+	id := 0
+	for s := 0; s < spec.Stages; s++ {
+		var cur []int
+		for w := 0; w < spec.WidthPerStage; w++ {
+			var k hw.Kernel
+			if spec.ComputeHeavy {
+				k = hw.Kernel{
+					Name:             fmt.Sprintf("compute-s%dw%d", s, w),
+					Ops:              rng.Range(5e9, 2e10),
+					Bytes:            rng.Range(1e7, 1e8),
+					ParallelFraction: 0.99,
+				}
+			} else {
+				k = hw.Kernel{
+					Name:             fmt.Sprintf("scan-s%dw%d", s, w),
+					Ops:              rng.Range(2e8, 2e9),
+					Bytes:            rng.Range(5e8, 4e9),
+					ParallelFraction: 0.97,
+				}
+			}
+			t := Task{
+				ID: id, Name: k.Name, Kernel: k,
+				OutBytes: rng.Range(1e6, 5e7),
+			}
+			t.Deps = append(t.Deps, prev...)
+			d.Tasks = append(d.Tasks, t)
+			cur = append(cur, id)
+			id++
+		}
+		prev = cur
+	}
+	return d
+}

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// sensorDAG models edge analytics: latency-critical ingest/detect tasks
+// whose input lives at the edge, feeding a heavy training task whose
+// natural home is the cloud.
+func sensorDAG() *DAG {
+	detect := hw.Kernel{Name: "detect", Ops: 5e8, Bytes: 5e7, ParallelFraction: 0.95}
+	train := hw.Kernel{Name: "train", Ops: 5e10, Bytes: 5e8, ParallelFraction: 0.99}
+	d := &DAG{}
+	for i := 0; i < 4; i++ {
+		// 40 ms deadline: an edge node answers in ~1 ms; fetching the
+		// 20 MB input over the 25 ms WAN (≈45 ms total) cannot.
+		d.Tasks = append(d.Tasks, Task{
+			ID: i, Name: "detect", Kernel: detect,
+			InputBytes: 2e7, InputSite: Edge,
+			DeadlineS: 0.04, OutBytes: 1e6,
+		})
+	}
+	d.Tasks = append(d.Tasks, Task{
+		ID: 4, Name: "train", Kernel: train,
+		Deps: []int{0, 1, 2, 3},
+	})
+	return d
+}
+
+func TestSiteCommPricing(t *testing.T) {
+	c := EdgeCloud(2, 2)
+	// Same site: fabric. Cross-site: WAN.
+	fabric := c.CommS(0, 1, 1e9)
+	wan := c.CommS(0, 2, 1e9)
+	if wan <= fabric {
+		t.Fatalf("WAN (%v) must be slower than fabric (%v)", wan, fabric)
+	}
+	if got := c.SiteCommS(Edge, Edge, 1e9); got != 0 {
+		t.Fatalf("same-site site comm = %v", got)
+	}
+	if c.SiteOf(0) != Edge || c.SiteOf(2) != Cloud {
+		t.Fatal("site assignment wrong")
+	}
+}
+
+func TestSingleSiteClusterUnchanged(t *testing.T) {
+	// Site-less clusters behave exactly as before.
+	c := NewCluster(hw.CommodityNode(), hw.CommodityNode())
+	if c.SiteOf(0) != c.SiteOf(1) {
+		t.Fatal("single-site cluster must have uniform sites")
+	}
+	want := c.InterNodeLatS + 1e9/(c.InterNodeGBs*1e9)
+	if got := c.CommS(0, 1, 1e9); got != want {
+		t.Fatalf("comm = %v, want %v", got, want)
+	}
+}
+
+func TestEdgeTasksStayLocalUnderDeadline(t *testing.T) {
+	dag := sensorDAG()
+	cluster := EdgeCloud(2, 2)
+	res, err := Schedule(dag, cluster, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(dag, cluster); err != nil {
+		t.Fatal(err)
+	}
+	// The detect tasks must meet their 40 ms deadlines: EFT places them
+	// at the edge where their input is free, since a cloud fetch alone
+	// costs ~45 ms.
+	if res.DeadlineMisses != 0 {
+		t.Fatalf("deadline misses = %d", res.DeadlineMisses)
+	}
+	for _, a := range res.Assignments {
+		if dag.Tasks[a.Task].Name == "detect" && cluster.SiteOf(a.Ref.Node) != Edge {
+			t.Fatalf("detect task %d placed in the cloud", a.Task)
+		}
+	}
+}
+
+func TestHeavyTrainingGoesToCloud(t *testing.T) {
+	dag := sensorDAG()
+	cluster := EdgeCloud(2, 2)
+	res, err := Schedule(dag, cluster, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assignments {
+		if dag.Tasks[a.Task].Name == "train" {
+			if cluster.SiteOf(a.Ref.Node) != Cloud {
+				t.Fatal("training task should cross the WAN to the GPUs")
+			}
+			if a.Ref.Device.Class == hw.CPU {
+				t.Fatal("training task should land on an accelerator")
+			}
+		}
+	}
+}
+
+func TestCloudOnlyMissesDeadlines(t *testing.T) {
+	// The counterfactual: with no edge compute, WAN fetch pushes detect
+	// tasks past their deadlines.
+	dag := sensorDAG()
+	cloudOnly := EdgeCloud(0, 4)
+	res, err := Schedule(dag, cloudOnly, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMisses == 0 {
+		t.Fatal("cloud-only placement should miss edge deadlines")
+	}
+}
+
+func TestEdgeOnlySlowerOverall(t *testing.T) {
+	dag := sensorDAG()
+	edgeOnly := EdgeCloud(4, 0)
+	hybrid := EdgeCloud(2, 2)
+	re, err := Schedule(dag, edgeOnly, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := Schedule(dag, hybrid, MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.MakespanS >= re.MakespanS {
+		t.Fatalf("hybrid (%v) should beat edge-only (%v): the GPU training dominates",
+			rh.MakespanS, re.MakespanS)
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if Edge.String() != "edge" || Cloud.String() != "cloud" {
+		t.Fatal("site strings")
+	}
+}

@@ -1,0 +1,384 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the scheduling strategy.
+type Policy int
+
+// Policies, in roughly increasing sophistication.
+const (
+	FIFO Policy = iota
+	RoundRobin
+	MinMin
+	MaxMin
+	HEFT
+	PowerAware
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case RoundRobin:
+		return "round-robin"
+	case MinMin:
+		return "min-min"
+	case MaxMin:
+		return "max-min"
+	case HEFT:
+		return "heft"
+	case PowerAware:
+		return "power-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists every policy for table-driven experiments.
+func AllPolicies() []Policy {
+	return []Policy{FIFO, RoundRobin, MinMin, MaxMin, HEFT, PowerAware}
+}
+
+// interval is one busy span on a device.
+type interval struct{ start, end float64 }
+
+// state tracks the in-progress schedule during list scheduling. Placement
+// is insertion-based (standard HEFT): a task may slot into an idle gap
+// between already-scheduled tasks, which is what lets independent jobs
+// backfill each other's barrier stalls on a shared cluster.
+type state struct {
+	dag     *DAG
+	cluster *Cluster
+	devs    []DeviceRef
+	busy    [][]interval // device instance -> sorted busy intervals
+	busyS   []float64
+	finish  map[int]Assignment
+}
+
+func newState(d *DAG, c *Cluster) *state {
+	devs := c.Devices()
+	return &state{
+		dag: d, cluster: c, devs: devs,
+		busy:   make([][]interval, len(devs)),
+		busyS:  make([]float64, len(devs)),
+		finish: map[int]Assignment{},
+	}
+}
+
+// earliestSlot returns the earliest start >= ready on device di that fits
+// duration dur, considering gaps between busy intervals.
+func (s *state) earliestSlot(di int, ready, dur float64) float64 {
+	cur := ready
+	for _, iv := range s.busy[di] {
+		if cur+dur <= iv.start+1e-15 {
+			return cur
+		}
+		if iv.end > cur {
+			cur = iv.end
+		}
+	}
+	return cur
+}
+
+// insertSlot records the interval, keeping the list sorted by start.
+func (s *state) insertSlot(di int, start, end float64) {
+	ivs := s.busy[di]
+	pos := len(ivs)
+	for i, iv := range ivs {
+		if start < iv.start {
+			pos = i
+			break
+		}
+	}
+	ivs = append(ivs, interval{})
+	copy(ivs[pos+1:], ivs[pos:])
+	ivs[pos] = interval{start: start, end: end}
+	s.busy[di] = ivs
+}
+
+// eligible reports whether device di may run task t.
+func (s *state) eligible(t Task, di int) bool {
+	if t.Eligible == nil {
+		return true
+	}
+	return t.Eligible(s.devs[di].Device)
+}
+
+// readyTime returns the earliest moment task t's inputs are present on
+// node of device di, including fetching external input data from its
+// home site.
+func (s *state) readyTime(t Task, di int) float64 {
+	ready := 0.0
+	if t.InputBytes > 0 {
+		ready = s.cluster.SiteCommS(t.InputSite, s.cluster.SiteOf(s.devs[di].Node), t.InputBytes)
+	}
+	for _, dep := range t.Deps {
+		da := s.finish[dep]
+		at := da.Finish + s.cluster.CommS(da.Ref.Node, s.devs[di].Node, s.dag.Tasks[dep].OutBytes)
+		if at > ready {
+			ready = at
+		}
+	}
+	return ready
+}
+
+// eft returns the earliest finish time of task t on device di and the
+// corresponding start, using insertion into idle gaps.
+func (s *state) eft(t Task, di int) (start, finishT float64) {
+	ready := s.readyTime(t, di)
+	dur := s.devs[di].Device.Seconds(t.Kernel)
+	start = s.earliestSlot(di, ready, dur)
+	return start, start + dur
+}
+
+// place commits task t to device di.
+func (s *state) place(t Task, di int) {
+	start, fin := s.eft(t, di)
+	dur := fin - start
+	a := Assignment{
+		Task: t.ID, Ref: s.devs[di], Start: start, Finish: fin,
+		EnergyJ: dur * s.devs[di].Device.Power(1),
+	}
+	s.insertSlot(di, start, fin)
+	s.busyS[di] += dur
+	s.finish[t.ID] = a
+}
+
+// result packages the schedule.
+func (s *state) result(p Policy) Result {
+	r := Result{Policy: p}
+	for _, t := range s.dag.Tasks {
+		a := s.finish[t.ID]
+		r.Assignments = append(r.Assignments, a)
+		if a.Finish > r.MakespanS {
+			r.MakespanS = a.Finish
+		}
+		r.EnergyJ += a.EnergyJ
+		if t.DeadlineS > 0 && a.Finish > t.DeadlineS {
+			r.DeadlineMisses++
+		}
+	}
+	r.UtilByDevice = make([]float64, len(s.devs))
+	if r.MakespanS > 0 {
+		for i, b := range s.busyS {
+			r.UtilByDevice[i] = b / r.MakespanS
+		}
+	}
+	return r
+}
+
+// Schedule runs the policy over the DAG on the cluster.
+func Schedule(d *DAG, c *Cluster, p Policy) (Result, error) {
+	if err := d.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(c.Devices()) == 0 {
+		return Result{}, fmt.Errorf("sched: cluster has no devices")
+	}
+	s := newState(d, c)
+	switch p {
+	case FIFO:
+		return s.listSchedule(p, func(t Task) int { return s.bestDeviceByEFT(t) })
+	case RoundRobin:
+		next := 0
+		return s.listSchedule(p, func(t Task) int {
+			for tries := 0; tries < len(s.devs); tries++ {
+				di := (next + tries) % len(s.devs)
+				if s.eligible(t, di) {
+					next = di + 1
+					return di
+				}
+			}
+			return -1
+		})
+	case MinMin, MaxMin:
+		return s.minMaxMin(p)
+	case HEFT:
+		return s.heft()
+	case PowerAware:
+		return s.listSchedule(p, func(t Task) int { return s.bestDeviceByEnergy(t) })
+	default:
+		return Result{}, fmt.Errorf("sched: unknown policy %d", int(p))
+	}
+}
+
+// listSchedule walks tasks in topological order, placing each with pick.
+func (s *state) listSchedule(p Policy, pick func(Task) int) (Result, error) {
+	order, err := s.dag.TopoOrder()
+	if err != nil {
+		return Result{}, err
+	}
+	for _, ti := range order {
+		t := s.dag.Tasks[ti]
+		di := pick(t)
+		if di < 0 {
+			return Result{}, fmt.Errorf("sched: no eligible device for task %d", ti)
+		}
+		s.place(t, di)
+	}
+	return s.result(p), nil
+}
+
+// bestDeviceByEFT returns the eligible device with the earliest finish.
+func (s *state) bestDeviceByEFT(t Task) int {
+	best, bestFin := -1, math.Inf(1)
+	for di := range s.devs {
+		if !s.eligible(t, di) {
+			continue
+		}
+		_, fin := s.eft(t, di)
+		if fin < bestFin {
+			best, bestFin = di, fin
+		}
+	}
+	return best
+}
+
+// bestDeviceByEnergy returns the eligible device with minimal energy,
+// breaking ties toward earlier finish.
+func (s *state) bestDeviceByEnergy(t Task) int {
+	best := -1
+	bestE, bestFin := math.Inf(1), math.Inf(1)
+	for di := range s.devs {
+		if !s.eligible(t, di) {
+			continue
+		}
+		_, fin := s.eft(t, di)
+		e := s.devs[di].Device.EnergyJ(t.Kernel)
+		if e < bestE-1e-12 || (math.Abs(e-bestE) <= 1e-12 && fin < bestFin) {
+			best, bestE, bestFin = di, e, fin
+		}
+	}
+	return best
+}
+
+// minMaxMin implements the classic min-min / max-min batch heuristics.
+func (s *state) minMaxMin(p Policy) (Result, error) {
+	n := len(s.dag.Tasks)
+	done := make([]bool, n)
+	remainingDeps := make([]int, n)
+	for i, t := range s.dag.Tasks {
+		remainingDeps[i] = len(t.Deps)
+	}
+	succ := s.dag.Succ()
+	scheduled := 0
+	for scheduled < n {
+		// Ready set.
+		type cand struct {
+			task, dev int
+			fin       float64
+		}
+		var cands []cand
+		for i := 0; i < n; i++ {
+			if done[i] || remainingDeps[i] > 0 {
+				continue
+			}
+			t := s.dag.Tasks[i]
+			bd, bf := -1, math.Inf(1)
+			for di := range s.devs {
+				if !s.eligible(t, di) {
+					continue
+				}
+				_, fin := s.eft(t, di)
+				if fin < bf {
+					bd, bf = di, fin
+				}
+			}
+			if bd < 0 {
+				return Result{}, fmt.Errorf("sched: no eligible device for task %d", i)
+			}
+			cands = append(cands, cand{task: i, dev: bd, fin: bf})
+		}
+		if len(cands) == 0 {
+			return Result{}, fmt.Errorf("sched: deadlock — no ready tasks")
+		}
+		pick := cands[0]
+		for _, c := range cands[1:] {
+			if p == MinMin && c.fin < pick.fin {
+				pick = c
+			}
+			if p == MaxMin && c.fin > pick.fin {
+				pick = c
+			}
+		}
+		s.place(s.dag.Tasks[pick.task], pick.dev)
+		done[pick.task] = true
+		scheduled++
+		for _, nx := range succ[pick.task] {
+			remainingDeps[nx]--
+		}
+	}
+	return s.result(p), nil
+}
+
+// heft implements the Heterogeneous Earliest Finish Time heuristic:
+// tasks are prioritized by upward rank (mean execution + mean
+// communication along the critical path to an exit), then each is placed
+// on the device minimizing its earliest finish time.
+func (s *state) heft() (Result, error) {
+	n := len(s.dag.Tasks)
+	// Mean execution time per task across eligible devices.
+	meanExec := make([]float64, n)
+	for i, t := range s.dag.Tasks {
+		total, cnt := 0.0, 0
+		for di := range s.devs {
+			if !s.eligible(t, di) {
+				continue
+			}
+			total += s.devs[di].Device.Seconds(t.Kernel)
+			cnt++
+		}
+		if cnt == 0 {
+			return Result{}, fmt.Errorf("sched: no eligible device for task %d", i)
+		}
+		meanExec[i] = total / float64(cnt)
+	}
+	// Mean communication: half the devices share a node in expectation;
+	// approximate with half the inter-node cost.
+	meanComm := func(from int) float64 {
+		return 0.5 * s.cluster.CommS(0, 1, s.dag.Tasks[from].OutBytes)
+	}
+	succ := s.dag.Succ()
+	rank := make([]float64, n)
+	var computeRank func(i int) float64
+	computeRank = func(i int) float64 {
+		if rank[i] > 0 {
+			return rank[i]
+		}
+		best := 0.0
+		for _, nx := range succ[i] {
+			r := meanComm(i) + computeRank(nx)
+			if r > best {
+				best = r
+			}
+		}
+		rank[i] = meanExec[i] + best
+		return rank[i]
+	}
+	order := make([]int, n)
+	for i := 0; i < n; i++ {
+		computeRank(i)
+		order[i] = i
+	}
+	// Descending rank, ties by ID. Descending rank respects precedence
+	// because rank(parent) > rank(child) by construction.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (rank[order[j]] > rank[order[j-1]] ||
+			(rank[order[j]] == rank[order[j-1]] && order[j] < order[j-1])); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	for _, ti := range order {
+		t := s.dag.Tasks[ti]
+		di := s.bestDeviceByEFT(t)
+		if di < 0 {
+			return Result{}, fmt.Errorf("sched: no eligible device for task %d", ti)
+		}
+		s.place(t, di)
+	}
+	return s.result(HEFT), nil
+}

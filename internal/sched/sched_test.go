@@ -1,0 +1,305 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+)
+
+func diamondDAG() *DAG {
+	k := hw.Kernel{Name: "k", Ops: 1e9, Bytes: 1e8, ParallelFraction: 0.95}
+	return &DAG{Tasks: []Task{
+		{ID: 0, Name: "src", Kernel: k, OutBytes: 1e6},
+		{ID: 1, Name: "l", Kernel: k, Deps: []int{0}, OutBytes: 1e6},
+		{ID: 2, Name: "r", Kernel: k, Deps: []int{0}, OutBytes: 1e6},
+		{ID: 3, Name: "sink", Kernel: k, Deps: []int{1, 2}},
+	}}
+}
+
+func TestDAGValidation(t *testing.T) {
+	if err := diamondDAG().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &DAG{Tasks: []Task{{ID: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong ID must fail")
+	}
+	cyc := &DAG{Tasks: []Task{
+		{ID: 0, Deps: []int{1}},
+		{ID: 1, Deps: []int{0}},
+	}}
+	if err := cyc.Validate(); err == nil {
+		t.Fatal("cycle must fail")
+	}
+	self := &DAG{Tasks: []Task{{ID: 0, Deps: []int{0}}}}
+	if err := self.Validate(); err == nil {
+		t.Fatal("self-dependency must fail")
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	d := diamondDAG()
+	order, err := d.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for _, task := range d.Tasks {
+		for _, dep := range task.Deps {
+			if pos[dep] > pos[task.ID] {
+				t.Fatalf("dep %d after task %d", dep, task.ID)
+			}
+		}
+	}
+}
+
+func TestAllPoliciesProduceValidSchedules(t *testing.T) {
+	dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: 3, Stages: 4, WidthPerStage: 5})
+	cluster := Heterogeneous(4)
+	for _, p := range AllPolicies() {
+		res, err := Schedule(dag, cluster, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if err := res.Validate(dag, cluster); err != nil {
+			t.Fatalf("%v: invalid schedule: %v", p, err)
+		}
+		if res.MakespanS <= 0 || res.EnergyJ <= 0 {
+			t.Fatalf("%v: degenerate metrics %+v", p, res)
+		}
+	}
+}
+
+func TestSchedulesDeterministic(t *testing.T) {
+	dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: 5, Stages: 3, WidthPerStage: 4})
+	for _, p := range AllPolicies() {
+		a, err := Schedule(dag, Heterogeneous(3), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Schedule(dag, Heterogeneous(3), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MakespanS != b.MakespanS || a.EnergyJ != b.EnergyJ {
+			t.Fatalf("%v: nondeterministic schedule", p)
+		}
+	}
+}
+
+func TestHEFTBeatsRoundRobin(t *testing.T) {
+	// On a heterogeneous cluster with mixed kernels, HEFT's rank+EFT
+	// should beat blind round-robin placement.
+	dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: 11, Stages: 5, WidthPerStage: 6, ComputeHeavy: true})
+	cluster := Heterogeneous(4)
+	heft, err := Schedule(dag, cluster, HEFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Schedule(dag, cluster, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heft.MakespanS >= rr.MakespanS {
+		t.Fatalf("HEFT (%v) should beat round-robin (%v)", heft.MakespanS, rr.MakespanS)
+	}
+}
+
+func TestPowerAwareSavesEnergy(t *testing.T) {
+	dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: 13, Stages: 4, WidthPerStage: 4, ComputeHeavy: true})
+	cluster := Heterogeneous(4)
+	pa, err := Schedule(dag, cluster, PowerAware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Schedule(dag, cluster, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.EnergyJ > ff.EnergyJ {
+		t.Fatalf("power-aware energy (%v) should not exceed FIFO (%v)", pa.EnergyJ, ff.EnergyJ)
+	}
+}
+
+func TestEligibilityRestriction(t *testing.T) {
+	k := hw.Kernel{Name: "k", Ops: 1e9, Bytes: 1e7, ParallelFraction: 0.99}
+	dag := &DAG{Tasks: []Task{{
+		ID: 0, Kernel: k,
+		Eligible: func(d *hw.Device) bool { return d.Class == hw.FPGA },
+	}}}
+	res, err := Schedule(dag, Heterogeneous(3), FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0].Ref.Device.Class != hw.FPGA {
+		t.Fatalf("task placed on %v, want fpga", res.Assignments[0].Ref.Device.Class)
+	}
+	// A CPU-only cluster cannot host it.
+	if _, err := Schedule(dag, HomogeneousCPU(2), FIFO); err == nil {
+		t.Fatal("expected no-eligible-device error")
+	}
+}
+
+func TestCommCostDelaysCrossNodeDeps(t *testing.T) {
+	// Two tasks in a chain with a huge intermediate output: scheduling the
+	// child on another node must include transfer time.
+	k := hw.Kernel{Name: "k", Ops: 1e9, Bytes: 1e7, ParallelFraction: 0.9}
+	dag := &DAG{Tasks: []Task{
+		{ID: 0, Kernel: k, OutBytes: 12.5e9}, // 10 s at 1.25 GB/s
+		{ID: 1, Kernel: k, Deps: []int{0}},
+	}}
+	cluster := HomogeneousCPU(2)
+	res, err := Schedule(dag, cluster, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, a1 := res.Assignments[0], res.Assignments[1]
+	if a0.Ref.Node == a1.Ref.Node {
+		// EFT should co-locate to dodge the 10 s transfer.
+		if a1.Start+1e-9 < a0.Finish {
+			t.Fatal("child started before parent finished")
+		}
+	} else if a1.Start < a0.Finish+10 {
+		t.Fatalf("cross-node child ignored comm cost: start %v, parent end %v", a1.Start, a0.Finish)
+	}
+}
+
+func TestEFTAvoidsExpensiveTransfer(t *testing.T) {
+	// With EFT-based policies the child lands on the parent's node when
+	// the transfer dwarfs compute.
+	k := hw.Kernel{Name: "k", Ops: 1e9, Bytes: 1e7, ParallelFraction: 0.9}
+	dag := &DAG{Tasks: []Task{
+		{ID: 0, Kernel: k, OutBytes: 12.5e9},
+		{ID: 1, Kernel: k, Deps: []int{0}},
+	}}
+	res, err := Schedule(dag, HomogeneousCPU(2), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignments[0].Ref.Node != res.Assignments[1].Ref.Node {
+		t.Fatal("min-min should co-locate dependent tasks under heavy data gravity")
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: 7, Stages: 3, WidthPerStage: 8})
+	res, err := Schedule(dag, Heterogeneous(3), MinMin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range res.UtilByDevice {
+		if u < 0 || u > 1+1e-9 {
+			t.Fatalf("device %d utilization %v out of bounds", i, u)
+		}
+	}
+	if res.MeanUtilization() <= 0 {
+		t.Fatal("mean utilization must be positive")
+	}
+}
+
+func TestSharedClusterBeatsSegregated(t *testing.T) {
+	// E16 in miniature: an HPC-ish compute DAG and a Big-Data scan DAG on
+	// (a) two segregated 2-node clusters vs (b) one shared 4-node cluster.
+	// Sharing lets each job borrow the other's idle devices — but only
+	// when the fabric is fast enough that spreading a job across nodes
+	// does not drown in stage transfers. That is exactly the coupling of
+	// Recommendations 2 (convergence) and 3 (faster fabrics); the test
+	// pins the fast-fabric regime.
+	hpc := AnalyticsDAG(AnalyticsDAGSpec{Seed: 21, Stages: 4, WidthPerStage: 6, ComputeHeavy: true})
+	bigdata := AnalyticsDAG(AnalyticsDAGSpec{Seed: 22, Stages: 4, WidthPerStage: 6})
+
+	const fabricGBs = 50 // 400 GbE-class fabric
+	segA, segB := Heterogeneous(2), Heterogeneous(2)
+	segA.InterNodeGBs = fabricGBs
+	segB.InterNodeGBs = fabricGBs
+	// The shared cluster is the exact union of the two segregated ones, so
+	// the comparison isolates pooling from hardware mix.
+	sharedCluster := NewCluster(append(append([]*hw.Node{}, segA.Nodes...), segB.Nodes...)...)
+	sharedCluster.InterNodeGBs = fabricGBs
+
+	segHPC, err := Schedule(hpc, segA, HEFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segBD, err := Schedule(bigdata, segB, HEFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segWorst := segHPC.MakespanS
+	if segBD.MakespanS > segWorst {
+		segWorst = segBD.MakespanS
+	}
+
+	// Shared: merge the two DAGs into one forest on 4 nodes.
+	merged := &DAG{}
+	for _, t := range hpc.Tasks {
+		merged.Tasks = append(merged.Tasks, t)
+	}
+	off := len(merged.Tasks)
+	for _, tk := range bigdata.Tasks {
+		nt := tk
+		nt.ID += off
+		nt.Deps = append([]int(nil), tk.Deps...)
+		for i := range nt.Deps {
+			nt.Deps[i] += off
+		}
+		merged.Tasks = append(merged.Tasks, nt)
+	}
+	shared, err := Schedule(merged, sharedCluster, HEFT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.MakespanS > segWorst*1.001 {
+		t.Fatalf("shared cluster (%v) should beat segregated worst (%v)", shared.MakespanS, segWorst)
+	}
+}
+
+func TestScheduleValidatesInput(t *testing.T) {
+	bad := &DAG{Tasks: []Task{{ID: 5}}}
+	if _, err := Schedule(bad, Heterogeneous(2), FIFO); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := Schedule(diamondDAG(), &Cluster{}, FIFO); err == nil {
+		t.Fatal("expected empty-cluster error")
+	}
+}
+
+func TestAnalyticsDAGShape(t *testing.T) {
+	d := AnalyticsDAG(AnalyticsDAGSpec{Seed: 1, Stages: 3, WidthPerStage: 4})
+	if len(d.Tasks) != 12 {
+		t.Fatalf("tasks = %d", len(d.Tasks))
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Stage 2 tasks depend on all 4 stage-1 tasks.
+	if len(d.Tasks[4].Deps) != 4 {
+		t.Fatalf("stage-2 deps = %d", len(d.Tasks[4].Deps))
+	}
+}
+
+func TestScheduleValidProperty(t *testing.T) {
+	f := func(seed uint64, stages, width uint8) bool {
+		s := int(stages%4) + 1
+		w := int(width%4) + 1
+		dag := AnalyticsDAG(AnalyticsDAGSpec{Seed: seed, Stages: s, WidthPerStage: w})
+		cluster := Heterogeneous(3)
+		for _, p := range []Policy{FIFO, MinMin, HEFT} {
+			res, err := Schedule(dag, cluster, p)
+			if err != nil {
+				return false
+			}
+			if res.Validate(dag, cluster) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,295 @@
+package sdn
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Mode selects when the controller installs rules.
+type Mode int
+
+const (
+	// Reactive installs rules on demand: the first packet of a flow misses
+	// in the ingress table, is punted to the controller, and the controller
+	// installs path rules. Later packets hit in hardware.
+	Reactive Mode = iota
+	// Proactive precomputes and installs rules for all expected flows
+	// before traffic starts; no packet ever pays the controller round trip.
+	Proactive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Proactive {
+		return "proactive"
+	}
+	return "reactive"
+}
+
+// Timing holds the control-plane latency constants, in microseconds. The
+// defaults are datacenter-scale: tens of microseconds to reach the
+// controller, a software path computation, and a per-rule TCAM write.
+type Timing struct {
+	PuntUS        float64 // switch -> controller one-way
+	ComputeUS     float64 // controller path computation per flow
+	RuleInstallUS float64 // per rule TCAM write
+}
+
+// DefaultTiming returns representative 2016-era control-plane constants.
+func DefaultTiming() Timing {
+	return Timing{PuntUS: 50, ComputeUS: 20, RuleInstallUS: 100}
+}
+
+// Switch is the data plane of one fabric element.
+type Switch struct {
+	Node  int // topo node ID
+	Table *FlowTable
+}
+
+// Controller is the logically centralized SDN control plane: it holds the
+// topology view, owns every switch's flow table, and serves path requests.
+type Controller struct {
+	Net    *topo.Network
+	Mode   Mode
+	Timing Timing
+	// ECMPWidth bounds path choice (default 8).
+	ECMPWidth int
+
+	switches map[int]*Switch // topo node ID -> switch
+	downLink map[int]bool    // failed link IDs
+
+	// Counters for the "one logical switch" experiment: how many control
+	// operations (API calls by an operator or application) versus how many
+	// low-level rule writes the fabric absorbed.
+	ControlOps   int
+	RuleInstalls int
+	Punts        int
+	Recomputes   int
+
+	// ControlLatencyUS accumulates the simulated control-plane time spent.
+	ControlLatencyUS float64
+
+	// flows records installed paths so failures can be repaired.
+	flows map[Match]topo.Path
+}
+
+// NewController builds a controller over net, attaching a flow table of the
+// given capacity to every switch node. capacity <= 0 means unbounded.
+func NewController(net *topo.Network, mode Mode, tableCap int) *Controller {
+	c := &Controller{
+		Net:       net,
+		Mode:      mode,
+		Timing:    DefaultTiming(),
+		ECMPWidth: 8,
+		switches:  map[int]*Switch{},
+		downLink:  map[int]bool{},
+		flows:     map[Match]topo.Path{},
+	}
+	for _, sw := range net.Switches() {
+		c.switches[sw] = &Switch{Node: sw, Table: NewFlowTable(tableCap)}
+	}
+	return c
+}
+
+// Switches returns the number of switches under control.
+func (c *Controller) Switches() int { return len(c.switches) }
+
+// Switch returns the data plane of a switch node, or nil.
+func (c *Controller) Switch(node int) *Switch { return c.switches[node] }
+
+// TotalRules sums installed rules across the fabric.
+func (c *Controller) TotalRules() int {
+	n := 0
+	for _, sw := range c.switches {
+		n += sw.Table.Len()
+	}
+	return n
+}
+
+// FailLink marks a link down, flushes rules crossing it, and — acting as
+// the centralized repair loop — reinstalls every affected flow on a new
+// path. It returns the number of flows rerouted and an error if any flow
+// became unroutable.
+func (c *Controller) FailLink(linkID int) (rerouted int, err error) {
+	if linkID < 0 || linkID >= len(c.Net.Links) {
+		return 0, fmt.Errorf("sdn: link %d out of range", linkID)
+	}
+	c.downLink[linkID] = true
+	c.ControlOps++ // one operator/telemetry event
+	var affected []Match
+	for m, p := range c.flows {
+		for _, lid := range p.LinkIDs {
+			if lid == linkID {
+				affected = append(affected, m)
+				break
+			}
+		}
+	}
+	for _, m := range affected {
+		p := c.flows[m]
+		for _, node := range p.NodeIDs {
+			if sw := c.switches[node]; sw != nil {
+				sw.Table.Remove(m)
+			}
+		}
+		delete(c.flows, m)
+		if m.Src == -1 || m.Dst == -1 {
+			continue
+		}
+		if _, e := c.InstallPath(m.Src, m.Dst); e != nil {
+			err = e
+			continue
+		}
+		rerouted++
+	}
+	return rerouted, err
+}
+
+// RestoreLink marks a link up again.
+func (c *Controller) RestoreLink(linkID int) {
+	delete(c.downLink, linkID)
+	c.ControlOps++
+}
+
+// pickPath returns an ECMP path avoiding failed links. When the cached
+// ECMP set is entirely dead it recomputes a shortest path on the live
+// subgraph, as a real controller's repair loop would.
+func (c *Controller) pickPath(src, dst, flowID int) (topo.Path, bool) {
+	paths := c.Net.ECMPPaths(src, dst, c.ECMPWidth)
+	var alive []topo.Path
+outer:
+	for _, p := range paths {
+		for _, lid := range p.LinkIDs {
+			if c.downLink[lid] {
+				continue outer
+			}
+		}
+		alive = append(alive, p)
+	}
+	if len(alive) == 0 {
+		return c.Net.ShortestPathAvoiding(src, dst, func(lid int) bool { return c.downLink[lid] })
+	}
+	return alive[flowID%len(alive)], true
+}
+
+// InstallPath computes a path for (src, dst) and installs one exact-match
+// rule on every switch along it, first flushing any rules a previous
+// installation of the same pair left behind (re-installation is
+// idempotent). It returns the simulated control latency in microseconds
+// for this operation.
+func (c *Controller) InstallPath(src, dst int) (float64, error) {
+	c.ControlOps++
+	c.Recomputes++
+	m := Match{Src: src, Dst: dst}
+	p, ok := c.pickPath(src, dst, len(c.flows))
+	if !ok {
+		return 0, fmt.Errorf("sdn: no live path %d -> %d", src, dst)
+	}
+	if old, exists := c.flows[m]; exists {
+		for _, node := range old.NodeIDs {
+			if sw := c.switches[node]; sw != nil {
+				sw.Table.Remove(m)
+			}
+		}
+	}
+	lat := c.Timing.ComputeUS
+	installed := 0
+	// Each switch on the path forwards toward the next hop.
+	for i := 0; i < len(p.NodeIDs)-1; i++ {
+		node := p.NodeIDs[i]
+		sw := c.switches[node]
+		if sw == nil {
+			continue // src host itself
+		}
+		sw.Table.Install(Rule{Match: m, Action: Action{OutLink: p.LinkIDs[i]}, Priority: 10})
+		installed++
+	}
+	c.RuleInstalls += installed
+	// Rule writes to distinct switches proceed in parallel from the
+	// controller; the fabric-wide barrier is one install time (plus punt
+	// RTT in reactive mode, charged by the caller).
+	lat += c.Timing.RuleInstallUS
+	c.ControlLatencyUS += lat
+	c.flows[m] = p
+	return lat, nil
+}
+
+// FlowSetupUS returns the first-packet latency contribution of the control
+// plane for one new flow in the current mode: zero when proactive, punt
+// round trip + compute + install when reactive.
+func (c *Controller) FlowSetupUS(src, dst int) (float64, error) {
+	if c.Mode == Proactive {
+		if _, ok := c.flows[Match{Src: src, Dst: dst}]; !ok {
+			return 0, fmt.Errorf("sdn: proactive fabric missing rule for %d->%d", src, dst)
+		}
+		return 0, nil
+	}
+	c.Punts++
+	lat, err := c.InstallPath(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	return 2*c.Timing.PuntUS + lat, nil
+}
+
+// Preinstall loads rules for every (src, dst) pair in pairs; proactive
+// deployments call it before traffic starts. It returns total control
+// latency in microseconds, modelling the controller as pipelining rule
+// pushes fabric-wide (bounded by the slowest switch, i.e. rules per switch
+// × install time).
+func (c *Controller) Preinstall(pairs [][2]int) (float64, error) {
+	before := map[int]int{}
+	for node, sw := range c.switches {
+		before[node] = sw.Table.Len()
+	}
+	for _, pr := range pairs {
+		if _, err := c.InstallPath(pr[0], pr[1]); err != nil {
+			return 0, err
+		}
+	}
+	worst := 0
+	for node, sw := range c.switches {
+		if d := sw.Table.Len() - before[node]; d > worst {
+			worst = d
+		}
+	}
+	return float64(worst) * c.Timing.RuleInstallUS, nil
+}
+
+// Forward walks a packet from src to dst through the data plane using only
+// installed rules, returning the traversed path. It fails on a table miss
+// (reactive mode requires FlowSetupUS first) or a forwarding loop.
+func (c *Controller) Forward(src, dst int) (topo.Path, error) {
+	var path topo.Path
+	path.NodeIDs = append(path.NodeIDs, src)
+	cur := src
+	for steps := 0; cur != dst; steps++ {
+		if steps > len(c.Net.Nodes) {
+			return path, fmt.Errorf("sdn: forwarding loop %d -> %d", src, dst)
+		}
+		var out int
+		if sw := c.switches[cur]; sw != nil {
+			act, ok := sw.Table.Lookup(src, dst)
+			if !ok {
+				return path, fmt.Errorf("sdn: table miss at switch %d for %d->%d", cur, src, dst)
+			}
+			if act.PuntToController || act.OutLink < 0 {
+				return path, fmt.Errorf("sdn: packet punted/dropped at switch %d", cur)
+			}
+			out = act.OutLink
+		} else {
+			// Hosts forward on their single access link.
+			inc := c.Net.Incident(cur)
+			if len(inc) == 0 {
+				return path, fmt.Errorf("sdn: host %d has no links", cur)
+			}
+			out = inc[0]
+		}
+		next := c.Net.Links[out].Other(cur)
+		path.LinkIDs = append(path.LinkIDs, out)
+		path.NodeIDs = append(path.NodeIDs, next)
+		cur = next
+	}
+	return path, nil
+}

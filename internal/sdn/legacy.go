@@ -1,0 +1,52 @@
+package sdn
+
+import "repro/internal/topo"
+
+// LegacyFabric is the pre-SDN baseline: every switch is configured
+// box-by-box through its own management session. There is no global view;
+// a fabric-wide policy change costs one operator session per switch, and
+// failure recovery relies on distributed reconvergence. This is the
+// comparator for the roadmap's "10,000 switches look like one" claim.
+type LegacyFabric struct {
+	Net *topo.Network
+
+	// SessionUS is the cost to open a management session and apply one
+	// change on one box (CLI login + commit), in microseconds. Realistic
+	// values are seconds — the default is 2e6 µs — which is the point of
+	// the comparison.
+	SessionUS float64
+	// ConvergePerSwitchUS is the distributed-protocol reconvergence cost
+	// contributed by each switch that must relearn state after a failure.
+	ConvergePerSwitchUS float64
+
+	// ControlOps counts box-level operations performed.
+	ControlOps int
+}
+
+// NewLegacyFabric returns the baseline with representative constants:
+// 2 s per box change, 50 ms per switch of reconvergence contribution.
+func NewLegacyFabric(net *topo.Network) *LegacyFabric {
+	return &LegacyFabric{Net: net, SessionUS: 2e6, ConvergePerSwitchUS: 5e4}
+}
+
+// ApplyPolicy models a fabric-wide policy change (e.g. a new tenant ACL):
+// one session per switch, executed by a fixed-size operator team working in
+// parallel. It returns wall-clock microseconds.
+func (l *LegacyFabric) ApplyPolicy(operators int) float64 {
+	if operators < 1 {
+		operators = 1
+	}
+	n := len(l.Net.Switches())
+	l.ControlOps += n
+	rounds := (n + operators - 1) / operators
+	return float64(rounds) * l.SessionUS
+}
+
+// Reconverge models distributed recovery after a link failure: every
+// switch in the failure domain times out, floods, and recomputes. The
+// domain is approximated as all switches (worst case for flat fabrics).
+func (l *LegacyFabric) Reconverge() float64 {
+	n := len(l.Net.Switches())
+	l.ControlOps += n
+	return float64(n) * l.ConvergePerSwitchUS
+}

@@ -1,0 +1,139 @@
+package sdn
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestModeAndMatchStrings(t *testing.T) {
+	if Reactive.String() != "reactive" || Proactive.String() != "proactive" {
+		t.Fatal("mode strings")
+	}
+	m := Match{Src: 3, Dst: -1}
+	if m.String() != "src=3 dst=*" {
+		t.Fatalf("match string = %q", m.String())
+	}
+	if Wildcard.Specificity() != 0 || (Match{Src: 1, Dst: 2}).Specificity() != 2 {
+		t.Fatal("specificity")
+	}
+}
+
+func TestFailLinkOutOfRange(t *testing.T) {
+	c := NewController(testNet(), Reactive, 0)
+	if _, err := c.FailLink(-1); err == nil {
+		t.Fatal("negative link must error")
+	}
+	if _, err := c.FailLink(1 << 20); err == nil {
+		t.Fatal("huge link must error")
+	}
+}
+
+func TestFailLinkFallsBackToRecompute(t *testing.T) {
+	// Kill one entire spine: every path through it dies, and the
+	// controller must repair every flow via the surviving spine.
+	net := testNet()
+	c := NewController(net, Reactive, 0)
+	hosts := net.Hosts()
+	// Cross-leaf flows through the fabric.
+	pairs := [][2]int{{hosts[0], hosts[12]}, {hosts[1], hosts[9]}, {hosts[5], hosts[13]}}
+	for _, p := range pairs {
+		if _, err := c.FlowSetupUS(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var deadSpine int = -1
+	for _, nd := range net.Nodes {
+		if nd.Kind == topo.Agg {
+			deadSpine = nd.ID
+			break
+		}
+	}
+	if deadSpine == -1 {
+		t.Fatal("no spine found")
+	}
+	for _, lid := range net.Incident(deadSpine) {
+		if _, err := c.FailLink(lid); err != nil {
+			t.Fatalf("fail %d: %v", lid, err)
+		}
+	}
+	// Every flow must still forward, and never through the dead spine.
+	for _, pr := range pairs {
+		p, err := c.Forward(pr[0], pr[1])
+		if err != nil {
+			t.Fatalf("flow %v broken after spine failure: %v", pr, err)
+		}
+		for _, node := range p.NodeIDs {
+			if node == deadSpine {
+				t.Fatalf("flow %v still crosses the dead spine", pr)
+			}
+		}
+	}
+}
+
+func TestTotalRulesAndSwitchAccessors(t *testing.T) {
+	net := testNet()
+	c := NewController(net, Reactive, 0)
+	if c.Switches() != len(net.Switches()) {
+		t.Fatal("switch count")
+	}
+	if c.Switch(net.Switches()[0]) == nil {
+		t.Fatal("switch accessor")
+	}
+	if c.Switch(net.Hosts()[0]) != nil {
+		t.Fatal("hosts must not have switch state")
+	}
+	if c.TotalRules() != 0 {
+		t.Fatal("fresh fabric must be empty")
+	}
+}
+
+func TestLegacyReconvergeScales(t *testing.T) {
+	small := NewLegacyFabric(topo.FatTree(4, topo.Gen40))
+	big := NewLegacyFabric(topo.FatTree(8, topo.Gen40))
+	if small.Reconverge() >= big.Reconverge() {
+		t.Fatal("reconvergence must scale with fabric size")
+	}
+}
+
+func TestPuntActionAndDrop(t *testing.T) {
+	net := testNet()
+	c := NewController(net, Reactive, 0)
+	sw := net.Switches()[0]
+	c.Switch(sw).Table.Install(Rule{Match: Wildcard, Action: Action{PuntToController: true}})
+	// Find a host on that leaf: forwarding through it must report punt.
+	var src, dst int = -1, -1
+	for _, h := range net.Hosts() {
+		for _, lid := range net.Incident(h) {
+			if net.Links[lid].Other(h) == sw {
+				if src == -1 {
+					src = h
+				} else if dst == -1 {
+					dst = h
+				}
+			}
+		}
+	}
+	if src == -1 || dst == -1 {
+		t.Skip("topology lacks two hosts on one leaf")
+	}
+	if _, err := c.Forward(src, dst); err == nil {
+		t.Fatal("punt rule must block data-plane forwarding")
+	}
+}
+
+func TestReactiveReinstallSamePairIsStable(t *testing.T) {
+	net := testNet()
+	c := NewController(net, Reactive, 0)
+	hosts := net.Hosts()
+	if _, err := c.FlowSetupUS(hosts[0], hosts[9]); err != nil {
+		t.Fatal(err)
+	}
+	before := c.TotalRules()
+	if _, err := c.FlowSetupUS(hosts[0], hosts[9]); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalRules(); got != before {
+		t.Fatalf("reinstalling the same pair changed rule count %d -> %d", before, got)
+	}
+}

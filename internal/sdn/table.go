@@ -1,0 +1,177 @@
+// Package sdn models a software-defined networking control plane over an
+// internal/topo fabric: per-switch match/action flow tables with TCAM
+// capacity limits, a logically centralized controller operating in reactive
+// or proactive mode, and a legacy per-box configuration baseline. It
+// quantifies the roadmap's Section IV.A.2 claims — control/data plane
+// separation, "a software control plane ... can make 10,000 switches look
+// like one", and reconvergence after failures.
+package sdn
+
+import "fmt"
+
+// Match selects packets of one flow aggregate. Wildcard fields are -1.
+type Match struct {
+	Src int // source host ID, or -1 for any
+	Dst int // destination host ID, or -1 for any
+}
+
+// Wildcard matches every packet.
+var Wildcard = Match{Src: -1, Dst: -1}
+
+// Covers reports whether m matches a concrete (src, dst) pair.
+func (m Match) Covers(src, dst int) bool {
+	return (m.Src == -1 || m.Src == src) && (m.Dst == -1 || m.Dst == dst)
+}
+
+// Specificity counts exact fields; higher wins at equal priority.
+func (m Match) Specificity() int {
+	n := 0
+	if m.Src != -1 {
+		n++
+	}
+	if m.Dst != -1 {
+		n++
+	}
+	return n
+}
+
+// String implements fmt.Stringer.
+func (m Match) String() string {
+	f := func(v int) string {
+		if v == -1 {
+			return "*"
+		}
+		return fmt.Sprint(v)
+	}
+	return fmt.Sprintf("src=%s dst=%s", f(m.Src), f(m.Dst))
+}
+
+// Action says what a switch does with a matching packet.
+type Action struct {
+	// OutLink is the link ID to forward on, or -1 to drop.
+	OutLink int
+	// PuntToController sends the packet to the control plane instead
+	// (table-miss behaviour is expressed as a low-priority punt rule).
+	PuntToController bool
+}
+
+// Rule is one flow-table entry.
+type Rule struct {
+	Match    Match
+	Action   Action
+	Priority int // higher matches first
+
+	lastUsed uint64
+}
+
+// FlowTable is a priority match/action table with bounded capacity,
+// evicting the least recently used rule on overflow (the usual TCAM
+// management policy for reactive SDN deployments).
+type FlowTable struct {
+	Capacity int
+	rules    []*Rule
+	clock    uint64
+
+	// Evictions counts rules dropped due to capacity pressure.
+	Evictions int
+	// Hits and Misses count lookups.
+	Hits, Misses int
+}
+
+// NewFlowTable returns a table holding at most capacity rules.
+// capacity <= 0 means unbounded.
+func NewFlowTable(capacity int) *FlowTable {
+	return &FlowTable{Capacity: capacity}
+}
+
+// Len returns the number of installed rules.
+func (t *FlowTable) Len() int { return len(t.rules) }
+
+// Install adds a rule, evicting the LRU rule if the table is full. An
+// identical match at the same priority is replaced in place (rule update).
+func (t *FlowTable) Install(r Rule) {
+	t.clock++
+	r.lastUsed = t.clock
+	for i, ex := range t.rules {
+		if ex.Match == r.Match && ex.Priority == r.Priority {
+			t.rules[i] = &r
+			return
+		}
+	}
+	if t.Capacity > 0 && len(t.rules) >= t.Capacity {
+		t.evictLRU()
+	}
+	t.rules = append(t.rules, &r)
+}
+
+func (t *FlowTable) evictLRU() {
+	if len(t.rules) == 0 {
+		return
+	}
+	victim := 0
+	for i, r := range t.rules {
+		if r.lastUsed < t.rules[victim].lastUsed {
+			victim = i
+		}
+	}
+	t.rules = append(t.rules[:victim], t.rules[victim+1:]...)
+	t.Evictions++
+}
+
+// Lookup returns the action of the best matching rule. The best rule has
+// the highest priority, breaking ties on match specificity. The second
+// return is false on a table miss.
+func (t *FlowTable) Lookup(src, dst int) (Action, bool) {
+	t.clock++
+	var best *Rule
+	for _, r := range t.rules {
+		if !r.Match.Covers(src, dst) {
+			continue
+		}
+		if best == nil ||
+			r.Priority > best.Priority ||
+			(r.Priority == best.Priority && r.Match.Specificity() > best.Match.Specificity()) {
+			best = r
+		}
+	}
+	if best == nil {
+		t.Misses++
+		return Action{}, false
+	}
+	best.lastUsed = t.clock
+	t.Hits++
+	return best.Action, true
+}
+
+// Remove deletes every rule whose match equals m; it returns how many were
+// removed.
+func (t *FlowTable) Remove(m Match) int {
+	kept := t.rules[:0]
+	removed := 0
+	for _, r := range t.rules {
+		if r.Match == m {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}
+
+// RemoveIf deletes every rule for which pred returns true and reports how
+// many were removed. The controller uses it to flush rules through a failed
+// link.
+func (t *FlowTable) RemoveIf(pred func(Rule) bool) int {
+	kept := t.rules[:0]
+	removed := 0
+	for _, r := range t.rules {
+		if pred(*r) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}

@@ -1,0 +1,91 @@
+package sim
+
+// ArrivalProcess generates successive inter-arrival gaps. Implementations
+// must be deterministic given their RNG seed.
+type ArrivalProcess interface {
+	// NextGap returns the time until the next arrival.
+	NextGap() Time
+}
+
+// Poisson is a memoryless arrival process with constant rate (arrivals per
+// second).
+type Poisson struct {
+	Rate float64
+	rng  *RNG
+}
+
+// NewPoisson returns a Poisson process with the given rate.
+func NewPoisson(rng *RNG, rate float64) *Poisson {
+	if rate <= 0 {
+		panic("sim: Poisson rate must be positive")
+	}
+	return &Poisson{Rate: rate, rng: rng}
+}
+
+// NextGap returns an exponentially distributed gap.
+func (p *Poisson) NextGap() Time { return Time(p.rng.Exp(p.Rate)) }
+
+// MMPP is a two-state Markov-modulated Poisson process used to model bursty
+// Big Data ingest: a quiet state with BaseRate and a burst state with
+// BurstRate, switching with exponential holding times.
+type MMPP struct {
+	BaseRate  float64
+	BurstRate float64
+	// HoldBase and HoldBurst are the mean holding times of each state.
+	HoldBase  Time
+	HoldBurst Time
+
+	rng       *RNG
+	inBurst   bool
+	stateLeft Time // time remaining in the current state
+}
+
+// NewMMPP returns a two-state MMPP starting in the quiet state.
+func NewMMPP(rng *RNG, baseRate, burstRate float64, holdBase, holdBurst Time) *MMPP {
+	if baseRate <= 0 || burstRate <= 0 {
+		panic("sim: MMPP rates must be positive")
+	}
+	m := &MMPP{BaseRate: baseRate, BurstRate: burstRate, HoldBase: holdBase, HoldBurst: holdBurst, rng: rng}
+	m.stateLeft = Time(rng.Exp(1 / float64(holdBase)))
+	return m
+}
+
+// InBurst reports whether the process is currently in the burst state.
+func (m *MMPP) InBurst() bool { return m.inBurst }
+
+// NextGap returns the time to the next arrival, advancing state transitions
+// that happen in between.
+func (m *MMPP) NextGap() Time {
+	var total Time
+	for {
+		rate := m.BaseRate
+		if m.inBurst {
+			rate = m.BurstRate
+		}
+		gap := Time(m.rng.Exp(rate))
+		if gap <= m.stateLeft {
+			m.stateLeft -= gap
+			return total + gap
+		}
+		// The state flips before the arrival lands; consume the remaining
+		// state time and resample in the new state.
+		total += m.stateLeft
+		m.inBurst = !m.inBurst
+		hold := m.HoldBase
+		if m.inBurst {
+			hold = m.HoldBurst
+		}
+		m.stateLeft = Time(m.rng.Exp(1 / float64(hold)))
+	}
+}
+
+// OpenLoop drives an open-loop arrival stream into the engine: every
+// arrival schedules handle(i) at its arrival time, for count arrivals.
+func OpenLoop(e *Engine, ap ArrivalProcess, count int, handle func(i int)) {
+	t := Time(0)
+	for i := 0; i < count; i++ {
+		t += ap.NextGap()
+		i := i
+		e.At(e.Now()+t, func() { handle(i) })
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Millisecond, Microsecond and friends express common sub-second durations
+// as Time values for readability at call sites.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+)
+
+// Event is a scheduled callback. Fire runs at the event's timestamp with
+// the engine's clock already advanced.
+type Event struct {
+	At       Time
+	Priority int // tie-break: lower priority fires first at equal time
+	Fire     func()
+
+	seq   uint64
+	index int
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a sequential discrete-event simulation engine. Events fire in
+// timestamp order; ties break on Priority then on scheduling order, so runs
+// are fully deterministic.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run after delay from the current time and returns
+// the event so it can be cancelled. A negative delay panics: the calendar
+// never travels backwards.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	return e.ScheduleP(delay, 0, fn)
+}
+
+// ScheduleP is Schedule with an explicit tie-break priority.
+func (e *Engine) ScheduleP(delay Time, priority int, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	ev := &Event{At: e.now + delay, Priority: priority, Fire: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At enqueues fn to run at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: At(%v) is in the past (now %v)", t, e.now))
+	}
+	return e.Schedule(t-e.now, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 || ev.index >= len(e.queue) || e.queue[ev.index] != ev {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Halt stops the run loop after the current event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the calendar is empty or Halt is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(maxFloat))
+}
+
+const maxFloat = 1.797693134862315708145274237317043567981e+308
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the last fired event (or untouched if none fired), matching the usual
+// DES convention that time advances only through events.
+func (e *Engine) RunUntil(deadline Time) {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if next.At > deadline {
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		e.fired++
+		next.Fire()
+	}
+}
+
+// Step fires exactly one event if any is pending and reports whether it did.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.At
+	e.fired++
+	next.Fire()
+	return true
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) visited only %d values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(99)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	n := 200000
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(3, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("Normal var = %v, want ~4", variance)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(1.5, 2.5); v < 1.5 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 1.0, 1000)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[500]=%d", counts[0], counts[500])
+	}
+	// Item 0 under s=1 over n=1000 should take roughly 1/H(1000) ~= 13% of mass.
+	frac := float64(counts[0]) / 100000
+	if frac < 0.10 || frac > 0.17 {
+		t.Fatalf("Zipf head mass = %v, want ~0.13", frac)
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	r := NewRNG(3)
+	z := NewZipf(r, 0, 10)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("uniform Zipf bucket %d count %d out of tolerance", i, c)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := NewRNG(seed).Perm(n)
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(123)
+	counts := [3]int{}
+	for i := 0; i < 90000; i++ {
+		counts[r.Choice([]float64{1, 2, 6})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+}
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySeq(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO tie-break violated: %v", got)
+		}
+	}
+}
+
+func TestEnginePriorityTieBreak(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	e.ScheduleP(1, 5, func() { got = append(got, "low") })
+	e.ScheduleP(1, 1, func() { got = append(got, "high") })
+	e.Run()
+	if got[0] != "high" {
+		t.Fatalf("priority tie-break violated: %v", got)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// double-cancel is a no-op
+	e.Cancel(ev)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("RunUntil(5) fired %d events, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("Run after RunUntil fired %d total, want 10", count)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("Halt did not stop run loop: fired %d", count)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(1, recurse)
+		}
+	}
+	e.Schedule(1, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("nested scheduling depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first Step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second Step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty calendar returned true")
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := NewPoisson(NewRNG(8), 100)
+	sum := Time(0)
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += p.NextGap()
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-0.01) > 0.0005 {
+		t.Fatalf("Poisson(100) mean gap = %v, want ~0.01", mean)
+	}
+}
+
+func TestMMPPBurstsIncreaseRate(t *testing.T) {
+	m := NewMMPP(NewRNG(8), 10, 1000, 1, 1)
+	// Average rate should land strictly between base and burst rates.
+	sum := Time(0)
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += m.NextGap()
+	}
+	rate := float64(n) / float64(sum)
+	if rate <= 10 || rate >= 1000 {
+		t.Fatalf("MMPP effective rate %v outside (10, 1000)", rate)
+	}
+}
+
+func TestOpenLoopSchedulesAll(t *testing.T) {
+	e := NewEngine()
+	p := NewPoisson(NewRNG(4), 1000)
+	seen := 0
+	OpenLoop(e, p, 500, func(i int) { seen++ })
+	e.Run()
+	if seen != 500 {
+		t.Fatalf("OpenLoop delivered %d arrivals, want 500", seen)
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	a := NewRNG(42)
+	b := a.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream correlated: %d matches", same)
+	}
+}

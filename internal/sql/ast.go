@@ -1,0 +1,170 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a SQL expression AST node. Render gives a canonical text form
+// used for GROUP BY / select-item matching.
+type Expr interface {
+	Render() string
+}
+
+// ColRef references a column, optionally qualified by table alias.
+type ColRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+// Render implements Expr.
+func (c *ColRef) Render() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// Render implements Expr.
+func (l *IntLit) Render() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatLit is a float literal.
+type FloatLit struct{ V float64 }
+
+// Render implements Expr.
+func (l *FloatLit) Render() string { return fmt.Sprintf("%g", l.V) }
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+// Render implements Expr.
+func (l *StringLit) Render() string { return "'" + strings.ReplaceAll(l.V, "'", "''") + "'" }
+
+// BinExpr is a binary operation; Op is the source symbol or keyword
+// (lowercased): + - * / % = != <> < <= > >= and or.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// Render implements Expr.
+func (b *BinExpr) Render() string {
+	return "(" + b.L.Render() + " " + b.Op + " " + b.R.Render() + ")"
+}
+
+// UnaryExpr is negation or NOT.
+type UnaryExpr struct {
+	Op string // "-" or "not"
+	E  Expr
+}
+
+// Render implements Expr.
+func (u *UnaryExpr) Render() string { return u.Op + "(" + u.E.Render() + ")" }
+
+// AggExpr is an aggregate call. Star marks COUNT(*).
+type AggExpr struct {
+	Fn   string // count, sum, avg, min, max
+	Arg  Expr   // nil for COUNT(*)
+	Star bool
+}
+
+// Render implements Expr.
+func (a *AggExpr) Render() string {
+	if a.Star {
+		return a.Fn + "(*)"
+	}
+	return a.Fn + "(" + a.Arg.Render() + ")"
+}
+
+// SelectItem is one output column: an expression with an optional alias.
+type SelectItem struct {
+	E     Expr
+	Alias string // "" when none
+}
+
+// OutputName returns the column name the item produces.
+func (s SelectItem) OutputName() string {
+	if s.Alias != "" {
+		return s.Alias
+	}
+	if c, ok := s.E.(*ColRef); ok {
+		return c.Name
+	}
+	return s.E.Render()
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// EffectiveAlias returns the alias or the table name.
+func (t TableRef) EffectiveAlias() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is one INNER JOIN.
+type JoinClause struct {
+	Table TableRef
+	On    Expr
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	E    Expr
+	Desc bool
+}
+
+// SelectStmt is the root AST node.
+type SelectStmt struct {
+	Star    bool
+	Items   []SelectItem
+	From    TableRef
+	Joins   []JoinClause
+	Where   Expr
+	GroupBy []Expr
+	// Having filters groups after aggregation (nil when absent).
+	Having  Expr
+	OrderBy []OrderItem
+	// Limit is -1 when absent.
+	Limit int
+}
+
+// HasAggregates reports whether any select item or ORDER BY key contains
+// an aggregate call.
+func (s *SelectStmt) HasAggregates() bool {
+	for _, it := range s.Items {
+		if containsAgg(it.E) {
+			return true
+		}
+	}
+	for _, o := range s.OrderBy {
+		if containsAgg(o.E) {
+			return true
+		}
+	}
+	if s.Having != nil && containsAgg(s.Having) {
+		return true
+	}
+	return len(s.GroupBy) > 0
+}
+
+func containsAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinExpr:
+		return containsAgg(x.L) || containsAgg(x.R)
+	case *UnaryExpr:
+		return containsAgg(x.E)
+	default:
+		return false
+	}
+}

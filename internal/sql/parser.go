@@ -1,0 +1,417 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns a SQL string into a SelectStmt AST.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, when
+// non-empty).
+func (p *parser) at(kind TokKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// accept consumes the current token if it matches.
+func (p *parser) accept(kind TokKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind TokKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", int(kind))
+	}
+	return Token{}, p.errf("expected %s, found %s", want, p.peek())
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.accept(TokSymbol, "*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for p.accept(TokKeyword, "join") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "on"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: tr, On: on})
+	}
+	if p.accept(TokKeyword, "where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.accept(TokKeyword, "group") {
+		if _, err := p.expect(TokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = e
+	}
+	if p.accept(TokKeyword, "order") {
+		if _, err := p.expect(TokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.accept(TokKeyword, "desc") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "asc")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "limit") {
+		t, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.accept(TokKeyword, "as") {
+		t, err := p.expect(TokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.Text
+	} else if p.at(TokIdent, "") {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: t.Text}
+	if p.accept(TokKeyword, "as") {
+		a, err := p.expect(TokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.Text
+	} else if p.at(TokIdent, "") {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+// Expression grammar, lowest precedence first.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "and") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "not") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "not", E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"<=", ">=", "!=", "<>", "=", "<", ">"} {
+		if p.accept(TokSymbol, op) {
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			return &BinExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokSymbol, "+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "+", L: l, R: r}
+		case p.accept(TokSymbol, "-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "-", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokSymbol, "*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "*", L: l, R: r}
+		case p.accept(TokSymbol, "/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "/", L: l, R: r}
+		case p.accept(TokSymbol, "%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinExpr{Op: "%", L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals immediately.
+		switch l := e.(type) {
+		case *IntLit:
+			return &IntLit{V: -l.V}, nil
+		case *FloatLit:
+			return &FloatLit{V: -l.V}, nil
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFns = map[string]bool{"count": true, "sum": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("invalid integer %q", t.Text)
+		}
+		return &IntLit{V: v}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("invalid float %q", t.Text)
+		}
+		return &FloatLit{V: v}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{V: t.Text}, nil
+	case t.Kind == TokKeyword && aggFns[t.Text]:
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		agg := &AggExpr{Fn: t.Text}
+		if p.accept(TokSymbol, "*") {
+			if t.Text != "count" {
+				return nil, p.errf("%s(*) is not valid; only COUNT(*)", t.Text)
+			}
+			agg.Star = true
+		} else {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			agg.Arg = arg
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return agg, nil
+	case t.Kind == TokIdent:
+		p.next()
+		if p.accept(TokSymbol, ".") {
+			col, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: t.Text, Name: col.Text}, nil
+		}
+		return &ColRef{Name: t.Text}, nil
+	case t.Kind == TokSymbol && t.Text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf("unexpected %s", t)
+	}
+}

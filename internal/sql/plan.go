@@ -1,0 +1,603 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// Options toggles optimizer rules (the ablation experiments switch these).
+type Options struct {
+	// Pushdown moves single-table WHERE conjuncts below joins.
+	Pushdown bool
+	// BuildSideSwap builds the hash join on the smaller estimated input.
+	BuildSideSwap bool
+	// ConstantFolding evaluates literal subtrees at plan time.
+	ConstantFolding bool
+}
+
+// DefaultOptions enables every rule.
+func DefaultOptions() Options {
+	return Options{Pushdown: true, BuildSideSwap: true, ConstantFolding: true}
+}
+
+// DB is a catalog of named relations plus optimizer settings.
+type DB struct {
+	Opt    Options
+	tables map[string]*relational.Relation
+}
+
+// NewDB returns an empty catalog with default optimizer options.
+func NewDB() *DB { return &DB{Opt: DefaultOptions(), tables: map[string]*relational.Relation{}} }
+
+// Register adds (or replaces) a table under its lowercased name.
+func (db *DB) Register(rel *relational.Relation) {
+	db.tables[strings.ToLower(rel.Name)] = rel
+}
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*relational.Relation, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Planned is an executable query plan.
+type Planned struct {
+	Root relational.Op
+	// Steps is the human-readable plan, one line per operator bottom-up.
+	Steps []string
+	// TaggedOps exposes operators by tag for stats inspection
+	// ("scan:<alias>", "join:<n>", "where", "agg", "sort", "limit").
+	TaggedOps map[string]relational.Op
+}
+
+// Explain renders the plan.
+func (p *Planned) Explain() string { return strings.Join(p.Steps, "\n") }
+
+// Query parses, plans and executes, returning a materialized result.
+func (db *DB) Query(q string) (*relational.Relation, error) {
+	plan, err := db.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return relational.Collect(plan.Root, "result")
+}
+
+// Plan parses and plans without executing.
+func (db *DB) Plan(q string) (*Planned, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.planStmt(stmt)
+}
+
+// tableLeg is one FROM/JOIN input during planning.
+type tableLeg struct {
+	alias  string
+	rel    *relational.Relation
+	filter []Expr // pushed-down conjuncts
+}
+
+func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
+	p := &Planned{TaggedOps: map[string]relational.Op{}}
+
+	// Resolve tables.
+	legs := []*tableLeg{}
+	seen := map[string]bool{}
+	addLeg := func(tr TableRef) error {
+		rel, ok := db.Table(tr.Name)
+		if !ok {
+			return fmt.Errorf("sql: unknown table %q", tr.Name)
+		}
+		alias := tr.EffectiveAlias()
+		if seen[alias] {
+			return fmt.Errorf("sql: duplicate table alias %q", alias)
+		}
+		seen[alias] = true
+		legs = append(legs, &tableLeg{alias: alias, rel: rel})
+		return nil
+	}
+	if err := addLeg(stmt.From); err != nil {
+		return nil, err
+	}
+	for _, j := range stmt.Joins {
+		if err := addLeg(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	where := stmt.Where
+	if where != nil && db.Opt.ConstantFolding {
+		where = foldConstants(where)
+	}
+
+	// Predicate pushdown: single-table conjuncts attach to their leg.
+	var residual []Expr
+	if where != nil {
+		for _, c := range splitConjuncts(where) {
+			leg := db.soleLeg(c, legs)
+			if db.Opt.Pushdown && leg != nil {
+				leg.filter = append(leg.filter, c)
+			} else {
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	// Build scans (with pushed filters) per leg.
+	legOps := make([]relational.Op, len(legs))
+	legSizes := make([]int, len(legs))
+	for i, leg := range legs {
+		var op relational.Op = relational.NewScan(leg.rel)
+		p.TaggedOps["scan:"+leg.alias] = op
+		size := leg.rel.Len()
+		if len(leg.filter) > 0 {
+			sc := &scope{}
+			sc.addTable(leg.alias, leg.rel.Schema, 0)
+			pred, err := compilePredicate(sc, joinConjuncts(leg.filter))
+			if err != nil {
+				return nil, err
+			}
+			op = relational.NewFilter(op, pred)
+			p.TaggedOps["pushdown:"+leg.alias] = op
+			// Crude selectivity estimate for build-side choice.
+			size = size / (2 * len(leg.filter))
+			p.Steps = append(p.Steps, fmt.Sprintf("pushdown filter on %s: %s", leg.alias, joinConjuncts(leg.filter).Render()))
+		}
+		legOps[i] = op
+		legSizes[i] = size
+		p.Steps = append(p.Steps, fmt.Sprintf("scan %s as %s (%d rows)", leg.rel.Name, leg.alias, leg.rel.Len()))
+	}
+
+	// Left-deep joins. The combined scope always reads
+	// legs[0] ++ legs[1] ++ ... in declaration order.
+	cur := legOps[0]
+	curSize := legSizes[0]
+	curScope := &scope{}
+	curScope.addTable(legs[0].alias, legs[0].rel.Schema, 0)
+	curWidth := len(legs[0].rel.Schema)
+
+	for ji, j := range stmt.Joins {
+		leg := legs[ji+1]
+		rightScope := &scope{}
+		rightScope.addTable(leg.alias, leg.rel.Schema, 0)
+
+		leftCol, rightCol, rest, err := db.splitJoinOn(j.On, curScope, rightScope)
+		if err != nil {
+			return nil, err
+		}
+		build, probe := cur, legOps[ji+1]
+		buildCol, probeCol := leftCol, rightCol
+		swapped := false
+		if db.Opt.BuildSideSwap && legSizes[ji+1] < curSize {
+			build, probe = legOps[ji+1], cur
+			buildCol, probeCol = rightCol, leftCol
+			swapped = true
+		}
+		join, err := relational.NewHashJoin(build, probe, buildCol, probeCol)
+		if err != nil {
+			return nil, err
+		}
+		var joined relational.Op = join
+		rightWidth := len(leg.rel.Schema)
+		if swapped {
+			// Restore canonical column order: left columns then right.
+			restored, err := reorderColumns(join, rightWidth, curWidth)
+			if err != nil {
+				return nil, err
+			}
+			joined = restored
+		}
+		p.TaggedOps[fmt.Sprintf("join:%d", ji)] = joined
+		p.Steps = append(p.Steps, fmt.Sprintf("hash join #%d on %s (build=%s)",
+			ji, j.On.Render(), map[bool]string{true: leg.alias, false: "left"}[swapped]))
+
+		// Extend the scope.
+		curScope.addTable(leg.alias, leg.rel.Schema, curWidth)
+		curWidth += rightWidth
+		cur = joined
+		curSize = curSize * max(1, legSizes[ji+1]) / max(1, leg.rel.Len())
+		if curSize < 1 {
+			curSize = 1
+		}
+
+		// Non-equi residue of the ON clause.
+		if rest != nil {
+			pred, err := compilePredicate(curScope, rest)
+			if err != nil {
+				return nil, err
+			}
+			cur = relational.NewFilter(cur, pred)
+			p.Steps = append(p.Steps, "post-join filter: "+rest.Render())
+		}
+	}
+
+	// Residual WHERE.
+	if len(residual) > 0 {
+		pred, err := compilePredicate(curScope, joinConjuncts(residual))
+		if err != nil {
+			return nil, err
+		}
+		cur = relational.NewFilter(cur, pred)
+		p.TaggedOps["where"] = cur
+		p.Steps = append(p.Steps, "filter: "+joinConjuncts(residual).Render())
+	}
+
+	if stmt.HasAggregates() {
+		return db.planAggregate(stmt, p, cur, curScope)
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires aggregation")
+	}
+	return db.planSimple(stmt, p, cur, curScope)
+}
+
+// planSimple handles queries without aggregation: sort (over input
+// expressions), project, limit.
+func (db *DB) planSimple(stmt *SelectStmt, p *Planned, cur relational.Op, sc *scope) (*Planned, error) {
+	items := stmt.Items
+	if stmt.Star {
+		for _, e := range sc.entries {
+			items = append(items, SelectItem{E: &ColRef{Table: e.qualifier, Name: e.name}})
+		}
+	}
+
+	// ORDER BY before projection: keys evaluate over the input scope.
+	if len(stmt.OrderBy) > 0 {
+		sorted, err := db.sortOver(stmt.OrderBy, items, cur, sc)
+		if err != nil {
+			return nil, err
+		}
+		cur = sorted
+		p.TaggedOps["sort"] = cur
+		p.Steps = append(p.Steps, "sort")
+	}
+
+	proj, err := projectItems(items, sc, cur)
+	if err != nil {
+		return nil, err
+	}
+	cur = proj
+	p.Steps = append(p.Steps, "project "+itemNames(items))
+
+	if stmt.Limit >= 0 {
+		cur = relational.NewLimit(cur, stmt.Limit)
+		p.TaggedOps["limit"] = cur
+		p.Steps = append(p.Steps, fmt.Sprintf("limit %d", stmt.Limit))
+	}
+	p.Root = cur
+	return p, nil
+}
+
+// planAggregate handles GROUP BY / aggregate queries: pre-project group
+// keys and aggregate arguments, aggregate, then sort/project/limit over
+// the aggregated scope.
+func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc *scope) (*Planned, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+	}
+	// Gather distinct aggregates across select items, HAVING and ORDER BY.
+	aggSeen := map[string]*AggExpr{}
+	var aggs []*AggExpr
+	for _, it := range stmt.Items {
+		collectAggs(it.E, aggSeen, &aggs)
+	}
+	if stmt.Having != nil {
+		collectAggs(stmt.Having, aggSeen, &aggs)
+	}
+	for _, o := range stmt.OrderBy {
+		collectAggs(o.E, aggSeen, &aggs)
+	}
+
+	// Pre-projection: group exprs then aggregate arguments.
+	var preSchema relational.Schema
+	var preExprs []relational.Projector
+	groupCols := make([]int, len(stmt.GroupBy))
+	groupTypes := make([]valType, len(stmt.GroupBy))
+	for i, g := range stmt.GroupBy {
+		c, err := sc.compile(g)
+		if err != nil {
+			return nil, err
+		}
+		groupCols[i] = i
+		groupTypes[i] = c.typ
+		preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("g%d", i), Type: toRelType(c.typ)})
+		preExprs = append(preExprs, c.eval)
+	}
+	var aggSpecs []relational.AggSpec
+	aggTypes := make([]valType, len(aggs))
+	for i, a := range aggs {
+		col := -1
+		argT := tInt
+		if !a.Star {
+			c, err := sc.compile(a.Arg)
+			if err != nil {
+				return nil, err
+			}
+			if c.typ == tBool {
+				return nil, fmt.Errorf("sql: aggregate over boolean expression %s", a.Render())
+			}
+			if (a.Fn == "sum" || a.Fn == "avg") && c.typ == tString {
+				return nil, fmt.Errorf("sql: %s over string expression", a.Fn)
+			}
+			col = len(preSchema)
+			argT = c.typ
+			preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("a%d", i), Type: toRelType(c.typ)})
+			preExprs = append(preExprs, c.eval)
+		}
+		fn := map[string]relational.AggFn{
+			"count": relational.CountAgg, "sum": relational.SumAgg,
+			"avg": relational.AvgAgg, "min": relational.MinAgg, "max": relational.MaxAgg,
+		}[a.Fn]
+		aggSpecs = append(aggSpecs, relational.AggSpec{Fn: fn, Col: col, Name: a.Render()})
+		switch a.Fn {
+		case "count":
+			aggTypes[i] = tInt
+		case "avg":
+			aggTypes[i] = tFloat
+		default:
+			aggTypes[i] = argT
+		}
+	}
+	pre, err := relational.NewProject(cur, preSchema, preExprs)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := relational.NewGroupAgg(pre, groupCols, aggSpecs)
+	if err != nil {
+		return nil, err
+	}
+	p.TaggedOps["agg"] = agg
+	p.Steps = append(p.Steps, fmt.Sprintf("aggregate (%d group cols, %d aggregates)", len(groupCols), len(aggSpecs)))
+
+	// Post-aggregation scope: group exprs and aggregates bound by
+	// rendering.
+	post := &scope{exprBind: map[string]boundExpr{}}
+	for i, g := range stmt.GroupBy {
+		post.exprBind[g.Render()] = boundExpr{index: i, typ: groupTypes[i]}
+		// A bare group-by column is also addressable unqualified.
+		if cr, ok := g.(*ColRef); ok && cr.Table != "" {
+			post.exprBind[(&ColRef{Name: cr.Name}).Render()] = boundExpr{index: i, typ: groupTypes[i]}
+		}
+	}
+	aggOutBase := len(stmt.GroupBy)
+	for i, a := range aggs {
+		post.exprBind[a.Render()] = boundExpr{index: aggOutBase + i, typ: aggTypes[i]}
+	}
+	// Aggregate output schema uses relational types; fix avg (stored as
+	// float) and count (int) — handled via aggTypes above.
+
+	var cur2 relational.Op = agg
+	if stmt.Having != nil {
+		pred, err := compilePredicate(post, stmt.Having)
+		if err != nil {
+			return nil, err
+		}
+		cur2 = relational.NewFilter(cur2, pred)
+		p.TaggedOps["having"] = cur2
+		p.Steps = append(p.Steps, "having: "+stmt.Having.Render())
+	}
+	if len(stmt.OrderBy) > 0 {
+		sorted, err := db.sortOver(stmt.OrderBy, stmt.Items, cur2, post)
+		if err != nil {
+			return nil, err
+		}
+		cur2 = sorted
+		p.TaggedOps["sort"] = cur2
+		p.Steps = append(p.Steps, "sort")
+	}
+	proj, err := projectItems(stmt.Items, post, cur2)
+	if err != nil {
+		return nil, err
+	}
+	cur2 = proj
+	p.Steps = append(p.Steps, "project "+itemNames(stmt.Items))
+	if stmt.Limit >= 0 {
+		cur2 = relational.NewLimit(cur2, stmt.Limit)
+		p.TaggedOps["limit"] = cur2
+		p.Steps = append(p.Steps, fmt.Sprintf("limit %d", stmt.Limit))
+	}
+	p.Root = cur2
+	return p, nil
+}
+
+// sortOver plans a sort whose keys are ORDER BY items resolved against
+// sc, with aliases and 1-based positions resolving through the select
+// items.
+func (db *DB) sortOver(order []OrderItem, items []SelectItem, child relational.Op, sc *scope) (relational.Op, error) {
+	// The sort operator orders by concrete columns, so materialize the
+	// key expressions as extra columns, sort, then strip them.
+	childSchema := child.Schema()
+	width := len(childSchema)
+	schema := append(relational.Schema{}, childSchema...)
+	exprs := make([]relational.Projector, width)
+	for i := 0; i < width; i++ {
+		idx := i
+		exprs[i] = func(r relational.Row) (relational.Value, error) { return r[idx], nil }
+	}
+	var keys []relational.SortKey
+	for ki, o := range order {
+		e := o.E
+		// Position (ORDER BY 2) and alias resolution.
+		if lit, ok := e.(*IntLit); ok {
+			if lit.V < 1 || int(lit.V) > len(items) {
+				return nil, fmt.Errorf("sql: ORDER BY position %d out of range", lit.V)
+			}
+			e = items[lit.V-1].E
+		} else if cr, ok := e.(*ColRef); ok && cr.Table == "" {
+			for _, it := range items {
+				if it.Alias == cr.Name {
+					e = it.E
+					break
+				}
+			}
+		}
+		c, err := sc.compile(e)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, relational.Column{Name: fmt.Sprintf("sortkey%d", ki), Type: toRelType(c.typ)})
+		exprs = append(exprs, c.eval)
+		keys = append(keys, relational.SortKey{Col: width + ki, Desc: o.Desc})
+	}
+	widened, err := relational.NewProject(child, schema, exprs)
+	if err != nil {
+		return nil, err
+	}
+	sorted, err := relational.NewSort(widened, keys)
+	if err != nil {
+		return nil, err
+	}
+	// Strip the key columns again.
+	stripSchema := append(relational.Schema{}, childSchema...)
+	stripExprs := make([]relational.Projector, width)
+	for i := 0; i < width; i++ {
+		idx := i
+		stripExprs[i] = func(r relational.Row) (relational.Value, error) { return r[idx], nil }
+	}
+	return relational.NewProject(sorted, stripSchema, stripExprs)
+}
+
+// projectItems builds the final projection.
+func projectItems(items []SelectItem, sc *scope, child relational.Op) (relational.Op, error) {
+	var schema relational.Schema
+	var exprs []relational.Projector
+	for _, it := range items {
+		c, err := sc.compile(it.E)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, relational.Column{Name: it.OutputName(), Type: toRelType(c.typ)})
+		exprs = append(exprs, c.eval)
+	}
+	return relational.NewProject(child, schema, exprs)
+}
+
+func itemNames(items []SelectItem) string {
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = it.OutputName()
+	}
+	return strings.Join(names, ", ")
+}
+
+// compilePredicate compiles a boolean expression into a relational
+// Predicate.
+func compilePredicate(sc *scope, e Expr) (relational.Predicate, error) {
+	c, err := sc.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	if c.typ != tBool {
+		return nil, fmt.Errorf("sql: filter requires a boolean, got %s (%s)", c.typ, e.Render())
+	}
+	return func(r relational.Row) (bool, error) {
+		v, err := c.eval(r)
+		if err != nil {
+			return false, err
+		}
+		return v.I != 0, nil
+	}, nil
+}
+
+// soleLeg returns the single leg all of e's columns resolve into, or nil.
+func (db *DB) soleLeg(e Expr, legs []*tableLeg) *tableLeg {
+	var cols []*ColRef
+	collectCols(e, &cols)
+	if len(cols) == 0 {
+		return nil
+	}
+	var owner *tableLeg
+	for _, c := range cols {
+		var match *tableLeg
+		for _, leg := range legs {
+			if c.Table != "" && c.Table != leg.alias {
+				continue
+			}
+			if leg.rel.Schema.ColIndex(c.Name) >= 0 {
+				if match != nil {
+					return nil // ambiguous bare column: leave in residual
+				}
+				match = leg
+			}
+		}
+		if match == nil {
+			return nil
+		}
+		if owner == nil {
+			owner = match
+		} else if owner != match {
+			return nil
+		}
+	}
+	return owner
+}
+
+// splitJoinOn extracts one left.col = right.col equality from an ON
+// expression; remaining conjuncts are returned as a residual filter over
+// the combined scope.
+func (db *DB) splitJoinOn(on Expr, left, right *scope) (leftCol, rightCol int, residual Expr, err error) {
+	conjuncts := splitConjuncts(on)
+	eqIdx := -1
+	for i, c := range conjuncts {
+		b, ok := c.(*BinExpr)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lc, lok := b.L.(*ColRef)
+		rc, rok := b.R.(*ColRef)
+		if !lok || !rok {
+			continue
+		}
+		// Try L in left scope, R in right scope; then swapped.
+		if le, lerr := left.resolve(lc); lerr == nil {
+			if re, rerr := right.resolve(rc); rerr == nil {
+				leftCol, rightCol, eqIdx = le.index, re.index, i
+				break
+			}
+		}
+		if le, lerr := left.resolve(rc); lerr == nil {
+			if re, rerr := right.resolve(lc); rerr == nil {
+				leftCol, rightCol, eqIdx = le.index, re.index, i
+				break
+			}
+		}
+	}
+	if eqIdx < 0 {
+		return 0, 0, nil, fmt.Errorf("sql: JOIN ON must contain an equality between the two tables: %s", on.Render())
+	}
+	rest := append(append([]Expr{}, conjuncts[:eqIdx]...), conjuncts[eqIdx+1:]...)
+	return leftCol, rightCol, joinConjuncts(rest), nil
+}
+
+// reorderColumns re-projects a swapped join output (right ++ left) back to
+// canonical (left ++ right).
+func reorderColumns(op relational.Op, rightWidth, leftWidth int) (relational.Op, error) {
+	in := op.Schema()
+	if len(in) != rightWidth+leftWidth {
+		return nil, fmt.Errorf("sql: reorder width mismatch: %d != %d+%d", len(in), rightWidth, leftWidth)
+	}
+	var schema relational.Schema
+	var exprs []relational.Projector
+	pick := func(idx int) relational.Projector {
+		return func(r relational.Row) (relational.Value, error) { return r[idx], nil }
+	}
+	for i := 0; i < leftWidth; i++ {
+		schema = append(schema, in[rightWidth+i])
+		exprs = append(exprs, pick(rightWidth+i))
+	}
+	for i := 0; i < rightWidth; i++ {
+		schema = append(schema, in[i])
+		exprs = append(exprs, pick(i))
+	}
+	return relational.NewProject(op, schema, exprs)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

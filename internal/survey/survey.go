@@ -1,0 +1,307 @@
+// Package survey models the RETHINK big evidence base: "89 in-depth
+// interviews with key stakeholders from more than 70 distinct European
+// companies" across "telecommunications, hardware design and manufacturers
+// as well as strong representation from health, automotive, financial and
+// analytics sectors" (Section V.A). The interviews themselves are
+// proprietary, so — per the reproduction's substitution rule — this
+// package synthesizes a deterministic corpus whose marginal distributions
+// are calibrated to every aggregate statement the paper makes, and
+// provides the cross-tabulation queries from which internal/core
+// re-derives the four key findings.
+package survey
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Sector classifies a company.
+type Sector int
+
+// Sectors named in Section V.A.
+const (
+	Telecom Sector = iota
+	HardwareDesign
+	Health
+	Automotive
+	Finance
+	Analytics
+	Other
+	numSectors
+)
+
+// String implements fmt.Stringer.
+func (s Sector) String() string {
+	switch s {
+	case Telecom:
+		return "telecom"
+	case HardwareDesign:
+		return "hardware"
+	case Health:
+		return "health"
+	case Automotive:
+		return "automotive"
+	case Finance:
+		return "finance"
+	case Analytics:
+		return "analytics"
+	case Other:
+		return "other"
+	default:
+		return fmt.Sprintf("sector(%d)", int(s))
+	}
+}
+
+// Sectors returns all sectors in order.
+func Sectors() []Sector {
+	return []Sector{Telecom, HardwareDesign, Health, Automotive, Finance, Analytics, Other}
+}
+
+// Size classifies company scale.
+type Size int
+
+// Sizes: the consortium spanned "large industry partners, SMEs and
+// academia"; the interview base was industry.
+const (
+	SME Size = iota
+	Large
+)
+
+// String implements fmt.Stringer.
+func (s Size) String() string {
+	if s == Large {
+		return "large"
+	}
+	return "sme"
+}
+
+// Company is one interviewed organization.
+type Company struct {
+	ID     int
+	Name   string
+	Sector Sector
+	Size   Size
+	// TechProvider marks hardware/technology suppliers as opposed to
+	// analytics/end-user companies — the two sides whose "large
+	// disconnect" Finding 3 describes.
+	TechProvider bool
+}
+
+// Interview is one stakeholder response. Fields encode the aggregate
+// claims of Sections IV.B and V.A.
+type Interview struct {
+	ID        int
+	CompanyID int
+	// FocusedOnValue: the company is "still focused on how to extract
+	// value from their data" rather than on processing bottlenecks
+	// (Finding 1).
+	FocusedOnValue bool
+	// SeesHWBottleneck: the company reports Big-Data *hardware* processing
+	// problems (Finding 1 says the overwhelming response is no).
+	SeesHWBottleneck bool
+	// ConvincedROI: convinced of the return on investment of novel
+	// hardware (Finding 2 says mostly no).
+	ConvincedROI bool
+	// HasHardwareRoadmap (Section IV.B.1: "the majority of European
+	// software vendors reported that they had no hardware roadmap").
+	HasHardwareRoadmap bool
+	// UsesCommodityOnly: "only looking at existing commodity hardware".
+	UsesCommodityOnly bool
+	// CollaboratesAcrossStack: works with hardware/software partners
+	// (Finding 3: Europe has limited opportunities for this).
+	CollaboratesAcrossStack bool
+	// PriceSensitive: procurement decisions dominated by price
+	// ("extreme price-sensitivity", Finding 2).
+	PriceSensitive bool
+}
+
+// Corpus is the full evidence base.
+type Corpus struct {
+	Companies  []Company
+	Interviews []Interview
+}
+
+// CalibratedRates are the generative probabilities fitted to the paper's
+// aggregate statements. They differ by company role: the claims about
+// missing hardware roadmaps and commodity-only procurement are made about
+// analytics/end-user companies, not about technology providers.
+type CalibratedRates struct {
+	// Analytics/end-user side.
+	EndUserNoRoadmap      float64 // "almost all analytics companies" ≈ 0.9
+	EndUserCommodityOnly  float64
+	EndUserSeesBottleneck float64 // "overwhelming response" is no ≈ 0.15 yes
+	EndUserConvincedROI   float64 // "majority ... not convinced" ≈ 0.3 yes
+	EndUserValueFocus     float64 // "industry is still focused on value" ≈ 0.85
+	EndUserCollaborates   float64 // "limited opportunities" ≈ 0.2
+	PriceSensitive        float64
+	// Technology-provider side (more hardware-aware by construction).
+	ProviderNoRoadmap    float64
+	ProviderCollaborates float64
+}
+
+// DefaultRates returns the calibration used throughout the reproduction.
+func DefaultRates() CalibratedRates {
+	return CalibratedRates{
+		EndUserNoRoadmap:      0.90,
+		EndUserCommodityOnly:  0.85,
+		EndUserSeesBottleneck: 0.15,
+		EndUserConvincedROI:   0.30,
+		EndUserValueFocus:     0.85,
+		EndUserCollaborates:   0.20,
+		PriceSensitive:        0.70,
+		ProviderNoRoadmap:     0.25,
+		ProviderCollaborates:  0.45,
+	}
+}
+
+// Spec drives corpus synthesis; defaults reproduce the paper's numbers.
+type Spec struct {
+	Seed       uint64
+	Companies  int // paper: 70
+	Interviews int // paper: 89 (some companies interviewed more than once)
+	Rates      CalibratedRates
+}
+
+// DefaultSpec returns the paper-calibrated specification.
+func DefaultSpec(seed uint64) Spec {
+	return Spec{Seed: seed, Companies: 70, Interviews: 89, Rates: DefaultRates()}
+}
+
+// sectorWeights reflect "major and up-and-coming players from
+// telecommunications, hardware design and manufacturers as well as strong
+// representation from health, automotive, financial and analytics".
+var sectorWeights = []float64{
+	Telecom:        0.18,
+	HardwareDesign: 0.15,
+	Health:         0.12,
+	Automotive:     0.12,
+	Finance:        0.13,
+	Analytics:      0.22,
+	Other:          0.08,
+}
+
+// Synthesize builds the deterministic corpus.
+func Synthesize(spec Spec) (*Corpus, error) {
+	if spec.Companies <= 0 || spec.Interviews < spec.Companies {
+		return nil, fmt.Errorf("survey: need at least one interview per company (%d companies, %d interviews)",
+			spec.Companies, spec.Interviews)
+	}
+	rng := sim.NewRNG(spec.Seed)
+	c := &Corpus{}
+	for i := 0; i < spec.Companies; i++ {
+		sector := Sector(rng.Choice(sectorWeights))
+		size := SME
+		if rng.Bool(0.4) {
+			size = Large
+		}
+		c.Companies = append(c.Companies, Company{
+			ID:     i,
+			Name:   fmt.Sprintf("company-%02d", i),
+			Sector: sector,
+			Size:   size,
+			// Hardware-design companies are providers; a few telecoms too.
+			TechProvider: sector == HardwareDesign || (sector == Telecom && rng.Bool(0.3)),
+		})
+	}
+	// Every company is interviewed once; the surplus interviews revisit
+	// key stakeholders (weighted toward large companies).
+	order := rng.Perm(spec.Companies)
+	var companyFor []int
+	companyFor = append(companyFor, order...)
+	for len(companyFor) < spec.Interviews {
+		cand := rng.Intn(spec.Companies)
+		if c.Companies[cand].Size == Large || rng.Bool(0.3) {
+			companyFor = append(companyFor, cand)
+		}
+	}
+	r := spec.Rates
+	for i := 0; i < spec.Interviews; i++ {
+		comp := c.Companies[companyFor[i]]
+		var iv Interview
+		iv.ID = i
+		iv.CompanyID = comp.ID
+		if comp.TechProvider {
+			iv.HasHardwareRoadmap = !rng.Bool(r.ProviderNoRoadmap)
+			iv.CollaboratesAcrossStack = rng.Bool(r.ProviderCollaborates)
+			iv.SeesHWBottleneck = rng.Bool(0.5)
+			iv.ConvincedROI = rng.Bool(0.6)
+			iv.FocusedOnValue = rng.Bool(0.4)
+			iv.UsesCommodityOnly = rng.Bool(0.3)
+		} else {
+			iv.HasHardwareRoadmap = !rng.Bool(r.EndUserNoRoadmap)
+			iv.CollaboratesAcrossStack = rng.Bool(r.EndUserCollaborates)
+			iv.SeesHWBottleneck = rng.Bool(r.EndUserSeesBottleneck)
+			iv.ConvincedROI = rng.Bool(r.EndUserConvincedROI)
+			iv.FocusedOnValue = rng.Bool(r.EndUserValueFocus)
+			iv.UsesCommodityOnly = rng.Bool(r.EndUserCommodityOnly)
+		}
+		iv.PriceSensitive = rng.Bool(r.PriceSensitive)
+		c.Interviews = append(c.Interviews, iv)
+	}
+	return c, nil
+}
+
+// DistinctCompanies returns the number of companies with at least one
+// interview.
+func (c *Corpus) DistinctCompanies() int {
+	seen := map[int]bool{}
+	for _, iv := range c.Interviews {
+		seen[iv.CompanyID] = true
+	}
+	return len(seen)
+}
+
+// company looks a company up by ID.
+func (c *Corpus) company(id int) Company { return c.Companies[id] }
+
+// Proportion returns the fraction of interviews (optionally restricted by
+// filter; nil means all) for which pred holds.
+func (c *Corpus) Proportion(filter func(Company) bool, pred func(Interview) bool) float64 {
+	n, hits := 0, 0
+	for _, iv := range c.Interviews {
+		if filter != nil && !filter(c.company(iv.CompanyID)) {
+			continue
+		}
+		n++
+		if pred(iv) {
+			hits++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(hits) / float64(n)
+}
+
+// CrossTab counts interviews by (sector, predicate) — the cross-tables
+// behind the findings chapter.
+func (c *Corpus) CrossTab(pred func(Interview) bool) map[Sector][2]int {
+	out := map[Sector][2]int{}
+	for _, iv := range c.Interviews {
+		s := c.company(iv.CompanyID).Sector
+		cell := out[s]
+		if pred(iv) {
+			cell[0]++
+		} else {
+			cell[1]++
+		}
+		out[s] = cell
+	}
+	return out
+}
+
+// SectorCounts returns interviews per sector.
+func (c *Corpus) SectorCounts() map[Sector]int {
+	out := map[Sector]int{}
+	for _, iv := range c.Interviews {
+		out[c.company(iv.CompanyID).Sector]++
+	}
+	return out
+}
+
+// EndUsers filters to non-provider companies.
+func EndUsers(co Company) bool { return !co.TechProvider }
+
+// Providers filters to technology providers.
+func Providers(co Company) bool { return co.TechProvider }

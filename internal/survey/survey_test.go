@@ -1,0 +1,176 @@
+package survey
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func corpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Synthesize(DefaultSpec(2016))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusMatchesPaperHeadlineNumbers(t *testing.T) {
+	c := corpus(t)
+	if len(c.Interviews) != 89 {
+		t.Fatalf("interviews = %d, want 89", len(c.Interviews))
+	}
+	if len(c.Companies) != 70 {
+		t.Fatalf("companies = %d, want 70", len(c.Companies))
+	}
+	if got := c.DistinctCompanies(); got != 70 {
+		t.Fatalf("distinct interviewed companies = %d, want 70 (every company interviewed)", got)
+	}
+}
+
+func TestSectorCoverage(t *testing.T) {
+	c := corpus(t)
+	counts := c.SectorCounts()
+	// The paper names six sectors with "strong representation": all must
+	// be present in the corpus.
+	for _, s := range []Sector{Telecom, HardwareDesign, Health, Automotive, Finance, Analytics} {
+		if counts[s] == 0 {
+			t.Fatalf("sector %v unrepresented", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Synthesize(DefaultSpec(7))
+	b, _ := Synthesize(DefaultSpec(7))
+	if len(a.Interviews) != len(b.Interviews) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Interviews {
+		if a.Interviews[i] != b.Interviews[i] {
+			t.Fatalf("interview %d differs across identical seeds", i)
+		}
+	}
+	c, _ := Synthesize(DefaultSpec(8))
+	same := true
+	for i := range a.Interviews {
+		if a.Interviews[i] != c.Interviews[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestCalibrationRatesReproduced(t *testing.T) {
+	// The synthesized marginals must sit near the calibrated targets
+	// (sampling noise at n≈70 end-user interviews allows ~±12%).
+	c := corpus(t)
+	r := DefaultRates()
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"end-user no roadmap",
+			1 - c.Proportion(EndUsers, func(iv Interview) bool { return iv.HasHardwareRoadmap }),
+			r.EndUserNoRoadmap},
+		{"end-user commodity only",
+			c.Proportion(EndUsers, func(iv Interview) bool { return iv.UsesCommodityOnly }),
+			r.EndUserCommodityOnly},
+		{"end-user sees bottleneck",
+			c.Proportion(EndUsers, func(iv Interview) bool { return iv.SeesHWBottleneck }),
+			r.EndUserSeesBottleneck},
+		{"end-user convinced ROI",
+			c.Proportion(EndUsers, func(iv Interview) bool { return iv.ConvincedROI }),
+			r.EndUserConvincedROI},
+	}
+	for _, ch := range checks {
+		if diff := ch.got - ch.want; diff > 0.12 || diff < -0.12 {
+			t.Errorf("%s = %.2f, calibration target %.2f", ch.name, ch.got, ch.want)
+		}
+	}
+}
+
+func TestProvidersMoreHardwareAware(t *testing.T) {
+	c := corpus(t)
+	pRoadmap := c.Proportion(Providers, func(iv Interview) bool { return iv.HasHardwareRoadmap })
+	eRoadmap := c.Proportion(EndUsers, func(iv Interview) bool { return iv.HasHardwareRoadmap })
+	if pRoadmap <= eRoadmap {
+		t.Fatalf("providers (%v) should have roadmaps more often than end users (%v)", pRoadmap, eRoadmap)
+	}
+}
+
+func TestAllFourFindingsHold(t *testing.T) {
+	fs := DeriveFindings(corpus(t))
+	if len(fs) != 4 {
+		t.Fatalf("findings = %d, want 4", len(fs))
+	}
+	for _, f := range fs {
+		if !f.Holds {
+			t.Errorf("finding %d does not hold: %s (support %.2f, %s)", f.ID, f.Statement, f.Support, f.Detail)
+		}
+		if f.Support <= 0 || f.Support > 1 {
+			t.Errorf("finding %d support %v out of range", f.ID, f.Support)
+		}
+		if f.Statement == "" || f.Detail == "" {
+			t.Errorf("finding %d lacks text", f.ID)
+		}
+	}
+}
+
+func TestFindingsRobustAcrossSeeds(t *testing.T) {
+	// The findings must be properties of the calibration, not artifacts of
+	// one seed. At n≈65 end-user interviews individual corpora carry real
+	// sampling noise, so the statistical claim is: each finding holds in
+	// the overwhelming majority of synthesized corpora.
+	const seeds = 100
+	rng := rand.New(rand.NewSource(12345))
+	holdCount := [5]int{}
+	for i := 0; i < seeds; i++ {
+		c, err := Synthesize(DefaultSpec(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fd := range DeriveFindings(c) {
+			if fd.Holds {
+				holdCount[fd.ID]++
+			}
+		}
+	}
+	for id := 1; id <= 4; id++ {
+		rate := float64(holdCount[id]) / seeds
+		if rate < 0.9 {
+			t.Errorf("finding %d holds in only %.0f%% of corpora, want >= 90%%", id, rate*100)
+		}
+	}
+}
+
+func TestCrossTabTotalsMatch(t *testing.T) {
+	c := corpus(t)
+	tab := c.CrossTab(func(iv Interview) bool { return iv.PriceSensitive })
+	total := 0
+	for _, cell := range tab {
+		total += cell[0] + cell[1]
+	}
+	if total != len(c.Interviews) {
+		t.Fatalf("cross-tab total %d != %d interviews", total, len(c.Interviews))
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, err := Synthesize(Spec{Companies: 0, Interviews: 10}); err == nil {
+		t.Fatal("zero companies must fail")
+	}
+	if _, err := Synthesize(Spec{Companies: 10, Interviews: 5}); err == nil {
+		t.Fatal("fewer interviews than companies must fail")
+	}
+}
+
+func TestProportionEmptyFilter(t *testing.T) {
+	c := corpus(t)
+	if p := c.Proportion(func(Company) bool { return false }, func(Interview) bool { return true }); p != 0 {
+		t.Fatalf("empty filter proportion = %v", p)
+	}
+}

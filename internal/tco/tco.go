@@ -1,0 +1,261 @@
+// Package tco models datacenter total cost of ownership and the
+// accelerator return-on-investment question at the heart of the roadmap's
+// industry findings (Section V.A.2: "European companies are not convinced
+// of the Return on Investment of using novel hardware") and of Section
+// IV.B.2 (GPGPU "power consumption is too high and utilization too low to
+// justify the investment"). It combines capex, energy at a PUE, admin
+// overhead, and — the cost the roadmap stresses — the one-off software
+// re-engineering (porting) investment that accelerators demand.
+package tco
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// Electricity holds the energy-cost environment.
+type Electricity struct {
+	// EURPerKWh is the industrial electricity price.
+	EURPerKWh float64
+	// PUE is the facility power usage effectiveness multiplier.
+	PUE float64
+}
+
+// DefaultElectricity returns a 2016 European datacenter environment:
+// 0.12 EUR/kWh at PUE 1.5.
+func DefaultElectricity() Electricity { return Electricity{EURPerKWh: 0.12, PUE: 1.5} }
+
+// HoursPerYear is the wall-clock hours in a year of continuous operation.
+const HoursPerYear = 8766.0
+
+// Fleet is a homogeneous set of servers operated for a horizon.
+type Fleet struct {
+	Node  *hw.Node
+	Count int
+	// Utilization is the busy fraction of wall time, in [0, 1].
+	Utilization float64
+	Years       float64
+	// AdminEURPerNodeYear covers operations staffing per node.
+	AdminEURPerNodeYear float64
+}
+
+// CapexEUR returns the fleet acquisition cost.
+func (f Fleet) CapexEUR() float64 {
+	return float64(f.Count) * f.Node.TotalPrice()
+}
+
+// MeanPowerW returns the average draw of one node: every device idles, and
+// the busy fraction lifts it toward TDP.
+func (f Fleet) MeanPowerW() float64 {
+	w := f.Node.Host.Power(f.Utilization)
+	for _, d := range f.Node.Accels {
+		w += d.Power(f.Utilization)
+	}
+	return w
+}
+
+// EnergyKWh returns facility energy over the horizon, including PUE.
+func (f Fleet) EnergyKWh(e Electricity) float64 {
+	return f.MeanPowerW() / 1000 * HoursPerYear * f.Years * float64(f.Count) * e.PUE
+}
+
+// OpexEUR returns energy plus admin cost over the horizon.
+func (f Fleet) OpexEUR(e Electricity) float64 {
+	energy := f.EnergyKWh(e) * e.EURPerKWh
+	admin := f.AdminEURPerNodeYear * float64(f.Count) * f.Years
+	return energy + admin
+}
+
+// TCOEUR returns capex plus opex.
+func (f Fleet) TCOEUR(e Electricity) float64 { return f.CapexEUR() + f.OpexEUR(e) }
+
+// NodeThroughput returns the sustainable kernel rate of a node when a
+// fraction offloadFrac of arriving work can run on the node's best
+// accelerator and the rest must stay on the host CPU. The two run
+// concurrently, so the node saturates when either side does:
+// R = min(T_accel/f, T_cpu/(1−f)).
+func NodeThroughput(n *hw.Node, k hw.Kernel, offloadFrac float64) float64 {
+	cpuT := n.Host.Throughput(k)
+	if len(n.Accels) == 0 || offloadFrac <= 0 {
+		return cpuT
+	}
+	best, _ := n.BestDevice(k)
+	accT := best.Throughput(k)
+	if best == n.Host {
+		return cpuT
+	}
+	if offloadFrac >= 1 {
+		return accT
+	}
+	rAcc := accT / offloadFrac
+	rCPU := cpuT / (1 - offloadFrac)
+	if rAcc < rCPU {
+		return rAcc
+	}
+	return rCPU
+}
+
+// Study compares a baseline fleet against an accelerated fleet delivering
+// the same sustained workload.
+type Study struct {
+	Baseline    *hw.Node
+	Accelerated *hw.Node
+	Kernel      hw.Kernel
+	// OffloadFraction is the share of work the accelerator can absorb.
+	OffloadFraction float64
+	// WorkRate is the average workload in kernels/second the service must
+	// sustain fleet-wide.
+	WorkRate float64
+	// Utilization is the fleet duty cycle: fleets are sized for peak =
+	// WorkRate / Utilization. Low utilization is exactly the regime where
+	// the roadmap's interviewees saw accelerator ROI evaporate.
+	Utilization float64
+	Years       float64
+	Elec        Electricity
+	// PortingPersonMonths is the one-off software re-engineering effort to
+	// use the accelerator; EURPerPersonMonth prices it.
+	PortingPersonMonths float64
+	EURPerPersonMonth   float64
+	AdminEURPerNodeYear float64
+}
+
+// DefaultStudy returns a study with representative economics: a 3-year
+// horizon, 6 person-months of porting at 10 kEUR/PM, 500 EUR/node-year
+// admin.
+func DefaultStudy(baseline, accelerated *hw.Node, k hw.Kernel) *Study {
+	return &Study{
+		Baseline: baseline, Accelerated: accelerated, Kernel: k,
+		OffloadFraction: 0.8, WorkRate: 50000, Utilization: 0.5,
+		Years: 3, Elec: DefaultElectricity(),
+		PortingPersonMonths: 6, EURPerPersonMonth: 10000,
+		AdminEURPerNodeYear: 500,
+	}
+}
+
+// Result holds the two fleets' economics.
+type Result struct {
+	BaselineNodes, AcceleratedNodes int
+	BaselineTCO, AcceleratedTCO     float64 // EUR, porting included on the accelerated side
+	PortingEUR                      float64
+	// SavingsEUR is baseline minus accelerated (positive: accelerator wins).
+	SavingsEUR float64
+	// SavingsRatio is accelerated/baseline TCO.
+	SavingsRatio float64
+	// SpeedupPerNode is accelerated/baseline node throughput.
+	SpeedupPerNode float64
+}
+
+// nodesFor returns the fleet size to sustain peak load on the given node.
+func (s *Study) nodesFor(n *hw.Node) (int, float64, error) {
+	perNode := NodeThroughput(n, s.Kernel, s.offloadFor(n))
+	if perNode <= 0 {
+		return 0, 0, fmt.Errorf("tco: node %q has zero throughput", n.Name)
+	}
+	if s.Utilization <= 0 || s.Utilization > 1 {
+		return 0, 0, fmt.Errorf("tco: utilization %v out of (0,1]", s.Utilization)
+	}
+	peak := s.WorkRate / s.Utilization
+	return int(math.Ceil(peak / perNode)), perNode, nil
+}
+
+func (s *Study) offloadFor(n *hw.Node) float64 {
+	if len(n.Accels) == 0 {
+		return 0
+	}
+	return s.OffloadFraction
+}
+
+// Evaluate sizes both fleets for the workload and compares TCO.
+func (s *Study) Evaluate() (Result, error) {
+	nb, tb, err := s.nodesFor(s.Baseline)
+	if err != nil {
+		return Result{}, err
+	}
+	na, ta, err := s.nodesFor(s.Accelerated)
+	if err != nil {
+		return Result{}, err
+	}
+	base := Fleet{Node: s.Baseline, Count: nb, Utilization: s.Utilization,
+		Years: s.Years, AdminEURPerNodeYear: s.AdminEURPerNodeYear}
+	acc := Fleet{Node: s.Accelerated, Count: na, Utilization: s.Utilization,
+		Years: s.Years, AdminEURPerNodeYear: s.AdminEURPerNodeYear}
+	porting := s.PortingPersonMonths * s.EURPerPersonMonth
+	bt := base.TCOEUR(s.Elec)
+	at := acc.TCOEUR(s.Elec) + porting
+	r := Result{
+		BaselineNodes: nb, AcceleratedNodes: na,
+		BaselineTCO: bt, AcceleratedTCO: at, PortingEUR: porting,
+		SavingsEUR: bt - at, SpeedupPerNode: ta / tb,
+	}
+	if bt > 0 {
+		r.SavingsRatio = at / bt
+	}
+	return r, nil
+}
+
+// BreakEvenWorkRate finds the smallest sustained workload (kernels/s) at
+// which the accelerated fleet's TCO matches the baseline's, by bisection
+// over [lo, hi]. Below it the accelerator investment never pays back —
+// the "small to medium-sized operators" regime of Section IV.B.2. The
+// second return is false if no break-even exists in the range.
+func (s *Study) BreakEvenWorkRate(lo, hi float64) (float64, bool) {
+	save := func(w float64) float64 {
+		c := *s
+		c.WorkRate = w
+		r, err := c.Evaluate()
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return r.SavingsEUR
+	}
+	if save(hi) <= 0 {
+		return 0, false
+	}
+	if save(lo) > 0 {
+		return lo, true
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if save(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// VendorSwitch models the non-recurring engineering cost of changing
+// accelerator vendor (Section IV.B.2: "considerable Non-recurring
+// Engineering (NRE) cost required for a change in GPU vendor").
+type VendorSwitch struct {
+	// CodePersonMonths re-engineers kernels and build/runtime glue.
+	CodePersonMonths float64
+	// ValidationPersonMonths requalifies results and performance.
+	ValidationPersonMonths float64
+	EURPerPersonMonth      float64
+	// PerfRegressionFraction is the expected transient throughput loss
+	// until retuning completes, in [0,1).
+	PerfRegressionFraction float64
+	// RetuneMonths is how long the regression lasts.
+	RetuneMonths float64
+}
+
+// DefaultVendorSwitch returns representative CUDA-to-other-vendor costs.
+func DefaultVendorSwitch() VendorSwitch {
+	return VendorSwitch{
+		CodePersonMonths: 18, ValidationPersonMonths: 6,
+		EURPerPersonMonth:      10000,
+		PerfRegressionFraction: 0.3, RetuneMonths: 6,
+	}
+}
+
+// CostEUR returns the switch NRE plus the value of lost throughput, where
+// fleetValueEURPerMonth prices the fleet's output.
+func (v VendorSwitch) CostEUR(fleetValueEURPerMonth float64) float64 {
+	nre := (v.CodePersonMonths + v.ValidationPersonMonths) * v.EURPerPersonMonth
+	loss := v.PerfRegressionFraction * v.RetuneMonths * fleetValueEURPerMonth
+	return nre + loss
+}

@@ -1,0 +1,189 @@
+package tco
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// analyticsKernel is a representative compute-heavy analytics block:
+// enough arithmetic per byte that accelerators shine.
+func analyticsKernel() hw.Kernel {
+	return hw.Kernel{Name: "analytics", Ops: 2e9, Bytes: 4e7, ParallelFraction: 0.98}
+}
+
+func TestFleetCapexAndPower(t *testing.T) {
+	f := Fleet{Node: hw.CommodityNode(), Count: 10, Utilization: 0.5, Years: 3}
+	if f.CapexEUR() != 10*hw.XeonCPU().PriceEUR {
+		t.Fatalf("capex = %v", f.CapexEUR())
+	}
+	// Power at 50%: halfway between idle and TDP.
+	cpu := hw.XeonCPU()
+	want := cpu.IdleWatts + 0.5*(cpu.TDPWatts-cpu.IdleWatts)
+	if math.Abs(f.MeanPowerW()-want) > 1e-9 {
+		t.Fatalf("power = %v, want %v", f.MeanPowerW(), want)
+	}
+}
+
+func TestEnergyScalesWithPUE(t *testing.T) {
+	f := Fleet{Node: hw.CommodityNode(), Count: 1, Utilization: 1, Years: 1}
+	lean := Electricity{EURPerKWh: 0.12, PUE: 1.1}
+	fat := Electricity{EURPerKWh: 0.12, PUE: 2.0}
+	if r := f.EnergyKWh(fat) / f.EnergyKWh(lean); math.Abs(r-2.0/1.1) > 1e-12 {
+		t.Fatalf("energy ratio = %v, want %v", r, 2.0/1.1)
+	}
+}
+
+func TestTCOIsCapexPlusOpex(t *testing.T) {
+	f := Fleet{Node: hw.GPUNode(), Count: 5, Utilization: 0.7, Years: 3, AdminEURPerNodeYear: 500}
+	e := DefaultElectricity()
+	if got := f.TCOEUR(e); math.Abs(got-(f.CapexEUR()+f.OpexEUR(e))) > 1e-9 {
+		t.Fatalf("TCO = %v", got)
+	}
+}
+
+func TestNodeThroughputOffloadBottleneck(t *testing.T) {
+	k := analyticsKernel()
+	n := hw.GPUNode()
+	cpuOnly := NodeThroughput(hw.CommodityNode(), k, 0.8)
+	if cpuOnly != hw.XeonCPU().Throughput(k) {
+		t.Fatal("CPU-only node must run at CPU throughput regardless of offload fraction")
+	}
+	full := NodeThroughput(n, k, 1.0)
+	if math.Abs(full-hw.GPGPU().Throughput(k)) > full*1e-9 {
+		t.Fatalf("full offload = %v, want GPU rate", full)
+	}
+	// Partial offload is bounded by both sides and is at least the CPU-only
+	// rate for this compute-heavy kernel.
+	part := NodeThroughput(n, k, 0.8)
+	if part <= cpuOnly {
+		t.Fatalf("80%% offload (%v) should beat CPU-only (%v)", part, cpuOnly)
+	}
+	if part > full {
+		t.Fatalf("partial offload (%v) cannot beat full offload (%v) on a GPU-bound kernel", part, full)
+	}
+}
+
+func TestNodeThroughputZeroOffload(t *testing.T) {
+	k := analyticsKernel()
+	if NodeThroughput(hw.GPUNode(), k, 0) != hw.XeonCPU().Throughput(k) {
+		t.Fatal("zero offload fraction must equal CPU rate")
+	}
+}
+
+func TestStudyHighUtilizationFavorsGPU(t *testing.T) {
+	s := DefaultStudy(hw.CommodityNode(), hw.GPUNode(), analyticsKernel())
+	s.Utilization = 0.9
+	s.WorkRate = 100000
+	r, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SavingsEUR <= 0 {
+		t.Fatalf("at high utilization GPU fleet should win: savings = %v", r.SavingsEUR)
+	}
+	if r.AcceleratedNodes >= r.BaselineNodes {
+		t.Fatalf("accelerated fleet should be smaller: %d vs %d", r.AcceleratedNodes, r.BaselineNodes)
+	}
+	if r.SpeedupPerNode < 2 {
+		t.Fatalf("per-node speedup = %v, want >= 2 on compute-heavy kernel", r.SpeedupPerNode)
+	}
+}
+
+func TestStudyTinyWorkloadFavorsCPU(t *testing.T) {
+	// Section IV.B.2: small operators with low, bursty load cannot justify
+	// the GPU investment — one CPU node suffices and porting is pure cost.
+	s := DefaultStudy(hw.CommodityNode(), hw.GPUNode(), analyticsKernel())
+	s.Utilization = 0.1
+	s.WorkRate = 20 // kernels/s: one node handles it
+	r, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SavingsEUR >= 0 {
+		t.Fatalf("tiny workload should favor commodity CPU: savings = %v", r.SavingsEUR)
+	}
+}
+
+func TestBreakEvenWorkRateMonotone(t *testing.T) {
+	s := DefaultStudy(hw.CommodityNode(), hw.GPUNode(), analyticsKernel())
+	s.Utilization = 0.6
+	be, ok := s.BreakEvenWorkRate(1, 1e7)
+	if !ok {
+		t.Fatal("expected a break-even point")
+	}
+	// Below break-even the GPU loses; above it wins.
+	check := func(w float64, wantWin bool) {
+		c := *s
+		c.WorkRate = w
+		r, err := c.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (r.SavingsEUR > 0) != wantWin {
+			t.Fatalf("at rate %v savings = %v, wantWin=%v", w, r.SavingsEUR, wantWin)
+		}
+	}
+	check(be*4, true)
+	check(be/64, false)
+}
+
+func TestStudyUtilizationValidation(t *testing.T) {
+	s := DefaultStudy(hw.CommodityNode(), hw.GPUNode(), analyticsKernel())
+	s.Utilization = 0
+	if _, err := s.Evaluate(); err == nil {
+		t.Fatal("expected utilization validation error")
+	}
+	s.Utilization = 1.5
+	if _, err := s.Evaluate(); err == nil {
+		t.Fatal("expected utilization validation error")
+	}
+}
+
+func TestPortingChargedToAcceleratedSide(t *testing.T) {
+	s := DefaultStudy(hw.CommodityNode(), hw.GPUNode(), analyticsKernel())
+	s.PortingPersonMonths = 0
+	r0, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PortingPersonMonths = 12
+	r1, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := r1.AcceleratedTCO - r0.AcceleratedTCO; math.Abs(delta-120000) > 1e-6 {
+		t.Fatalf("porting delta = %v, want 120000", delta)
+	}
+	if r1.BaselineTCO != r0.BaselineTCO {
+		t.Fatal("porting must not affect baseline TCO")
+	}
+}
+
+func TestVendorSwitchCost(t *testing.T) {
+	v := DefaultVendorSwitch()
+	nreOnly := v.CostEUR(0)
+	if nreOnly != 24*10000 {
+		t.Fatalf("NRE = %v, want 240000", nreOnly)
+	}
+	withLoss := v.CostEUR(100000)
+	if withLoss <= nreOnly {
+		t.Fatal("throughput loss must add cost")
+	}
+	if want := nreOnly + 0.3*6*100000; math.Abs(withLoss-want) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", withLoss, want)
+	}
+}
+
+func TestFPGAEnergyAdvantage(t *testing.T) {
+	// The Catapult narrative: FPGA nodes deliver better ops/J on the
+	// suitable kernel even when raw throughput is lower than a GPU's.
+	k := analyticsKernel()
+	fpga := hw.FPGACard()
+	gpu := hw.GPGPU()
+	if fpga.OpsPerJoule(k) <= gpu.OpsPerJoule(k) {
+		t.Fatalf("FPGA ops/J (%v) should beat GPU (%v) at 25W vs 300W",
+			fpga.OpsPerJoule(k), gpu.OpsPerJoule(k))
+	}
+}

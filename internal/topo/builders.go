@@ -1,0 +1,144 @@
+package topo
+
+import "fmt"
+
+// DefaultHopDelayNS is the per-hop delay used by the builders: cut-through
+// switching latency plus short intra-DC propagation (~500 ns), a
+// conventional figure for modern fabrics.
+const DefaultHopDelayNS = 500
+
+// SingleSwitch builds hosts connected to one switch — the degenerate
+// "appliance" topology used as a baseline.
+func SingleSwitch(hosts int, hostSpeed GbE) *Network {
+	n := New()
+	for i := 0; i < hosts; i++ {
+		n.AddNode(Host, fmt.Sprintf("h%d", i))
+	}
+	sw := n.AddNode(ToR, "sw0")
+	for i := 0; i < hosts; i++ {
+		n.AddLink(i, sw, hostSpeed, DefaultHopDelayNS)
+	}
+	return n
+}
+
+// LeafSpineSpec configures a two-tier Clos (leaf–spine) fabric.
+type LeafSpineSpec struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+	HostSpeed    GbE // host-to-leaf links
+	FabricSpeed  GbE // leaf-to-spine links
+}
+
+// LeafSpine builds the fabric: every leaf connects to every spine. Node IDs
+// are assigned hosts first, then leaves, then spines.
+func LeafSpine(spec LeafSpineSpec) *Network {
+	if spec.Leaves <= 0 || spec.Spines <= 0 || spec.HostsPerLeaf <= 0 {
+		panic("topo: LeafSpine requires positive dimensions")
+	}
+	n := New()
+	hosts := make([][]int, spec.Leaves)
+	for l := 0; l < spec.Leaves; l++ {
+		hosts[l] = make([]int, spec.HostsPerLeaf)
+		for h := 0; h < spec.HostsPerLeaf; h++ {
+			hosts[l][h] = n.AddNode(Host, fmt.Sprintf("h%d-%d", l, h))
+		}
+	}
+	leaves := make([]int, spec.Leaves)
+	for l := range leaves {
+		leaves[l] = n.AddNode(ToR, fmt.Sprintf("leaf%d", l))
+	}
+	spines := make([]int, spec.Spines)
+	for s := range spines {
+		spines[s] = n.AddNode(Agg, fmt.Sprintf("spine%d", s))
+	}
+	for l := 0; l < spec.Leaves; l++ {
+		for h := 0; h < spec.HostsPerLeaf; h++ {
+			n.AddLink(hosts[l][h], leaves[l], spec.HostSpeed, DefaultHopDelayNS)
+		}
+		for s := 0; s < spec.Spines; s++ {
+			n.AddLink(leaves[l], spines[s], spec.FabricSpeed, DefaultHopDelayNS)
+		}
+	}
+	return n
+}
+
+// FatTree builds the canonical k-ary fat-tree (Al-Fares et al.): k pods,
+// each with k/2 edge and k/2 aggregation switches, (k/2)^2 core switches,
+// and k^3/4 hosts, with uniform link speed. k must be even and >= 2.
+func FatTree(k int, speed GbE) *Network {
+	if k < 2 || k%2 != 0 {
+		panic("topo: FatTree requires even k >= 2")
+	}
+	n := New()
+	half := k / 2
+	// hosts first (IDs 0 .. k^3/4-1)
+	hostID := func(pod, edge, h int) int { return pod*half*half + edge*half + h }
+	numHosts := k * half * half
+	for i := 0; i < numHosts; i++ {
+		n.AddNode(Host, fmt.Sprintf("h%d", i))
+	}
+	edgeIDs := make([][]int, k)
+	aggIDs := make([][]int, k)
+	for pod := 0; pod < k; pod++ {
+		edgeIDs[pod] = make([]int, half)
+		for e := 0; e < half; e++ {
+			edgeIDs[pod][e] = n.AddNode(ToR, fmt.Sprintf("edge%d-%d", pod, e))
+		}
+		aggIDs[pod] = make([]int, half)
+		for a := 0; a < half; a++ {
+			aggIDs[pod][a] = n.AddNode(Agg, fmt.Sprintf("agg%d-%d", pod, a))
+		}
+	}
+	coreIDs := make([]int, half*half)
+	for c := range coreIDs {
+		coreIDs[c] = n.AddNode(Core, fmt.Sprintf("core%d", c))
+	}
+	for pod := 0; pod < k; pod++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				n.AddLink(hostID(pod, e, h), edgeIDs[pod][e], speed, DefaultHopDelayNS)
+			}
+			for a := 0; a < half; a++ {
+				n.AddLink(edgeIDs[pod][e], aggIDs[pod][a], speed, DefaultHopDelayNS)
+			}
+		}
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				n.AddLink(aggIDs[pod][a], coreIDs[a*half+c], speed, DefaultHopDelayNS)
+			}
+		}
+	}
+	return n
+}
+
+// Torus2D builds a w×h 2-D torus of switches, each with one attached host —
+// the HPC-style direct topology referenced by the HPC/Big Data convergence
+// discussion. Host IDs come first.
+func Torus2D(w, h int, speed GbE) *Network {
+	if w <= 0 || h <= 0 {
+		panic("topo: Torus2D requires positive dimensions")
+	}
+	n := New()
+	numSW := w * h
+	for i := 0; i < numSW; i++ {
+		n.AddNode(Host, fmt.Sprintf("h%d", i))
+	}
+	sw := make([]int, numSW)
+	for i := range sw {
+		sw[i] = n.AddNode(ToR, fmt.Sprintf("sw%d", i))
+	}
+	at := func(x, y int) int { return sw[((y+h)%h)*w+(x+w)%w] }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			n.AddLink(y*w+x, at(x, y), speed, DefaultHopDelayNS) // host uplink
+			if w > 1 {
+				n.AddLink(at(x, y), at(x+1, y), speed, DefaultHopDelayNS)
+			}
+			if h > 1 {
+				n.AddLink(at(x, y), at(x, y+1), speed, DefaultHopDelayNS)
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+// Package topo builds and queries datacenter network topologies: single
+// switches, leaf–spine fabrics, k-ary fat-trees and 2-D tori. It provides
+// the graph substrate (nodes, full-duplex links, shortest-path and ECMP
+// routing) on which the flow-level simulator (internal/netsim) and the SDN
+// control plane (internal/sdn) operate. Link speeds are expressed as the
+// Ethernet generations the roadmap discusses (10/40/100/400 GbE).
+package topo
+
+import "fmt"
+
+// NodeKind classifies a network node.
+type NodeKind int
+
+// Node kinds, from the server up through the fabric tiers.
+const (
+	Host NodeKind = iota
+	ToR           // top-of-rack / leaf switch
+	Agg           // aggregation / spine switch
+	Core          // core switch
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case ToR:
+		return "tor"
+	case Agg:
+		return "agg"
+	case Core:
+		return "core"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// GbE is a link speed in gigabits per second. The named constants are the
+// Ethernet generations discussed in the roadmap's network section.
+type GbE float64
+
+// Ethernet generations (Section IV.A and Recommendations 1 and 3).
+const (
+	Gen10  GbE = 10
+	Gen40  GbE = 40
+	Gen100 GbE = 100
+	Gen400 GbE = 400
+)
+
+// BytesPerSec converts the link speed to bytes per second.
+func (g GbE) BytesPerSec() float64 { return float64(g) * 1e9 / 8 }
+
+// Node is a vertex in the topology.
+type Node struct {
+	ID   int
+	Kind NodeKind
+	Name string
+}
+
+// Link is a full-duplex cable between two nodes. Each direction has the
+// full Speed capacity; the simulator treats the two directions as
+// independent directed channels identified by (LinkID, dir).
+type Link struct {
+	ID      int
+	A, B    int
+	Speed   GbE
+	DelayNS float64 // propagation + per-hop processing delay, nanoseconds
+}
+
+// Other returns the endpoint opposite n, or -1 if n is not an endpoint.
+func (l Link) Other(n int) int {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		return -1
+	}
+}
+
+// Network is an undirected multigraph of nodes and full-duplex links.
+type Network struct {
+	Nodes []Node
+	Links []Link
+
+	adj [][]int // node -> incident link IDs
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddNode appends a node and returns its ID.
+func (n *Network) AddNode(kind NodeKind, name string) int {
+	id := len(n.Nodes)
+	n.Nodes = append(n.Nodes, Node{ID: id, Kind: kind, Name: name})
+	n.adj = append(n.adj, nil)
+	return id
+}
+
+// AddLink connects a and b with the given speed and per-hop delay and
+// returns the link ID. It panics on out-of-range endpoints or self-loops.
+func (n *Network) AddLink(a, b int, speed GbE, delayNS float64) int {
+	if a < 0 || a >= len(n.Nodes) || b < 0 || b >= len(n.Nodes) {
+		panic(fmt.Sprintf("topo: link endpoint out of range (%d, %d)", a, b))
+	}
+	if a == b {
+		panic("topo: self-loop")
+	}
+	id := len(n.Links)
+	n.Links = append(n.Links, Link{ID: id, A: a, B: b, Speed: speed, DelayNS: delayNS})
+	n.adj[a] = append(n.adj[a], id)
+	n.adj[b] = append(n.adj[b], id)
+	return id
+}
+
+// Incident returns the IDs of links touching node v.
+func (n *Network) Incident(v int) []int { return n.adj[v] }
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (n *Network) Hosts() []int {
+	var out []int
+	for _, nd := range n.Nodes {
+		if nd.Kind == Host {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// Switches returns the IDs of all non-host nodes in ID order.
+func (n *Network) Switches() []int {
+	var out []int
+	for _, nd := range n.Nodes {
+		if nd.Kind != Host {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// CountKind returns how many nodes have the given kind.
+func (n *Network) CountKind(k NodeKind) int {
+	c := 0
+	for _, nd := range n.Nodes {
+		if nd.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// FabricCapacity returns the total capacity in Gbps of switch-to-switch
+// links — the fabric tier whose speed the Ethernet-generation experiments
+// sweep. Host access links are excluded.
+func (n *Network) FabricCapacity() float64 {
+	total := 0.0
+	for _, l := range n.Links {
+		if n.Nodes[l.A].Kind != Host && n.Nodes[l.B].Kind != Host {
+			total += float64(l.Speed)
+		}
+	}
+	return total
+}
+
+// AccessCapacity returns the total capacity in Gbps of host access links.
+func (n *Network) AccessCapacity() float64 {
+	total := 0.0
+	for _, l := range n.Links {
+		if n.Nodes[l.A].Kind == Host || n.Nodes[l.B].Kind == Host {
+			total += float64(l.Speed)
+		}
+	}
+	return total
+}
+
+// Path is a route through the network: the node sequence and the link IDs
+// connecting consecutive nodes (len(LinkIDs) == len(NodeIDs)-1).
+type Path struct {
+	NodeIDs []int
+	LinkIDs []int
+}
+
+// Hops returns the number of links on the path.
+func (p Path) Hops() int { return len(p.LinkIDs) }
+
+// DelayNS returns the sum of per-hop delays along the path.
+func (p Path) DelayNS(n *Network) float64 {
+	d := 0.0
+	for _, id := range p.LinkIDs {
+		d += n.Links[id].DelayNS
+	}
+	return d
+}
+
+// MinSpeed returns the bottleneck link speed along the path (0 for an
+// empty path).
+func (p Path) MinSpeed(n *Network) GbE {
+	if len(p.LinkIDs) == 0 {
+		return 0
+	}
+	min := n.Links[p.LinkIDs[0]].Speed
+	for _, id := range p.LinkIDs[1:] {
+		if s := n.Links[id].Speed; s < min {
+			min = s
+		}
+	}
+	return min
+}

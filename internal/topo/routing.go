@@ -1,0 +1,184 @@
+package topo
+
+import "container/list"
+
+// ShortestPath returns one shortest path (by hop count) from src to dst
+// using BFS, or an empty path and false if dst is unreachable. Among equal-
+// length paths it deterministically prefers the lowest link IDs.
+func (n *Network) ShortestPath(src, dst int) (Path, bool) {
+	if src == dst {
+		return Path{NodeIDs: []int{src}}, true
+	}
+	prevLink := make([]int, len(n.Nodes))
+	for i := range prevLink {
+		prevLink[i] = -1
+	}
+	visited := make([]bool, len(n.Nodes))
+	visited[src] = true
+	q := list.New()
+	q.PushBack(src)
+	for q.Len() > 0 {
+		v := q.Remove(q.Front()).(int)
+		for _, lid := range n.adj[v] {
+			u := n.Links[lid].Other(v)
+			if !visited[u] {
+				visited[u] = true
+				prevLink[u] = lid
+				if u == dst {
+					return n.tracePath(src, dst, prevLink), true
+				}
+				q.PushBack(u)
+			}
+		}
+	}
+	return Path{}, false
+}
+
+// ShortestPathAvoiding is ShortestPath over the subgraph without the
+// blocked links. The SDN controller's repair loop uses it when every
+// cached ECMP alternative crosses a failed link.
+func (n *Network) ShortestPathAvoiding(src, dst int, blocked func(linkID int) bool) (Path, bool) {
+	if src == dst {
+		return Path{NodeIDs: []int{src}}, true
+	}
+	prevLink := make([]int, len(n.Nodes))
+	for i := range prevLink {
+		prevLink[i] = -1
+	}
+	visited := make([]bool, len(n.Nodes))
+	visited[src] = true
+	q := list.New()
+	q.PushBack(src)
+	for q.Len() > 0 {
+		v := q.Remove(q.Front()).(int)
+		for _, lid := range n.adj[v] {
+			if blocked != nil && blocked(lid) {
+				continue
+			}
+			u := n.Links[lid].Other(v)
+			if !visited[u] {
+				visited[u] = true
+				prevLink[u] = lid
+				if u == dst {
+					return n.tracePath(src, dst, prevLink), true
+				}
+				q.PushBack(u)
+			}
+		}
+	}
+	return Path{}, false
+}
+
+func (n *Network) tracePath(src, dst int, prevLink []int) Path {
+	var nodes, links []int
+	v := dst
+	for v != src {
+		lid := prevLink[v]
+		nodes = append(nodes, v)
+		links = append(links, lid)
+		v = n.Links[lid].Other(v)
+	}
+	nodes = append(nodes, src)
+	// reverse into forward order
+	for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+		nodes[i], nodes[j] = nodes[j], nodes[i]
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return Path{NodeIDs: nodes, LinkIDs: links}
+}
+
+// Distances returns hop distances from src to every node (-1 when
+// unreachable).
+func (n *Network) Distances(src int) []int {
+	dist := make([]int, len(n.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	q := list.New()
+	q.PushBack(src)
+	for q.Len() > 0 {
+		v := q.Remove(q.Front()).(int)
+		for _, lid := range n.adj[v] {
+			u := n.Links[lid].Other(v)
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				q.PushBack(u)
+			}
+		}
+	}
+	return dist
+}
+
+// ECMPPaths enumerates up to maxPaths distinct shortest paths from src to
+// dst, in deterministic order. This is the path set an ECMP fabric hashes
+// flows across.
+func (n *Network) ECMPPaths(src, dst, maxPaths int) []Path {
+	if src == dst {
+		return []Path{{NodeIDs: []int{src}}}
+	}
+	distTo := n.distancesTo(dst)
+	if distTo[src] < 0 {
+		return nil
+	}
+	var out []Path
+	var nodes []int
+	var links []int
+	var walk func(v int)
+	walk = func(v int) {
+		if len(out) >= maxPaths {
+			return
+		}
+		if v == dst {
+			p := Path{NodeIDs: append([]int(nil), append(nodes, dst)...), LinkIDs: append([]int(nil), links...)}
+			out = append(out, p)
+			return
+		}
+		for _, lid := range n.adj[v] {
+			u := n.Links[lid].Other(v)
+			if distTo[u] == distTo[v]-1 {
+				nodes = append(nodes, v)
+				links = append(links, lid)
+				walk(u)
+				nodes = nodes[:len(nodes)-1]
+				links = links[:len(links)-1]
+			}
+		}
+	}
+	walk(src)
+	return out
+}
+
+func (n *Network) distancesTo(dst int) []int {
+	// BFS from dst over the undirected graph gives distance-to-dst.
+	return n.Distances(dst)
+}
+
+// PickECMP selects one of the ECMP paths for a flow using a deterministic
+// hash of the flow 5-tuple surrogate (src, dst, flowID).
+func (n *Network) PickECMP(src, dst, flowID, maxPaths int) (Path, bool) {
+	paths := n.ECMPPaths(src, dst, maxPaths)
+	if len(paths) == 0 {
+		return Path{}, false
+	}
+	h := uint64(src)*1000003 ^ uint64(dst)*8191 ^ uint64(flowID)*2654435761
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return paths[h%uint64(len(paths))], true
+}
+
+// Connected reports whether every node is reachable from node 0.
+func (n *Network) Connected() bool {
+	if len(n.Nodes) == 0 {
+		return true
+	}
+	for _, d := range n.Distances(0) {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}

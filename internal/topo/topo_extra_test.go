@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{4, 8} {
+		net := FatTree(k, Gen40)
+		wantHosts := k * k * k / 4
+		wantSwitches := 5 * k * k / 4 // k²/4 core + k²/2 agg + k²/2 edge
+		if got := len(net.Hosts()); got != wantHosts {
+			t.Fatalf("k=%d: hosts = %d, want %d", k, got, wantHosts)
+		}
+		if got := len(net.Switches()); got != wantSwitches {
+			t.Fatalf("k=%d: switches = %d, want %d", k, got, wantSwitches)
+		}
+		if !net.Connected() {
+			t.Fatalf("k=%d: fat-tree not connected", k)
+		}
+	}
+}
+
+func TestFatTreeFullBisection(t *testing.T) {
+	// A fat-tree's defining property: as many core uplinks as edge
+	// downlinks — fabric capacity at least matches access capacity.
+	net := FatTree(4, Gen40)
+	if net.FabricCapacity() < net.AccessCapacity() {
+		t.Fatalf("fabric %v < access %v", net.FabricCapacity(), net.AccessCapacity())
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	net := Torus2D(4, 3, Gen10)
+	// 12 switches, each with an attached host, 2×12 torus links.
+	if got := len(net.Switches()); got != 12 {
+		t.Fatalf("switches = %d", got)
+	}
+	if got := len(net.Hosts()); got != 12 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if !net.Connected() {
+		t.Fatal("torus not connected")
+	}
+	// Every switch has degree 4 (torus) + 1 (host).
+	for _, sw := range net.Switches() {
+		if d := len(net.Incident(sw)); d != 5 {
+			t.Fatalf("switch %d degree = %d, want 5", sw, d)
+		}
+	}
+}
+
+func TestShortestPathAvoidingReroutes(t *testing.T) {
+	// Triangle a-b, b-c, a-c: blocking the direct link forces the detour.
+	n := New()
+	a := n.AddNode(Host, "a")
+	b := n.AddNode(ToR, "b")
+	c := n.AddNode(Host, "c")
+	direct := n.AddLink(a, c, Gen10, 0)
+	n.AddLink(a, b, Gen10, 0)
+	n.AddLink(b, c, Gen10, 0)
+
+	p, ok := n.ShortestPath(a, c)
+	if !ok || p.Hops() != 1 {
+		t.Fatalf("direct path hops = %d", p.Hops())
+	}
+	p, ok = n.ShortestPathAvoiding(a, c, func(lid int) bool { return lid == direct })
+	if !ok || p.Hops() != 2 {
+		t.Fatalf("detour hops = %d ok=%v", p.Hops(), ok)
+	}
+	// Blocking everything disconnects.
+	if _, ok := n.ShortestPathAvoiding(a, c, func(int) bool { return true }); ok {
+		t.Fatal("fully blocked graph must be unreachable")
+	}
+	// Self path.
+	if p, ok := n.ShortestPathAvoiding(a, a, nil); !ok || p.Hops() != 0 {
+		t.Fatal("self path must be trivial")
+	}
+}
+
+func TestECMPPathsAreShortestAndDistinct(t *testing.T) {
+	net := LeafSpine(LeafSpineSpec{Leaves: 4, Spines: 4, HostsPerLeaf: 2, HostSpeed: Gen10, FabricSpeed: Gen40})
+	hosts := net.Hosts()
+	src, dst := hosts[0], hosts[len(hosts)-1]
+	paths := net.ECMPPaths(src, dst, 8)
+	if len(paths) < 2 {
+		t.Fatalf("expected multiple ECMP paths, got %d", len(paths))
+	}
+	want := paths[0].Hops()
+	seen := map[string]bool{}
+	for _, p := range paths {
+		if p.Hops() != want {
+			t.Fatalf("ECMP path lengths differ: %d vs %d", p.Hops(), want)
+		}
+		key := ""
+		for _, l := range p.LinkIDs {
+			key += string(rune(l)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate ECMP path")
+		}
+		seen[key] = true
+		if p.NodeIDs[0] != src || p.NodeIDs[len(p.NodeIDs)-1] != dst {
+			t.Fatal("path endpoints wrong")
+		}
+	}
+}
+
+func TestPickECMPDeterministicPerFlow(t *testing.T) {
+	net := LeafSpine(LeafSpineSpec{Leaves: 2, Spines: 4, HostsPerLeaf: 2, HostSpeed: Gen10, FabricSpeed: Gen40})
+	hosts := net.Hosts()
+	a1, ok1 := net.PickECMP(hosts[0], hosts[3], 7, 8)
+	a2, ok2 := net.PickECMP(hosts[0], hosts[3], 7, 8)
+	if !ok1 || !ok2 {
+		t.Fatal("no path")
+	}
+	if len(a1.LinkIDs) != len(a2.LinkIDs) {
+		t.Fatal("same flow ID must give same path")
+	}
+	for i := range a1.LinkIDs {
+		if a1.LinkIDs[i] != a2.LinkIDs[i] {
+			t.Fatal("same flow ID must give same path")
+		}
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := New()
+	a := n.AddNode(Host, "a")
+	for _, fn := range []func(){
+		func() { n.AddLink(a, a, Gen10, 0) },  // self loop
+		func() { n.AddLink(a, 99, Gen10, 0) }, // out of range
+		func() { n.AddLink(-1, a, Gen10, 0) }, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPathDelayAndBottleneck(t *testing.T) {
+	n := New()
+	a := n.AddNode(Host, "a")
+	b := n.AddNode(ToR, "b")
+	c := n.AddNode(Host, "c")
+	l0 := n.AddLink(a, b, Gen10, 100)
+	l1 := n.AddLink(b, c, Gen40, 200)
+	p := Path{NodeIDs: []int{a, b, c}, LinkIDs: []int{l0, l1}}
+	if p.DelayNS(n) != 300 {
+		t.Fatalf("delay = %v", p.DelayNS(n))
+	}
+	if p.MinSpeed(n) != Gen10 {
+		t.Fatalf("min speed = %v", p.MinSpeed(n))
+	}
+	if (Path{}).MinSpeed(n) != 0 {
+		t.Fatal("empty path min speed must be 0")
+	}
+}
+
+func TestDistancesSymmetryProperty(t *testing.T) {
+	// On undirected topologies dist(a→b) == dist(b→a).
+	f := func(seed uint8) bool {
+		net := LeafSpine(LeafSpineSpec{
+			Leaves: 2 + int(seed%3), Spines: 2, HostsPerLeaf: 2,
+			HostSpeed: Gen10, FabricSpeed: Gen40,
+		})
+		hosts := net.Hosts()
+		a, b := hosts[0], hosts[len(hosts)-1]
+		da := net.Distances(a)
+		db := net.Distances(b)
+		return da[b] == db[a] && da[b] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{Host: "host", ToR: "tor", Agg: "agg", Core: "core"} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}

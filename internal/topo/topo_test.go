@@ -1,0 +1,266 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleSwitch(t *testing.T) {
+	n := SingleSwitch(8, Gen10)
+	if got := n.CountKind(Host); got != 8 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if got := n.CountKind(ToR); got != 1 {
+		t.Fatalf("switches = %d", got)
+	}
+	if len(n.Links) != 8 {
+		t.Fatalf("links = %d", len(n.Links))
+	}
+	if !n.Connected() {
+		t.Fatal("not connected")
+	}
+	p, ok := n.ShortestPath(0, 1)
+	if !ok || p.Hops() != 2 {
+		t.Fatalf("host-to-host path hops = %d, ok=%v", p.Hops(), ok)
+	}
+}
+
+func TestLeafSpineStructure(t *testing.T) {
+	n := LeafSpine(LeafSpineSpec{Leaves: 4, Spines: 2, HostsPerLeaf: 8, HostSpeed: Gen10, FabricSpeed: Gen40})
+	if got := n.CountKind(Host); got != 32 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if got := n.CountKind(ToR); got != 4 {
+		t.Fatalf("leaves = %d", got)
+	}
+	if got := n.CountKind(Agg); got != 2 {
+		t.Fatalf("spines = %d", got)
+	}
+	// 32 host links + 4*2 fabric links
+	if len(n.Links) != 40 {
+		t.Fatalf("links = %d", len(n.Links))
+	}
+	if !n.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestLeafSpinePaths(t *testing.T) {
+	n := LeafSpine(LeafSpineSpec{Leaves: 4, Spines: 4, HostsPerLeaf: 4, HostSpeed: Gen10, FabricSpeed: Gen40})
+	// same leaf: 2 hops via the shared leaf
+	p, ok := n.ShortestPath(0, 1)
+	if !ok || p.Hops() != 2 {
+		t.Fatalf("intra-leaf hops = %d", p.Hops())
+	}
+	// cross leaf: host->leaf->spine->leaf->host = 4 hops
+	p, ok = n.ShortestPath(0, 4)
+	if !ok || p.Hops() != 4 {
+		t.Fatalf("cross-leaf hops = %d", p.Hops())
+	}
+	// ECMP should expose one path per spine
+	paths := n.ECMPPaths(0, 4, 16)
+	if len(paths) != 4 {
+		t.Fatalf("ECMP paths = %d, want 4", len(paths))
+	}
+	for _, q := range paths {
+		if q.Hops() != 4 {
+			t.Fatalf("non-shortest ECMP path with %d hops", q.Hops())
+		}
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	k := 4
+	n := FatTree(k, Gen10)
+	if got := n.CountKind(Host); got != k*k*k/4 {
+		t.Fatalf("hosts = %d, want %d", got, k*k*k/4)
+	}
+	if got := n.CountKind(ToR); got != k*k/2 {
+		t.Fatalf("edge switches = %d, want %d", got, k*k/2)
+	}
+	if got := n.CountKind(Agg); got != k*k/2 {
+		t.Fatalf("agg switches = %d, want %d", got, k*k/2)
+	}
+	if got := n.CountKind(Core); got != k*k/4 {
+		t.Fatalf("core switches = %d, want %d", got, k*k/4)
+	}
+	if !n.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestFatTreePathLengths(t *testing.T) {
+	n := FatTree(4, Gen10)
+	// same edge switch: 2 hops
+	if p, _ := n.ShortestPath(0, 1); p.Hops() != 2 {
+		t.Fatalf("same-edge hops = %d", p.Hops())
+	}
+	// same pod, different edge: 4 hops
+	if p, _ := n.ShortestPath(0, 2); p.Hops() != 4 {
+		t.Fatalf("same-pod hops = %d", p.Hops())
+	}
+	// different pod: 6 hops
+	if p, _ := n.ShortestPath(0, 15); p.Hops() != 6 {
+		t.Fatalf("cross-pod hops = %d", p.Hops())
+	}
+}
+
+func TestFatTreeECMPCrossPod(t *testing.T) {
+	n := FatTree(4, Gen10)
+	paths := n.ECMPPaths(0, 15, 32)
+	// k=4 fat-tree offers (k/2)^2 = 4 shortest cross-pod paths
+	if len(paths) != 4 {
+		t.Fatalf("cross-pod ECMP paths = %d, want 4", len(paths))
+	}
+}
+
+func TestFatTreeRejectsOddK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for odd k")
+		}
+	}()
+	FatTree(3, Gen10)
+}
+
+func TestTorus2D(t *testing.T) {
+	n := Torus2D(4, 4, Gen10)
+	if got := n.CountKind(Host); got != 16 {
+		t.Fatalf("hosts = %d", got)
+	}
+	if got := n.CountKind(ToR); got != 16 {
+		t.Fatalf("switches = %d", got)
+	}
+	// 16 host links + 16*2 torus links
+	if len(n.Links) != 48 {
+		t.Fatalf("links = %d", len(n.Links))
+	}
+	if !n.Connected() {
+		t.Fatal("not connected")
+	}
+	// Opposite corners: 2 host hops + wraparound distance 2+2 = 4 switch hops... but
+	// on a 4x4 torus max switch distance is 2+2=4, so host-to-host <= 6.
+	p, ok := n.ShortestPath(0, 10)
+	if !ok || p.Hops() > 6 {
+		t.Fatalf("torus path hops = %d", p.Hops())
+	}
+}
+
+func TestPickECMPDeterministic(t *testing.T) {
+	n := FatTree(4, Gen10)
+	a, ok1 := n.PickECMP(0, 15, 7, 16)
+	b, ok2 := n.PickECMP(0, 15, 7, 16)
+	if !ok1 || !ok2 {
+		t.Fatal("PickECMP failed")
+	}
+	if len(a.LinkIDs) != len(b.LinkIDs) {
+		t.Fatal("nondeterministic ECMP pick")
+	}
+	for i := range a.LinkIDs {
+		if a.LinkIDs[i] != b.LinkIDs[i] {
+			t.Fatal("nondeterministic ECMP pick")
+		}
+	}
+}
+
+func TestPickECMPSpreadsFlows(t *testing.T) {
+	n := FatTree(4, Gen10)
+	seen := map[int]bool{}
+	for f := 0; f < 64; f++ {
+		p, _ := n.PickECMP(0, 15, f, 16)
+		seen[p.LinkIDs[2]] = true // the core uplink distinguishes paths
+	}
+	if len(seen) < 2 {
+		t.Fatalf("ECMP hashing used only %d distinct paths", len(seen))
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	n := LeafSpine(LeafSpineSpec{Leaves: 2, Spines: 1, HostsPerLeaf: 1, HostSpeed: Gen10, FabricSpeed: Gen100})
+	p, ok := n.ShortestPath(0, 1)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if p.MinSpeed(n) != Gen10 {
+		t.Fatalf("bottleneck = %v, want 10", p.MinSpeed(n))
+	}
+	if d := p.DelayNS(n); d != float64(p.Hops())*DefaultHopDelayNS {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+func TestGbEBytesPerSec(t *testing.T) {
+	if Gen10.BytesPerSec() != 1.25e9 {
+		t.Fatalf("10GbE = %v B/s", Gen10.BytesPerSec())
+	}
+	if Gen400.BytesPerSec() != 5e10 {
+		t.Fatalf("400GbE = %v B/s", Gen400.BytesPerSec())
+	}
+}
+
+func TestFabricCapacityScalesWithGeneration(t *testing.T) {
+	lo := LeafSpine(LeafSpineSpec{Leaves: 4, Spines: 4, HostsPerLeaf: 4, HostSpeed: Gen10, FabricSpeed: Gen40})
+	hi := LeafSpine(LeafSpineSpec{Leaves: 4, Spines: 4, HostsPerLeaf: 4, HostSpeed: Gen10, FabricSpeed: Gen400})
+	if lo.FabricCapacity() != 16*40 {
+		t.Fatalf("lo fabric = %v, want 640", lo.FabricCapacity())
+	}
+	if hi.FabricCapacity() != 16*400 {
+		t.Fatalf("hi fabric = %v, want 6400", hi.FabricCapacity())
+	}
+	if lo.AccessCapacity() != 16*10 {
+		t.Fatalf("access = %v, want 160", lo.AccessCapacity())
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n := New()
+	a := n.AddNode(Host, "a")
+	n.AddLink(a, a, Gen10, 0)
+}
+
+func TestDistancesUnreachable(t *testing.T) {
+	n := New()
+	n.AddNode(Host, "a")
+	n.AddNode(Host, "b")
+	d := n.Distances(0)
+	if d[1] != -1 {
+		t.Fatalf("unreachable distance = %d, want -1", d[1])
+	}
+	if n.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if _, ok := n.ShortestPath(0, 1); ok {
+		t.Fatal("path found in disconnected graph")
+	}
+}
+
+func TestShortestPathProperty(t *testing.T) {
+	n := FatTree(4, Gen10)
+	hosts := n.Hosts()
+	err := quick.Check(func(aRaw, bRaw uint8) bool {
+		a := hosts[int(aRaw)%len(hosts)]
+		b := hosts[int(bRaw)%len(hosts)]
+		p, ok := n.ShortestPath(a, b)
+		if !ok {
+			return false
+		}
+		// Path is well-formed: consecutive nodes joined by the listed links.
+		for i, lid := range p.LinkIDs {
+			l := n.Links[lid]
+			if !(l.A == p.NodeIDs[i] && l.B == p.NodeIDs[i+1]) &&
+				!(l.B == p.NodeIDs[i] && l.A == p.NodeIDs[i+1]) {
+				return false
+			}
+		}
+		// Hop count matches the BFS distance oracle.
+		return p.Hops() == n.Distances(a)[b]
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import "repro/internal/sim"
+
+// Graph is a directed graph in adjacency-list form, used by the PageRank
+// building block and the graph-analytics benchmarks.
+type Graph struct {
+	N   int
+	Adj [][]int32
+}
+
+// Edges returns the total edge count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// OutDegree returns the out-degree of node v.
+func (g *Graph) OutDegree(v int) int { return len(g.Adj[v]) }
+
+// RMAT generates a power-law directed graph with the recursive-matrix
+// (R-MAT) method used by the Graph500 benchmark. n is rounded up to the next
+// power of two internally, but the returned graph has exactly n nodes (edges
+// landing outside are remapped by modulo).
+func RMAT(seed uint64, n, edges int) *Graph {
+	if n <= 0 {
+		panic("workload: RMAT requires positive n")
+	}
+	rng := sim.NewRNG(seed)
+	// Standard Graph500 partition probabilities.
+	const a, b, c = 0.57, 0.19, 0.19
+	levels := 0
+	for (1 << levels) < n {
+		levels++
+	}
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for e := 0; e < edges; e++ {
+		u, v := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << l
+			case r < a+b+c:
+				u |= 1 << l
+			default:
+				u |= 1 << l
+				v |= 1 << l
+			}
+		}
+		u, v = u%n, v%n
+		g.Adj[u] = append(g.Adj[u], int32(v))
+	}
+	return g
+}
+
+// Ring returns a directed ring over n nodes (deterministic; useful for
+// PageRank convergence tests where the stationary distribution is uniform).
+func Ring(n int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for i := 0; i < n; i++ {
+		g.Adj[i] = []int32{int32((i + 1) % n)}
+	}
+	return g
+}
+
+// Star returns a star graph: every leaf points to the hub (node 0).
+func Star(n int) *Graph {
+	g := &Graph{N: n, Adj: make([][]int32, n)}
+	for i := 1; i < n; i++ {
+		g.Adj[i] = []int32{0}
+	}
+	return g
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SalesRow is one row of the synthetic star-schema fact table used by the
+// SQL / analytics experiments (a TPC-H-flavoured "orders" shape).
+type SalesRow struct {
+	OrderID    int64
+	CustomerID int64
+	Region     string
+	Product    string
+	Quantity   int64
+	Price      float64
+	Discount   float64
+	Year       int64
+}
+
+// Regions and Products are the dimension values used by the generator.
+var (
+	Regions  = []string{"EU-NORTH", "EU-SOUTH", "EU-WEST", "EU-EAST", "NA", "APAC"}
+	Products = []string{"widget", "gadget", "sprocket", "gizmo", "doohickey", "contraption", "apparatus", "device"}
+)
+
+// Sales generates n fact rows over the given number of customers. Region
+// popularity is skewed so group-by results are stable and non-trivial.
+func Sales(seed uint64, n, customers int) []SalesRow {
+	rng := sim.NewRNG(seed)
+	regionZ := sim.NewZipf(rng, 0.8, len(Regions))
+	prodZ := sim.NewZipf(rng, 0.5, len(Products))
+	custZ := sim.NewZipf(rng, 0.9, customers)
+	rows := make([]SalesRow, n)
+	for i := range rows {
+		q := int64(rng.Intn(20) + 1)
+		rows[i] = SalesRow{
+			OrderID:    int64(i + 1),
+			CustomerID: int64(custZ.Next() + 1),
+			Region:     Regions[regionZ.Next()],
+			Product:    Products[prodZ.Next()],
+			Quantity:   q,
+			Price:      float64(int(rng.Range(100, 10000))) / 100,
+			Discount:   float64(rng.Intn(30)) / 100,
+			Year:       int64(2010 + rng.Intn(7)),
+		}
+	}
+	return rows
+}
+
+// CustomerRow is one row of the synthetic customer dimension table.
+type CustomerRow struct {
+	CustomerID int64
+	Name       string
+	Segment    string
+	Country    string
+}
+
+// Segments used by the customer generator.
+var Segments = []string{"AUTOMOTIVE", "FINANCE", "HEALTH", "TELECOM", "ANALYTICS"}
+
+// Countries used by the customer generator (European focus, per the paper).
+var Countries = []string{"ES", "DE", "FR", "UK", "NL", "CH", "IT", "SE"}
+
+// Customers generates the dimension table with n rows.
+func Customers(seed uint64, n int) []CustomerRow {
+	rng := sim.NewRNG(seed)
+	rows := make([]CustomerRow, n)
+	for i := range rows {
+		rows[i] = CustomerRow{
+			CustomerID: int64(i + 1),
+			Name:       fmt.Sprintf("company-%04d", i+1),
+			Segment:    Segments[rng.Intn(len(Segments))],
+			Country:    Countries[rng.Intn(len(Countries))],
+		}
+	}
+	return rows
+}
+
+// Points generates n points in dims dimensions drawn from k Gaussian
+// clusters; used by the k-means building block. Returns the points and the
+// true generating centers.
+func Points(seed uint64, n, dims, k int) ([][]float64, [][]float64) {
+	rng := sim.NewRNG(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dims)
+		for d := range centers[c] {
+			centers[c][d] = rng.Range(-50, 50)
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = c[d] + rng.Normal(0, 2)
+		}
+		pts[i] = p
+	}
+	return pts, centers
+}

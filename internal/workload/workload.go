@@ -1,0 +1,178 @@
+// Package workload generates the deterministic synthetic workloads used by
+// every experiment: key-value traces with Zipfian popularity, search request
+// streams, text corpora, relational tables, power-law graphs and record
+// streams. The paper's evaluation substrate (proprietary hyperscaler traces)
+// is unavailable, so these generators are the documented substitution: their
+// shapes (skew, burstiness, record sizes) follow the values the Big Data
+// literature reports for the corresponding workload classes.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// KVOp is a single key-value operation in a trace.
+type KVOp struct {
+	Key    uint64
+	Read   bool
+	SizeB  int // value size in bytes
+	TimeNS int64
+}
+
+// KVTraceSpec configures a Zipfian key-value trace in the style of the
+// YCSB/Twitter cache workloads used throughout Big Data systems papers.
+type KVTraceSpec struct {
+	Keys      int     // size of the keyspace
+	Ops       int     // number of operations
+	Skew      float64 // Zipf exponent (0.99 is the YCSB default)
+	ReadRatio float64 // fraction of reads
+	MeanValB  int     // mean value size in bytes
+	Seed      uint64
+}
+
+// KVTrace materializes the trace described by the spec.
+func KVTrace(spec KVTraceSpec) []KVOp {
+	if spec.Keys <= 0 || spec.Ops < 0 {
+		panic("workload: KVTrace requires positive Keys and non-negative Ops")
+	}
+	rng := sim.NewRNG(spec.Seed)
+	z := sim.NewZipf(rng, spec.Skew, spec.Keys)
+	ops := make([]KVOp, spec.Ops)
+	t := int64(0)
+	for i := range ops {
+		t += int64(rng.Exp(1e-3)) // ~1M ops/s arrival spacing in ns
+		size := int(rng.Lognormal(logMeanForMean(float64(spec.MeanValB)), 0.5))
+		if size < 1 {
+			size = 1
+		}
+		ops[i] = KVOp{
+			Key:    uint64(z.Next()),
+			Read:   rng.Bool(spec.ReadRatio),
+			SizeB:  size,
+			TimeNS: t,
+		}
+	}
+	return ops
+}
+
+// logMeanForMean returns mu such that a Lognormal(mu, 0.5) has the given
+// mean: mean = exp(mu + sigma^2/2).
+func logMeanForMean(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	const sigma = 0.5
+	return math.Log(mean) - sigma*sigma/2
+}
+
+// SearchRequest models one request into a ranking service (the Catapult
+// experiment): a number of candidate documents to score and a feature
+// vector width.
+type SearchRequest struct {
+	ID         int
+	Candidates int // documents the ranker must score
+	Features   int // features per document
+}
+
+// SearchStreamSpec configures a search request stream. Candidate counts are
+// heavy-tailed (Pareto): most queries touch few documents, some touch many —
+// exactly the shape that produces long tail latency on CPUs.
+type SearchStreamSpec struct {
+	Requests       int
+	MeanCandidates float64
+	TailAlpha      float64 // Pareto shape; ~2.1 gives a pronounced tail
+	Features       int
+	Seed           uint64
+}
+
+// SearchStream materializes the stream.
+func SearchStream(spec SearchStreamSpec) []SearchRequest {
+	rng := sim.NewRNG(spec.Seed)
+	if spec.TailAlpha <= 1 {
+		panic("workload: TailAlpha must exceed 1 for a finite mean")
+	}
+	// Pareto mean = xm * alpha/(alpha-1); solve xm for the requested mean.
+	xm := spec.MeanCandidates * (spec.TailAlpha - 1) / spec.TailAlpha
+	out := make([]SearchRequest, spec.Requests)
+	for i := range out {
+		c := int(rng.Pareto(xm, spec.TailAlpha))
+		if c < 1 {
+			c = 1
+		}
+		out[i] = SearchRequest{ID: i, Candidates: c, Features: spec.Features}
+	}
+	return out
+}
+
+// Record is a generic schema-less record for streaming experiments.
+type Record struct {
+	Key   string
+	Value float64
+	Tag   int
+}
+
+// RecordStream produces n records with k distinct keys, Zipf-skewed.
+func RecordStream(seed uint64, n, k int, skew float64) []Record {
+	rng := sim.NewRNG(seed)
+	z := sim.NewZipf(rng, skew, k)
+	recs := make([]Record, n)
+	for i := range recs {
+		id := z.Next()
+		recs[i] = Record{
+			Key:   fmt.Sprintf("key-%05d", id),
+			Value: rng.Range(0, 100),
+			Tag:   id % 16,
+		}
+	}
+	return recs
+}
+
+// Doc is a synthetic text document.
+type Doc struct {
+	ID    int
+	Words []string
+}
+
+// Corpus generates docs synthetic documents with the given mean length over
+// a vocabulary of vocab words with Zipfian usage — the standard model for
+// natural text (word frequencies follow Zipf's law).
+func Corpus(seed uint64, docs, meanLen, vocab int) []Doc {
+	rng := sim.NewRNG(seed)
+	z := sim.NewZipf(rng, 1.05, vocab)
+	words := make([]string, vocab)
+	for i := range words {
+		words[i] = syntheticWord(i)
+	}
+	out := make([]Doc, docs)
+	for d := range out {
+		n := int(rng.Normal(float64(meanLen), float64(meanLen)/4))
+		if n < 1 {
+			n = 1
+		}
+		ws := make([]string, n)
+		for i := range ws {
+			ws[i] = words[z.Next()]
+		}
+		out[d] = Doc{ID: d, Words: ws}
+	}
+	return out
+}
+
+// syntheticWord derives a pronounceable token from an integer id, so corpora
+// are readable in debug output while remaining deterministic.
+func syntheticWord(id int) string {
+	consonants := "bcdfghjklmnpqrstvwz"
+	vowels := "aeiou"
+	var b []byte
+	n := id
+	for i := 0; i < 3; i++ {
+		b = append(b, consonants[n%len(consonants)])
+		n /= len(consonants)
+		b = append(b, vowels[n%len(vowels)])
+		n /= len(vowels)
+	}
+	return string(b)
+}

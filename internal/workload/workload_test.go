@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKVTraceDeterministic(t *testing.T) {
+	spec := KVTraceSpec{Keys: 1000, Ops: 500, Skew: 0.99, ReadRatio: 0.9, MeanValB: 256, Seed: 1}
+	a := KVTrace(spec)
+	b := KVTrace(spec)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at op %d", i)
+		}
+	}
+}
+
+func TestKVTraceShape(t *testing.T) {
+	spec := KVTraceSpec{Keys: 100, Ops: 50000, Skew: 0.99, ReadRatio: 0.8, MeanValB: 512, Seed: 2}
+	ops := KVTrace(spec)
+	reads := 0
+	counts := map[uint64]int{}
+	lastT := int64(-1)
+	for _, op := range ops {
+		if op.Read {
+			reads++
+		}
+		if op.Key >= 100 {
+			t.Fatalf("key %d out of keyspace", op.Key)
+		}
+		if op.SizeB < 1 {
+			t.Fatalf("non-positive value size %d", op.SizeB)
+		}
+		if op.TimeNS < lastT {
+			t.Fatal("timestamps not monotone")
+		}
+		lastT = op.TimeNS
+		counts[op.Key]++
+	}
+	ratio := float64(reads) / float64(len(ops))
+	if ratio < 0.78 || ratio > 0.82 {
+		t.Fatalf("read ratio = %v, want ~0.8", ratio)
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("popularity not skewed: key0=%d key50=%d", counts[0], counts[50])
+	}
+}
+
+func TestSearchStreamTail(t *testing.T) {
+	reqs := SearchStream(SearchStreamSpec{Requests: 20000, MeanCandidates: 100, TailAlpha: 2.1, Features: 64, Seed: 3})
+	if len(reqs) != 20000 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	sum, max := 0, 0
+	for _, r := range reqs {
+		if r.Candidates < 1 {
+			t.Fatal("candidate count below 1")
+		}
+		sum += r.Candidates
+		if r.Candidates > max {
+			max = r.Candidates
+		}
+	}
+	mean := float64(sum) / float64(len(reqs))
+	if mean < 70 || mean > 140 {
+		t.Fatalf("mean candidates = %v, want ~100", mean)
+	}
+	if max < 500 {
+		t.Fatalf("tail too light: max = %d", max)
+	}
+}
+
+func TestSearchStreamRejectsBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha <= 1")
+		}
+	}()
+	SearchStream(SearchStreamSpec{Requests: 1, MeanCandidates: 10, TailAlpha: 1, Seed: 1})
+}
+
+func TestRecordStreamKeys(t *testing.T) {
+	recs := RecordStream(4, 10000, 50, 0.9)
+	keys := map[string]bool{}
+	for _, r := range recs {
+		keys[r.Key] = true
+		if r.Tag < 0 || r.Tag >= 16 {
+			t.Fatalf("tag %d out of range", r.Tag)
+		}
+	}
+	if len(keys) == 0 || len(keys) > 50 {
+		t.Fatalf("distinct keys = %d, want (0, 50]", len(keys))
+	}
+}
+
+func TestCorpusZipfian(t *testing.T) {
+	docs := Corpus(5, 100, 50, 1000)
+	if len(docs) != 100 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	freq := map[string]int{}
+	total := 0
+	for _, d := range docs {
+		if len(d.Words) == 0 {
+			t.Fatal("empty document")
+		}
+		for _, w := range d.Words {
+			freq[w]++
+			total++
+		}
+	}
+	top := syntheticWord(0)
+	if freq[top] < total/100 {
+		t.Fatalf("head word appears %d of %d times; expected Zipf head", freq[top], total)
+	}
+}
+
+func TestSyntheticWordUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		w := syntheticWord(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q at id %d", w, i)
+		}
+		seen[w] = true
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	g := RMAT(7, 1024, 8192)
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() != 8192 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	for u, adj := range g.Adj {
+		for _, v := range adj {
+			if v < 0 || int(v) >= g.N {
+				t.Fatalf("edge %d->%d out of range", u, v)
+			}
+		}
+	}
+	// Power-law-ish: max out-degree should dwarf the mean (8).
+	max := 0
+	for v := 0; v < g.N; v++ {
+		if d := g.OutDegree(v); d > max {
+			max = d
+		}
+	}
+	if max < 32 {
+		t.Fatalf("max degree = %d; R-MAT should be skewed", max)
+	}
+}
+
+func TestRingAndStar(t *testing.T) {
+	r := Ring(10)
+	if r.Edges() != 10 {
+		t.Fatalf("ring edges = %d", r.Edges())
+	}
+	for i := 0; i < 10; i++ {
+		if int(r.Adj[i][0]) != (i+1)%10 {
+			t.Fatalf("ring wiring broken at %d", i)
+		}
+	}
+	s := Star(10)
+	if s.Edges() != 9 {
+		t.Fatalf("star edges = %d", s.Edges())
+	}
+	if s.OutDegree(0) != 0 {
+		t.Fatal("hub should have no out-edges")
+	}
+}
+
+func TestSalesRows(t *testing.T) {
+	rows := Sales(6, 10000, 500)
+	if len(rows) != 10000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	regions := map[string]int{}
+	for _, r := range rows {
+		if r.Quantity < 1 || r.Quantity > 20 {
+			t.Fatalf("quantity %d out of range", r.Quantity)
+		}
+		if r.Price < 1 || r.Price > 100 {
+			t.Fatalf("price %v out of range", r.Price)
+		}
+		if r.Discount < 0 || r.Discount >= 0.3 {
+			t.Fatalf("discount %v out of range", r.Discount)
+		}
+		if r.Year < 2010 || r.Year > 2016 {
+			t.Fatalf("year %d out of range", r.Year)
+		}
+		if r.CustomerID < 1 || r.CustomerID > 500 {
+			t.Fatalf("customer %d out of range", r.CustomerID)
+		}
+		regions[r.Region]++
+	}
+	if len(regions) != len(Regions) {
+		t.Fatalf("saw %d regions, want %d", len(regions), len(Regions))
+	}
+}
+
+func TestCustomersJoinableWithSales(t *testing.T) {
+	cust := Customers(6, 500)
+	if len(cust) != 500 {
+		t.Fatalf("customers = %d", len(cust))
+	}
+	ids := map[int64]bool{}
+	for _, c := range cust {
+		ids[c.CustomerID] = true
+	}
+	for _, s := range Sales(6, 1000, 500) {
+		if !ids[s.CustomerID] {
+			t.Fatalf("sale references missing customer %d", s.CustomerID)
+		}
+	}
+}
+
+func TestPointsClusters(t *testing.T) {
+	pts, centers := Points(9, 2000, 3, 4)
+	if len(pts) != 2000 || len(centers) != 4 {
+		t.Fatalf("pts=%d centers=%d", len(pts), len(centers))
+	}
+	for _, p := range pts {
+		if len(p) != 3 {
+			t.Fatalf("dims = %d", len(p))
+		}
+	}
+}
+
+func TestGeneratorsDeterministicProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		a := RecordStream(seed, 100, 10, 0.5)
+		b := RecordStream(seed, 100, 10, 0.5)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
