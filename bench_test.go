@@ -8,6 +8,7 @@ package repro
 // real building-block implementations follow at the bottom.
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/dataflow"
@@ -337,6 +338,43 @@ func BenchmarkSQLJoinAggregate(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// SQL engine comparison: morsel-parallel batch engine vs volcano
+// row-at-a-time, on a 1M-row fact table. The *Parallel* benchmarks use
+// the batch engine (default options); the *Serial* counterparts disable
+// it. The paper's Section IV argument is exactly this gap.
+
+var sqlBenchDB = sync.OnceValue(func() *sql.DB {
+	return sql.DemoDB(42, 1<<20, 2000)
+})
+
+func benchSQLEngine(b *testing.B, q string, parallel bool) {
+	b.Helper()
+	db := sqlBenchDB()
+	db.Opt.Parallel = parallel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+const (
+	sqlScanQuery    = "SELECT order_id, price FROM sales WHERE year >= 2015 AND quantity <= 4"
+	sqlJoinQuery    = "SELECT COUNT(*) AS n, SUM(s.price) AS total FROM sales s JOIN customers c ON s.customer_id = c.customer_id WHERE s.year >= 2012"
+	sqlGroupByQuery = "SELECT region, COUNT(*) AS n, SUM(price) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC"
+)
+
+func BenchmarkSQLParallelScan(b *testing.B)    { benchSQLEngine(b, sqlScanQuery, true) }
+func BenchmarkSQLSerialScan(b *testing.B)      { benchSQLEngine(b, sqlScanQuery, false) }
+func BenchmarkSQLParallelJoin(b *testing.B)    { benchSQLEngine(b, sqlJoinQuery, true) }
+func BenchmarkSQLSerialJoin(b *testing.B)      { benchSQLEngine(b, sqlJoinQuery, false) }
+func BenchmarkSQLParallelGroupBy(b *testing.B) { benchSQLEngine(b, sqlGroupByQuery, true) }
+func BenchmarkSQLSerialGroupBy(b *testing.B)   { benchSQLEngine(b, sqlGroupByQuery, false) }
 
 func BenchmarkMapReduceWordCount(b *testing.B) {
 	docs := workload.Corpus(5, 200, 200, 1000)

@@ -1,10 +1,14 @@
 // Command rethink-sql runs SQL queries against the synthetic star schema
 // (sales × customers) on the internal relational engine.
 //
+// Queries run on the morsel-parallel batch engine by default; -serial
+// selects the volcano row-at-a-time engine for comparison.
+//
 // Usage:
 //
 //	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
 //	rethink-sql -explain "SELECT ... "
+//	rethink-sql -serial "SELECT ... "
 //	rethink-sql            # runs a demo query set
 package main
 
@@ -25,9 +29,13 @@ func main() {
 	customers := flag.Int("customers", 500, "customer dimension rows")
 	seed := flag.Uint64("seed", 42, "data generation seed")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	serial := flag.Bool("serial", false, "run on the row-at-a-time engine instead of the batch engine")
+	workers := flag.Int("workers", 0, "batch engine workers (0 = NumCPU)")
 	flag.Parse()
 
 	db := sql.DemoDB(*seed, *rows, *customers)
+	db.Opt.Parallel = !*serial
+	db.Opt.Workers = *workers
 	queries := flag.Args()
 	if len(queries) == 0 {
 		queries = []string{

@@ -7,6 +7,9 @@
 // the roadmap process itself (survey corpus → findings → prioritized
 // recommendations) — implemented as libraries under internal/, exercised
 // by the experiment harnesses in internal/experiments, and reproduced as
-// benchmarks in bench_test.go. See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// benchmarks in bench_test.go. The SQL layer executes on a
+// morsel-parallel, batch-at-a-time engine (internal/relational) whose
+// inner loops delegate to the accelerator building blocks in
+// internal/kernels. See README.md for the package map and build, test
+// and benchmark instructions.
 package repro

@@ -45,6 +45,23 @@ func main() {
 		sqlRev[row[0].S] = row[1].F
 	}
 
+	// --- Same query on the serial row engine: the batch engine must agree.
+	serialDB := sql.DemoDB(seed, salesRows, customers)
+	serialDB.Opt.Parallel = false
+	serialRes, err := serialDB.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(serialRes.Rows) != len(res.Rows) {
+		log.Fatalf("engine mismatch: %d parallel rows vs %d serial rows", len(res.Rows), len(serialRes.Rows))
+	}
+	for i, row := range serialRes.Rows {
+		if row[0].S != res.Rows[i][0].S || math.Abs(row[1].F-res.Rows[i][1].F) > 1e-6*math.Abs(row[1].F) {
+			log.Fatalf("engine mismatch at row %d: %v vs %v", i, res.Rows[i], row)
+		}
+	}
+	fmt.Println("\nbatch engine matches row-at-a-time engine ✓")
+
 	// --- The same analytics as an explicit dataflow pipeline.
 	sales := workload.Sales(seed, salesRows, customers)
 	custs := workload.Customers(seed+1, customers)

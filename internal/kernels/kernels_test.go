@@ -147,6 +147,34 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+func TestFilterRangeInclBounds(t *testing.T) {
+	col := []int64{-9223372036854775808, -5, 0, 5, 9223372036854775807}
+	if got := FilterRangeIncl(col, -9223372036854775808, 9223372036854775807); len(got) != len(col) {
+		t.Fatalf("unbounded inclusive range kept %d of %d", len(got), len(col))
+	}
+	got := FilterRangeIncl(col, -5, 5)
+	if !reflect.DeepEqual(got, []int32{1, 2, 3}) {
+		t.Fatalf("inclusive range = %v", got)
+	}
+}
+
+func TestRefineRangeIncl(t *testing.T) {
+	col := []int64{10, 20, 30, 40, 50}
+	sel := FilterRangeIncl(col, 20, 50)
+	refined := RefineRangeIncl(col, sel, 20, 30)
+	if !reflect.DeepEqual(refined, []int32{1, 2}) {
+		t.Fatalf("refined = %v", refined)
+	}
+}
+
+func TestGatherFloat64(t *testing.T) {
+	col := []float64{1.5, 2.5, 3.5, 4.5}
+	got := GatherFloat64(col, []int32{3, 0})
+	if !reflect.DeepEqual(got, []float64{4.5, 1.5}) {
+		t.Fatalf("gather = %v", got)
+	}
+}
+
 func TestHistogramCountsEverything(t *testing.T) {
 	rng := sim.NewRNG(9)
 	col := make([]int64, 10000)

@@ -25,10 +25,44 @@ func FilterRange(col []int64, lo, hi int64) []int32 {
 	return out
 }
 
+// FilterRangeIncl is the closed-interval variant lo <= v <= hi, used when
+// a bound comes from a ">=" / "<=" predicate and the half-open encoding
+// cannot represent the extreme (hi = MaxInt64).
+func FilterRangeIncl(col []int64, lo, hi int64) []int32 {
+	out := make([]int32, 0, len(col)/4)
+	for i, v := range col {
+		if v >= lo && v <= hi {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// RefineRangeIncl intersects an existing selection with lo <= col[i] <= hi,
+// the building block for conjunctions of range predicates.
+func RefineRangeIncl(col []int64, sel []int32, lo, hi int64) []int32 {
+	out := sel[:0]
+	for _, i := range sel {
+		if v := col[i]; v >= lo && v <= hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
 // Gather materializes col[idx] for each index — the companion primitive to
 // a filter.
 func Gather(col []int64, idx []int32) []int64 {
 	out := make([]int64, len(idx))
+	for i, j := range idx {
+		out[i] = col[j]
+	}
+	return out
+}
+
+// GatherFloat64 is Gather for float64 columns.
+func GatherFloat64(col []float64, idx []int32) []float64 {
+	out := make([]float64, len(idx))
 	for i, j := range idx {
 		out[i] = col[j]
 	}

@@ -1,16 +1,37 @@
 package netsim
 
+import "sort"
+
+// sortedFlowIDs returns the active flow IDs in ascending order. Rate
+// computation and progress charging iterate flows in this order: Go map
+// iteration order would otherwise vary the float accumulation order and
+// bottleneck tie-breaks run to run, making simulations non-reproducible
+// (ties between equal fair shares flipped by last-ulp residue).
+func (s *Simulator) sortedFlowIDs() []int {
+	ids := make([]int, 0, len(s.flows))
+	for id := range s.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // maxMinRates computes progressive-filling max-min fair rates for all
 // active flows over directed links.
 func (s *Simulator) maxMinRates() {
-	// Build directed-link usage sets.
+	// Build directed-link usage sets, visiting flows in ID order and
+	// remembering links in first-use order so every run processes the
+	// same topology identically.
 	type linkState struct {
 		cap      float64
 		unfrozen []*Flow
 	}
 	links := map[dirLink]*linkState{}
 	flowLinks := map[int][]dirLink{}
-	for _, f := range s.flows {
+	var linkOrder []dirLink
+	flowIDs := s.sortedFlowIDs()
+	for _, id := range flowIDs {
+		f := s.flows[id]
 		f.rate = 0
 		var dls []dirLink
 		for i, lid := range f.Path.LinkIDs {
@@ -21,6 +42,7 @@ func (s *Simulator) maxMinRates() {
 			if !ok {
 				st = &linkState{cap: s.Net.Links[lid].Speed.BytesPerSec()}
 				links[dl] = st
+				linkOrder = append(linkOrder, dl)
 			}
 			st.unfrozen = append(st.unfrozen, f)
 		}
@@ -29,10 +51,12 @@ func (s *Simulator) maxMinRates() {
 	frozen := map[int]bool{}
 	for len(frozen) < len(s.flows) {
 		// Find the bottleneck: the link with the smallest fair share among
-		// links that still carry unfrozen flows.
+		// links that still carry unfrozen flows (ties break toward the
+		// earliest-seen link, deterministically).
 		var bottleneck *linkState
 		bestShare := 0.0
-		for _, st := range links {
+		for _, dl := range linkOrder {
+			st := links[dl]
 			n := 0
 			for _, f := range st.unfrozen {
 				if !frozen[f.ID] {
@@ -51,7 +75,8 @@ func (s *Simulator) maxMinRates() {
 		if bottleneck == nil {
 			// Remaining flows traverse no capacity-constrained links
 			// (shouldn't happen on real topologies); give them a huge rate.
-			for _, f := range s.flows {
+			for _, id := range flowIDs {
+				f := s.flows[id]
 				if !frozen[f.ID] {
 					f.rate = 1e18
 					frozen[f.ID] = true

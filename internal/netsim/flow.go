@@ -164,7 +164,8 @@ func retireThreshold(f *Flow) float64 { return 1e-9 + 1e-9*f.Bytes }
 // touch, at its current rate.
 func (s *Simulator) advanceProgress() {
 	now := s.Engine.Now()
-	for _, f := range s.flows {
+	for _, id := range s.sortedFlowIDs() {
+		f := s.flows[id]
 		dt := float64(now - f.lastTouch)
 		if dt > 0 && f.rate > 0 {
 			s.charge(f, f.rate*dt)
@@ -179,7 +180,8 @@ func (s *Simulator) advanceProgress() {
 // too small to move the float64 clock.
 func (s *Simulator) chargeExact(dt float64) {
 	now := s.Engine.Now()
-	for _, f := range s.flows {
+	for _, id := range s.sortedFlowIDs() {
+		f := s.flows[id]
 		if f.rate > 0 {
 			s.charge(f, f.rate*dt)
 		}
@@ -202,9 +204,11 @@ func (s *Simulator) chargeLinks(f *Flow, bytes float64) {
 	}
 }
 
-// retire finishes every flow whose residue is at or below its threshold.
+// retire finishes every flow whose residue is at or below its threshold,
+// in flow-ID order so completion records are reproducible.
 func (s *Simulator) retire() {
-	for id, f := range s.flows {
+	for _, id := range s.sortedFlowIDs() {
+		f := s.flows[id]
 		if f.remaining <= retireThreshold(f) {
 			s.finish(f)
 			delete(s.flows, id)

@@ -1,0 +1,255 @@
+package relational
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// BatchSize is the number of rows per columnar chunk — small enough to
+// stay cache-resident, large enough to amortize per-batch dispatch. It is
+// also the morsel granularity of the parallel scan.
+const BatchSize = 1024
+
+// Vector is one typed column of a batch. Exactly one of the payload
+// slices is populated, matching T. Vectors are immutable once a batch has
+// been emitted, so downstream operators may share them without copying.
+type Vector struct {
+	T      Type
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+}
+
+// NewVector returns an empty vector of type t with the given capacity.
+func NewVector(t Type, capacity int) Vector {
+	v := Vector{T: t}
+	switch t {
+	case Int:
+		v.Ints = make([]int64, 0, capacity)
+	case Float:
+		v.Floats = make([]float64, 0, capacity)
+	default:
+		v.Strs = make([]string, 0, capacity)
+	}
+	return v
+}
+
+// Len returns the number of values.
+func (v *Vector) Len() int {
+	switch v.T {
+	case Int:
+		return len(v.Ints)
+	case Float:
+		return len(v.Floats)
+	default:
+		return len(v.Strs)
+	}
+}
+
+// Append adds one value, coercing Int into a Float vector (the only legal
+// cross-type combination the SQL layer produces).
+func (v *Vector) Append(val Value) {
+	switch v.T {
+	case Int:
+		v.Ints = append(v.Ints, val.I)
+	case Float:
+		if val.T == Int {
+			v.Floats = append(v.Floats, float64(val.I))
+		} else {
+			v.Floats = append(v.Floats, val.F)
+		}
+	default:
+		v.Strs = append(v.Strs, val.S)
+	}
+}
+
+// Value reads element i back as a Value.
+func (v *Vector) Value(i int) Value {
+	switch v.T {
+	case Int:
+		return IntV(v.Ints[i])
+	case Float:
+		return FloatV(v.Floats[i])
+	default:
+		return StringV(v.Strs[i])
+	}
+}
+
+// slice returns the [from, to) window sharing the backing arrays.
+func (v *Vector) slice(from, to int) Vector {
+	out := Vector{T: v.T}
+	switch v.T {
+	case Int:
+		out.Ints = v.Ints[from:to]
+	case Float:
+		out.Floats = v.Floats[from:to]
+	default:
+		out.Strs = v.Strs[from:to]
+	}
+	return out
+}
+
+// Batch is a columnar chunk of rows flowing through the batch engine.
+// Seq is a global order tag: all rows of batch s precede all rows of
+// batch s+1 in the equivalent serial (row-at-a-time) execution, which is
+// what lets the morsel dispatcher reassemble deterministic output.
+type Batch struct {
+	Schema Schema
+	Cols   []Vector
+	Seq    int64
+	// n is the explicit row count: column vectors must all have n
+	// values, and a zero-column batch (e.g. the pre-aggregation
+	// projection of a bare COUNT(*)) still carries its row count.
+	n int
+}
+
+// NewBatch returns an empty batch with per-column capacity.
+func NewBatch(schema Schema, capacity int) *Batch {
+	b := &Batch{Schema: schema, Cols: make([]Vector, len(schema))}
+	for i, c := range schema {
+		b.Cols[i] = NewVector(c.Type, capacity)
+	}
+	return b
+}
+
+// Len returns the row count.
+func (b *Batch) Len() int { return b.n }
+
+// AppendRow adds one row across all columns.
+func (b *Batch) AppendRow(r Row) {
+	for i := range b.Cols {
+		b.Cols[i].Append(r[i])
+	}
+	b.n++
+}
+
+// Row materializes row i into buf (grown as needed) and returns it.
+func (b *Batch) Row(i int, buf Row) Row {
+	if cap(buf) < len(b.Cols) {
+		buf = make(Row, len(b.Cols))
+	}
+	buf = buf[:len(b.Cols)]
+	for c := range b.Cols {
+		buf[c] = b.Cols[c].Value(i)
+	}
+	return buf
+}
+
+// BatchOp is the batch-at-a-time dual of Op. NextBatch returns (nil, nil)
+// at end of stream; emitted batches are never empty. Like Op, a BatchOp
+// tree is single-use.
+type BatchOp interface {
+	// Schema describes the rows the batches carry.
+	Schema() Schema
+	// NextBatch returns the next non-empty batch, or (nil, nil) at end.
+	NextBatch() (*Batch, error)
+	// Stats reports rows produced so far (summed across partitions).
+	Stats() OpStats
+}
+
+// Partitioner is implemented by batch operators that can split into
+// independent streams for the morsel dispatcher. static requests
+// contiguous morsel ranges (stream i's batches all precede stream i+1's,
+// so merging in stream order reproduces serial order — required by the
+// pipeline breakers); non-static streams share a dynamic morsel queue for
+// load balance, relying on Seq tags for reassembly.
+type Partitioner interface {
+	BatchOp
+	// Partition splits the operator into at most n streams covering the
+	// same rows. The receiver must not be consumed afterwards.
+	Partition(n int, static bool) []BatchOp
+}
+
+// opCount is a race-safe row counter shared by an operator's partitions.
+type opCount struct{ n atomic.Int64 }
+
+func (c *opCount) add(n int)      { c.n.Add(int64(n)) }
+func (c *opCount) stats() OpStats { return OpStats{RowsOut: int(c.n.Load())} }
+
+// EffectiveWorkers resolves a worker-count setting: n if positive, else
+// runtime.NumCPU().
+func EffectiveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// drainParallel runs every part to completion on its own goroutine and
+// returns the batches per part, in the order each part emitted them. The
+// first error encountered (lowest part index) is returned.
+func drainParallel(parts []BatchOp) ([][]*Batch, error) {
+	outs := make([][]*Batch, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part BatchOp) {
+			defer wg.Done()
+			for {
+				b, err := part.NextBatch()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if b == nil {
+					return
+				}
+				outs[i] = append(outs[i], b)
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// partitionOrSelf splits op into up to n streams when it supports it,
+// falling back to the single serial stream.
+func partitionOrSelf(op BatchOp, n int, static bool) []BatchOp {
+	if p, ok := op.(Partitioner); ok && n > 1 {
+		if parts := p.Partition(n, static); len(parts) > 0 {
+			return parts
+		}
+	}
+	return []BatchOp{op}
+}
+
+// RowsOf adapts a batch operator to the row-at-a-time Op interface so
+// batch plans plug into Collect and the row-based tooling. Stats pass
+// through to the underlying batch operator.
+func RowsOf(op BatchOp) Op { return &rowsAdapter{op: op} }
+
+type rowsAdapter struct {
+	op  BatchOp
+	b   *Batch
+	pos int
+}
+
+// Schema implements Op.
+func (a *rowsAdapter) Schema() Schema { return a.op.Schema() }
+
+// Next implements Op.
+func (a *rowsAdapter) Next() (Row, bool, error) {
+	for a.b == nil || a.pos >= a.b.Len() {
+		b, err := a.op.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		a.b, a.pos = b, 0
+	}
+	r := a.b.Row(a.pos, nil)
+	a.pos++
+	return r, true, nil
+}
+
+// Stats implements Op.
+func (a *rowsAdapter) Stats() OpStats { return a.op.Stats() }

@@ -1,0 +1,186 @@
+package relational
+
+import (
+	"fmt"
+	"sync"
+)
+
+// joinCore is the shared state of a batch hash join: the build-side table
+// is constructed once (in parallel, from statically partitioned build
+// streams merged in partition order, so per-key row lists match the
+// serial engine's insertion order) and then probed concurrently by every
+// probe partition.
+type joinCore struct {
+	build              BatchOp
+	buildCol, probeCol int
+	schema             Schema
+	buildWidth         int
+	workers            int
+
+	once sync.Once
+	err  error
+	rows []Row              // build rows in serial order
+	intT map[int64][]int32  // Int build key fast path
+	keyT map[string][]int32 // generic Value.Key() path
+}
+
+// buildPartial is one partition's share of the hash build.
+type buildPartial struct {
+	rows []Row
+	err  error
+}
+
+func (c *joinCore) runBuild() {
+	parts := partitionOrSelf(c.build, c.workers, true)
+	partials := make([]*buildPartial, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part BatchOp) {
+			defer wg.Done()
+			p := &buildPartial{}
+			partials[i] = p
+			var buf Row
+			for {
+				b, err := part.NextBatch()
+				if err != nil {
+					p.err = err
+					return
+				}
+				if b == nil {
+					return
+				}
+				n := b.Len()
+				for r := 0; r < n; r++ {
+					buf = b.Row(r, buf)
+					p.rows = append(p.rows, buf.Clone())
+				}
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	useInt := c.build.Schema()[c.buildCol].Type == Int
+	if useInt {
+		c.intT = map[int64][]int32{}
+	} else {
+		c.keyT = map[string][]int32{}
+	}
+	for _, p := range partials {
+		if p.err != nil {
+			c.err = p.err
+			return
+		}
+		for _, row := range p.rows {
+			idx := int32(len(c.rows))
+			c.rows = append(c.rows, row)
+			if useInt {
+				k := row[c.buildCol].I
+				c.intT[k] = append(c.intT[k], idx)
+			} else {
+				k := row[c.buildCol].Key()
+				c.keyT[k] = append(c.keyT[k], idx)
+			}
+		}
+	}
+}
+
+func (c *joinCore) table() error {
+	c.once.Do(c.runBuild)
+	return c.err
+}
+
+// matches returns the build-row indices joining probe batch b's row r.
+func (c *joinCore) matches(b *Batch, r int) []int32 {
+	pc := &b.Cols[c.probeCol]
+	if c.intT != nil {
+		if pc.T != Int {
+			// Key() encodes the type, so a non-Int probe value can never
+			// equal an Int build key under the serial engine either.
+			return nil
+		}
+		return c.intT[pc.Ints[r]]
+	}
+	return c.keyT[pc.Value(r).Key()]
+}
+
+// BatchHashJoin is an inner equi-join over batches. The probe side drives
+// the output; Partition exposes the probe side's partitions, all sharing
+// the one build table.
+type BatchHashJoin struct {
+	core  *joinCore
+	probe BatchOp
+	stat  *opCount
+}
+
+// NewBatchHashJoin joins build.buildCol == probe.probeCol using up to
+// workers goroutines for the build phase (0 = NumCPU).
+func NewBatchHashJoin(build, probe BatchOp, buildCol, probeCol, workers int) (*BatchHashJoin, error) {
+	bs, ps := build.Schema(), probe.Schema()
+	if buildCol < 0 || buildCol >= len(bs) {
+		return nil, fmt.Errorf("relational: join build column %d out of range", buildCol)
+	}
+	if probeCol < 0 || probeCol >= len(ps) {
+		return nil, fmt.Errorf("relational: join probe column %d out of range", probeCol)
+	}
+	core := &joinCore{
+		build: build, buildCol: buildCol, probeCol: probeCol,
+		schema: bs.Concat(ps), buildWidth: len(bs),
+		workers: EffectiveWorkers(workers),
+	}
+	return &BatchHashJoin{core: core, probe: probe, stat: &opCount{}}, nil
+}
+
+// Schema implements BatchOp.
+func (j *BatchHashJoin) Schema() Schema { return j.core.schema }
+
+// NextBatch implements BatchOp.
+func (j *BatchHashJoin) NextBatch() (*Batch, error) {
+	if err := j.core.table(); err != nil {
+		return nil, err
+	}
+	c := j.core
+	for {
+		b, err := j.probe.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := NewBatch(c.schema, b.Len())
+		out.Seq = b.Seq
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			for _, bi := range c.matches(b, r) {
+				brow := c.rows[bi]
+				for col := 0; col < c.buildWidth; col++ {
+					out.Cols[col].Append(brow[col])
+				}
+				for col := range b.Cols {
+					out.Cols[c.buildWidth+col].Append(b.Cols[col].Value(r))
+				}
+				out.n++
+			}
+		}
+		if out.Len() == 0 {
+			continue
+		}
+		j.stat.add(out.Len())
+		return out, nil
+	}
+}
+
+// Stats implements BatchOp.
+func (j *BatchHashJoin) Stats() OpStats { return j.stat.stats() }
+
+// Partition implements Partitioner: probe partitions share the build
+// table; output batches keep their probe-side Seq tags.
+func (j *BatchHashJoin) Partition(n int, static bool) []BatchOp {
+	p, ok := j.probe.(Partitioner)
+	if !ok {
+		return nil
+	}
+	parts := p.Partition(n, static)
+	out := make([]BatchOp, len(parts))
+	for i, pp := range parts {
+		out[i] = &BatchHashJoin{core: j.core, probe: pp, stat: j.stat}
+	}
+	return out
+}

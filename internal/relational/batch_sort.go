@@ -1,0 +1,151 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernels"
+)
+
+// BatchSort materializes its child (in parallel when the child can
+// partition) and sorts. A single ascending or descending key over an Int
+// column is delegated to the radix sort kernel (stable, O(8n)); anything
+// else falls back to the comparison sort the serial engine uses.
+type BatchSort struct {
+	child   BatchOp
+	keys    []SortKey
+	workers int
+
+	out  []*Batch
+	pos  int
+	done bool
+	stat *opCount
+}
+
+// NewBatchSort returns a sort over child using up to workers goroutines
+// to drain it (0 = NumCPU).
+func NewBatchSort(child BatchOp, keys []SortKey, workers int) (*BatchSort, error) {
+	cs := child.Schema()
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(cs) {
+			return nil, fmt.Errorf("relational: sort column %d out of range", k.Col)
+		}
+	}
+	return &BatchSort{child: child, keys: keys, workers: EffectiveWorkers(workers), stat: &opCount{}}, nil
+}
+
+// Schema implements BatchOp.
+func (s *BatchSort) Schema() Schema { return s.child.Schema() }
+
+func (s *BatchSort) materialize() error {
+	// Drain in parallel; static partitions keep each part's batches in
+	// Seq order, and part i precedes part i+1, so concatenation is the
+	// serial order.
+	parts := partitionOrSelf(s.child, s.workers, true)
+	outs, err := drainParallel(parts)
+	if err != nil {
+		return err
+	}
+	var batches []*Batch
+	total := 0
+	for _, bs := range outs {
+		for _, b := range bs {
+			batches = append(batches, b)
+			total += b.Len()
+		}
+	}
+	rows := make([]Row, 0, total)
+	for _, b := range batches {
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			rows = append(rows, b.Row(r, nil))
+		}
+	}
+	rows, err = sortRows(rows, s.child.Schema(), s.keys)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < len(rows); lo += BatchSize {
+		hi := lo + BatchSize
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		b := NewBatch(s.child.Schema(), hi-lo)
+		b.Seq = int64(lo / BatchSize)
+		for _, r := range rows[lo:hi] {
+			b.AppendRow(r)
+		}
+		s.out = append(s.out, b)
+	}
+	s.done = true
+	return nil
+}
+
+// sortRows stably sorts rows by keys, using the radix kernel for a
+// single Int key.
+func sortRows(rows []Row, schema Schema, keys []SortKey) ([]Row, error) {
+	if len(keys) == 1 && schema[keys[0].Col].Type == Int {
+		col := keys[0].Col
+		desc := keys[0].Desc
+		sk := make([]uint64, len(rows))
+		idx := make([]int64, len(rows))
+		for i, r := range rows {
+			// Flip the sign bit for an order-preserving uint64 encoding;
+			// invert everything for descending (stability preserved:
+			// equal keys stay equal).
+			k := uint64(r[col].I) ^ (1 << 63)
+			if desc {
+				k = ^k
+			}
+			sk[i] = k
+			idx[i] = int64(i)
+		}
+		kernels.SortPairsByKey(sk, idx)
+		out := make([]Row, len(rows))
+		for i, j := range idx {
+			out[i] = rows[j]
+		}
+		return out, nil
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c, err := Compare(rows[i][k.Col], rows[j][k.Col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return rows, nil
+}
+
+// NextBatch implements BatchOp.
+func (s *BatchSort) NextBatch() (*Batch, error) {
+	if !s.done {
+		if err := s.materialize(); err != nil {
+			return nil, err
+		}
+	}
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	b := s.out[s.pos]
+	s.pos++
+	s.stat.add(b.Len())
+	return b, nil
+}
+
+// Stats implements BatchOp.
+func (s *BatchSort) Stats() OpStats { return s.stat.stats() }

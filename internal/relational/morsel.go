@@ -1,0 +1,173 @@
+package relational
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// morselBatch windows one morsel (rows [m*BatchSize, ...)) of the
+// relation's columnar image, tagged with the morsel index. The vectors
+// share the cached arrays — no copying.
+func morselBatch(rel *Relation, cols []Vector, m int64) *Batch {
+	lo := int(m) * BatchSize
+	hi := lo + BatchSize
+	if hi > len(rel.Rows) {
+		hi = len(rel.Rows)
+	}
+	b := &Batch{Schema: rel.Schema, Cols: make([]Vector, len(cols)), Seq: m, n: hi - lo}
+	for c := range cols {
+		b.Cols[c] = cols[c].slice(lo, hi)
+	}
+	return b
+}
+
+func morselCount(rel *Relation) int64 {
+	return int64((len(rel.Rows) + BatchSize - 1) / BatchSize)
+}
+
+// BatchScan streams a materialized relation as columnar batches, one per
+// morsel. It is the leaf the morsel dispatcher fans out: Partition splits
+// the morsel range across workers.
+type BatchScan struct {
+	rel  *Relation
+	cols []Vector
+	next int64
+	stat *opCount
+}
+
+// NewBatchScan returns a batch scan over rel.
+func NewBatchScan(rel *Relation) *BatchScan {
+	return &BatchScan{rel: rel, cols: rel.Columnar(), stat: &opCount{}}
+}
+
+// Schema implements BatchOp.
+func (s *BatchScan) Schema() Schema { return s.rel.Schema }
+
+// NextBatch implements BatchOp.
+func (s *BatchScan) NextBatch() (*Batch, error) {
+	if s.next >= morselCount(s.rel) {
+		return nil, nil
+	}
+	b := morselBatch(s.rel, s.cols, s.next)
+	s.next++
+	s.stat.add(b.Len())
+	return b, nil
+}
+
+// Stats implements BatchOp.
+func (s *BatchScan) Stats() OpStats { return s.stat.stats() }
+
+// Partition implements Partitioner.
+func (s *BatchScan) Partition(n int, static bool) []BatchOp {
+	total := morselCount(s.rel)
+	if n > int(total) {
+		n = int(total)
+	}
+	if n < 1 {
+		n = 1
+	}
+	parts := make([]BatchOp, 0, n)
+	if static {
+		// Contiguous morsel ranges: part i's batches precede part i+1's.
+		for i := 0; i < n; i++ {
+			from := total * int64(i) / int64(n)
+			to := total * int64(i+1) / int64(n)
+			parts = append(parts, &scanPart{rel: s.rel, cols: s.cols, cur: from, end: to, stat: s.stat})
+		}
+		return parts
+	}
+	// Dynamic morsel queue: workers steal the next morsel as they finish,
+	// balancing selective filters; Seq tags let Exchange restore order.
+	queue := &atomic.Int64{}
+	for i := 0; i < n; i++ {
+		parts = append(parts, &scanPart{rel: s.rel, cols: s.cols, queue: queue, end: total, stat: s.stat})
+	}
+	return parts
+}
+
+// scanPart is one worker's share of a partitioned scan: either a static
+// [cur, end) morsel range, or a dynamic shared queue.
+type scanPart struct {
+	rel   *Relation
+	cols  []Vector
+	cur   int64
+	end   int64
+	queue *atomic.Int64 // non-nil for dynamic dispatch
+	stat  *opCount
+}
+
+// Schema implements BatchOp.
+func (p *scanPart) Schema() Schema { return p.rel.Schema }
+
+// NextBatch implements BatchOp.
+func (p *scanPart) NextBatch() (*Batch, error) {
+	var m int64
+	if p.queue != nil {
+		m = p.queue.Add(1) - 1
+	} else {
+		m = p.cur
+		p.cur++
+	}
+	if m >= p.end {
+		return nil, nil
+	}
+	b := morselBatch(p.rel, p.cols, m)
+	p.stat.add(b.Len())
+	return b, nil
+}
+
+// Stats implements BatchOp.
+func (p *scanPart) Stats() OpStats { return p.stat.stats() }
+
+// Exchange is the morsel dispatcher's merge point: it partitions its
+// child across workers (dynamic queue), drains them in parallel, and
+// re-emits the batches sorted by Seq — so downstream consumers observe
+// exactly the serial row order regardless of scheduling.
+type Exchange struct {
+	child   BatchOp
+	workers int
+	out     []*Batch
+	pos     int
+	started bool
+}
+
+// NewExchange parallelizes child across workers (0 = NumCPU). When child
+// cannot partition, or a single worker is requested, child is returned
+// unwrapped.
+func NewExchange(child BatchOp, workers int) BatchOp {
+	w := EffectiveWorkers(workers)
+	if _, ok := child.(Partitioner); !ok || w <= 1 {
+		return child
+	}
+	return &Exchange{child: child, workers: w}
+}
+
+// Schema implements BatchOp.
+func (e *Exchange) Schema() Schema { return e.child.Schema() }
+
+// NextBatch implements BatchOp.
+func (e *Exchange) NextBatch() (*Batch, error) {
+	if !e.started {
+		e.started = true
+		parts := partitionOrSelf(e.child, e.workers, false)
+		outs, err := drainParallel(parts)
+		if err != nil {
+			return nil, err
+		}
+		for _, batches := range outs {
+			e.out = append(e.out, batches...)
+		}
+		sort.Slice(e.out, func(i, j int) bool { return e.out[i].Seq < e.out[j].Seq })
+	}
+	if e.pos >= len(e.out) {
+		e.out = nil
+		return nil, nil
+	}
+	b := e.out[e.pos]
+	e.out[e.pos] = nil // release consumed batches as the consumer advances
+	e.pos++
+	return b, nil
+}
+
+// Stats implements BatchOp.
+func (e *Exchange) Stats() OpStats { return e.child.Stats() }

@@ -267,7 +267,16 @@ type GroupAgg struct {
 // NewGroupAgg returns a grouped aggregation. groupCols may be empty for a
 // global aggregate (one output row).
 func NewGroupAgg(child Op, groupCols []int, aggs []AggSpec) (*GroupAgg, error) {
-	cs := child.Schema()
+	schema, err := groupAggSchema(child.Schema(), groupCols, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupAgg{child: child, groupCols: groupCols, aggs: aggs, schema: schema}, nil
+}
+
+// groupAggSchema validates and derives the output schema of a grouped
+// aggregation (shared by the serial and batch engines).
+func groupAggSchema(cs Schema, groupCols []int, aggs []AggSpec) (Schema, error) {
 	var schema Schema
 	for _, c := range groupCols {
 		if c < 0 || c >= len(cs) {
@@ -284,6 +293,8 @@ func NewGroupAgg(child Op, groupCols []int, aggs []AggSpec) (*GroupAgg, error) {
 			t = Int
 		} else if a.Fn != AvgAgg && a.Col >= 0 && cs[a.Col].Type == Int && (a.Fn == SumAgg || a.Fn == MinAgg || a.Fn == MaxAgg) {
 			t = Int
+		} else if (a.Fn == MinAgg || a.Fn == MaxAgg) && a.Col >= 0 && cs[a.Col].Type == String {
+			t = String
 		}
 		name := a.Name
 		if name == "" {
@@ -291,7 +302,7 @@ func NewGroupAgg(child Op, groupCols []int, aggs []AggSpec) (*GroupAgg, error) {
 		}
 		schema = append(schema, Column{Name: name, Type: t})
 	}
-	return &GroupAgg{child: child, groupCols: groupCols, aggs: aggs, schema: schema}, nil
+	return schema, nil
 }
 
 // Schema implements Op.
@@ -304,6 +315,98 @@ type aggState struct {
 	minV  Value
 	maxV  Value
 	seen  bool
+}
+
+// observe folds one input value into the state. The serial and batch
+// engines share it so their aggregate semantics match exactly.
+func (st *aggState) observe(fn AggFn, v Value) error {
+	st.count++
+	if fn == CountAgg {
+		return nil
+	}
+	f, err := v.AsFloat()
+	if err != nil && (fn == SumAgg || fn == AvgAgg) {
+		return fmt.Errorf("relational: %s over non-numeric column", fn)
+	}
+	if err == nil {
+		st.sumF += f
+		st.sumI += v.I
+	}
+	if !st.seen {
+		st.minV, st.maxV = v, v
+		st.seen = true
+		return nil
+	}
+	if c, err := Compare(v, st.minV); err == nil && c < 0 {
+		st.minV = v
+	}
+	if c, err := Compare(v, st.maxV); err == nil && c > 0 {
+		st.maxV = v
+	}
+	return nil
+}
+
+// mergeFrom combines a later partition's state into st (st's rows precede
+// other's in serial order).
+func (st *aggState) mergeFrom(other *aggState) {
+	st.count += other.count
+	st.sumF += other.sumF
+	st.sumI += other.sumI
+	if !other.seen {
+		return
+	}
+	if !st.seen {
+		st.minV, st.maxV, st.seen = other.minV, other.maxV, true
+		return
+	}
+	if c, err := Compare(other.minV, st.minV); err == nil && c < 0 {
+		st.minV = other.minV
+	}
+	if c, err := Compare(other.maxV, st.maxV); err == nil && c > 0 {
+		st.maxV = other.maxV
+	}
+}
+
+// result renders the final aggregate value for the declared output type.
+func (st *aggState) result(fn AggFn, outType Type) Value {
+	switch fn {
+	case CountAgg:
+		return IntV(st.count)
+	case SumAgg:
+		if outType == Int {
+			return IntV(st.sumI)
+		}
+		return FloatV(st.sumF)
+	case AvgAgg:
+		if st.count == 0 {
+			return FloatV(0)
+		}
+		return FloatV(st.sumF / float64(st.count))
+	case MinAgg:
+		if !st.seen {
+			return zeroValue(outType)
+		}
+		return st.minV
+	case MaxAgg:
+		if !st.seen {
+			return zeroValue(outType)
+		}
+		return st.maxV
+	default:
+		return Value{}
+	}
+}
+
+// zeroValue is the typed zero for aggregates over empty input.
+func zeroValue(t Type) Value {
+	switch t {
+	case Float:
+		return FloatV(0)
+	case String:
+		return StringV("")
+	default:
+		return IntV(0)
+	}
 }
 
 func (g *GroupAgg) materialize() error {
@@ -336,30 +439,12 @@ func (g *GroupAgg) materialize() error {
 			order = append(order, kb)
 		}
 		for i, a := range g.aggs {
-			st := &gr.states[i]
-			st.count++
-			if a.Fn == CountAgg {
-				continue
+			var v Value
+			if a.Fn != CountAgg {
+				v = row[a.Col]
 			}
-			v := row[a.Col]
-			f, err := v.AsFloat()
-			if err != nil && (a.Fn == SumAgg || a.Fn == AvgAgg) {
-				return fmt.Errorf("relational: %s over non-numeric column", a.Fn)
-			}
-			if err == nil {
-				st.sumF += f
-				st.sumI += v.I
-			}
-			if !st.seen {
-				st.minV, st.maxV = v, v
-				st.seen = true
-				continue
-			}
-			if c, err := Compare(v, st.minV); err == nil && c < 0 {
-				st.minV = v
-			}
-			if c, err := Compare(v, st.maxV); err == nil && c > 0 {
-				st.maxV = v
+			if err := gr.states[i].observe(a.Fn, v); err != nil {
+				return err
 			}
 		}
 	}
@@ -372,36 +457,7 @@ func (g *GroupAgg) materialize() error {
 		gr := groups[kb]
 		row := gr.key.Clone()
 		for i, a := range g.aggs {
-			st := gr.states[i]
-			var v Value
-			outType := g.schema[len(g.groupCols)+i].Type
-			switch a.Fn {
-			case CountAgg:
-				v = IntV(st.count)
-			case SumAgg:
-				if outType == Int {
-					v = IntV(st.sumI)
-				} else {
-					v = FloatV(st.sumF)
-				}
-			case AvgAgg:
-				if st.count == 0 {
-					v = FloatV(0)
-				} else {
-					v = FloatV(st.sumF / float64(st.count))
-				}
-			case MinAgg:
-				v = st.minV
-				if !st.seen {
-					v = IntV(0)
-				}
-			case MaxAgg:
-				v = st.maxV
-				if !st.seen {
-					v = IntV(0)
-				}
-			}
-			row = append(row, v)
+			row = append(row, gr.states[i].result(a.Fn, g.schema[len(g.groupCols)+i].Type))
 		}
 		g.out = append(g.out, row)
 	}

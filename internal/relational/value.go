@@ -9,6 +9,7 @@ package relational
 import (
 	"fmt"
 	"strconv"
+	"sync"
 )
 
 // Type is a column type.
@@ -153,11 +154,20 @@ type Row []Value
 // Clone copies the row.
 func (r Row) Clone() Row { return append(Row(nil), r...) }
 
-// Relation is a materialized table.
+// Relation is a materialized table. The row store is authoritative; the
+// batch engine lazily builds (and caches) a columnar image of it, so
+// scans hand out zero-copy column windows. Appending rows invalidates
+// the cache automatically; mutating existing rows in place does not —
+// call InvalidateColumnar after in-place edits, or treat Rows as
+// immutable once queries have run.
 type Relation struct {
 	Name   string
 	Schema Schema
 	Rows   []Row
+
+	colMu   sync.Mutex
+	colRows int
+	cols    []Vector
 }
 
 // NewRelation returns an empty relation.
@@ -189,3 +199,46 @@ func (r *Relation) MustAppend(row Row) {
 
 // Len returns the row count.
 func (r *Relation) Len() int { return len(r.Rows) }
+
+// InvalidateColumnar drops the cached columnar image so the next batch
+// scan rebuilds it — required after mutating existing rows in place
+// (appends are detected automatically).
+func (r *Relation) InvalidateColumnar() {
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	r.cols = nil
+	r.colRows = 0
+}
+
+// Columnar returns the cached columnar image of the relation, building
+// it on first use (and rebuilding if rows were appended since). The
+// returned vectors are shared and must be treated as immutable.
+func (r *Relation) Columnar() []Vector {
+	r.colMu.Lock()
+	defer r.colMu.Unlock()
+	if r.cols != nil && r.colRows == len(r.Rows) {
+		return r.cols
+	}
+	cols := make([]Vector, len(r.Schema))
+	for c, col := range r.Schema {
+		v := NewVector(col.Type, len(r.Rows))
+		switch col.Type {
+		case Int:
+			for _, row := range r.Rows {
+				v.Ints = append(v.Ints, row[c].I)
+			}
+		case Float:
+			for _, row := range r.Rows {
+				v.Floats = append(v.Floats, row[c].F)
+			}
+		default:
+			for _, row := range r.Rows {
+				v.Strs = append(v.Strs, row[c].S)
+			}
+		}
+		cols[c] = v
+	}
+	r.cols = cols
+	r.colRows = len(r.Rows)
+	return cols
+}

@@ -7,7 +7,8 @@ import (
 	"repro/internal/relational"
 )
 
-// Options toggles optimizer rules (the ablation experiments switch these).
+// Options toggles optimizer rules (the ablation experiments switch these)
+// and selects the execution engine.
 type Options struct {
 	// Pushdown moves single-table WHERE conjuncts below joins.
 	Pushdown bool
@@ -15,11 +16,17 @@ type Options struct {
 	BuildSideSwap bool
 	// ConstantFolding evaluates literal subtrees at plan time.
 	ConstantFolding bool
+	// Parallel lowers plans onto the morsel-parallel batch engine
+	// (columnar chunks, kernel inner loops, multi-core leaf scans). When
+	// false, plans run on the volcano row-at-a-time engine.
+	Parallel bool
+	// Workers caps batch-engine parallelism; 0 means runtime.NumCPU().
+	Workers int
 }
 
-// DefaultOptions enables every rule.
+// DefaultOptions enables every rule and the batch engine.
 func DefaultOptions() Options {
-	return Options{Pushdown: true, BuildSideSwap: true, ConstantFolding: true}
+	return Options{Pushdown: true, BuildSideSwap: true, ConstantFolding: true, Parallel: true}
 }
 
 // DB is a catalog of named relations plus optimizer settings.
@@ -77,11 +84,75 @@ func (db *DB) Plan(q string) (*Planned, error) {
 type tableLeg struct {
 	alias  string
 	rel    *relational.Relation
-	filter []Expr // pushed-down conjuncts
+	schema relational.Schema // visible columns (pruned in batch mode)
+	prune  []int             // kept original column indices; nil = all
+	filter []Expr            // pushed-down conjuncts
+}
+
+// collectQueryCols gathers every column reference in the statement, for
+// per-leg column pruning.
+func collectQueryCols(stmt *SelectStmt) []*ColRef {
+	var cols []*ColRef
+	for _, it := range stmt.Items {
+		collectCols(it.E, &cols)
+	}
+	if stmt.Where != nil {
+		collectCols(stmt.Where, &cols)
+	}
+	for _, j := range stmt.Joins {
+		collectCols(j.On, &cols)
+	}
+	for _, g := range stmt.GroupBy {
+		collectCols(g, &cols)
+	}
+	if stmt.Having != nil {
+		collectCols(stmt.Having, &cols)
+	}
+	for _, o := range stmt.OrderBy {
+		collectCols(o.E, &cols)
+	}
+	return cols
+}
+
+// pruneLeg restricts a leg to the columns the query might reference.
+// Bare names that could resolve into several legs are kept in each (a
+// safe over-approximation; ambiguity still errors at compile time).
+func pruneLeg(leg *tableLeg, refs []*ColRef) {
+	used := map[int]bool{}
+	for _, cr := range refs {
+		if cr.Table != "" && cr.Table != leg.alias {
+			continue
+		}
+		if idx := leg.rel.Schema.ColIndex(cr.Name); idx >= 0 {
+			used[idx] = true
+		}
+	}
+	if len(used) == 0 {
+		// COUNT(*)-style legs still need one column to carry row counts.
+		used[0] = true
+	}
+	if len(used) >= len(leg.rel.Schema) {
+		return
+	}
+	var keep []int
+	var pruned relational.Schema
+	for idx := range leg.rel.Schema {
+		if used[idx] {
+			keep = append(keep, idx)
+			pruned = append(pruned, leg.rel.Schema[idx])
+		}
+	}
+	leg.prune = keep
+	leg.schema = pruned
 }
 
 func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	p := &Planned{TaggedOps: map[string]relational.Op{}}
+	lw := &lowerer{parallel: db.Opt.Parallel, workers: db.Opt.Workers}
+	if lw.parallel {
+		p.Steps = append(p.Steps, fmt.Sprintf("engine: morsel-parallel batch (%d workers, %d-row batches)",
+			relational.EffectiveWorkers(lw.workers), relational.BatchSize))
+	}
 
 	// Resolve tables.
 	legs := []*tableLeg{}
@@ -96,7 +167,7 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 			return fmt.Errorf("sql: duplicate table alias %q", alias)
 		}
 		seen[alias] = true
-		legs = append(legs, &tableLeg{alias: alias, rel: rel})
+		legs = append(legs, &tableLeg{alias: alias, rel: rel, schema: rel.Schema})
 		return nil
 	}
 	if err := addLeg(stmt.From); err != nil {
@@ -105,6 +176,17 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	for _, j := range stmt.Joins {
 		if err := addLeg(j.Table); err != nil {
 			return nil, err
+		}
+	}
+
+	// Column pruning (batch mode only): a pick-projection over the scan
+	// shares column vectors for free, and every later gather then touches
+	// only referenced columns. The row engine reads rows in place, where
+	// pruning would cost a copy per row instead of saving one.
+	if lw.parallel && !stmt.Star {
+		refs := collectQueryCols(stmt)
+		for _, leg := range legs {
+			pruneLeg(leg, refs)
 		}
 	}
 
@@ -127,26 +209,40 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	}
 
 	// Build scans (with pushed filters) per leg.
-	legOps := make([]relational.Op, len(legs))
+	legOps := make([]execNode, len(legs))
 	legSizes := make([]int, len(legs))
 	for i, leg := range legs {
-		var op relational.Op = relational.NewScan(leg.rel)
-		p.TaggedOps["scan:"+leg.alias] = op
+		n := lw.scan(leg.rel)
+		p.TaggedOps["scan:"+leg.alias] = lw.op(n)
 		size := leg.rel.Len()
-		if len(leg.filter) > 0 {
-			sc := &scope{}
-			sc.addTable(leg.alias, leg.rel.Schema, 0)
-			pred, err := compilePredicate(sc, joinConjuncts(leg.filter))
+		if leg.prune != nil {
+			exprs := make([]relational.Projector, len(leg.prune))
+			picks := make([]int, len(leg.prune))
+			for pi, idx := range leg.prune {
+				exprs[pi] = pickProjector(idx)
+				picks[pi] = idx
+			}
+			var err error
+			n, err = lw.project(n, leg.schema, exprs, picks)
 			if err != nil {
 				return nil, err
 			}
-			op = relational.NewFilter(op, pred)
-			p.TaggedOps["pushdown:"+leg.alias] = op
+			p.Steps = append(p.Steps, fmt.Sprintf("prune %s to %d/%d columns", leg.alias, len(leg.prune), len(leg.rel.Schema)))
+		}
+		if len(leg.filter) > 0 {
+			sc := &scope{}
+			sc.addTable(leg.alias, leg.schema, 0)
+			filtered, err := lw.filter(n, sc, joinConjuncts(leg.filter))
+			if err != nil {
+				return nil, err
+			}
+			n = filtered
+			p.TaggedOps["pushdown:"+leg.alias] = lw.op(n)
 			// Crude selectivity estimate for build-side choice.
 			size = size / (2 * len(leg.filter))
 			p.Steps = append(p.Steps, fmt.Sprintf("pushdown filter on %s: %s", leg.alias, joinConjuncts(leg.filter).Render()))
 		}
-		legOps[i] = op
+		legOps[i] = n
 		legSizes[i] = size
 		p.Steps = append(p.Steps, fmt.Sprintf("scan %s as %s (%d rows)", leg.rel.Name, leg.alias, leg.rel.Len()))
 	}
@@ -156,13 +252,13 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	cur := legOps[0]
 	curSize := legSizes[0]
 	curScope := &scope{}
-	curScope.addTable(legs[0].alias, legs[0].rel.Schema, 0)
-	curWidth := len(legs[0].rel.Schema)
+	curScope.addTable(legs[0].alias, legs[0].schema, 0)
+	curWidth := len(legs[0].schema)
 
 	for ji, j := range stmt.Joins {
 		leg := legs[ji+1]
 		rightScope := &scope{}
-		rightScope.addTable(leg.alias, leg.rel.Schema, 0)
+		rightScope.addTable(leg.alias, leg.schema, 0)
 
 		leftCol, rightCol, rest, err := db.splitJoinOn(j.On, curScope, rightScope)
 		if err != nil {
@@ -176,26 +272,24 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 			buildCol, probeCol = rightCol, leftCol
 			swapped = true
 		}
-		join, err := relational.NewHashJoin(build, probe, buildCol, probeCol)
+		joined, err := lw.hashJoin(build, probe, buildCol, probeCol)
 		if err != nil {
 			return nil, err
 		}
-		var joined relational.Op = join
-		rightWidth := len(leg.rel.Schema)
+		rightWidth := len(leg.schema)
 		if swapped {
 			// Restore canonical column order: left columns then right.
-			restored, err := reorderColumns(join, rightWidth, curWidth)
+			joined, err = reorderColumns(lw, joined, rightWidth, curWidth)
 			if err != nil {
 				return nil, err
 			}
-			joined = restored
 		}
-		p.TaggedOps[fmt.Sprintf("join:%d", ji)] = joined
+		p.TaggedOps[fmt.Sprintf("join:%d", ji)] = lw.op(joined)
 		p.Steps = append(p.Steps, fmt.Sprintf("hash join #%d on %s (build=%s)",
 			ji, j.On.Render(), map[bool]string{true: leg.alias, false: "left"}[swapped]))
 
 		// Extend the scope.
-		curScope.addTable(leg.alias, leg.rel.Schema, curWidth)
+		curScope.addTable(leg.alias, leg.schema, curWidth)
 		curWidth += rightWidth
 		cur = joined
 		curSize = curSize * max(1, legSizes[ji+1]) / max(1, leg.rel.Len())
@@ -205,38 +299,37 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 
 		// Non-equi residue of the ON clause.
 		if rest != nil {
-			pred, err := compilePredicate(curScope, rest)
+			cur, err = lw.filter(cur, curScope, rest)
 			if err != nil {
 				return nil, err
 			}
-			cur = relational.NewFilter(cur, pred)
 			p.Steps = append(p.Steps, "post-join filter: "+rest.Render())
 		}
 	}
 
 	// Residual WHERE.
 	if len(residual) > 0 {
-		pred, err := compilePredicate(curScope, joinConjuncts(residual))
+		var err error
+		cur, err = lw.filter(cur, curScope, joinConjuncts(residual))
 		if err != nil {
 			return nil, err
 		}
-		cur = relational.NewFilter(cur, pred)
-		p.TaggedOps["where"] = cur
+		p.TaggedOps["where"] = lw.op(cur)
 		p.Steps = append(p.Steps, "filter: "+joinConjuncts(residual).Render())
 	}
 
 	if stmt.HasAggregates() {
-		return db.planAggregate(stmt, p, cur, curScope)
+		return db.planAggregate(stmt, p, lw, cur, curScope)
 	}
 	if stmt.Having != nil {
 		return nil, fmt.Errorf("sql: HAVING requires aggregation")
 	}
-	return db.planSimple(stmt, p, cur, curScope)
+	return db.planSimple(stmt, p, lw, cur, curScope)
 }
 
 // planSimple handles queries without aggregation: sort (over input
 // expressions), project, limit.
-func (db *DB) planSimple(stmt *SelectStmt, p *Planned, cur relational.Op, sc *scope) (*Planned, error) {
+func (db *DB) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
 	items := stmt.Items
 	if stmt.Star {
 		for _, e := range sc.entries {
@@ -246,16 +339,16 @@ func (db *DB) planSimple(stmt *SelectStmt, p *Planned, cur relational.Op, sc *sc
 
 	// ORDER BY before projection: keys evaluate over the input scope.
 	if len(stmt.OrderBy) > 0 {
-		sorted, err := db.sortOver(stmt.OrderBy, items, cur, sc)
+		sorted, err := db.sortOver(lw, stmt.OrderBy, items, cur, sc)
 		if err != nil {
 			return nil, err
 		}
 		cur = sorted
-		p.TaggedOps["sort"] = cur
+		p.TaggedOps["sort"] = lw.op(cur)
 		p.Steps = append(p.Steps, "sort")
 	}
 
-	proj, err := projectItems(items, sc, cur)
+	proj, err := projectItems(lw, items, sc, cur)
 	if err != nil {
 		return nil, err
 	}
@@ -263,18 +356,18 @@ func (db *DB) planSimple(stmt *SelectStmt, p *Planned, cur relational.Op, sc *sc
 	p.Steps = append(p.Steps, "project "+itemNames(items))
 
 	if stmt.Limit >= 0 {
-		cur = relational.NewLimit(cur, stmt.Limit)
-		p.TaggedOps["limit"] = cur
+		cur = lw.limit(cur, stmt.Limit)
+		p.TaggedOps["limit"] = lw.op(cur)
 		p.Steps = append(p.Steps, fmt.Sprintf("limit %d", stmt.Limit))
 	}
-	p.Root = cur
+	p.Root = lw.finish(cur)
 	return p, nil
 }
 
 // planAggregate handles GROUP BY / aggregate queries: pre-project group
 // keys and aggregate arguments, aggregate, then sort/project/limit over
 // the aggregated scope.
-func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc *scope) (*Planned, error) {
+func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
 	if stmt.Star {
 		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
 	}
@@ -292,8 +385,10 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc 
 	}
 
 	// Pre-projection: group exprs then aggregate arguments.
+	childSchema := schemaOf(cur)
 	var preSchema relational.Schema
 	var preExprs []relational.Projector
+	var prePicks []int
 	groupCols := make([]int, len(stmt.GroupBy))
 	groupTypes := make([]valType, len(stmt.GroupBy))
 	for i, g := range stmt.GroupBy {
@@ -305,6 +400,7 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc 
 		groupTypes[i] = c.typ
 		preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("g%d", i), Type: toRelType(c.typ)})
 		preExprs = append(preExprs, c.eval)
+		prePicks = append(prePicks, passthroughIdx(sc, g, childSchema))
 	}
 	var aggSpecs []relational.AggSpec
 	aggTypes := make([]valType, len(aggs))
@@ -326,6 +422,7 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc 
 			argT = c.typ
 			preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("a%d", i), Type: toRelType(c.typ)})
 			preExprs = append(preExprs, c.eval)
+			prePicks = append(prePicks, passthroughIdx(sc, a.Arg, childSchema))
 		}
 		fn := map[string]relational.AggFn{
 			"count": relational.CountAgg, "sum": relational.SumAgg,
@@ -341,15 +438,15 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc 
 			aggTypes[i] = argT
 		}
 	}
-	pre, err := relational.NewProject(cur, preSchema, preExprs)
+	pre, err := lw.project(cur, preSchema, preExprs, prePicks)
 	if err != nil {
 		return nil, err
 	}
-	agg, err := relational.NewGroupAgg(pre, groupCols, aggSpecs)
+	agg, err := lw.groupAgg(pre, groupCols, aggSpecs)
 	if err != nil {
 		return nil, err
 	}
-	p.TaggedOps["agg"] = agg
+	p.TaggedOps["agg"] = lw.op(agg)
 	p.Steps = append(p.Steps, fmt.Sprintf("aggregate (%d group cols, %d aggregates)", len(groupCols), len(aggSpecs)))
 
 	// Post-aggregation scope: group exprs and aggregates bound by
@@ -366,56 +463,67 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, cur relational.Op, sc 
 	for i, a := range aggs {
 		post.exprBind[a.Render()] = boundExpr{index: aggOutBase + i, typ: aggTypes[i]}
 	}
-	// Aggregate output schema uses relational types; fix avg (stored as
-	// float) and count (int) — handled via aggTypes above.
 
-	var cur2 relational.Op = agg
+	cur2 := agg
 	if stmt.Having != nil {
-		pred, err := compilePredicate(post, stmt.Having)
+		cur2, err = lw.filter(cur2, post, stmt.Having)
 		if err != nil {
 			return nil, err
 		}
-		cur2 = relational.NewFilter(cur2, pred)
-		p.TaggedOps["having"] = cur2
+		p.TaggedOps["having"] = lw.op(cur2)
 		p.Steps = append(p.Steps, "having: "+stmt.Having.Render())
 	}
 	if len(stmt.OrderBy) > 0 {
-		sorted, err := db.sortOver(stmt.OrderBy, stmt.Items, cur2, post)
+		sorted, err := db.sortOver(lw, stmt.OrderBy, stmt.Items, cur2, post)
 		if err != nil {
 			return nil, err
 		}
 		cur2 = sorted
-		p.TaggedOps["sort"] = cur2
+		p.TaggedOps["sort"] = lw.op(cur2)
 		p.Steps = append(p.Steps, "sort")
 	}
-	proj, err := projectItems(stmt.Items, post, cur2)
+	proj, err := projectItems(lw, stmt.Items, post, cur2)
 	if err != nil {
 		return nil, err
 	}
 	cur2 = proj
 	p.Steps = append(p.Steps, "project "+itemNames(stmt.Items))
 	if stmt.Limit >= 0 {
-		cur2 = relational.NewLimit(cur2, stmt.Limit)
-		p.TaggedOps["limit"] = cur2
+		cur2 = lw.limit(cur2, stmt.Limit)
+		p.TaggedOps["limit"] = lw.op(cur2)
 		p.Steps = append(p.Steps, fmt.Sprintf("limit %d", stmt.Limit))
 	}
-	p.Root = cur2
+	p.Root = lw.finish(cur2)
 	return p, nil
+}
+
+// schemaOf reads a node's schema without consuming it.
+func schemaOf(n execNode) relational.Schema {
+	if n.bat != nil {
+		return n.bat.Schema()
+	}
+	return n.row.Schema()
+}
+
+// pickProjector reads column idx through.
+func pickProjector(idx int) relational.Projector {
+	return func(r relational.Row) (relational.Value, error) { return r[idx], nil }
 }
 
 // sortOver plans a sort whose keys are ORDER BY items resolved against
 // sc, with aliases and 1-based positions resolving through the select
 // items.
-func (db *DB) sortOver(order []OrderItem, items []SelectItem, child relational.Op, sc *scope) (relational.Op, error) {
+func (db *DB) sortOver(lw *lowerer, order []OrderItem, items []SelectItem, child execNode, sc *scope) (execNode, error) {
 	// The sort operator orders by concrete columns, so materialize the
 	// key expressions as extra columns, sort, then strip them.
-	childSchema := child.Schema()
+	childSchema := schemaOf(child)
 	width := len(childSchema)
 	schema := append(relational.Schema{}, childSchema...)
 	exprs := make([]relational.Projector, width)
+	picks := make([]int, width)
 	for i := 0; i < width; i++ {
-		idx := i
-		exprs[i] = func(r relational.Row) (relational.Value, error) { return r[idx], nil }
+		exprs[i] = pickProjector(i)
+		picks[i] = i
 	}
 	var keys []relational.SortKey
 	for ki, o := range order {
@@ -423,7 +531,7 @@ func (db *DB) sortOver(order []OrderItem, items []SelectItem, child relational.O
 		// Position (ORDER BY 2) and alias resolution.
 		if lit, ok := e.(*IntLit); ok {
 			if lit.V < 1 || int(lit.V) > len(items) {
-				return nil, fmt.Errorf("sql: ORDER BY position %d out of range", lit.V)
+				return execNode{}, fmt.Errorf("sql: ORDER BY position %d out of range", lit.V)
 			}
 			e = items[lit.V-1].E
 		} else if cr, ok := e.(*ColRef); ok && cr.Table == "" {
@@ -436,43 +544,48 @@ func (db *DB) sortOver(order []OrderItem, items []SelectItem, child relational.O
 		}
 		c, err := sc.compile(e)
 		if err != nil {
-			return nil, err
+			return execNode{}, err
 		}
 		schema = append(schema, relational.Column{Name: fmt.Sprintf("sortkey%d", ki), Type: toRelType(c.typ)})
 		exprs = append(exprs, c.eval)
+		picks = append(picks, passthroughIdx(sc, e, childSchema))
 		keys = append(keys, relational.SortKey{Col: width + ki, Desc: o.Desc})
 	}
-	widened, err := relational.NewProject(child, schema, exprs)
+	widened, err := lw.project(child, schema, exprs, picks)
 	if err != nil {
-		return nil, err
+		return execNode{}, err
 	}
-	sorted, err := relational.NewSort(widened, keys)
+	sorted, err := lw.sort(widened, keys)
 	if err != nil {
-		return nil, err
+		return execNode{}, err
 	}
 	// Strip the key columns again.
 	stripSchema := append(relational.Schema{}, childSchema...)
 	stripExprs := make([]relational.Projector, width)
+	stripPicks := make([]int, width)
 	for i := 0; i < width; i++ {
-		idx := i
-		stripExprs[i] = func(r relational.Row) (relational.Value, error) { return r[idx], nil }
+		stripExprs[i] = pickProjector(i)
+		stripPicks[i] = i
 	}
-	return relational.NewProject(sorted, stripSchema, stripExprs)
+	return lw.project(sorted, stripSchema, stripExprs, stripPicks)
 }
 
 // projectItems builds the final projection.
-func projectItems(items []SelectItem, sc *scope, child relational.Op) (relational.Op, error) {
+func projectItems(lw *lowerer, items []SelectItem, sc *scope, child execNode) (execNode, error) {
+	childSchema := schemaOf(child)
 	var schema relational.Schema
 	var exprs []relational.Projector
+	var picks []int
 	for _, it := range items {
 		c, err := sc.compile(it.E)
 		if err != nil {
-			return nil, err
+			return execNode{}, err
 		}
 		schema = append(schema, relational.Column{Name: it.OutputName(), Type: toRelType(c.typ)})
 		exprs = append(exprs, c.eval)
+		picks = append(picks, passthroughIdx(sc, it.E, childSchema))
 	}
-	return relational.NewProject(child, schema, exprs)
+	return lw.project(child, schema, exprs, picks)
 }
 
 func itemNames(items []SelectItem) string {
@@ -574,30 +687,23 @@ func (db *DB) splitJoinOn(on Expr, left, right *scope) (leftCol, rightCol int, r
 
 // reorderColumns re-projects a swapped join output (right ++ left) back to
 // canonical (left ++ right).
-func reorderColumns(op relational.Op, rightWidth, leftWidth int) (relational.Op, error) {
-	in := op.Schema()
+func reorderColumns(lw *lowerer, n execNode, rightWidth, leftWidth int) (execNode, error) {
+	in := schemaOf(n)
 	if len(in) != rightWidth+leftWidth {
-		return nil, fmt.Errorf("sql: reorder width mismatch: %d != %d+%d", len(in), rightWidth, leftWidth)
+		return execNode{}, fmt.Errorf("sql: reorder width mismatch: %d != %d+%d", len(in), rightWidth, leftWidth)
 	}
 	var schema relational.Schema
 	var exprs []relational.Projector
-	pick := func(idx int) relational.Projector {
-		return func(r relational.Row) (relational.Value, error) { return r[idx], nil }
-	}
+	var picks []int
 	for i := 0; i < leftWidth; i++ {
 		schema = append(schema, in[rightWidth+i])
-		exprs = append(exprs, pick(rightWidth+i))
+		exprs = append(exprs, pickProjector(rightWidth+i))
+		picks = append(picks, rightWidth+i)
 	}
 	for i := 0; i < rightWidth; i++ {
 		schema = append(schema, in[i])
-		exprs = append(exprs, pick(i))
+		exprs = append(exprs, pickProjector(i))
+		picks = append(picks, i)
 	}
-	return relational.NewProject(op, schema, exprs)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return lw.project(n, schema, exprs, picks)
 }
