@@ -15,6 +15,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/mapreduce"
+	"repro/internal/relational"
 	"repro/internal/sql"
 	"repro/internal/workload"
 )
@@ -375,6 +376,43 @@ func BenchmarkSQLParallelJoin(b *testing.B)    { benchSQLEngine(b, sqlJoinQuery,
 func BenchmarkSQLSerialJoin(b *testing.B)      { benchSQLEngine(b, sqlJoinQuery, false) }
 func BenchmarkSQLParallelGroupBy(b *testing.B) { benchSQLEngine(b, sqlGroupByQuery, true) }
 func BenchmarkSQLSerialGroupBy(b *testing.B)   { benchSQLEngine(b, sqlGroupByQuery, false) }
+
+// ---------------------------------------------------------------------
+// Distributed engine: the same queries shard-parallel over the simulated
+// leaf–spine fabric (4 shards). Wall time is real compute; the custom
+// metrics report what the fabric moved — the roadmap's thesis is that
+// this, not the scan speed, bounds scale-out analytics.
+
+var sqlDistBenchDB = sync.OnceValue(func() *sql.DB {
+	db := sql.DemoDB(42, 1<<20, 2000)
+	db.Opt.Distributed = true
+	db.Opt.Shards = 4
+	return db
+})
+
+func benchSQLDistributed(b *testing.B, q string) {
+	b.Helper()
+	db := sqlDistBenchDB()
+	var bytes, sec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := db.Plan(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := relational.Collect(plan.Root, "result"); err != nil {
+			b.Fatal(err)
+		}
+		s := plan.NetStats()
+		bytes, sec = s.BytesShuffled, s.NetSeconds
+	}
+	b.ReportMetric(bytes, "bytes_shuffled")
+	b.ReportMetric(sec*1e6, "net_µs")
+}
+
+func BenchmarkSQLDistributedScan(b *testing.B)    { benchSQLDistributed(b, sqlScanQuery) }
+func BenchmarkSQLDistributedJoin(b *testing.B)    { benchSQLDistributed(b, sqlJoinQuery) }
+func BenchmarkSQLDistributedGroupBy(b *testing.B) { benchSQLDistributed(b, sqlGroupByQuery) }
 
 func BenchmarkMapReduceWordCount(b *testing.B) {
 	docs := workload.Corpus(5, 200, 200, 1000)

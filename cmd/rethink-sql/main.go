@@ -2,13 +2,17 @@
 // (sales × customers) on the internal relational engine.
 //
 // Queries run on the morsel-parallel batch engine by default; -serial
-// selects the volcano row-at-a-time engine for comparison.
+// selects the volcano row-at-a-time engine for comparison, and -dist
+// executes shard-parallel across a simulated datacenter fabric, printing
+// the simulated network cost (bytes shuffled, flow time, link
+// utilization) after each result.
 //
 // Usage:
 //
 //	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
 //	rethink-sql -explain "SELECT ... "
 //	rethink-sql -serial "SELECT ... "
+//	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
 //	rethink-sql            # runs a demo query set
 package main
 
@@ -30,12 +34,22 @@ func main() {
 	seed := flag.Uint64("seed", 42, "data generation seed")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
 	serial := flag.Bool("serial", false, "run on the row-at-a-time engine instead of the batch engine")
-	workers := flag.Int("workers", 0, "batch engine workers (0 = NumCPU)")
+	workers := flag.Int("workers", 0, "batch engine workers per host (0 = NumCPU)")
+	distMode := flag.Bool("dist", false, "execute shard-parallel over a simulated datacenter fabric")
+	shards := flag.Int("shards", 4, "worker hosts in distributed mode")
+	topology := flag.String("topo", "leafspine", "distributed fabric: leafspine, single, fattree, torus")
+	distJoin := flag.String("dist-join", "auto", "distributed join movement: auto, broadcast, repartition")
+	hashShard := flag.Bool("hash-shard", false, "hash-partition tables instead of range partitioning")
 	flag.Parse()
 
 	db := sql.DemoDB(*seed, *rows, *customers)
 	db.Opt.Parallel = !*serial
 	db.Opt.Workers = *workers
+	db.Opt.Distributed = *distMode
+	db.Opt.Shards = *shards
+	db.Opt.Topology = *topology
+	db.Opt.DistJoin = *distJoin
+	db.Opt.ShardHash = *hashShard
 	queries := flag.Args()
 	if len(queries) == 0 {
 		queries = []string{
@@ -46,20 +60,25 @@ func main() {
 	}
 	for _, q := range queries {
 		fmt.Printf("sql> %s\n", q)
+		plan, err := db.Plan(q)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if *explain {
-			plan, err := db.Plan(q)
-			if err != nil {
-				log.Fatal(err)
-			}
 			fmt.Println(plan.Explain())
 			fmt.Println()
 			continue
 		}
-		res, err := db.Query(q)
+		res, err := relational.Collect(plan.Root, "result")
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(renderRelation(res))
+		if stats := plan.NetStats(); stats != nil {
+			fmt.Println(stats.Summary())
+			fmt.Printf("  (%s over the fabric in %s)\n",
+				metrics.FormatBytes(stats.BytesShuffled), metrics.FormatSeconds(stats.NetSeconds))
+		}
 		fmt.Println()
 	}
 }

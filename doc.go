@@ -10,6 +10,9 @@
 // benchmarks in bench_test.go. The SQL layer executes on a
 // morsel-parallel, batch-at-a-time engine (internal/relational) whose
 // inner loops delegate to the accelerator building blocks in
-// internal/kernels. See README.md for the package map and build, test
-// and benchmark instructions.
+// internal/kernels, and scales out shard-parallel across the simulated
+// datacenter fabrics (internal/dist over internal/topo + internal/netsim),
+// charging every broadcast, shuffle and gather as simulated network
+// flows. See README.md for the package map and build, test and benchmark
+// instructions.
 package repro

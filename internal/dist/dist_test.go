@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func testRel(n int) *relational.Relation {
+	rel := relational.NewRelation("t", relational.Schema{
+		{Name: "k", Type: relational.Int},
+		{Name: "s", Type: relational.String},
+	})
+	for i := 0; i < n; i++ {
+		rel.MustAppend(relational.Row{relational.IntV(int64(i % 7)), relational.StringV("v")})
+	}
+	return rel
+}
+
+// TestShardRelationRange: contiguous ranges, all rows tagged with their
+// global index, shard-local order ascending.
+func TestShardRelationRange(t *testing.T) {
+	rel := testRel(100)
+	st := ShardRelation(rel, 8, RangeShard, -1)
+	if st.SeqCol() != 2 {
+		t.Fatalf("seq col = %d", st.SeqCol())
+	}
+	total, next := 0, int64(0)
+	for _, sh := range st.Shards {
+		for _, row := range sh.Rows {
+			if row[2].I != next {
+				t.Fatalf("range sharding must keep global order: got seq %d want %d", row[2].I, next)
+			}
+			next++
+			total++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("lost rows: %d", total)
+	}
+}
+
+// TestShardRelationHash: equal keys co-locate and per-shard seqs ascend.
+func TestShardRelationHash(t *testing.T) {
+	rel := testRel(100)
+	st := ShardRelation(rel, 4, HashShard, 0)
+	keyShard := map[int64]int{}
+	total := 0
+	for si, sh := range st.Shards {
+		last := int64(-1)
+		for _, row := range sh.Rows {
+			if prev, ok := keyShard[row[0].I]; ok && prev != si {
+				t.Fatalf("key %d split across shards %d and %d", row[0].I, prev, si)
+			}
+			keyShard[row[0].I] = si
+			if row[2].I <= last {
+				t.Fatalf("shard %d not seq-ascending: %d after %d", si, row[2].I, last)
+			}
+			last = row[2].I
+			total++
+		}
+	}
+	if total != 100 {
+		t.Fatalf("lost rows: %d", total)
+	}
+}
+
+// TestMergeBySeq reconstructs the original relation from its shards.
+func TestMergeBySeq(t *testing.T) {
+	rel := testRel(57)
+	for _, strat := range []Strategy{RangeShard, HashShard} {
+		st := ShardRelation(rel, 5, strat, 0)
+		merged := MergeBySeq("m", st.Shards, st.SeqCol(), true)
+		if len(merged.Rows) != 57 || len(merged.Schema) != 2 {
+			t.Fatalf("%v: merged %d rows, %d cols", strat, len(merged.Rows), len(merged.Schema))
+		}
+		for i, row := range merged.Rows {
+			if row[0].I != rel.Rows[i][0].I {
+				t.Fatalf("%v: row %d differs", strat, i)
+			}
+		}
+	}
+}
+
+// TestRepartition: buckets by hash, destinations seq-sorted, transfers
+// only for rows that change shards.
+func TestRepartition(t *testing.T) {
+	rel := testRel(80)
+	st := ShardRelation(rel, 4, RangeShard, -1)
+	dests, transfers := Repartition(st.Shards, 0, st.SeqCol())
+	total := 0
+	for d, rel2 := range dests {
+		last := int64(-1)
+		for _, row := range rel2.Rows {
+			if got := int(hashValue(row[0]) % 4); got != d {
+				t.Fatalf("row with key %d landed on shard %d, want %d", row[0].I, d, got)
+			}
+			if row[2].I <= last {
+				t.Fatalf("dest %d not seq-sorted", d)
+			}
+			last = row[2].I
+			total++
+		}
+	}
+	if total != 80 {
+		t.Fatalf("lost rows: %d", total)
+	}
+	for _, tr := range transfers {
+		if tr.Src == tr.Dst || tr.Bytes <= 0 {
+			t.Fatalf("bogus transfer %+v", tr)
+		}
+	}
+}
+
+// TestBroadcast: the merged build side is the original serial order and
+// every non-empty shard ships to every other shard.
+func TestBroadcast(t *testing.T) {
+	rel := testRel(40)
+	st := ShardRelation(rel, 4, HashShard, 0)
+	merged, transfers := Broadcast(st.Shards, st.SeqCol(), true)
+	if len(merged.Rows) != 40 {
+		t.Fatalf("merged %d rows", len(merged.Rows))
+	}
+	for i, row := range merged.Rows {
+		if row[0].I != rel.Rows[i][0].I {
+			t.Fatalf("broadcast build side out of order at %d", i)
+		}
+	}
+	nonEmpty := 0
+	for _, sh := range st.Shards {
+		if len(sh.Rows) > 0 {
+			nonEmpty++
+		}
+	}
+	if want := nonEmpty * 3; len(transfers) != want {
+		t.Fatalf("got %d transfers, want %d", len(transfers), want)
+	}
+}
+
+// TestClusterPhases: every topology hosts the cluster, routes flows and
+// reports a positive makespan and link loads.
+func TestClusterPhases(t *testing.T) {
+	for _, name := range Topologies {
+		c, err := NewCluster(name, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Shards() != 4 {
+			t.Fatalf("%s: %d shards", name, c.Shards())
+		}
+		if sec := c.PathSeconds(0, Coordinator, 1e6); sec <= 0 {
+			t.Fatalf("%s: path pricing returned %v", name, sec)
+		}
+		qr := c.NewQuery()
+		if err := qr.RunPhase("shuffle", []Transfer{
+			{Src: 0, Dst: 1, Bytes: 1e6},
+			{Src: 1, Dst: 2, Bytes: 2e6},
+			{Src: 3, Dst: 3, Bytes: 1e6}, // same host: skipped
+			{Src: 2, Dst: 0, Bytes: 0},   // empty: skipped
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := qr.RunPhase("gather", GatherTransfers([]float64{1e5, 0, 1e5, 1e5})); err != nil {
+			t.Fatal(err)
+		}
+		s := qr.Finish()
+		if s.Flows != 5 || s.BytesShuffled != 3.3e6 {
+			t.Fatalf("%s: flows=%d bytes=%v", name, s.Flows, s.BytesShuffled)
+		}
+		if s.NetSeconds <= 0 || len(s.Phases) != 2 || s.Phases[0].Seconds <= 0 {
+			t.Fatalf("%s: bad phase accounting: %+v", name, s)
+		}
+		if s.MaxLinkUtil <= 0 || len(s.Links) == 0 {
+			t.Fatalf("%s: missing link accounting", name)
+		}
+	}
+	if _, err := NewCluster("nonsense", 2); err == nil {
+		t.Fatal("expected unknown-topology error")
+	}
+}
+
+// TestRunPartialAggs: per-shard partials merged by seq reproduce the
+// global first-seen group order.
+func TestRunPartialAggs(t *testing.T) {
+	rel := testRel(63) // keys cycle 0..6: first-seen order 0,1,2,...,6
+	st := ShardRelation(rel, 4, HashShard, 0)
+	frags := make([]relational.BatchOp, len(st.Shards))
+	for i, sh := range st.Shards {
+		frags[i] = relational.NewBatchScan(sh)
+	}
+	aggs := []relational.AggSpec{{Fn: relational.CountAgg, Col: -1, Name: "n"}}
+	partials, err := RunPartialAggs(frags, []int{0}, aggs, st.SeqCol(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := partials[0]
+	for _, pa := range partials[1:] {
+		merged.MergeFrom(pa)
+	}
+	schema, err := relational.AggOutputSchema(relational.Schema{{Name: "k", Type: relational.Int}}, []int{0}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := merged.EmitRows(schema, true)
+	if len(rows) != 7 {
+		t.Fatalf("got %d groups", len(rows))
+	}
+	for i, row := range rows {
+		if row[0].I != int64(i) || row[1].I != 9 {
+			t.Fatalf("group %d: got key %d count %d", i, row[0].I, row[1].I)
+		}
+	}
+}

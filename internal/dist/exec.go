@@ -1,0 +1,286 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relational"
+)
+
+// fragAbort is the cross-shard abort flag of one fragment run: the first
+// failing shard records its error, and every other shard observes the
+// flag at its next batch boundary through the abortable wrapper instead
+// of draining its full input.
+type fragAbort struct {
+	tripped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+func (a *fragAbort) abort(err error) {
+	if err == nil {
+		return
+	}
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+	a.tripped.Store(true)
+}
+
+// Err returns the first recorded error.
+func (a *fragAbort) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// abortable surfaces a sibling shard's failure into this shard's stream
+// at the next batch boundary. It partitions like its child, so the
+// check also reaches every intra-shard Exchange worker.
+type abortable struct {
+	child relational.BatchOp
+	flag  *fragAbort
+}
+
+// Schema implements relational.BatchOp.
+func (a *abortable) Schema() relational.Schema { return a.child.Schema() }
+
+// NextBatch implements relational.BatchOp.
+func (a *abortable) NextBatch() (*relational.Batch, error) {
+	if a.flag.tripped.Load() {
+		return nil, a.flag.Err()
+	}
+	return a.child.NextBatch()
+}
+
+// Stats implements relational.BatchOp.
+func (a *abortable) Stats() relational.OpStats { return a.child.Stats() }
+
+// Partition implements relational.Partitioner.
+func (a *abortable) Partition(n int, static bool) []relational.BatchOp {
+	p, ok := a.child.(relational.Partitioner)
+	if !ok {
+		return nil
+	}
+	parts := p.Partition(n, static)
+	out := make([]relational.BatchOp, len(parts))
+	for i, cp := range parts {
+		out[i] = &abortable{child: cp, flag: a.flag}
+	}
+	return out
+}
+
+// RunFragments executes one shard-local operator tree per worker
+// concurrently — each shard is its own simulated host — and materializes
+// each stream into a relation. workers caps intra-shard morsel
+// parallelism (the per-host core count; 0 = NumCPU). The shards share an
+// abort flag: one failing shard stops its siblings at their next batch
+// boundary.
+func RunFragments(name string, frags []relational.BatchOp, workers int) ([]*relational.Relation, error) {
+	outs := make([]*relational.Relation, len(frags))
+	errs := make([]error, len(frags))
+	flag := &fragAbort{}
+	var wg sync.WaitGroup
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f relational.BatchOp) {
+			defer wg.Done()
+			op := relational.RowsOf(relational.NewExchange(&abortable{child: f, flag: flag}, workers))
+			outs[i], errs[i] = relational.Collect(op, name)
+			flag.abort(errs[i])
+		}(i, f)
+	}
+	wg.Wait()
+	if err := flag.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// RunPartialAggs drains one shard-local fragment per worker concurrently
+// into a private PartialAgg, tagging each group's first appearance with
+// the stream's seqCol so the coordinator can merge partials into the
+// exact single-node first-seen order. As in RunFragments, the shards
+// share an abort flag so one failure stops the others early.
+func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relational.AggSpec, seqCol, workers int) ([]*relational.PartialAgg, error) {
+	out := make([]*relational.PartialAgg, len(frags))
+	errs := make([]error, len(frags))
+	flag := &fragAbort{}
+	var wg sync.WaitGroup
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f relational.BatchOp) {
+			defer wg.Done()
+			pa := relational.NewPartialAgg(groupCols, aggs)
+			out[i] = pa
+			op := relational.NewExchange(&abortable{child: f, flag: flag}, workers)
+			// The Exchange must be drained to end-of-stream even after an
+			// observation error, or its workers stay blocked on their
+			// bounded channels; tripping the flag first makes the drain
+			// terminate at the next batch boundary.
+			drain := func() {
+				for {
+					if b, err := op.NextBatch(); b == nil || err != nil {
+						return
+					}
+				}
+			}
+			for {
+				b, err := op.NextBatch()
+				if err != nil {
+					errs[i] = err
+					flag.abort(err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				if err := pa.ObserveBatch(b, seqCol); err != nil {
+					errs[i] = err
+					flag.abort(err)
+					drain()
+					return
+				}
+			}
+		}(i, f)
+	}
+	wg.Wait()
+	if err := flag.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ForEachBySeq visits every row of the per-shard relations in ascending
+// seqCol order, calling fn(shard, rowIndex) per row. Every input must be
+// seq-ascending (shard streams are by construction); equal tags — join
+// fan-out duplicates — can only occur within one shard (the strict '<'
+// then keeps that shard's run together), so the visit order is a total
+// deterministic order equal to the single-node row order. MergeBySeq and
+// the planner's re-sequencing both iterate through it, keeping the
+// tie-break rule in one place.
+func ForEachBySeq(shards []*relational.Relation, seqCol int, fn func(shard, row int)) {
+	pos := make([]int, len(shards))
+	for {
+		best := -1
+		var bestSeq int64
+		for i, s := range shards {
+			if pos[i] >= len(s.Rows) {
+				continue
+			}
+			if seq := s.Rows[pos[i]][seqCol].I; best < 0 || seq < bestSeq {
+				best, bestSeq = i, seq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn(best, pos[best])
+		pos[best]++
+	}
+}
+
+// MergeBySeq k-way merges per-shard relations on the seqCol column into
+// one relation. strip drops the seq column (which must be the last) from
+// the output rows.
+func MergeBySeq(name string, shards []*relational.Relation, seqCol int, strip bool) *relational.Relation {
+	schema := shards[0].Schema
+	if strip {
+		schema = schema[:seqCol]
+	}
+	out := relational.NewRelation(name, schema)
+	total := 0
+	for _, s := range shards {
+		total += len(s.Rows)
+	}
+	out.Rows = make([]relational.Row, 0, total)
+	ForEachBySeq(shards, seqCol, func(shard, row int) {
+		r := shards[shard].Rows[row]
+		if strip {
+			r = r[:seqCol]
+		}
+		out.Rows = append(out.Rows, r)
+	})
+	return out
+}
+
+// Repartition hashes each shard relation's rows on keyCol into one
+// bucket per destination shard and reassembles every destination's
+// bucket sorted by seqCol (stable, so fan-out duplicates keep their
+// order). It returns the per-destination relations plus the transfers
+// crossing the fabric (rows whose bucket is their current shard move no
+// bytes).
+func Repartition(shards []*relational.Relation, keyCol, seqCol int) ([]*relational.Relation, []Transfer) {
+	s := len(shards)
+	dests := make([]*relational.Relation, s)
+	for i := range dests {
+		dests[i] = relational.NewRelation(shards[0].Name, shards[0].Schema)
+	}
+	var transfers []Transfer
+	for src, rel := range shards {
+		bytesTo := make([]float64, s)
+		for _, row := range rel.Rows {
+			d := int(hashValue(row[keyCol]) % uint64(s))
+			dests[d].Rows = append(dests[d].Rows, row)
+			if d != src {
+				bytesTo[d] += row.EncodedBytes()
+			}
+		}
+		for d, b := range bytesTo {
+			if b > 0 {
+				transfers = append(transfers, Transfer{Src: src, Dst: d, Bytes: b})
+			}
+		}
+	}
+	for _, d := range dests {
+		rows := d.Rows
+		sort.SliceStable(rows, func(i, j int) bool { return rows[i][seqCol].I < rows[j][seqCol].I })
+	}
+	return dests, transfers
+}
+
+// Broadcast replicates the union of the shard relations to every worker:
+// it returns the seq-merged relation (the build side every shard will
+// probe against, in exact serial order, seq column stripped when strip)
+// plus the all-to-all transfer list.
+func Broadcast(shards []*relational.Relation, seqCol int, strip bool) (*relational.Relation, []Transfer) {
+	merged := MergeBySeq(shards[0].Name, shards, seqCol, strip)
+	var transfers []Transfer
+	for src, rel := range shards {
+		b := rel.EncodedBytes()
+		if b <= 0 {
+			continue
+		}
+		for dst := range shards {
+			if dst != src {
+				transfers = append(transfers, Transfer{Src: src, Dst: dst, Bytes: b})
+			}
+		}
+	}
+	return merged, transfers
+}
+
+// GatherTransfers returns the flows shipping each shard's bytes to the
+// coordinator.
+func GatherTransfers(bytes []float64) []Transfer {
+	var out []Transfer
+	for i, b := range bytes {
+		if b > 0 {
+			out = append(out, Transfer{Src: i, Dst: Coordinator, Bytes: b})
+		}
+	}
+	return out
+}

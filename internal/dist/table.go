@@ -1,0 +1,98 @@
+package dist
+
+import "repro/internal/relational"
+
+// Strategy selects how a relation's rows map to shards.
+type Strategy int
+
+const (
+	// RangeShard cuts contiguous row ranges: shard i holds rows
+	// [i·n/S, (i+1)·n/S). Shard order equals serial order, so
+	// shard-ordered concatenation needs no re-sorting.
+	RangeShard Strategy = iota
+	// HashShard hashes a key column: co-locates equal keys, survives
+	// skew badly but makes single-key lookups local. Rows keep their
+	// relative order within each shard.
+	HashShard
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	if s == HashShard {
+		return "hash"
+	}
+	return "range"
+}
+
+// SeqColName is the hidden Int column appended to every shard relation,
+// carrying each row's index in the original relation. '#' cannot appear
+// in a SQL identifier, so user queries can never reference or collide
+// with it. Every shard-local stream stays #seq-ascending through
+// filters, projections and probe-driven joins, which is what lets the
+// coordinator's k-way merge reproduce the single-node row order exactly.
+const SeqColName = "#seq"
+
+// ShardedTable is one relation partitioned across the cluster's workers.
+type ShardedTable struct {
+	Rel      *relational.Relation
+	Strategy Strategy
+	KeyCol   int // hash key column; -1 under RangeShard
+	// Shards[i] lives on cluster worker i. Schema is Rel.Schema plus the
+	// trailing #seq column.
+	Shards []*relational.Relation
+}
+
+// ShardRelation splits rel across shards workers using the given
+// strategy (keyCol names the hash column; ignored for RangeShard).
+func ShardRelation(rel *relational.Relation, shards int, strategy Strategy, keyCol int) *ShardedTable {
+	schema := append(append(relational.Schema{}, rel.Schema...),
+		relational.Column{Name: SeqColName, Type: relational.Int})
+	t := &ShardedTable{Rel: rel, Strategy: strategy, KeyCol: keyCol, Shards: make([]*relational.Relation, shards)}
+	if strategy != HashShard {
+		t.KeyCol = -1
+	}
+	for i := range t.Shards {
+		t.Shards[i] = relational.NewRelation(rel.Name, schema)
+	}
+	n := len(rel.Rows)
+	for i, row := range rel.Rows {
+		s := 0
+		if strategy == HashShard {
+			s = int(hashValue(row[keyCol]) % uint64(shards))
+		} else if n > 0 {
+			s = i * shards / n
+		}
+		tagged := make(relational.Row, 0, len(row)+1)
+		tagged = append(tagged, row...)
+		tagged = append(tagged, relational.IntV(int64(i)))
+		t.Shards[s].Rows = append(t.Shards[s].Rows, tagged)
+	}
+	return t
+}
+
+// SeqCol returns the index of the #seq column in the shard schema.
+func (t *ShardedTable) SeqCol() int { return len(t.Rel.Schema) }
+
+// SourceRows returns how many source rows the placement covers. Callers
+// caching placements compare it against the live relation's length to
+// detect appends since sharding (mirroring Relation.Columnar's own
+// append detection).
+func (t *ShardedTable) SourceRows() int {
+	n := 0
+	for _, s := range t.Shards {
+		n += len(s.Rows)
+	}
+	return n
+}
+
+// hashValue is the FNV-1a hash of a value's type-tagged key form, shared
+// by table sharding and shuffle repartitioning so both place equal keys
+// identically.
+func hashValue(v relational.Value) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(v.Key()) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}

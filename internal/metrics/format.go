@@ -1,0 +1,19 @@
+package metrics
+
+import "fmt"
+
+// FormatSeconds renders a duration in the most readable sub-unit — the
+// companion of FormatBytes for the network accounting the distributed
+// SQL engine reports.
+func FormatSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3f ms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3f µs", s*1e6)
+	default:
+		return fmt.Sprintf("%.0f ns", s*1e9)
+	}
+}

@@ -138,6 +138,44 @@ func (s *Simulator) BytesDelivered() float64 { return s.doneBytes }
 // ActiveFlows returns the number of in-flight flows.
 func (s *Simulator) ActiveFlows() int { return len(s.flows) }
 
+// LinkLoad reports one direction of a link: the bytes it carried and its
+// utilization over [0, Now]. It is the per-link charging hook the
+// distributed SQL engine reads to attribute shuffle traffic to fabric
+// links.
+type LinkLoad struct {
+	LinkID  int
+	Forward bool // A->B direction
+	Bytes   float64
+	Util    float64 // fraction of capacity used over [0, Now]
+}
+
+// LinkLoads returns the load of every directed link in (LinkID, direction)
+// order. Utilization is 0 before any simulated time has elapsed.
+func (s *Simulator) LinkLoads() []LinkLoad {
+	now := float64(s.Engine.Now())
+	out := make([]LinkLoad, len(s.linkBusy))
+	for d, busy := range s.linkBusy {
+		util := 0.0
+		if now > 0 {
+			util = busy / (s.Net.Links[d/2].Speed.BytesPerSec() * now)
+		}
+		out[d] = LinkLoad{LinkID: d / 2, Forward: d%2 == 0, Bytes: busy, Util: util}
+	}
+	return out
+}
+
+// MaxLinkUtilization returns the highest directed-link utilization over
+// [0, Now] — the hot spot the shuffle placement experiments watch.
+func (s *Simulator) MaxLinkUtilization() float64 {
+	max := 0.0
+	for _, l := range s.LinkLoads() {
+		if l.Util > max {
+			max = l.Util
+		}
+	}
+	return max
+}
+
 // MeanLinkUtilization returns the average utilization across directed
 // links over [0, Now], in [0, 1].
 func (s *Simulator) MeanLinkUtilization() float64 {

@@ -178,19 +178,21 @@ func EffectiveWorkers(n int) int {
 
 // drainParallel runs every part to completion on its own goroutine and
 // returns the batches per part, in the order each part emitted them. The
-// first error encountered (lowest part index) is returned.
+// parts share a cancelGroup: the first failing partition trips it and its
+// siblings stop at their next batch boundary instead of draining the full
+// table; that first error is returned.
 func drainParallel(parts []BatchOp) ([][]*Batch, error) {
 	outs := make([][]*Batch, len(parts))
-	errs := make([]error, len(parts))
+	cg := &cancelGroup{}
 	var wg sync.WaitGroup
 	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part BatchOp) {
 			defer wg.Done()
-			for {
+			for !cg.stop() {
 				b, err := part.NextBatch()
 				if err != nil {
-					errs[i] = err
+					cg.abort(err)
 					return
 				}
 				if b == nil {
@@ -201,10 +203,8 @@ func drainParallel(parts []BatchOp) ([][]*Batch, error) {
 		}(i, part)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := cg.Err(); err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

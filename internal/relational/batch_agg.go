@@ -1,18 +1,15 @@
 package relational
 
-import (
-	"sync"
-
-	"repro/internal/kernels"
-)
+import "sync"
 
 // BatchGroupAgg is the morsel-parallel grouped aggregation: it statically
 // partitions its child across workers, aggregates each partition into a
-// private hash table, and merges the partials in partition order. Static
+// private PartialAgg, and merges the partials in partition order. Static
 // (contiguous-range) partitioning makes the merge order — and therefore
 // the group emission order and float rounding — deterministic for a given
 // worker count, and the emission order equals the serial engine's
-// first-seen order.
+// first-seen order. Partitions share a cancelGroup: one failing partition
+// stops its siblings at their next batch boundary.
 type BatchGroupAgg struct {
 	child     BatchOp
 	groupCols []int
@@ -42,121 +39,7 @@ func NewBatchGroupAgg(child BatchOp, groupCols []int, aggs []AggSpec, workers in
 // Schema implements BatchOp.
 func (g *BatchGroupAgg) Schema() Schema { return g.schema }
 
-// aggPartial is one partition's aggregation state: groups in first-seen
-// order within the partition.
-type aggPartial struct {
-	groups map[string]*aggGroup
-	order  []string
-	err    error
-}
-
-type aggGroup struct {
-	key    Row
-	states []aggState
-}
-
-// globalAggFast updates a single global state column-at-a-time via the
-// reduction kernels. Only Int columns qualify: their sums are exact, so
-// kernel order cannot perturb results.
-func (g *BatchGroupAgg) globalAggFast(st []aggState, b *Batch) bool {
-	for _, a := range g.aggs {
-		if a.Fn == CountAgg {
-			continue
-		}
-		if a.Fn == AvgAgg || b.Cols[a.Col].T != Int {
-			return false
-		}
-	}
-	n := int64(b.Len())
-	for i, a := range g.aggs {
-		s := &st[i]
-		s.count += n
-		if a.Fn == CountAgg {
-			continue
-		}
-		col := b.Cols[a.Col].Ints
-		sum := kernels.SumInt64(col)
-		s.sumI += sum
-		s.sumF += float64(sum)
-		lo, hi := kernels.MinMaxInt64(col)
-		if !s.seen {
-			s.minV, s.maxV, s.seen = IntV(lo), IntV(hi), true
-		} else {
-			if lo < s.minV.I {
-				s.minV = IntV(lo)
-			}
-			if hi > s.maxV.I {
-				s.maxV = IntV(hi)
-			}
-		}
-	}
-	return true
-}
-
-// aggregatePart drains one partition into a private partial.
-func (g *BatchGroupAgg) aggregatePart(part BatchOp) *aggPartial {
-	p := &aggPartial{groups: map[string]*aggGroup{}}
-	var kb []byte
-	global := len(g.groupCols) == 0
-	for {
-		b, err := part.NextBatch()
-		if err != nil {
-			p.err = err
-			return p
-		}
-		if b == nil {
-			return p
-		}
-		if global {
-			gr := p.groups[""]
-			if gr == nil {
-				gr = &aggGroup{states: make([]aggState, len(g.aggs))}
-				p.groups[""] = gr
-				p.order = append(p.order, "")
-			}
-			if g.globalAggFast(gr.states, b) {
-				continue
-			}
-			n := b.Len()
-			var buf Row
-			for r := 0; r < n; r++ {
-				buf = b.Row(r, buf)
-				if err := observeRow(gr, g.aggs, buf); err != nil {
-					p.err = err
-					return p
-				}
-			}
-			continue
-		}
-		n := b.Len()
-		var buf Row
-		for r := 0; r < n; r++ {
-			buf = b.Row(r, buf)
-			kb = kb[:0]
-			for _, c := range g.groupCols {
-				kb = append(kb, buf[c].Key()...)
-				kb = append(kb, 0)
-			}
-			gr, ok := p.groups[string(kb)]
-			if !ok {
-				key := make(Row, len(g.groupCols))
-				for i, c := range g.groupCols {
-					key[i] = buf[c]
-				}
-				gr = &aggGroup{key: key, states: make([]aggState, len(g.aggs))}
-				k := string(kb)
-				p.groups[k] = gr
-				p.order = append(p.order, k)
-			}
-			if err := observeRow(gr, g.aggs, buf); err != nil {
-				p.err = err
-				return p
-			}
-		}
-	}
-}
-
-func observeRow(gr *aggGroup, aggs []AggSpec, row Row) error {
+func observeRow(gr *partialGroup, aggs []AggSpec, row Row) error {
 	for i, a := range aggs {
 		var v Value
 		if a.Fn != CountAgg {
@@ -169,61 +52,59 @@ func observeRow(gr *aggGroup, aggs []AggSpec, row Row) error {
 	return nil
 }
 
+// aggregatePart drains one partition into a private partial, aborting at
+// the next batch boundary once a sibling has failed.
+func (g *BatchGroupAgg) aggregatePart(part BatchOp, cg *cancelGroup) *PartialAgg {
+	p := NewPartialAgg(g.groupCols, g.aggs)
+	for !cg.stop() {
+		b, err := part.NextBatch()
+		if err != nil {
+			cg.abort(err)
+			return p
+		}
+		if b == nil {
+			return p
+		}
+		if err := p.ObserveBatch(b, -1); err != nil {
+			cg.abort(err)
+			return p
+		}
+	}
+	return p
+}
+
 func (g *BatchGroupAgg) materialize() error {
 	parts := partitionOrSelf(g.child, g.workers, true)
-	partials := make([]*aggPartial, len(parts))
+	partials := make([]*PartialAgg, len(parts))
+	cg := &cancelGroup{}
 	var wg sync.WaitGroup
 	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part BatchOp) {
 			defer wg.Done()
-			partials[i] = g.aggregatePart(part)
+			partials[i] = g.aggregatePart(part, cg)
 		}(i, part)
 	}
 	wg.Wait()
+	if err := cg.Err(); err != nil {
+		return err
+	}
 	// Merge in partition order: partition i's rows precede partition
 	// i+1's, so appending unseen groups in that order reproduces the
 	// serial first-seen order.
-	merged := map[string]*aggGroup{}
-	var order []string
-	for _, p := range partials {
-		if p.err != nil {
-			return p.err
-		}
-		for _, k := range p.order {
-			pg := p.groups[k]
-			mg, ok := merged[k]
-			if !ok {
-				merged[k] = pg
-				order = append(order, k)
-				continue
-			}
-			for i := range mg.states {
-				mg.states[i].mergeFrom(&pg.states[i])
-			}
-		}
-	}
-	// Global aggregate over empty input still yields one row of zeros.
-	if len(g.groupCols) == 0 && len(order) == 0 {
-		merged[""] = &aggGroup{states: make([]aggState, len(g.aggs))}
-		order = append(order, "")
+	merged := partials[0]
+	for _, p := range partials[1:] {
+		merged.MergeFrom(p)
 	}
 	var cur *Batch
 	var seq int64
-	for _, k := range order {
-		gr := merged[k]
+	for _, row := range merged.EmitRows(g.schema, false) {
 		if cur == nil {
 			cur = NewBatch(g.schema, BatchSize)
 			cur.Seq = seq
 			seq++
 		}
-		for i := range g.groupCols {
-			cur.Cols[i].Append(gr.key[i])
-		}
-		for i, a := range g.aggs {
-			cur.Cols[len(g.groupCols)+i].Append(gr.states[i].result(a.Fn, g.schema[len(g.groupCols)+i].Type))
-		}
-		cur.n++
+		cur.AppendRow(row)
 		if cur.Len() >= BatchSize {
 			g.out = append(g.out, cur)
 			cur = nil

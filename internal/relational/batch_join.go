@@ -33,6 +33,7 @@ type buildPartial struct {
 func (c *joinCore) runBuild() {
 	parts := partitionOrSelf(c.build, c.workers, true)
 	partials := make([]*buildPartial, len(parts))
+	cg := &cancelGroup{}
 	var wg sync.WaitGroup
 	for i, part := range parts {
 		wg.Add(1)
@@ -41,10 +42,13 @@ func (c *joinCore) runBuild() {
 			p := &buildPartial{}
 			partials[i] = p
 			var buf Row
-			for {
+			// Partitions share the cancelGroup: a failing sibling stops
+			// this one at its next batch boundary.
+			for !cg.stop() {
 				b, err := part.NextBatch()
 				if err != nil {
 					p.err = err
+					cg.abort(err)
 					return
 				}
 				if b == nil {
@@ -59,6 +63,10 @@ func (c *joinCore) runBuild() {
 		}(i, part)
 	}
 	wg.Wait()
+	if err := cg.Err(); err != nil {
+		c.err = err
+		return
+	}
 	useInt := c.build.Schema()[c.buildCol].Type == Int
 	if useInt {
 		c.intT = map[int64][]int32{}

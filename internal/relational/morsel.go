@@ -1,9 +1,6 @@
 package relational
 
-import (
-	"sort"
-	"sync/atomic"
-)
+import "sync/atomic"
 
 // morselBatch windows one morsel (rows [m*BatchSize, ...)) of the
 // relation's columnar image, tagged with the morsel index. The vectors
@@ -119,21 +116,36 @@ func (p *scanPart) NextBatch() (*Batch, error) {
 // Stats implements BatchOp.
 func (p *scanPart) Stats() OpStats { return p.stat.stats() }
 
+// exchangeDepth bounds the batches buffered per worker stream. Workers
+// block once their channel fills, so peak buffered memory is
+// workers × (exchangeDepth+1) batches instead of the full result set.
+const exchangeDepth = 4
+
 // Exchange is the morsel dispatcher's merge point: it partitions its
-// child across workers (dynamic queue), drains them in parallel, and
-// re-emits the batches sorted by Seq — so downstream consumers observe
-// exactly the serial row order regardless of scheduling.
+// child across workers (dynamic queue) and streams their outputs through
+// a k-way merge on Seq tags — each worker's stream is Seq-ascending
+// (morsels are claimed in increasing order and batch operators preserve
+// tags), so emitting the smallest head reproduces exactly the serial row
+// order regardless of scheduling, without materializing the result.
+// Workers share a cancelGroup: one failing partition stops its siblings
+// at their next batch boundary.
 type Exchange struct {
 	child   BatchOp
 	workers int
-	out     []*Batch
-	pos     int
+
 	started bool
+	chans   []chan *Batch
+	heads   []*Batch
+	cg      *cancelGroup
 }
 
 // NewExchange parallelizes child across workers (0 = NumCPU). When child
 // cannot partition, or a single worker is requested, child is returned
-// unwrapped.
+// unwrapped. Once pulled, the returned operator must be drained to end
+// of stream (or error): the merge is streaming, so abandoning it midway
+// strands worker goroutines blocked on their bounded channels. Every
+// in-tree consumer (Collect, the fragment runners, the LIMIT placement
+// below the dispatcher) drains fully.
 func NewExchange(child BatchOp, workers int) BatchOp {
 	w := EffectiveWorkers(workers)
 	if _, ok := child.(Partitioner); !ok || w <= 1 {
@@ -145,27 +157,68 @@ func NewExchange(child BatchOp, workers int) BatchOp {
 // Schema implements BatchOp.
 func (e *Exchange) Schema() Schema { return e.child.Schema() }
 
+func (e *Exchange) start() {
+	parts := partitionOrSelf(e.child, e.workers, false)
+	e.cg = &cancelGroup{}
+	e.chans = make([]chan *Batch, len(parts))
+	for i, part := range parts {
+		ch := make(chan *Batch, exchangeDepth)
+		e.chans[i] = ch
+		go func(part BatchOp, ch chan *Batch) {
+			defer close(ch)
+			for !e.cg.stop() {
+				b, err := part.NextBatch()
+				if err != nil {
+					e.cg.abort(err)
+					return
+				}
+				if b == nil {
+					return
+				}
+				ch <- b
+			}
+		}(part, ch)
+	}
+	e.heads = make([]*Batch, len(parts))
+	for i := range e.chans {
+		e.heads[i] = <-e.chans[i] // nil once the worker closes
+	}
+}
+
+// drain unblocks any workers still sending after an abort.
+func (e *Exchange) drain() {
+	for _, ch := range e.chans {
+		for range ch { //nolint:revive // discard until closed
+		}
+	}
+	e.heads = nil
+}
+
 // NextBatch implements BatchOp.
 func (e *Exchange) NextBatch() (*Batch, error) {
 	if !e.started {
 		e.started = true
-		parts := partitionOrSelf(e.child, e.workers, false)
-		outs, err := drainParallel(parts)
-		if err != nil {
-			return nil, err
-		}
-		for _, batches := range outs {
-			e.out = append(e.out, batches...)
-		}
-		sort.Slice(e.out, func(i, j int) bool { return e.out[i].Seq < e.out[j].Seq })
+		e.start()
 	}
-	if e.pos >= len(e.out) {
-		e.out = nil
-		return nil, nil
+	if e.cg.stop() {
+		e.drain()
+		return nil, e.cg.Err()
 	}
-	b := e.out[e.pos]
-	e.out[e.pos] = nil // release consumed batches as the consumer advances
-	e.pos++
+	best := -1
+	for i, h := range e.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || h.Seq < e.heads[best].Seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		// Every worker stream closed; surface a late error if one raced in.
+		return nil, e.cg.Err()
+	}
+	b := e.heads[best]
+	e.heads[best] = <-e.chans[best]
 	return b, nil
 }
 

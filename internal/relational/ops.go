@@ -274,6 +274,15 @@ func NewGroupAgg(child Op, groupCols []int, aggs []AggSpec) (*GroupAgg, error) {
 	return &GroupAgg{child: child, groupCols: groupCols, aggs: aggs, schema: schema}, nil
 }
 
+// AggOutputSchema validates and derives the output schema of a grouped
+// aggregation (group columns then aggregates). It is the exported form of
+// the rule the engines share, for the distributed planner: the aggregate
+// splits into per-shard partials there, and the coordinator needs the
+// merged schema without constructing an operator.
+func AggOutputSchema(child Schema, groupCols []int, aggs []AggSpec) (Schema, error) {
+	return groupAggSchema(child, groupCols, aggs)
+}
+
 // groupAggSchema validates and derives the output schema of a grouped
 // aggregation (shared by the serial and batch engines).
 func groupAggSchema(cs Schema, groupCols []int, aggs []AggSpec) (Schema, error) {

@@ -1,0 +1,231 @@
+package relational
+
+import (
+	"sort"
+
+	"repro/internal/kernels"
+)
+
+// PartialAgg is one participant's share of a grouped aggregation: a hash
+// table of per-group aggregate states plus the bookkeeping needed to merge
+// partials deterministically. Both parallelism layers use it — the
+// morsel-parallel BatchGroupAgg merges per-worker partials in partition
+// order, and the distributed engine ships per-shard partials to the
+// coordinator and merges them in global first-seen (seq) order, so the
+// distributed group emission order is row-for-row identical to the
+// single-node engine's.
+type PartialAgg struct {
+	groupCols []int
+	aggs      []AggSpec
+
+	groups map[string]*partialGroup
+	order  []string // first-seen order within this partial
+	ord    int64    // arrival counter (rows observed)
+}
+
+// partialGroup is one group's state. firstSeq is the smallest seq tag the
+// group was observed at (the arrival ordinal when no seq column is fed);
+// firstOrd breaks firstSeq ties by arrival order, which is only needed
+// when several output rows share a seq tag (join fan-out) — those rows
+// always live in the same partial, so ordinals stay comparable.
+type partialGroup struct {
+	key      Row
+	states   []aggState
+	firstSeq int64
+	firstOrd int64
+}
+
+// NewPartialAgg returns an empty partial for the given group columns and
+// aggregate specs (column indexes refer to the rows fed to ObserveBatch).
+func NewPartialAgg(groupCols []int, aggs []AggSpec) *PartialAgg {
+	return &PartialAgg{groupCols: groupCols, aggs: aggs, groups: map[string]*partialGroup{}}
+}
+
+// Groups returns the number of distinct groups observed.
+func (p *PartialAgg) Groups() int { return len(p.order) }
+
+// Rows returns the number of input rows observed.
+func (p *PartialAgg) Rows() int64 { return p.ord }
+
+// ObserveBatch folds one batch into the partial. seqCol >= 0 names an Int
+// column carrying each row's global sequence tag (used for first-seen
+// ordering across partials); seqCol < 0 falls back to the arrival ordinal,
+// which reproduces first-seen order within this partial alone.
+func (p *PartialAgg) ObserveBatch(b *Batch, seqCol int) error {
+	if len(p.groupCols) == 0 {
+		return p.observeGlobal(b, seqCol)
+	}
+	var kb []byte
+	var buf Row
+	n := b.Len()
+	for r := 0; r < n; r++ {
+		buf = b.Row(r, buf)
+		seq := p.ord
+		if seqCol >= 0 {
+			seq = b.Cols[seqCol].Ints[r]
+		}
+		kb = kb[:0]
+		for _, c := range p.groupCols {
+			kb = append(kb, buf[c].Key()...)
+			kb = append(kb, 0)
+		}
+		gr, ok := p.groups[string(kb)]
+		if !ok {
+			key := make(Row, len(p.groupCols))
+			for i, c := range p.groupCols {
+				key[i] = buf[c]
+			}
+			gr = &partialGroup{key: key, states: make([]aggState, len(p.aggs)), firstSeq: seq, firstOrd: p.ord}
+			k := string(kb)
+			p.groups[k] = gr
+			p.order = append(p.order, k)
+		}
+		p.ord++
+		if err := observeRow(gr, p.aggs, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observeGlobal handles the no-group-column case: a single group, updated
+// column-at-a-time via the reduction kernels when every aggregate
+// qualifies (Int sums are exact, so kernel order cannot perturb results).
+func (p *PartialAgg) observeGlobal(b *Batch, seqCol int) error {
+	gr := p.groups[""]
+	if gr == nil {
+		seq := p.ord
+		if seqCol >= 0 && b.Len() > 0 {
+			seq = b.Cols[seqCol].Ints[0]
+		}
+		gr = &partialGroup{states: make([]aggState, len(p.aggs)), firstSeq: seq, firstOrd: p.ord}
+		p.groups[""] = gr
+		p.order = append(p.order, "")
+	}
+	n := b.Len()
+	if p.globalFast(gr.states, b) {
+		p.ord += int64(n)
+		return nil
+	}
+	var buf Row
+	for r := 0; r < n; r++ {
+		buf = b.Row(r, buf)
+		p.ord++
+		if err := observeRow(gr, p.aggs, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// globalFast updates the single global state column-at-a-time via the
+// reduction kernels. Only Int columns qualify.
+func (p *PartialAgg) globalFast(st []aggState, b *Batch) bool {
+	for _, a := range p.aggs {
+		if a.Fn == CountAgg {
+			continue
+		}
+		if a.Fn == AvgAgg || b.Cols[a.Col].T != Int {
+			return false
+		}
+	}
+	n := int64(b.Len())
+	for i, a := range p.aggs {
+		s := &st[i]
+		s.count += n
+		if a.Fn == CountAgg {
+			continue
+		}
+		col := b.Cols[a.Col].Ints
+		sum := kernels.SumInt64(col)
+		s.sumI += sum
+		s.sumF += float64(sum)
+		lo, hi := kernels.MinMaxInt64(col)
+		if !s.seen {
+			s.minV, s.maxV, s.seen = IntV(lo), IntV(hi), true
+		} else {
+			if lo < s.minV.I {
+				s.minV = IntV(lo)
+			}
+			if hi > s.maxV.I {
+				s.maxV = IntV(hi)
+			}
+		}
+	}
+	return true
+}
+
+// MergeFrom folds a later partial into p: shared groups merge their
+// states (and keep the lexicographically smallest (firstSeq, firstOrd));
+// unseen groups append in o's first-seen order. Folding partials in
+// partition order therefore reproduces the serial first-seen order when
+// partition i's rows precede partition i+1's.
+func (p *PartialAgg) MergeFrom(o *PartialAgg) {
+	for _, k := range o.order {
+		og := o.groups[k]
+		mg, ok := p.groups[k]
+		if !ok {
+			p.groups[k] = og
+			p.order = append(p.order, k)
+			continue
+		}
+		for i := range mg.states {
+			mg.states[i].mergeFrom(&og.states[i])
+		}
+		if og.firstSeq < mg.firstSeq || (og.firstSeq == mg.firstSeq && og.firstOrd < mg.firstOrd) {
+			mg.firstSeq, mg.firstOrd = og.firstSeq, og.firstOrd
+		}
+	}
+	p.ord += o.ord
+}
+
+// EmitRows renders the final aggregate rows. schema is the output schema
+// (group columns then aggregates, as groupAggSchema derives). When bySeq
+// is true groups emit in ascending (firstSeq, firstOrd) order — the global
+// first-seen order when seq tags were fed — otherwise in this partial's
+// first-seen order. A global aggregate over empty input still yields one
+// row of zeros, matching both engines.
+func (p *PartialAgg) EmitRows(schema Schema, bySeq bool) []Row {
+	order := p.order
+	if bySeq {
+		order = append([]string(nil), p.order...)
+		sort.SliceStable(order, func(i, j int) bool {
+			a, b := p.groups[order[i]], p.groups[order[j]]
+			if a.firstSeq != b.firstSeq {
+				return a.firstSeq < b.firstSeq
+			}
+			return a.firstOrd < b.firstOrd
+		})
+	}
+	if len(p.groupCols) == 0 && len(order) == 0 {
+		p.groups[""] = &partialGroup{states: make([]aggState, len(p.aggs))}
+		order = append(order, "")
+	}
+	rows := make([]Row, 0, len(order))
+	for _, k := range order {
+		gr := p.groups[k]
+		row := make(Row, 0, len(p.groupCols)+len(p.aggs))
+		row = append(row, gr.key...)
+		for i, a := range p.aggs {
+			row = append(row, gr.states[i].result(a.Fn, schema[len(p.groupCols)+i].Type))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// EncodedBytes returns the serialized size of the partial — what a shard
+// ships to the coordinator in the distributed final-merge phase: each
+// group's key plus the fixed aggregate state (count, two sums, min, max).
+func (p *PartialAgg) EncodedBytes() float64 {
+	total := 0.0
+	for _, k := range p.order {
+		gr := p.groups[k]
+		total += gr.key.EncodedBytes()
+		for i := range gr.states {
+			total += 24 // count + sumI/sumF
+			total += gr.states[i].minV.EncodedBytes() + gr.states[i].maxV.EncodedBytes()
+		}
+	}
+	return total
+}

@@ -1,0 +1,61 @@
+package relational
+
+// Wire-format sizing for the distributed engine: how many bytes a value,
+// row, batch or relation occupies when serialized for transfer between
+// simulated hosts. The format is never materialized — the flow-level
+// network simulator only needs sizes — but the accounting mirrors a
+// conventional columnar wire layout: 8 bytes per numeric, length-prefixed
+// strings, and a small per-row framing overhead.
+
+// rowOverheadBytes is the per-row framing cost (row length + validity).
+const rowOverheadBytes = 2
+
+// EncodedBytes returns the serialized size of one value.
+func (v Value) EncodedBytes() float64 {
+	if v.T == String {
+		return float64(4 + len(v.S))
+	}
+	return 8
+}
+
+// EncodedBytes returns the serialized size of one row.
+func (r Row) EncodedBytes() float64 {
+	total := float64(rowOverheadBytes)
+	for _, v := range r {
+		total += v.EncodedBytes()
+	}
+	return total
+}
+
+// EncodedBytes returns the serialized size of the batch, computed
+// column-wise so numeric columns cost one multiply.
+func (b *Batch) EncodedBytes() float64 {
+	total := float64(rowOverheadBytes * b.Len())
+	for c := range b.Cols {
+		col := &b.Cols[c]
+		switch col.T {
+		case String:
+			for _, s := range col.Strs {
+				total += float64(4 + len(s))
+			}
+		default:
+			total += 8 * float64(col.Len())
+		}
+	}
+	return total
+}
+
+// EncodedBytes returns the serialized size of the whole relation.
+func (r *Relation) EncodedBytes() float64 {
+	total := float64(rowOverheadBytes * len(r.Rows))
+	for c, col := range r.Schema {
+		if col.Type == String {
+			for _, row := range r.Rows {
+				total += float64(4 + len(row[c].S))
+			}
+		} else {
+			total += 8 * float64(len(r.Rows))
+		}
+	}
+	return total
+}

@@ -1,0 +1,723 @@
+package sql
+
+// The distributed lowering path: queries plan as per-shard batch
+// fragments over the sharded catalog, with filters and projections pushed
+// below every shuffle; joins choose broadcast or hash-repartition
+// movement by a cost rule priced against the fabric's path capacity;
+// aggregates split into per-shard partials merged at the coordinator in
+// global first-seen order. Every inter-host movement — build-side
+// broadcasts, repartition shuffles, the final gather — is charged as
+// flows in the network simulator, so a distributed plan reports rows AND
+// simulated network time, bytes shuffled and per-link utilization.
+//
+// Determinism: every shard-local stream carries the hidden #seq column
+// (the row's index in the original relation, or the probe-side lineage
+// after joins) and stays seq-ascending through every operator, so the
+// coordinator's k-way merge — and the partial-agg first-seen merge —
+// reproduce the single-node engine's output row-for-row.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/relational"
+)
+
+// distDefaultShards is the worker count when Options.Shards is unset.
+const distDefaultShards = 4
+
+// distCluster returns the cached fabric cluster, rebuilding it when the
+// topology or shard count options changed.
+func (db *DB) distCluster() (*dist.Cluster, error) {
+	shards := db.Opt.Shards
+	if shards <= 0 {
+		shards = distDefaultShards
+	}
+	key := fmt.Sprintf("%s|%d", db.Opt.Topology, shards)
+	if db.cluster != nil && db.clusterKey == key {
+		return db.cluster, nil
+	}
+	c, err := dist.NewCluster(db.Opt.Topology, shards)
+	if err != nil {
+		return nil, err
+	}
+	db.cluster, db.clusterKey = c, key
+	return c, nil
+}
+
+// shardedTable returns the cached shard placement of rel: contiguous row
+// ranges by default, or hash of the first Int column under ShardHash.
+func (db *DB) shardedTable(rel *relational.Relation, shards int) *dist.ShardedTable {
+	strategy, keyCol := dist.RangeShard, -1
+	if db.Opt.ShardHash {
+		strategy, keyCol = dist.HashShard, 0
+		for i, c := range rel.Schema {
+			if c.Type == relational.Int {
+				keyCol = i
+				break
+			}
+		}
+	}
+	key := fmt.Sprintf("%s|%d|%s|%d", strings.ToLower(rel.Name), shards, strategy, keyCol)
+	if t, ok := db.sharded[key]; ok && t.Rel == rel && t.SourceRows() == rel.Len() {
+		return t
+	}
+	t := dist.ShardRelation(rel, shards, strategy, keyCol)
+	db.sharded[key] = t
+	return t
+}
+
+// distRoot is the lazy root of a distributed plan: the whole distributed
+// execution (fragments, shuffles, gather, coordinator finalization) runs
+// on first Next, then the result streams row-at-a-time.
+type distRoot struct {
+	schema relational.Schema
+	run    func() (*relational.Relation, *dist.QueryStats, error)
+
+	started bool
+	rel     *relational.Relation
+	stats   *dist.QueryStats
+	err     error
+	pos     int
+	stat    relational.OpStats
+}
+
+// Schema implements relational.Op.
+func (d *distRoot) Schema() relational.Schema { return d.schema }
+
+// Next implements relational.Op.
+func (d *distRoot) Next() (relational.Row, bool, error) {
+	if !d.started {
+		d.started = true
+		d.rel, d.stats, d.err = d.run()
+	}
+	if d.err != nil {
+		return nil, false, d.err
+	}
+	if d.pos >= len(d.rel.Rows) {
+		return nil, false, nil
+	}
+	r := d.rel.Rows[d.pos]
+	d.pos++
+	d.stat.RowsOut++
+	return r, true, nil
+}
+
+// Stats implements relational.Op.
+func (d *distRoot) Stats() relational.OpStats { return d.stat }
+
+// seqColumn is the schema entry of the hidden sequence column.
+func seqColumn() relational.Column {
+	return relational.Column{Name: dist.SeqColName, Type: relational.Int}
+}
+
+// withSeq appends the hidden sequence column to a visible schema.
+func withSeq(schema relational.Schema) relational.Schema {
+	return append(append(relational.Schema{}, schema...), seqColumn())
+}
+
+// decorFn is one pending shard-local operator: it wraps the shard's
+// current stream (whose schema is the visible columns plus trailing
+// #seq). The shard index lets join decorators bind shard-specific build
+// sides.
+type decorFn func(shard int, op relational.BatchOp) (relational.BatchOp, error)
+
+// distStream is the runtime state of the partitioned intermediate: the
+// materialized per-shard relations plus pending decorators applied when
+// the next stage builds its fragments. Every base relation and every
+// decorated stream is #seq-ascending.
+type distStream struct {
+	base   []*relational.Relation
+	decor  []decorFn
+	schema relational.Schema // visible columns (excludes #seq)
+	// joined marks a stream that passed through a join: fan-out
+	// duplicates its seq tags, so the stream must be re-sequenced before
+	// it moves between shards again.
+	joined bool
+}
+
+func (st *distStream) fragment(s int) (relational.BatchOp, error) {
+	var op relational.BatchOp = relational.NewBatchScan(st.base[s])
+	for _, d := range st.decor {
+		var err error
+		op, err = d(s, op)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+func (st *distStream) fragments() ([]relational.BatchOp, error) {
+	out := make([]relational.BatchOp, len(st.base))
+	for s := range st.base {
+		var err error
+		if out[s], err = st.fragment(s); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// materialize runs the pending decorators on every shard (in parallel,
+// one simulated host each) and replaces the base relations.
+func (st *distStream) materialize(workers int) error {
+	if len(st.decor) == 0 {
+		return nil
+	}
+	frags, err := st.fragments()
+	if err != nil {
+		return err
+	}
+	rels, err := dist.RunFragments("frag", frags, workers)
+	if err != nil {
+		return err
+	}
+	st.base, st.decor = rels, nil
+	return nil
+}
+
+// reseq replaces the stream's seq tags with their global merge rank,
+// restoring uniqueness after join fan-out duplicated them (duplicates
+// are confined to one shard, so the k-way merge is still the exact
+// serial order). It relabels tags in place without moving row data —
+// the real-system analogue is a counts-only prefix exchange — so no
+// flow is charged.
+func (st *distStream) reseq(workers int) error {
+	if err := st.materialize(workers); err != nil {
+		return err
+	}
+	seqCol := len(st.schema)
+	var rank int64
+	dist.ForEachBySeq(st.base, seqCol, func(shard, row int) {
+		st.base[shard].Rows[row][seqCol] = relational.IntV(rank)
+		rank++
+	})
+	for _, rel := range st.base {
+		rel.InvalidateColumnar()
+	}
+	st.joined = false
+	return nil
+}
+
+// bytes returns the per-shard serialized sizes of the materialized base.
+func (st *distStream) bytes() []float64 {
+	out := make([]float64, len(st.base))
+	for i, r := range st.base {
+		out[i] = r.EncodedBytes()
+	}
+	return out
+}
+
+// pickDecor projects every shard stream to the given child columns.
+func pickDecor(schema relational.Schema, picks []int) decorFn {
+	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
+		return pickProject(op, schema, picks)
+	}
+}
+
+func pickProject(op relational.BatchOp, schema relational.Schema, picks []int) (relational.BatchOp, error) {
+	pe := make([]relational.ProjExpr, len(picks))
+	for i, idx := range picks {
+		pe[i] = relational.Pick(idx)
+	}
+	return relational.NewBatchProject(op, schema, pe)
+}
+
+// filterDecor applies kernel ranges plus a residual predicate.
+func filterDecor(ranges []relational.ColRange, pred relational.Predicate) decorFn {
+	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
+		return relational.NewBatchFilter(op, ranges, pred), nil
+	}
+}
+
+// exprProjDecor projects to schema (which already carries the trailing
+// #seq column): exprs/picks produce the visible columns, and the child's
+// seq column (at childSeqIdx) passes through last.
+func exprProjDecor(schema relational.Schema, exprs []relational.Projector, picks []int, childSeqIdx int) decorFn {
+	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
+		pe := make([]relational.ProjExpr, 0, len(schema))
+		for i := range exprs {
+			if picks != nil && picks[i] >= 0 {
+				pe = append(pe, relational.Pick(picks[i]))
+			} else {
+				pe = append(pe, relational.Expr(exprs[i]))
+			}
+		}
+		pe = append(pe, relational.Pick(childSeqIdx))
+		return relational.NewBatchProject(op, schema, pe)
+	}
+}
+
+// limitDecor caps each shard's stream at n rows. Correct below a gather:
+// the merged global prefix of length n draws at most the first n rows of
+// any one shard stream.
+func limitDecor(n int) decorFn {
+	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
+		return relational.NewBatchLimit(op, n), nil
+	}
+}
+
+// distLegPlan is one table leg's compiled shard-local fragment: prune
+// picks, then the pushed-down filter.
+type distLegPlan struct {
+	table  *dist.ShardedTable
+	prune  []int // original column indexes kept
+	schema relational.Schema
+	ranges []relational.ColRange
+	pred   relational.Predicate
+}
+
+// stream builds the leg's distStream over its table shards.
+func (lp *distLegPlan) stream() *distStream {
+	st := &distStream{base: lp.table.Shards, schema: lp.schema}
+	picks := append(append([]int{}, lp.prune...), lp.table.SeqCol())
+	st.decor = append(st.decor, pickDecor(withSeq(lp.schema), picks))
+	if lp.ranges != nil || lp.pred != nil {
+		st.decor = append(st.decor, filterDecor(lp.ranges, lp.pred))
+	}
+	return st
+}
+
+// distJoinPlan is one compiled join stage. swapped mirrors the
+// single-node build-side choice exactly, so the probe side — and with it
+// the output row order — matches the single-node engine.
+type distJoinPlan struct {
+	rightIdx          int
+	leftCol, rightCol int
+	swapped           bool
+	rightSchema       relational.Schema
+	residualRanges    []relational.ColRange
+	residualPred      relational.Predicate
+}
+
+// distExec carries the runtime context of one distributed execution.
+type distExec struct {
+	cluster  *dist.Cluster
+	workers  int
+	distJoin string // "", "auto", "broadcast", "repartition"
+}
+
+// chooseMovement picks broadcast vs repartition for one join by pricing
+// both movements' slowest sender against the fabric's path capacity.
+func (e *distExec) chooseMovement(buildBytes, probeBytes []float64) string {
+	if e.distJoin == "broadcast" || e.distJoin == "repartition" {
+		return e.distJoin
+	}
+	s := float64(e.cluster.Shards())
+	bcast := make([]float64, len(buildBytes))
+	repart := make([]float64, len(buildBytes))
+	for i := range buildBytes {
+		bcast[i] = buildBytes[i] * (s - 1)
+		repart[i] = (buildBytes[i] + probeBytes[i]) * (s - 1) / s
+	}
+	if e.cluster.EstimateFanoutSeconds(bcast) <= e.cluster.EstimateFanoutSeconds(repart) {
+		return "broadcast"
+	}
+	return "repartition"
+}
+
+// joinStage runs one join's data movement and appends the join decorator:
+// the probe side's stream (and seq lineage) becomes the new current
+// stream, exactly as the single-node probe side drives its output order.
+func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStream, jp *distJoinPlan, ji int) (*distStream, error) {
+	if err := st.materialize(e.workers); err != nil {
+		return nil, err
+	}
+	if st.joined {
+		// The current stream is about to move (or serve as a merged
+		// build side); restore unique seq tags first.
+		if err := st.reseq(e.workers); err != nil {
+			return nil, err
+		}
+	}
+	if err := right.materialize(e.workers); err != nil {
+		return nil, err
+	}
+	l, r := len(st.schema), len(jp.rightSchema)
+	combined := append(append(relational.Schema{}, st.schema...), jp.rightSchema...)
+
+	// Normalize to build/probe roles, mirroring the single-node planner:
+	// default build = current stream, probe = right leg; swapped flips
+	// both. The probe side stays partitioned and its seq lineage defines
+	// the output order.
+	build, probe := st, right
+	buildCol, probeCol := jp.leftCol, jp.rightCol
+	if jp.swapped {
+		build, probe = right, st
+		buildCol, probeCol = jp.rightCol, jp.leftCol
+	}
+	buildWidth := len(build.schema)
+	movement := e.chooseMovement(build.bytes(), probe.bytes())
+
+	var buildFor func(s int) (relational.BatchOp, error)
+	out := &distStream{schema: combined, joined: true}
+	if movement == "broadcast" {
+		// Replicate the whole build side to every worker; the probe side
+		// does not move.
+		buildRel, transfers := dist.Broadcast(build.base, buildWidth, true)
+		if err := qr.RunPhase(fmt.Sprintf("broadcast#%d", ji), transfers); err != nil {
+			return nil, err
+		}
+		out.base = probe.base
+		buildFor = func(int) (relational.BatchOp, error) {
+			return relational.NewBatchScan(buildRel), nil
+		}
+	} else {
+		// Hash-repartition both sides on the join key; bucket p's build
+		// rows arrive seq-sorted, preserving the serial insertion order.
+		buildB, tA := dist.Repartition(build.base, buildCol, buildWidth)
+		probeB, tB := dist.Repartition(probe.base, probeCol, len(probe.schema))
+		if err := qr.RunPhase(fmt.Sprintf("shuffle#%d", ji), append(tA, tB...)); err != nil {
+			return nil, err
+		}
+		out.base = probeB
+		buildVisible := build.schema
+		buildFor = func(s int) (relational.BatchOp, error) {
+			return pickProject(relational.NewBatchScan(buildB[s]), buildVisible, identityPicks(buildWidth))
+		}
+	}
+	workers, swapped := e.workers, jp.swapped
+	out.decor = append(out.decor, func(s int, op relational.BatchOp) (relational.BatchOp, error) {
+		bop, err := buildFor(s)
+		if err != nil {
+			return nil, err
+		}
+		jn, err := relational.NewBatchHashJoin(bop, op, buildCol, probeCol, workers)
+		if err != nil {
+			return nil, err
+		}
+		if !swapped {
+			// Output is left ++ (right ++ seq): already canonical.
+			return jn, nil
+		}
+		// Restore canonical column order: right ++ left ++ seq becomes
+		// left ++ right ++ seq.
+		picks := make([]int, 0, l+r+1)
+		for i := 0; i < l; i++ {
+			picks = append(picks, r+i)
+		}
+		for i := 0; i < r; i++ {
+			picks = append(picks, i)
+		}
+		picks = append(picks, r+l)
+		return pickProject(jn, withSeq(combined), picks)
+	})
+	if jp.residualRanges != nil || jp.residualPred != nil {
+		out.decor = append(out.decor, filterDecor(jp.residualRanges, jp.residualPred))
+	}
+	return out, nil
+}
+
+func identityPicks(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// planDistStmt is the distributed counterpart of planStmt. All analysis
+// and compilation happens at plan time (so Plan surfaces errors and
+// Explain describes the shape); data movement and fragment execution run
+// lazily when the plan's root is first pulled.
+func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
+	switch db.Opt.DistJoin {
+	case "", "auto", "broadcast", "repartition":
+	default:
+		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", db.Opt.DistJoin)
+	}
+	cluster, err := db.distCluster()
+	if err != nil {
+		return nil, err
+	}
+	shards := cluster.Shards()
+	workers := db.Opt.Workers
+	p := &Planned{TaggedOps: map[string]relational.Op{}}
+	shardHow := "range"
+	if db.Opt.ShardHash {
+		shardHow = "hash"
+	}
+	p.Steps = append(p.Steps, fmt.Sprintf("engine: distributed (%d shards, %s-sharded, %s fabric; batch fragments, %d workers/host)",
+		shards, shardHow, cluster.Topology, relational.EffectiveWorkers(workers)))
+
+	legs, err := db.resolveLegs(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !stmt.Star {
+		refs := collectQueryCols(stmt)
+		for _, leg := range legs {
+			pruneLeg(leg, refs)
+		}
+	}
+
+	// Pushdown split and size estimates come from the same helpers the
+	// single-node planner uses: the distributed plan must mirror its
+	// build-side choice to keep probe-side output order identical.
+	residual := db.splitWhere(stmt, legs)
+
+	legPlans := make([]*distLegPlan, len(legs))
+	legSizes := make([]int, len(legs))
+	for i, leg := range legs {
+		lp := &distLegPlan{table: db.shardedTable(leg.rel, shards), schema: leg.schema}
+		if leg.prune != nil {
+			lp.prune = leg.prune
+			p.Steps = append(p.Steps, fmt.Sprintf("prune %s to %d/%d columns", leg.alias, len(leg.prune), len(leg.rel.Schema)))
+		} else {
+			lp.prune = identityPicks(len(leg.rel.Schema))
+		}
+		if len(leg.filter) > 0 {
+			sc := &scope{}
+			sc.addTable(leg.alias, leg.schema, 0)
+			lp.ranges, lp.pred, err = lowerBatchFilter(sc, joinConjuncts(leg.filter))
+			if err != nil {
+				return nil, err
+			}
+			p.Steps = append(p.Steps, fmt.Sprintf("pushdown filter on %s below shuffle: %s", leg.alias, joinConjuncts(leg.filter).Render()))
+		}
+		legPlans[i] = lp
+		legSizes[i] = legSizeEstimate(leg)
+		p.Steps = append(p.Steps, fmt.Sprintf("scan %s as %s (%d rows over %d shards)", leg.rel.Name, leg.alias, leg.rel.Len(), shards))
+	}
+
+	// Left-deep joins, with the single-node build-side rule.
+	curScope := &scope{}
+	curScope.addTable(legs[0].alias, legs[0].schema, 0)
+	curWidth := len(legs[0].schema)
+	curSize := legSizes[0]
+	joinPlans := make([]*distJoinPlan, 0, len(stmt.Joins))
+	for ji, j := range stmt.Joins {
+		leg := legs[ji+1]
+		rightScope := &scope{}
+		rightScope.addTable(leg.alias, leg.schema, 0)
+		leftCol, rightCol, rest, err := db.splitJoinOn(j.On, curScope, rightScope)
+		if err != nil {
+			return nil, err
+		}
+		jp := &distJoinPlan{
+			rightIdx: ji + 1, leftCol: leftCol, rightCol: rightCol,
+			swapped:     db.buildOnRight(legSizes[ji+1], curSize),
+			rightSchema: leg.schema,
+		}
+		curScope.addTable(leg.alias, leg.schema, curWidth)
+		curWidth += len(leg.schema)
+		if rest != nil {
+			jp.residualRanges, jp.residualPred, err = lowerBatchFilter(curScope, rest)
+			if err != nil {
+				return nil, err
+			}
+			p.Steps = append(p.Steps, "post-join filter: "+rest.Render())
+		}
+		curSize = advanceJoinSize(curSize, legSizes[ji+1], leg.rel.Len())
+		joinPlans = append(joinPlans, jp)
+		movement := db.Opt.DistJoin
+		if movement == "" {
+			movement = "auto"
+		}
+		p.Steps = append(p.Steps, fmt.Sprintf("hash join #%d on %s (build=%s, movement=%s)",
+			ji, j.On.Render(), map[bool]string{true: leg.alias, false: "left"}[jp.swapped], movement))
+	}
+
+	var resRanges []relational.ColRange
+	var resPred relational.Predicate
+	if len(residual) > 0 {
+		resRanges, resPred, err = lowerBatchFilter(curScope, joinConjuncts(residual))
+		if err != nil {
+			return nil, err
+		}
+		p.Steps = append(p.Steps, "filter: "+joinConjuncts(residual).Render())
+	}
+
+	var combined relational.Schema
+	for _, leg := range legs {
+		combined = append(combined, leg.schema...)
+	}
+
+	exec := &distExec{cluster: cluster, workers: workers, distJoin: db.Opt.DistJoin}
+	// runJoins executes the shared front of the query: leg fragments,
+	// join movements, residual filter.
+	runJoins := func(qr *dist.QueryRun) (*distStream, error) {
+		st := legPlans[0].stream()
+		for ji, jp := range joinPlans {
+			var err error
+			st, err = exec.joinStage(qr, st, legPlans[jp.rightIdx].stream(), jp, ji)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if resRanges != nil || resPred != nil {
+			st.decor = append(st.decor, filterDecor(resRanges, resPred))
+		}
+		return st, nil
+	}
+
+	if stmt.HasAggregates() {
+		return db.planDistAggregate(stmt, p, curScope, combined, exec, runJoins)
+	}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires aggregation")
+	}
+	return db.planDistSimple(stmt, p, curScope, combined, exec, runJoins)
+}
+
+// planDistAggregate splits the aggregate: per-shard partials over the
+// pre-projection (pushed below the gather), a partial-state gather, and
+// the coordinator's first-seen merge feeding the single-node post-plan
+// (HAVING / ORDER BY / projection / LIMIT).
+func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
+	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+	}
+	ap, err := buildAggPlan(stmt, sc, combined)
+	if err != nil {
+		return nil, err
+	}
+	aggOutSchema, err := relational.AggOutputSchema(ap.preSchema, ap.groupCols, ap.aggSpecs)
+	if err != nil {
+		return nil, err
+	}
+	p.Steps = append(p.Steps, fmt.Sprintf("partial aggregate per shard (%d group cols, %d aggregates)", len(ap.groupCols), len(ap.aggSpecs)))
+	p.Steps = append(p.Steps, "gather partials to coordinator; merge in first-seen order")
+
+	// Dry-run the coordinator plan: surfaces compile errors at plan time
+	// and yields the output schema and the coordinator's step lines.
+	dry := &Planned{TaggedOps: map[string]relational.Op{}}
+	dryRel := relational.NewRelation("agg", aggOutSchema)
+	dry, err = db.finishAggregate(stmt, dry, &lowerer{}, execNode{row: relational.NewScan(dryRel)}, ap)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range dry.Steps {
+		p.Steps = append(p.Steps, "coordinator "+s)
+	}
+
+	run := func() (*relational.Relation, *dist.QueryStats, error) {
+		qr := exec.cluster.NewQuery()
+		st, err := runJoins(qr)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.decor = append(st.decor, exprProjDecor(withSeq(ap.preSchema), ap.preExprs, ap.prePicks, len(st.schema)))
+		frags, err := st.fragments()
+		if err != nil {
+			return nil, nil, err
+		}
+		partials, err := dist.RunPartialAggs(frags, ap.groupCols, ap.aggSpecs, len(ap.preSchema), exec.workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		bytes := make([]float64, len(partials))
+		for i, pa := range partials {
+			bytes[i] = pa.EncodedBytes()
+		}
+		if err := qr.RunPhase("gather", dist.GatherTransfers(bytes)); err != nil {
+			return nil, nil, err
+		}
+		merged := partials[0]
+		for _, pa := range partials[1:] {
+			merged.MergeFrom(pa)
+		}
+		aggRel := relational.NewRelation("agg", aggOutSchema)
+		aggRel.Rows = merged.EmitRows(aggOutSchema, true)
+		fin := &Planned{TaggedOps: map[string]relational.Op{}}
+		fin, err = db.finishAggregate(stmt, fin, &lowerer{}, execNode{row: relational.NewScan(aggRel)}, ap)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := relational.Collect(fin.Root, "result")
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, qr.Finish(), nil
+	}
+	root := &distRoot{schema: dry.Root.Schema(), run: run}
+	p.dist, p.Root = root, root
+	return p, nil
+}
+
+// planDistSimple handles non-aggregate queries: the final projection (and
+// any ORDER BY key columns) computes per shard below the gather; the
+// coordinator merges by seq — exactly the serial row order — then sorts,
+// strips keys and applies LIMIT. Without ORDER BY each shard also caps
+// its stream at LIMIT locally.
+func (db *DB) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
+	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
+	items := stmt.Items
+	if stmt.Star {
+		items = starItems(stmt, sc)
+	}
+	itemSchema, itemExprs, itemPicks, err := compileItems(items, sc, combined)
+	if err != nil {
+		return nil, err
+	}
+	keyCols, keyExprs, keyPicks, descs, err := compileOrderKeys(stmt.OrderBy, items, sc, combined)
+	if err != nil {
+		return nil, err
+	}
+	wideSchema := append(append(relational.Schema{}, itemSchema...), keyCols...)
+	wideExprs := append(append([]relational.Projector{}, itemExprs...), keyExprs...)
+	widePicks := append(append([]int{}, itemPicks...), keyPicks...)
+
+	p.Steps = append(p.Steps, "project "+itemNames(items)+" per shard")
+	if len(keyCols) > 0 {
+		p.Steps = append(p.Steps, "gather to coordinator (seq-ordered merge); sort")
+	} else {
+		p.Steps = append(p.Steps, "gather to coordinator (seq-ordered merge)")
+	}
+	if stmt.Limit >= 0 {
+		p.Steps = append(p.Steps, fmt.Sprintf("limit %d", stmt.Limit))
+	}
+
+	run := func() (*relational.Relation, *dist.QueryStats, error) {
+		qr := exec.cluster.NewQuery()
+		st, err := runJoins(qr)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.decor = append(st.decor, exprProjDecor(withSeq(wideSchema), wideExprs, widePicks, len(st.schema)))
+		st.schema = wideSchema
+		if len(keyCols) == 0 && stmt.Limit >= 0 {
+			st.decor = append(st.decor, limitDecor(stmt.Limit))
+		}
+		if err := st.materialize(exec.workers); err != nil {
+			return nil, nil, err
+		}
+		if err := qr.RunPhase("gather", dist.GatherTransfers(st.bytes())); err != nil {
+			return nil, nil, err
+		}
+		merged := dist.MergeBySeq("gathered", st.base, len(wideSchema), true)
+		var op relational.Op = relational.NewScan(merged)
+		if len(keyCols) > 0 {
+			keys := make([]relational.SortKey, len(keyCols))
+			for ki := range keyCols {
+				keys[ki] = relational.SortKey{Col: len(itemSchema) + ki, Desc: descs[ki]}
+			}
+			op, err = relational.NewSort(op, keys)
+			if err != nil {
+				return nil, nil, err
+			}
+			exprs := make([]relational.Projector, len(itemSchema))
+			for i := range exprs {
+				exprs[i] = pickProjector(i)
+			}
+			op, err = relational.NewProject(op, itemSchema, exprs)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		if stmt.Limit >= 0 {
+			op = relational.NewLimit(op, stmt.Limit)
+		}
+		res, err := relational.Collect(op, "result")
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, qr.Finish(), nil
+	}
+	root := &distRoot{schema: itemSchema, run: run}
+	p.dist, p.Root = root, root
+	return p, nil
+}

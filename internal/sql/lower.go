@@ -39,6 +39,18 @@ func (lw *lowerer) filter(n execNode, sc *scope, e Expr) (execNode, error) {
 		}
 		return execNode{row: relational.NewFilter(n.row, pred)}, nil
 	}
+	ranges, pred, err := lowerBatchFilter(sc, e)
+	if err != nil {
+		return execNode{}, err
+	}
+	return execNode{bat: relational.NewBatchFilter(n.bat, ranges, pred)}, nil
+}
+
+// lowerBatchFilter splits a boolean expression into kernel-served column
+// ranges and a residual compiled predicate. The single-node batch lowerer
+// and the distributed fragment builder share it, so filters lower onto
+// the scan kernels identically on both paths.
+func lowerBatchFilter(sc *scope, e Expr) ([]relational.ColRange, relational.Predicate, error) {
 	var ranges []relational.ColRange
 	var rest []Expr
 	for _, c := range splitConjuncts(e) {
@@ -53,10 +65,10 @@ func (lw *lowerer) filter(n execNode, sc *scope, e Expr) (execNode, error) {
 		var err error
 		pred, err = compilePredicate(sc, joinConjuncts(rest))
 		if err != nil {
-			return execNode{}, err
+			return nil, nil, err
 		}
 	}
-	return execNode{bat: relational.NewBatchFilter(n.bat, ranges, pred)}, nil
+	return ranges, pred, nil
 }
 
 // project lowers a projection. exprs always carries the row closures;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/dist"
 	"repro/internal/relational"
 )
 
@@ -21,7 +22,24 @@ type Options struct {
 	// false, plans run on the volcano row-at-a-time engine.
 	Parallel bool
 	// Workers caps batch-engine parallelism; 0 means runtime.NumCPU().
+	// In distributed mode this is the per-host core count.
 	Workers int
+	// Distributed shards tables across the hosts of a simulated
+	// datacenter fabric and executes queries shard-parallel, charging
+	// every broadcast, shuffle and gather as flows in the network
+	// simulator. Shard-local fragments always run on the batch engine.
+	Distributed bool
+	// Shards is the worker-host count in distributed mode (default 4).
+	Shards int
+	// Topology names the distributed fabric: "leafspine" (default),
+	// "single", "fattree" or "torus".
+	Topology string
+	// DistJoin forces the distributed join movement strategy:
+	// "auto" (cost-based, default), "broadcast" or "repartition".
+	DistJoin string
+	// ShardHash hash-partitions tables on their first Int column instead
+	// of the default contiguous range partitioning.
+	ShardHash bool
 }
 
 // DefaultOptions enables every rule and the batch engine.
@@ -33,14 +51,33 @@ func DefaultOptions() Options {
 type DB struct {
 	Opt    Options
 	tables map[string]*relational.Relation
+
+	// Distributed-mode caches: the fabric cluster and the per-table
+	// shard placements, rebuilt when the options they derive from
+	// change.
+	cluster    *dist.Cluster
+	clusterKey string
+	sharded    map[string]*dist.ShardedTable
 }
 
 // NewDB returns an empty catalog with default optimizer options.
-func NewDB() *DB { return &DB{Opt: DefaultOptions(), tables: map[string]*relational.Relation{}} }
+func NewDB() *DB {
+	return &DB{
+		Opt:     DefaultOptions(),
+		tables:  map[string]*relational.Relation{},
+		sharded: map[string]*dist.ShardedTable{},
+	}
+}
 
 // Register adds (or replaces) a table under its lowercased name.
 func (db *DB) Register(rel *relational.Relation) {
-	db.tables[strings.ToLower(rel.Name)] = rel
+	name := strings.ToLower(rel.Name)
+	db.tables[name] = rel
+	for k := range db.sharded {
+		if strings.HasPrefix(k, name+"|") {
+			delete(db.sharded, k)
+		}
+	}
 }
 
 // Table looks a table up by name.
@@ -57,10 +94,22 @@ type Planned struct {
 	// TaggedOps exposes operators by tag for stats inspection
 	// ("scan:<alias>", "join:<n>", "where", "agg", "sort", "limit").
 	TaggedOps map[string]relational.Op
+
+	dist *distRoot
 }
 
 // Explain renders the plan.
 func (p *Planned) Explain() string { return strings.Join(p.Steps, "\n") }
+
+// NetStats reports the simulated-network execution stats of a
+// distributed plan: nil for single-node plans, and nil until the plan has
+// executed (stats are sourced from the flows the execution charges).
+func (p *Planned) NetStats() *dist.QueryStats {
+	if p.dist == nil {
+		return nil
+	}
+	return p.dist.stats
+}
 
 // Query parses, plans and executes, returning a materialized result.
 func (db *DB) Query(q string) (*relational.Relation, error) {
@@ -146,15 +195,9 @@ func pruneLeg(leg *tableLeg, refs []*ColRef) {
 	leg.schema = pruned
 }
 
-func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
-	p := &Planned{TaggedOps: map[string]relational.Op{}}
-	lw := &lowerer{parallel: db.Opt.Parallel, workers: db.Opt.Workers}
-	if lw.parallel {
-		p.Steps = append(p.Steps, fmt.Sprintf("engine: morsel-parallel batch (%d workers, %d-row batches)",
-			relational.EffectiveWorkers(lw.workers), relational.BatchSize))
-	}
-
-	// Resolve tables.
+// resolveLegs binds the FROM and JOIN table references, shared by the
+// single-node and distributed planners.
+func (db *DB) resolveLegs(stmt *SelectStmt) ([]*tableLeg, error) {
 	legs := []*tableLeg{}
 	seen := map[string]bool{}
 	addLeg := func(tr TableRef) error {
@@ -178,6 +221,76 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 			return nil, err
 		}
 	}
+	return legs, nil
+}
+
+// splitWhere folds constants (per options) and attaches single-leg WHERE
+// conjuncts to their legs, returning the residual conjuncts. Both
+// planners share it so pushdown decisions — and the sizing estimates
+// they feed — stay identical.
+func (db *DB) splitWhere(stmt *SelectStmt, legs []*tableLeg) []Expr {
+	where := stmt.Where
+	if where == nil {
+		return nil
+	}
+	if db.Opt.ConstantFolding {
+		where = foldConstants(where)
+	}
+	var residual []Expr
+	for _, c := range splitConjuncts(where) {
+		leg := db.soleLeg(c, legs)
+		if db.Opt.Pushdown && leg != nil {
+			leg.filter = append(leg.filter, c)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	return residual
+}
+
+// legSizeEstimate is the optimizer's crude post-pushdown cardinality
+// guess for a leg. The distributed planner must use the same estimate as
+// the single-node one: the build-side choice it feeds determines the
+// probe side, and with it the output row order both engines must share.
+func legSizeEstimate(leg *tableLeg) int {
+	size := leg.rel.Len()
+	if len(leg.filter) > 0 {
+		size = size / (2 * len(leg.filter))
+	}
+	return size
+}
+
+// buildOnRight reports whether a hash join builds on the (smaller) right
+// leg — the swap decision both planners must agree on.
+func (db *DB) buildOnRight(rightSize, curSize int) bool {
+	return db.Opt.BuildSideSwap && rightSize < curSize
+}
+
+// advanceJoinSize updates the running cardinality estimate after joining
+// the current stream with a leg.
+func advanceJoinSize(curSize, rightSize, rightLen int) int {
+	curSize = curSize * max(1, rightSize) / max(1, rightLen)
+	if curSize < 1 {
+		return 1
+	}
+	return curSize
+}
+
+func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
+	if db.Opt.Distributed {
+		return db.planDistStmt(stmt)
+	}
+	p := &Planned{TaggedOps: map[string]relational.Op{}}
+	lw := &lowerer{parallel: db.Opt.Parallel, workers: db.Opt.Workers}
+	if lw.parallel {
+		p.Steps = append(p.Steps, fmt.Sprintf("engine: morsel-parallel batch (%d workers, %d-row batches)",
+			relational.EffectiveWorkers(lw.workers), relational.BatchSize))
+	}
+
+	legs, err := db.resolveLegs(stmt)
+	if err != nil {
+		return nil, err
+	}
 
 	// Column pruning (batch mode only): a pick-projection over the scan
 	// shares column vectors for free, and every later gather then touches
@@ -190,23 +303,8 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 		}
 	}
 
-	where := stmt.Where
-	if where != nil && db.Opt.ConstantFolding {
-		where = foldConstants(where)
-	}
-
 	// Predicate pushdown: single-table conjuncts attach to their leg.
-	var residual []Expr
-	if where != nil {
-		for _, c := range splitConjuncts(where) {
-			leg := db.soleLeg(c, legs)
-			if db.Opt.Pushdown && leg != nil {
-				leg.filter = append(leg.filter, c)
-			} else {
-				residual = append(residual, c)
-			}
-		}
-	}
+	residual := db.splitWhere(stmt, legs)
 
 	// Build scans (with pushed filters) per leg.
 	legOps := make([]execNode, len(legs))
@@ -214,7 +312,6 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	for i, leg := range legs {
 		n := lw.scan(leg.rel)
 		p.TaggedOps["scan:"+leg.alias] = lw.op(n)
-		size := leg.rel.Len()
 		if leg.prune != nil {
 			exprs := make([]relational.Projector, len(leg.prune))
 			picks := make([]int, len(leg.prune))
@@ -238,12 +335,10 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 			}
 			n = filtered
 			p.TaggedOps["pushdown:"+leg.alias] = lw.op(n)
-			// Crude selectivity estimate for build-side choice.
-			size = size / (2 * len(leg.filter))
 			p.Steps = append(p.Steps, fmt.Sprintf("pushdown filter on %s: %s", leg.alias, joinConjuncts(leg.filter).Render()))
 		}
 		legOps[i] = n
-		legSizes[i] = size
+		legSizes[i] = legSizeEstimate(leg)
 		p.Steps = append(p.Steps, fmt.Sprintf("scan %s as %s (%d rows)", leg.rel.Name, leg.alias, leg.rel.Len()))
 	}
 
@@ -266,11 +361,10 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 		}
 		build, probe := cur, legOps[ji+1]
 		buildCol, probeCol := leftCol, rightCol
-		swapped := false
-		if db.Opt.BuildSideSwap && legSizes[ji+1] < curSize {
+		swapped := db.buildOnRight(legSizes[ji+1], curSize)
+		if swapped {
 			build, probe = legOps[ji+1], cur
 			buildCol, probeCol = rightCol, leftCol
-			swapped = true
 		}
 		joined, err := lw.hashJoin(build, probe, buildCol, probeCol)
 		if err != nil {
@@ -292,10 +386,7 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 		curScope.addTable(leg.alias, leg.schema, curWidth)
 		curWidth += rightWidth
 		cur = joined
-		curSize = curSize * max(1, legSizes[ji+1]) / max(1, leg.rel.Len())
-		if curSize < 1 {
-			curSize = 1
-		}
+		curSize = advanceJoinSize(curSize, legSizes[ji+1], leg.rel.Len())
 
 		// Non-equi residue of the ON clause.
 		if rest != nil {
@@ -327,14 +418,22 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	return db.planSimple(stmt, p, lw, cur, curScope)
 }
 
+// starItems expands SELECT * into one item per visible column (appended
+// to any explicit items).
+func starItems(stmt *SelectStmt, sc *scope) []SelectItem {
+	items := stmt.Items
+	for _, e := range sc.entries {
+		items = append(items, SelectItem{E: &ColRef{Table: e.qualifier, Name: e.name}})
+	}
+	return items
+}
+
 // planSimple handles queries without aggregation: sort (over input
 // expressions), project, limit.
 func (db *DB) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
 	items := stmt.Items
 	if stmt.Star {
-		for _, e := range sc.entries {
-			items = append(items, SelectItem{E: &ColRef{Table: e.qualifier, Name: e.name}})
-		}
+		items = starItems(stmt, sc)
 	}
 
 	// ORDER BY before projection: keys evaluate over the input scope.
@@ -364,47 +463,53 @@ func (db *DB) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode
 	return p, nil
 }
 
-// planAggregate handles GROUP BY / aggregate queries: pre-project group
-// keys and aggregate arguments, aggregate, then sort/project/limit over
-// the aggregated scope.
-func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
-	if stmt.Star {
-		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
-	}
-	// Gather distinct aggregates across select items, HAVING and ORDER BY.
+// aggPlan is the compiled shape of an aggregation: the pre-projection
+// feeding the aggregate (group expressions then aggregate arguments) and
+// the aggregate specs plus the result types the post-aggregation scope
+// binds. Both planners build it once and lower it differently — the
+// single-node path into one BatchGroupAgg, the distributed path into
+// per-shard partials with a coordinator merge.
+type aggPlan struct {
+	aggs       []*AggExpr
+	preSchema  relational.Schema
+	preExprs   []relational.Projector
+	prePicks   []int
+	groupCols  []int
+	groupTypes []valType
+	aggSpecs   []relational.AggSpec
+	aggTypes   []valType
+}
+
+// buildAggPlan gathers the statement's distinct aggregates and compiles
+// the pre-projection against sc.
+func buildAggPlan(stmt *SelectStmt, sc *scope, childSchema relational.Schema) (*aggPlan, error) {
+	ap := &aggPlan{}
 	aggSeen := map[string]*AggExpr{}
-	var aggs []*AggExpr
 	for _, it := range stmt.Items {
-		collectAggs(it.E, aggSeen, &aggs)
+		collectAggs(it.E, aggSeen, &ap.aggs)
 	}
 	if stmt.Having != nil {
-		collectAggs(stmt.Having, aggSeen, &aggs)
+		collectAggs(stmt.Having, aggSeen, &ap.aggs)
 	}
 	for _, o := range stmt.OrderBy {
-		collectAggs(o.E, aggSeen, &aggs)
+		collectAggs(o.E, aggSeen, &ap.aggs)
 	}
 
-	// Pre-projection: group exprs then aggregate arguments.
-	childSchema := schemaOf(cur)
-	var preSchema relational.Schema
-	var preExprs []relational.Projector
-	var prePicks []int
-	groupCols := make([]int, len(stmt.GroupBy))
-	groupTypes := make([]valType, len(stmt.GroupBy))
+	ap.groupCols = make([]int, len(stmt.GroupBy))
+	ap.groupTypes = make([]valType, len(stmt.GroupBy))
 	for i, g := range stmt.GroupBy {
 		c, err := sc.compile(g)
 		if err != nil {
 			return nil, err
 		}
-		groupCols[i] = i
-		groupTypes[i] = c.typ
-		preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("g%d", i), Type: toRelType(c.typ)})
-		preExprs = append(preExprs, c.eval)
-		prePicks = append(prePicks, passthroughIdx(sc, g, childSchema))
+		ap.groupCols[i] = i
+		ap.groupTypes[i] = c.typ
+		ap.preSchema = append(ap.preSchema, relational.Column{Name: fmt.Sprintf("g%d", i), Type: toRelType(c.typ)})
+		ap.preExprs = append(ap.preExprs, c.eval)
+		ap.prePicks = append(ap.prePicks, passthroughIdx(sc, g, childSchema))
 	}
-	var aggSpecs []relational.AggSpec
-	aggTypes := make([]valType, len(aggs))
-	for i, a := range aggs {
+	ap.aggTypes = make([]valType, len(ap.aggs))
+	for i, a := range ap.aggs {
 		col := -1
 		argT := tInt
 		if !a.Star {
@@ -418,53 +523,77 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execN
 			if (a.Fn == "sum" || a.Fn == "avg") && c.typ == tString {
 				return nil, fmt.Errorf("sql: %s over string expression", a.Fn)
 			}
-			col = len(preSchema)
+			col = len(ap.preSchema)
 			argT = c.typ
-			preSchema = append(preSchema, relational.Column{Name: fmt.Sprintf("a%d", i), Type: toRelType(c.typ)})
-			preExprs = append(preExprs, c.eval)
-			prePicks = append(prePicks, passthroughIdx(sc, a.Arg, childSchema))
+			ap.preSchema = append(ap.preSchema, relational.Column{Name: fmt.Sprintf("a%d", i), Type: toRelType(c.typ)})
+			ap.preExprs = append(ap.preExprs, c.eval)
+			ap.prePicks = append(ap.prePicks, passthroughIdx(sc, a.Arg, childSchema))
 		}
 		fn := map[string]relational.AggFn{
 			"count": relational.CountAgg, "sum": relational.SumAgg,
 			"avg": relational.AvgAgg, "min": relational.MinAgg, "max": relational.MaxAgg,
 		}[a.Fn]
-		aggSpecs = append(aggSpecs, relational.AggSpec{Fn: fn, Col: col, Name: a.Render()})
+		ap.aggSpecs = append(ap.aggSpecs, relational.AggSpec{Fn: fn, Col: col, Name: a.Render()})
 		switch a.Fn {
 		case "count":
-			aggTypes[i] = tInt
+			ap.aggTypes[i] = tInt
 		case "avg":
-			aggTypes[i] = tFloat
+			ap.aggTypes[i] = tFloat
 		default:
-			aggTypes[i] = argT
+			ap.aggTypes[i] = argT
 		}
 	}
-	pre, err := lw.project(cur, preSchema, preExprs, prePicks)
+	return ap, nil
+}
+
+// postScope binds group expressions and aggregates (by rendering) to the
+// aggregate output columns.
+func (ap *aggPlan) postScope(stmt *SelectStmt) *scope {
+	post := &scope{exprBind: map[string]boundExpr{}}
+	for i, g := range stmt.GroupBy {
+		post.exprBind[g.Render()] = boundExpr{index: i, typ: ap.groupTypes[i]}
+		// A bare group-by column is also addressable unqualified.
+		if cr, ok := g.(*ColRef); ok && cr.Table != "" {
+			post.exprBind[(&ColRef{Name: cr.Name}).Render()] = boundExpr{index: i, typ: ap.groupTypes[i]}
+		}
+	}
+	aggOutBase := len(stmt.GroupBy)
+	for i, a := range ap.aggs {
+		post.exprBind[a.Render()] = boundExpr{index: aggOutBase + i, typ: ap.aggTypes[i]}
+	}
+	return post
+}
+
+// planAggregate handles GROUP BY / aggregate queries: pre-project group
+// keys and aggregate arguments, aggregate, then sort/project/limit over
+// the aggregated scope.
+func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+	}
+	ap, err := buildAggPlan(stmt, sc, schemaOf(cur))
 	if err != nil {
 		return nil, err
 	}
-	agg, err := lw.groupAgg(pre, groupCols, aggSpecs)
+	pre, err := lw.project(cur, ap.preSchema, ap.preExprs, ap.prePicks)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := lw.groupAgg(pre, ap.groupCols, ap.aggSpecs)
 	if err != nil {
 		return nil, err
 	}
 	p.TaggedOps["agg"] = lw.op(agg)
-	p.Steps = append(p.Steps, fmt.Sprintf("aggregate (%d group cols, %d aggregates)", len(groupCols), len(aggSpecs)))
+	p.Steps = append(p.Steps, fmt.Sprintf("aggregate (%d group cols, %d aggregates)", len(ap.groupCols), len(ap.aggSpecs)))
+	return db.finishAggregate(stmt, p, lw, agg, ap)
+}
 
-	// Post-aggregation scope: group exprs and aggregates bound by
-	// rendering.
-	post := &scope{exprBind: map[string]boundExpr{}}
-	for i, g := range stmt.GroupBy {
-		post.exprBind[g.Render()] = boundExpr{index: i, typ: groupTypes[i]}
-		// A bare group-by column is also addressable unqualified.
-		if cr, ok := g.(*ColRef); ok && cr.Table != "" {
-			post.exprBind[(&ColRef{Name: cr.Name}).Render()] = boundExpr{index: i, typ: groupTypes[i]}
-		}
-	}
-	aggOutBase := len(stmt.GroupBy)
-	for i, a := range aggs {
-		post.exprBind[a.Render()] = boundExpr{index: aggOutBase + i, typ: aggTypes[i]}
-	}
-
-	cur2 := agg
+// finishAggregate plans everything above the aggregate: HAVING, ORDER BY,
+// projection and LIMIT over the post-aggregation scope. The distributed
+// planner reuses it at the coordinator, over the merged partials.
+func (db *DB) finishAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur2 execNode, ap *aggPlan) (*Planned, error) {
+	post := ap.postScope(stmt)
+	var err error
 	if stmt.Having != nil {
 		cur2, err = lw.filter(cur2, post, stmt.Having)
 		if err != nil {
@@ -510,6 +639,44 @@ func pickProjector(idx int) relational.Projector {
 	return func(r relational.Row) (relational.Value, error) { return r[idx], nil }
 }
 
+// compileOrderKeys resolves and compiles ORDER BY items against sc, with
+// aliases and 1-based positions resolving through the select items. It
+// returns the key columns to materialize (types named sortkey<i>), their
+// projectors and pass-through picks, and each key's direction — the
+// single-node sort and the distributed pre-shuffle widening share it.
+func compileOrderKeys(order []OrderItem, items []SelectItem, sc *scope, childSchema relational.Schema) ([]relational.Column, []relational.Projector, []int, []bool, error) {
+	var cols []relational.Column
+	var exprs []relational.Projector
+	var picks []int
+	var descs []bool
+	for ki, o := range order {
+		e := o.E
+		// Position (ORDER BY 2) and alias resolution.
+		if lit, ok := e.(*IntLit); ok {
+			if lit.V < 1 || int(lit.V) > len(items) {
+				return nil, nil, nil, nil, fmt.Errorf("sql: ORDER BY position %d out of range", lit.V)
+			}
+			e = items[lit.V-1].E
+		} else if cr, ok := e.(*ColRef); ok && cr.Table == "" {
+			for _, it := range items {
+				if it.Alias == cr.Name {
+					e = it.E
+					break
+				}
+			}
+		}
+		c, err := sc.compile(e)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		cols = append(cols, relational.Column{Name: fmt.Sprintf("sortkey%d", ki), Type: toRelType(c.typ)})
+		exprs = append(exprs, c.eval)
+		picks = append(picks, passthroughIdx(sc, e, childSchema))
+		descs = append(descs, o.Desc)
+	}
+	return cols, exprs, picks, descs, nil
+}
+
 // sortOver plans a sort whose keys are ORDER BY items resolved against
 // sc, with aliases and 1-based positions resolving through the select
 // items.
@@ -525,31 +692,16 @@ func (db *DB) sortOver(lw *lowerer, order []OrderItem, items []SelectItem, child
 		exprs[i] = pickProjector(i)
 		picks[i] = i
 	}
+	keyCols, keyExprs, keyPicks, descs, err := compileOrderKeys(order, items, sc, childSchema)
+	if err != nil {
+		return execNode{}, err
+	}
 	var keys []relational.SortKey
-	for ki, o := range order {
-		e := o.E
-		// Position (ORDER BY 2) and alias resolution.
-		if lit, ok := e.(*IntLit); ok {
-			if lit.V < 1 || int(lit.V) > len(items) {
-				return execNode{}, fmt.Errorf("sql: ORDER BY position %d out of range", lit.V)
-			}
-			e = items[lit.V-1].E
-		} else if cr, ok := e.(*ColRef); ok && cr.Table == "" {
-			for _, it := range items {
-				if it.Alias == cr.Name {
-					e = it.E
-					break
-				}
-			}
-		}
-		c, err := sc.compile(e)
-		if err != nil {
-			return execNode{}, err
-		}
-		schema = append(schema, relational.Column{Name: fmt.Sprintf("sortkey%d", ki), Type: toRelType(c.typ)})
-		exprs = append(exprs, c.eval)
-		picks = append(picks, passthroughIdx(sc, e, childSchema))
-		keys = append(keys, relational.SortKey{Col: width + ki, Desc: o.Desc})
+	for ki := range keyCols {
+		schema = append(schema, keyCols[ki])
+		exprs = append(exprs, keyExprs[ki])
+		picks = append(picks, keyPicks[ki])
+		keys = append(keys, relational.SortKey{Col: width + ki, Desc: descs[ki]})
 	}
 	widened, err := lw.project(child, schema, exprs, picks)
 	if err != nil {
@@ -570,20 +722,30 @@ func (db *DB) sortOver(lw *lowerer, order []OrderItem, items []SelectItem, child
 	return lw.project(sorted, stripSchema, stripExprs, stripPicks)
 }
 
-// projectItems builds the final projection.
-func projectItems(lw *lowerer, items []SelectItem, sc *scope, child execNode) (execNode, error) {
-	childSchema := schemaOf(child)
+// compileItems compiles the select items against sc into the output
+// schema, projectors and pass-through picks.
+func compileItems(items []SelectItem, sc *scope, childSchema relational.Schema) (relational.Schema, []relational.Projector, []int, error) {
 	var schema relational.Schema
 	var exprs []relational.Projector
 	var picks []int
 	for _, it := range items {
 		c, err := sc.compile(it.E)
 		if err != nil {
-			return execNode{}, err
+			return nil, nil, nil, err
 		}
 		schema = append(schema, relational.Column{Name: it.OutputName(), Type: toRelType(c.typ)})
 		exprs = append(exprs, c.eval)
 		picks = append(picks, passthroughIdx(sc, it.E, childSchema))
+	}
+	return schema, exprs, picks, nil
+}
+
+// projectItems builds the final projection.
+func projectItems(lw *lowerer, items []SelectItem, sc *scope, child execNode) (execNode, error) {
+	childSchema := schemaOf(child)
+	schema, exprs, picks, err := compileItems(items, sc, childSchema)
+	if err != nil {
+		return execNode{}, err
 	}
 	return lw.project(child, schema, exprs, picks)
 }

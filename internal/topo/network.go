@@ -207,3 +207,17 @@ func (p Path) MinSpeed(n *Network) GbE {
 	}
 	return min
 }
+
+// TransferSeconds prices a bulk transfer of the given size along the path
+// assuming sole use of the bottleneck link: serialization at the minimum
+// link speed plus the summed per-hop delay. Planners use it as the
+// contention-free lower bound when choosing between data-movement plans
+// (e.g. broadcast vs repartition joins); the flow simulator then charges
+// the real, contended cost.
+func (p Path) TransferSeconds(n *Network, bytes float64) float64 {
+	t := p.DelayNS(n) * 1e-9
+	if bytes <= 0 || len(p.LinkIDs) == 0 {
+		return t
+	}
+	return t + bytes/p.MinSpeed(n).BytesPerSec()
+}
