@@ -8,6 +8,7 @@ package repro
 // real building-block implementations follow at the bottom.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -413,6 +414,70 @@ func benchSQLDistributed(b *testing.B, q string) {
 func BenchmarkSQLDistributedScan(b *testing.B)    { benchSQLDistributed(b, sqlScanQuery) }
 func BenchmarkSQLDistributedJoin(b *testing.B)    { benchSQLDistributed(b, sqlJoinQuery) }
 func BenchmarkSQLDistributedGroupBy(b *testing.B) { benchSQLDistributed(b, sqlGroupByQuery) }
+
+// ---------------------------------------------------------------------
+// Concurrent sessions on one shared fabric: N sessions fire the same
+// join query simultaneously at a 4-shard engine whose single network
+// simulator admits all of their flows together. net_µs/query is the mean
+// per-query simulated network time — watch it degrade as sessions are
+// added, which is the multi-query fabric interference the Engine API
+// exists to model. (Wall time additionally reflects real compute
+// parallelism across the session goroutines.)
+
+var sqlConcBenchEngine = sync.OnceValue(func() *sql.Engine {
+	cfg := sql.DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = 4
+	cfg.Topology = "single"
+	eng, err := sql.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	sql.RegisterDemo(eng, 42, 1<<18, 2000)
+	return eng
+})
+
+func benchSQLConcurrent(b *testing.B, sessions int) {
+	b.Helper()
+	eng := sqlConcBenchEngine()
+	ctx := context.Background()
+	var netSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Fabric().Expect(sessions)
+		secs := make([]float64, sessions)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				res, err := eng.Session().Query(ctx, sqlJoinQuery)
+				if err != nil {
+					errs[s] = err
+					eng.Fabric().Withdraw() // keep siblings off a dead barrier
+					return
+				}
+				secs[s] = res.Net.NetSeconds
+			}(s)
+		}
+		wg.Wait()
+		total := 0.0
+		for s := 0; s < sessions; s++ {
+			if errs[s] != nil {
+				b.Fatal(errs[s])
+			}
+			total += secs[s]
+		}
+		netSec = total / float64(sessions)
+	}
+	b.ReportMetric(netSec*1e6, "net_µs/query")
+	b.ReportMetric(float64(sessions), "sessions")
+}
+
+func BenchmarkSQLConcurrent1(b *testing.B)  { benchSQLConcurrent(b, 1) }
+func BenchmarkSQLConcurrent4(b *testing.B)  { benchSQLConcurrent(b, 4) }
+func BenchmarkSQLConcurrent16(b *testing.B) { benchSQLConcurrent(b, 16) }
 
 func BenchmarkMapReduceWordCount(b *testing.B) {
 	docs := workload.Corpus(5, 200, 200, 1000)

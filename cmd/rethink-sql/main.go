@@ -1,11 +1,16 @@
 // Command rethink-sql runs SQL queries against the synthetic star schema
-// (sales × customers) on the internal relational engine.
+// (sales × customers) on the internal relational engine, through the
+// Engine/Session API.
 //
 // Queries run on the morsel-parallel batch engine by default; -serial
 // selects the volcano row-at-a-time engine for comparison, and -dist
 // executes shard-parallel across a simulated datacenter fabric, printing
 // the simulated network cost (bytes shuffled, flow time, link
-// utilization) after each result.
+// utilization) after each result. With -concurrency N the query list is
+// executed by N parallel sessions against the engine's one shared
+// fabric, and the per-query network times show the contention; an
+// aggregate fabric report (admission rounds, peak coexisting queries and
+// flows, hot-link utilization) closes the run.
 //
 // Usage:
 //
@@ -13,13 +18,19 @@
 //	rethink-sql -explain "SELECT ... "
 //	rethink-sql -serial "SELECT ... "
 //	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
-//	rethink-sql            # runs a demo query set
+//	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
+//	rethink-sql -timeout 100ms "SELECT ... "        # context cancellation
+//	rethink-sql                                     # runs a demo query set
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/relational"
@@ -40,16 +51,24 @@ func main() {
 	topology := flag.String("topo", "leafspine", "distributed fabric: leafspine, single, fattree, torus")
 	distJoin := flag.String("dist-join", "auto", "distributed join movement: auto, broadcast, repartition")
 	hashShard := flag.Bool("hash-shard", false, "hash-partition tables instead of range partitioning")
+	concurrency := flag.Int("concurrency", 1, "parallel sessions executing the query list against the shared fabric")
+	timeout := flag.Duration("timeout", 0, "per-query context timeout (0 = none)")
 	flag.Parse()
 
-	db := sql.DemoDB(*seed, *rows, *customers)
-	db.Opt.Parallel = !*serial
-	db.Opt.Workers = *workers
-	db.Opt.Distributed = *distMode
-	db.Opt.Shards = *shards
-	db.Opt.Topology = *topology
-	db.Opt.DistJoin = *distJoin
-	db.Opt.ShardHash = *hashShard
+	cfg := sql.DefaultConfig()
+	cfg.Parallel = !*serial
+	cfg.Workers = *workers
+	cfg.Distributed = *distMode
+	cfg.Shards = *shards
+	cfg.Topology = *topology
+	cfg.DistJoin = *distJoin
+	cfg.ShardHash = *hashShard
+	eng, err := sql.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql.RegisterDemo(eng, *seed, *rows, *customers)
+
 	queries := flag.Args()
 	if len(queries) == 0 {
 		queries = []string{
@@ -58,29 +77,111 @@ func main() {
 			"SELECT product, MAX(price) AS top_price FROM sales WHERE year >= 2014 GROUP BY product ORDER BY top_price DESC LIMIT 5",
 		}
 	}
-	for _, q := range queries {
-		fmt.Printf("sql> %s\n", q)
-		plan, err := db.Plan(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *explain {
-			fmt.Println(plan.Explain())
+
+	if *explain {
+		sess := eng.Session()
+		for _, q := range queries {
+			fmt.Printf("sql> %s\n", q)
+			plan, err := sess.Explain(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(plan)
 			fmt.Println()
-			continue
 		}
-		res, err := relational.Collect(plan.Root, "result")
+		return
+	}
+
+	if *concurrency <= 1 {
+		sess := eng.Session()
+		for _, q := range queries {
+			out, err := runOne(sess, q, *timeout)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(out)
+		}
+		return
+	}
+
+	// Concurrent mode: n sessions drain the query list in parallel. With
+	// a distributed engine they share its one fabric; the admission
+	// barrier guarantees the first wave of queries actually coexists.
+	n := *concurrency
+	if n > len(queries) {
+		n = len(queries)
+	}
+	if fab := eng.Fabric(); fab != nil {
+		fab.Expect(n)
+	}
+	work := make(chan string, len(queries))
+	for _, q := range queries {
+		work <- q
+	}
+	close(work)
+	outputs := make([]string, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := eng.Session()
+			var b strings.Builder
+			for q := range work {
+				out, err := runOne(sess, q, *timeout)
+				if err != nil {
+					errs[i] = err
+					// This session dies before (or between) fabric
+					// registrations; release its Expect slot so the
+					// surviving sessions' admission barrier resolves.
+					if fab := eng.Fabric(); fab != nil {
+						fab.Withdraw()
+					}
+					return
+				}
+				b.WriteString(out)
+			}
+			outputs[i] = b.String()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(renderRelation(res))
-		if stats := plan.NetStats(); stats != nil {
-			fmt.Println(stats.Summary())
-			fmt.Printf("  (%s over the fabric in %s)\n",
-				metrics.FormatBytes(stats.BytesShuffled), metrics.FormatSeconds(stats.NetSeconds))
-		}
-		fmt.Println()
 	}
+	for _, out := range outputs {
+		fmt.Print(out)
+	}
+	if fab := eng.Fabric(); fab != nil {
+		fmt.Printf("== aggregate contention (%d sessions) ==\n%s\n", n, fab.Stats().Summary())
+	}
+}
+
+// runOne executes one query on the session and renders its result block.
+func runOne(sess *sql.Session, q string, timeout time.Duration) (string, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := sess.Query(ctx, q)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", q, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sql> %s\n", q)
+	b.WriteString(renderRelation(res.Rows))
+	if res.Net != nil {
+		b.WriteString(res.Net.Summary())
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  (%s over the fabric in %s)\n",
+			metrics.FormatBytes(res.Net.BytesShuffled), metrics.FormatSeconds(res.Net.NetSeconds))
+	}
+	b.WriteByte('\n')
+	return b.String(), nil
 }
 
 func renderRelation(rel *relational.Relation) string {

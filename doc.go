@@ -7,12 +7,17 @@
 // the roadmap process itself (survey corpus → findings → prioritized
 // recommendations) — implemented as libraries under internal/, exercised
 // by the experiment harnesses in internal/experiments, and reproduced as
-// benchmarks in bench_test.go. The SQL layer executes on a
-// morsel-parallel, batch-at-a-time engine (internal/relational) whose
-// inner loops delegate to the accelerator building blocks in
-// internal/kernels, and scales out shard-parallel across the simulated
-// datacenter fabrics (internal/dist over internal/topo + internal/netsim),
-// charging every broadcast, shuffle and gather as simulated network
-// flows. See README.md for the package map and build, test and benchmark
+// benchmarks in bench_test.go. The SQL layer is entered through the
+// Engine/Session API (sql.NewEngine, Engine.Session, Session.Prepare /
+// Query with context cancellation): it executes on a morsel-parallel,
+// batch-at-a-time engine (internal/relational) whose inner loops
+// delegate to the accelerator building blocks in internal/kernels, and
+// scales out shard-parallel across the simulated datacenter fabrics
+// (internal/dist over internal/topo + internal/netsim), charging every
+// broadcast, shuffle and gather as simulated network flows on the
+// engine's one shared simulator — so concurrent sessions contend for
+// the fabric exactly as the roadmap's multi-query interference argument
+// requires. See README.md for the package map, the migration table from
+// the deprecated DB/Options API, and build, test and benchmark
 // instructions.
 package repro

@@ -9,12 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/dist"
 	"repro/internal/metrics"
-	"repro/internal/relational"
 	"repro/internal/sql"
 )
 
@@ -23,8 +23,27 @@ const (
 	customers = 800
 )
 
+// engine builds a fresh distributed engine over the demo catalog.
+func engine(cfg sql.Config) *sql.Engine {
+	eng, err := sql.NewEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql.RegisterDemo(eng, 42, rows, customers)
+	return eng
+}
+
+func distConfig(topology string, shards int) sql.Config {
+	cfg := sql.DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = shards
+	cfg.Topology = topology
+	return cfg
+}
+
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 	queries := []struct{ name, q string }{
 		{"filter+topk", "SELECT order_id, price FROM sales WHERE year >= 2014 ORDER BY price DESC LIMIT 10"},
 		{"groupby", "SELECT region, COUNT(*) AS n, SUM(price) AS revenue FROM sales GROUP BY region ORDER BY revenue DESC"},
@@ -35,12 +54,9 @@ func main() {
 	tbl := metrics.NewTable("per-query network cost by topology",
 		"query", "topology", "flows", "bytes shuffled", "net time", "max link util")
 	for _, topo := range []string{"single", "leafspine", "fattree", "torus"} {
-		db := sql.DemoDB(42, rows, customers)
-		db.Opt.Distributed = true
-		db.Opt.Shards = 4
-		db.Opt.Topology = topo
+		sess := engine(distConfig(topo, 4)).Session()
 		for _, q := range queries {
-			stats := mustRun(db, q.q)
+			stats := mustRun(ctx, sess, q.q)
 			tbl.AddRow(q.name, topo, fmt.Sprint(stats.Flows),
 				metrics.FormatBytes(stats.BytesShuffled),
 				metrics.FormatSeconds(stats.NetSeconds),
@@ -53,12 +69,13 @@ func main() {
 	tbl2 := metrics.NewTable("movement strategy vs shard count",
 		"shards", "movement", "flows", "bytes shuffled", "net time")
 	for _, shards := range []int{2, 4, 8} {
+		eng := engine(distConfig("leafspine", shards))
 		for _, strat := range []string{"auto", "broadcast", "repartition"} {
-			db := sql.DemoDB(42, rows, customers)
-			db.Opt.Distributed = true
-			db.Opt.Shards = shards
-			db.Opt.DistJoin = strat
-			stats := mustRun(db, queries[2].q)
+			// A per-session override: the same engine serves all three
+			// movement strategies.
+			sess := eng.Session()
+			sess.DistJoin = strat
+			stats := mustRun(ctx, sess, queries[2].q)
 			tbl2.AddRow(fmt.Sprint(shards), strat, fmt.Sprint(stats.Flows),
 				metrics.FormatBytes(stats.BytesShuffled),
 				metrics.FormatSeconds(stats.NetSeconds))
@@ -68,25 +85,23 @@ func main() {
 
 	// Cross-check: the distributed result equals the single-node engine's,
 	// row for row.
-	single := sql.DemoDB(42, rows, customers)
-	want, err := single.Query(queries[2].q)
+	single, err := engine(sql.DefaultConfig()).Session().Query(ctx, queries[2].q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	db := sql.DemoDB(42, rows, customers)
-	db.Opt.Distributed = true
-	db.Opt.Shards = 8
-	db.Opt.ShardHash = true
-	got, err := db.Query(queries[2].q)
+	want := single.Rows
+	cfg := distConfig("leafspine", 8)
+	cfg.ShardHash = true
+	got, err := engine(cfg).Session().Query(ctx, queries[2].q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if want.Len() != got.Len() {
-		log.Fatalf("distributed result diverged: %d vs %d rows", want.Len(), got.Len())
+	if want.Len() != got.Rows.Len() {
+		log.Fatalf("distributed result diverged: %d vs %d rows", want.Len(), got.Rows.Len())
 	}
 	for i := range want.Rows {
 		for j := range want.Rows[i] {
-			a, b := want.Rows[i][j], got.Rows[i][j]
+			a, b := want.Rows[i][j], got.Rows.Rows[i][j]
 			diff := a.F - b.F
 			if diff < 0 {
 				diff = -diff
@@ -108,13 +123,10 @@ func main() {
 	fmt.Println("\ncross-check: 8-shard hash-partitioned output is row-for-row identical to the single-node engine")
 }
 
-func mustRun(db *sql.DB, q string) *dist.QueryStats {
-	plan, err := db.Plan(q)
+func mustRun(ctx context.Context, sess *sql.Session, q string) *dist.QueryStats {
+	res, err := sess.Query(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := relational.Collect(plan.Root, "result"); err != nil {
-		log.Fatal(err)
-	}
-	return plan.NetStats()
+	return res.Net
 }

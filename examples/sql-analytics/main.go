@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -21,46 +22,70 @@ func main() {
 		salesRows = 30000
 		customers = 400
 	)
+	ctx := context.Background()
 
-	// --- Declarative: SQL with the optimizer on.
-	db := sql.DemoDB(seed, salesRows, customers)
+	// --- Declarative: SQL with the optimizer on, through Engine/Session.
+	eng, err := sql.NewEngine(sql.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sql.RegisterDemo(eng, seed, salesRows, customers)
 	query := `SELECT c.segment, SUM(s.price * (1 - s.discount)) AS revenue
 	          FROM sales s JOIN customers c ON s.customer_id = c.customer_id
 	          WHERE s.year >= 2012
 	          GROUP BY c.segment ORDER BY revenue DESC`
-	plan, err := db.Plan(query)
+	// Prepare once: the same statement re-executes below on demand.
+	stmt, err := eng.Session().Prepare(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stmt.Exec(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("EXPLAIN:")
-	fmt.Println(plan.Explain())
-	res, err := db.Query(query)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println(res.Explain())
 	fmt.Println("\nSQL result:")
 	sqlRev := map[string]float64{}
-	for _, row := range res.Rows {
+	for _, row := range res.Rows.Rows {
 		fmt.Printf("  %-12s %12.2f\n", row[0].S, row[1].F)
 		sqlRev[row[0].S] = row[1].F
 	}
+	fmt.Printf("\noperator stats: scanned %d sales rows, aggregated to %d groups\n",
+		res.Ops["scan:s"].RowsOut, res.Ops["agg"].RowsOut)
 
 	// --- Same query on the serial row engine: the batch engine must agree.
-	serialDB := sql.DemoDB(seed, salesRows, customers)
-	serialDB.Opt.Parallel = false
-	serialRes, err := serialDB.Query(query)
+	serialCfg := sql.DefaultConfig()
+	serialCfg.Parallel = false
+	serialEng, err := sql.NewEngine(serialCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(serialRes.Rows) != len(res.Rows) {
-		log.Fatalf("engine mismatch: %d parallel rows vs %d serial rows", len(res.Rows), len(serialRes.Rows))
+	sql.RegisterDemo(serialEng, seed, salesRows, customers)
+	serialRes, err := serialEng.Session().Query(ctx, query)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i, row := range serialRes.Rows {
-		if row[0].S != res.Rows[i][0].S || math.Abs(row[1].F-res.Rows[i][1].F) > 1e-6*math.Abs(row[1].F) {
-			log.Fatalf("engine mismatch at row %d: %v vs %v", i, res.Rows[i], row)
+	if serialRes.Rows.Len() != res.Rows.Len() {
+		log.Fatalf("engine mismatch: %d parallel rows vs %d serial rows", res.Rows.Len(), serialRes.Rows.Len())
+	}
+	for i, row := range serialRes.Rows.Rows {
+		if row[0].S != res.Rows.Rows[i][0].S || math.Abs(row[1].F-res.Rows.Rows[i][1].F) > 1e-6*math.Abs(row[1].F) {
+			log.Fatalf("engine mismatch at row %d: %v vs %v", i, res.Rows.Rows[i], row)
 		}
 	}
-	fmt.Println("\nbatch engine matches row-at-a-time engine ✓")
+	fmt.Println("batch engine matches row-at-a-time engine ✓")
+
+	// --- Prepared statements re-execute with fresh stats every run.
+	again, err := stmt.Exec(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if again.Rows.Len() != res.Rows.Len() || again.Ops["scan:s"].RowsOut != res.Ops["scan:s"].RowsOut {
+		log.Fatalf("prepared re-execution diverged: %d rows, %d scanned",
+			again.Rows.Len(), again.Ops["scan:s"].RowsOut)
+	}
+	fmt.Println("prepared statement re-executed with fresh stats ✓")
 
 	// --- The same analytics as an explicit dataflow pipeline.
 	sales := workload.Sales(seed, salesRows, customers)

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/netsim"
+	"repro/internal/relational"
 	"repro/internal/topo"
 )
 
@@ -177,64 +178,117 @@ func (s *QueryStats) Summary() string {
 	return b.String()
 }
 
+// dirKey identifies one direction of a link for per-query accounting.
+type dirKey struct {
+	link    int
+	forward bool
+}
+
 // QueryRun charges the data movements of one query as netsim flows over
-// the cluster fabric. Phases run sequentially on the simulator's virtual
-// clock; flows within a phase contend under max-min fairness.
+// the cluster fabric. Phases run sequentially from the query's point of
+// view; on a shared Fabric, a phase's flows are admitted in a round
+// together with whatever other queries are moving data at the same time,
+// and contend with them under max-min fairness. The per-query stats
+// attribute only this query's bytes to links, windowed over this query's
+// own network time.
 type QueryRun struct {
-	c     *Cluster
-	sim   *netsim.Simulator
-	stats *QueryStats
+	c      *Cluster
+	fab    *Fabric
+	party  *netsim.Party
+	cancel *relational.CancelToken
+	stats  *QueryStats
+	link   map[dirKey]float64
+	closed bool
 }
 
-// NewQuery starts a fresh flow-accounting run for one query.
+// NewQuery starts a flow-accounting run for one query on a private
+// fabric. Engines sharing a fabric across queries register through
+// Fabric.NewQuery instead; this entry point keeps single-query callers
+// (tests, one-shot tools) working without managing a Fabric.
 func (c *Cluster) NewQuery() *QueryRun {
-	return &QueryRun{
-		c:     c,
-		sim:   netsim.NewSimulator(c.Net),
-		stats: &QueryStats{Shards: c.Shards(), Topology: c.Topology},
-	}
+	return NewFabric(c).NewQuery()
 }
 
-// RunPhase injects one flow per transfer at the current virtual time,
-// runs the simulator until all complete, and records the phase makespan.
+// RunPhase submits one flow per transfer for admission, blocks until the
+// round containing them completes, and records the phase makespan.
 // Transfers with no bytes or with identical endpoints are skipped (data
 // that stays on its host does not cross the fabric).
 func (q *QueryRun) RunPhase(name string, transfers []Transfer) error {
-	// Deterministic flow injection order: netsim allocates rates in flow-ID
-	// order, so transfer order must not depend on map iteration upstream.
+	if err := q.cancel.Err(); err != nil {
+		return fmt.Errorf("dist: phase %s: %w", name, err)
+	}
+	// Deterministic flow submission order: netsim allocates rates in
+	// flow-ID order, so transfer order must not depend on map iteration
+	// upstream.
 	sort.SliceStable(transfers, func(i, j int) bool {
 		if transfers[i].Src != transfers[j].Src {
 			return transfers[i].Src < transfers[j].Src
 		}
 		return transfers[i].Dst < transfers[j].Dst
 	})
-	start := q.sim.Engine.Now()
-	n, bytes := 0, 0.0
+	var reqs []netsim.FlowReq
+	bytes := 0.0
 	for _, t := range transfers {
 		if t.Bytes <= 0 || q.c.host(t.Src) == q.c.host(t.Dst) {
 			continue
 		}
-		if _, err := q.sim.StartFlow(q.c.host(t.Src), q.c.host(t.Dst), t.Bytes); err != nil {
-			return fmt.Errorf("dist: phase %s: %w", name, err)
-		}
-		n++
+		reqs = append(reqs, netsim.FlowReq{Src: q.c.host(t.Src), Dst: q.c.host(t.Dst), Bytes: t.Bytes})
 		bytes += t.Bytes
 	}
-	if n > 0 {
-		q.sim.Run()
+	sec, flows, err := q.party.Submit(reqs)
+	if err != nil {
+		return fmt.Errorf("dist: phase %s: %w", name, err)
 	}
-	sec := float64(q.sim.Engine.Now() - start)
-	q.stats.Phases = append(q.stats.Phases, PhaseStat{Name: name, Flows: n, Bytes: bytes, Seconds: sec})
-	q.stats.Flows += n
+	// Attribute this query's bytes to the directed links its flows
+	// traversed (a completed flow charges its full size to every link on
+	// its path).
+	for _, f := range flows {
+		for i, lid := range f.Path.LinkIDs {
+			forward := q.c.Net.Links[lid].A == f.Path.NodeIDs[i]
+			q.link[dirKey{link: lid, forward: forward}] += f.Bytes
+		}
+	}
+	q.stats.Phases = append(q.stats.Phases, PhaseStat{Name: name, Flows: len(reqs), Bytes: bytes, Seconds: sec})
+	q.stats.Flows += len(reqs)
 	q.stats.BytesShuffled += bytes
 	q.stats.NetSeconds += sec
 	return nil
 }
 
-// Finish snapshots link-level utilization and returns the stats.
+// Close deregisters the query from the shared fabric without finalizing
+// stats. Error paths MUST reach it (or Finish): an abandoned
+// registration would park every concurrent query at the admission
+// barrier forever. Close is idempotent and safe after Finish.
+func (q *QueryRun) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.party.Leave()
+}
+
+// Finish computes the query's link-level utilization — its own bytes
+// over its own network time — deregisters it from the fabric, and
+// returns the stats.
 func (q *QueryRun) Finish() *QueryStats {
-	q.stats.MeanLinkUtil = q.sim.MeanLinkUtilization()
-	q.stats.MaxLinkUtil = q.sim.MaxLinkUtilization()
-	q.stats.Links = q.sim.LinkLoads()
+	q.Close()
+	if q.stats.NetSeconds > 0 {
+		denom := q.stats.NetSeconds
+		total := 0.0
+		links := make([]netsim.LinkLoad, 0, len(q.link))
+		for lid := range q.c.Net.Links {
+			for _, forward := range []bool{true, false} {
+				b := q.link[dirKey{link: lid, forward: forward}]
+				util := b / (q.c.Net.Links[lid].Speed.BytesPerSec() * denom)
+				total += util
+				if util > q.stats.MaxLinkUtil {
+					q.stats.MaxLinkUtil = util
+				}
+				links = append(links, netsim.LinkLoad{LinkID: lid, Forward: forward, Bytes: b, Util: util})
+			}
+		}
+		q.stats.Links = links
+		q.stats.MeanLinkUtil = total / float64(len(links))
+	}
 	return q.stats
 }

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/relational"
+)
+
+// Fabric is the shared network of one SQL engine: a single long-lived
+// netsim.Simulator over the cluster's topology, fronted by the
+// concurrent admission layer so any number of queries can charge their
+// broadcasts, shuffles and gathers as coexisting flows. Two queries
+// executing at the same time contend for the same links — per-query
+// simulated network time degrades under load, which a per-query private
+// simulator (the pre-engine design) could never show.
+//
+// A Fabric is safe for concurrent use and lives as long as its Engine.
+type Fabric struct {
+	c   *Cluster
+	adm *netsim.Admission
+}
+
+// NewFabric wraps the cluster's topology in one shared simulator.
+func NewFabric(c *Cluster) *Fabric {
+	return &Fabric{c: c, adm: netsim.NewAdmission(netsim.NewSimulator(c.Net))}
+}
+
+// Cluster returns the fabric's host placement.
+func (f *Fabric) Cluster() *Cluster { return f.c }
+
+// Expect delays the next admission round until n queries are in flight —
+// the deterministic way to guarantee a batch of concurrently launched
+// queries actually shares its first round. Pair every launched workload
+// that can fail before its first data movement with Withdraw on that
+// error path. See netsim.Admission.Expect.
+func (f *Fabric) Expect(n int) { f.adm.Expect(n) }
+
+// Withdraw releases one Expect slot: an expected query failed before
+// registering (e.g. a parse or plan error), so the barrier must stop
+// waiting for it.
+func (f *Fabric) Withdraw() { f.adm.Withdraw() }
+
+// NewQuery registers a query with the shared fabric and starts its flow
+// accounting. The query MUST end with Finish (for stats) or Close (on
+// error paths): an abandoned registration would hold every other
+// in-flight query at the admission barrier.
+func (f *Fabric) NewQuery() *QueryRun { return f.NewQueryCancel(nil) }
+
+// NewQueryCancel is NewQuery wired to a cancellation token: tripping the
+// token aborts phases parked at the admission barrier, and Close/Finish
+// still deregisters as usual.
+func (f *Fabric) NewQueryCancel(t *relational.CancelToken) *QueryRun {
+	q := &QueryRun{
+		c:      f.c,
+		fab:    f,
+		cancel: t,
+		stats:  &QueryStats{Shards: f.c.Shards(), Topology: f.c.Topology},
+		link:   map[dirKey]float64{},
+	}
+	q.party = f.adm.Join(t.Err)
+	if t != nil {
+		t.OnCancel(f.adm.Wake)
+	}
+	return q
+}
+
+// FabricStats is the aggregate, cross-query view of the shared fabric:
+// the contention counters plus link utilization over the fabric's total
+// busy time. Per-query views live in QueryStats.
+type FabricStats struct {
+	Topology string
+	// Rounds, PeakFlows and PeakQueries summarize admission: how many
+	// bulk-synchronous rounds ran, the most flows that coexisted in one
+	// round, and the most queries whose flows shared a round. PeakQueries
+	// > 1 is the direct witness that queries contended.
+	Rounds      int
+	PeakFlows   int
+	PeakQueries int
+	// BusySeconds is the virtual time the fabric carried at least one
+	// flow; Bytes is the total traffic admitted.
+	BusySeconds float64
+	Bytes       float64
+	// MeanLinkUtil / MaxLinkUtil are computed over BusySeconds, so two
+	// queries sharing rounds (overlapping in time) drive utilization
+	// strictly above what either achieves alone.
+	MeanLinkUtil float64
+	MaxLinkUtil  float64
+}
+
+// Stats snapshots the fabric-wide aggregate.
+func (f *Fabric) Stats() *FabricStats {
+	a := f.adm.Stats()
+	st := &FabricStats{
+		Topology:    f.c.Topology,
+		Rounds:      a.Rounds,
+		PeakFlows:   a.PeakFlows,
+		PeakQueries: a.PeakParties,
+		BusySeconds: a.BusySeconds,
+		Bytes:       a.Bytes,
+	}
+	if a.BusySeconds <= 0 {
+		return st
+	}
+	loads := f.adm.LinkLoads()
+	total := 0.0
+	for _, l := range loads {
+		util := l.Bytes / (f.c.Net.Links[l.LinkID].Speed.BytesPerSec() * a.BusySeconds)
+		total += util
+		if util > st.MaxLinkUtil {
+			st.MaxLinkUtil = util
+		}
+	}
+	if len(loads) > 0 {
+		st.MeanLinkUtil = total / float64(len(loads))
+	}
+	return st
+}
+
+// Summary renders the aggregate as one human-readable block.
+func (s *FabricStats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric: %s — %d admission rounds, peak %d concurrent queries / %d coexisting flows\n",
+		s.Topology, s.Rounds, s.PeakQueries, s.PeakFlows)
+	fmt.Fprintf(&b, "  %.0f bytes over %.3f ms busy; link utilization mean %.1f%%, max %.1f%%",
+		s.Bytes, s.BusySeconds*1e3, s.MeanLinkUtil*100, s.MaxLinkUtil*100)
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Admission is the concurrent-safe flow-admission layer over one shared
+// Simulator. The Simulator itself is single-goroutine: flows injected at
+// different wall-clock instants would also need a rule for how much
+// virtual time separates them. Admission supplies both at once with a
+// bulk-synchronous round protocol:
+//
+//   - Each concurrent workload (a distributed SQL query, typically)
+//     Joins as a Party and Submits one batch of flows per communication
+//     phase, blocking until the batch completes.
+//   - A round admits the pending submission of every joined party at the
+//     same virtual instant and runs the simulator until all of the
+//     round's flows complete. Flows of concurrently executing parties
+//     therefore coexist on the fabric and contend under the simulator's
+//     fairness model — the whole point of sharing the simulator.
+//   - A round only starts once every joined party has a submission
+//     pending (parties between phases are computing; the fabric waits
+//     for them), so round membership — and with it every rate
+//     allocation — is reproducible for a fixed interleaving of joins.
+//
+// The virtual clock resets to zero at each round start (the simulator is
+// idle between rounds), so identical rounds replay with bit-identical
+// arithmetic no matter how much virtual time earlier rounds consumed;
+// BusySeconds accumulates the round makespans for utilization windows.
+//
+// All methods are safe for concurrent use.
+type Admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	sim  *Simulator
+
+	parties map[int]*Party
+	nextID  int
+	// floor delays rounds until at least floor parties have joined; it is
+	// consumed by the first round that runs (and clamped when a party
+	// leaves), so a one-shot Expect cannot deadlock later traffic.
+	floor int
+
+	stats AdmissionStats
+}
+
+// AdmissionStats aggregates fabric-wide contention counters across every
+// round the admission layer has run.
+type AdmissionStats struct {
+	// Rounds is the number of admission rounds executed.
+	Rounds int
+	// PeakFlows is the most flows that coexisted in one round.
+	PeakFlows int
+	// PeakParties is the most parties whose flows shared one round.
+	PeakParties int
+	// BusySeconds sums round makespans: the virtual time during which the
+	// fabric carried at least one flow.
+	BusySeconds float64
+	// Bytes is the total bytes admitted.
+	Bytes float64
+}
+
+// FlowReq is one requested flow of a submission.
+type FlowReq struct {
+	Src, Dst int
+	Bytes    float64
+}
+
+// Party is one workload's handle on the admission layer.
+type Party struct {
+	a         *Admission
+	id        int
+	seed      int
+	cancelled func() error
+	pending   *submission
+	left      bool
+}
+
+// submission is one pending phase: the requests going in, and the
+// completed flows plus the phase makespan coming out.
+type submission struct {
+	reqs    []FlowReq
+	flows   []*Flow
+	seconds float64
+	done    bool
+	err     error
+}
+
+// NewAdmission returns an admission layer over sim. The simulator must
+// not be driven directly once admission owns it.
+func NewAdmission(sim *Simulator) *Admission {
+	a := &Admission{sim: sim, parties: map[int]*Party{}}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// Join registers a new party. cancelled, if non-nil, is polled while the
+// party waits at the round barrier: a non-nil return abandons the wait
+// (pair it with Wake so cancellation interrupts a parked Submit).
+func (a *Admission) Join(cancelled func() error) *Party {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := &Party{a: a, id: a.nextID, cancelled: cancelled}
+	a.nextID++
+	a.parties[p.id] = p
+	return p
+}
+
+// Expect delays the next round until at least n parties have joined.
+// Callers launching a known-size batch of concurrent workloads use it to
+// guarantee the first round contains all of them regardless of how the
+// goroutines interleave. The floor is consumed by the first round that
+// runs and clamped whenever a party leaves, so it cannot wedge the
+// fabric if a workload finishes (or fails) without ever sending.
+func (a *Admission) Expect(n int) {
+	a.mu.Lock()
+	a.floor = n
+	a.mu.Unlock()
+}
+
+// Withdraw lowers the Expect floor by one: an expected party will not
+// arrive (its workload failed before ever joining). Launchers that
+// Expect(n) and fan out n workloads MUST call Withdraw on any path where
+// a workload dies pre-join, or the surviving parties park at the round
+// barrier forever.
+func (a *Admission) Withdraw() {
+	a.mu.Lock()
+	if a.floor > 0 {
+		a.floor--
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// Wake re-evaluates every parked Submit (used by cancellation hooks).
+func (a *Admission) Wake() {
+	a.mu.Lock()
+	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// Stats returns a snapshot of the aggregate contention counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// LinkLoads snapshots the shared simulator's cumulative per-link bytes.
+// The Util fields are meaningless here — the clock rewinds between
+// rounds — so callers must window utilization against Stats().BusySeconds
+// themselves.
+func (a *Admission) LinkLoads() []LinkLoad {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sim.LinkLoads()
+}
+
+// Submit offers one phase worth of flows and blocks until the round
+// containing them completes, returning the phase makespan in seconds
+// (admission to last completion, including propagation) and the
+// completed flows. An empty request returns immediately without joining
+// a round. Submit returns the party's cancellation error if it trips
+// while the phase is still queued.
+func (p *Party) Submit(reqs []FlowReq) (float64, []*Flow, error) {
+	if len(reqs) == 0 {
+		return 0, nil, nil
+	}
+	a := p.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p.left {
+		return 0, nil, fmt.Errorf("netsim: submit after leave")
+	}
+	sub := &submission{reqs: reqs}
+	p.pending = sub
+	a.cond.Broadcast()
+	for !sub.done {
+		if err := p.cancelErr(); err != nil && p.pending == sub {
+			// Withdraw the queued phase so the barrier does not wait on a
+			// cancelled party.
+			p.pending = nil
+			a.cond.Broadcast()
+			return 0, nil, err
+		}
+		if a.ready() {
+			a.runRound()
+			continue
+		}
+		a.cond.Wait()
+	}
+	if sub.err != nil {
+		return 0, nil, sub.err
+	}
+	return sub.seconds, sub.flows, nil
+}
+
+// Leave deregisters the party. Remaining parties stop waiting for it at
+// the round barrier. Leave is idempotent.
+func (p *Party) Leave() {
+	a := p.a
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p.left {
+		return
+	}
+	p.left = true
+	delete(a.parties, p.id)
+	if a.floor > len(a.parties) {
+		a.floor = len(a.parties)
+	}
+	a.cond.Broadcast()
+}
+
+func (p *Party) cancelErr() error {
+	if p.cancelled == nil {
+		return nil
+	}
+	return p.cancelled()
+}
+
+// ready reports whether a round may run: the floor is met and every
+// joined party has a phase pending. Callers hold a.mu.
+func (a *Admission) ready() bool {
+	if len(a.parties) == 0 || len(a.parties) < a.floor {
+		return false
+	}
+	for _, p := range a.parties {
+		if p.pending == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// runRound admits every pending submission at virtual time zero, runs
+// the simulator until all of the round's flows complete, and records
+// per-submission makespans. Callers hold a.mu; the round runs entirely
+// under the lock, so waiters only ever observe completed rounds.
+func (a *Admission) runRound() {
+	a.sim.ResetClock()
+	// Deterministic injection order: parties by ID, requests in
+	// submission order; each party consumes its own ECMP seed sequence.
+	ids := make([]int, 0, len(a.parties))
+	for id := range a.parties {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	subs := make([]*submission, 0, len(ids))
+	nflows := 0
+	for _, id := range ids {
+		p := a.parties[id]
+		sub := p.pending
+		p.pending = nil
+		sub.done = true
+		for _, r := range sub.reqs {
+			f, err := a.sim.StartFlowSeeded(r.Src, r.Dst, r.Bytes, p.seed)
+			p.seed++
+			if err != nil {
+				if sub.err == nil {
+					sub.err = err
+				}
+				continue
+			}
+			sub.flows = append(sub.flows, f)
+			nflows++
+			a.stats.Bytes += r.Bytes
+		}
+		subs = append(subs, sub)
+	}
+	a.sim.Run()
+	for _, sub := range subs {
+		for _, f := range sub.flows {
+			if sec := float64(f.End); sec > sub.seconds {
+				sub.seconds = sec
+			}
+		}
+	}
+	a.stats.Rounds++
+	if nflows > a.stats.PeakFlows {
+		a.stats.PeakFlows = nflows
+	}
+	if len(subs) > a.stats.PeakParties {
+		a.stats.PeakParties = len(subs)
+	}
+	a.stats.BusySeconds += float64(a.sim.Engine.Now())
+	a.floor = 0
+	a.cond.Broadcast()
+}

@@ -99,11 +99,21 @@ func (s *Simulator) OnFlowDone(fn func(*Flow)) { s.onDone = fn }
 // StartFlow routes and injects a flow of the given size now. It returns the
 // flow, or an error if no route exists.
 func (s *Simulator) StartFlow(src, dst int, bytes float64) (*Flow, error) {
+	return s.StartFlowSeeded(src, dst, bytes, s.nextID)
+}
+
+// StartFlowSeeded is StartFlow with an explicit ECMP seed: the seed (not
+// the global flow ID) selects among the equal-cost paths. Callers that
+// multiplex independent workloads over one long-lived simulator — the
+// shared SQL fabric — give each workload its own seed sequence starting
+// at zero, so a workload's routing is reproducible regardless of how
+// many flows other workloads injected before it.
+func (s *Simulator) StartFlowSeeded(src, dst int, bytes float64, seed int) (*Flow, error) {
 	if bytes <= 0 {
 		return nil, fmt.Errorf("netsim: flow size must be positive, got %v", bytes)
 	}
 	id := s.nextID
-	path, ok := s.Net.PickECMP(src, dst, id, s.ECMPWidth)
+	path, ok := s.Net.PickECMP(src, dst, seed, s.ECMPWidth)
 	if !ok {
 		return nil, fmt.Errorf("netsim: no route %d -> %d", src, dst)
 	}
@@ -128,6 +138,21 @@ func (s *Simulator) ScheduleFlow(delay sim.Time, src, dst int, bytes float64) {
 
 // Run drives the engine until all flows complete.
 func (s *Simulator) Run() { s.Engine.Run() }
+
+// ResetClock rewinds the virtual clock to zero if the simulator is idle
+// (no active flows, no pending events), reporting whether it did.
+// Long-lived simulators that run self-contained episodes — the rounds of
+// a shared-fabric Admission — reset between episodes so each replays
+// with bit-identical float arithmetic. Cumulative link-byte counters are
+// preserved; only the timebase rewinds, so time-windowed utilization
+// readings must be taken against an externally tracked busy time.
+func (s *Simulator) ResetClock() bool {
+	if len(s.flows) > 0 || s.Engine.Pending() > 0 {
+		return false
+	}
+	s.Engine.ResetClock()
+	return true
+}
 
 // FCTs returns the sample of completed flow completion times (seconds).
 func (s *Simulator) FCTs() *metrics.Sample { return s.doneFCT }

@@ -121,6 +121,19 @@ func (e *Engine) Cancel(ev *Event) {
 // Halt stops the run loop after the current event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// ResetClock rewinds the clock to zero. It is only legal while the
+// calendar is empty (no pending events reference the old timebase) and
+// exists so long-lived simulations can run successive self-contained
+// episodes with bit-identical float arithmetic: replaying the same
+// events from t=0 accumulates rounding identically every time, which
+// absolute offsets from earlier episodes would perturb.
+func (e *Engine) ResetClock() {
+	if len(e.queue) > 0 {
+		panic("sim: ResetClock with pending events")
+	}
+	e.now = 0
+}
+
 // Run executes events until the calendar is empty or Halt is called.
 func (e *Engine) Run() {
 	e.RunUntil(Time(maxFloat))

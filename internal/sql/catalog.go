@@ -53,8 +53,18 @@ func CustomersRelation(seed uint64, n int) *relational.Relation {
 	return rel
 }
 
-// DemoDB returns a catalog with sales and customers loaded — the standard
-// playground for the SQL examples and experiments.
+// RegisterDemo loads the sales fact table and customers dimension into
+// an engine — the standard playground for the SQL examples, benchmarks
+// and experiments.
+func RegisterDemo(e *Engine, seed uint64, salesRows, customers int) {
+	e.Register(SalesRelation(seed, salesRows, customers))
+	e.Register(CustomersRelation(seed+1, customers))
+}
+
+// DemoDB returns a catalog with sales and customers loaded.
+//
+// Deprecated: use NewEngine + RegisterDemo; DemoDB serves the legacy DB
+// call sites.
 func DemoDB(seed uint64, salesRows, customers int) *DB {
 	db := NewDB()
 	db.Register(SalesRelation(seed, salesRows, customers))

@@ -1,0 +1,63 @@
+package sql
+
+import (
+	"repro/internal/relational"
+)
+
+// DB is the pre-engine entry point: a catalog plus a mutable options
+// struct, planning and executing one query at a time.
+//
+// Deprecated: use NewEngine and Session. DB survives as a thin wrapper
+// over a private Engine so existing callers keep working: Opt mutations
+// still take effect per query (the engine re-derives its cluster when
+// the topology or shard count changes), but DB offers no context
+// cancellation, no prepared statements, and serializes naturally — the
+// shared-fabric contention the Engine API models never shows up here.
+// See the migration table in README.md.
+type DB struct {
+	// Opt is re-read on every Plan/Query call.
+	Opt Options
+
+	eng *Engine
+}
+
+// NewDB returns an empty catalog with default optimizer options.
+//
+// Deprecated: use NewEngine.
+func NewDB() *DB {
+	return &DB{Opt: DefaultOptions(), eng: newEngine(DefaultConfig())}
+}
+
+// Engine exposes the wrapper's backing engine — the escape hatch for
+// incremental migration (e.g. opening a Session over a catalog that was
+// populated through DB). The engine's own Config is the construction
+// default; DB queries run under Opt instead.
+func (db *DB) Engine() *Engine { return db.eng }
+
+// Register adds (or replaces) a table under its lowercased name.
+func (db *DB) Register(rel *relational.Relation) { db.eng.Register(rel) }
+
+// Table looks a table up by name.
+func (db *DB) Table(name string) (*relational.Relation, bool) { return db.eng.Table(name) }
+
+// Query parses, plans and executes, returning a materialized result.
+//
+// Deprecated: use Session.Query, which adds context cancellation and
+// returns plan, operator and network stats alongside the rows.
+func (db *DB) Query(q string) (*relational.Relation, error) {
+	plan, err := db.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+	return relational.Collect(plan.Root, "result")
+}
+
+// Plan parses and plans without executing. The returned plan is
+// single-use: executing it twice reports ErrPlanSpent.
+//
+// Deprecated: use Session.Prepare for re-executable statements, or
+// Session.Query to plan and run in one call.
+func (db *DB) Plan(q string) (*Planned, error) {
+	pl := &planner{eng: db.eng, cfg: db.Opt}
+	return pl.plan(q)
+}

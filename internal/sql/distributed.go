@@ -18,55 +18,10 @@ package sql
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/dist"
 	"repro/internal/relational"
 )
-
-// distDefaultShards is the worker count when Options.Shards is unset.
-const distDefaultShards = 4
-
-// distCluster returns the cached fabric cluster, rebuilding it when the
-// topology or shard count options changed.
-func (db *DB) distCluster() (*dist.Cluster, error) {
-	shards := db.Opt.Shards
-	if shards <= 0 {
-		shards = distDefaultShards
-	}
-	key := fmt.Sprintf("%s|%d", db.Opt.Topology, shards)
-	if db.cluster != nil && db.clusterKey == key {
-		return db.cluster, nil
-	}
-	c, err := dist.NewCluster(db.Opt.Topology, shards)
-	if err != nil {
-		return nil, err
-	}
-	db.cluster, db.clusterKey = c, key
-	return c, nil
-}
-
-// shardedTable returns the cached shard placement of rel: contiguous row
-// ranges by default, or hash of the first Int column under ShardHash.
-func (db *DB) shardedTable(rel *relational.Relation, shards int) *dist.ShardedTable {
-	strategy, keyCol := dist.RangeShard, -1
-	if db.Opt.ShardHash {
-		strategy, keyCol = dist.HashShard, 0
-		for i, c := range rel.Schema {
-			if c.Type == relational.Int {
-				keyCol = i
-				break
-			}
-		}
-	}
-	key := fmt.Sprintf("%s|%d|%s|%d", strings.ToLower(rel.Name), shards, strategy, keyCol)
-	if t, ok := db.sharded[key]; ok && t.Rel == rel && t.SourceRows() == rel.Len() {
-		return t
-	}
-	t := dist.ShardRelation(rel, shards, strategy, keyCol)
-	db.sharded[key] = t
-	return t
-}
 
 // distRoot is the lazy root of a distributed plan: the whole distributed
 // execution (fragments, shuffles, gather, coordinator finalization) runs
@@ -131,6 +86,9 @@ type distStream struct {
 	base   []*relational.Relation
 	decor  []decorFn
 	schema relational.Schema // visible columns (excludes #seq)
+	// cancel, when set, guards every built fragment so external
+	// cancellation reaches each shard worker at its next batch boundary.
+	cancel *relational.CancelToken
 	// joined marks a stream that passed through a join: fan-out
 	// duplicates its seq tags, so the stream must be re-sequenced before
 	// it moves between shards again.
@@ -146,7 +104,7 @@ func (st *distStream) fragment(s int) (relational.BatchOp, error) {
 			return nil, err
 		}
 	}
-	return op, nil
+	return relational.GuardBatch(op, st.cancel), nil
 }
 
 func (st *distStream) fragments() ([]relational.BatchOp, error) {
@@ -270,8 +228,8 @@ type distLegPlan struct {
 }
 
 // stream builds the leg's distStream over its table shards.
-func (lp *distLegPlan) stream() *distStream {
-	st := &distStream{base: lp.table.Shards, schema: lp.schema}
+func (lp *distLegPlan) stream(cancel *relational.CancelToken) *distStream {
+	st := &distStream{base: lp.table.Shards, schema: lp.schema, cancel: cancel}
 	picks := append(append([]int{}, lp.prune...), lp.table.SeqCol())
 	st.decor = append(st.decor, pickDecor(withSeq(lp.schema), picks))
 	if lp.ranges != nil || lp.pred != nil {
@@ -292,11 +250,22 @@ type distJoinPlan struct {
 	residualPred      relational.Predicate
 }
 
-// distExec carries the runtime context of one distributed execution.
+// distExec carries the runtime context of one distributed execution:
+// the placement, the engine's shared fabric the run registers with, and
+// the cancellation token guarding fragments and phase waits.
 type distExec struct {
 	cluster  *dist.Cluster
+	fabric   *dist.Fabric
+	cancel   *relational.CancelToken
 	workers  int
 	distJoin string // "", "auto", "broadcast", "repartition"
+}
+
+// newQuery registers one execution with the shared fabric. Callers must
+// Close (or Finish) the returned run on every path: an abandoned
+// registration would park concurrent queries at the admission barrier.
+func (e *distExec) newQuery() *dist.QueryRun {
+	return e.fabric.NewQueryCancel(e.cancel)
 }
 
 // chooseMovement picks broadcast vs repartition for one join by pricing
@@ -337,6 +306,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 	}
 	l, r := len(st.schema), len(jp.rightSchema)
 	combined := append(append(relational.Schema{}, st.schema...), jp.rightSchema...)
+	cancel := st.cancel
 
 	// Normalize to build/probe roles, mirroring the single-node planner:
 	// default build = current stream, probe = right leg; swapped flips
@@ -352,7 +322,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 	movement := e.chooseMovement(build.bytes(), probe.bytes())
 
 	var buildFor func(s int) (relational.BatchOp, error)
-	out := &distStream{schema: combined, joined: true}
+	out := &distStream{schema: combined, cancel: cancel, joined: true}
 	if movement == "broadcast" {
 		// Replicate the whole build side to every worker; the probe side
 		// does not move.
@@ -422,27 +392,27 @@ func identityPicks(n int) []int {
 // and compilation happens at plan time (so Plan surfaces errors and
 // Explain describes the shape); data movement and fragment execution run
 // lazily when the plan's root is first pulled.
-func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
-	switch db.Opt.DistJoin {
+func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
+	switch pl.cfg.DistJoin {
 	case "", "auto", "broadcast", "repartition":
 	default:
-		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", db.Opt.DistJoin)
+		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", pl.cfg.DistJoin)
 	}
-	cluster, err := db.distCluster()
+	cluster, fabric, err := pl.eng.clusterFor(pl.cfg)
 	if err != nil {
 		return nil, err
 	}
 	shards := cluster.Shards()
-	workers := db.Opt.Workers
+	workers := pl.cfg.Workers
 	p := &Planned{TaggedOps: map[string]relational.Op{}}
 	shardHow := "range"
-	if db.Opt.ShardHash {
+	if pl.cfg.ShardHash {
 		shardHow = "hash"
 	}
 	p.Steps = append(p.Steps, fmt.Sprintf("engine: distributed (%d shards, %s-sharded, %s fabric; batch fragments, %d workers/host)",
 		shards, shardHow, cluster.Topology, relational.EffectiveWorkers(workers)))
 
-	legs, err := db.resolveLegs(stmt)
+	legs, err := pl.resolveLegs(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -456,12 +426,12 @@ func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 	// Pushdown split and size estimates come from the same helpers the
 	// single-node planner uses: the distributed plan must mirror its
 	// build-side choice to keep probe-side output order identical.
-	residual := db.splitWhere(stmt, legs)
+	residual := pl.splitWhere(stmt, legs)
 
 	legPlans := make([]*distLegPlan, len(legs))
 	legSizes := make([]int, len(legs))
 	for i, leg := range legs {
-		lp := &distLegPlan{table: db.shardedTable(leg.rel, shards), schema: leg.schema}
+		lp := &distLegPlan{table: pl.eng.shardedTable(leg.rel, shards, pl.cfg.ShardHash), schema: leg.schema}
 		if leg.prune != nil {
 			lp.prune = leg.prune
 			p.Steps = append(p.Steps, fmt.Sprintf("prune %s to %d/%d columns", leg.alias, len(leg.prune), len(leg.rel.Schema)))
@@ -492,13 +462,13 @@ func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		leg := legs[ji+1]
 		rightScope := &scope{}
 		rightScope.addTable(leg.alias, leg.schema, 0)
-		leftCol, rightCol, rest, err := db.splitJoinOn(j.On, curScope, rightScope)
+		leftCol, rightCol, rest, err := pl.splitJoinOn(j.On, curScope, rightScope)
 		if err != nil {
 			return nil, err
 		}
 		jp := &distJoinPlan{
 			rightIdx: ji + 1, leftCol: leftCol, rightCol: rightCol,
-			swapped:     db.buildOnRight(legSizes[ji+1], curSize),
+			swapped:     pl.buildOnRight(legSizes[ji+1], curSize),
 			rightSchema: leg.schema,
 		}
 		curScope.addTable(leg.alias, leg.schema, curWidth)
@@ -512,7 +482,7 @@ func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		}
 		curSize = advanceJoinSize(curSize, legSizes[ji+1], leg.rel.Len())
 		joinPlans = append(joinPlans, jp)
-		movement := db.Opt.DistJoin
+		movement := pl.cfg.DistJoin
 		if movement == "" {
 			movement = "auto"
 		}
@@ -535,14 +505,14 @@ func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		combined = append(combined, leg.schema...)
 	}
 
-	exec := &distExec{cluster: cluster, workers: workers, distJoin: db.Opt.DistJoin}
+	exec := &distExec{cluster: cluster, fabric: fabric, cancel: pl.cancel, workers: workers, distJoin: pl.cfg.DistJoin}
 	// runJoins executes the shared front of the query: leg fragments,
 	// join movements, residual filter.
 	runJoins := func(qr *dist.QueryRun) (*distStream, error) {
-		st := legPlans[0].stream()
+		st := legPlans[0].stream(exec.cancel)
 		for ji, jp := range joinPlans {
 			var err error
-			st, err = exec.joinStage(qr, st, legPlans[jp.rightIdx].stream(), jp, ji)
+			st, err = exec.joinStage(qr, st, legPlans[jp.rightIdx].stream(exec.cancel), jp, ji)
 			if err != nil {
 				return nil, err
 			}
@@ -554,19 +524,19 @@ func (db *DB) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 	}
 
 	if stmt.HasAggregates() {
-		return db.planDistAggregate(stmt, p, curScope, combined, exec, runJoins)
+		return pl.planDistAggregate(stmt, p, curScope, combined, exec, runJoins)
 	}
 	if stmt.Having != nil {
 		return nil, fmt.Errorf("sql: HAVING requires aggregation")
 	}
-	return db.planDistSimple(stmt, p, curScope, combined, exec, runJoins)
+	return pl.planDistSimple(stmt, p, curScope, combined, exec, runJoins)
 }
 
 // planDistAggregate splits the aggregate: per-shard partials over the
 // pre-projection (pushed below the gather), a partial-state gather, and
 // the coordinator's first-seen merge feeding the single-node post-plan
 // (HAVING / ORDER BY / projection / LIMIT).
-func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
+func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
 	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
 	if stmt.Star {
 		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
@@ -586,7 +556,7 @@ func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combine
 	// and yields the output schema and the coordinator's step lines.
 	dry := &Planned{TaggedOps: map[string]relational.Op{}}
 	dryRel := relational.NewRelation("agg", aggOutSchema)
-	dry, err = db.finishAggregate(stmt, dry, &lowerer{}, execNode{row: relational.NewScan(dryRel)}, ap)
+	dry, err = pl.finishAggregate(stmt, dry, &lowerer{}, execNode{row: relational.NewScan(dryRel)}, ap)
 	if err != nil {
 		return nil, err
 	}
@@ -595,7 +565,11 @@ func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combine
 	}
 
 	run := func() (*relational.Relation, *dist.QueryStats, error) {
-		qr := exec.cluster.NewQuery()
+		qr := exec.newQuery()
+		// Close on every path: a run that errors out mid-phase must still
+		// deregister from the shared fabric, or concurrent queries would
+		// wait for it at the admission barrier forever.
+		defer qr.Close()
 		st, err := runJoins(qr)
 		if err != nil {
 			return nil, nil, err
@@ -623,7 +597,7 @@ func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combine
 		aggRel := relational.NewRelation("agg", aggOutSchema)
 		aggRel.Rows = merged.EmitRows(aggOutSchema, true)
 		fin := &Planned{TaggedOps: map[string]relational.Op{}}
-		fin, err = db.finishAggregate(stmt, fin, &lowerer{}, execNode{row: relational.NewScan(aggRel)}, ap)
+		fin, err = pl.finishAggregate(stmt, fin, &lowerer{}, execNode{row: relational.NewScan(aggRel)}, ap)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -643,7 +617,7 @@ func (db *DB) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combine
 // coordinator merges by seq — exactly the serial row order — then sorts,
 // strips keys and applies LIMIT. Without ORDER BY each shard also caps
 // its stream at LIMIT locally.
-func (db *DB) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
+func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
 	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
 	items := stmt.Items
 	if stmt.Star {
@@ -672,7 +646,8 @@ func (db *DB) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combined r
 	}
 
 	run := func() (*relational.Relation, *dist.QueryStats, error) {
-		qr := exec.cluster.NewQuery()
+		qr := exec.newQuery()
+		defer qr.Close() // deregister from the shared fabric on error paths
 		st, err := runJoins(qr)
 		if err != nil {
 			return nil, nil, err

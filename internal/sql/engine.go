@@ -1,0 +1,247 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/relational"
+)
+
+// Config selects the execution engine and the optimizer rules (the
+// ablation experiments switch the latter). It is the construction-time
+// configuration of an Engine; sessions may override the per-session
+// knobs (see Session).
+type Config struct {
+	// Pushdown moves single-table WHERE conjuncts below joins.
+	Pushdown bool
+	// BuildSideSwap builds the hash join on the smaller estimated input.
+	BuildSideSwap bool
+	// ConstantFolding evaluates literal subtrees at plan time.
+	ConstantFolding bool
+	// Parallel lowers plans onto the morsel-parallel batch engine
+	// (columnar chunks, kernel inner loops, multi-core leaf scans). When
+	// false, plans run on the volcano row-at-a-time engine.
+	Parallel bool
+	// Workers caps batch-engine parallelism; 0 means runtime.NumCPU().
+	// In distributed mode this is the per-host core count.
+	Workers int
+	// Distributed shards tables across the hosts of a simulated
+	// datacenter fabric and executes queries shard-parallel, charging
+	// every broadcast, shuffle and gather as flows in the network
+	// simulator. All of an engine's queries share one simulator, so
+	// concurrent sessions contend for the fabric. Shard-local fragments
+	// always run on the batch engine.
+	Distributed bool
+	// Shards is the worker-host count in distributed mode (default 4).
+	Shards int
+	// Topology names the distributed fabric: "leafspine" (default),
+	// "single", "fattree" or "torus".
+	Topology string
+	// DistJoin forces the distributed join movement strategy:
+	// "auto" (cost-based, default), "broadcast" or "repartition".
+	DistJoin string
+	// ShardHash hash-partitions tables on their first Int column instead
+	// of the default contiguous range partitioning.
+	ShardHash bool
+}
+
+// Options is the former name of Config.
+//
+// Deprecated: use Config with NewEngine; Options survives for the
+// deprecated DB wrapper.
+type Options = Config
+
+// DefaultConfig enables every optimizer rule and the batch engine.
+func DefaultConfig() Config {
+	return Config{Pushdown: true, BuildSideSwap: true, ConstantFolding: true, Parallel: true}
+}
+
+// DefaultOptions is the former name of DefaultConfig.
+//
+// Deprecated: use DefaultConfig.
+func DefaultOptions() Options { return DefaultConfig() }
+
+// Engine owns everything queries share: the catalog of registered
+// relations, the planner configuration, and — in distributed mode — one
+// long-lived cluster placement with a single shared network simulator.
+// Queries from any number of concurrent sessions charge their data
+// movements into that one simulator, so their flows coexist and contend:
+// per-query simulated network time degrades under load, which is the
+// fabric-interference effect the roadmap argues engines must be designed
+// around.
+//
+// An Engine is safe for concurrent use; create Sessions to run queries.
+type Engine struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	tables  map[string]*relational.Relation
+	sharded map[string]*dist.ShardedTable
+	cluster *dist.Cluster
+	fabric  *dist.Fabric
+	// clusterKey caches which (topology, shards) pair cluster serves.
+	clusterKey string
+}
+
+// NewEngine validates cfg and returns an empty engine. In distributed
+// mode the cluster and its shared fabric are built eagerly, so topology
+// errors surface here rather than at the first query.
+func NewEngine(cfg Config) (*Engine, error) {
+	switch cfg.DistJoin {
+	case "", "auto", "broadcast", "repartition":
+	default:
+		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", cfg.DistJoin)
+	}
+	e := newEngine(cfg)
+	if cfg.Distributed {
+		if _, _, err := e.clusterFor(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// newEngine builds the engine without validation (the deprecated DB
+// wrapper surfaces config errors at plan time, as it always did).
+func newEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:     cfg,
+		tables:  map[string]*relational.Relation{},
+		sharded: map[string]*dist.ShardedTable{},
+	}
+}
+
+// Config returns the engine's construction-time configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Session opens a new session on the engine. Sessions are cheap; open
+// one per concurrent query stream.
+func (e *Engine) Session() *Session { return &Session{eng: e} }
+
+// Register adds (or replaces) a table under its lowercased name,
+// invalidating any cached shard placements of the previous version.
+func (e *Engine) Register(rel *relational.Relation) {
+	name := strings.ToLower(rel.Name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[name] = rel
+	for k := range e.sharded {
+		if strings.HasPrefix(k, name+"|") {
+			delete(e.sharded, k)
+		}
+	}
+}
+
+// Table looks a table up by name.
+func (e *Engine) Table(name string) (*relational.Relation, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Fabric exposes the shared network fabric for contention inspection
+// (aggregate stats, Expect barriers). It is nil until a distributed
+// cluster exists — NewEngine builds it eagerly for distributed configs.
+func (e *Engine) Fabric() *dist.Fabric {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.fabric
+}
+
+// distDefaultShards is the worker count when Config.Shards is unset.
+const distDefaultShards = 4
+
+// clusterFor returns the engine's cluster and shared fabric, rebuilding
+// both when the topology or shard count in cfg changed (only the
+// deprecated mutable-Options DB wrapper ever changes them mid-life).
+func (e *Engine) clusterFor(cfg Config) (*dist.Cluster, *dist.Fabric, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = distDefaultShards
+	}
+	key := fmt.Sprintf("%s|%d", cfg.Topology, shards)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cluster != nil && e.clusterKey == key {
+		return e.cluster, e.fabric, nil
+	}
+	c, err := dist.NewCluster(cfg.Topology, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.cluster, e.fabric, e.clusterKey = c, dist.NewFabric(c), key
+	return e.cluster, e.fabric, nil
+}
+
+// shardedTable returns the cached shard placement of rel: contiguous row
+// ranges by default, or hash of the first Int column under hashShard.
+func (e *Engine) shardedTable(rel *relational.Relation, shards int, hashShard bool) *dist.ShardedTable {
+	strategy, keyCol := dist.RangeShard, -1
+	if hashShard {
+		strategy, keyCol = dist.HashShard, 0
+		for i, c := range rel.Schema {
+			if c.Type == relational.Int {
+				keyCol = i
+				break
+			}
+		}
+	}
+	key := fmt.Sprintf("%s|%d|%s|%d", strings.ToLower(rel.Name), shards, strategy, keyCol)
+	fresh := func(t *dist.ShardedTable) bool {
+		return t != nil && t.Rel == rel && t.SourceRows() == rel.Len()
+	}
+	// Read-locked fast path: concurrent sessions planning over an
+	// already-sharded table must not serialize on the engine mutex.
+	e.mu.RLock()
+	t := e.sharded[key]
+	e.mu.RUnlock()
+	if fresh(t) {
+		return t
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if t := e.sharded[key]; fresh(t) {
+		return t
+	}
+	t = dist.ShardRelation(rel, shards, strategy, keyCol)
+	e.sharded[key] = t
+	return t
+}
+
+// planner compiles one statement against an engine's catalog under an
+// effective configuration. cancel, when set, is woven into the lowered
+// operator tree (leaf guards checked at every batch boundary) and into
+// the distributed runtime (fabric-barrier waits, phase boundaries), so
+// tripping it aborts the execution promptly on every path.
+type planner struct {
+	eng    *Engine
+	cfg    Config
+	cancel *relational.CancelToken
+}
+
+// plan parses, plans and wraps the root so a spent plan re-executes as
+// an explicit error instead of silently re-draining exhausted operators.
+func (pl *planner) plan(q string) (*Planned, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return pl.planParsed(stmt)
+}
+
+// planParsed is plan over an already-parsed statement (prepared
+// statements re-plan their AST per execution).
+func (pl *planner) planParsed(stmt *SelectStmt) (*Planned, error) {
+	p, err := pl.planStmt(stmt)
+	if err != nil {
+		return nil, err
+	}
+	p.Root = &spentOp{child: p.Root}
+	if pl.cancel != nil {
+		p.Root = relational.Guard(p.Root, pl.cancel)
+	}
+	return p, nil
+}

@@ -13,6 +13,11 @@ import (
 type lowerer struct {
 	parallel bool
 	workers  int
+	// cancel, when set, guards every leaf scan: each pulled row or batch
+	// — on every Exchange worker, since the guard partitions through —
+	// checks the token, so external cancellation aborts even queries deep
+	// inside a pipeline breaker's drain within one batch boundary.
+	cancel *relational.CancelToken
 }
 
 // execNode is one lowered operator: exactly one side is set.
@@ -23,9 +28,9 @@ type execNode struct {
 
 func (lw *lowerer) scan(rel *relational.Relation) execNode {
 	if lw.parallel {
-		return execNode{bat: relational.NewBatchScan(rel)}
+		return execNode{bat: relational.GuardBatch(relational.NewBatchScan(rel), lw.cancel)}
 	}
-	return execNode{row: relational.NewScan(rel)}
+	return execNode{row: relational.Guard(relational.NewScan(rel), lw.cancel)}
 }
 
 // filter lowers a boolean expression over sc. In batch mode, conjuncts of

@@ -8,85 +8,9 @@ import (
 	"repro/internal/relational"
 )
 
-// Options toggles optimizer rules (the ablation experiments switch these)
-// and selects the execution engine.
-type Options struct {
-	// Pushdown moves single-table WHERE conjuncts below joins.
-	Pushdown bool
-	// BuildSideSwap builds the hash join on the smaller estimated input.
-	BuildSideSwap bool
-	// ConstantFolding evaluates literal subtrees at plan time.
-	ConstantFolding bool
-	// Parallel lowers plans onto the morsel-parallel batch engine
-	// (columnar chunks, kernel inner loops, multi-core leaf scans). When
-	// false, plans run on the volcano row-at-a-time engine.
-	Parallel bool
-	// Workers caps batch-engine parallelism; 0 means runtime.NumCPU().
-	// In distributed mode this is the per-host core count.
-	Workers int
-	// Distributed shards tables across the hosts of a simulated
-	// datacenter fabric and executes queries shard-parallel, charging
-	// every broadcast, shuffle and gather as flows in the network
-	// simulator. Shard-local fragments always run on the batch engine.
-	Distributed bool
-	// Shards is the worker-host count in distributed mode (default 4).
-	Shards int
-	// Topology names the distributed fabric: "leafspine" (default),
-	// "single", "fattree" or "torus".
-	Topology string
-	// DistJoin forces the distributed join movement strategy:
-	// "auto" (cost-based, default), "broadcast" or "repartition".
-	DistJoin string
-	// ShardHash hash-partitions tables on their first Int column instead
-	// of the default contiguous range partitioning.
-	ShardHash bool
-}
-
-// DefaultOptions enables every rule and the batch engine.
-func DefaultOptions() Options {
-	return Options{Pushdown: true, BuildSideSwap: true, ConstantFolding: true, Parallel: true}
-}
-
-// DB is a catalog of named relations plus optimizer settings.
-type DB struct {
-	Opt    Options
-	tables map[string]*relational.Relation
-
-	// Distributed-mode caches: the fabric cluster and the per-table
-	// shard placements, rebuilt when the options they derive from
-	// change.
-	cluster    *dist.Cluster
-	clusterKey string
-	sharded    map[string]*dist.ShardedTable
-}
-
-// NewDB returns an empty catalog with default optimizer options.
-func NewDB() *DB {
-	return &DB{
-		Opt:     DefaultOptions(),
-		tables:  map[string]*relational.Relation{},
-		sharded: map[string]*dist.ShardedTable{},
-	}
-}
-
-// Register adds (or replaces) a table under its lowercased name.
-func (db *DB) Register(rel *relational.Relation) {
-	name := strings.ToLower(rel.Name)
-	db.tables[name] = rel
-	for k := range db.sharded {
-		if strings.HasPrefix(k, name+"|") {
-			delete(db.sharded, k)
-		}
-	}
-}
-
-// Table looks a table up by name.
-func (db *DB) Table(name string) (*relational.Relation, bool) {
-	t, ok := db.tables[strings.ToLower(name)]
-	return t, ok
-}
-
-// Planned is an executable query plan.
+// Planned is an executable query plan. Its operator tree is single-use:
+// pulling the root after it has ended reports ErrPlanSpent (prepared
+// statements re-plan per execution instead).
 type Planned struct {
 	Root relational.Op
 	// Steps is the human-readable plan, one line per operator bottom-up.
@@ -109,24 +33,6 @@ func (p *Planned) NetStats() *dist.QueryStats {
 		return nil
 	}
 	return p.dist.stats
-}
-
-// Query parses, plans and executes, returning a materialized result.
-func (db *DB) Query(q string) (*relational.Relation, error) {
-	plan, err := db.Plan(q)
-	if err != nil {
-		return nil, err
-	}
-	return relational.Collect(plan.Root, "result")
-}
-
-// Plan parses and plans without executing.
-func (db *DB) Plan(q string) (*Planned, error) {
-	stmt, err := Parse(q)
-	if err != nil {
-		return nil, err
-	}
-	return db.planStmt(stmt)
 }
 
 // tableLeg is one FROM/JOIN input during planning.
@@ -197,11 +103,11 @@ func pruneLeg(leg *tableLeg, refs []*ColRef) {
 
 // resolveLegs binds the FROM and JOIN table references, shared by the
 // single-node and distributed planners.
-func (db *DB) resolveLegs(stmt *SelectStmt) ([]*tableLeg, error) {
+func (pl *planner) resolveLegs(stmt *SelectStmt) ([]*tableLeg, error) {
 	legs := []*tableLeg{}
 	seen := map[string]bool{}
 	addLeg := func(tr TableRef) error {
-		rel, ok := db.Table(tr.Name)
+		rel, ok := pl.eng.Table(tr.Name)
 		if !ok {
 			return fmt.Errorf("sql: unknown table %q", tr.Name)
 		}
@@ -228,18 +134,18 @@ func (db *DB) resolveLegs(stmt *SelectStmt) ([]*tableLeg, error) {
 // conjuncts to their legs, returning the residual conjuncts. Both
 // planners share it so pushdown decisions — and the sizing estimates
 // they feed — stay identical.
-func (db *DB) splitWhere(stmt *SelectStmt, legs []*tableLeg) []Expr {
+func (pl *planner) splitWhere(stmt *SelectStmt, legs []*tableLeg) []Expr {
 	where := stmt.Where
 	if where == nil {
 		return nil
 	}
-	if db.Opt.ConstantFolding {
+	if pl.cfg.ConstantFolding {
 		where = foldConstants(where)
 	}
 	var residual []Expr
 	for _, c := range splitConjuncts(where) {
-		leg := db.soleLeg(c, legs)
-		if db.Opt.Pushdown && leg != nil {
+		leg := pl.soleLeg(c, legs)
+		if pl.cfg.Pushdown && leg != nil {
 			leg.filter = append(leg.filter, c)
 		} else {
 			residual = append(residual, c)
@@ -262,8 +168,8 @@ func legSizeEstimate(leg *tableLeg) int {
 
 // buildOnRight reports whether a hash join builds on the (smaller) right
 // leg — the swap decision both planners must agree on.
-func (db *DB) buildOnRight(rightSize, curSize int) bool {
-	return db.Opt.BuildSideSwap && rightSize < curSize
+func (pl *planner) buildOnRight(rightSize, curSize int) bool {
+	return pl.cfg.BuildSideSwap && rightSize < curSize
 }
 
 // advanceJoinSize updates the running cardinality estimate after joining
@@ -276,18 +182,18 @@ func advanceJoinSize(curSize, rightSize, rightLen int) int {
 	return curSize
 }
 
-func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
-	if db.Opt.Distributed {
-		return db.planDistStmt(stmt)
+func (pl *planner) planStmt(stmt *SelectStmt) (*Planned, error) {
+	if pl.cfg.Distributed {
+		return pl.planDistStmt(stmt)
 	}
 	p := &Planned{TaggedOps: map[string]relational.Op{}}
-	lw := &lowerer{parallel: db.Opt.Parallel, workers: db.Opt.Workers}
+	lw := &lowerer{parallel: pl.cfg.Parallel, workers: pl.cfg.Workers, cancel: pl.cancel}
 	if lw.parallel {
 		p.Steps = append(p.Steps, fmt.Sprintf("engine: morsel-parallel batch (%d workers, %d-row batches)",
 			relational.EffectiveWorkers(lw.workers), relational.BatchSize))
 	}
 
-	legs, err := db.resolveLegs(stmt)
+	legs, err := pl.resolveLegs(stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +210,7 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	}
 
 	// Predicate pushdown: single-table conjuncts attach to their leg.
-	residual := db.splitWhere(stmt, legs)
+	residual := pl.splitWhere(stmt, legs)
 
 	// Build scans (with pushed filters) per leg.
 	legOps := make([]execNode, len(legs))
@@ -355,13 +261,13 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 		rightScope := &scope{}
 		rightScope.addTable(leg.alias, leg.schema, 0)
 
-		leftCol, rightCol, rest, err := db.splitJoinOn(j.On, curScope, rightScope)
+		leftCol, rightCol, rest, err := pl.splitJoinOn(j.On, curScope, rightScope)
 		if err != nil {
 			return nil, err
 		}
 		build, probe := cur, legOps[ji+1]
 		buildCol, probeCol := leftCol, rightCol
-		swapped := db.buildOnRight(legSizes[ji+1], curSize)
+		swapped := pl.buildOnRight(legSizes[ji+1], curSize)
 		if swapped {
 			build, probe = legOps[ji+1], cur
 			buildCol, probeCol = rightCol, leftCol
@@ -410,12 +316,12 @@ func (db *DB) planStmt(stmt *SelectStmt) (*Planned, error) {
 	}
 
 	if stmt.HasAggregates() {
-		return db.planAggregate(stmt, p, lw, cur, curScope)
+		return pl.planAggregate(stmt, p, lw, cur, curScope)
 	}
 	if stmt.Having != nil {
 		return nil, fmt.Errorf("sql: HAVING requires aggregation")
 	}
-	return db.planSimple(stmt, p, lw, cur, curScope)
+	return pl.planSimple(stmt, p, lw, cur, curScope)
 }
 
 // starItems expands SELECT * into one item per visible column (appended
@@ -430,7 +336,7 @@ func starItems(stmt *SelectStmt, sc *scope) []SelectItem {
 
 // planSimple handles queries without aggregation: sort (over input
 // expressions), project, limit.
-func (db *DB) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
+func (pl *planner) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
 	items := stmt.Items
 	if stmt.Star {
 		items = starItems(stmt, sc)
@@ -438,7 +344,7 @@ func (db *DB) planSimple(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode
 
 	// ORDER BY before projection: keys evaluate over the input scope.
 	if len(stmt.OrderBy) > 0 {
-		sorted, err := db.sortOver(lw, stmt.OrderBy, items, cur, sc)
+		sorted, err := pl.sortOver(lw, stmt.OrderBy, items, cur, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -567,7 +473,7 @@ func (ap *aggPlan) postScope(stmt *SelectStmt) *scope {
 // planAggregate handles GROUP BY / aggregate queries: pre-project group
 // keys and aggregate arguments, aggregate, then sort/project/limit over
 // the aggregated scope.
-func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
+func (pl *planner) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execNode, sc *scope) (*Planned, error) {
 	if stmt.Star {
 		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
 	}
@@ -585,13 +491,13 @@ func (db *DB) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur execN
 	}
 	p.TaggedOps["agg"] = lw.op(agg)
 	p.Steps = append(p.Steps, fmt.Sprintf("aggregate (%d group cols, %d aggregates)", len(ap.groupCols), len(ap.aggSpecs)))
-	return db.finishAggregate(stmt, p, lw, agg, ap)
+	return pl.finishAggregate(stmt, p, lw, agg, ap)
 }
 
 // finishAggregate plans everything above the aggregate: HAVING, ORDER BY,
 // projection and LIMIT over the post-aggregation scope. The distributed
 // planner reuses it at the coordinator, over the merged partials.
-func (db *DB) finishAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur2 execNode, ap *aggPlan) (*Planned, error) {
+func (pl *planner) finishAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur2 execNode, ap *aggPlan) (*Planned, error) {
 	post := ap.postScope(stmt)
 	var err error
 	if stmt.Having != nil {
@@ -603,7 +509,7 @@ func (db *DB) finishAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur2 ex
 		p.Steps = append(p.Steps, "having: "+stmt.Having.Render())
 	}
 	if len(stmt.OrderBy) > 0 {
-		sorted, err := db.sortOver(lw, stmt.OrderBy, stmt.Items, cur2, post)
+		sorted, err := pl.sortOver(lw, stmt.OrderBy, stmt.Items, cur2, post)
 		if err != nil {
 			return nil, err
 		}
@@ -680,7 +586,7 @@ func compileOrderKeys(order []OrderItem, items []SelectItem, sc *scope, childSch
 // sortOver plans a sort whose keys are ORDER BY items resolved against
 // sc, with aliases and 1-based positions resolving through the select
 // items.
-func (db *DB) sortOver(lw *lowerer, order []OrderItem, items []SelectItem, child execNode, sc *scope) (execNode, error) {
+func (pl *planner) sortOver(lw *lowerer, order []OrderItem, items []SelectItem, child execNode, sc *scope) (execNode, error) {
 	// The sort operator orders by concrete columns, so materialize the
 	// key expressions as extra columns, sort, then strip them.
 	childSchema := schemaOf(child)
@@ -778,7 +684,7 @@ func compilePredicate(sc *scope, e Expr) (relational.Predicate, error) {
 }
 
 // soleLeg returns the single leg all of e's columns resolve into, or nil.
-func (db *DB) soleLeg(e Expr, legs []*tableLeg) *tableLeg {
+func (pl *planner) soleLeg(e Expr, legs []*tableLeg) *tableLeg {
 	var cols []*ColRef
 	collectCols(e, &cols)
 	if len(cols) == 0 {
@@ -813,7 +719,7 @@ func (db *DB) soleLeg(e Expr, legs []*tableLeg) *tableLeg {
 // splitJoinOn extracts one left.col = right.col equality from an ON
 // expression; remaining conjuncts are returned as a residual filter over
 // the combined scope.
-func (db *DB) splitJoinOn(on Expr, left, right *scope) (leftCol, rightCol int, residual Expr, err error) {
+func (pl *planner) splitJoinOn(on Expr, left, right *scope) (leftCol, rightCol int, residual Expr, err error) {
 	conjuncts := splitConjuncts(on)
 	eqIdx := -1
 	for i, c := range conjuncts {

@@ -1,0 +1,66 @@
+package sql
+
+import (
+	"errors"
+
+	"repro/internal/dist"
+	"repro/internal/relational"
+)
+
+// Result is one executed query: the materialized rows plus everything a
+// caller needs to understand how they were produced — the plan text, the
+// per-operator row counts, and (for distributed runs) the simulated
+// network cost of the query's data movements on the shared fabric.
+type Result struct {
+	// Rows is the materialized output relation.
+	Rows *relational.Relation
+	// Steps is the executed plan, one line per operator bottom-up.
+	Steps []string
+	// Ops maps plan tags ("scan:<alias>", "join:<n>", "where", "agg",
+	// "sort", "limit") to their post-execution operator stats.
+	Ops map[string]relational.OpStats
+	// Net is the query's network-side report: nil for single-node runs.
+	Net *dist.QueryStats
+}
+
+// ErrPlanSpent reports an attempt to pull a Planned root a second time.
+// Operator trees are single-use: re-running one would silently re-drain
+// exhausted operators (yielding an empty "result") while NetStats kept
+// the previous run's flows. The spent guard turns that silent corruption
+// into this explicit error; use Session.Prepare / Stmt.Exec for repeated
+// execution — each Exec lowers a fresh tree.
+var ErrPlanSpent = errors.New("sql: plan already executed (operator trees are single-use; Prepare a statement to re-execute)")
+
+// spentOp guards a plan root against re-execution: after the stream
+// terminates once — clean end OR error — every further pull reports the
+// terminal outcome instead of resuming the partially drained tree. A
+// failed execution stays failed (the original error is sticky); a
+// completed one reports ErrPlanSpent.
+type spentOp struct {
+	child relational.Op
+	spent bool
+	err   error
+}
+
+// Schema implements relational.Op.
+func (s *spentOp) Schema() relational.Schema { return s.child.Schema() }
+
+// Next implements relational.Op.
+func (s *spentOp) Next() (relational.Row, bool, error) {
+	if s.spent {
+		if s.err != nil {
+			return nil, false, s.err
+		}
+		return nil, false, ErrPlanSpent
+	}
+	row, ok, err := s.child.Next()
+	if err != nil {
+		s.spent, s.err = true, err
+	} else if !ok {
+		s.spent = true
+	}
+	return row, ok, err
+}
+
+// Stats implements relational.Op.
+func (s *spentOp) Stats() relational.OpStats { return s.child.Stats() }

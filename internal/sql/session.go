@@ -1,0 +1,152 @@
+package sql
+
+import (
+	"context"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// Session is one query stream on an Engine: the unit of concurrency.
+// Sessions share the engine's catalog, worker pool, and — in
+// distributed mode — the one network simulator, so queries issued from
+// different sessions at the same time contend for the same fabric.
+//
+// A Session is not safe for concurrent use; open one per goroutine
+// (they are cheap). The exported fields are per-session overrides of the
+// engine configuration; zero values inherit the engine's.
+type Session struct {
+	eng *Engine
+
+	// DistJoin overrides the engine's distributed join movement strategy
+	// for this session's queries ("auto", "broadcast" or "repartition").
+	DistJoin string
+	// Workers overrides the engine's per-host worker cap when positive.
+	Workers int
+}
+
+// Engine returns the session's engine.
+func (s *Session) Engine() *Engine { return s.eng }
+
+// cfg merges the session overrides onto the engine configuration.
+func (s *Session) cfg() Config {
+	cfg := s.eng.Config()
+	if s.DistJoin != "" {
+		cfg.DistJoin = s.DistJoin
+	}
+	if s.Workers > 0 {
+		cfg.Workers = s.Workers
+	}
+	return cfg
+}
+
+// Query parses, plans and executes q, honouring ctx: cancellation aborts
+// the execution at the next batch boundary on every engine path (serial
+// rows, morsel-parallel batches, distributed phases — including a phase
+// parked at the shared fabric's admission barrier).
+func (s *Session) Query(ctx context.Context, q string) (*Result, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(ctx, stmt)
+}
+
+// Explain plans q and returns the human-readable plan without executing.
+func (s *Session) Explain(q string) (string, error) {
+	pl := &planner{eng: s.eng, cfg: s.cfg()}
+	p, err := pl.plan(q)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// Prepare parses and validates q, returning a re-executable statement.
+// Planning runs once here so resolution and type errors surface at
+// Prepare; each Exec then lowers a fresh operator tree from the parsed
+// form, which is what makes repeated execution correct — operator trees
+// are single-use by design (see ErrPlanSpent).
+func (s *Session) Prepare(q string) (*Stmt, error) {
+	stmt, err := Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	pl := &planner{eng: s.eng, cfg: s.cfg()}
+	if _, err := pl.planStmt(stmt); err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, text: q, ast: stmt}, nil
+}
+
+// Stmt is a prepared statement: parse once, execute any number of times.
+// Each Exec plans and runs a fresh operator tree, so every run returns
+// complete results with fresh operator and network stats.
+type Stmt struct {
+	sess *Session
+	text string
+	ast  *SelectStmt
+}
+
+// Text returns the statement's SQL.
+func (st *Stmt) Text() string { return st.text }
+
+// Exec runs the statement under ctx. See Session.Query for cancellation
+// semantics.
+func (st *Stmt) Exec(ctx context.Context) (*Result, error) {
+	return st.sess.execStmt(ctx, st.ast)
+}
+
+// Explain plans the statement under the session's current configuration
+// and returns the plan text.
+func (st *Stmt) Explain() (string, error) {
+	pl := &planner{eng: st.sess.eng, cfg: st.sess.cfg()}
+	p, err := pl.planParsed(st.ast)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// execStmt plans a fresh tree with a fresh cancellation token, binds the
+// token to ctx for the duration of the run, and materializes the result.
+func (s *Session) execStmt(ctx context.Context, stmt *SelectStmt) (*Result, error) {
+	token := relational.NewCancelToken()
+	pl := &planner{eng: s.eng, cfg: s.cfg(), cancel: token}
+	p, err := pl.planParsed(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stop := context.AfterFunc(ctx, func() { token.Cancel(ctx.Err()) })
+	defer stop()
+	rel, err := relational.Collect(p.Root, "result")
+	if err != nil {
+		// The token's cause (the context error) may come back wrapped by
+		// operator layers; report the context's own error for errors.Is.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	res := &Result{Rows: rel, Steps: p.Steps, Ops: map[string]relational.OpStats{}, Net: p.NetStats()}
+	for tag, op := range p.TaggedOps {
+		res.Ops[tag] = op.Stats()
+	}
+	return res, nil
+}
+
+// Columns returns the result's column names in order (a convenience for
+// table rendering).
+func (r *Result) Columns() []string {
+	names := make([]string, len(r.Rows.Schema))
+	for i, c := range r.Rows.Schema {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Explain renders the executed plan, one line per step.
+func (r *Result) Explain() string { return strings.Join(r.Steps, "\n") }
