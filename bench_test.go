@@ -17,6 +17,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/mapreduce"
 	"repro/internal/relational"
+	"repro/internal/sdn"
 	"repro/internal/sql"
 	"repro/internal/workload"
 )
@@ -478,6 +479,120 @@ func benchSQLConcurrent(b *testing.B, sessions int) {
 func BenchmarkSQLConcurrent1(b *testing.B)  { benchSQLConcurrent(b, 1) }
 func BenchmarkSQLConcurrent4(b *testing.B)  { benchSQLConcurrent(b, 4) }
 func BenchmarkSQLConcurrent16(b *testing.B) { benchSQLConcurrent(b, 16) }
+
+// ---------------------------------------------------------------------
+// Weighted QoS on the shared fabric: two sessions run the same join
+// query simultaneously, one at the given weight and one best-effort.
+// net_µs/weighted vs net_µs/peer is the bandwidth share the control
+// plane moved: at 1:1 both degrade alike, at 3:1 the weighted session's
+// phases complete ~3x faster on every shared bottleneck.
+
+func benchSQLWeighted(b *testing.B, weight float64) {
+	b.Helper()
+	eng := sqlConcBenchEngine()
+	ctx := context.Background()
+	var wSec, peerSec float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Fabric().Expect(2)
+		var wg sync.WaitGroup
+		var resW, resP *sql.Result
+		var errW, errP error
+		run := func(res **sql.Result, errOut *error, w float64, class string) {
+			defer wg.Done()
+			sess := eng.Session()
+			sess.Priority, sess.Weight = class, w
+			*res, *errOut = sess.Query(ctx, sqlJoinQuery)
+			if *errOut != nil {
+				eng.Fabric().Withdraw()
+			}
+		}
+		wg.Add(2)
+		go run(&resW, &errW, weight, "interactive")
+		go run(&resP, &errP, 0, "batch")
+		wg.Wait()
+		if errW != nil || errP != nil {
+			b.Fatal(errW, errP)
+		}
+		wSec, peerSec = resW.Net.NetSeconds, resP.Net.NetSeconds
+	}
+	b.ReportMetric(wSec*1e6, "net_µs/weighted")
+	b.ReportMetric(peerSec*1e6, "net_µs/peer")
+	b.ReportMetric(weight, "weight")
+}
+
+func BenchmarkSQLWeightedUniform(b *testing.B) { benchSQLWeighted(b, 1) }
+func BenchmarkSQLWeighted3to1(b *testing.B)    { benchSQLWeighted(b, 3) }
+
+// ---------------------------------------------------------------------
+// Fabric controller in the loop: 4 concurrent sessions on a leaf–spine
+// fabric whose admission rounds pass through an sdn.NetController
+// running reroute-hot-links + strict-priority. reroutes counts flows
+// the controller moved off their default ECMP paths; ctl_µs is the
+// accumulated simulated control-plane latency.
+
+var sqlCtlBenchEngine = sync.OnceValue(func() *sql.Engine {
+	cfg := sql.DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = 4
+	cfg.Topology = "leafspine"
+	cfg.Controller = sdn.NewNetController(nil, sdn.Chain{sdn.RerouteHotLinks{}, sdn.StrictPriority{}}, 4096)
+	eng, err := sql.NewEngine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	sql.RegisterDemo(eng, 42, 1<<18, 2000)
+	return eng
+})
+
+func BenchmarkSQLControllerReroute(b *testing.B) {
+	eng := sqlCtlBenchEngine()
+	ctl := eng.Config().Controller.(*sdn.NetController)
+	ctx := context.Background()
+	const sessions = 4
+	var netSec float64
+	// The engine (and its controller) is shared across iterations and
+	// calibration reruns: report per-iteration deltas of its cumulative
+	// counters, not lifetime totals.
+	overridesBefore := eng.Fabric().Stats().PathOverrides
+	ctlBefore := ctl.ControlLatencyUS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Fabric().Expect(sessions)
+		secs := make([]float64, sessions)
+		errs := make([]error, sessions)
+		var wg sync.WaitGroup
+		for s := 0; s < sessions; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sess := eng.Session()
+				if s == 0 {
+					sess.Priority = "interactive"
+				}
+				res, err := sess.Query(ctx, sqlJoinQuery)
+				if err != nil {
+					errs[s] = err
+					eng.Fabric().Withdraw()
+					return
+				}
+				secs[s] = res.Net.NetSeconds
+			}(s)
+		}
+		wg.Wait()
+		total := 0.0
+		for s := 0; s < sessions; s++ {
+			if errs[s] != nil {
+				b.Fatal(errs[s])
+			}
+			total += secs[s]
+		}
+		netSec = total / sessions
+	}
+	b.ReportMetric(netSec*1e6, "net_µs/query")
+	b.ReportMetric(float64(eng.Fabric().Stats().PathOverrides-overridesBefore)/float64(b.N), "reroutes/op")
+	b.ReportMetric((ctl.ControlLatencyUS-ctlBefore)/float64(b.N), "ctl_µs/op")
+}
 
 func BenchmarkMapReduceWordCount(b *testing.B) {
 	docs := workload.Corpus(5, 200, 200, 1000)

@@ -10,7 +10,14 @@
 // executed by N parallel sessions against the engine's one shared
 // fabric, and the per-query network times show the contention; an
 // aggregate fabric report (admission rounds, peak coexisting queries and
-// flows, hot-link utilization) closes the run.
+// flows, hot-link utilization, per-class bytes) closes the run.
+//
+// QoS: -priority and -weight give the first concurrent session a QoS
+// class and a weighted-max-min scheduling weight (its peers stay
+// best-effort at weight 1), demonstrating that a weighted session's
+// network time degrades less under the same contention; -sdn plugs a
+// fabric controller policy (baseline, reroute, priority,
+// reroute+priority) into the engine's shared fabric.
 //
 // Usage:
 //
@@ -19,6 +26,8 @@
 //	rethink-sql -serial "SELECT ... "
 //	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
 //	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
+//	rethink-sql -dist -concurrency 4 -priority interactive -weight 3
+//	rethink-sql -dist -sdn reroute+priority -concurrency 4
 //	rethink-sql -timeout 100ms "SELECT ... "        # context cancellation
 //	rethink-sql                                     # runs a demo query set
 package main
@@ -34,6 +43,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/relational"
+	"repro/internal/sdn"
 	"repro/internal/sql"
 )
 
@@ -53,6 +63,9 @@ func main() {
 	hashShard := flag.Bool("hash-shard", false, "hash-partition tables instead of range partitioning")
 	concurrency := flag.Int("concurrency", 1, "parallel sessions executing the query list against the shared fabric")
 	timeout := flag.Duration("timeout", 0, "per-query context timeout (0 = none)")
+	priority := flag.String("priority", "", "QoS class for the first session (others stay best-effort); e.g. interactive, batch")
+	weight := flag.Float64("weight", 0, "weighted-max-min scheduling weight for the first session (0 = uniform)")
+	sdnPolicy := flag.String("sdn", "", "fabric controller policy: "+strings.Join(sdn.Policies, ", ")+" (empty = fixed data plane)")
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -63,6 +76,15 @@ func main() {
 	cfg.Topology = *topology
 	cfg.DistJoin = *distJoin
 	cfg.ShardHash = *hashShard
+	if *sdnPolicy != "" {
+		pol := sdn.PolicyByName(*sdnPolicy)
+		if pol == nil {
+			log.Fatalf("unknown -sdn policy %q (have %s)", *sdnPolicy, strings.Join(sdn.Policies, ", "))
+		}
+		// The controller binds its topology view from the engine fabric's
+		// first admission round.
+		cfg.Controller = sdn.NewNetController(nil, pol, 4096)
+	}
 	eng, err := sql.NewEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -94,6 +116,7 @@ func main() {
 
 	if *concurrency <= 1 {
 		sess := eng.Session()
+		sess.Priority, sess.Weight = *priority, *weight
 		for _, q := range queries {
 			out, err := runOne(sess, q, *timeout)
 			if err != nil {
@@ -127,6 +150,12 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			sess := eng.Session()
+			if i == 0 {
+				// The flagged session: its peers stay best-effort, so the
+				// per-query admission lines show the weighted session's net
+				// time degrading less on the same fabric.
+				sess.Priority, sess.Weight = *priority, *weight
+			}
 			var b strings.Builder
 			for q := range work {
 				out, err := runOne(sess, q, *timeout)

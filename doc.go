@@ -17,7 +17,17 @@
 // broadcast, shuffle and gather as simulated network flows on the
 // engine's one shared simulator — so concurrent sessions contend for
 // the fabric exactly as the roadmap's multi-query interference argument
-// requires. See README.md for the package map, the migration table from
-// the deprecated DB/Options API, and build, test and benchmark
-// instructions.
+// requires. The fabric carries a programmable control plane
+// (netsim.Controller, wired via sql.Config.Controller): between
+// admission rounds it observes pending flows and link loads and may
+// reroute flows or assign scheduling weights, which the data plane
+// honours through weighted max-min fairness; sessions tag their flows
+// with QoS classes and weights (Session.Priority / Session.Weight), the
+// reference controller lives in internal/sdn (NetController over a
+// flow-table with LRU eviction, plus the Baseline / RerouteHotLinks /
+// StrictPriority policy catalog), and every Result reports its
+// admission view (rounds joined, barrier wait, class, weight) next to
+// its network stats. See README.md for the package map, the migration
+// table from the deprecated DB/Options API, the control-plane policy
+// catalog, and build, test and benchmark instructions.
 package repro

@@ -164,6 +164,11 @@ type QueryStats struct {
 	MeanLinkUtil  float64
 	MaxLinkUtil   float64
 	Links         []netsim.LinkLoad
+	// Adm is the query's admission-layer report: rounds its phases
+	// joined, wall-clock barrier wait (the queueing delay of sharing the
+	// fabric with concurrent queries), and the QoS class/weight its flows
+	// competed under.
+	Adm netsim.PartyStats
 }
 
 // Summary renders the stats as one human-readable block.
@@ -175,6 +180,12 @@ func (s *QueryStats) Summary() string {
 		fmt.Fprintf(&b, "  phase %-12s %3d flows %12.0f B %10.3f ms\n", p.Name, p.Flows, p.Bytes, p.Seconds*1e3)
 	}
 	fmt.Fprintf(&b, "  link utilization: mean %.1f%%, max %.1f%%", s.MeanLinkUtil*100, s.MaxLinkUtil*100)
+	class := s.Adm.Class
+	if class == "" {
+		class = "best-effort"
+	}
+	fmt.Fprintf(&b, "\n  admission: class %s, weight %.3g — %d rounds joined, %.3f ms barrier wait",
+		class, s.Adm.Weight, s.Adm.RoundsJoined, s.Adm.BarrierWaitSeconds*1e3)
 	return b.String()
 }
 
@@ -272,6 +283,7 @@ func (q *QueryRun) Close() {
 // returns the stats.
 func (q *QueryRun) Finish() *QueryStats {
 	q.Close()
+	q.stats.Adm = q.party.Stats()
 	if q.stats.NetSeconds > 0 {
 		denom := q.stats.NetSeconds
 		total := 0.0

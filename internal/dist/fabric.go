@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/netsim"
@@ -22,9 +23,25 @@ type Fabric struct {
 	adm *netsim.Admission
 }
 
-// NewFabric wraps the cluster's topology in one shared simulator.
+// NewFabric wraps the cluster's topology in one shared simulator with
+// no controller: flows keep their default seeded-ECMP routes and
+// requested weights (the fixed data plane).
 func NewFabric(c *Cluster) *Fabric {
-	return &Fabric{c: c, adm: netsim.NewAdmission(netsim.NewSimulator(c.Net))}
+	return NewFabricController(c, nil)
+}
+
+// NewFabricController is NewFabric with a programmable control plane:
+// ctl observes every admission round (pending flows, link loads) and may
+// reroute or reweight flows before they enter the fabric. A nil ctl is
+// the fixed data plane. sdn.NewNetController builds the reference
+// implementation; controllers constructed with a nil topology bind their
+// view from the first round.
+func NewFabricController(c *Cluster, ctl netsim.Controller) *Fabric {
+	adm := netsim.NewAdmission(netsim.NewSimulator(c.Net))
+	if ctl != nil {
+		adm.SetController(ctl)
+	}
+	return &Fabric{c: c, adm: adm}
 }
 
 // Cluster returns the fabric's host placement.
@@ -52,6 +69,16 @@ func (f *Fabric) NewQuery() *QueryRun { return f.NewQueryCancel(nil) }
 // token aborts phases parked at the admission barrier, and Close/Finish
 // still deregisters as usual.
 func (f *Fabric) NewQueryCancel(t *relational.CancelToken) *QueryRun {
+	return f.NewQueryQoS(t, "", 0)
+}
+
+// NewQueryQoS is NewQueryCancel with a QoS identity: every flow the
+// query charges carries the class tag (per-class fabric attribution,
+// controller policy input) and competes with the given weight under the
+// weighted max-min allocator (0 = uniform weight 1). Two concurrent
+// queries at weights 3:1 see ~3:1 rates on shared bottlenecks, so the
+// weighted query's phases complete sooner.
+func (f *Fabric) NewQueryQoS(t *relational.CancelToken, class string, weight float64) *QueryRun {
 	q := &QueryRun{
 		c:      f.c,
 		fab:    f,
@@ -59,7 +86,7 @@ func (f *Fabric) NewQueryCancel(t *relational.CancelToken) *QueryRun {
 		stats:  &QueryStats{Shards: f.c.Shards(), Topology: f.c.Topology},
 		link:   map[dirKey]float64{},
 	}
-	q.party = f.adm.Join(t.Err)
+	q.party = f.adm.JoinQoS(t.Err, class, weight)
 	if t != nil {
 		t.OnCancel(f.adm.Wake)
 	}
@@ -82,6 +109,12 @@ type FabricStats struct {
 	// flow; Bytes is the total traffic admitted.
 	BusySeconds float64
 	Bytes       float64
+	// ClassBytes attributes the admitted bytes to QoS classes ("" is
+	// best-effort traffic) — the per-tenant view of who used the fabric.
+	ClassBytes map[string]float64
+	// PathOverrides counts flows the fabric controller rerouted off
+	// their default ECMP routes.
+	PathOverrides int
 	// MeanLinkUtil / MaxLinkUtil are computed over BusySeconds, so two
 	// queries sharing rounds (overlapping in time) drive utilization
 	// strictly above what either achieves alone.
@@ -93,12 +126,14 @@ type FabricStats struct {
 func (f *Fabric) Stats() *FabricStats {
 	a := f.adm.Stats()
 	st := &FabricStats{
-		Topology:    f.c.Topology,
-		Rounds:      a.Rounds,
-		PeakFlows:   a.PeakFlows,
-		PeakQueries: a.PeakParties,
-		BusySeconds: a.BusySeconds,
-		Bytes:       a.Bytes,
+		Topology:      f.c.Topology,
+		Rounds:        a.Rounds,
+		PeakFlows:     a.PeakFlows,
+		PeakQueries:   a.PeakParties,
+		BusySeconds:   a.BusySeconds,
+		Bytes:         a.Bytes,
+		ClassBytes:    a.ClassBytes,
+		PathOverrides: a.PathOverrides,
 	}
 	if a.BusySeconds <= 0 {
 		return st
@@ -125,5 +160,23 @@ func (s *FabricStats) Summary() string {
 		s.Topology, s.Rounds, s.PeakQueries, s.PeakFlows)
 	fmt.Fprintf(&b, "  %.0f bytes over %.3f ms busy; link utilization mean %.1f%%, max %.1f%%",
 		s.Bytes, s.BusySeconds*1e3, s.MeanLinkUtil*100, s.MaxLinkUtil*100)
+	if len(s.ClassBytes) > 0 {
+		classes := make([]string, 0, len(s.ClassBytes))
+		for c := range s.ClassBytes {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		b.WriteString("\n  per-class bytes:")
+		for _, c := range classes {
+			name := c
+			if name == "" {
+				name = "best-effort"
+			}
+			fmt.Fprintf(&b, " %s=%.0f", name, s.ClassBytes[c])
+		}
+	}
+	if s.PathOverrides > 0 {
+		fmt.Fprintf(&b, "\n  controller: %d flows rerouted", s.PathOverrides)
+	}
 	return b.String()
 }

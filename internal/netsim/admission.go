@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Admission is the concurrent-safe flow-admission layer over one shared
@@ -35,6 +36,7 @@ type Admission struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	sim  *Simulator
+	ctl  Controller
 
 	parties map[int]*Party
 	nextID  int
@@ -60,12 +62,25 @@ type AdmissionStats struct {
 	BusySeconds float64
 	// Bytes is the total bytes admitted.
 	Bytes float64
+	// ClassBytes attributes admitted bytes to QoS classes ("" is
+	// best-effort traffic).
+	ClassBytes map[string]float64
+	// PathOverrides counts flows the controller rerouted off their
+	// default ECMP path; RejectedOverrides counts malformed controller
+	// path overrides that were refused (the flow kept its default route).
+	PathOverrides     int
+	RejectedOverrides int
 }
 
-// FlowReq is one requested flow of a submission.
+// FlowReq is one requested flow of a submission. Class and Weight
+// override the party's defaults for this flow alone; zero values
+// inherit (and an unset weight everywhere means uniform weight 1, the
+// pre-control-plane behaviour).
 type FlowReq struct {
 	Src, Dst int
 	Bytes    float64
+	Class    string
+	Weight   float64
 }
 
 // Party is one workload's handle on the admission layer.
@@ -76,12 +91,40 @@ type Party struct {
 	cancelled func() error
 	pending   *submission
 	left      bool
+
+	class  string
+	weight float64
+	pstats PartyStats
+}
+
+// PartyStats is the per-party slice of the admission accounting: how
+// many rounds this party's phases joined, how long its submissions
+// waited at the round barrier, and the QoS identity its flows carried.
+// It is the per-query admission report the SQL layer surfaces next to
+// the per-query network stats.
+type PartyStats struct {
+	// RoundsJoined counts admission rounds that carried a submission of
+	// this party.
+	RoundsJoined int
+	// BarrierWaitSeconds accumulates wall-clock time the party's phases
+	// spent parked between being offered and their round being admitted
+	// — the queueing delay imposed by waiting for concurrent parties to
+	// reach their own communication phases. The rounds' simulator
+	// execution is excluded, so an uncontended party's wait is ~zero.
+	BarrierWaitSeconds float64
+	// Class and Weight are the party's QoS defaults (weight 0 reads as 1).
+	Class  string
+	Weight float64
 }
 
 // submission is one pending phase: the requests going in, and the
-// completed flows plus the phase makespan coming out.
+// completed flows plus the phase makespan coming out. queued stamps the
+// enqueue instant so the round that admits the phase can charge the
+// barrier wait (enqueue to round start — excluding the round's own
+// simulator execution).
 type submission struct {
 	reqs    []FlowReq
+	queued  time.Time
 	flows   []*Flow
 	seconds float64
 	done    bool
@@ -100,12 +143,35 @@ func NewAdmission(sim *Simulator) *Admission {
 // party waits at the round barrier: a non-nil return abandons the wait
 // (pair it with Wake so cancellation interrupts a parked Submit).
 func (a *Admission) Join(cancelled func() error) *Party {
+	return a.JoinQoS(cancelled, "", 0)
+}
+
+// JoinQoS is Join with a QoS identity: class tags the party's flows for
+// per-class attribution and controller policies, and weight (when
+// positive) is the default scheduling weight of its flows under the
+// weighted max-min allocator. Individual FlowReqs may override both.
+func (a *Admission) JoinQoS(cancelled func() error, class string, weight float64) *Party {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	p := &Party{a: a, id: a.nextID, cancelled: cancelled}
+	p := &Party{a: a, id: a.nextID, cancelled: cancelled, class: class, weight: weight}
+	p.pstats.Class = class
+	p.pstats.Weight = weight
+	if p.pstats.Weight <= 0 {
+		p.pstats.Weight = 1
+	}
 	a.nextID++
 	a.parties[p.id] = p
 	return p
+}
+
+// SetController installs (or, with nil, removes) the fabric controller
+// consulted between rounds. Install it before traffic flows: the round
+// in flight when the controller changes keeps the policy it started
+// with, but there is no synchronization beyond the admission lock.
+func (a *Admission) SetController(c Controller) {
+	a.mu.Lock()
+	a.ctl = c
+	a.mu.Unlock()
 }
 
 // Expect delays the next round until at least n parties have joined.
@@ -145,7 +211,14 @@ func (a *Admission) Wake() {
 func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.stats
+	st := a.stats
+	if a.stats.ClassBytes != nil {
+		st.ClassBytes = make(map[string]float64, len(a.stats.ClassBytes))
+		for k, v := range a.stats.ClassBytes {
+			st.ClassBytes[k] = v
+		}
+	}
+	return st
 }
 
 // LinkLoads snapshots the shared simulator's cumulative per-link bytes.
@@ -174,7 +247,7 @@ func (p *Party) Submit(reqs []FlowReq) (float64, []*Flow, error) {
 	if p.left {
 		return 0, nil, fmt.Errorf("netsim: submit after leave")
 	}
-	sub := &submission{reqs: reqs}
+	sub := &submission{reqs: reqs, queued: time.Now()}
 	p.pending = sub
 	a.cond.Broadcast()
 	for !sub.done {
@@ -221,6 +294,14 @@ func (p *Party) cancelErr() error {
 	return p.cancelled()
 }
 
+// Stats snapshots the party's admission accounting. It remains readable
+// after Leave (queries read it while finalizing their reports).
+func (p *Party) Stats() PartyStats {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	return p.pstats
+}
+
 // ready reports whether a round may run: the floor is met and every
 // joined party has a phase pending. Callers hold a.mu.
 func (a *Admission) ready() bool {
@@ -237,11 +318,14 @@ func (a *Admission) ready() bool {
 
 // runRound admits every pending submission at virtual time zero, runs
 // the simulator until all of the round's flows complete, and records
-// per-submission makespans. Callers hold a.mu; the round runs entirely
-// under the lock, so waiters only ever observe completed rounds.
+// per-submission makespans. Between collecting the round's requests and
+// injecting them, the controller (if any) observes the pending flows
+// plus link state and may override any flow's route or weight. Callers
+// hold a.mu; the round runs entirely under the lock, so waiters only
+// ever observe completed rounds.
 func (a *Admission) runRound() {
 	a.sim.ResetClock()
-	// Deterministic injection order: parties by ID, requests in
+	// Deterministic admission order: parties by ID, requests in
 	// submission order; each party consumes its own ECMP seed sequence.
 	ids := make([]int, 0, len(a.parties))
 	for id := range a.parties {
@@ -249,26 +333,101 @@ func (a *Admission) runRound() {
 	}
 	sort.Ints(ids)
 	subs := make([]*submission, 0, len(ids))
-	nflows := 0
+	// First pass: route every admissible request on its default seeded
+	// ECMP path and resolve its effective QoS identity. Requests that
+	// fail validation or routing record the submission's error exactly as
+	// direct injection used to, and consume their ECMP seed either way.
+	type candidate struct {
+		sub *submission
+		pf  PendingFlow
+	}
+	var cands []candidate
+	now := time.Now()
 	for _, id := range ids {
 		p := a.parties[id]
 		sub := p.pending
 		p.pending = nil
 		sub.done = true
+		p.pstats.RoundsJoined++
+		p.pstats.BarrierWaitSeconds += now.Sub(sub.queued).Seconds()
 		for _, r := range sub.reqs {
-			f, err := a.sim.StartFlowSeeded(r.Src, r.Dst, r.Bytes, p.seed)
+			seed := p.seed
 			p.seed++
-			if err != nil {
+			if r.Bytes <= 0 {
 				if sub.err == nil {
-					sub.err = err
+					sub.err = fmt.Errorf("netsim: flow size must be positive, got %v", r.Bytes)
 				}
 				continue
 			}
-			sub.flows = append(sub.flows, f)
-			nflows++
-			a.stats.Bytes += r.Bytes
+			path, ok := a.sim.Net.PickECMP(r.Src, r.Dst, seed, a.sim.ECMPWidth)
+			if !ok {
+				if sub.err == nil {
+					sub.err = fmt.Errorf("netsim: no route %d -> %d", r.Src, r.Dst)
+				}
+				continue
+			}
+			class, weight := r.Class, r.Weight
+			if class == "" {
+				class = p.class
+			}
+			if weight <= 0 {
+				weight = p.weight
+			}
+			if weight <= 0 {
+				weight = 1
+			}
+			cands = append(cands, candidate{sub: sub, pf: PendingFlow{
+				Party: p.id, Src: r.Src, Dst: r.Dst, Bytes: r.Bytes,
+				Class: class, Weight: weight, Seed: seed, Path: path,
+			}})
 		}
 		subs = append(subs, sub)
+	}
+	// Control plane: the controller observes the round and overrides
+	// routes/weights. A nil controller (or a zero Decision) leaves every
+	// flow on its default path at its requested weight, which is the
+	// bit-identical pre-control-plane data plane.
+	var decisions []Decision
+	if a.ctl != nil && len(cands) > 0 {
+		st := &RoundState{Round: a.stats.Rounds, Net: a.sim.Net, Loads: a.sim.LinkLoads()}
+		st.Pending = make([]PendingFlow, len(cands))
+		for i, c := range cands {
+			st.Pending[i] = c.pf
+		}
+		decisions = a.ctl.Admit(st)
+	}
+	nflows := 0
+	for i, c := range cands {
+		pf := c.pf
+		path, weight := pf.Path, pf.Weight
+		if i < len(decisions) {
+			d := decisions[i]
+			if d.Weight > 0 {
+				weight = d.Weight
+			}
+			if d.Path != nil {
+				if validPath(a.sim.Net, *d.Path, pf.Src, pf.Dst) {
+					path = *d.Path
+					a.stats.PathOverrides++
+				} else {
+					a.stats.RejectedOverrides++
+				}
+			}
+		}
+		f, err := a.sim.StartFlowRouted(pf.Src, pf.Dst, pf.Bytes, path, weight, pf.Class)
+		if err != nil {
+			if c.sub.err == nil {
+				c.sub.err = err
+			}
+			continue
+		}
+		c.sub.flows = append(c.sub.flows, f)
+		nflows++
+		a.stats.Bytes += pf.Bytes
+		if a.stats.ClassBytes == nil {
+			a.stats.ClassBytes = map[string]float64{}
+		}
+		a.stats.ClassBytes[pf.Class] += pf.Bytes
 	}
 	a.sim.Run()
 	for _, sub := range subs {

@@ -1,0 +1,108 @@
+package netsim
+
+import "repro/internal/topo"
+
+// The fabric control-plane API. The data plane — weighted max-min rate
+// allocation over seeded-ECMP routes — runs fixed policy at line rate; a
+// Controller is the programmable layer above it. Between admission
+// rounds the Admission layer shows the controller everything about to
+// enter the fabric (the pending flows with their default routes, classes
+// and weights, plus the cumulative per-link load) and lets it override
+// any flow's path or scheduling weight before a byte moves. This is the
+// roadmap's SDN thesis as an executable seam: "SDN helps Big Data to
+// optimize access to data" means load-aware rerouting and per-tenant
+// prioritization live in software above the fabric, not in the fairness
+// model.
+//
+// internal/sdn.NetController is the reference implementation (flow-table
+// backed routing with LRU rule eviction and a pluggable policy catalog);
+// a nil controller leaves every flow on its default seeded-ECMP route at
+// its requested weight, which replays bit-identically with the
+// pre-control-plane fabric.
+
+// PendingFlow is one flow awaiting admission, as a Controller observes
+// it: the request plus the route and weight the data plane would use if
+// the controller stays silent.
+type PendingFlow struct {
+	// Party identifies the submitting workload (stable across its rounds).
+	Party int
+	// Src, Dst, Bytes echo the FlowReq.
+	Src, Dst int
+	Bytes    float64
+	// Class is the flow's QoS class tag ("" = best-effort). Classes feed
+	// policy decisions and per-class byte attribution; they have no
+	// effect on the data plane by themselves.
+	Class string
+	// Weight is the effective requested scheduling weight (defaulted to
+	// 1) the weighted max-min allocator will use absent an override.
+	Weight float64
+	// Seed is the per-party ECMP seed that selected Path.
+	Seed int
+	// Path is the default seeded-ECMP route.
+	Path topo.Path
+}
+
+// Decision is a controller's override for one pending flow. The zero
+// Decision keeps the flow's defaults.
+type Decision struct {
+	// Path, when non-nil, replaces the default route. It must be a valid
+	// path from the flow's Src to its Dst over the fabric's links;
+	// invalid overrides are rejected (counted in
+	// AdmissionStats.RejectedOverrides) and the default route used.
+	Path *topo.Path
+	// Weight, when positive, replaces the flow's scheduling weight.
+	Weight float64
+}
+
+// RoundState is everything a Controller observes about one admission
+// round before it runs.
+type RoundState struct {
+	// Round is the round ordinal (0-based) on this admission layer.
+	Round int
+	// Net is the fabric topology; controllers that were constructed
+	// before the fabric existed bind their topology view from it lazily.
+	Net *topo.Network
+	// Pending lists the round's flows in admission order: parties by ID,
+	// each party's requests in submission order.
+	Pending []PendingFlow
+	// Loads is the cumulative per-directed-link byte count over the
+	// fabric's whole life (the Util fields are meaningless between
+	// rounds; window them against AdmissionStats.BusySeconds).
+	Loads []LinkLoad
+}
+
+// Controller is a programmable fabric control plane: it observes each
+// admission round's pending flows and link state and returns per-flow
+// routing/weight overrides. decisions[i] applies to Pending[i]; a short
+// (or nil) slice leaves the remaining flows on their defaults.
+//
+// Admit is called with the admission layer's lock held, once per round,
+// from whichever goroutine triggered the round: implementations must not
+// block, must not call back into the Admission layer, and need no
+// internal locking as calls are serialized.
+type Controller interface {
+	Admit(st *RoundState) []Decision
+}
+
+// validPath reports whether p is a well-formed src->dst walk over net's
+// links. The admission layer refuses malformed controller overrides
+// rather than charging bytes to links a flow never crossed.
+func validPath(net *topo.Network, p topo.Path, src, dst int) bool {
+	if len(p.NodeIDs) == 0 || p.NodeIDs[0] != src || p.NodeIDs[len(p.NodeIDs)-1] != dst {
+		return false
+	}
+	if len(p.LinkIDs) != len(p.NodeIDs)-1 {
+		return false
+	}
+	for i, lid := range p.LinkIDs {
+		if lid < 0 || lid >= len(net.Links) {
+			return false
+		}
+		l := net.Links[lid]
+		a, b := p.NodeIDs[i], p.NodeIDs[i+1]
+		if !(l.A == a && l.B == b) && !(l.A == b && l.B == a) {
+			return false
+		}
+	}
+	return true
+}

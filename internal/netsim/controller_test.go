@@ -1,0 +1,273 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// almostEq compares with relative tolerance (analytic expectations vs
+// progressive-filling arithmetic).
+func almostEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// TestWeightedMaxMinShares: two equal flows into one bottleneck at
+// weights 3:1 split its capacity 3:1, so the weighted flow finishes in
+// a third of the time its peer would need at that point; after it
+// retires, the survivor takes the full link.
+func TestWeightedMaxMinShares(t *testing.T) {
+	a := NewAdmission(admissionSim()) // SingleSwitch(4, Gen10)
+	p := a.Join(nil)
+	defer p.Leave()
+	const bytes = 1e7
+	cap := topo.Gen10.BytesPerSec()
+	_, flows, err := p.Submit([]FlowReq{
+		{Src: 0, Dst: 1, Bytes: bytes, Weight: 3},
+		{Src: 2, Dst: 1, Bytes: bytes, Weight: 1},
+	})
+	if err != nil || len(flows) != 2 {
+		t.Fatalf("flows=%d err=%v", len(flows), err)
+	}
+	prop := flows[0].Path.DelayNS(a.sim.Net) * 1e-9
+	// Weighted flow: rate 3/4 cap until done.
+	wantFast := bytes/(0.75*cap) + prop
+	// Peer: rate 1/4 cap until t1, then the full link.
+	t1 := bytes / (0.75 * cap)
+	wantSlow := t1 + (bytes-t1*0.25*cap)/cap + prop
+	if got := flows[0].FCT(); !almostEq(got, wantFast) {
+		t.Fatalf("weighted FCT %.9f, want %.9f", got, wantFast)
+	}
+	if got := flows[1].FCT(); !almostEq(got, wantSlow) {
+		t.Fatalf("best-effort FCT %.9f, want %.9f", got, wantSlow)
+	}
+	if flows[0].Weight != 3 || flows[1].Weight != 1 {
+		t.Fatalf("flow weights %v / %v", flows[0].Weight, flows[1].Weight)
+	}
+}
+
+// TestUniformWeightsBitIdentical: explicit weight-1 QoS submissions and
+// plain submissions produce bit-identical round outcomes — the
+// weighted allocator degenerates exactly to the unweighted one.
+func TestUniformWeightsBitIdentical(t *testing.T) {
+	reqsPlain := []FlowReq{{Src: 0, Dst: 1, Bytes: 3e6}, {Src: 2, Dst: 1, Bytes: 1e6}}
+	reqsQoS := []FlowReq{
+		{Src: 0, Dst: 1, Bytes: 3e6, Weight: 1, Class: "batch"},
+		{Src: 2, Dst: 1, Bytes: 1e6, Weight: 1, Class: "batch"},
+	}
+	run := func(reqs []FlowReq, qos bool) float64 {
+		a := NewAdmission(admissionSim())
+		var p *Party
+		if qos {
+			p = a.JoinQoS(nil, "batch", 1)
+		} else {
+			p = a.Join(nil)
+		}
+		defer p.Leave()
+		sec, _, err := p.Submit(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sec
+	}
+	plain, qos := run(reqsPlain, false), run(reqsQoS, true)
+	if plain != qos {
+		t.Fatalf("uniform weights must be bit-identical: %v vs %v", plain, qos)
+	}
+}
+
+// recordingController captures what it observed and applies scripted
+// decisions.
+type recordingController struct {
+	states    []*RoundState
+	decisions func(st *RoundState) []Decision
+}
+
+func (c *recordingController) Admit(st *RoundState) []Decision {
+	c.states = append(c.states, st)
+	if c.decisions == nil {
+		return nil
+	}
+	return c.decisions(st)
+}
+
+func twoSpineSim() *Simulator {
+	return NewSimulator(topo.LeafSpine(topo.LeafSpineSpec{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostSpeed: topo.Gen10, FabricSpeed: topo.Gen40,
+	}))
+}
+
+// TestControllerObservesRound: the controller sees every pending flow
+// with its default route, class, weight and the fabric's link loads.
+func TestControllerObservesRound(t *testing.T) {
+	ctl := &recordingController{}
+	a := NewAdmission(twoSpineSim())
+	a.SetController(ctl)
+	p := a.JoinQoS(nil, "interactive", 2)
+	defer p.Leave()
+	if _, _, err := p.Submit([]FlowReq{{Src: 0, Dst: 2, Bytes: 1e6}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ctl.states) != 1 {
+		t.Fatalf("controller saw %d rounds, want 1", len(ctl.states))
+	}
+	st := ctl.states[0]
+	if len(st.Pending) != 1 || st.Net == nil || st.Round != 0 {
+		t.Fatalf("round state: %+v", st)
+	}
+	pf := st.Pending[0]
+	if pf.Src != 0 || pf.Dst != 2 || pf.Class != "interactive" || pf.Weight != 2 || len(pf.Path.LinkIDs) == 0 {
+		t.Fatalf("pending flow: %+v", pf)
+	}
+}
+
+// TestControllerPathOverride: a controller-supplied route replaces the
+// default ECMP pick, and the rerouted flow charges its bytes to the
+// override's links, not the default's.
+func TestControllerPathOverride(t *testing.T) {
+	sim := twoSpineSim()
+	// Hosts 0 (leaf0) and 2 (leaf1) have exactly two spine choices.
+	choices := sim.Net.ECMPPaths(0, 2, 8)
+	if len(choices) != 2 {
+		t.Fatalf("want 2 ECMP paths, got %d", len(choices))
+	}
+	ctl := &recordingController{decisions: func(st *RoundState) []Decision {
+		def := st.Pending[0].Path
+		for _, c := range choices {
+			same := len(c.LinkIDs) == len(def.LinkIDs)
+			if same {
+				for i := range c.LinkIDs {
+					if c.LinkIDs[i] != def.LinkIDs[i] {
+						same = false
+						break
+					}
+				}
+			}
+			if !same {
+				alt := c
+				return []Decision{{Path: &alt}}
+			}
+		}
+		t.Fatal("no alternative path found")
+		return nil
+	}}
+	a := NewAdmission(sim)
+	a.SetController(ctl)
+	p := a.Join(nil)
+	defer p.Leave()
+	_, flows, err := p.Submit([]FlowReq{{Src: 0, Dst: 2, Bytes: 1e6}})
+	if err != nil || len(flows) != 1 {
+		t.Fatalf("flows=%d err=%v", len(flows), err)
+	}
+	def := ctl.states[0].Pending[0].Path
+	if samePathIDs(flows[0].Path, def) {
+		t.Fatal("flow kept its default path despite the override")
+	}
+	if st := a.Stats(); st.PathOverrides != 1 || st.RejectedOverrides != 0 {
+		t.Fatalf("override counters: %+v", st)
+	}
+	// Bytes landed on the override's links and not on the default's
+	// spine hop (first differing link).
+	loads := map[int]float64{}
+	for _, l := range a.LinkLoads() {
+		loads[l.LinkID] += l.Bytes
+	}
+	for _, lid := range flows[0].Path.LinkIDs {
+		if loads[lid] == 0 {
+			t.Fatalf("override link %d carried no bytes", lid)
+		}
+	}
+	for i, lid := range def.LinkIDs {
+		if lid != flows[0].Path.LinkIDs[i] && loads[lid] != 0 {
+			t.Fatalf("default-only link %d still carried bytes", lid)
+		}
+	}
+}
+
+// TestControllerInvalidOverrideRejected: a malformed path override is
+// refused — the flow runs on its default route and the rejection is
+// counted — rather than corrupting link accounting.
+func TestControllerInvalidOverrideRejected(t *testing.T) {
+	bogus := topo.Path{NodeIDs: []int{0, 99}, LinkIDs: []int{0}}
+	ctl := &recordingController{decisions: func(st *RoundState) []Decision {
+		return []Decision{{Path: &bogus}}
+	}}
+	a := NewAdmission(twoSpineSim())
+	a.SetController(ctl)
+	p := a.Join(nil)
+	defer p.Leave()
+	sec, flows, err := p.Submit([]FlowReq{{Src: 0, Dst: 2, Bytes: 1e6}})
+	if err != nil || sec <= 0 || len(flows) != 1 || !flows[0].Done {
+		t.Fatalf("sec=%v flows=%d err=%v", sec, len(flows), err)
+	}
+	if !samePathIDs(flows[0].Path, ctl.states[0].Pending[0].Path) {
+		t.Fatal("rejected override must keep the default path")
+	}
+	if st := a.Stats(); st.PathOverrides != 0 || st.RejectedOverrides != 1 {
+		t.Fatalf("override counters: %+v", st)
+	}
+}
+
+// TestControllerWeightOverride: a controller-assigned weight shapes
+// rates exactly like a requested weight.
+func TestControllerWeightOverride(t *testing.T) {
+	ctl := &recordingController{decisions: func(st *RoundState) []Decision {
+		return []Decision{{Weight: 3}} // second flow keeps weight 1
+	}}
+	a := NewAdmission(admissionSim())
+	a.SetController(ctl)
+	p := a.Join(nil)
+	defer p.Leave()
+	const bytes = 1e7
+	_, flows, err := p.Submit([]FlowReq{
+		{Src: 0, Dst: 1, Bytes: bytes},
+		{Src: 2, Dst: 1, Bytes: bytes},
+	})
+	if err != nil || len(flows) != 2 {
+		t.Fatalf("flows=%d err=%v", len(flows), err)
+	}
+	cap := topo.Gen10.BytesPerSec()
+	prop := flows[0].Path.DelayNS(a.sim.Net) * 1e-9
+	if got, want := flows[0].FCT(), bytes/(0.75*cap)+prop; !almostEq(got, want) {
+		t.Fatalf("reweighted FCT %.9f, want %.9f", got, want)
+	}
+}
+
+// TestAdmissionClassBytes: admitted bytes are attributed to the
+// effective class of each flow (request override beats party default).
+func TestAdmissionClassBytes(t *testing.T) {
+	a := NewAdmission(admissionSim())
+	p := a.JoinQoS(nil, "batch", 0)
+	defer p.Leave()
+	if _, _, err := p.Submit([]FlowReq{
+		{Src: 0, Dst: 1, Bytes: 2e6},
+		{Src: 2, Dst: 1, Bytes: 1e6, Class: "interactive"},
+		{Src: 3, Dst: 1, Bytes: 5e5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.ClassBytes["batch"] != 2.5e6 || st.ClassBytes["interactive"] != 1e6 {
+		t.Fatalf("class bytes: %+v", st.ClassBytes)
+	}
+	ps := p.Stats()
+	if ps.RoundsJoined != 1 || ps.Class != "batch" || ps.Weight != 1 || ps.BarrierWaitSeconds < 0 {
+		t.Fatalf("party stats: %+v", ps)
+	}
+}
+
+func samePathIDs(a, b topo.Path) bool {
+	if len(a.LinkIDs) != len(b.LinkIDs) {
+		return false
+	}
+	for i := range a.LinkIDs {
+		if a.LinkIDs[i] != b.LinkIDs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -16,8 +16,15 @@ func (s *Simulator) sortedFlowIDs() []int {
 	return ids
 }
 
-// maxMinRates computes progressive-filling max-min fair rates for all
-// active flows over directed links.
+// maxMinRates computes progressive-filling weighted max-min fair rates
+// for all active flows over directed links. Each link's fair share is
+// computed per unit of weight (capacity over the sum of unfrozen flow
+// weights), and a flow frozen at a bottleneck receives share × weight —
+// so a weight-3 flow gets three times a weight-1 flow's rate on a shared
+// bottleneck. With every weight exactly 1 the arithmetic reduces
+// bit-identically to the unweighted allocator: the weight sum of n flows
+// accumulates to exactly float64(n), and multiplying a share by 1.0 is
+// the identity.
 func (s *Simulator) maxMinRates() {
 	// Build directed-link usage sets, visiting flows in ID order and
 	// remembering links in first-use order so every run processes the
@@ -50,23 +57,23 @@ func (s *Simulator) maxMinRates() {
 	}
 	frozen := map[int]bool{}
 	for len(frozen) < len(s.flows) {
-		// Find the bottleneck: the link with the smallest fair share among
-		// links that still carry unfrozen flows (ties break toward the
-		// earliest-seen link, deterministically).
+		// Find the bottleneck: the link with the smallest per-weight fair
+		// share among links that still carry unfrozen flows (ties break
+		// toward the earliest-seen link, deterministically).
 		var bottleneck *linkState
 		bestShare := 0.0
 		for _, dl := range linkOrder {
 			st := links[dl]
-			n := 0
+			sumW := 0.0
 			for _, f := range st.unfrozen {
 				if !frozen[f.ID] {
-					n++
+					sumW += f.Weight
 				}
 			}
-			if n == 0 {
+			if sumW == 0 {
 				continue
 			}
-			share := st.cap / float64(n)
+			share := st.cap / sumW
 			if bottleneck == nil || share < bestShare {
 				bottleneck = st
 				bestShare = share
@@ -84,16 +91,17 @@ func (s *Simulator) maxMinRates() {
 			}
 			return
 		}
-		// Freeze every unfrozen flow crossing the bottleneck at the share,
-		// then charge that rate against every link those flows use.
+		// Freeze every unfrozen flow crossing the bottleneck at its
+		// weighted share, then charge that rate against every link those
+		// flows use.
 		for _, f := range bottleneck.unfrozen {
 			if frozen[f.ID] {
 				continue
 			}
-			f.rate = bestShare
+			f.rate = bestShare * f.Weight
 			frozen[f.ID] = true
 			for _, dl := range flowLinks[f.ID] {
-				links[dl].cap -= bestShare
+				links[dl].cap -= f.rate
 				if links[dl].cap < 0 {
 					links[dl].cap = 0
 				}

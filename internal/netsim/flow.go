@@ -21,6 +21,13 @@ type Flow struct {
 	Dst   int
 	Bytes float64
 	Path  topo.Path
+	// Weight is the flow's share weight under weighted max-min fairness
+	// (always positive; 1 is the uniform default). A weight-w flow on a
+	// bottleneck receives w times the rate of a weight-1 flow.
+	Weight float64
+	// Class is the QoS class tag the flow was admitted under ("" =
+	// best-effort). Purely attributional at this layer.
+	Class string
 
 	Start sim.Time
 	End   sim.Time
@@ -112,14 +119,32 @@ func (s *Simulator) StartFlowSeeded(src, dst int, bytes float64, seed int) (*Flo
 	if bytes <= 0 {
 		return nil, fmt.Errorf("netsim: flow size must be positive, got %v", bytes)
 	}
-	id := s.nextID
 	path, ok := s.Net.PickECMP(src, dst, seed, s.ECMPWidth)
 	if !ok {
 		return nil, fmt.Errorf("netsim: no route %d -> %d", src, dst)
 	}
+	return s.StartFlowRouted(src, dst, bytes, path, 1, "")
+}
+
+// StartFlowRouted injects a flow on an explicit path with an explicit
+// scheduling weight and class — the control-plane entry point: the
+// admission layer routes (or lets a Controller reroute) before
+// injection, then injects here. weight <= 0 means 1. The path must be a
+// valid src->dst walk over the simulator's links.
+func (s *Simulator) StartFlowRouted(src, dst int, bytes float64, path topo.Path, weight float64, class string) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("netsim: flow size must be positive, got %v", bytes)
+	}
+	if !validPath(s.Net, path, src, dst) {
+		return nil, fmt.Errorf("netsim: invalid path %d -> %d", src, dst)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	id := s.nextID
 	s.nextID++
 	f := &Flow{
-		ID: id, Src: src, Dst: dst, Bytes: bytes, Path: path,
+		ID: id, Src: src, Dst: dst, Bytes: bytes, Path: path, Weight: weight, Class: class,
 		Start: s.Engine.Now(), remaining: bytes, lastTouch: s.Engine.Now(),
 	}
 	s.flows[id] = f

@@ -7,6 +7,13 @@ import "repro/internal/topo"
 // a fabric-wide policy change costs one operator session per switch, and
 // failure recovery relies on distributed reconvergence. This is the
 // comparator for the roadmap's "10,000 switches look like one" claim.
+//
+// Deprecated: as the comparator for fabric control experiments, use a
+// NetController running the Baseline policy — it models the same fixed
+// data plane but plugs into the live execution path (netsim.Admission),
+// so the comparison runs on real traffic instead of closed-form
+// operator-cost arithmetic. LegacyFabric survives for the operator-cost
+// experiments (E2) that have no traffic dimension.
 type LegacyFabric struct {
 	Net *topo.Network
 

@@ -1,0 +1,275 @@
+package sdn
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// NetController is the reference implementation of netsim.Controller:
+// the programmable control plane of a shared SQL fabric. It observes
+// each admission round's pending flows and link loads and answers with
+// per-flow route and weight overrides, computed by a pluggable Policy
+// and cached in a capacity-bounded FlowTable exactly like a reactive
+// SDN deployment caches path decisions in switch TCAMs:
+//
+//   - The first flow of a (src, dst) pair misses in the table; the
+//     policy computes a route, one rule is installed (evicting the LRU
+//     rule at capacity), and control latency is charged.
+//   - Later flows of the pair hit and pay no control-plane cost, until
+//     the rule ages out (SoftTimeoutRounds) or is evicted. A hit pins
+//     the flow to the installed route only when the policy chose that
+//     route; pairs the policy left on their defaults keep per-seed ECMP
+//     spreading, so a no-op policy (Baseline) really changes nothing.
+//   - When the table thrashes — more distinct pairs in one round than
+//     the table holds — the controller stops installing and degrades the
+//     remaining flows to their default ECMP routes (counted in
+//     Fallbacks) instead of churning rules that cannot survive the
+//     round. Weight decisions don't occupy rules, so class priorities
+//     survive table pressure.
+//
+// A NetController serves exactly one netsim.Admission: Admit calls are
+// serialized by the admission lock, so no internal locking is needed.
+// The topology view binds lazily from the first round when Net is nil,
+// letting callers construct the controller before the fabric exists
+// (sql.Config.Controller is wired that way).
+type NetController struct {
+	// Net is the controller's topology view (nil = bind from the first
+	// observed round).
+	Net *topo.Network
+	// Policy decides routes and weights; nil behaves like Baseline.
+	Policy Policy
+	// Table caches routing decisions with LRU eviction at capacity.
+	Table *FlowTable
+	// Timing prices the control-plane operations (DefaultTiming() if
+	// zero-valued fields are kept).
+	Timing Timing
+	// ECMPWidth bounds the candidate path set offered to the policy
+	// (default 8, matching the simulator's data plane).
+	ECMPWidth int
+	// SoftTimeoutRounds ages rules out after this many rounds (0 = rules
+	// live until evicted), so routing decisions re-form as load moves.
+	SoftTimeoutRounds int
+
+	// Rounds counts Admit calls; Hits/Misses count table consultations;
+	// Installs counts rules written; Fallbacks counts flows degraded to
+	// default ECMP under table exhaustion; Expired counts rules aged out.
+	Rounds, Hits, Misses, Installs, Fallbacks, Expired int
+	// ControlLatencyUS accumulates simulated control-plane time: one
+	// path computation plus one rule install per miss.
+	ControlLatencyUS float64
+
+	paths       map[Match]topo.Path
+	rerouted    map[Match]bool // cached path came from a policy PickPath
+	installedAt map[Match]int
+}
+
+// NewNetController builds a controller with a tableCap-rule flow table
+// (tableCap <= 0 = unbounded) over the given policy. net may be nil; the
+// topology then binds from the first admission round observed.
+func NewNetController(net *topo.Network, pol Policy, tableCap int) *NetController {
+	c := &NetController{
+		Net: net, Policy: pol, Table: NewFlowTable(tableCap),
+		Timing: DefaultTiming(), ECMPWidth: 8,
+		paths:       map[Match]topo.Path{},
+		rerouted:    map[Match]bool{},
+		installedAt: map[Match]int{},
+	}
+	c.Table.OnEvict = func(r Rule) { c.drop(r.Match) }
+	return c
+}
+
+func (c *NetController) drop(m Match) {
+	delete(c.paths, m)
+	delete(c.rerouted, m)
+	delete(c.installedAt, m)
+}
+
+// rebind points the controller at a (new) fabric topology and flushes
+// every cached routing decision: installed rules reference the previous
+// fabric's link IDs, which would misattribute load — or index out of
+// range — on the new one. Reached on first contact and whenever the
+// owning engine rebuilds its cluster around the same controller.
+func (c *NetController) rebind(net *topo.Network) {
+	c.Net = net
+	c.Table.RemoveIf(func(Rule) bool { return true })
+	c.paths = map[Match]topo.Path{}
+	c.rerouted = map[Match]bool{}
+	c.installedAt = map[Match]int{}
+}
+
+// PolicyContext is what a Policy sees when deciding one pending flow.
+type PolicyContext struct {
+	// Net is the fabric topology.
+	Net *topo.Network
+	// State is the whole round; Flow is State.Pending[Index].
+	State *netsim.RoundState
+	Index int
+	Flow  netsim.PendingFlow
+	// Choices is the flow's ECMP candidate path set (Flow.Path is one of
+	// them).
+	Choices []topo.Path
+	// HottestLink returns the projected byte count of the most-loaded
+	// directed link along p: cumulative fabric bytes plus the bytes of
+	// flows already placed earlier in this round.
+	HottestLink func(p topo.Path) float64
+	// PathLoad returns the sum of projected bytes over p's directed
+	// links — the tie-breaker when candidates share their hottest link
+	// (e.g. a common access hop masking different spine loads).
+	PathLoad func(p topo.Path) float64
+}
+
+// Policy is one entry of the control-plane policy catalog: it picks
+// routes for new flows and scheduling weights for every flow. Path
+// decisions are cached in the controller's flow table; weight decisions
+// are stateless and re-evaluated per flow.
+type Policy interface {
+	Name() string
+	// PickPath chooses a route for a table-miss flow; nil keeps the
+	// default seeded-ECMP route.
+	PickPath(ctx *PolicyContext) *topo.Path
+	// Weight returns the flow's scheduling-weight override; 0 keeps the
+	// requested weight.
+	Weight(f netsim.PendingFlow) float64
+}
+
+// Admit implements netsim.Controller.
+func (c *NetController) Admit(st *netsim.RoundState) []netsim.Decision {
+	if c.Net != st.Net {
+		c.rebind(st.Net)
+	}
+	round := c.Rounds
+	c.Rounds++
+	// Age out soft-timed rules so routing re-forms as load moves.
+	if c.SoftTimeoutRounds > 0 {
+		var expired []Match
+		c.Table.RemoveIf(func(r Rule) bool {
+			if at, ok := c.installedAt[r.Match]; ok && round-at >= c.SoftTimeoutRounds {
+				expired = append(expired, r.Match)
+				return true
+			}
+			return false
+		})
+		for _, m := range expired {
+			c.drop(m)
+			c.Expired++
+		}
+	}
+
+	// Projected per-directed-link load: cumulative fabric bytes, updated
+	// with each flow as it is placed so later decisions see earlier ones.
+	load := make(map[int]float64, len(st.Loads))
+	dirID := func(lid int, forward bool) int {
+		if forward {
+			return lid * 2
+		}
+		return lid*2 + 1
+	}
+	for _, l := range st.Loads {
+		load[dirID(l.LinkID, l.Forward)] = l.Bytes
+	}
+	addLoad := func(p topo.Path, bytes float64) {
+		for i, lid := range p.LinkIDs {
+			load[dirID(lid, c.Net.Links[lid].A == p.NodeIDs[i])] += bytes
+		}
+	}
+	hottest := func(p topo.Path) float64 {
+		max := 0.0
+		for i, lid := range p.LinkIDs {
+			if b := load[dirID(lid, c.Net.Links[lid].A == p.NodeIDs[i])]; b > max {
+				max = b
+			}
+		}
+		return max
+	}
+	pathLoad := func(p topo.Path) float64 {
+		sum := 0.0
+		for i, lid := range p.LinkIDs {
+			sum += load[dirID(lid, c.Net.Links[lid].A == p.NodeIDs[i])]
+		}
+		return sum
+	}
+
+	out := make([]netsim.Decision, len(st.Pending))
+	installs := 0
+	for i, pf := range st.Pending {
+		if c.Policy != nil {
+			out[i].Weight = c.Policy.Weight(pf)
+		}
+		path := pf.Path
+		m := Match{Src: pf.Src, Dst: pf.Dst}
+		if _, ok := c.Table.Lookup(pf.Src, pf.Dst); ok {
+			// Rule hit (Lookup refreshes the rule's LRU stamp). The data
+			// plane follows the installed route only when the policy chose
+			// it: pinning default-routed pairs would collapse the ECMP
+			// spread of later seeds and make even the Baseline policy
+			// perturb traffic.
+			c.Hits++
+			if c.rerouted[m] {
+				path = c.paths[m]
+			}
+		} else {
+			c.Misses++
+			if c.Table.Capacity > 0 && installs >= c.Table.Capacity {
+				// The table cannot hold this round's working set: stop
+				// churning rules and degrade the rest of the round to
+				// default ECMP. The admission barrier never waits on the
+				// control plane, so exhaustion costs path quality, not
+				// liveness; weight overrides (already set above) need no
+				// rules and survive.
+				c.Fallbacks++
+				addLoad(path, pf.Bytes)
+				continue
+			}
+			pinned := false
+			if c.Policy != nil {
+				choices := c.Net.ECMPPaths(pf.Src, pf.Dst, c.ecmpWidth())
+				ctx := &PolicyContext{Net: c.Net, State: st, Index: i, Flow: pf, Choices: choices, HottestLink: hottest, PathLoad: pathLoad}
+				if picked := c.Policy.PickPath(ctx); picked != nil {
+					path = *picked
+					pinned = true
+				}
+			}
+			c.Table.Install(Rule{Match: m, Action: Action{OutLink: firstLink(path)}, Priority: 10})
+			c.paths[m] = path
+			c.rerouted[m] = pinned
+			c.installedAt[m] = round
+			c.Installs++
+			installs++
+			c.ControlLatencyUS += c.Timing.ComputeUS + c.Timing.RuleInstallUS
+		}
+		addLoad(path, pf.Bytes)
+		if !samePath(path, pf.Path) {
+			// The policy's route differs from this flow's default ECMP
+			// pick: pin it so the data plane follows the table.
+			override := path
+			out[i].Path = &override
+		}
+	}
+	return out
+}
+
+func (c *NetController) ecmpWidth() int {
+	if c.ECMPWidth > 0 {
+		return c.ECMPWidth
+	}
+	return 8
+}
+
+func firstLink(p topo.Path) int {
+	if len(p.LinkIDs) == 0 {
+		return -1
+	}
+	return p.LinkIDs[0]
+}
+
+func samePath(a, b topo.Path) bool {
+	if len(a.LinkIDs) != len(b.LinkIDs) {
+		return false
+	}
+	for i := range a.LinkIDs {
+		if a.LinkIDs[i] != b.LinkIDs[i] {
+			return false
+		}
+	}
+	return true
+}

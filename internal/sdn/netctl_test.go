@@ -1,0 +1,286 @@
+package sdn
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// TestFlowTableInterleaved scripts Install/Lookup/RemoveIf interleavings
+// against a capacity-3 table and checks the LRU clock decides every
+// eviction: lookups refresh rules, removals free space without counting
+// as evictions, and OnEvict observes exactly the capacity victims.
+func TestFlowTableInterleaved(t *testing.T) {
+	tab := NewFlowTable(3)
+	var evicted []Match
+	tab.OnEvict = func(r Rule) { evicted = append(evicted, r.Match) }
+	m := func(i int) Match { return Match{Src: i, Dst: 100 + i} }
+	ins := func(i int) { tab.Install(Rule{Match: m(i), Action: Action{OutLink: i}, Priority: 10}) }
+	look := func(i int) bool { _, ok := tab.Lookup(i, 100+i); return ok }
+
+	ins(1) // clock 1
+	ins(2) // clock 2
+	ins(3) // clock 3: table full [1,2,3]
+	if !look(1) {
+		t.Fatal("rule 1 must hit") // clock 4: rule 1 refreshed
+	}
+	ins(4) // full: LRU is rule 2 -> evicted
+	if len(evicted) != 1 || evicted[0] != m(2) {
+		t.Fatalf("evicted %v, want [%v]", evicted, m(2))
+	}
+	if look(2) {
+		t.Fatal("evicted rule 2 must miss")
+	}
+	if removed := tab.RemoveIf(func(r Rule) bool { return r.Match == m(3) }); removed != 1 {
+		t.Fatalf("RemoveIf removed %d, want 1", removed)
+	}
+	ins(5) // fits in the freed slot: no eviction
+	ins(1) // in-place update of the existing rule 1: no eviction
+	if len(evicted) != 1 {
+		t.Fatalf("unexpected evictions: %v", evicted)
+	}
+	ins(6) // full [1,4,5]: LRU is now rule 4 (5 and 1 are fresher)
+	if len(evicted) != 2 || evicted[1] != m(4) {
+		t.Fatalf("evicted %v, want rule 4 second", evicted)
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("table len %d, want 3", tab.Len())
+	}
+	for _, want := range []int{1, 5, 6} {
+		if !look(want) {
+			t.Fatalf("rule %d missing from final table", want)
+		}
+	}
+	if tab.Evictions != 2 {
+		t.Fatalf("evictions %d, want 2", tab.Evictions)
+	}
+}
+
+// TestNetControllerCachesRoutes: the first flow of a pair misses and
+// installs a rule; subsequent flows of the same pair hit and pay no
+// control latency; rules age out after SoftTimeoutRounds and re-install.
+func TestNetControllerCachesRoutes(t *testing.T) {
+	net := topo.SingleSwitch(4, topo.Gen10)
+	c := NewNetController(net, Baseline{}, 0)
+	c.SoftTimeoutRounds = 2
+	a := netsim.NewAdmission(netsim.NewSimulator(net))
+	a.SetController(c)
+	p := a.Join(nil)
+	defer p.Leave()
+	submit := func() {
+		t.Helper()
+		if _, _, err := p.Submit([]netsim.FlowReq{{Src: 0, Dst: 1, Bytes: 1e6}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit() // round 0: miss + install
+	if c.Misses != 1 || c.Installs != 1 || c.Hits != 0 {
+		t.Fatalf("after round 0: misses=%d installs=%d hits=%d", c.Misses, c.Installs, c.Hits)
+	}
+	lat := c.ControlLatencyUS
+	if lat <= 0 {
+		t.Fatal("install must charge control latency")
+	}
+	submit() // round 1: hit, no latency
+	if c.Hits != 1 || c.ControlLatencyUS != lat {
+		t.Fatalf("after round 1: hits=%d latency %v -> %v", c.Hits, lat, c.ControlLatencyUS)
+	}
+	submit() // round 2: rule aged out (installed round 0) -> miss again
+	if c.Expired != 1 || c.Misses != 2 || c.Installs != 2 {
+		t.Fatalf("after round 2: expired=%d misses=%d installs=%d", c.Expired, c.Misses, c.Installs)
+	}
+}
+
+// TestNetControllerCapacityExhausted: a round with more distinct pairs
+// than the table holds degrades the overflow to default ECMP — the
+// round still completes (the admission barrier never waits on the
+// control plane) and the fallback is counted.
+func TestNetControllerCapacityExhausted(t *testing.T) {
+	net := topo.SingleSwitch(8, topo.Gen10)
+	c := NewNetController(net, Baseline{}, 2)
+	a := netsim.NewAdmission(netsim.NewSimulator(net))
+	a.SetController(c)
+	p := a.Join(nil)
+	defer p.Leave()
+	var reqs []netsim.FlowReq
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, netsim.FlowReq{Src: i, Dst: 7, Bytes: 1e6})
+	}
+	sec, flows, err := p.Submit(reqs)
+	if err != nil || sec <= 0 || len(flows) != 6 {
+		t.Fatalf("sec=%v flows=%d err=%v", sec, len(flows), err)
+	}
+	if c.Installs != 2 || c.Fallbacks != 4 {
+		t.Fatalf("installs=%d fallbacks=%d, want 2/4", c.Installs, c.Fallbacks)
+	}
+	if c.Table.Len() != 2 {
+		t.Fatalf("table len %d, want 2", c.Table.Len())
+	}
+	// The fabric stays live for later rounds.
+	if sec2, _, err := p.Submit(reqs[:1]); err != nil || sec2 <= 0 {
+		t.Fatalf("fabric wedged after exhaustion: %v %v", sec2, err)
+	}
+}
+
+// TestRerouteHotLinksPolicy: among ECMP candidates the policy picks the
+// one whose hottest link is coolest, and stays on the default on ties.
+func TestRerouteHotLinksPolicy(t *testing.T) {
+	net := topo.LeafSpine(topo.LeafSpineSpec{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostSpeed: topo.Gen10, FabricSpeed: topo.Gen40,
+	})
+	choices := net.ECMPPaths(0, 2, 8)
+	if len(choices) != 2 {
+		t.Fatalf("want 2 spine choices, got %d", len(choices))
+	}
+	shared := map[int]bool{}
+	for _, lid := range choices[1].LinkIDs {
+		shared[lid] = true
+	}
+	hot := map[int]float64{}
+	for _, lid := range choices[0].LinkIDs {
+		if !shared[lid] {
+			hot[lid] = 5e6 // the default path's spine hop is hot
+		}
+	}
+	ctx := &PolicyContext{
+		Net:     net,
+		Flow:    netsim.PendingFlow{Src: 0, Dst: 2, Bytes: 1e6, Path: choices[0], Weight: 1},
+		Choices: choices,
+		HottestLink: func(p topo.Path) float64 {
+			max := 0.0
+			for _, lid := range p.LinkIDs {
+				if hot[lid] > max {
+					max = hot[lid]
+				}
+			}
+			return max
+		},
+		PathLoad: func(p topo.Path) float64 {
+			sum := 0.0
+			for _, lid := range p.LinkIDs {
+				sum += hot[lid]
+			}
+			return sum
+		},
+	}
+	picked := RerouteHotLinks{}.PickPath(ctx)
+	if picked == nil {
+		t.Fatal("policy must reroute off the hot path")
+	}
+	for i := range picked.LinkIDs {
+		if picked.LinkIDs[i] != choices[1].LinkIDs[i] {
+			t.Fatalf("picked %v, want the cold path %v", picked.LinkIDs, choices[1].LinkIDs)
+		}
+	}
+	// Tie: no reroute (keep the default path's rule stable).
+	for k := range hot {
+		delete(hot, k)
+	}
+	if picked := (RerouteHotLinks{}).PickPath(ctx); picked != nil {
+		t.Fatalf("tied paths must keep the default, got %v", picked.LinkIDs)
+	}
+}
+
+// TestRerouteSpreadsLoad: end-to-end, a reroute controller with 1-round
+// rule timeouts spreads repeated same-pair traffic across both spines,
+// where the fixed data plane would keep hashing onto one.
+func TestRerouteSpreadsLoad(t *testing.T) {
+	net := topo.LeafSpine(topo.LeafSpineSpec{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		HostSpeed: topo.Gen10, FabricSpeed: topo.Gen40,
+	})
+	c := NewNetController(net, RerouteHotLinks{}, 0)
+	c.SoftTimeoutRounds = 1 // re-decide every round as load moves
+	a := netsim.NewAdmission(netsim.NewSimulator(net))
+	a.SetController(c)
+	p := a.Join(nil)
+	defer p.Leave()
+	// One fixed cross-leaf flow per round: every round's decision sees
+	// the previous rounds' cumulative load and balances away from it.
+	const rounds = 4
+	for i := 0; i < rounds; i++ {
+		if _, _, err := p.Submit([]netsim.FlowReq{{Src: 0, Dst: 2, Bytes: 1e6}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spine := map[int]float64{} // spine-tier link bytes by link ID
+	for _, l := range a.LinkLoads() {
+		if l.Bytes > 0 && net.Nodes[net.Links[l.LinkID].B].Kind == topo.Agg {
+			spine[l.LinkID] += l.Bytes
+		}
+	}
+	if len(spine) < 4 {
+		t.Fatalf("traffic used %d spine links, want all 4 (2 spines x up/down): %v", len(spine), spine)
+	}
+	for lid, b := range spine {
+		if b != 2e6 {
+			t.Fatalf("spine link %d carried %.0f bytes, want an even 2e6 split: %v", lid, b, spine)
+		}
+	}
+}
+
+// TestNetControllerRebind: reattaching one controller to a different
+// fabric flushes every cached rule (stale link IDs would corrupt load
+// projection on the new topology) and rebinds the topology view.
+func TestNetControllerRebind(t *testing.T) {
+	c := NewNetController(nil, Baseline{}, 0)
+	run := func(hosts int) {
+		t.Helper()
+		net := topo.SingleSwitch(hosts, topo.Gen10)
+		a := netsim.NewAdmission(netsim.NewSimulator(net))
+		a.SetController(c)
+		p := a.Join(nil)
+		defer p.Leave()
+		var reqs []netsim.FlowReq
+		for i := 1; i < hosts; i++ {
+			reqs = append(reqs, netsim.FlowReq{Src: 0, Dst: i, Bytes: 1e6})
+		}
+		if _, _, err := p.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		if c.Net != net {
+			t.Fatal("controller did not bind the fabric it serves")
+		}
+		if c.Table.Len() != hosts-1 {
+			t.Fatalf("table len %d after rebind, want %d", c.Table.Len(), hosts-1)
+		}
+	}
+	run(8) // installs 7 rules on the first fabric
+	run(3) // new fabric: rules must flush, then reinstall 2
+}
+
+// TestStrictPriorityWeights: class tiers multiply the requested weight;
+// unknown classes and best-effort stay untouched.
+func TestStrictPriorityWeights(t *testing.T) {
+	pol := StrictPriority{}
+	if w := pol.Weight(netsim.PendingFlow{Class: "interactive", Weight: 2}); w != 2*64*64 {
+		t.Fatalf("interactive weight %v", w)
+	}
+	if w := pol.Weight(netsim.PendingFlow{Class: "batch", Weight: 1}); w != 64 {
+		t.Fatalf("batch weight %v", w)
+	}
+	if w := pol.Weight(netsim.PendingFlow{Class: "", Weight: 1}); w != 0 {
+		t.Fatalf("best-effort must keep its weight, got %v", w)
+	}
+	custom := StrictPriority{Multipliers: map[string]float64{"gold": 10}}
+	if w := custom.Weight(netsim.PendingFlow{Class: "gold", Weight: 3}); w != 30 {
+		t.Fatalf("custom tier weight %v", w)
+	}
+}
+
+// TestChainComposition: the first non-nil path and first non-zero
+// weight win.
+func TestChainComposition(t *testing.T) {
+	ch := Chain{RerouteHotLinks{}, StrictPriority{}}
+	if ch.Name() != "chain(reroute-hot-links+strict-priority)" {
+		t.Fatalf("name %q", ch.Name())
+	}
+	if w := ch.Weight(netsim.PendingFlow{Class: "batch", Weight: 1}); w != 64 {
+		t.Fatalf("chained weight %v", w)
+	}
+	if PolicyByName("reroute+priority") == nil || PolicyByName("nope") != nil {
+		t.Fatal("PolicyByName catalog lookup broken")
+	}
+}

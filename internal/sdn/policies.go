@@ -1,0 +1,164 @@
+package sdn
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/topo"
+)
+
+// The control-plane policy catalog. Each policy plugs into NetController
+// and decides two orthogonal things per flow: the route (cached in the
+// flow table) and the scheduling weight (stateless, re-evaluated per
+// flow). Compose orthogonal policies with Chain.
+
+// Baseline is the fixed data plane as a policy: default seeded-ECMP
+// routes, requested weights, no overrides. It retires LegacyFabric's
+// role as the comparator — a NetController running Baseline charges
+// control-plane bookkeeping (table rules, hit/miss accounting) while
+// changing nothing about the traffic, which is exactly the
+// pre-programmable fabric the roadmap argues against.
+type Baseline struct{}
+
+// Name implements Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// PickPath implements Policy: keep the default ECMP route.
+func (Baseline) PickPath(*PolicyContext) *topo.Path { return nil }
+
+// Weight implements Policy: keep the requested weight.
+func (Baseline) Weight(netsim.PendingFlow) float64 { return 0 }
+
+// RerouteHotLinks steers new flows away from the fabric's hottest
+// links: among a flow's ECMP candidates it picks the path whose
+// most-loaded directed link (cumulative bytes plus this round's already
+// placed flows) is coolest, breaking ties on total path load — shared
+// access hops contribute the same heat to every candidate and would
+// otherwise mask different spine loads — and keeping the default route
+// when candidates are fully tied. This is the roadmap's "SDN helps Big
+// Data to optimize access to data" and FatPaths' load-aware multipath
+// argument in one rule.
+type RerouteHotLinks struct{}
+
+// Name implements Policy.
+func (RerouteHotLinks) Name() string { return "reroute-hot-links" }
+
+// PickPath implements Policy.
+func (RerouteHotLinks) PickPath(ctx *PolicyContext) *topo.Path {
+	best := ctx.Flow.Path
+	bestHot, bestSum := ctx.HottestLink(best), ctx.PathLoad(best)
+	replaced := false
+	for _, p := range ctx.Choices {
+		hot, sum := ctx.HottestLink(p), ctx.PathLoad(p)
+		if hot < bestHot || (hot == bestHot && sum < bestSum) {
+			best, bestHot, bestSum, replaced = p, hot, sum, true
+		}
+	}
+	if !replaced {
+		return nil
+	}
+	out := best
+	return &out
+}
+
+// Weight implements Policy: keep the requested weight.
+func (RerouteHotLinks) Weight(netsim.PendingFlow) float64 { return 0 }
+
+// StrictPriority approximates strict-priority scheduling with the
+// weighted max-min allocator: each QoS class maps to a weight
+// multiplier, and a flow's effective weight becomes requested weight ×
+// multiplier. Large ratios (the default tiers are ×64 per level) make
+// high classes consume bottleneck capacity almost exclusively while low
+// classes keep a trickle — weighted max-min's work-conserving
+// approximation of a strict scheduler, with no starvation.
+type StrictPriority struct {
+	// Multipliers maps class names to weight multipliers; classes absent
+	// from the map (and the "" best-effort class) use 1. Nil selects
+	// DefaultPriorityTiers.
+	Multipliers map[string]float64
+}
+
+// DefaultPriorityTiers is the default class ladder: interactive beats
+// batch beats best-effort by ×64 per tier.
+var DefaultPriorityTiers = map[string]float64{
+	"interactive": 64 * 64,
+	"batch":       64,
+}
+
+// Name implements Policy.
+func (StrictPriority) Name() string { return "strict-priority" }
+
+// PickPath implements Policy: routing is untouched.
+func (StrictPriority) PickPath(*PolicyContext) *topo.Path { return nil }
+
+// Weight implements Policy.
+func (p StrictPriority) Weight(f netsim.PendingFlow) float64 {
+	tiers := p.Multipliers
+	if tiers == nil {
+		tiers = DefaultPriorityTiers
+	}
+	mult, ok := tiers[f.Class]
+	if !ok || mult <= 0 {
+		return 0 // keep the requested weight
+	}
+	w := f.Weight
+	if w <= 0 {
+		w = 1
+	}
+	return w * mult
+}
+
+// Chain composes policies: the first non-nil PickPath wins the route,
+// and the first non-zero Weight wins the weight. Chain{RerouteHotLinks{},
+// StrictPriority{}} reroutes hot links AND prioritizes classes.
+type Chain []Policy
+
+// Name implements Policy.
+func (c Chain) Name() string {
+	name := "chain("
+	for i, p := range c {
+		if i > 0 {
+			name += "+"
+		}
+		name += p.Name()
+	}
+	return name + ")"
+}
+
+// PickPath implements Policy.
+func (c Chain) PickPath(ctx *PolicyContext) *topo.Path {
+	for _, p := range c {
+		if picked := p.PickPath(ctx); picked != nil {
+			return picked
+		}
+	}
+	return nil
+}
+
+// Weight implements Policy.
+func (c Chain) Weight(f netsim.PendingFlow) float64 {
+	for _, p := range c {
+		if w := p.Weight(f); w > 0 {
+			return w
+		}
+	}
+	return 0
+}
+
+// Policies names the catalog entries the CLI accepts.
+var Policies = []string{"baseline", "reroute", "priority", "reroute+priority"}
+
+// PolicyByName resolves a catalog name to a policy, or nil for an
+// unknown name.
+func PolicyByName(name string) Policy {
+	switch name {
+	case "baseline":
+		return Baseline{}
+	case "reroute":
+		return RerouteHotLinks{}
+	case "priority":
+		return StrictPriority{}
+	case "reroute+priority":
+		return Chain{RerouteHotLinks{}, StrictPriority{}}
+	default:
+		return nil
+	}
+}

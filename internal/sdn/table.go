@@ -5,6 +5,15 @@
 // quantifies the roadmap's Section IV.A.2 claims — control/data plane
 // separation, "a software control plane ... can make 10,000 switches look
 // like one", and reconvergence after failures.
+//
+// NetController is the package's live control plane: the reference
+// implementation of netsim.Controller that the shared SQL fabric
+// consults between admission rounds. It routes through a
+// capacity-bounded FlowTable (LRU rule eviction, soft timeouts,
+// degrade-to-ECMP under exhaustion) and delegates route/weight choice to
+// the Policy catalog in policies.go — Baseline (fixed ECMP, the retired
+// LegacyFabric's role), RerouteHotLinks (load-aware multipath),
+// StrictPriority (weighted class tiers) and Chain compositions.
 package sdn
 
 import "fmt"
@@ -76,6 +85,10 @@ type FlowTable struct {
 	Evictions int
 	// Hits and Misses count lookups.
 	Hits, Misses int
+	// OnEvict, when set, observes every rule dropped by LRU capacity
+	// eviction (not explicit Remove/RemoveIf). Controllers that cache
+	// state keyed by rule matches use it to stay in sync with the table.
+	OnEvict func(Rule)
 }
 
 // NewFlowTable returns a table holding at most capacity rules.
@@ -114,8 +127,12 @@ func (t *FlowTable) evictLRU() {
 			victim = i
 		}
 	}
+	evicted := *t.rules[victim]
 	t.rules = append(t.rules[:victim], t.rules[victim+1:]...)
 	t.Evictions++
+	if t.OnEvict != nil {
+		t.OnEvict(evicted)
+	}
 }
 
 // Lookup returns the action of the best matching rule. The best rule has

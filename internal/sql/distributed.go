@@ -251,21 +251,25 @@ type distJoinPlan struct {
 }
 
 // distExec carries the runtime context of one distributed execution:
-// the placement, the engine's shared fabric the run registers with, and
-// the cancellation token guarding fragments and phase waits.
+// the placement, the engine's shared fabric the run registers with, the
+// cancellation token guarding fragments and phase waits, and the
+// session's QoS identity stamped onto every flow the run charges.
 type distExec struct {
 	cluster  *dist.Cluster
 	fabric   *dist.Fabric
 	cancel   *relational.CancelToken
 	workers  int
 	distJoin string // "", "auto", "broadcast", "repartition"
+	class    string
+	weight   float64
 }
 
-// newQuery registers one execution with the shared fabric. Callers must
-// Close (or Finish) the returned run on every path: an abandoned
-// registration would park concurrent queries at the admission barrier.
+// newQuery registers one execution with the shared fabric under the
+// session's QoS identity. Callers must Close (or Finish) the returned
+// run on every path: an abandoned registration would park concurrent
+// queries at the admission barrier.
 func (e *distExec) newQuery() *dist.QueryRun {
-	return e.fabric.NewQueryCancel(e.cancel)
+	return e.fabric.NewQueryQoS(e.cancel, e.class, e.weight)
 }
 
 // chooseMovement picks broadcast vs repartition for one join by pricing
@@ -505,7 +509,11 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		combined = append(combined, leg.schema...)
 	}
 
-	exec := &distExec{cluster: cluster, fabric: fabric, cancel: pl.cancel, workers: workers, distJoin: pl.cfg.DistJoin}
+	exec := &distExec{
+		cluster: cluster, fabric: fabric, cancel: pl.cancel,
+		workers: workers, distJoin: pl.cfg.DistJoin,
+		class: pl.class, weight: pl.weight,
+	}
 	// runJoins executes the shared front of the query: leg fragments,
 	// join movements, residual filter.
 	runJoins := func(qr *dist.QueryRun) (*distStream, error) {

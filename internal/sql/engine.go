@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dist"
+	"repro/internal/netsim"
 	"repro/internal/relational"
 )
 
@@ -45,6 +46,21 @@ type Config struct {
 	// ShardHash hash-partitions tables on their first Int column instead
 	// of the default contiguous range partitioning.
 	ShardHash bool
+	// Controller plugs a programmable control plane into the engine's
+	// shared fabric: between admission rounds it observes every pending
+	// flow (with class/weight tags from the submitting sessions) and the
+	// per-link load, and may reroute or reweight flows before they enter
+	// the simulator. Use sdn.NewNetController(nil, policy, tableCap) —
+	// the controller binds its topology view from the fabric's first
+	// round — or any custom netsim.Controller. Nil (the default) is the
+	// fixed data plane: default seeded-ECMP routes, session weights
+	// honoured as requested, bit-identical with pre-controller engines.
+	// Construction-time only: it is wired when the cluster is built and
+	// is not a per-session override. A controller instance serves
+	// exactly ONE engine: Admit calls are serialized by that engine's
+	// fabric lock, so sharing an instance across engines would race on
+	// the controller's internal state — give each engine its own.
+	Controller netsim.Controller
 }
 
 // Options is the former name of Config.
@@ -172,7 +188,12 @@ func (e *Engine) clusterFor(cfg Config) (*dist.Cluster, *dist.Fabric, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	e.cluster, e.fabric, e.clusterKey = c, dist.NewFabric(c), key
+	// cfg.Controller equals the engine's own (sessions never override
+	// it); taking it from cfg additionally lets the deprecated DB
+	// wrapper's Opt.Controller apply when its first query builds the
+	// cluster. A controller change alone does not rebuild an existing
+	// cluster — fabric control is construction-time state.
+	e.cluster, e.fabric, e.clusterKey = c, dist.NewFabricController(c, cfg.Controller), key
 	return e.cluster, e.fabric, nil
 }
 
@@ -220,6 +241,10 @@ type planner struct {
 	eng    *Engine
 	cfg    Config
 	cancel *relational.CancelToken
+	// class and weight are the session's QoS identity: every flow the
+	// compiled plan charges on the shared fabric carries them.
+	class  string
+	weight float64
 }
 
 // plan parses, plans and wraps the root so a spent plan re-executes as

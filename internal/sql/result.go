@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/dist"
+	"repro/internal/netsim"
 	"repro/internal/relational"
 )
 
@@ -21,6 +22,11 @@ type Result struct {
 	Ops map[string]relational.OpStats
 	// Net is the query's network-side report: nil for single-node runs.
 	Net *dist.QueryStats
+	// Admission is the query's view of the shared fabric's admission
+	// layer — rounds its phases joined, wall-clock barrier wait
+	// (queueing delay behind concurrent queries), and the QoS class and
+	// weight its flows competed under. Nil for single-node runs.
+	Admission *netsim.PartyStats
 }
 
 // ErrPlanSpent reports an attempt to pull a Planned root a second time.

@@ -23,6 +23,17 @@ type Session struct {
 	DistJoin string
 	// Workers overrides the engine's per-host worker cap when positive.
 	Workers int
+	// Priority tags this session's fabric flows with a QoS class ("" =
+	// best-effort). Classes drive per-class byte attribution in the
+	// fabric aggregate and feed controller policies (e.g. the
+	// strict-priority policy's class tiers: "interactive", "batch").
+	Priority string
+	// Weight, when positive, is the scheduling weight of this session's
+	// flows under the fabric's weighted max-min allocator: on a shared
+	// bottleneck a weight-3 session receives three times the bandwidth
+	// of a weight-1 peer, so its phases — and queries — finish sooner
+	// under contention. Zero inherits the uniform weight 1.
+	Weight float64
 }
 
 // Engine returns the session's engine.
@@ -112,7 +123,7 @@ func (st *Stmt) Explain() (string, error) {
 // token to ctx for the duration of the run, and materializes the result.
 func (s *Session) execStmt(ctx context.Context, stmt *SelectStmt) (*Result, error) {
 	token := relational.NewCancelToken()
-	pl := &planner{eng: s.eng, cfg: s.cfg(), cancel: token}
+	pl := &planner{eng: s.eng, cfg: s.cfg(), cancel: token, class: s.Priority, weight: s.Weight}
 	p, err := pl.planParsed(stmt)
 	if err != nil {
 		return nil, err
@@ -132,6 +143,9 @@ func (s *Session) execStmt(ctx context.Context, stmt *SelectStmt) (*Result, erro
 		return nil, err
 	}
 	res := &Result{Rows: rel, Steps: p.Steps, Ops: map[string]relational.OpStats{}, Net: p.NetStats()}
+	if res.Net != nil {
+		res.Admission = &res.Net.Adm
+	}
 	for tag, op := range p.TaggedOps {
 		res.Ops[tag] = op.Stats()
 	}
