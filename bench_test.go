@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/dataflow"
+	"repro/internal/exec"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
 	"repro/internal/mapreduce"
@@ -592,6 +593,87 @@ func BenchmarkSQLControllerReroute(b *testing.B) {
 	b.ReportMetric(netSec*1e6, "net_µs/query")
 	b.ReportMetric(float64(eng.Fabric().Stats().PathOverrides-overridesBefore)/float64(b.N), "reroutes/op")
 	b.ReportMetric((ctl.ControlLatencyUS-ctlBefore)/float64(b.N), "ctl_µs/op")
+}
+
+// ---------------------------------------------------------------------
+// Heterogeneous execution: the scan query on the 1M-row fact table with
+// the full CPU/GPU/FPGA device set. Wall time is real compute plus
+// placement bookkeeping; modeled_µs is the device bill the placement
+// policy signed. The PR 5 acceptance criterion — cost-based auto
+// placement's modeled seconds never exceed forcing the CPU — is
+// asserted inside BenchmarkSQLHeteroAutoPlace, not just reported.
+
+var sqlHeteroBenchEngines = sync.OnceValue(func() map[string]*sql.Engine {
+	out := map[string]*sql.Engine{}
+	for _, placement := range []string{"", "cpu", "auto"} {
+		cfg := sql.DefaultConfig()
+		if placement != "" {
+			cfg.Devices = []string{"cpu", "gpu", "fpga"}
+			cfg.Placement = placement
+		}
+		eng, err := sql.NewEngine(cfg)
+		if err != nil {
+			panic(err)
+		}
+		sql.RegisterDemo(eng, 42, 1<<20, 2000)
+		out[placement] = eng
+	}
+	return out
+})
+
+func benchSQLHetero(b *testing.B, placement string) float64 {
+	b.Helper()
+	sess := sqlHeteroBenchEngines()[placement].Session()
+	ctx := context.Background()
+	var modeled float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sess.Query(ctx, sqlScanQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		modeled = exec.ModeledSeconds(res.Devices)
+	}
+	b.ReportMetric(modeled*1e6, "modeled_µs")
+	return modeled
+}
+
+func BenchmarkSQLHeteroCPUOnly(b *testing.B) { benchSQLHetero(b, "cpu") }
+
+func BenchmarkSQLHeteroAutoPlace(b *testing.B) {
+	auto := benchSQLHetero(b, "auto")
+	b.StopTimer()
+	sess := sqlHeteroBenchEngines()["cpu"].Session()
+	res, err := sess.Query(context.Background(), sqlScanQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cpu := exec.ModeledSeconds(res.Devices); auto > cpu {
+		b.Fatalf("auto placement modeled %.6gs > cpu-only %.6gs", auto, cpu)
+	}
+}
+
+// BenchmarkPlacementOverhead isolates the wall-clock cost of the
+// placement seam itself: the same 1M-row scan with no device set
+// (homogeneous fast path, zero dispatch wrapping) vs the full set under
+// auto placement. The ns/op delta between the two sub-benchmarks is the
+// per-query price of per-morsel cost-based dispatch.
+func BenchmarkPlacementOverhead(b *testing.B) {
+	for _, mode := range []struct{ name, placement string }{
+		{"homogeneous", ""},
+		{"autoplace", "auto"},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sess := sqlHeteroBenchEngines()[mode.placement].Session()
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Query(ctx, sqlScanQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkMapReduceWordCount(b *testing.B) {

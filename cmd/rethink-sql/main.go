@@ -19,11 +19,20 @@
 // fabric controller policy (baseline, reroute, priority,
 // reroute+priority) into the engine's shared fabric.
 //
+// Heterogeneous execution: -devices cpu,gpu,fpga gives the batch engine
+// a modeled device set and -placement picks the morsel placement policy
+// (auto = cost-based per morsel; cpu/gpu/fpga force every morsel onto
+// one device). Each result then prints the per-device morsel counts and
+// modeled seconds/energy, with offload transfer/launch/reconfiguration
+// overheads broken out; rows are identical across placements.
+//
 // Usage:
 //
 //	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
 //	rethink-sql -explain "SELECT ... "
 //	rethink-sql -serial "SELECT ... "
+//	rethink-sql -devices cpu,gpu,fpga -placement auto "SELECT ... "
+//	rethink-sql -dist -devices cpu,gpu,fpga "SELECT ... "  # per-shard placement
 //	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
 //	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
 //	rethink-sql -dist -concurrency 4 -priority interactive -weight 3
@@ -41,6 +50,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/relational"
 	"repro/internal/sdn"
@@ -66,6 +76,8 @@ func main() {
 	priority := flag.String("priority", "", "QoS class for the first session (others stay best-effort); e.g. interactive, batch")
 	weight := flag.Float64("weight", 0, "weighted-max-min scheduling weight for the first session (0 = uniform)")
 	sdnPolicy := flag.String("sdn", "", "fabric controller policy: "+strings.Join(sdn.Policies, ", ")+" (empty = fixed data plane)")
+	devices := flag.String("devices", "", "heterogeneous device set, comma-separated from "+strings.Join(exec.DeviceNames, ",")+" (empty = homogeneous CPU engine)")
+	placement := flag.String("placement", "auto", "morsel placement policy over -devices: "+strings.Join(exec.Placements, ", "))
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -76,6 +88,10 @@ func main() {
 	cfg.Topology = *topology
 	cfg.DistJoin = *distJoin
 	cfg.ShardHash = *hashShard
+	if *devices != "" {
+		cfg.Devices = strings.Split(*devices, ",")
+		cfg.Placement = *placement
+	}
 	if *sdnPolicy != "" {
 		pol := sdn.PolicyByName(*sdnPolicy)
 		if pol == nil {
@@ -203,6 +219,12 @@ func runOne(sess *sql.Session, q string, timeout time.Duration) (string, error) 
 	var b strings.Builder
 	fmt.Fprintf(&b, "sql> %s\n", q)
 	b.WriteString(renderRelation(res.Rows))
+	if res.Devices != nil {
+		fmt.Fprintf(&b, "  placement %s over %d device(s):\n", res.Placement, len(res.Devices))
+		for _, d := range res.Devices {
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
+	}
 	if res.Net != nil {
 		b.WriteString(res.Net.Summary())
 		b.WriteByte('\n')

@@ -25,9 +25,22 @@
 // with QoS classes and weights (Session.Priority / Session.Weight), the
 // reference controller lives in internal/sdn (NetController over a
 // flow-table with LRU eviction, plus the Baseline / RerouteHotLinks /
-// StrictPriority policy catalog), and every Result reports its
+// StrictPriority policy catalog — the latter preferring the fabric's
+// per-round load-telemetry windows), and every Result reports its
 // admission view (rounds joined, barrier wait, class, weight) next to
-// its network stats. See README.md for the package map, the migration
+// its network stats. Compute is heterogeneous the same way the network
+// is programmable: internal/exec is the operator-execution seam
+// (exec.Device over the internal/hw roofline models, pluggable
+// placement policies, per-operator morsel dispatchers with selectivity
+// feedback), wired via sql.Config.Devices / Config.Placement /
+// Session.Placement, so the batch operators place each morsel on
+// whichever modeled device class — SIMD CPU, SIMT GPU, spatial FPGA
+// pipeline — the cost model picks, charge the modeled time/energy and
+// offload overheads into their stats and Result.Devices, and still
+// return rows identical to the homogeneous engine on every path
+// (devices model cost, not semantics; distributed shard hosts place
+// independently). See README.md for the package map, the migration
 // table from the deprecated DB/Options API, the control-plane policy
-// catalog, and build, test and benchmark instructions.
+// catalog, the heterogeneous-execution section, and build, test and
+// benchmark instructions.
 package repro

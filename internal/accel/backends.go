@@ -46,9 +46,26 @@ type Estimate struct {
 	// SetupSeconds is one-off cost (FPGA reconfiguration) amortized by the
 	// tuner over repeated runs; it is NOT included in Seconds.
 	SetupSeconds float64
+	// TransferSeconds is the host<->device movement share of Seconds
+	// (PCIe transfers on offload devices; zero for in-socket execution).
+	TransferSeconds float64
+	// LaunchSeconds is the kernel-launch overhead share of Seconds.
+	LaunchSeconds float64
 	// StageSeconds breaks Seconds down per stage (fused backends report a
 	// single entry).
 	StageSeconds []float64
+}
+
+// TotalSeconds is the estimate's full cost for `runs` executions divided
+// by runs: per-run time plus setup amortized over the planned run count.
+// A one-shot decision (runs = 1, the per-morsel placement case) therefore
+// charges the whole reconfiguration, where the tuner's long-lived
+// placements spread it thin.
+func (e Estimate) TotalSeconds(runs int) float64 {
+	if runs < 1 {
+		runs = 1
+	}
+	return e.Seconds + e.SetupSeconds/float64(runs)
 }
 
 // Constants of the backend cost models.
@@ -138,6 +155,7 @@ func (b Backend) Estimate(p *Program, n int, sel map[int]float64) (Estimate, err
 			est.Seconds += t
 		}
 		if b.Style == SIMT {
+			est.LaunchSeconds = float64(len(p.Stages)) * gpuLaunchS
 			// Host <-> device transfers at the pipeline ends.
 			out := counts[len(counts)-1]
 			if p.HasReduce() {
@@ -145,6 +163,7 @@ func (b Backend) Estimate(p *Program, n int, sel map[int]float64) (Estimate, err
 			}
 			xfer := (float64(n) + out) * 8 / (gpuPCIeGBs * 1e9)
 			est.Seconds += xfer
+			est.TransferSeconds = xfer
 			est.StageSeconds = append(est.StageSeconds, xfer)
 		}
 	case Pipeline:
@@ -174,6 +193,52 @@ func (b Backend) Estimate(p *Program, n int, sel map[int]float64) (Estimate, err
 	}
 	est.EnergyJ = est.Seconds * d.Power(1)
 	return est, nil
+}
+
+// EstimateKernel prices one roofline-described operator kernel (total
+// ops, total memory traffic — the internal/kernels descriptors) in this
+// backend's execution style. It is the operator-kernel dual of Estimate's
+// IR pricing, sharing the same style constants, and is what the exec
+// layer uses to price a relational morsel on each device class:
+//
+//   - SIMD/SIMT run the kernel at min(compute, bandwidth) roofline speed,
+//     derated on branchy (filter-shaped) kernels by the style's divergence
+//     efficiency; SIMT additionally pays a kernel launch and moves
+//     hostBytes across PCIe.
+//   - Pipeline streams the kernel through a spatial datapath (fill/drain
+//     inflation) and reports the bitstream reconfiguration as
+//     SetupSeconds — one-off state the caller amortizes (or charges in
+//     full for one-shot placements) via TotalSeconds.
+func (b Backend) EstimateKernel(k hw.Kernel, branchy bool, hostBytes float64) Estimate {
+	d := b.Device
+	est := Estimate{Backend: fmt.Sprintf("%s/%s", d.Name, b.Style)}
+	eff := 1.0
+	if branchy {
+		switch b.Style {
+		case SIMD:
+			eff = cpuBranchyEff
+		case SIMT:
+			eff = gpuDivergenceEff
+		}
+	}
+	computeS := k.Ops / (d.GOpsPeak * 1e9 * eff)
+	memS := k.Bytes / (d.MemGBs * 1e9)
+	t := computeS
+	if memS > t {
+		t = memS
+	}
+	switch b.Style {
+	case SIMT:
+		est.LaunchSeconds = gpuLaunchS
+		est.TransferSeconds = hostBytes / (gpuPCIeGBs * 1e9)
+		t += est.LaunchSeconds + est.TransferSeconds
+	case Pipeline:
+		t *= fpgaFillFactor
+		est.SetupSeconds = fpgaReconfigS
+	}
+	est.Seconds = t
+	est.EnergyJ = t * d.Power(1)
+	return est
 }
 
 // stageOps returns arithmetic ops per element for a stage.

@@ -1,0 +1,117 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestEstimateTotalSeconds: the one-shot cost includes the full setup;
+// amortized runs spread it; degenerate run counts clamp to one.
+func TestEstimateTotalSeconds(t *testing.T) {
+	e := Estimate{Seconds: 0.002, SetupSeconds: 0.1}
+	if got := e.TotalSeconds(1); math.Abs(got-0.102) > 1e-12 {
+		t.Fatalf("one-shot: %v", got)
+	}
+	if got := e.TotalSeconds(100); math.Abs(got-0.003) > 1e-12 {
+		t.Fatalf("amortized: %v", got)
+	}
+	if got := e.TotalSeconds(0); math.Abs(got-0.102) > 1e-12 {
+		t.Fatalf("runs<1 must clamp to one-shot: %v", got)
+	}
+	if got := (Estimate{Seconds: 1}).TotalSeconds(1); got != 1 {
+		t.Fatalf("no setup: %v", got)
+	}
+}
+
+// TestTunerUsesTotalSeconds: the tuner's amortized choice is exactly
+// TotalSeconds(runs) of the winning estimate.
+func TestTunerUsesTotalSeconds(t *testing.T) {
+	p := &Program{Name: "x2", Stages: []Stage{MapE(Bin{Op: Mul, L: X{}, R: Const(2)})}}
+	pl, err := NewTuner().Choose(p, 1<<20, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Estimate.TotalSeconds(50); math.Abs(got-pl.AmortizedSeconds) > 1e-15 {
+		t.Fatalf("AmortizedSeconds %v != TotalSeconds(50) %v", pl.AmortizedSeconds, got)
+	}
+}
+
+// TestSelectivityFeedbackRoundTrip: the Result.Selectivity a run
+// observes must actually move the next Estimate — the tuner feedback
+// loop. A highly selective filter (keep ~1/16) makes every downstream
+// stage cheaper than the 0.5 planner default assumes, on every backend.
+func TestSelectivityFeedbackRoundTrip(t *testing.T) {
+	// keep x > 0.9375 over uniform [0, 1): ~6% pass, then a map stage
+	// whose cost depends on how many elements survived.
+	p := &Program{Name: "selective", Stages: []Stage{
+		FilterE(Bin{Op: Sub, L: X{}, R: Const(0.9375)}),
+		MapE(Bin{Op: Mul, L: X{}, R: X{}}),
+	}}
+	in := randVec(7, 1<<18)
+	res, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := res.Selectivity[0]
+	if sel <= 0 || sel >= 0.2 {
+		t.Fatalf("expected a highly selective filter, observed %v", sel)
+	}
+	for _, b := range DefaultBackends() {
+		def, err := b.Estimate(p, len(in), nil) // planner default 0.5
+		if err != nil {
+			t.Fatal(err)
+		}
+		fed, err := b.Estimate(p, len(in), res.Selectivity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fed.Seconds >= def.Seconds {
+			t.Fatalf("%s: observed selectivity %v must lower the estimate: %v >= %v",
+				def.Backend, sel, fed.Seconds, def.Seconds)
+		}
+	}
+	// And re-observing the same program yields the same feedback: the
+	// loop is stable, not a one-off.
+	res2, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Selectivity[0] != sel {
+		t.Fatalf("feedback must be reproducible: %v vs %v", res2.Selectivity[0], sel)
+	}
+}
+
+// TestEstimateKernelStyles: the roofline-kernel pricing shares the IR
+// path's style behaviour — branchy derating on wide styles, launch +
+// transfer on SIMT, fill + setup on pipelines.
+func TestEstimateKernelStyles(t *testing.T) {
+	k := kernels.FilterDescriptor(1<<20, 0.5)
+	cpu := NewCPU().EstimateKernel(k, true, 8<<20)
+	gpu := NewGPU().EstimateKernel(k, true, 8<<20)
+	fpga := NewFPGA().EstimateKernel(k, true, 8<<20)
+
+	if cpu.TransferSeconds != 0 || cpu.LaunchSeconds != 0 || cpu.SetupSeconds != 0 {
+		t.Fatalf("cpu pays no offload overheads: %+v", cpu)
+	}
+	if gpu.TransferSeconds <= 0 || gpu.LaunchSeconds <= 0 {
+		t.Fatalf("gpu must price launch and transfer: %+v", gpu)
+	}
+	if gpu.Seconds < gpu.TransferSeconds+gpu.LaunchSeconds {
+		t.Fatalf("gpu Seconds must include its overheads: %+v", gpu)
+	}
+	if fpga.SetupSeconds != fpgaReconfigS {
+		t.Fatalf("pipeline must report reconfiguration setup: %+v", fpga)
+	}
+	// Branchy derating: the same kernel priced as non-branchy is never
+	// slower on the wide styles.
+	if nb := NewCPU().EstimateKernel(k, false, 0); nb.Seconds > cpu.Seconds {
+		t.Fatalf("branchy must not be cheaper: %v > %v", nb.Seconds, cpu.Seconds)
+	}
+	for _, e := range []Estimate{cpu, gpu, fpga} {
+		if e.Seconds <= 0 || e.EnergyJ <= 0 {
+			t.Fatalf("degenerate estimate: %+v", e)
+		}
+	}
+}

@@ -34,7 +34,7 @@ func (t *Tuner) Choose(p *Program, n, runs int, sel map[int]float64) (Placement,
 		if err != nil {
 			return Placement{}, err
 		}
-		amort := est.Seconds + est.SetupSeconds/float64(runs)
+		amort := est.TotalSeconds(runs)
 		if amort < best.AmortizedSeconds {
 			best = Placement{Backend: b, Estimate: est, AmortizedSeconds: amort}
 		}

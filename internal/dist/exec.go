@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/exec"
 	"repro/internal/relational"
 )
 
@@ -109,8 +110,11 @@ func RunFragments(name string, frags []relational.BatchOp, workers int) ([]*rela
 // into a private PartialAgg, tagging each group's first appearance with
 // the stream's seqCol so the coordinator can merge partials into the
 // exact single-node first-seen order. As in RunFragments, the shards
-// share an abort flag so one failure stops the others early.
-func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relational.AggSpec, seqCol, workers int) ([]*relational.PartialAgg, error) {
+// share an abort flag so one failure stops the others early. disp, when
+// non-nil, routes shard i's per-batch partial updates through disp[i] —
+// each simulated worker host placing its aggregation morsels on its own
+// device set (nil slice or entries keep the homogeneous engine).
+func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relational.AggSpec, seqCol, workers int, disp []*exec.Dispatcher) ([]*relational.PartialAgg, error) {
 	out := make([]*relational.PartialAgg, len(frags))
 	errs := make([]error, len(frags))
 	flag := &fragAbort{}
@@ -119,6 +123,10 @@ func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relation
 		wg.Add(1)
 		go func(i int, f relational.BatchOp) {
 			defer wg.Done()
+			var di *exec.Dispatcher
+			if i < len(disp) {
+				di = disp[i]
+			}
 			pa := relational.NewPartialAgg(groupCols, aggs)
 			out[i] = pa
 			op := relational.NewExchange(&abortable{child: f, flag: flag}, workers)
@@ -143,7 +151,7 @@ func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relation
 				if b == nil {
 					return
 				}
-				if err := pa.ObserveBatch(b, seqCol); err != nil {
+				if err := di.Run(b.Len(), func() error { return pa.ObserveBatch(b, seqCol) }); err != nil {
 					errs[i] = err
 					flag.abort(err)
 					drain()

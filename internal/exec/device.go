@@ -1,0 +1,248 @@
+// Package exec is the heterogeneous operator-execution seam: the device
+// abstraction that lets the relational batch engine place each morsel on
+// whichever device class — SIMD CPU, SIMT GPU, spatial FPGA pipeline —
+// a cost model says is cheapest (Section IV.C.3's dynamic placement,
+// HyPer-style morsel granularity).
+//
+// The layering mirrors the fabric control plane of internal/netsim: the
+// data plane (the CPU reference kernels in internal/kernels) always
+// computes the actual result, so every placement is semantically
+// identical and output stays row-for-row equal across device sets; a
+// Device only differs in the *modeled* cost it charges — roofline
+// compute/bandwidth time from the internal/hw device models plus the
+// style's offload overheads (PCIe transfer and kernel launch for SIMT,
+// bitstream reconfiguration for pipelines). A nil placer (no device set
+// configured) is the fixed homogeneous engine, bit-identical with the
+// pre-device code path.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/accel"
+	"repro/internal/hw"
+)
+
+// Kernel identifies one operator kernel at one morsel size: the roofline
+// terms the device models price, plus the control-flow shape (branchy
+// filters derate wide execution styles) and the bytes that would cross
+// the host boundary on an offload device.
+type Kernel struct {
+	// Name is the kernel identity ("filter", "project", "sort",
+	// "aggregate"); spatial devices reconfigure when it changes.
+	Name string
+	// Branchy marks divergent control flow (filter-shaped kernels).
+	Branchy bool
+	// Desc is the roofline descriptor at the morsel size.
+	Desc hw.Kernel
+	// HostBytes is the host<->device traffic an offload device would move
+	// to run this kernel (morsel in + result out).
+	HostBytes float64
+}
+
+// MorselStats is what a placement decision knows about one morsel.
+type MorselStats struct {
+	// Rows is the morsel's row count.
+	Rows int
+	// Selectivity is the observed keep fraction feedback for filter
+	// kernels; negative means unobserved (cost models use their planner
+	// default).
+	Selectivity float64
+	// Runs estimates how many morsels of this kernel the operator will
+	// dispatch in total (>= 1): one-off device state (FPGA
+	// reconfiguration) amortizes over it.
+	Runs int
+}
+
+// Cost is the modeled cost actually charged for one morsel execution.
+// Seconds includes every overhead component listed below it.
+type Cost struct {
+	Seconds         float64
+	TransferSeconds float64
+	LaunchSeconds   float64
+	SetupSeconds    float64
+	EnergyJ         float64
+}
+
+// Device is one placement target. All devices are semantically identical
+// — Run executes the engine's reference CPU implementation — and differ
+// only in the modeled cost they estimate and charge, exactly like
+// accel.Backend prices the shared reference interpreter.
+type Device interface {
+	// Name identifies the device ("cpu", "gpu", "fpga").
+	Name() string
+	// Style is the execution idiom the cost model prices.
+	Style() accel.Style
+	// Estimate prices one execution of k over m without running it,
+	// consulting device state (an already-configured pipeline reports
+	// zero SetupSeconds).
+	Estimate(k Kernel, m MorselStats) accel.Estimate
+	// Run executes fn — the reference implementation, shared by every
+	// device — updates device state, and returns the modeled cost
+	// charged, including any reconfiguration this run triggered.
+	Run(k Kernel, m MorselStats, fn func() error) (Cost, error)
+}
+
+// DeviceNames lists the devices NewDevice accepts, in catalog order.
+var DeviceNames = []string{"cpu", "gpu", "fpga"}
+
+// NewDevice builds a fresh device model by catalog name. Fresh means
+// fresh state: two calls return independent devices (a pipeline device
+// tracks which kernel its bitstream currently implements).
+func NewDevice(name string) (Device, error) {
+	switch strings.ToLower(name) {
+	case "cpu":
+		return &modelDevice{name: "cpu", b: accel.NewCPU()}, nil
+	case "gpu":
+		return &modelDevice{name: "gpu", b: accel.NewGPU()}, nil
+	case "fpga":
+		return &modelDevice{name: "fpga", b: accel.NewFPGA()}, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown device %q (have %s)", name, strings.Join(DeviceNames, ", "))
+	}
+}
+
+// NewDevices builds one fresh device per name, rejecting duplicates.
+func NewDevices(names []string) ([]Device, error) {
+	out := make([]Device, 0, len(names))
+	seen := map[string]bool{}
+	for _, n := range names {
+		d, err := NewDevice(n)
+		if err != nil {
+			return nil, err
+		}
+		if seen[d.Name()] {
+			return nil, fmt.Errorf("exec: duplicate device %q", d.Name())
+		}
+		seen[d.Name()] = true
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// modelDevice adapts an accel.Backend (hw device model + execution
+// style) to the Device interface. Pipeline backends carry the one piece
+// of device state the placement loop must model: which kernel the
+// fabric is currently configured for.
+type modelDevice struct {
+	name string
+	b    accel.Backend
+
+	mu         sync.Mutex
+	configured string // Pipeline style: kernel the bitstream implements
+}
+
+// Name implements Device.
+func (d *modelDevice) Name() string { return d.name }
+
+// Style implements Device.
+func (d *modelDevice) Style() accel.Style { return d.b.Style }
+
+// Estimate implements Device.
+func (d *modelDevice) Estimate(k Kernel, m MorselStats) accel.Estimate {
+	est := d.b.EstimateKernel(k.Desc, k.Branchy, k.HostBytes)
+	if d.b.Style == accel.Pipeline {
+		d.mu.Lock()
+		if d.configured == k.Name {
+			est.SetupSeconds = 0 // bitstream already loaded
+		}
+		d.mu.Unlock()
+	}
+	return est
+}
+
+// Run implements Device.
+func (d *modelDevice) Run(k Kernel, m MorselStats, fn func() error) (Cost, error) {
+	est := d.b.EstimateKernel(k.Desc, k.Branchy, k.HostBytes)
+	cost := Cost{
+		Seconds:         est.Seconds,
+		TransferSeconds: est.TransferSeconds,
+		LaunchSeconds:   est.LaunchSeconds,
+		EnergyJ:         est.EnergyJ,
+	}
+	if d.b.Style == accel.Pipeline {
+		d.mu.Lock()
+		if d.configured != k.Name {
+			d.configured = k.Name
+			cost.SetupSeconds = est.SetupSeconds
+			cost.Seconds += est.SetupSeconds
+			// The bitstream load draws idle power for its duration.
+			cost.EnergyJ += est.SetupSeconds * d.b.Device.Power(0)
+		}
+		d.mu.Unlock()
+	}
+	err := fn()
+	return cost, err
+}
+
+// DeviceStats is one device's aggregate over an execution: how many
+// morsels (and rows) the placement policy sent to it and the modeled
+// time/energy they cost, with the offload overhead components broken
+// out. It is the per-device line of sql.Result.Devices.
+type DeviceStats struct {
+	Device          string
+	Style           string
+	Morsels         int
+	Rows            int64
+	Seconds         float64
+	TransferSeconds float64
+	LaunchSeconds   float64
+	SetupSeconds    float64
+	EnergyJ         float64
+}
+
+// String renders one summary line.
+func (s DeviceStats) String() string {
+	return fmt.Sprintf("%s(%s): %d morsels, %d rows, %.3gs modeled (xfer %.3gs, launch %.3gs, setup %.3gs), %.3g J",
+		s.Device, s.Style, s.Morsels, s.Rows, s.Seconds, s.TransferSeconds, s.LaunchSeconds, s.SetupSeconds, s.EnergyJ)
+}
+
+// aggStats is the race-safe per-device aggregate sink an execution's
+// placers (the query placer and its per-shard forks) share.
+type aggStats struct {
+	mu    sync.Mutex
+	byDev map[string]*DeviceStats
+}
+
+func (a *aggStats) charge(dev Device, rows int, c Cost) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.byDev == nil {
+		a.byDev = map[string]*DeviceStats{}
+	}
+	st := a.byDev[dev.Name()]
+	if st == nil {
+		st = &DeviceStats{Device: dev.Name(), Style: dev.Style().String()}
+		a.byDev[dev.Name()] = st
+	}
+	st.Morsels++
+	st.Rows += int64(rows)
+	st.Seconds += c.Seconds
+	st.TransferSeconds += c.TransferSeconds
+	st.LaunchSeconds += c.LaunchSeconds
+	st.SetupSeconds += c.SetupSeconds
+	st.EnergyJ += c.EnergyJ
+}
+
+func (a *aggStats) snapshot() []DeviceStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]DeviceStats, 0, len(a.byDev))
+	for _, st := range a.byDev {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Device < out[j].Device })
+	return out
+}
+
+// ModeledSeconds sums the modeled execution time across a device report.
+func ModeledSeconds(stats []DeviceStats) float64 {
+	total := 0.0
+	for _, s := range stats {
+		total += s.Seconds
+	}
+	return total
+}

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Policy decides which device one morsel runs on. Policies observe the
+// per-device estimates (already amortizing one-off setup over the
+// morsel's expected run count) and must return one of the offered
+// devices.
+type Policy interface {
+	Name() string
+	// Pick chooses a device for kernel k over morsel m. devs is never
+	// empty.
+	Pick(devs []Device, k Kernel, m MorselStats) Device
+}
+
+// Placements lists the placement-policy names PolicyByName accepts.
+var Placements = []string{"auto", "cpu", "gpu", "fpga"}
+
+// PolicyByName resolves a placement name: "auto" (or "") is cost-based
+// per-morsel placement; a device name forces every morsel onto that
+// device.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "", "auto":
+		return costBased{}, nil
+	case "cpu", "gpu", "fpga":
+		return forced(strings.ToLower(name)), nil
+	default:
+		return nil, fmt.Errorf("exec: unknown placement %q (have %s)", name, strings.Join(Placements, ", "))
+	}
+}
+
+// costBased picks the device whose estimate minimizes per-run total
+// time, with setup amortized over the morsel's expected run count —
+// Recommendation 11's dynamic placement at morsel granularity. Ties (and
+// the empty estimate) fall to the earliest device in catalog order, so
+// the CPU wins when offload buys nothing.
+type costBased struct{}
+
+// Name implements Policy.
+func (costBased) Name() string { return "auto" }
+
+// Pick implements Policy.
+func (costBased) Pick(devs []Device, k Kernel, m MorselStats) Device {
+	runs := m.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	best := devs[0]
+	bestS := math.Inf(1)
+	for _, d := range devs {
+		if s := d.Estimate(k, m).TotalSeconds(runs); s < bestS {
+			best, bestS = d, s
+		}
+	}
+	return best
+}
+
+// forced places every morsel on one named device (the ablation
+// comparator: "cpu" replays the homogeneous engine's cost, "gpu"/"fpga"
+// model an engine hard-wired to its accelerator).
+type forced string
+
+// Name implements Policy.
+func (f forced) Name() string { return string(f) }
+
+// Pick implements Policy.
+func (f forced) Pick(devs []Device, k Kernel, m MorselStats) Device {
+	for _, d := range devs {
+		if d.Name() == string(f) {
+			return d
+		}
+	}
+	return devs[0] // validated at Placer construction; defensive only
+}
+
+// Placer owns one execution's device set and placement policy and
+// aggregates the per-device modeled costs its dispatchers charge. A
+// query builds one Placer; distributed executions Fork one per shard so
+// every simulated worker host places independently on its own device
+// state while charging the same query-level aggregate.
+//
+// A Placer is safe for concurrent use (morsel-parallel partitions share
+// its dispatchers).
+type Placer struct {
+	devs []Device
+	pol  Policy
+	agg  *aggStats
+}
+
+// NewPlacer builds a placer over fresh devices. names must be non-empty
+// and placement must resolve; a forced placement must name one of the
+// devices.
+func NewPlacer(names []string, placement string) (*Placer, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("exec: placer needs at least one device")
+	}
+	devs, err := NewDevices(names)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := PolicyByName(placement)
+	if err != nil {
+		return nil, err
+	}
+	if f, ok := pol.(forced); ok {
+		found := false
+		for _, d := range devs {
+			if d.Name() == string(f) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("exec: placement %q is not in the device set %v", placement, names)
+		}
+	}
+	return &Placer{devs: devs, pol: pol, agg: &aggStats{}}, nil
+}
+
+// ValidateConfig checks a (devices, placement) pair without keeping the
+// placer — the construction-time validation hook for configuration
+// layers.
+func ValidateConfig(names []string, placement string) error {
+	if len(names) == 0 {
+		// No devices = homogeneous engine; the placement is ignored but
+		// still must parse so a typo surfaces here, not silently.
+		if placement == "" {
+			return nil
+		}
+		_, err := PolicyByName(placement)
+		return err
+	}
+	_, err := NewPlacer(names, placement)
+	return err
+}
+
+// Fork returns a placer with the same device names and policy but fresh
+// device state (an FPGA on one shard reconfigures independently of its
+// peers), charging into the same aggregate as the receiver.
+func (p *Placer) Fork() *Placer {
+	devs, err := NewDevices(p.DeviceNames())
+	if err != nil {
+		panic(err) // names were validated at construction
+	}
+	return &Placer{devs: devs, pol: p.pol, agg: p.agg}
+}
+
+// Policy returns the placement policy's name.
+func (p *Placer) Policy() string { return p.pol.Name() }
+
+// DeviceNames returns the device set's names in catalog order.
+func (p *Placer) DeviceNames() []string {
+	out := make([]string, len(p.devs))
+	for i, d := range p.devs {
+		out[i] = d.Name()
+	}
+	return out
+}
+
+// Stats snapshots the per-device aggregate over every dispatcher of this
+// placer and its forks, sorted by device name.
+func (p *Placer) Stats() []DeviceStats { return p.agg.snapshot() }
+
+// String renders the placer's configuration for plan explanations.
+func (p *Placer) String() string {
+	return fmt.Sprintf("devices [%s], placement %s", strings.Join(p.DeviceNames(), " "), p.Policy())
+}

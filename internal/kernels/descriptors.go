@@ -35,6 +35,22 @@ func FilterDescriptor(n int, selectivity float64) hw.Kernel {
 	}
 }
 
+// ProjectDescriptor describes computing exprs derived columns over n
+// rows: a handful of ops per expression per row, streaming reads of the
+// referenced inputs and writes of the outputs.
+func ProjectDescriptor(n, exprs int) hw.Kernel {
+	if exprs < 1 {
+		exprs = 1
+	}
+	fn, fe := float64(n), float64(exprs)
+	return hw.Kernel{
+		Name:             "project",
+		Ops:              4 * fe * fn,
+		Bytes:            8 * (fe + 1) * fn, // read inputs + write outputs
+		ParallelFraction: 1.0,
+	}
+}
+
 // JoinDescriptor describes a hash join of build and probe rows: hash +
 // insert per build row, hash + chain walk per probe row.
 func JoinDescriptor(build, probe int) hw.Kernel {

@@ -46,7 +46,21 @@ type Admission struct {
 	floor int
 
 	stats AdmissionStats
+
+	// Load-telemetry windows (fed to controllers via RoundState): the
+	// cumulative per-directed-link bytes at the end of the previous
+	// round, that round's deltas, the per-link utilization EWMA across
+	// rounds, and the previous round's makespan.
+	prevLinkBytes []float64
+	lastDelta     []LinkLoad
+	utilEWMA      []float64
+	lastRoundSec  float64
 }
+
+// utilEWMAAlpha weights the newest round's per-link utilization into the
+// running average controllers observe: half-life of one round keeps the
+// signal recent without flapping on a single quiet round.
+const utilEWMAAlpha = 0.5
 
 // AdmissionStats aggregates fabric-wide contention counters across every
 // round the admission layer has run.
@@ -168,8 +182,18 @@ func (a *Admission) JoinQoS(cancelled func() error, class string, weight float64
 // consulted between rounds. Install it before traffic flows: the round
 // in flight when the controller changes keeps the policy it started
 // with, but there is no synchronization beyond the admission lock.
+// Load-telemetry windows start at installation: a controller installed
+// mid-life sees deltas relative to that point, not the fabric's whole
+// history collapsed into one "round".
 func (a *Admission) SetController(c Controller) {
 	a.mu.Lock()
+	if c != nil && a.prevLinkBytes == nil {
+		loads := a.sim.LinkLoads()
+		a.prevLinkBytes = make([]float64, len(loads))
+		for i, l := range loads {
+			a.prevLinkBytes[i] = l.Bytes
+		}
+	}
 	a.ctl = c
 	a.mu.Unlock()
 }
@@ -389,7 +413,15 @@ func (a *Admission) runRound() {
 	// bit-identical pre-control-plane data plane.
 	var decisions []Decision
 	if a.ctl != nil && len(cands) > 0 {
-		st := &RoundState{Round: a.stats.Rounds, Net: a.sim.Net, Loads: a.sim.LinkLoads()}
+		st := &RoundState{
+			Round: a.stats.Rounds, Net: a.sim.Net, Loads: a.sim.LinkLoads(),
+			// Telemetry windows: the previous round's per-link deltas and
+			// the utilization EWMA (both copied — controllers must not
+			// reach back into admission state).
+			DeltaLoads:       append([]LinkLoad(nil), a.lastDelta...),
+			UtilEWMA:         append([]float64(nil), a.utilEWMA...),
+			LastRoundSeconds: a.lastRoundSec,
+		}
 		st.Pending = make([]PendingFlow, len(cands))
 		for i, c := range cands {
 			st.Pending[i] = c.pf
@@ -430,6 +462,11 @@ func (a *Admission) runRound() {
 		a.stats.ClassBytes[pf.Class] += pf.Bytes
 	}
 	a.sim.Run()
+	if a.ctl != nil {
+		// Telemetry windows exist for controllers; the nil-controller
+		// fabric skips the per-round bookkeeping nobody could observe.
+		a.updateLoadWindows()
+	}
 	for _, sub := range subs {
 		for _, f := range sub.flows {
 			if sec := float64(f.End); sec > sub.seconds {
@@ -447,4 +484,33 @@ func (a *Admission) runRound() {
 	a.stats.BusySeconds += float64(a.sim.Engine.Now())
 	a.floor = 0
 	a.cond.Broadcast()
+}
+
+// updateLoadWindows rolls the load-telemetry windows forward over the
+// round that just ran: per-directed-link byte deltas, that round's
+// utilization (delta over the round makespan), and the cross-round
+// utilization EWMA. Callers hold a.mu; runs after the round's simulator
+// execution while the virtual clock still reads the round makespan.
+func (a *Admission) updateLoadWindows() {
+	loads := a.sim.LinkLoads()
+	roundSec := float64(a.sim.Engine.Now())
+	if a.prevLinkBytes == nil {
+		a.prevLinkBytes = make([]float64, len(loads))
+	}
+	if a.utilEWMA == nil {
+		a.utilEWMA = make([]float64, len(loads))
+	}
+	delta := make([]LinkLoad, len(loads))
+	for i, l := range loads {
+		d := l.Bytes - a.prevLinkBytes[i]
+		util := 0.0
+		if roundSec > 0 {
+			util = d / (a.sim.Net.Links[l.LinkID].Speed.BytesPerSec() * roundSec)
+		}
+		delta[i] = LinkLoad{LinkID: l.LinkID, Forward: l.Forward, Bytes: d, Util: util}
+		a.utilEWMA[i] = utilEWMAAlpha*util + (1-utilEWMAAlpha)*a.utilEWMA[i]
+		a.prevLinkBytes[i] = l.Bytes
+	}
+	a.lastDelta = delta
+	a.lastRoundSec = roundSec
 }

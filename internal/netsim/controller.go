@@ -69,6 +69,21 @@ type RoundState struct {
 	// fabric's whole life (the Util fields are meaningless between
 	// rounds; window them against AdmissionStats.BusySeconds).
 	Loads []LinkLoad
+	// DeltaLoads is the previous round's per-directed-link traffic
+	// window: Bytes is what each link carried in that round alone and
+	// Util is its utilization over that round's makespan. Nil before any
+	// round has run. This is the "recent load" signal policies should
+	// prefer over the lifetime totals in Loads.
+	DeltaLoads []LinkLoad
+	// UtilEWMA is the exponentially-weighted moving average of per-round
+	// directed-link utilization (indexed like Loads), nil before any
+	// round has run. Hot links decay as traffic moves, so policies
+	// reacting to it chase where load is, not where it has ever been.
+	UtilEWMA []float64
+	// LastRoundSeconds is the previous round's makespan (0 before any
+	// round): the window over which DeltaLoads' utilization was taken,
+	// and the natural horizon for converting UtilEWMA back into bytes.
+	LastRoundSeconds float64
 }
 
 // Controller is a programmable fabric control plane: it observes each

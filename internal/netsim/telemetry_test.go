@@ -1,0 +1,90 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// recorder captures every RoundState a controller observes.
+type recorder struct{ states []*RoundState }
+
+func (r *recorder) Admit(st *RoundState) []Decision {
+	r.states = append(r.states, st)
+	return nil
+}
+
+// TestLoadTelemetryWindows: controllers see per-round delta loads and a
+// utilization EWMA, not just lifetime totals — the PR 4 follow-on. The
+// first round carries no windows; later rounds report exactly the
+// previous round's traffic, and the EWMA accumulates round over round.
+func TestLoadTelemetryWindows(t *testing.T) {
+	net := topo.SingleSwitch(4, topo.Gen10)
+	rec := &recorder{}
+	a := NewAdmission(NewSimulator(net))
+	a.SetController(rec)
+	p := a.Join(nil)
+	defer p.Leave()
+
+	for _, bytes := range []float64{1e6, 2e6, 1e6} {
+		if _, _, err := p.Submit([]FlowReq{{Src: 0, Dst: 1, Bytes: bytes}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.states) != 3 {
+		t.Fatalf("rounds observed: %d", len(rec.states))
+	}
+
+	st0 := rec.states[0]
+	if st0.DeltaLoads != nil || st0.UtilEWMA != nil || st0.LastRoundSeconds != 0 {
+		t.Fatalf("first round must carry no telemetry windows: %+v", st0)
+	}
+
+	sumDelta := func(st *RoundState) float64 {
+		total := 0.0
+		for _, l := range st.DeltaLoads {
+			total += l.Bytes
+		}
+		return total
+	}
+	// Round 1 sees round 0's traffic: 1e6 over the two hops of the
+	// host0 -> switch -> host1 path.
+	st1 := rec.states[1]
+	if got := sumDelta(st1); got != 2e6 {
+		t.Fatalf("round 1 delta bytes %.0f, want 2e6", got)
+	}
+	if st1.LastRoundSeconds <= 0 {
+		t.Fatalf("round 1 must report the previous makespan: %v", st1.LastRoundSeconds)
+	}
+	// Round 2's delta is round 1's traffic alone — not the cumulative
+	// 3e6 per hop that Loads reports.
+	st2 := rec.states[2]
+	if got := sumDelta(st2); got != 4e6 {
+		t.Fatalf("round 2 delta bytes %.0f, want 4e6 (per-round, not cumulative)", got)
+	}
+	cum := 0.0
+	for _, l := range st2.Loads {
+		cum += l.Bytes
+	}
+	if cum != 6e6 {
+		t.Fatalf("cumulative loads %.0f, want 6e6", cum)
+	}
+
+	// The EWMA accumulates on the used directions (a lone flow saturates
+	// its path, so per-round utilization is 1: EWMA goes 0.5 then 0.75)
+	// and stays zero on never-used ones.
+	usedMore, unusedZero := 0, true
+	for i := range st2.UtilEWMA {
+		if st1.DeltaLoads[i].Bytes > 0 {
+			if !(st2.UtilEWMA[i] > st1.UtilEWMA[i] && st2.UtilEWMA[i] <= 1) {
+				t.Fatalf("dir %d: EWMA must rise under repeated load: %v -> %v", i, st1.UtilEWMA[i], st2.UtilEWMA[i])
+			}
+			usedMore++
+		} else if st2.UtilEWMA[i] != 0 {
+			unusedZero = false
+		}
+	}
+	if usedMore != 2 || !unusedZero {
+		t.Fatalf("EWMA shape wrong: %d used dirs, unused zero=%v", usedMore, unusedZero)
+	}
+}

@@ -1,6 +1,10 @@
 package relational
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/exec"
+)
 
 // BatchGroupAgg is the morsel-parallel grouped aggregation: it statically
 // partitions its child across workers, aggregates each partition into a
@@ -16,6 +20,7 @@ type BatchGroupAgg struct {
 	aggs      []AggSpec
 	schema    Schema
 	workers   int
+	disp      *exec.Dispatcher
 
 	out  []*Batch
 	pos  int
@@ -38,6 +43,12 @@ func NewBatchGroupAgg(child BatchOp, groupCols []int, aggs []AggSpec, workers in
 
 // Schema implements BatchOp.
 func (g *BatchGroupAgg) Schema() Schema { return g.schema }
+
+// Place routes the partial-aggregation morsels through a heterogeneous
+// device dispatcher (nil keeps the homogeneous engine). Each worker's
+// per-batch partial update is one dispatched morsel; the dispatcher is
+// shared across workers.
+func (g *BatchGroupAgg) Place(d *exec.Dispatcher) { g.disp = d }
 
 func observeRow(gr *partialGroup, aggs []AggSpec, row Row) error {
 	for i, a := range aggs {
@@ -65,7 +76,7 @@ func (g *BatchGroupAgg) aggregatePart(part BatchOp, cg *cancelGroup) *PartialAgg
 		if b == nil {
 			return p
 		}
-		if err := p.ObserveBatch(b, -1); err != nil {
+		if err := g.disp.Run(b.Len(), func() error { return p.ObserveBatch(b, -1) }); err != nil {
 			cg.abort(err)
 			return p
 		}
@@ -134,4 +145,4 @@ func (g *BatchGroupAgg) NextBatch() (*Batch, error) {
 }
 
 // Stats implements BatchOp.
-func (g *BatchGroupAgg) Stats() OpStats { return g.stat.stats() }
+func (g *BatchGroupAgg) Stats() OpStats { return heteroStats(g.stat, g.disp) }

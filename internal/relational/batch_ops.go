@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/kernels"
 )
 
@@ -35,6 +36,7 @@ type BatchFilter struct {
 	ranges []ColRange
 	pred   Predicate
 	stat   *opCount
+	disp   *exec.Dispatcher
 }
 
 // NewBatchFilter returns a filter over child. ranges are applied first
@@ -47,6 +49,12 @@ func NewBatchFilter(child BatchOp, ranges []ColRange, pred Predicate) *BatchFilt
 // Schema implements BatchOp.
 func (f *BatchFilter) Schema() Schema { return f.child.Schema() }
 
+// Place routes the filter's morsels through a heterogeneous device
+// dispatcher (nil keeps the homogeneous engine). The dispatcher is
+// shared by every partition, so its selectivity feedback and modeled
+// costs aggregate across the whole operator.
+func (f *BatchFilter) Place(d *exec.Dispatcher) { f.disp = d }
+
 // NextBatch implements BatchOp.
 func (f *BatchFilter) NextBatch() (*Batch, error) {
 	for {
@@ -54,18 +62,32 @@ func (f *BatchFilter) NextBatch() (*Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		sel, all, err := f.selection(b)
-		if err != nil {
+		// The selection + gather is the filter kernel: one dispatched
+		// morsel, whose observed keep fraction feeds the placement cost
+		// model. The reference implementation always executes — devices
+		// model cost, not semantics.
+		var out *Batch
+		work := func() (int, error) {
+			sel, all, err := f.selection(b)
+			if err != nil {
+				return 0, err
+			}
+			if all {
+				out = b
+			} else if len(sel) > 0 {
+				out = gatherBatch(b, sel)
+			}
+			if out == nil {
+				return 0, nil
+			}
+			return out.Len(), nil
+		}
+		if err := f.disp.RunFilter(b.Len(), work); err != nil {
 			return nil, err
 		}
-		if all {
-			f.stat.add(b.Len())
-			return b, nil
-		}
-		if len(sel) == 0 {
+		if out == nil {
 			continue
 		}
-		out := gatherBatch(b, sel)
 		f.stat.add(out.Len())
 		return out, nil
 	}
@@ -121,10 +143,11 @@ func (f *BatchFilter) selection(b *Batch) (sel []int32, all bool, err error) {
 }
 
 // Stats implements BatchOp.
-func (f *BatchFilter) Stats() OpStats { return f.stat.stats() }
+func (f *BatchFilter) Stats() OpStats { return heteroStats(f.stat, f.disp) }
 
 // Partition implements Partitioner: the filter is stateless, so each
-// child partition gets its own clone sharing the counter.
+// child partition gets its own clone sharing the counter (and the
+// device dispatcher, whose feedback loop spans all partitions).
 func (f *BatchFilter) Partition(n int, static bool) []BatchOp {
 	p, ok := f.child.(Partitioner)
 	if !ok {
@@ -133,9 +156,20 @@ func (f *BatchFilter) Partition(n int, static bool) []BatchOp {
 	parts := p.Partition(n, static)
 	out := make([]BatchOp, len(parts))
 	for i, cp := range parts {
-		out[i] = &BatchFilter{child: cp, ranges: f.ranges, pred: f.pred, stat: f.stat}
+		out[i] = &BatchFilter{child: cp, ranges: f.ranges, pred: f.pred, stat: f.stat, disp: f.disp}
 	}
 	return out
+}
+
+// heteroStats merges an operator's row counter with its dispatcher's
+// modeled-cost snapshot.
+func heteroStats(stat *opCount, disp *exec.Dispatcher) OpStats {
+	st := stat.stats()
+	if disp != nil {
+		c := disp.Cost()
+		st.Hetero = &c
+	}
+	return st
 }
 
 // gatherBatch materializes the selected rows of b, delegating Int and
@@ -181,6 +215,7 @@ type BatchProject struct {
 	schema Schema
 	exprs  []ProjExpr
 	stat   *opCount
+	disp   *exec.Dispatcher
 }
 
 // NewBatchProject returns a projection producing schema via exprs.
@@ -194,6 +229,24 @@ func NewBatchProject(child BatchOp, schema Schema, exprs []ProjExpr) (*BatchProj
 // Schema implements BatchOp.
 func (p *BatchProject) Schema() Schema { return p.schema }
 
+// Place routes the projection's computed-expression morsels through a
+// heterogeneous device dispatcher (nil keeps the homogeneous engine).
+// Pure pass-through projections do no per-row work and should not be
+// placed.
+func (p *BatchProject) Place(d *exec.Dispatcher) { p.disp = d }
+
+// ExprCount returns the number of computed (non-pass-through) output
+// columns — the width of the projection kernel a placer prices.
+func (p *BatchProject) ExprCount() int {
+	n := 0
+	for _, e := range p.exprs {
+		if e.Col < 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // NextBatch implements BatchOp.
 func (p *BatchProject) NextBatch() (*Batch, error) {
 	b, err := p.child.NextBatch()
@@ -202,29 +255,35 @@ func (p *BatchProject) NextBatch() (*Batch, error) {
 	}
 	n := b.Len()
 	out := &Batch{Schema: p.schema, Cols: make([]Vector, len(p.exprs)), Seq: b.Seq, n: n}
-	var buf Row
-	for i, e := range p.exprs {
-		if e.Col >= 0 {
-			out.Cols[i] = b.Cols[e.Col]
-			continue
-		}
-		v := NewVector(p.schema[i].Type, n)
-		for r := 0; r < n; r++ {
-			buf = b.Row(r, buf)
-			val, err := e.Fn(buf)
-			if err != nil {
-				return nil, err
+	work := func() error {
+		var buf Row
+		for i, e := range p.exprs {
+			if e.Col >= 0 {
+				out.Cols[i] = b.Cols[e.Col]
+				continue
 			}
-			v.Append(val)
+			v := NewVector(p.schema[i].Type, n)
+			for r := 0; r < n; r++ {
+				buf = b.Row(r, buf)
+				val, err := e.Fn(buf)
+				if err != nil {
+					return err
+				}
+				v.Append(val)
+			}
+			out.Cols[i] = v
 		}
-		out.Cols[i] = v
+		return nil
+	}
+	if err := p.disp.Run(n, work); err != nil {
+		return nil, err
 	}
 	p.stat.add(n)
 	return out, nil
 }
 
 // Stats implements BatchOp.
-func (p *BatchProject) Stats() OpStats { return p.stat.stats() }
+func (p *BatchProject) Stats() OpStats { return heteroStats(p.stat, p.disp) }
 
 // Partition implements Partitioner.
 func (p *BatchProject) Partition(n int, static bool) []BatchOp {
@@ -235,7 +294,7 @@ func (p *BatchProject) Partition(n int, static bool) []BatchOp {
 	parts := pr.Partition(n, static)
 	out := make([]BatchOp, len(parts))
 	for i, cp := range parts {
-		out[i] = &BatchProject{child: cp, schema: p.schema, exprs: p.exprs, stat: p.stat}
+		out[i] = &BatchProject{child: cp, schema: p.schema, exprs: p.exprs, stat: p.stat, disp: p.disp}
 	}
 	return out
 }

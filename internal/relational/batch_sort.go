@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/kernels"
 )
 
@@ -15,6 +16,7 @@ type BatchSort struct {
 	child   BatchOp
 	keys    []SortKey
 	workers int
+	disp    *exec.Dispatcher
 
 	out  []*Batch
 	pos  int
@@ -36,6 +38,11 @@ func NewBatchSort(child BatchOp, keys []SortKey, workers int) (*BatchSort, error
 
 // Schema implements BatchOp.
 func (s *BatchSort) Schema() Schema { return s.child.Schema() }
+
+// Place routes the sort kernel through a heterogeneous device
+// dispatcher (nil keeps the homogeneous engine). A sort is a pipeline
+// breaker, so it dispatches once, as a single whole-input morsel.
+func (s *BatchSort) Place(d *exec.Dispatcher) { s.disp = d }
 
 func (s *BatchSort) materialize() error {
 	// Drain in parallel; static partitions keep each part's batches in
@@ -61,8 +68,11 @@ func (s *BatchSort) materialize() error {
 			rows = append(rows, b.Row(r, nil))
 		}
 	}
-	rows, err = sortRows(rows, s.child.Schema(), s.keys)
-	if err != nil {
+	if err := s.disp.Run(len(rows), func() error {
+		var serr error
+		rows, serr = sortRows(rows, s.child.Schema(), s.keys)
+		return serr
+	}); err != nil {
 		return err
 	}
 	for lo := 0; lo < len(rows); lo += BatchSize {
@@ -148,4 +158,4 @@ func (s *BatchSort) NextBatch() (*Batch, error) {
 }
 
 // Stats implements BatchOp.
-func (s *BatchSort) Stats() OpStats { return s.stat.stats() }
+func (s *BatchSort) Stats() OpStats { return heteroStats(s.stat, s.disp) }

@@ -3,6 +3,8 @@ package relational
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/exec"
 )
 
 // Op is a volcano-style pull iterator. Construction validates; Next
@@ -20,6 +22,11 @@ type Op interface {
 // OpStats counts operator work.
 type OpStats struct {
 	RowsOut int
+	// Hetero, when the operator dispatched its morsels through a device
+	// placer, is the accumulated modeled heterogeneous execution cost
+	// (per-device morsel counts, modeled seconds, offload overheads).
+	// Nil on the homogeneous engine.
+	Hetero *exec.OpCost
 }
 
 // Predicate decides whether a row passes a filter.

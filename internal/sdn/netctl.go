@@ -155,8 +155,14 @@ func (c *NetController) Admit(st *netsim.RoundState) []netsim.Decision {
 		}
 	}
 
-	// Projected per-directed-link load: cumulative fabric bytes, updated
-	// with each flow as it is placed so later decisions see earlier ones.
+	// Projected per-directed-link load, updated with each flow as it is
+	// placed so later decisions see earlier ones. When the fabric exports
+	// load-telemetry windows the seed is the *recent* load — the
+	// utilization EWMA converted back to bytes over the last round's
+	// horizon — so path policies chase where traffic is now; hot links
+	// decay as load moves instead of staying "hot" forever on lifetime
+	// totals. Fabrics without telemetry (first round, or a bare
+	// simulator) fall back to cumulative bytes, the pre-window basis.
 	load := make(map[int]float64, len(st.Loads))
 	dirID := func(lid int, forward bool) int {
 		if forward {
@@ -164,8 +170,15 @@ func (c *NetController) Admit(st *netsim.RoundState) []netsim.Decision {
 		}
 		return lid*2 + 1
 	}
+	windowed := st.UtilEWMA != nil && st.LastRoundSeconds > 0
 	for _, l := range st.Loads {
-		load[dirID(l.LinkID, l.Forward)] = l.Bytes
+		d := dirID(l.LinkID, l.Forward)
+		if windowed && d < len(st.UtilEWMA) {
+			cap := c.Net.Links[l.LinkID].Speed.BytesPerSec()
+			load[d] = st.UtilEWMA[d] * cap * st.LastRoundSeconds
+		} else {
+			load[d] = l.Bytes
+		}
 	}
 	addLoad := func(p topo.Path, bytes float64) {
 		for i, lid := range p.LinkIDs {

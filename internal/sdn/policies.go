@@ -29,13 +29,17 @@ func (Baseline) Weight(netsim.PendingFlow) float64 { return 0 }
 
 // RerouteHotLinks steers new flows away from the fabric's hottest
 // links: among a flow's ECMP candidates it picks the path whose
-// most-loaded directed link (cumulative bytes plus this round's already
-// placed flows) is coolest, breaking ties on total path load — shared
-// access hops contribute the same heat to every candidate and would
-// otherwise mask different spine loads — and keeping the default route
-// when candidates are fully tied. This is the roadmap's "SDN helps Big
-// Data to optimize access to data" and FatPaths' load-aware multipath
-// argument in one rule.
+// most-loaded directed link is coolest, breaking ties on total path
+// load — shared access hops contribute the same heat to every candidate
+// and would otherwise mask different spine loads — and keeping the
+// default route when candidates are fully tied. The link heat prefers
+// the fabric's load-telemetry windows when present (the utilization
+// EWMA of RoundState.UtilEWMA, plus this round's already placed flows),
+// so the policy reacts to recent load and a link cools down once
+// traffic moves off it; without telemetry it falls back to cumulative
+// lifetime bytes. This is the roadmap's "SDN helps Big Data to optimize
+// access to data" and FatPaths' load-aware multipath argument in one
+// rule.
 type RerouteHotLinks struct{}
 
 // Name implements Policy.

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"repro/internal/dist"
+	"repro/internal/exec"
 	"repro/internal/relational"
 )
 
@@ -183,18 +184,26 @@ func pickProject(op relational.BatchOp, schema relational.Schema, picks []int) (
 	return relational.NewBatchProject(op, schema, pe)
 }
 
-// filterDecor applies kernel ranges plus a residual predicate.
-func filterDecor(ranges []relational.ColRange, pred relational.Predicate) decorFn {
-	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
-		return relational.NewBatchFilter(op, ranges, pred), nil
+// filterDecor applies kernel ranges plus a residual predicate. disps,
+// when non-nil, routes shard s's filter morsels through disps[s] — the
+// per-worker-host device dispatcher.
+func filterDecor(ranges []relational.ColRange, pred relational.Predicate, disps []*exec.Dispatcher) decorFn {
+	return func(s int, op relational.BatchOp) (relational.BatchOp, error) {
+		bf := relational.NewBatchFilter(op, ranges, pred)
+		if s < len(disps) && disps[s] != nil {
+			bf.Place(disps[s])
+		}
+		return bf, nil
 	}
 }
 
 // exprProjDecor projects to schema (which already carries the trailing
 // #seq column): exprs/picks produce the visible columns, and the child's
-// seq column (at childSeqIdx) passes through last.
-func exprProjDecor(schema relational.Schema, exprs []relational.Projector, picks []int, childSeqIdx int) decorFn {
-	return func(_ int, op relational.BatchOp) (relational.BatchOp, error) {
+// seq column (at childSeqIdx) passes through last. disps, when non-nil,
+// places each shard's computed-expression morsels on its own devices
+// (pure pass-through projections are never placed).
+func exprProjDecor(schema relational.Schema, exprs []relational.Projector, picks []int, childSeqIdx int, disps []*exec.Dispatcher) decorFn {
+	return func(s int, op relational.BatchOp) (relational.BatchOp, error) {
 		pe := make([]relational.ProjExpr, 0, len(schema))
 		for i := range exprs {
 			if picks != nil && picks[i] >= 0 {
@@ -204,7 +213,14 @@ func exprProjDecor(schema relational.Schema, exprs []relational.Projector, picks
 			}
 		}
 		pe = append(pe, relational.Pick(childSeqIdx))
-		return relational.NewBatchProject(op, schema, pe)
+		bp, err := relational.NewBatchProject(op, schema, pe)
+		if err != nil {
+			return nil, err
+		}
+		if s < len(disps) && disps[s] != nil && bp.ExprCount() > 0 {
+			bp.Place(disps[s])
+		}
+		return bp, nil
 	}
 }
 
@@ -225,15 +241,19 @@ type distLegPlan struct {
 	schema relational.Schema
 	ranges []relational.ColRange
 	pred   relational.Predicate
+	// shardRows is the expected per-shard input cardinality, the setup
+	// amortization hint for this leg's placed kernels.
+	shardRows int
 }
 
 // stream builds the leg's distStream over its table shards.
-func (lp *distLegPlan) stream(cancel *relational.CancelToken) *distStream {
-	st := &distStream{base: lp.table.Shards, schema: lp.schema, cancel: cancel}
+func (lp *distLegPlan) stream(dx *distExec) *distStream {
+	st := &distStream{base: lp.table.Shards, schema: lp.schema, cancel: dx.cancel}
 	picks := append(append([]int{}, lp.prune...), lp.table.SeqCol())
 	st.decor = append(st.decor, pickDecor(withSeq(lp.schema), picks))
 	if lp.ranges != nil || lp.pred != nil {
-		st.decor = append(st.decor, filterDecor(lp.ranges, lp.pred))
+		st.decor = append(st.decor, filterDecor(lp.ranges, lp.pred,
+			dx.dispatchers(exec.Dispatch{Kind: exec.FilterWork, ExpectedRows: lp.shardRows})))
 	}
 	return st
 }
@@ -262,6 +282,30 @@ type distExec struct {
 	distJoin string // "", "auto", "broadcast", "repartition"
 	class    string
 	weight   float64
+	// place holds one device placer per shard (nil on the homogeneous
+	// engine): forks of the query placer, so every simulated worker
+	// host decides morsel placement independently on its own device
+	// state while charging one query-level aggregate. shardRowHint is
+	// the planner's post-join per-shard cardinality estimate, the setup
+	// amortization hint for kernels placed above the joins (mirroring
+	// the single-node lowerer's hintRows).
+	place        []*exec.Placer
+	shardRowHint int
+}
+
+// dispatchers builds one per-shard dispatcher for a kernel, or nil on
+// the homogeneous engine. Each distStream decorator that lowers a
+// placeable operator calls it once, so a shard's partitions share one
+// dispatcher exactly as on the single-node engine.
+func (e *distExec) dispatchers(cfg exec.Dispatch) []*exec.Dispatcher {
+	if e.place == nil {
+		return nil
+	}
+	out := make([]*exec.Dispatcher, len(e.place))
+	for i, p := range e.place {
+		out[i] = p.Dispatcher(cfg)
+	}
+	return out
 }
 
 // newQuery registers one execution with the shared fabric under the
@@ -379,9 +423,25 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 		return pickProject(jn, withSeq(combined), picks)
 	})
 	if jp.residualRanges != nil || jp.residualPred != nil {
-		out.decor = append(out.decor, filterDecor(jp.residualRanges, jp.residualPred))
+		out.decor = append(out.decor, filterDecor(jp.residualRanges, jp.residualPred,
+			e.dispatchers(exec.Dispatch{Kind: exec.FilterWork, ExpectedRows: e.shardRowHint})))
 	}
 	return out, nil
+}
+
+// countComputed reports how many projection outputs are computed
+// expressions (not pass-through picks) — the placed kernel's width.
+func countComputed(picks []int, n int) int {
+	if picks == nil {
+		return n
+	}
+	c := 0
+	for _, p := range picks {
+		if p < 0 {
+			c++
+		}
+	}
+	return c
 }
 
 func identityPicks(n int) []int {
@@ -451,6 +511,7 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 			}
 			p.Steps = append(p.Steps, fmt.Sprintf("pushdown filter on %s below shuffle: %s", leg.alias, joinConjuncts(leg.filter).Render()))
 		}
+		lp.shardRows = (leg.rel.Len() + shards - 1) / shards
 		legPlans[i] = lp
 		legSizes[i] = legSizeEstimate(leg)
 		p.Steps = append(p.Steps, fmt.Sprintf("scan %s as %s (%d rows over %d shards)", leg.rel.Name, leg.alias, leg.rel.Len(), shards))
@@ -509,35 +570,52 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		combined = append(combined, leg.schema...)
 	}
 
-	exec := &distExec{
+	dx := &distExec{
 		cluster: cluster, fabric: fabric, cancel: pl.cancel,
 		workers: workers, distJoin: pl.cfg.DistJoin,
 		class: pl.class, weight: pl.weight,
 	}
+	// Heterogeneous placement: the query placer forks once per shard, so
+	// each simulated worker host places its fragment morsels
+	// independently (own FPGA configuration state) while charging the
+	// one query-level Result.Devices aggregate.
+	placer, err := pl.heteroPlacer()
+	if err != nil {
+		return nil, err
+	}
+	if placer != nil {
+		p.placer = placer
+		dx.place = make([]*exec.Placer, shards)
+		for i := range dx.place {
+			dx.place[i] = placer.Fork()
+		}
+		p.Steps = append(p.Steps, fmt.Sprintf("hetero: %s (independent per-shard placement)", placer))
+	}
 	// runJoins executes the shared front of the query: leg fragments,
 	// join movements, residual filter.
 	runJoins := func(qr *dist.QueryRun) (*distStream, error) {
-		st := legPlans[0].stream(exec.cancel)
+		st := legPlans[0].stream(dx)
 		for ji, jp := range joinPlans {
 			var err error
-			st, err = exec.joinStage(qr, st, legPlans[jp.rightIdx].stream(exec.cancel), jp, ji)
+			st, err = dx.joinStage(qr, st, legPlans[jp.rightIdx].stream(dx), jp, ji)
 			if err != nil {
 				return nil, err
 			}
 		}
 		if resRanges != nil || resPred != nil {
-			st.decor = append(st.decor, filterDecor(resRanges, resPred))
+			st.decor = append(st.decor, filterDecor(resRanges, resPred,
+				dx.dispatchers(exec.Dispatch{Kind: exec.FilterWork, ExpectedRows: dx.shardRowHint})))
 		}
 		return st, nil
 	}
 
 	if stmt.HasAggregates() {
-		return pl.planDistAggregate(stmt, p, curScope, combined, exec, runJoins)
+		return pl.planDistAggregate(stmt, p, curScope, combined, dx, runJoins)
 	}
 	if stmt.Having != nil {
 		return nil, fmt.Errorf("sql: HAVING requires aggregation")
 	}
-	return pl.planDistSimple(stmt, p, curScope, combined, exec, runJoins)
+	return pl.planDistSimple(stmt, p, curScope, combined, dx, runJoins)
 }
 
 // planDistAggregate splits the aggregate: per-shard partials over the
@@ -545,7 +623,7 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 // the coordinator's first-seen merge feeding the single-node post-plan
 // (HAVING / ORDER BY / projection / LIMIT).
 func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
-	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
+	dx *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
 	if stmt.Star {
 		return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
 	}
@@ -573,7 +651,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 	}
 
 	run := func() (*relational.Relation, *dist.QueryStats, error) {
-		qr := exec.newQuery()
+		qr := dx.newQuery()
 		// Close on every path: a run that errors out mid-phase must still
 		// deregister from the shared fabric, or concurrent queries would
 		// wait for it at the admission barrier forever.
@@ -582,12 +660,14 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 		if err != nil {
 			return nil, nil, err
 		}
-		st.decor = append(st.decor, exprProjDecor(withSeq(ap.preSchema), ap.preExprs, ap.prePicks, len(st.schema)))
+		st.decor = append(st.decor, exprProjDecor(withSeq(ap.preSchema), ap.preExprs, ap.prePicks, len(st.schema),
+			dx.dispatchers(exec.Dispatch{Kind: exec.ProjectWork, ExpectedRows: dx.shardRowHint, Width: countComputed(ap.prePicks, len(ap.preExprs))})))
 		frags, err := st.fragments()
 		if err != nil {
 			return nil, nil, err
 		}
-		partials, err := dist.RunPartialAggs(frags, ap.groupCols, ap.aggSpecs, len(ap.preSchema), exec.workers)
+		partials, err := dist.RunPartialAggs(frags, ap.groupCols, ap.aggSpecs, len(ap.preSchema), dx.workers,
+			dx.dispatchers(exec.Dispatch{Kind: exec.AggWork, ExpectedRows: dx.shardRowHint}))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -626,7 +706,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 // strips keys and applies LIMIT. Without ORDER BY each shard also caps
 // its stream at LIMIT locally.
 func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combined relational.Schema,
-	exec *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
+	dx *distExec, runJoins func(*dist.QueryRun) (*distStream, error)) (*Planned, error) {
 	items := stmt.Items
 	if stmt.Star {
 		items = starItems(stmt, sc)
@@ -654,18 +734,19 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 	}
 
 	run := func() (*relational.Relation, *dist.QueryStats, error) {
-		qr := exec.newQuery()
+		qr := dx.newQuery()
 		defer qr.Close() // deregister from the shared fabric on error paths
 		st, err := runJoins(qr)
 		if err != nil {
 			return nil, nil, err
 		}
-		st.decor = append(st.decor, exprProjDecor(withSeq(wideSchema), wideExprs, widePicks, len(st.schema)))
+		st.decor = append(st.decor, exprProjDecor(withSeq(wideSchema), wideExprs, widePicks, len(st.schema),
+			dx.dispatchers(exec.Dispatch{Kind: exec.ProjectWork, ExpectedRows: dx.shardRowHint, Width: countComputed(widePicks, len(wideExprs))})))
 		st.schema = wideSchema
 		if len(keyCols) == 0 && stmt.Limit >= 0 {
 			st.decor = append(st.decor, limitDecor(stmt.Limit))
 		}
-		if err := st.materialize(exec.workers); err != nil {
+		if err := st.materialize(dx.workers); err != nil {
 			return nil, nil, err
 		}
 		if err := qr.RunPhase("gather", dist.GatherTransfers(st.bytes())); err != nil {

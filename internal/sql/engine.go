@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dist"
+	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/relational"
 )
@@ -61,6 +62,26 @@ type Config struct {
 	// fabric lock, so sharing an instance across engines would race on
 	// the controller's internal state — give each engine its own.
 	Controller netsim.Controller
+	// Devices is the heterogeneous device catalog morsels may be placed
+	// on: a subset of {"cpu", "gpu", "fpga"}. Devices are cost models,
+	// not alternative implementations — every morsel still executes the
+	// reference CPU kernels, so results are row-for-row identical across
+	// any device set — and each batch operator charges the modeled
+	// seconds/energy (plus transfer, launch and reconfiguration
+	// overheads) of whichever device the placement policy picked into
+	// its stats and the query's Result.Devices report. Empty (the
+	// default) is the homogeneous CPU engine: no dispatch wrapping at
+	// all, bit-identical with pre-device engines. Placement applies to
+	// the batch operators, so it is active under Parallel and inside
+	// distributed shard fragments (each simulated worker host places
+	// independently on its own device state); the serial row engine
+	// ignores it.
+	Devices []string
+	// Placement selects the morsel placement policy over Devices:
+	// "auto" (cost-based per morsel, the default) or a device name
+	// ("cpu", "gpu", "fpga") forcing every morsel onto that device.
+	// Sessions may override it per query stream (Session.Placement).
+	Placement string
 }
 
 // Options is the former name of Config.
@@ -109,6 +130,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	case "", "auto", "broadcast", "repartition":
 	default:
 		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", cfg.DistJoin)
+	}
+	if err := exec.ValidateConfig(cfg.Devices, cfg.Placement); err != nil {
+		return nil, err
 	}
 	e := newEngine(cfg)
 	if cfg.Distributed {
@@ -255,6 +279,18 @@ func (pl *planner) plan(q string) (*Planned, error) {
 		return nil, err
 	}
 	return pl.planParsed(stmt)
+}
+
+// heteroPlacer builds one execution's device placer, or nil on the
+// homogeneous engine (no Devices configured). Placers are
+// per-execution, like cancellation tokens: the Result.Devices report
+// and the FPGA configuration state they carry belong to exactly one
+// run.
+func (pl *planner) heteroPlacer() (*exec.Placer, error) {
+	if len(pl.cfg.Devices) == 0 {
+		return nil, nil
+	}
+	return exec.NewPlacer(pl.cfg.Devices, pl.cfg.Placement)
 }
 
 // planParsed is plan over an already-parsed statement (prepared

@@ -3,6 +3,7 @@ package sql
 import (
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/relational"
 )
 
@@ -18,6 +19,12 @@ type lowerer struct {
 	// checks the token, so external cancellation aborts even queries deep
 	// inside a pipeline breaker's drain within one batch boundary.
 	cancel *relational.CancelToken
+	// placer, when set, routes every batch operator's morsels through
+	// the heterogeneous placement policy; hintRows is the planner's
+	// running cardinality estimate, which amortizes one-off device setup
+	// over the expected morsel count of each operator it lowers.
+	placer   *exec.Placer
+	hintRows int
 }
 
 // execNode is one lowered operator: exactly one side is set.
@@ -48,7 +55,11 @@ func (lw *lowerer) filter(n execNode, sc *scope, e Expr) (execNode, error) {
 	if err != nil {
 		return execNode{}, err
 	}
-	return execNode{bat: relational.NewBatchFilter(n.bat, ranges, pred)}, nil
+	bf := relational.NewBatchFilter(n.bat, ranges, pred)
+	if lw.placer != nil {
+		bf.Place(lw.placer.Dispatcher(exec.Dispatch{Kind: exec.FilterWork, ExpectedRows: lw.hintRows}))
+	}
+	return execNode{bat: bf}, nil
 }
 
 // lowerBatchFilter splits a boolean expression into kernel-served column
@@ -93,6 +104,13 @@ func (lw *lowerer) project(n execNode, schema relational.Schema, exprs []relatio
 		if err != nil {
 			return execNode{}, err
 		}
+		// Pure pass-through projections share vectors for free; only
+		// computed expressions are a placeable kernel.
+		if lw.placer != nil && op.ExprCount() > 0 {
+			op.Place(lw.placer.Dispatcher(exec.Dispatch{
+				Kind: exec.ProjectWork, ExpectedRows: lw.hintRows, Width: op.ExprCount(),
+			}))
+		}
 		return execNode{bat: op}, nil
 	}
 	op, err := relational.NewProject(n.row, schema, exprs)
@@ -123,6 +141,9 @@ func (lw *lowerer) groupAgg(n execNode, groupCols []int, aggs []relational.AggSp
 		if err != nil {
 			return execNode{}, err
 		}
+		if lw.placer != nil {
+			op.Place(lw.placer.Dispatcher(exec.Dispatch{Kind: exec.AggWork, ExpectedRows: lw.hintRows}))
+		}
 		return execNode{bat: op}, nil
 	}
 	op, err := relational.NewGroupAgg(n.row, groupCols, aggs)
@@ -137,6 +158,11 @@ func (lw *lowerer) sort(n execNode, keys []relational.SortKey) (execNode, error)
 		op, err := relational.NewBatchSort(n.bat, keys, lw.workers)
 		if err != nil {
 			return execNode{}, err
+		}
+		if lw.placer != nil {
+			op.Place(lw.placer.Dispatcher(exec.Dispatch{
+				Kind: exec.SortWork, ExpectedRows: lw.hintRows, Width: len(keys),
+			}))
 		}
 		return execNode{bat: op}, nil
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/dist"
+	"repro/internal/exec"
 	"repro/internal/relational"
 )
 
@@ -20,6 +21,9 @@ type Planned struct {
 	TaggedOps map[string]relational.Op
 
 	dist *distRoot
+	// placer is the execution's heterogeneous device placer (nil on the
+	// homogeneous engine); its aggregate becomes Result.Devices.
+	placer *exec.Placer
 }
 
 // Explain renders the plan.
@@ -191,6 +195,16 @@ func (pl *planner) planStmt(stmt *SelectStmt) (*Planned, error) {
 	if lw.parallel {
 		p.Steps = append(p.Steps, fmt.Sprintf("engine: morsel-parallel batch (%d workers, %d-row batches)",
 			relational.EffectiveWorkers(lw.workers), relational.BatchSize))
+		// Heterogeneous placement rides the batch operators; the serial
+		// row engine has no morsels to place.
+		placer, err := pl.heteroPlacer()
+		if err != nil {
+			return nil, err
+		}
+		if placer != nil {
+			lw.placer, p.placer = placer, placer
+			p.Steps = append(p.Steps, "hetero: "+placer.String())
+		}
 	}
 
 	legs, err := pl.resolveLegs(stmt)
@@ -216,6 +230,7 @@ func (pl *planner) planStmt(stmt *SelectStmt) (*Planned, error) {
 	legOps := make([]execNode, len(legs))
 	legSizes := make([]int, len(legs))
 	for i, leg := range legs {
+		lw.hintRows = leg.rel.Len()
 		n := lw.scan(leg.rel)
 		p.TaggedOps["scan:"+leg.alias] = lw.op(n)
 		if leg.prune != nil {
@@ -293,6 +308,7 @@ func (pl *planner) planStmt(stmt *SelectStmt) (*Planned, error) {
 		curWidth += rightWidth
 		cur = joined
 		curSize = advanceJoinSize(curSize, legSizes[ji+1], leg.rel.Len())
+		lw.hintRows = curSize
 
 		// Non-equi residue of the ON clause.
 		if rest != nil {
@@ -499,6 +515,7 @@ func (pl *planner) planAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur 
 // planner reuses it at the coordinator, over the merged partials.
 func (pl *planner) finishAggregate(stmt *SelectStmt, p *Planned, lw *lowerer, cur2 execNode, ap *aggPlan) (*Planned, error) {
 	post := ap.postScope(stmt)
+	lw.hintRows = 0 // post-aggregation cardinality (group count) is unknown
 	var err error
 	if stmt.Having != nil {
 		cur2, err = lw.filter(cur2, post, stmt.Having)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/dist"
+	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/relational"
 )
@@ -27,6 +28,17 @@ type Result struct {
 	// (queueing delay behind concurrent queries), and the QoS class and
 	// weight its flows competed under. Nil for single-node runs.
 	Admission *netsim.PartyStats
+	// Devices is the heterogeneous-execution report: per device, the
+	// morsels and rows the placement policy sent there and the modeled
+	// seconds/energy they cost (offload transfer, launch and
+	// reconfiguration overheads broken out). Nil when the engine has no
+	// device set configured, or when the query ran on the serial row
+	// engine. Rows are identical regardless — devices model cost, not
+	// semantics.
+	Devices []exec.DeviceStats
+	// Placement names the policy that placed the morsels ("" on the
+	// homogeneous engine).
+	Placement string
 }
 
 // ErrPlanSpent reports an attempt to pull a Planned root a second time.

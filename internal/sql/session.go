@@ -34,6 +34,11 @@ type Session struct {
 	// of a weight-1 peer, so its phases — and queries — finish sooner
 	// under contention. Zero inherits the uniform weight 1.
 	Weight float64
+	// Placement overrides the engine's morsel placement policy over
+	// Config.Devices for this session's queries: "auto" (cost-based) or
+	// a device name forcing every morsel there. "" inherits the
+	// engine's. It has no effect when the engine has no device set.
+	Placement string
 }
 
 // Engine returns the session's engine.
@@ -47,6 +52,9 @@ func (s *Session) cfg() Config {
 	}
 	if s.Workers > 0 {
 		cfg.Workers = s.Workers
+	}
+	if s.Placement != "" {
+		cfg.Placement = s.Placement
 	}
 	return cfg
 }
@@ -145,6 +153,10 @@ func (s *Session) execStmt(ctx context.Context, stmt *SelectStmt) (*Result, erro
 	res := &Result{Rows: rel, Steps: p.Steps, Ops: map[string]relational.OpStats{}, Net: p.NetStats()}
 	if res.Net != nil {
 		res.Admission = &res.Net.Adm
+	}
+	if p.placer != nil {
+		res.Devices = p.placer.Stats()
+		res.Placement = p.placer.Policy()
 	}
 	for tag, op := range p.TaggedOps {
 		res.Ops[tag] = op.Stats()
