@@ -26,6 +26,13 @@
 // modeled seconds/energy, with offload transfer/launch/reconfiguration
 // overheads broken out; rows are identical across placements.
 //
+// Out-of-core execution: -mem-budget caps the bytes of operator state
+// (hash-join build tables, aggregate maps, sort runs) a query may hold
+// resident; overflow grace-partitions or runs to the -spill-tier (nvm,
+// ssd, disk) and each result prints the spill report — partitions
+// evicted, bytes moved, modeled tier write/read time and energy. Rows
+// are identical at every budget.
+//
 // Usage:
 //
 //	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
@@ -34,6 +41,7 @@
 //	rethink-sql -devices cpu,gpu,fpga -placement auto "SELECT ... "
 //	rethink-sql -dist -devices cpu,gpu,fpga "SELECT ... "  # per-shard placement
 //	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
+//	rethink-sql -mem-budget 262144 -spill-tier ssd "SELECT ... "
 //	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
 //	rethink-sql -dist -concurrency 4 -priority interactive -weight 3
 //	rethink-sql -dist -sdn reroute+priority -concurrency 4
@@ -51,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/memtier"
 	"repro/internal/metrics"
 	"repro/internal/relational"
 	"repro/internal/sdn"
@@ -78,6 +87,8 @@ func main() {
 	sdnPolicy := flag.String("sdn", "", "fabric controller policy: "+strings.Join(sdn.Policies, ", ")+" (empty = fixed data plane)")
 	devices := flag.String("devices", "", "heterogeneous device set, comma-separated from "+strings.Join(exec.DeviceNames, ",")+" (empty = homogeneous CPU engine)")
 	placement := flag.String("placement", "auto", "morsel placement policy over -devices: "+strings.Join(exec.Placements, ", "))
+	memBudget := flag.Int64("mem-budget", 0, "operator-state memory budget in bytes; overflow spills to -spill-tier (0 = unbudgeted)")
+	spillTier := flag.String("spill-tier", "", "spill tier for budget overflow: "+strings.Join(memtier.SpillTiers, ", ")+" (default ssd when budgeted)")
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -92,6 +103,8 @@ func main() {
 		cfg.Devices = strings.Split(*devices, ",")
 		cfg.Placement = *placement
 	}
+	cfg.MemoryBudget = *memBudget
+	cfg.SpillTier = *spillTier
 	if *sdnPolicy != "" {
 		pol := sdn.PolicyByName(*sdnPolicy)
 		if pol == nil {
@@ -223,6 +236,13 @@ func runOne(sess *sql.Session, q string, timeout time.Duration) (string, error) 
 		fmt.Fprintf(&b, "  placement %s over %d device(s):\n", res.Placement, len(res.Devices))
 		for _, d := range res.Devices {
 			fmt.Fprintf(&b, "    %s\n", d)
+		}
+	}
+	if res.Spill != nil {
+		if res.Spill.Active() {
+			fmt.Fprintf(&b, "  %s\n", res.Spill)
+		} else {
+			fmt.Fprintf(&b, "  spill: none (state fit the budget)\n")
 		}
 	}
 	if res.Net != nil {

@@ -39,8 +39,20 @@
 // offload overheads into their stats and Result.Devices, and still
 // return rows identical to the homogeneous engine on every path
 // (devices model cost, not semantics; distributed shard hosts place
-// independently). See README.md for the package map, the migration
-// table from the deprecated DB/Options API, the control-plane policy
-// catalog, the heterogeneous-execution section, and build, test and
-// benchmark instructions.
+// independently). Memory is budgeted the same way compute is placed:
+// sql.Config.MemoryBudget / Config.SpillTier (and their Session
+// overrides) cap resident operator state per query — hash-join build
+// tables grace-partition, aggregates spill generations of group state,
+// sorts go external-run-merge when the relational.MemoryBudget arena
+// runs out — with every byte crossing the tier boundary priced by a
+// memtier spill device (Recommendation 5's memory wall as a cost
+// model: access latency, bandwidth and energy of NVM/SSD/disk) into
+// per-operator OpStats.Spill, the query's Result.Spill, and — in
+// distributed mode, where each worker host forks its own budget —
+// QueryStats.SpillSeconds beside the fabric time; rows stay identical
+// to the unbudgeted engine at every budget on every path. See
+// README.md for the package map, the migration table from the
+// deprecated DB/Options API, the control-plane policy catalog, the
+// heterogeneous-execution and out-of-core sections, and build, test
+// and benchmark instructions.
 package repro

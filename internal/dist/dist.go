@@ -169,6 +169,12 @@ type QueryStats struct {
 	// fabric with concurrent queries), and the QoS class/weight its flows
 	// competed under.
 	Adm netsim.PartyStats
+	// SpillSeconds is the modeled out-of-core I/O time (spill writes
+	// plus read-back) the query's shard-local operators charged against
+	// their memory budgets. Zero on unbudgeted runs. It is storage-tier
+	// time, not fabric time, so it is reported beside NetSeconds rather
+	// than folded in.
+	SpillSeconds float64
 }
 
 // Summary renders the stats as one human-readable block.
@@ -186,6 +192,9 @@ func (s *QueryStats) Summary() string {
 	}
 	fmt.Fprintf(&b, "\n  admission: class %s, weight %.3g — %d rounds joined, %.3f ms barrier wait",
 		class, s.Adm.Weight, s.Adm.RoundsJoined, s.Adm.BarrierWaitSeconds*1e3)
+	if s.SpillSeconds > 0 {
+		fmt.Fprintf(&b, "\n  spill: %.3f ms modeled tier I/O", s.SpillSeconds*1e3)
+	}
 	return b.String()
 }
 

@@ -189,7 +189,7 @@ func TestRunPartialAggs(t *testing.T) {
 		frags[i] = relational.NewBatchScan(sh)
 	}
 	aggs := []relational.AggSpec{{Fn: relational.CountAgg, Col: -1, Name: "n"}}
-	partials, err := RunPartialAggs(frags, []int{0}, aggs, st.SeqCol(), 2, nil)
+	partials, err := RunPartialAggs(frags, []int{0}, aggs, st.SeqCol(), 2, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

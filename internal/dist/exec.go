@@ -114,7 +114,11 @@ func RunFragments(name string, frags []relational.BatchOp, workers int) ([]*rela
 // non-nil, routes shard i's per-batch partial updates through disp[i] —
 // each simulated worker host placing its aggregation morsels on its own
 // device set (nil slice or entries keep the homogeneous engine).
-func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relational.AggSpec, seqCol, workers int, disp []*exec.Dispatcher) ([]*relational.PartialAgg, error) {
+// budgets, when non-nil, charges shard i's group state against
+// budgets[i] — each simulated host accounting its own memory — and
+// spills overflowing generations to the budget's tier (nil slice or
+// entries keep the unbudgeted engine, bit-identically).
+func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relational.AggSpec, seqCol, workers int, disp []*exec.Dispatcher, budgets []*relational.MemoryBudget) ([]*relational.PartialAgg, error) {
 	out := make([]*relational.PartialAgg, len(frags))
 	errs := make([]error, len(frags))
 	flag := &fragAbort{}
@@ -127,8 +131,11 @@ func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relation
 			if i < len(disp) {
 				di = disp[i]
 			}
-			pa := relational.NewPartialAgg(groupCols, aggs)
-			out[i] = pa
+			var bg *relational.MemoryBudget
+			if i < len(budgets) {
+				bg = budgets[i]
+			}
+			sa := relational.NewSpillableAgg(groupCols, aggs, bg, nil)
 			op := relational.NewExchange(&abortable{child: f, flag: flag}, workers)
 			// The Exchange must be drained to end-of-stream even after an
 			// observation error, or its workers stay blocked on their
@@ -149,9 +156,10 @@ func RunPartialAggs(frags []relational.BatchOp, groupCols []int, aggs []relation
 					return
 				}
 				if b == nil {
+					out[i] = sa.Finish()
 					return
 				}
-				if err := di.Run(b.Len(), func() error { return pa.ObserveBatch(b, seqCol) }); err != nil {
+				if err := di.Run(b.Len(), func() error { return sa.ObserveBatch(b, seqCol) }); err != nil {
 					errs[i] = err
 					flag.abort(err)
 					drain()

@@ -18,6 +18,7 @@ package exec
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -58,13 +59,20 @@ type MorselStats struct {
 }
 
 // Cost is the modeled cost actually charged for one morsel execution.
-// Seconds includes every overhead component listed below it.
+// Seconds includes every overhead component listed below it except the
+// queueing terms: QueueWaits counts dispatches that found every device
+// slot busy, and QueueSeconds estimates the time spent waiting in the
+// device queue. Queueing is kept out of Seconds because it is a
+// schedule-dependent concurrency artifact, not per-morsel device work —
+// folding it in would make modeled device time vary run to run.
 type Cost struct {
 	Seconds         float64
 	TransferSeconds float64
 	LaunchSeconds   float64
 	SetupSeconds    float64
 	EnergyJ         float64
+	QueueWaits      int
+	QueueSeconds    float64
 }
 
 // Device is one placement target. All devices are semantically identical
@@ -93,15 +101,34 @@ var DeviceNames = []string{"cpu", "gpu", "fpga"}
 // fresh state: two calls return independent devices (a pipeline device
 // tracks which kernel its bitstream currently implements).
 func NewDevice(name string) (Device, error) {
+	var d *modelDevice
 	switch strings.ToLower(name) {
 	case "cpu":
-		return &modelDevice{name: "cpu", b: accel.NewCPU()}, nil
+		d = &modelDevice{name: "cpu", b: accel.NewCPU()}
 	case "gpu":
-		return &modelDevice{name: "gpu", b: accel.NewGPU()}, nil
+		d = &modelDevice{name: "gpu", b: accel.NewGPU()}
 	case "fpga":
-		return &modelDevice{name: "fpga", b: accel.NewFPGA()}, nil
+		d = &modelDevice{name: "fpga", b: accel.NewFPGA()}
 	default:
 		return nil, fmt.Errorf("exec: unknown device %q (have %s)", name, strings.Join(DeviceNames, ", "))
+	}
+	d.slots = make(chan struct{}, occupancy(d.b.Style))
+	return d, nil
+}
+
+// occupancy is how many morsels a device admits concurrently: a spatial
+// pipeline runs one kernel at a time, a SIMT offload device queues
+// behind a few command streams, and the SIMD CPU matches the host's
+// cores. Morsels beyond the cap queue (counted in Cost.QueueWaits)
+// instead of modeling unbounded accelerator parallelism.
+func occupancy(st accel.Style) int {
+	switch st {
+	case accel.Pipeline:
+		return 1
+	case accel.SIMT:
+		return 4
+	default:
+		return runtime.NumCPU()
 	}
 }
 
@@ -128,8 +155,9 @@ func NewDevices(names []string) ([]Device, error) {
 // of device state the placement loop must model: which kernel the
 // fabric is currently configured for.
 type modelDevice struct {
-	name string
-	b    accel.Backend
+	name  string
+	b     accel.Backend
+	slots chan struct{} // occupancy cap; nil = unthrottled
 
 	mu         sync.Mutex
 	configured string // Pipeline style: kernel the bitstream implements
@@ -163,6 +191,18 @@ func (d *modelDevice) Run(k Kernel, m MorselStats, fn func() error) (Cost, error
 		LaunchSeconds:   est.LaunchSeconds,
 		EnergyJ:         est.EnergyJ,
 	}
+	if d.slots != nil {
+		select {
+		case d.slots <- struct{}{}:
+		default:
+			// Every slot busy: this morsel queues behind roughly one
+			// in-flight morsel of the same shape.
+			cost.QueueWaits = 1
+			cost.QueueSeconds = est.Seconds
+			d.slots <- struct{}{}
+		}
+		defer func() { <-d.slots }()
+	}
 	if d.b.Style == accel.Pipeline {
 		d.mu.Lock()
 		if d.configured != k.Name {
@@ -192,12 +232,21 @@ type DeviceStats struct {
 	LaunchSeconds   float64
 	SetupSeconds    float64
 	EnergyJ         float64
+	// QueueWaits counts morsels that found every device slot busy and
+	// queued; QueueSeconds is their estimated wait. Schedule-dependent:
+	// do not assert exact values in tests.
+	QueueWaits   int
+	QueueSeconds float64
 }
 
 // String renders one summary line.
 func (s DeviceStats) String() string {
-	return fmt.Sprintf("%s(%s): %d morsels, %d rows, %.3gs modeled (xfer %.3gs, launch %.3gs, setup %.3gs), %.3g J",
+	line := fmt.Sprintf("%s(%s): %d morsels, %d rows, %.3gs modeled (xfer %.3gs, launch %.3gs, setup %.3gs), %.3g J",
 		s.Device, s.Style, s.Morsels, s.Rows, s.Seconds, s.TransferSeconds, s.LaunchSeconds, s.SetupSeconds, s.EnergyJ)
+	if s.QueueWaits > 0 {
+		line += fmt.Sprintf(", %d queued (%.3gs wait)", s.QueueWaits, s.QueueSeconds)
+	}
+	return line
 }
 
 // aggStats is the race-safe per-device aggregate sink an execution's
@@ -225,6 +274,8 @@ func (a *aggStats) charge(dev Device, rows int, c Cost) {
 	st.LaunchSeconds += c.LaunchSeconds
 	st.SetupSeconds += c.SetupSeconds
 	st.EnergyJ += c.EnergyJ
+	st.QueueWaits += c.QueueWaits
+	st.QueueSeconds += c.QueueSeconds
 }
 
 func (a *aggStats) snapshot() []DeviceStats {

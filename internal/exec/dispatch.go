@@ -66,7 +66,12 @@ type OpCost struct {
 	LaunchSeconds   float64
 	SetupSeconds    float64
 	EnergyJ         float64
-	Devices         map[string]int
+	// QueueWaits/QueueSeconds count device-occupancy queueing (morsels
+	// that found every slot of their chosen device busy). Not folded
+	// into Seconds — see exec.Cost.
+	QueueWaits   int
+	QueueSeconds float64
+	Devices      map[string]int
 }
 
 // String renders a compact per-operator summary.
@@ -154,6 +159,8 @@ func (d *Dispatcher) place(rows int, fn func() error) error {
 	d.cost.LaunchSeconds += cost.LaunchSeconds
 	d.cost.SetupSeconds += cost.SetupSeconds
 	d.cost.EnergyJ += cost.EnergyJ
+	d.cost.QueueWaits += cost.QueueWaits
+	d.cost.QueueSeconds += cost.QueueSeconds
 	d.cost.Devices[dev.Name()]++
 	d.mu.Unlock()
 	return err

@@ -75,6 +75,11 @@ func (h *Hierarchy) Validate() error {
 				i, l.Tier.Name, i-1, h.Levels[i-1].Tier.Name)
 		}
 	}
+	if h.CapacityGB() <= 0 {
+		// Every level at zero capacity: no footprint can be placed, and
+		// the concentration curve would divide by zero.
+		return fmt.Errorf("memtier: hierarchy has zero total capacity")
+	}
 	return nil
 }
 

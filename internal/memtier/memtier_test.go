@@ -151,3 +151,99 @@ func TestLatencyMonotoneInTargetProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestValidateZeroCapacity(t *testing.T) {
+	// All-zero levels pass the per-level checks but leave the
+	// concentration curve with nowhere to place a footprint.
+	zero := NewHierarchy(Level{Tier: DRAM, GB: 0}, Level{Tier: SSD, GB: 0})
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero-total-capacity hierarchy must fail validation")
+	}
+	if _, err := zero.AvgLatencyNS(10); err == nil {
+		t.Fatal("AvgLatencyNS over a zero-capacity hierarchy must error")
+	}
+}
+
+func TestAllHotFootprint(t *testing.T) {
+	// Footprint fits entirely in the fastest level: every access is hot
+	// and the slower tiers contribute nothing.
+	h := NewHierarchy(Level{Tier: DRAM, GB: 100}, Level{Tier: SSD, GB: 1000})
+	lat, err := h.AvgLatencyNS(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-DRAM.LatencyNS) > 1e-9 {
+		t.Fatalf("all-hot latency = %v, want %v", lat, DRAM.LatencyNS)
+	}
+}
+
+func TestAllColdFootprint(t *testing.T) {
+	// Fast levels at zero capacity: the concentration curve's hot
+	// fraction is zero (no division by zero) and everything lands cold.
+	h := NewHierarchy(
+		Level{Tier: DRAM, GB: 0},
+		Level{Tier: NVM, GB: 0},
+		Level{Tier: SSD, GB: 1000},
+	)
+	lat, err := h.AvgLatencyNS(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-SSD.LatencyNS) > 1e-9 {
+		t.Fatalf("all-cold latency = %v, want %v", lat, SSD.LatencyNS)
+	}
+}
+
+func TestSpillDeviceTiers(t *testing.T) {
+	for _, name := range SpillTiers {
+		d, err := NewSpillDevice(name)
+		if err != nil {
+			t.Fatalf("NewSpillDevice(%q): %v", name, err)
+		}
+		if d.Tier() != name {
+			t.Fatalf("Tier() = %q, want %q", d.Tier(), name)
+		}
+		if d.WriteSeconds(0) != 0 || d.ReadSeconds(0) != 0 || d.AccessJoules(0) != 0 {
+			t.Fatal("zero bytes must cost nothing")
+		}
+		w := d.WriteSeconds(1 << 20)
+		if w <= 0 || w != d.ReadSeconds(1<<20) {
+			t.Fatalf("transfer pricing broken for %q: %v", name, w)
+		}
+		if d.AccessJoules(1<<20) <= 0 {
+			t.Fatalf("energy pricing broken for %q", name)
+		}
+	}
+	if _, err := NewSpillDevice("dram"); err == nil {
+		t.Fatal("dram is not a spill tier")
+	}
+	if _, err := NewSpillDevice("tape"); err == nil {
+		t.Fatal("unknown tier must error")
+	}
+}
+
+func TestSpillDeviceRejectsDegenerateTier(t *testing.T) {
+	if _, err := newSpillDevice(Tier{Name: "broken", LatencyNS: 100, GBs: 0}); err == nil {
+		t.Fatal("zero bandwidth must error")
+	}
+	if _, err := newSpillDevice(Tier{Name: "broken", LatencyNS: 0, GBs: 1}); err == nil {
+		t.Fatal("zero latency must error")
+	}
+}
+
+func TestSpillSlowerTierCostsMore(t *testing.T) {
+	// The tier ordering must survive into spill pricing: a megabyte to
+	// disk costs strictly more time and energy than to nvm.
+	prevT, prevJ := 0.0, 0.0
+	for _, name := range SpillTiers {
+		d, err := NewSpillDevice(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, j := d.WriteSeconds(1<<20), d.AccessJoules(1<<20)
+		if w <= prevT || j <= prevJ {
+			t.Fatalf("%q not strictly pricier than faster tier", name)
+		}
+		prevT, prevJ = w, j
+	}
+}

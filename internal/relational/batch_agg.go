@@ -21,6 +21,8 @@ type BatchGroupAgg struct {
 	schema    Schema
 	workers   int
 	disp      *exec.Dispatcher
+	budget    *MemoryBudget
+	meter     *spillMeter
 
 	out  []*Batch
 	pos  int
@@ -50,6 +52,14 @@ func (g *BatchGroupAgg) Schema() Schema { return g.schema }
 // shared across workers.
 func (g *BatchGroupAgg) Place(d *exec.Dispatcher) { g.disp = d }
 
+// SetBudget charges the per-worker group hash tables to a query memory
+// budget; workers race for it and spill generations independently (nil
+// keeps the unbudgeted engine, bit-identically).
+func (g *BatchGroupAgg) SetBudget(b *MemoryBudget) {
+	g.budget = b
+	g.meter = newSpillMeter(b)
+}
+
 func observeRow(gr *partialGroup, aggs []AggSpec, row Row) error {
 	for i, a := range aggs {
 		var v Value
@@ -66,22 +76,22 @@ func observeRow(gr *partialGroup, aggs []AggSpec, row Row) error {
 // aggregatePart drains one partition into a private partial, aborting at
 // the next batch boundary once a sibling has failed.
 func (g *BatchGroupAgg) aggregatePart(part BatchOp, cg *cancelGroup) *PartialAgg {
-	p := NewPartialAgg(g.groupCols, g.aggs)
+	sa := NewSpillableAgg(g.groupCols, g.aggs, g.budget, g.meter)
 	for !cg.stop() {
 		b, err := part.NextBatch()
 		if err != nil {
 			cg.abort(err)
-			return p
+			break
 		}
 		if b == nil {
-			return p
+			break
 		}
-		if err := g.disp.Run(b.Len(), func() error { return p.ObserveBatch(b, -1) }); err != nil {
+		if err := g.disp.Run(b.Len(), func() error { return sa.ObserveBatch(b, -1) }); err != nil {
 			cg.abort(err)
-			return p
+			break
 		}
 	}
-	return p
+	return sa.Finish()
 }
 
 func (g *BatchGroupAgg) materialize() error {
@@ -145,4 +155,8 @@ func (g *BatchGroupAgg) NextBatch() (*Batch, error) {
 }
 
 // Stats implements BatchOp.
-func (g *BatchGroupAgg) Stats() OpStats { return heteroStats(g.stat, g.disp) }
+func (g *BatchGroupAgg) Stats() OpStats {
+	st := heteroStats(g.stat, g.disp)
+	st.Spill = g.meter.opSpill()
+	return st
+}

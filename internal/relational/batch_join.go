@@ -17,11 +17,19 @@ type joinCore struct {
 	buildWidth         int
 	workers            int
 
+	budget *MemoryBudget
+	meter  *spillMeter
+
 	once sync.Once
 	err  error
 	rows []Row              // build rows in serial order
 	intT map[int64][]int32  // Int build key fast path
 	keyT map[string][]int32 // generic Value.Key() path
+
+	// grace is non-nil when the build table overflowed the budget and
+	// was hash-partitioned instead (see grace_join.go).
+	grace  *graceNode
+	leaves []*graceLeaf
 }
 
 // buildPartial is one partition's share of the hash build.
@@ -67,27 +75,38 @@ func (c *joinCore) runBuild() {
 		c.err = err
 		return
 	}
-	useInt := c.build.Schema()[c.buildCol].Type == Int
-	if useInt {
-		c.intT = map[int64][]int32{}
-	} else {
-		c.keyT = map[string][]int32{}
-	}
+	total := 0.0
 	for _, p := range partials {
 		if p.err != nil {
 			c.err = p.err
 			return
 		}
 		for _, row := range p.rows {
-			idx := int32(len(c.rows))
 			c.rows = append(c.rows, row)
-			if useInt {
-				k := row[c.buildCol].I
-				c.intT[k] = append(c.intT[k], idx)
-			} else {
-				k := row[c.buildCol].Key()
-				c.keyT[k] = append(c.keyT[k], idx)
-			}
+			total += row.EncodedBytes()
+		}
+	}
+	// The whole build table reserves against the query budget; when the
+	// reservation fails the join goes out of core via grace partitioning
+	// instead of assuming the table fits.
+	if c.budget != nil && !c.budget.Reserve(int64(total)) {
+		c.buildGrace()
+		return
+	}
+	useInt := c.build.Schema()[c.buildCol].Type == Int
+	if useInt {
+		c.intT = map[int64][]int32{}
+	} else {
+		c.keyT = map[string][]int32{}
+	}
+	for idx32, row := range c.rows {
+		idx := int32(idx32)
+		if useInt {
+			k := row[c.buildCol].I
+			c.intT[k] = append(c.intT[k], idx)
+		} else {
+			k := row[c.buildCol].Key()
+			c.keyT[k] = append(c.keyT[k], idx)
 		}
 	}
 }
@@ -118,6 +137,11 @@ type BatchHashJoin struct {
 	core  *joinCore
 	probe BatchOp
 	stat  *opCount
+
+	// Grace-mode output of this probe stream (see graceProbe).
+	graceOut  []*Batch
+	gracePos  int
+	graceDone bool
 }
 
 // NewBatchHashJoin joins build.buildCol == probe.probeCol using up to
@@ -141,12 +165,35 @@ func NewBatchHashJoin(build, probe BatchOp, buildCol, probeCol, workers int) (*B
 // Schema implements BatchOp.
 func (j *BatchHashJoin) Schema() Schema { return j.core.schema }
 
+// SetBudget points the join's build table at a query memory budget (nil
+// keeps the unbudgeted engine, bit-identically). Call before the first
+// NextBatch; partitions created later share it through the core.
+func (j *BatchHashJoin) SetBudget(b *MemoryBudget) {
+	j.core.budget = b
+	j.core.meter = newSpillMeter(b)
+}
+
 // NextBatch implements BatchOp.
 func (j *BatchHashJoin) NextBatch() (*Batch, error) {
 	if err := j.core.table(); err != nil {
 		return nil, err
 	}
 	c := j.core
+	if c.grace != nil {
+		if !j.graceDone {
+			if err := j.graceProbe(); err != nil {
+				return nil, err
+			}
+			j.graceDone = true
+		}
+		if j.gracePos >= len(j.graceOut) {
+			return nil, nil
+		}
+		b := j.graceOut[j.gracePos]
+		j.gracePos++
+		j.stat.add(b.Len())
+		return b, nil
+	}
 	for {
 		b, err := j.probe.NextBatch()
 		if err != nil || b == nil {
@@ -176,7 +223,11 @@ func (j *BatchHashJoin) NextBatch() (*Batch, error) {
 }
 
 // Stats implements BatchOp.
-func (j *BatchHashJoin) Stats() OpStats { return j.stat.stats() }
+func (j *BatchHashJoin) Stats() OpStats {
+	st := j.stat.stats()
+	st.Spill = j.core.meter.opSpill()
+	return st
+}
 
 // Partition implements Partitioner: probe partitions share the build
 // table; output batches keep their probe-side Seq tags.

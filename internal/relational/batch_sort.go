@@ -17,6 +17,8 @@ type BatchSort struct {
 	keys    []SortKey
 	workers int
 	disp    *exec.Dispatcher
+	budget  *MemoryBudget
+	meter   *spillMeter
 
 	out  []*Batch
 	pos  int
@@ -44,6 +46,15 @@ func (s *BatchSort) Schema() Schema { return s.child.Schema() }
 // breaker, so it dispatches once, as a single whole-input morsel.
 func (s *BatchSort) Place(d *exec.Dispatcher) { s.disp = d }
 
+// SetBudget charges the sort's materialized rows to a query memory
+// budget: on overflow the accumulated chunk becomes a sorted run spilled
+// to the tier, and the final pass k-way merges the runs (nil keeps the
+// unbudgeted engine, bit-identically).
+func (s *BatchSort) SetBudget(b *MemoryBudget) {
+	s.budget = b
+	s.meter = newSpillMeter(b)
+}
+
 func (s *BatchSort) materialize() error {
 	// Drain in parallel; static partitions keep each part's batches in
 	// Seq order, and part i precedes part i+1, so concatenation is the
@@ -68,7 +79,12 @@ func (s *BatchSort) materialize() error {
 			rows = append(rows, b.Row(r, nil))
 		}
 	}
-	if err := s.disp.Run(len(rows), func() error {
+	if s.budget != nil {
+		var err error
+		if rows, err = s.externalSort(rows); err != nil {
+			return err
+		}
+	} else if err := s.disp.Run(len(rows), func() error {
 		var serr error
 		rows, serr = sortRows(rows, s.child.Schema(), s.keys)
 		return serr
@@ -89,6 +105,131 @@ func (s *BatchSort) materialize() error {
 	}
 	s.done = true
 	return nil
+}
+
+// sortRun is one sorted run of the external sort.
+type sortRun struct {
+	rows    []Row
+	bytes   int64
+	spilled bool
+}
+
+// externalSort is the budgeted path: rows accumulate into a chunk that
+// reserves budget bytes; when a reservation fails the chunk is sorted,
+// priced as a run written to the spill tier, and released. The final
+// chunk stays resident (hybrid — no write for state that fit), and a
+// k-way merge folds the runs back, pricing the spilled ones' read-back.
+// With no overflow this is one chunk sorted once: exactly the in-memory
+// sort, so a generous budget is row-for-row (and dispatch-for-dispatch)
+// identical to the unbudgeted engine.
+func (s *BatchSort) externalSort(rows []Row) ([]Row, error) {
+	schema := s.child.Schema()
+	var runs []sortRun
+	var chunk []Row
+	var chunkBytes, reserved int64
+	flushRun := func(spill bool) error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		ch := chunk
+		if err := s.disp.Run(len(ch), func() error {
+			var serr error
+			ch, serr = sortRows(ch, schema, s.keys)
+			return serr
+		}); err != nil {
+			return err
+		}
+		if spill {
+			s.meter.notePartition(1)
+			s.meter.chargeWrite(chunkBytes)
+		}
+		s.budget.Release(reserved)
+		runs = append(runs, sortRun{rows: ch, bytes: chunkBytes, spilled: spill})
+		chunk, chunkBytes, reserved = nil, 0, 0
+		return nil
+	}
+	for _, row := range rows {
+		rb := int64(row.EncodedBytes())
+		if s.budget.Reserve(rb) {
+			reserved += rb
+		} else if len(chunk) > 0 {
+			if err := flushRun(true); err != nil {
+				return nil, err
+			}
+			if s.budget.Reserve(rb) {
+				reserved += rb
+			}
+			// A row that alone exceeds the budget proceeds resident
+			// anyway: degradation, not a cliff.
+		}
+		chunk = append(chunk, row)
+		chunkBytes += rb
+	}
+	if err := flushRun(false); err != nil {
+		return nil, err
+	}
+	if len(runs) <= 1 {
+		if len(runs) == 0 {
+			return nil, nil
+		}
+		return runs[0].rows, nil
+	}
+	return s.mergeRuns(runs)
+}
+
+// mergeRuns k-way merges sorted runs. Runs hold contiguous arrival
+// ranges in order, so breaking key ties by run index reproduces the
+// stable sort of the whole input.
+func (s *BatchSort) mergeRuns(runs []sortRun) ([]Row, error) {
+	total := 0
+	for _, r := range runs {
+		total += len(r.rows)
+		if r.spilled {
+			s.meter.chargeRead(r.bytes)
+		}
+	}
+	out := make([]Row, 0, total)
+	heads := make([]int, len(runs))
+	for len(out) < total {
+		best := -1
+		for i, r := range runs {
+			if heads[i] >= len(r.rows) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			c, err := compareByKeys(runs[best].rows[heads[best]], r.rows[heads[i]], s.keys)
+			if err != nil {
+				return nil, err
+			}
+			if c > 0 {
+				best = i
+			}
+		}
+		out = append(out, runs[best].rows[heads[best]])
+		heads[best]++
+	}
+	return out, nil
+}
+
+// compareByKeys orders two rows by the sort keys (0 on a full tie).
+func compareByKeys(a, b Row, keys []SortKey) (int, error) {
+	for _, k := range keys {
+		c, err := Compare(a[k.Col], b[k.Col])
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
 }
 
 // sortRows stably sorts rows by keys, using the radix kernel for a
@@ -158,4 +299,8 @@ func (s *BatchSort) NextBatch() (*Batch, error) {
 }
 
 // Stats implements BatchOp.
-func (s *BatchSort) Stats() OpStats { return heteroStats(s.stat, s.disp) }
+func (s *BatchSort) Stats() OpStats {
+	st := heteroStats(s.stat, s.disp)
+	st.Spill = s.meter.opSpill()
+	return st
+}

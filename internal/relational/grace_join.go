@@ -1,0 +1,276 @@
+package relational
+
+import (
+	"sort"
+	"sync"
+)
+
+// Grace partitioning parameters. Fanout 8 shrinks partitions fast (a
+// budget overrun of 8x resolves in one pass); the depth cap bounds the
+// recursion on degenerate key distributions (all rows one key) — a leaf
+// at the cap is processed in memory regardless of size, so a skewed key
+// degrades gracefully instead of recursing forever or failing.
+const (
+	graceFanout   = 8
+	maxGraceDepth = 4
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// graceHash hashes a join key value. Int keys avoid the Key() allocation;
+// the two paths never need to agree because Int build keys only ever
+// match Int probe values (Key() encodes the type).
+func graceHash(v Value) uint64 {
+	if v.T == Int {
+		h := uint64(v.I)
+		h ^= h >> 33
+		h *= 0xFF51AFD7ED558CCD
+		h ^= h >> 33
+		return h
+	}
+	return fnv64(v.Key())
+}
+
+// graceBucket assigns a key to one of the fanout buckets at the given
+// recursion depth. The depth salts the hash so a bucket's keys spread
+// across all children when re-partitioned, instead of collapsing into
+// one child again.
+func graceBucket(v Value, depth int) int {
+	h := graceHash(v)
+	h ^= uint64(depth+1) * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return int(h % graceFanout)
+}
+
+// graceLeaf is one terminal build partition: either resident (its bytes
+// fit the budget, first-fit at build time) or spilled to the tier. All
+// build rows of one key land in one leaf with serial order preserved, so
+// a leaf-local hash table reproduces the global table's per-key lists.
+type graceLeaf struct {
+	id      int
+	idxs    []int32 // indices into joinCore.rows, ascending (serial order)
+	bytes   int64
+	spilled bool
+
+	once sync.Once
+	intT map[int64][]int32
+	keyT map[string][]int32
+}
+
+// graceNode is one level of the recursive partitioning tree: each bucket
+// is either a leaf or (when it overflowed the whole budget) a deeper node.
+type graceNode struct {
+	depth  int
+	kids   [graceFanout]*graceNode
+	leaves [graceFanout]*graceLeaf
+}
+
+// buildGrace partitions the build rows after the whole-table reservation
+// failed. Called once from runBuild, before any probe runs.
+func (c *joinCore) buildGrace() {
+	idxs := make([]int32, len(c.rows))
+	for i := range idxs {
+		idxs[i] = int32(i)
+	}
+	c.grace = c.splitGrace(idxs, 0)
+}
+
+// splitGrace hash-partitions idxs into fanout buckets. Each bucket tries
+// to reserve residence; a bucket that fails spills (one partition write),
+// and a spilled bucket too big to ever fit re-partitions one level deeper
+// (read back + re-write via the recursive call), up to the depth cap.
+func (c *joinCore) splitGrace(idxs []int32, depth int) *graceNode {
+	n := &graceNode{depth: depth}
+	var buckets [graceFanout][]int32
+	for _, i := range idxs {
+		b := graceBucket(c.rows[i][c.buildCol], depth)
+		buckets[b] = append(buckets[b], i)
+	}
+	for bi, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		var bytes int64
+		for _, i := range bucket {
+			bytes += int64(c.rows[i].EncodedBytes())
+		}
+		if c.budget.Reserve(bytes) {
+			n.leaves[bi] = c.newGraceLeaf(bucket, bytes, false)
+			continue
+		}
+		c.meter.notePartition(depth + 1)
+		c.meter.chargeWrite(bytes)
+		if bytes > c.budget.Limit() && depth+1 < maxGraceDepth {
+			c.meter.chargeRead(bytes)
+			n.kids[bi] = c.splitGrace(bucket, depth+1)
+			continue
+		}
+		n.leaves[bi] = c.newGraceLeaf(bucket, bytes, true)
+	}
+	return n
+}
+
+func (c *joinCore) newGraceLeaf(idxs []int32, bytes int64, spilled bool) *graceLeaf {
+	l := &graceLeaf{id: len(c.leaves), idxs: idxs, bytes: bytes, spilled: spilled}
+	c.leaves = append(c.leaves, l)
+	return l
+}
+
+// routeLeaf descends the partition tree for a probe key. A nil result
+// means the key hashed to a bucket with no build rows: no match possible.
+func (c *joinCore) routeLeaf(v Value) *graceLeaf {
+	n := c.grace
+	for {
+		b := graceBucket(v, n.depth)
+		if n.kids[b] != nil {
+			n = n.kids[b]
+			continue
+		}
+		return n.leaves[b]
+	}
+}
+
+// tables lazily builds the leaf-local hash table (shared across
+// concurrent probe partitions, hence the once).
+func (l *graceLeaf) tables(c *joinCore) {
+	l.once.Do(func() {
+		if c.build.Schema()[c.buildCol].Type == Int {
+			l.intT = make(map[int64][]int32, len(l.idxs))
+			for _, i := range l.idxs {
+				k := c.rows[i][c.buildCol].I
+				l.intT[k] = append(l.intT[k], i)
+			}
+			return
+		}
+		l.keyT = make(map[string][]int32, len(l.idxs))
+		for _, i := range l.idxs {
+			k := c.rows[i][c.buildCol].Key()
+			l.keyT[k] = append(l.keyT[k], i)
+		}
+	})
+}
+
+// matches mirrors joinCore.matches for one leaf.
+func (l *graceLeaf) matches(v Value) []int32 {
+	if l.intT != nil {
+		if v.T != Int {
+			return nil
+		}
+		return l.intT[v.I]
+	}
+	return l.keyT[v.Key()]
+}
+
+// graceProbeEnt is one buffered probe row awaiting its partition's pass.
+type graceProbeEnt struct {
+	row      Row
+	seq, ord int64
+}
+
+// graceOutEnt is one output row tagged for order reconstruction.
+type graceOutEnt struct {
+	seq, ord int64
+	bi       int32
+	prow     Row
+}
+
+// graceProbe drains this stream's whole probe partition, routes each row
+// through the partition tree, processes leaves one at a time (pricing the
+// read-back of spilled build and probe partitions), and reassembles the
+// output in (seq, ord) arrival order — row-for-row what the in-memory
+// probe loop would have produced. The drain happens strictly below any
+// Exchange above this operator (one synchronous pull per stream), so
+// buffering the stream here cannot deadlock the batch pipeline.
+func (j *BatchHashJoin) graceProbe() error {
+	c := j.core
+	bufs := make([][]graceProbeEnt, len(c.leaves))
+	bufBytes := make([]int64, len(c.leaves))
+	var ord int64
+	for {
+		b, err := j.probe.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			v := b.Cols[c.probeCol].Value(r)
+			l := c.routeLeaf(v)
+			if l == nil {
+				ord++
+				continue
+			}
+			row := b.Row(r, nil)
+			bufs[l.id] = append(bufs[l.id], graceProbeEnt{row: row, seq: b.Seq, ord: ord})
+			bufBytes[l.id] += int64(row.EncodedBytes())
+			ord++
+		}
+	}
+	var outs []graceOutEnt
+	for li, l := range c.leaves {
+		ents := bufs[li]
+		if len(ents) == 0 {
+			continue
+		}
+		if l.spilled {
+			// Probe rows bound for a spilled partition are written out
+			// beside it; the pass then reads both sides back.
+			c.meter.chargeWrite(bufBytes[li])
+			c.meter.chargeRead(bufBytes[li])
+			c.meter.chargeRead(l.bytes)
+		}
+		l.tables(c)
+		for _, e := range ents {
+			for _, bi := range l.matches(e.row[c.probeCol]) {
+				outs = append(outs, graceOutEnt{seq: e.seq, ord: e.ord, bi: bi, prow: e.row})
+			}
+		}
+	}
+	// (seq, ord) ascending restores probe arrival order; the stable sort
+	// keeps a probe row's multiple matches in build serial order.
+	sort.SliceStable(outs, func(i, j int) bool {
+		if outs[i].seq != outs[j].seq {
+			return outs[i].seq < outs[j].seq
+		}
+		return outs[i].ord < outs[j].ord
+	})
+	var cur *Batch
+	for _, o := range outs {
+		if cur != nil && cur.Seq != o.seq {
+			j.graceOut = append(j.graceOut, cur)
+			cur = nil
+		}
+		if cur == nil {
+			cur = NewBatch(c.schema, BatchSize)
+			cur.Seq = o.seq
+		}
+		brow := c.rows[o.bi]
+		for col := 0; col < c.buildWidth; col++ {
+			cur.Cols[col].Append(brow[col])
+		}
+		for col, v := range o.prow {
+			cur.Cols[c.buildWidth+col].Append(v)
+		}
+		cur.n++
+	}
+	if cur != nil {
+		j.graceOut = append(j.graceOut, cur)
+	}
+	return nil
+}

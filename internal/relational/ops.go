@@ -27,6 +27,30 @@ type OpStats struct {
 	// (per-device morsel counts, modeled seconds, offload overheads).
 	// Nil on the homogeneous engine.
 	Hetero *exec.OpCost
+	// Spill, when the operator's state overflowed a memory budget, is
+	// the modeled out-of-core activity (partitions evicted, bytes and
+	// seconds across the tier boundary). Nil when nothing spilled.
+	Spill *SpillStats
+}
+
+// accountingSpill models out-of-core cost for the serial volcano
+// operators, which keep their materialize-in-memory row flow (rows and
+// order never change — the budget is an accounting arena, not a real
+// allocator): state that fits simply reserves; state that overflows is
+// modeled as ceil(bytes/limit) partitions written out and read back once.
+func accountingSpill(b *MemoryBudget, m *spillMeter, bytes int64) {
+	if b == nil || bytes <= 0 || b.Reserve(bytes) {
+		return
+	}
+	parts := int((bytes + b.Limit() - 1) / b.Limit())
+	if parts < 2 {
+		parts = 2
+	}
+	for i := 0; i < parts; i++ {
+		m.notePartition(1)
+	}
+	m.chargeWrite(bytes)
+	m.chargeRead(bytes)
 }
 
 // Predicate decides whether a row passes a filter.
@@ -148,6 +172,8 @@ type HashJoin struct {
 	table              map[string][]Row
 	built              bool
 	pending            []Row // remaining matches for the current probe row
+	budget             *MemoryBudget
+	meter              *spillMeter
 	stat               OpStats
 }
 
@@ -170,8 +196,16 @@ func NewHashJoin(build, probe Op, buildCol, probeCol int) (*HashJoin, error) {
 // Schema implements Op.
 func (j *HashJoin) Schema() Schema { return j.schema }
 
+// SetBudget charges the build table to a query memory budget (serial
+// engine: accounting-only spill, rows unchanged).
+func (j *HashJoin) SetBudget(b *MemoryBudget) {
+	j.budget = b
+	j.meter = newSpillMeter(b)
+}
+
 func (j *HashJoin) buildTable() error {
 	j.table = map[string][]Row{}
+	bytes := 0.0
 	for {
 		row, ok, err := j.build.Next()
 		if err != nil {
@@ -182,7 +216,9 @@ func (j *HashJoin) buildTable() error {
 		}
 		k := row[j.buildCol].Key()
 		j.table[k] = append(j.table[k], row)
+		bytes += row.EncodedBytes()
 	}
+	accountingSpill(j.budget, j.meter, int64(bytes))
 	j.built = true
 	return nil
 }
@@ -216,7 +252,11 @@ func (j *HashJoin) Next() (Row, bool, error) {
 }
 
 // Stats implements Op.
-func (j *HashJoin) Stats() OpStats { return j.stat }
+func (j *HashJoin) Stats() OpStats {
+	st := j.stat
+	st.Spill = j.meter.opSpill()
+	return st
+}
 
 // AggFn is an aggregate function kind.
 type AggFn int
@@ -265,10 +305,12 @@ type GroupAgg struct {
 	aggs      []AggSpec
 	schema    Schema
 
-	out  []Row
-	pos  int
-	done bool
-	stat OpStats
+	out    []Row
+	pos    int
+	done   bool
+	budget *MemoryBudget
+	meter  *spillMeter
+	stat   OpStats
 }
 
 // NewGroupAgg returns a grouped aggregation. groupCols may be empty for a
@@ -323,6 +365,13 @@ func groupAggSchema(cs Schema, groupCols []int, aggs []AggSpec) (Schema, error) 
 
 // Schema implements Op.
 func (g *GroupAgg) Schema() Schema { return g.schema }
+
+// SetBudget charges the group hash table to a query memory budget
+// (serial engine: accounting-only spill, rows unchanged).
+func (g *GroupAgg) SetBudget(b *MemoryBudget) {
+	g.budget = b
+	g.meter = newSpillMeter(b)
+}
 
 type aggState struct {
 	count int64
@@ -432,6 +481,7 @@ func (g *GroupAgg) materialize() error {
 	}
 	groups := map[string]*group{}
 	var order []string
+	stateBytes := 0.0
 	for {
 		row, ok, err := g.child.Next()
 		if err != nil {
@@ -453,6 +503,7 @@ func (g *GroupAgg) materialize() error {
 			gr = &group{key: key, states: make([]aggState, len(g.aggs))}
 			groups[kb] = gr
 			order = append(order, kb)
+			stateBytes += groupStateBytes(key, len(g.aggs))
 		}
 		for i, a := range g.aggs {
 			var v Value
@@ -469,6 +520,7 @@ func (g *GroupAgg) materialize() error {
 		groups[""] = &group{states: make([]aggState, len(g.aggs))}
 		order = append(order, "")
 	}
+	accountingSpill(g.budget, g.meter, int64(stateBytes))
 	for _, kb := range order {
 		gr := groups[kb]
 		row := gr.key.Clone()
@@ -498,7 +550,11 @@ func (g *GroupAgg) Next() (Row, bool, error) {
 }
 
 // Stats implements Op.
-func (g *GroupAgg) Stats() OpStats { return g.stat }
+func (g *GroupAgg) Stats() OpStats {
+	st := g.stat
+	st.Spill = g.meter.opSpill()
+	return st
+}
 
 // SortKey orders by one column.
 type SortKey struct {
@@ -511,11 +567,13 @@ type Sort struct {
 	child Op
 	keys  []SortKey
 
-	out  []Row
-	pos  int
-	done bool
-	err  error
-	stat OpStats
+	out    []Row
+	pos    int
+	done   bool
+	err    error
+	budget *MemoryBudget
+	meter  *spillMeter
+	stat   OpStats
 }
 
 // NewSort returns a sort over child.
@@ -532,7 +590,15 @@ func NewSort(child Op, keys []SortKey) (*Sort, error) {
 // Schema implements Op.
 func (s *Sort) Schema() Schema { return s.child.Schema() }
 
+// SetBudget charges the materialized rows to a query memory budget
+// (serial engine: accounting-only spill, rows unchanged).
+func (s *Sort) SetBudget(b *MemoryBudget) {
+	s.budget = b
+	s.meter = newSpillMeter(b)
+}
+
 func (s *Sort) materialize() error {
+	bytes := 0.0
 	for {
 		row, ok, err := s.child.Next()
 		if err != nil {
@@ -542,7 +608,9 @@ func (s *Sort) materialize() error {
 			break
 		}
 		s.out = append(s.out, row)
+		bytes += row.EncodedBytes()
 	}
+	accountingSpill(s.budget, s.meter, int64(bytes))
 	var sortErr error
 	sort.SliceStable(s.out, func(i, j int) bool {
 		for _, k := range s.keys {
@@ -585,7 +653,11 @@ func (s *Sort) Next() (Row, bool, error) {
 }
 
 // Stats implements Op.
-func (s *Sort) Stats() OpStats { return s.stat }
+func (s *Sort) Stats() OpStats {
+	st := s.stat
+	st.Spill = s.meter.opSpill()
+	return st
+}
 
 // Limit passes at most n rows.
 type Limit struct {

@@ -21,6 +21,7 @@ type PartialAgg struct {
 	groups map[string]*partialGroup
 	order  []string // first-seen order within this partial
 	ord    int64    // arrival counter (rows observed)
+	bytes  float64  // incrementally tracked state size (see StateBytes)
 }
 
 // partialGroup is one group's state. firstSeq is the smallest seq tag the
@@ -46,6 +47,41 @@ func (p *PartialAgg) Groups() int { return len(p.order) }
 
 // Rows returns the number of input rows observed.
 func (p *PartialAgg) Rows() int64 { return p.ord }
+
+// StartOrdAt shifts the arrival counter so ordinals (and the first-seen
+// tags of groups observed from here on) continue a predecessor's
+// sequence. The out-of-core aggregation uses it when a spilled
+// generation hands over to a fresh one: tags stay globally comparable
+// across generations, which is what lets SortOrderBySeq restore the
+// stream's true first-seen order after a partition-wise merge.
+func (p *PartialAgg) StartOrdAt(n int64) { p.ord = n }
+
+// SortOrderBySeq re-sorts the partial's first-seen order by the groups'
+// (firstSeq, firstOrd) tags — a no-op on a partial built sequentially,
+// and the order-restoring step after merging spilled generations whose
+// groups arrived interleaved.
+func (p *PartialAgg) SortOrderBySeq() {
+	sort.SliceStable(p.order, func(i, j int) bool {
+		a, b := p.groups[p.order[i]], p.groups[p.order[j]]
+		if a.firstSeq != b.firstSeq {
+			return a.firstSeq < b.firstSeq
+		}
+		return a.firstOrd < b.firstOrd
+	})
+}
+
+// groupStateBytes is the modeled in-memory size of one group's aggregate
+// state beyond its key: count, two sums, and min/max slots per aggregate.
+// Sized at group creation (min/max growth for string aggregates is not
+// re-measured — the budget models arena accounting, not malloc).
+func groupStateBytes(key Row, naggs int) float64 {
+	return key.EncodedBytes() + float64(naggs)*40
+}
+
+// StateBytes returns the modeled resident size of the partial's hash
+// table, maintained incrementally so the out-of-core layer can charge
+// the budget per batch without rescanning the table.
+func (p *PartialAgg) StateBytes() float64 { return p.bytes }
 
 // ObserveBatch folds one batch into the partial. seqCol >= 0 names an Int
 // column carrying each row's global sequence tag (used for first-seen
@@ -79,6 +115,7 @@ func (p *PartialAgg) ObserveBatch(b *Batch, seqCol int) error {
 			k := string(kb)
 			p.groups[k] = gr
 			p.order = append(p.order, k)
+			p.bytes += groupStateBytes(key, len(p.aggs))
 		}
 		p.ord++
 		if err := observeRow(gr, p.aggs, buf); err != nil {
@@ -101,6 +138,7 @@ func (p *PartialAgg) observeGlobal(b *Batch, seqCol int) error {
 		gr = &partialGroup{states: make([]aggState, len(p.aggs)), firstSeq: seq, firstOrd: p.ord}
 		p.groups[""] = gr
 		p.order = append(p.order, "")
+		p.bytes += groupStateBytes(nil, len(p.aggs))
 	}
 	n := b.Len()
 	if p.globalFast(gr.states, b) {
@@ -167,6 +205,7 @@ func (p *PartialAgg) MergeFrom(o *PartialAgg) {
 		if !ok {
 			p.groups[k] = og
 			p.order = append(p.order, k)
+			p.bytes += groupStateBytes(og.key, len(p.aggs))
 			continue
 		}
 		for i := range mg.states {

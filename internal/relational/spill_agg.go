@@ -1,0 +1,133 @@
+package relational
+
+// SpillableAgg wraps PartialAgg with generation-based external
+// aggregation: rows fold into the current in-memory generation; when the
+// generation's state no longer fits the budget, it is hash-split by
+// group key into fanout sub-partials and spilled (modeled) to the tier,
+// and a fresh generation continues with the arrival counter carried
+// over. Finish reads the spilled partitions back partition-wise, folds
+// them in generation order — a group's rows always hash to the same
+// partition, so its states merge in arrival order and exact (integer)
+// aggregates reproduce the unbudgeted results bit-for-bit — and restores
+// the stream's first-seen group order from the (firstSeq, firstOrd)
+// tags. A nil budget makes the wrapper a transparent passthrough, and a
+// global aggregate (no group columns) never spills: its state is one
+// group.
+type SpillableAgg struct {
+	groupCols []int
+	aggs      []AggSpec
+	budget    *MemoryBudget
+	meter     *spillMeter
+
+	cur      *PartialAgg
+	reserved int64 // bytes of cur currently charged to the budget
+	// spilled[j] holds partition j's sub-partials, one per spill event,
+	// in generation order.
+	spilled [graceFanout][]spilledPart
+	spills  int
+}
+
+type spilledPart struct {
+	pa    *PartialAgg
+	bytes int64
+}
+
+// NewSpillableAgg returns a budgeted aggregation participant. meter may
+// be nil (one is derived from the budget), letting callers without an
+// operator-level stats surface — the distributed partial-agg workers —
+// still charge the query aggregate.
+func NewSpillableAgg(groupCols []int, aggs []AggSpec, budget *MemoryBudget, meter *spillMeter) *SpillableAgg {
+	if meter == nil {
+		meter = newSpillMeter(budget)
+	}
+	return &SpillableAgg{
+		groupCols: groupCols, aggs: aggs, budget: budget, meter: meter,
+		cur: NewPartialAgg(groupCols, aggs),
+	}
+}
+
+// ObserveBatch folds one batch into the current generation, then settles
+// the generation's growth against the budget; on overflow the generation
+// spills and a fresh one continues.
+func (s *SpillableAgg) ObserveBatch(b *Batch, seqCol int) error {
+	if err := s.cur.ObserveBatch(b, seqCol); err != nil {
+		return err
+	}
+	if s.budget == nil || len(s.groupCols) == 0 {
+		return nil
+	}
+	bytes := int64(s.cur.StateBytes())
+	delta := bytes - s.reserved
+	if delta <= 0 {
+		return nil
+	}
+	if s.budget.Reserve(delta) {
+		s.reserved = bytes
+		return nil
+	}
+	s.spill()
+	return nil
+}
+
+// spill hash-splits the current generation into fanout partitions by
+// group key, prices writing each out, releases the generation's budget,
+// and starts a fresh generation whose ordinals continue the sequence.
+func (s *SpillableAgg) spill() {
+	nextOrd := s.cur.Rows()
+	for j, sub := range splitPartial(s.cur, graceFanout) {
+		if sub == nil {
+			continue
+		}
+		bytes := int64(sub.StateBytes())
+		s.meter.notePartition(1)
+		s.meter.chargeWrite(bytes)
+		s.spilled[j] = append(s.spilled[j], spilledPart{pa: sub, bytes: bytes})
+	}
+	s.spills++
+	s.budget.Release(s.reserved)
+	s.reserved = 0
+	s.cur = NewPartialAgg(s.groupCols, s.aggs)
+	s.cur.StartOrdAt(nextOrd)
+}
+
+// splitPartial partitions p's groups by key hash, moving each group (its
+// state and tags intact, relative order preserved) into one of fanout
+// sub-partials. Entries for empty partitions are nil.
+func splitPartial(p *PartialAgg, fanout int) []*PartialAgg {
+	subs := make([]*PartialAgg, fanout)
+	for _, k := range p.order {
+		j := int(fnv64(k) % uint64(fanout))
+		sub := subs[j]
+		if sub == nil {
+			sub = NewPartialAgg(p.groupCols, p.aggs)
+			subs[j] = sub
+		}
+		gr := p.groups[k]
+		sub.groups[k] = gr
+		sub.order = append(sub.order, k)
+		sub.bytes += groupStateBytes(gr.key, len(p.aggs))
+	}
+	return subs
+}
+
+// Finish merges the spilled partitions back (pricing the reads), folds
+// the resident generation in last, and restores the stream's true
+// first-seen order. The returned partial is interchangeable with one
+// built without a budget.
+func (s *SpillableAgg) Finish() *PartialAgg {
+	if s.spills == 0 {
+		return s.cur
+	}
+	total := s.cur.Rows()
+	out := NewPartialAgg(s.groupCols, s.aggs)
+	for j := range s.spilled {
+		for _, sp := range s.spilled[j] {
+			s.meter.chargeRead(sp.bytes)
+			out.MergeFrom(sp.pa)
+		}
+	}
+	out.MergeFrom(s.cur)
+	out.SortOrderBySeq()
+	out.StartOrdAt(total)
+	return out
+}

@@ -291,6 +291,13 @@ type distExec struct {
 	// the single-node lowerer's hintRows).
 	place        []*exec.Placer
 	shardRowHint int
+	// budget is the query-level memory budget (nil on the unbudgeted
+	// engine); shardBudget holds its per-shard forks, so every simulated
+	// worker host accounts its fragment state against its own host
+	// memory while spill totals fold into the one query aggregate —
+	// exactly the placer/fork relationship, for memory.
+	budget      *relational.MemoryBudget
+	shardBudget []*relational.MemoryBudget
 }
 
 // dispatchers builds one per-shard dispatcher for a kernel, or nil on
@@ -306,6 +313,18 @@ func (e *distExec) dispatchers(cfg exec.Dispatch) []*exec.Dispatcher {
 		out[i] = p.Dispatcher(cfg)
 	}
 	return out
+}
+
+// finishStats finalizes a run's network stats and folds in the modeled
+// out-of-core I/O time the shard budgets accumulated (zero-valued on the
+// unbudgeted engine).
+func (e *distExec) finishStats(qr *dist.QueryRun) *dist.QueryStats {
+	qs := qr.Finish()
+	if e.budget != nil {
+		sp := e.budget.Stats()
+		qs.SpillSeconds = sp.WriteSeconds + sp.ReadSeconds
+	}
+	return qs
 }
 
 // newQuery registers one execution with the shared fabric under the
@@ -405,6 +424,9 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 		jn, err := relational.NewBatchHashJoin(bop, op, buildCol, probeCol, workers)
 		if err != nil {
 			return nil, err
+		}
+		if s < len(e.shardBudget) && e.shardBudget[s] != nil {
+			jn.SetBudget(e.shardBudget[s])
 		}
 		if !swapped {
 			// Output is left ++ (right ++ seq): already canonical.
@@ -591,6 +613,22 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		}
 		p.Steps = append(p.Steps, fmt.Sprintf("hetero: %s (independent per-shard placement)", placer))
 	}
+	// Out-of-core budgeting: the query budget forks once per shard, so
+	// each simulated worker host spills against its own host memory
+	// while the query reports one spill total (Result.Spill) and one
+	// SpillSeconds line in its network stats.
+	budget, err := pl.spillBudget()
+	if err != nil {
+		return nil, err
+	}
+	if budget != nil {
+		p.budget, dx.budget = budget, budget
+		dx.shardBudget = make([]*relational.MemoryBudget, shards)
+		for i := range dx.shardBudget {
+			dx.shardBudget[i] = budget.Fork()
+		}
+		p.Steps = append(p.Steps, fmt.Sprintf("spill: %s (independent per-shard budgets)", budget))
+	}
 	// runJoins executes the shared front of the query: leg fragments,
 	// join movements, residual filter.
 	runJoins := func(qr *dist.QueryRun) (*distStream, error) {
@@ -667,7 +705,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 			return nil, nil, err
 		}
 		partials, err := dist.RunPartialAggs(frags, ap.groupCols, ap.aggSpecs, len(ap.preSchema), dx.workers,
-			dx.dispatchers(exec.Dispatch{Kind: exec.AggWork, ExpectedRows: dx.shardRowHint}))
+			dx.dispatchers(exec.Dispatch{Kind: exec.AggWork, ExpectedRows: dx.shardRowHint}), dx.shardBudget)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -685,7 +723,9 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 		aggRel := relational.NewRelation("agg", aggOutSchema)
 		aggRel.Rows = merged.EmitRows(aggOutSchema, true)
 		fin := &Planned{TaggedOps: map[string]relational.Op{}}
-		fin, err = pl.finishAggregate(stmt, fin, &lowerer{}, execNode{row: relational.NewScan(aggRel)}, ap)
+		// The coordinator's post-plan (HAVING/sort/project/limit) charges
+		// the query-level budget: coordinator memory is host memory too.
+		fin, err = pl.finishAggregate(stmt, fin, &lowerer{budget: dx.budget}, execNode{row: relational.NewScan(aggRel)}, ap)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -693,7 +733,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 		if err != nil {
 			return nil, nil, err
 		}
-		return res, qr.Finish(), nil
+		return res, dx.finishStats(qr), nil
 	}
 	root := &distRoot{schema: dry.Root.Schema(), run: run}
 	p.dist, p.Root = root, root
@@ -759,10 +799,16 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 			for ki := range keyCols {
 				keys[ki] = relational.SortKey{Col: len(itemSchema) + ki, Desc: descs[ki]}
 			}
-			op, err = relational.NewSort(op, keys)
+			srt, err := relational.NewSort(op, keys)
 			if err != nil {
 				return nil, nil, err
 			}
+			if dx.budget != nil {
+				// The coordinator's sort charges the query-level budget:
+				// coordinator memory is host memory too.
+				srt.SetBudget(dx.budget)
+			}
+			op = srt
 			exprs := make([]relational.Projector, len(itemSchema))
 			for i := range exprs {
 				exprs[i] = pickProjector(i)
@@ -779,7 +825,7 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 		if err != nil {
 			return nil, nil, err
 		}
-		return res, qr.Finish(), nil
+		return res, dx.finishStats(qr), nil
 	}
 	root := &distRoot{schema: itemSchema, run: run}
 	p.dist, p.Root = root, root

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/memtier"
 	"repro/internal/netsim"
 	"repro/internal/relational"
 )
@@ -82,6 +83,24 @@ type Config struct {
 	// ("cpu", "gpu", "fpga") forcing every morsel onto that device.
 	// Sessions may override it per query stream (Session.Placement).
 	Placement string
+	// MemoryBudget caps the bytes of operator state (hash-join build
+	// tables, partial-aggregate maps, sort runs) a query may hold
+	// resident at once. When an operator's reservation would exceed it,
+	// the operator goes out-of-core: state partitions to the SpillTier
+	// (grace hash partitioning for joins and aggregates, external run
+	// merging for sorts) and the modeled tier I/O is charged into
+	// OpStats.Spill and Result.Spill. Like Devices, the budget models
+	// cost without changing semantics: results are row-for-row identical
+	// at every budget, and 0 (the default) is the unbudgeted engine,
+	// bit-identical with pre-budget code paths. Sessions may override it
+	// (Session.MemoryBudget). Negative values are rejected at NewEngine.
+	MemoryBudget int64
+	// SpillTier names the memtier catalog tier budget overflow spills
+	// to: "nvm", "ssd" (the default when a budget is set) or "disk".
+	// DRAM is deliberately not a spill target — spilling to the tier the
+	// budget models is a no-op, not an out-of-core strategy. Sessions
+	// may override it (Session.SpillTier).
+	SpillTier string
 }
 
 // Options is the former name of Config.
@@ -132,6 +151,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("sql: unknown DistJoin strategy %q", cfg.DistJoin)
 	}
 	if err := exec.ValidateConfig(cfg.Devices, cfg.Placement); err != nil {
+		return nil, err
+	}
+	if err := validateSpill(cfg.MemoryBudget, cfg.SpillTier); err != nil {
 		return nil, err
 	}
 	e := newEngine(cfg)
@@ -279,6 +301,46 @@ func (pl *planner) plan(q string) (*Planned, error) {
 		return nil, err
 	}
 	return pl.planParsed(stmt)
+}
+
+// defaultSpillTier is where budget overflow goes when SpillTier is
+// unset: flash is the tier a 2016-era datacenter node actually has
+// behind DRAM.
+const defaultSpillTier = "ssd"
+
+// validateSpill checks an out-of-core configuration. A SpillTier
+// without a budget is allowed — the engine sets the tier, a session
+// turns the budget on — but must still name a real tier so typos
+// surface at construction.
+func validateSpill(budget int64, tier string) error {
+	if budget < 0 {
+		return fmt.Errorf("sql: negative MemoryBudget %d", budget)
+	}
+	if tier != "" {
+		if _, err := memtier.NewSpillDevice(tier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spillBudget builds one execution's memory budget, or nil on the
+// unbudgeted engine (no MemoryBudget configured). Budgets are
+// per-execution, like placers and cancellation tokens: the spill
+// aggregate a budget carries belongs to exactly one run.
+func (pl *planner) spillBudget() (*relational.MemoryBudget, error) {
+	if pl.cfg.MemoryBudget <= 0 {
+		return nil, nil
+	}
+	tier := pl.cfg.SpillTier
+	if tier == "" {
+		tier = defaultSpillTier
+	}
+	dev, err := memtier.NewSpillDevice(tier)
+	if err != nil {
+		return nil, err
+	}
+	return relational.NewMemoryBudget(pl.cfg.MemoryBudget, dev), nil
 }
 
 // heteroPlacer builds one execution's device placer, or nil on the

@@ -25,6 +25,13 @@ type lowerer struct {
 	// over the expected morsel count of each operator it lowers.
 	placer   *exec.Placer
 	hintRows int
+	// budget, when set, charges every pipeline breaker's materialized
+	// state (join build tables, aggregate hash maps, sort runs) against
+	// the query memory budget; overflow goes out-of-core against the
+	// budget's spill tier. Applies on both engines — the row operators
+	// account their state against the same budget the batch operators
+	// grace-partition under.
+	budget *relational.MemoryBudget
 }
 
 // execNode is one lowered operator: exactly one side is set.
@@ -126,11 +133,17 @@ func (lw *lowerer) hashJoin(build, probe execNode, buildCol, probeCol int) (exec
 		if err != nil {
 			return execNode{}, err
 		}
+		if lw.budget != nil {
+			op.SetBudget(lw.budget)
+		}
 		return execNode{bat: op}, nil
 	}
 	op, err := relational.NewHashJoin(build.row, probe.row, buildCol, probeCol)
 	if err != nil {
 		return execNode{}, err
+	}
+	if lw.budget != nil {
+		op.SetBudget(lw.budget)
 	}
 	return execNode{row: op}, nil
 }
@@ -144,11 +157,17 @@ func (lw *lowerer) groupAgg(n execNode, groupCols []int, aggs []relational.AggSp
 		if lw.placer != nil {
 			op.Place(lw.placer.Dispatcher(exec.Dispatch{Kind: exec.AggWork, ExpectedRows: lw.hintRows}))
 		}
+		if lw.budget != nil {
+			op.SetBudget(lw.budget)
+		}
 		return execNode{bat: op}, nil
 	}
 	op, err := relational.NewGroupAgg(n.row, groupCols, aggs)
 	if err != nil {
 		return execNode{}, err
+	}
+	if lw.budget != nil {
+		op.SetBudget(lw.budget)
 	}
 	return execNode{row: op}, nil
 }
@@ -164,11 +183,17 @@ func (lw *lowerer) sort(n execNode, keys []relational.SortKey) (execNode, error)
 				Kind: exec.SortWork, ExpectedRows: lw.hintRows, Width: len(keys),
 			}))
 		}
+		if lw.budget != nil {
+			op.SetBudget(lw.budget)
+		}
 		return execNode{bat: op}, nil
 	}
 	op, err := relational.NewSort(n.row, keys)
 	if err != nil {
 		return execNode{}, err
+	}
+	if lw.budget != nil {
+		op.SetBudget(lw.budget)
 	}
 	return execNode{row: op}, nil
 }

@@ -24,6 +24,9 @@ type Planned struct {
 	// placer is the execution's heterogeneous device placer (nil on the
 	// homogeneous engine); its aggregate becomes Result.Devices.
 	placer *exec.Placer
+	// budget is the execution's memory budget (nil on the unbudgeted
+	// engine); its query-wide spill aggregate becomes Result.Spill.
+	budget *relational.MemoryBudget
 }
 
 // Explain renders the plan.
@@ -205,6 +208,17 @@ func (pl *planner) planStmt(stmt *SelectStmt) (*Planned, error) {
 			lw.placer, p.placer = placer, placer
 			p.Steps = append(p.Steps, "hetero: "+placer.String())
 		}
+	}
+	// Out-of-core budgeting applies on both engines: the serial row
+	// operators account their materialized state against the same budget
+	// the batch operators grace-partition under.
+	budget, err := pl.spillBudget()
+	if err != nil {
+		return nil, err
+	}
+	if budget != nil {
+		lw.budget, p.budget = budget, budget
+		p.Steps = append(p.Steps, "spill: "+budget.String())
 	}
 
 	legs, err := pl.resolveLegs(stmt)

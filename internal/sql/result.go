@@ -39,6 +39,14 @@ type Result struct {
 	// Placement names the policy that placed the morsels ("" on the
 	// homogeneous engine).
 	Placement string
+	// Spill is the out-of-core report of a budgeted run: the query-wide
+	// total of state partitions evicted below the memory budget line,
+	// bytes moved across the spill tier boundary, and the modeled
+	// write/read time and energy they cost. Nil when the query ran
+	// without a memory budget; non-nil but inactive (zero partitions)
+	// when a budget was set and everything fit. Rows are identical
+	// regardless — the budget models cost, not semantics.
+	Spill *relational.SpillStats
 }
 
 // ErrPlanSpent reports an attempt to pull a Planned root a second time.

@@ -39,6 +39,17 @@ type Session struct {
 	// a device name forcing every morsel there. "" inherits the
 	// engine's. It has no effect when the engine has no device set.
 	Placement string
+	// MemoryBudget overrides the engine's operator-state byte cap for
+	// this session's queries when positive (see Config.MemoryBudget);
+	// zero inherits the engine's. A session on an unbudgeted engine can
+	// turn out-of-core execution on, and vice versa cannot turn it off —
+	// budgets model capacity, and a session asking for less memory than
+	// the engine grants is the meaningful direction.
+	MemoryBudget int64
+	// SpillTier overrides the engine's spill tier ("nvm", "ssd",
+	// "disk") for this session's queries; "" inherits the engine's. An
+	// unknown tier surfaces as a planning error at Query/Prepare.
+	SpillTier string
 }
 
 // Engine returns the session's engine.
@@ -55,6 +66,12 @@ func (s *Session) cfg() Config {
 	}
 	if s.Placement != "" {
 		cfg.Placement = s.Placement
+	}
+	if s.MemoryBudget > 0 {
+		cfg.MemoryBudget = s.MemoryBudget
+	}
+	if s.SpillTier != "" {
+		cfg.SpillTier = s.SpillTier
 	}
 	return cfg
 }
@@ -157,6 +174,10 @@ func (s *Session) execStmt(ctx context.Context, stmt *SelectStmt) (*Result, erro
 	if p.placer != nil {
 		res.Devices = p.placer.Stats()
 		res.Placement = p.placer.Policy()
+	}
+	if p.budget != nil {
+		st := p.budget.Stats()
+		res.Spill = &st
 	}
 	for tag, op := range p.TaggedOps {
 		res.Ops[tag] = op.Stats()

@@ -1,0 +1,217 @@
+package sql
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// Out-of-core acceptance suite: a memory budget models cost, never
+// semantics. Every query must return row-for-row the unbudgeted
+// engine's answer at every budget, on the serial, morsel-parallel and
+// distributed paths, while the spill report prices what crossed the
+// tier boundary.
+
+// spillQueries hit each spilling operator with exact Int aggregates:
+// integer sums re-associate exactly, so grace partitioning and
+// generation merges can reorder the arithmetic without a float fuzz
+// tolerance hiding a real row mismatch.
+var spillQueries = []string{
+	// hash join: the customers build table is what overflows.
+	"SELECT c.segment, COUNT(*) AS n, SUM(s.quantity) AS qty " +
+		"FROM sales s JOIN customers c ON s.customer_id = c.customer_id " +
+		"WHERE s.year >= 2012 GROUP BY c.segment ORDER BY qty DESC",
+	// group-by: high-cardinality group state spills in generations.
+	"SELECT customer_id, COUNT(*) AS n, SUM(quantity) AS qty " +
+		"FROM sales GROUP BY customer_id ORDER BY qty DESC, customer_id LIMIT 10",
+	// sort: materialized runs go external.
+	"SELECT order_id, product, quantity FROM sales ORDER BY quantity DESC, order_id LIMIT 25",
+}
+
+const (
+	spillSeed      = 31
+	spillRows      = 20000
+	spillCustomers = 10000
+)
+
+func spillEngine(t *testing.T, budget int64, mutate func(*Config)) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MemoryBudget = budget
+	if budget > 0 {
+		cfg.SpillTier = "ssd"
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterDemo(eng, spillSeed, spillRows, spillCustomers)
+	return eng
+}
+
+func querySpill(t *testing.T, eng *Engine, q string) *Result {
+	t.Helper()
+	res, err := eng.Session().Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+// TestSpillParity is the headline acceptance criterion: budgets of
+// infinity, half the working set, a tenth of it, and barely one batch
+// all reproduce the unbudgeted rows exactly on every execution path,
+// and the tightest budget actually spills (otherwise the sweep proved
+// nothing).
+func TestSpillParity(t *testing.T) {
+	ref := map[string]*Result{}
+	refEng := spillEngine(t, 0, nil)
+	for _, q := range spillQueries {
+		ref[q] = querySpill(t, refEng, q)
+	}
+	sales, ok := refEng.Table("sales")
+	if !ok {
+		t.Fatal("demo sales table missing")
+	}
+	workingSet := int64(sales.EncodedBytes())
+
+	paths := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"serial", func(cfg *Config) { cfg.Parallel = false }},
+		{"parallel", func(cfg *Config) {}},
+		{"distributed", func(cfg *Config) {
+			cfg.Distributed = true
+			cfg.Shards = 4
+			cfg.Topology = "single"
+		}},
+	}
+	budgets := []struct {
+		name  string
+		bytes int64
+	}{
+		{"unbudgeted", 0},
+		{"half", workingSet / 2},
+		{"tenth", workingSet / 10},
+		{"one-batch", 32 << 10}, // roughly one morsel of state
+	}
+	for _, path := range paths {
+		for _, budget := range budgets {
+			eng := spillEngine(t, budget.bytes, path.mutate)
+			for _, q := range spillQueries {
+				res := querySpill(t, eng, q)
+				expectRowsEqual(t, path.name+"/"+budget.name, ref[q].Rows, res.Rows)
+				if budget.bytes == 0 {
+					if res.Spill != nil {
+						t.Fatalf("%s/%s: unbudgeted query reported spill %+v", path.name, budget.name, res.Spill)
+					}
+					continue
+				}
+				if res.Spill == nil {
+					t.Fatalf("%s/%s: budgeted query missing spill report", path.name, budget.name)
+				}
+				if res.Spill.Active() && res.Spill.Tier != "ssd" {
+					t.Fatalf("%s/%s: spill priced against %q, want ssd", path.name, budget.name, res.Spill.Tier)
+				}
+			}
+			// The tightest budget must actually exercise the out-of-core
+			// machinery on every path — check with the group-by, whose
+			// per-customer state dwarfs one batch.
+			if budget.name == "one-batch" {
+				res := querySpill(t, eng, spillQueries[1])
+				if !res.Spill.Active() {
+					t.Fatalf("%s: one-batch budget never spilled: %+v", path.name, res.Spill)
+				}
+				if res.Spill.SpilledBytes <= 0 || res.Spill.WriteSeconds <= 0 || res.Spill.EnergyJ <= 0 {
+					t.Fatalf("%s: degenerate spill pricing: %+v", path.name, res.Spill)
+				}
+			}
+		}
+	}
+}
+
+// TestSpillDistributedStats: the distributed path folds modeled tier
+// I/O into QueryStats.SpillSeconds so storage time reads beside network
+// time, and per-shard budgets fork from one query budget (shards spill
+// independently but report one total).
+func TestSpillDistributedStats(t *testing.T) {
+	eng := spillEngine(t, 32<<10, func(cfg *Config) {
+		cfg.Distributed = true
+		cfg.Shards = 4
+		cfg.Topology = "leafspine"
+	})
+	res := querySpill(t, eng, spillQueries[1])
+	if res.Spill == nil || !res.Spill.Active() {
+		t.Fatalf("expected active spill, got %+v", res.Spill)
+	}
+	if res.Net == nil {
+		t.Fatal("distributed query missing network stats")
+	}
+	if want := res.Spill.WriteSeconds + res.Spill.ReadSeconds; res.Net.SpillSeconds != want {
+		t.Fatalf("QueryStats.SpillSeconds = %v, want %v", res.Net.SpillSeconds, want)
+	}
+	if !strings.Contains(res.Net.Summary(), "spill") {
+		t.Fatalf("summary omits spill line:\n%s", res.Net.Summary())
+	}
+}
+
+// TestSpillSessionOverride: a session can turn out-of-core execution on
+// (or tighten it) against an engine whose config left it off, and pick
+// its own tier; the rows still match the engine default.
+func TestSpillSessionOverride(t *testing.T) {
+	eng := spillEngine(t, 0, nil)
+	ref := querySpill(t, eng, spillQueries[1])
+
+	sess := eng.Session()
+	sess.MemoryBudget = 32 << 10
+	sess.SpillTier = "disk"
+	res, err := sess.Query(context.Background(), spillQueries[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRowsEqual(t, "session budget override", ref.Rows, res.Rows)
+	if res.Spill == nil || !res.Spill.Active() {
+		t.Fatalf("session budget never spilled: %+v", res.Spill)
+	}
+	if res.Spill.Tier != "disk" {
+		t.Fatalf("session tier override ignored: spilled to %q", res.Spill.Tier)
+	}
+
+	// A bare session on the same engine stays unbudgeted.
+	res2 := querySpill(t, eng, spillQueries[1])
+	if res2.Spill != nil {
+		t.Fatalf("session budget leaked into a fresh session: %+v", res2.Spill)
+	}
+}
+
+// TestSpillConfigValidation: budgets are validated at NewEngine, not
+// discovered mid-query.
+func TestSpillConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MemoryBudget = -1
+	if _, err := NewEngine(cfg); err == nil || !strings.Contains(err.Error(), "MemoryBudget") {
+		t.Fatalf("expected MemoryBudget error, got %v", err)
+	}
+	cfg = DefaultConfig()
+	cfg.MemoryBudget = 1 << 20
+	cfg.SpillTier = "tape"
+	if _, err := NewEngine(cfg); err == nil || !strings.Contains(err.Error(), "tape") {
+		t.Fatalf("expected unknown-tier error, got %v", err)
+	}
+	// DRAM is a residence tier, not a spill tier: spilling to the tier
+	// you just ran out of is a config error.
+	cfg.SpillTier = "dram"
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("expected dram rejection")
+	}
+	// A tier without a budget is harmless configuration, not an error.
+	cfg = DefaultConfig()
+	cfg.SpillTier = "nvm"
+	if _, err := NewEngine(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
