@@ -26,6 +26,14 @@
 // modeled seconds/energy, with offload transfer/launch/reconfiguration
 // overheads broken out; rows are identical across placements.
 //
+// Pipelined execution: -pipeline-chunk N splits every distributed
+// movement phase (broadcast, shuffle, gather) into N-row chunks whose
+// fabric flows overlap the receiving side's compute — hash builds fill,
+// partial aggregates fold and the coordinator merge advances while the
+// next chunk is in flight. Results are identical at every chunk size;
+// the per-query network report gains measured chunk-compute and overlap
+// lines plus the effective pipelined wall time.
+//
 // Out-of-core execution: -mem-budget caps the bytes of operator state
 // (hash-join build tables, aggregate maps, sort runs) a query may hold
 // resident; overflow grace-partitions or runs to the -spill-tier (nvm,
@@ -41,6 +49,7 @@
 //	rethink-sql -devices cpu,gpu,fpga -placement auto "SELECT ... "
 //	rethink-sql -dist -devices cpu,gpu,fpga "SELECT ... "  # per-shard placement
 //	rethink-sql -dist -shards 8 -topo fattree "SELECT ... "
+//	rethink-sql -dist -pipeline-chunk 256 "SELECT ... "  # pipelined movement
 //	rethink-sql -mem-budget 262144 -spill-tier ssd "SELECT ... "
 //	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
 //	rethink-sql -dist -concurrency 4 -priority interactive -weight 3
@@ -80,6 +89,7 @@ func main() {
 	topology := flag.String("topo", "leafspine", "distributed fabric: leafspine, single, fattree, torus")
 	distJoin := flag.String("dist-join", "auto", "distributed join movement: auto, broadcast, repartition")
 	hashShard := flag.Bool("hash-shard", false, "hash-partition tables instead of range partitioning")
+	pipelineChunk := flag.Int("pipeline-chunk", 0, "pipelined movement chunk size in rows; phases overlap compute with the next chunk's flows (0 = bulk phases)")
 	concurrency := flag.Int("concurrency", 1, "parallel sessions executing the query list against the shared fabric")
 	timeout := flag.Duration("timeout", 0, "per-query context timeout (0 = none)")
 	priority := flag.String("priority", "", "QoS class for the first session (others stay best-effort); e.g. interactive, batch")
@@ -99,6 +109,7 @@ func main() {
 	cfg.Topology = *topology
 	cfg.DistJoin = *distJoin
 	cfg.ShardHash = *hashShard
+	cfg.PipelineChunkRows = *pipelineChunk
 	if *devices != "" {
 		cfg.Devices = strings.Split(*devices, ",")
 		cfg.Placement = *placement

@@ -50,9 +50,20 @@
 // per-operator OpStats.Spill, the query's Result.Spill, and — in
 // distributed mode, where each worker host forks its own budget —
 // QueryStats.SpillSeconds beside the fabric time; rows stay identical
-// to the unbudgeted engine at every budget on every path. See
-// README.md for the package map, the migration table from the
-// deprecated DB/Options API, the control-plane policy catalog, the
-// heterogeneous-execution and out-of-core sections, and build, test
-// and benchmark instructions.
+// to the unbudgeted engine at every budget on every path. Movement is
+// pipelined the same way memory is budgeted: sql.Config.PipelineChunkRows
+// (and its Session override) splits every distributed movement phase —
+// broadcast, repartition shuffle, final gather — into deterministic
+// per-source chunks whose fabric flows are admitted as eager netsim
+// sub-rounds while consumers digest the previous chunk (hash builds
+// fill, partial aggregates fold, the coordinator's sequence merger
+// advances), the final gather competing at a boosted QoS weight; the
+// overlap is measured, not assumed (QueryStats.ComputeSeconds /
+// OverlapSeconds / WallSeconds beside NetSeconds), rows stay identical
+// to the bulk engine at every chunk size, and a chunk covering the
+// whole payload replays bulk bit-identically. See README.md for the
+// package map, the migration table from the deprecated DB/Options API,
+// the control-plane policy catalog, the heterogeneous-execution,
+// out-of-core and pipelined-execution sections, and build, test and
+// benchmark instructions.
 package repro

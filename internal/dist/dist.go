@@ -150,6 +150,15 @@ type PhaseStat struct {
 	Flows   int
 	Bytes   float64
 	Seconds float64
+	// Chunks is the number of pipelined sub-rounds the phase was split
+	// into (0 for bulk-synchronous phases). ComputeSeconds is the modeled
+	// consumer compute the phase performed on landed chunks, and
+	// OverlapSeconds is the part of it hidden under in-flight flows —
+	// both zero for bulk phases, whose compute happens strictly after the
+	// movement.
+	Chunks         int
+	ComputeSeconds float64
+	OverlapSeconds float64
 }
 
 // QueryStats is the network-side report of one distributed query, sourced
@@ -175,6 +184,23 @@ type QueryStats struct {
 	// time, not fabric time, so it is reported beside NetSeconds rather
 	// than folded in.
 	SpillSeconds float64
+	// ComputeSeconds is the modeled time pipelined phases spent consuming
+	// landed chunks (probe inserts, partial-agg folds, gather merges),
+	// priced at ChunkComputeBytesPerSec. OverlapSeconds is the portion of
+	// that compute hidden under in-flight flows — the measured (not
+	// assumed) win of pipelining. Both are zero on bulk-synchronous runs,
+	// where consumption starts only after NetSeconds has fully elapsed.
+	ComputeSeconds float64
+	OverlapSeconds float64
+}
+
+// WallSeconds is the modeled movement-plus-consumption critical path:
+// network time plus chunk-consumption compute, minus the compute that ran
+// under in-flight flows. On bulk runs it degenerates to
+// NetSeconds+ComputeSeconds (no overlap); a perfectly pipelined phase
+// approaches max(net, compute).
+func (s *QueryStats) WallSeconds() float64 {
+	return s.NetSeconds + s.ComputeSeconds - s.OverlapSeconds
 }
 
 // Summary renders the stats as one human-readable block.
@@ -183,7 +209,11 @@ func (s *QueryStats) Summary() string {
 	fmt.Fprintf(&b, "network: %s fabric, %d shards — %.0f bytes shuffled in %d flows, %.3f ms simulated\n",
 		s.Topology, s.Shards, s.BytesShuffled, s.Flows, s.NetSeconds*1e3)
 	for _, p := range s.Phases {
-		fmt.Fprintf(&b, "  phase %-12s %3d flows %12.0f B %10.3f ms\n", p.Name, p.Flows, p.Bytes, p.Seconds*1e3)
+		fmt.Fprintf(&b, "  phase %-12s %3d flows %12.0f B %10.3f ms", p.Name, p.Flows, p.Bytes, p.Seconds*1e3)
+		if p.Chunks > 0 {
+			fmt.Fprintf(&b, "  (%d chunks, %.3f ms compute, %.3f ms overlapped)", p.Chunks, p.ComputeSeconds*1e3, p.OverlapSeconds*1e3)
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(&b, "  link utilization: mean %.1f%%, max %.1f%%", s.MeanLinkUtil*100, s.MaxLinkUtil*100)
 	class := s.Adm.Class
@@ -194,6 +224,10 @@ func (s *QueryStats) Summary() string {
 		class, s.Adm.Weight, s.Adm.RoundsJoined, s.Adm.BarrierWaitSeconds*1e3)
 	if s.SpillSeconds > 0 {
 		fmt.Fprintf(&b, "\n  spill: %.3f ms modeled tier I/O", s.SpillSeconds*1e3)
+	}
+	if s.ComputeSeconds > 0 {
+		fmt.Fprintf(&b, "\n  pipeline: %.3f ms chunk compute, %.3f ms overlapped — %.3f ms wall (vs %.3f ms bulk)",
+			s.ComputeSeconds*1e3, s.OverlapSeconds*1e3, s.WallSeconds()*1e3, (s.NetSeconds+s.ComputeSeconds)*1e3)
 	}
 	return b.String()
 }
@@ -219,6 +253,11 @@ type QueryRun struct {
 	stats  *QueryStats
 	link   map[dirKey]float64
 	closed bool
+	// class/weight are the query's QoS defaults, kept so per-phase
+	// overrides (RunPhaseQoS boosting the final gather) can scale the
+	// query's own weight rather than replace it with an absolute one.
+	class  string
+	weight float64
 }
 
 // NewQuery starts a flow-accounting run for one query on a private
@@ -229,45 +268,83 @@ func (c *Cluster) NewQuery() *QueryRun {
 	return NewFabric(c).NewQuery()
 }
 
-// RunPhase submits one flow per transfer for admission, blocks until the
-// round containing them completes, and records the phase makespan.
-// Transfers with no bytes or with identical endpoints are skipped (data
-// that stays on its host does not cross the fabric).
-func (q *QueryRun) RunPhase(name string, transfers []Transfer) error {
-	if err := q.cancel.Err(); err != nil {
-		return fmt.Errorf("dist: phase %s: %w", name, err)
+// flowReqs converts a transfer list into flow requests: deterministic
+// submission order (netsim allocates rates in flow-ID order, so transfer
+// order must not depend on map iteration upstream), transfers with no
+// bytes or identical endpoints skipped (data that stays on its host does
+// not cross the fabric). class and weightScale, when set, tag each
+// request with a per-phase QoS override: the phase's flows compete at
+// the query's own weight scaled by weightScale, and carry class — but
+// only when the session declared no class of its own. Session identity
+// wins for attribution and controller policies (a strict-priority
+// controller must keep seeing "interactive", not "gather"); the phase
+// boost then rides on weight alone.
+func (q *QueryRun) flowReqs(transfers []Transfer, class string, weightScale float64) ([]netsim.FlowReq, float64) {
+	if q.class != "" {
+		class = ""
 	}
-	// Deterministic flow submission order: netsim allocates rates in
-	// flow-ID order, so transfer order must not depend on map iteration
-	// upstream.
 	sort.SliceStable(transfers, func(i, j int) bool {
 		if transfers[i].Src != transfers[j].Src {
 			return transfers[i].Src < transfers[j].Src
 		}
 		return transfers[i].Dst < transfers[j].Dst
 	})
+	weight := 0.0
+	if weightScale > 0 {
+		weight = q.weight
+		if weight <= 0 {
+			weight = 1
+		}
+		weight *= weightScale
+	}
 	var reqs []netsim.FlowReq
 	bytes := 0.0
 	for _, t := range transfers {
 		if t.Bytes <= 0 || q.c.host(t.Src) == q.c.host(t.Dst) {
 			continue
 		}
-		reqs = append(reqs, netsim.FlowReq{Src: q.c.host(t.Src), Dst: q.c.host(t.Dst), Bytes: t.Bytes})
+		reqs = append(reqs, netsim.FlowReq{
+			Src: q.c.host(t.Src), Dst: q.c.host(t.Dst), Bytes: t.Bytes,
+			Class: class, Weight: weight,
+		})
 		bytes += t.Bytes
 	}
-	sec, flows, err := q.party.Submit(reqs)
-	if err != nil {
-		return fmt.Errorf("dist: phase %s: %w", name, err)
-	}
-	// Attribute this query's bytes to the directed links its flows
-	// traversed (a completed flow charges its full size to every link on
-	// its path).
+	return reqs, bytes
+}
+
+// attribute charges this query's completed flows to the directed links
+// they traversed (a completed flow charges its full size to every link on
+// its path).
+func (q *QueryRun) attribute(flows []*netsim.Flow) {
 	for _, f := range flows {
 		for i, lid := range f.Path.LinkIDs {
 			forward := q.c.Net.Links[lid].A == f.Path.NodeIDs[i]
 			q.link[dirKey{link: lid, forward: forward}] += f.Bytes
 		}
 	}
+}
+
+// RunPhase submits one flow per transfer for admission, blocks until the
+// round containing them completes, and records the phase makespan.
+func (q *QueryRun) RunPhase(name string, transfers []Transfer) error {
+	return q.RunPhaseQoS(name, transfers, "", 0)
+}
+
+// RunPhaseQoS is RunPhase with a per-phase QoS override: the phase's
+// flows carry class (empty inherits the query's class) and compete at the
+// query's weight scaled by weightScale (≤0 inherits the query's weight
+// unscaled). The lowerer uses it to mark the latency-critical final
+// gather hotter than the bulk shuffles it now coexists with.
+func (q *QueryRun) RunPhaseQoS(name string, transfers []Transfer, class string, weightScale float64) error {
+	if err := q.cancel.Err(); err != nil {
+		return fmt.Errorf("dist: phase %s: %w", name, err)
+	}
+	reqs, bytes := q.flowReqs(transfers, class, weightScale)
+	sec, flows, err := q.party.Submit(reqs)
+	if err != nil {
+		return fmt.Errorf("dist: phase %s: %w", name, err)
+	}
+	q.attribute(flows)
 	q.stats.Phases = append(q.stats.Phases, PhaseStat{Name: name, Flows: len(reqs), Bytes: bytes, Seconds: sec})
 	q.stats.Flows += len(reqs)
 	q.stats.BytesShuffled += bytes

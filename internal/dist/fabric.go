@@ -85,6 +85,8 @@ func (f *Fabric) NewQueryQoS(t *relational.CancelToken, class string, weight flo
 		cancel: t,
 		stats:  &QueryStats{Shards: f.c.Shards(), Topology: f.c.Topology},
 		link:   map[dirKey]float64{},
+		class:  class,
+		weight: weight,
 	}
 	q.party = f.adm.JoinQoS(t.Err, class, weight)
 	if t != nil {

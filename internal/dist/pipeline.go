@@ -1,0 +1,419 @@
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+)
+
+// ChunkComputeBytesPerSec prices the modeled consumer compute of a
+// landed chunk — hash-build inserts, partial-agg folds, gather merges —
+// in bytes digested per second. 4 GiB/s is a memory-bandwidth-bound
+// single-host rate consistent with the device and spill models: fast
+// enough that bulk-synchronous runs stay network-dominated, slow enough
+// that hiding it under in-flight flows is worth measuring.
+const ChunkComputeBytesPerSec = 4 * float64(1<<30)
+
+// GatherWeightBoost scales the final gather's flow weights over the
+// query's own weight (RunPhaseQoS/RunPipelined weightScale): the
+// latency-critical tail phase competes hotter than the bulk shuffle
+// chunks it coexists with under pipelining. A power of two, and applied
+// uniformly to every flow of the phase, so a gather-only round's
+// weighted max-min rates — share = cap/Σw scaled back by w — are
+// bit-identical to the unboosted allocation; the boost only matters when
+// gather flows share a round with other traffic, which is exactly the
+// pipelined case it exists for.
+const GatherWeightBoost = 4
+
+// GatherClass tags final-gather flows for per-class fabric attribution
+// and controller policies.
+const GatherClass = "gather"
+
+// Chunk is one pipelined sub-round of a movement phase: the flows that
+// cross the fabric for this slice of the payload, plus the bytes the
+// receiving side must digest once they land (priced at
+// ChunkComputeBytesPerSec). ComputeBytes counts the whole slice — rows
+// that stayed on their host still cost consumer compute even though they
+// moved nothing.
+type Chunk struct {
+	Transfers    []Transfer
+	ComputeBytes float64
+}
+
+// ComputeSeconds is the modeled time a consumer needs to digest the
+// chunk once landed.
+func (c Chunk) ComputeSeconds() float64 {
+	return c.ComputeBytes / ChunkComputeBytesPerSec
+}
+
+// RunPipelined runs one movement phase as pipelined sub-rounds: chunk
+// k's flows are admitted eagerly on the shared fabric (netsim
+// sub-rounds, not full barriers) while a goroutine consumes chunk k−1,
+// and the last chunk is consumed after its flows drain. consume(k) is
+// called exactly once per chunk, in order, and never concurrently with
+// itself — but it does run concurrently with the admission of chunk
+// k+1, so it must not touch the transfer lists it shares with them.
+//
+// The phase records measured overlap, not assumed: each chunk's network
+// seconds come from the simulator, its compute seconds from
+// ComputeBytes, and the phase's OverlapSeconds is the compute the
+// pipeline hid under in-flight flows (zero for a single chunk, bounded
+// by min(net, compute)). class/weightScale are per-phase QoS as in
+// RunPhaseQoS.
+//
+// On any error — cancellation, a failed submission, a failed consumer —
+// the in-flight consumer goroutine is joined before returning, so
+// callers never leak one.
+func (q *QueryRun) RunPipelined(name string, chunks []Chunk, class string, weightScale float64, consume func(k int) error) error {
+	var netSum, compSum, netDone, compDone float64
+	flowsN := 0
+	bytesSum := 0.0
+	done := make(chan error, 1)
+	inFlight := false
+	join := func() error {
+		if !inFlight {
+			return nil
+		}
+		inFlight = false
+		return <-done
+	}
+	for k := range chunks {
+		if err := q.cancel.Err(); err != nil {
+			join()
+			return fmt.Errorf("dist: phase %s: %w", name, err)
+		}
+		reqs, bytes := q.flowReqs(chunks[k].Transfers, class, weightScale)
+		if k > 0 {
+			// Overlap: digest the previous chunk while this one drains.
+			inFlight = true
+			go func(kk int) { done <- consume(kk) }(k - 1)
+		}
+		sec, flows, err := q.party.SubmitEager(reqs)
+		if err != nil {
+			join()
+			return fmt.Errorf("dist: phase %s chunk %d: %w", name, k, err)
+		}
+		if err := join(); err != nil {
+			return fmt.Errorf("dist: phase %s chunk %d consume: %w", name, k-1, err)
+		}
+		q.attribute(flows)
+		flowsN += len(reqs)
+		bytesSum += bytes
+		netSum += sec
+		// Modeled timeline: network chunks serialize (netDone), chunk k's
+		// compute starts when its bytes have landed and the previous
+		// chunk's compute is done, whichever is later.
+		netDone += sec
+		if netDone > compDone {
+			compDone = netDone
+		}
+		cs := chunks[k].ComputeSeconds()
+		compDone += cs
+		compSum += cs
+	}
+	if len(chunks) > 0 {
+		if err := consume(len(chunks) - 1); err != nil {
+			return fmt.Errorf("dist: phase %s chunk %d consume: %w", name, len(chunks)-1, err)
+		}
+	}
+	overlap := netSum + compSum - compDone
+	q.stats.Phases = append(q.stats.Phases, PhaseStat{
+		Name: name, Flows: flowsN, Bytes: bytesSum, Seconds: netSum,
+		Chunks: len(chunks), ComputeSeconds: compSum, OverlapSeconds: overlap,
+	})
+	q.stats.Flows += flowsN
+	q.stats.BytesShuffled += bytesSum
+	q.stats.NetSeconds += netSum
+	q.stats.ComputeSeconds += compSum
+	q.stats.OverlapSeconds += overlap
+	return nil
+}
+
+// chunkCount returns how many chunkRows-sized chunks cover total rows.
+func chunkCount(total, chunkRows int) int {
+	return (total + chunkRows - 1) / chunkRows
+}
+
+// chunkWindow clips source-local chunk g's row window [g·chunkRows,
+// (g+1)·chunkRows) to the relation, returning an empty window for
+// exhausted sources.
+func chunkWindow(rel *relational.Relation, g, chunkRows int) (lo, hi int) {
+	lo, hi = g*chunkRows, (g+1)*chunkRows
+	if lo > len(rel.Rows) {
+		lo = len(rel.Rows)
+	}
+	if hi > len(rel.Rows) {
+		hi = len(rel.Rows)
+	}
+	return lo, hi
+}
+
+// chunkWatermark returns the seq value below which every row has
+// provably landed once all sources have shipped their local chunks
+// 0..g: the minimum, across sources, of the first still-unshipped row's
+// seq (shard streams are seq-ascending). ok is false when every source
+// is exhausted — everything has landed.
+func chunkWatermark(shards []*relational.Relation, seqCol, g, chunkRows int) (w int64, ok bool) {
+	for _, rel := range shards {
+		if hi := (g + 1) * chunkRows; hi < len(rel.Rows) {
+			if seq := rel.Rows[hi][seqCol].I; !ok || seq < w {
+				w, ok = seq, true
+			}
+		}
+	}
+	return w, ok
+}
+
+// RepartitionChunks is Repartition split into pipelined chunks. The
+// destination relations are identical to the bulk path's (same rows,
+// same seq order); the movement is striped across sources — chunk g
+// carries every source's local rows [g·chunkRows, (g+1)·chunkRows), so
+// all source uplinks transmit in parallel within each sub-round,
+// exactly as they do in the one bulk round. cum[g][d] is the prefix of
+// the seq-sorted bucket dests[d].Rows a consumer may digest after chunk
+// g: the rows below the landed-seq watermark, which is what lets an
+// incremental hash build insert in the bulk build's exact order while
+// later chunks are still in flight. The per-(src,dst) chunk bytes sum
+// to the bulk transfer bytes exactly (byte counts are integers, so
+// float summation order cannot perturb them), and a single covering
+// chunk emits the bulk transfer list bit-for-bit.
+func RepartitionChunks(shards []*relational.Relation, keyCol, seqCol, chunkRows int) (dests []*relational.Relation, chunks []Chunk, cum [][]int) {
+	dests, _ = Repartition(shards, keyCol, seqCol)
+	s := len(shards)
+	maxRows := 0
+	for _, sh := range shards {
+		if len(sh.Rows) > maxRows {
+			maxRows = len(sh.Rows)
+		}
+	}
+	if maxRows == 0 {
+		return dests, nil, nil
+	}
+	n := chunkCount(maxRows, chunkRows)
+	chunks = make([]Chunk, n)
+	for g := 0; g < n; g++ {
+		var ts []Transfer
+		for src, rel := range shards {
+			lo, hi := chunkWindow(rel, g, chunkRows)
+			if lo == hi {
+				continue
+			}
+			bytesTo := make([]float64, s)
+			for _, row := range rel.Rows[lo:hi] {
+				d := int(hashValue(row[keyCol]) % uint64(s))
+				b := row.EncodedBytes()
+				chunks[g].ComputeBytes += b
+				if d != src {
+					bytesTo[d] += b
+				}
+			}
+			for d, b := range bytesTo {
+				if b > 0 {
+					ts = append(ts, Transfer{Src: src, Dst: d, Bytes: b})
+				}
+			}
+		}
+		chunks[g].Transfers = ts
+	}
+	cum = make([][]int, n)
+	pos := make([]int, s)
+	for g := 0; g < n; g++ {
+		if w, ok := chunkWatermark(shards, seqCol, g, chunkRows); ok {
+			for d := range pos {
+				rows := dests[d].Rows
+				for pos[d] < len(rows) && rows[pos[d]][seqCol].I < w {
+					pos[d]++
+				}
+			}
+		} else {
+			for d := range pos {
+				pos[d] = len(dests[d].Rows)
+			}
+		}
+		cum[g] = append([]int(nil), pos...)
+	}
+	return dests, chunks, cum
+}
+
+// BroadcastChunks is Broadcast split into pipelined chunks. merged is
+// identical to the bulk path's seq-merged build side; chunk g carries
+// every source's local rows [g·chunkRows, (g+1)·chunkRows) to every
+// other shard — striped across sources like RepartitionChunks, so all
+// uplinks transmit in parallel within each sub-round. bounds[g] is the
+// prefix of merged a consumer may digest after chunk g (the rows below
+// the landed-seq watermark; counted against the unstripped shards, so
+// it works whether or not merged kept the seq column). The per-source
+// bytes across chunks sum to the bulk per-source relation bytes
+// exactly, and byte accounting is done pre-strip (the wire carries the
+// seq column, as in the bulk path).
+func BroadcastChunks(shards []*relational.Relation, seqCol int, strip bool, chunkRows int) (merged *relational.Relation, chunks []Chunk, bounds []int) {
+	merged = MergeBySeq(shards[0].Name, shards, seqCol, strip)
+	total := len(merged.Rows)
+	if total == 0 {
+		return merged, nil, nil
+	}
+	maxRows := 0
+	for _, sh := range shards {
+		if len(sh.Rows) > maxRows {
+			maxRows = len(sh.Rows)
+		}
+	}
+	n := chunkCount(maxRows, chunkRows)
+	chunks = make([]Chunk, n)
+	bounds = make([]int, n)
+	pos := make([]int, len(shards))
+	for g := 0; g < n; g++ {
+		var ts []Transfer
+		for src, rel := range shards {
+			lo, hi := chunkWindow(rel, g, chunkRows)
+			if lo == hi {
+				continue
+			}
+			b := 0.0
+			for _, row := range rel.Rows[lo:hi] {
+				b += row.EncodedBytes()
+			}
+			chunks[g].ComputeBytes += b
+			if b > 0 {
+				for dst := range shards {
+					if dst != src {
+						ts = append(ts, Transfer{Src: src, Dst: dst, Bytes: b})
+					}
+				}
+			}
+		}
+		chunks[g].Transfers = ts
+		if w, ok := chunkWatermark(shards, seqCol, g, chunkRows); ok {
+			for i, rel := range shards {
+				for pos[i] < len(rel.Rows) && rel.Rows[pos[i]][seqCol].I < w {
+					pos[i]++
+				}
+			}
+			b := 0
+			for _, p := range pos {
+				b += p
+			}
+			bounds[g] = b
+		} else {
+			bounds[g] = total
+		}
+	}
+	return merged, chunks, bounds
+}
+
+// GatherChunks splits the final gather of per-shard relations into seq-
+// rank chunks: chunk g ships each shard's share of rows ranked
+// [g·chunkRows, (g+1)·chunkRows) to the coordinator, and bounds[g] is
+// the cumulative global row count landed through chunk g (feed it to a
+// SeqMerger to reassemble the exact MergeBySeq order incrementally).
+func GatherChunks(shards []*relational.Relation, seqCol, chunkRows int) (chunks []Chunk, bounds []int) {
+	total := 0
+	for _, sh := range shards {
+		total += len(sh.Rows)
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	n := chunkCount(total, chunkRows)
+	srcBytes := make([][]float64, n)
+	compute := make([]float64, n)
+	for g := range srcBytes {
+		srcBytes[g] = make([]float64, len(shards))
+	}
+	r := 0
+	ForEachBySeq(shards, seqCol, func(shard, row int) {
+		g := r / chunkRows
+		r++
+		b := shards[shard].Rows[row].EncodedBytes()
+		srcBytes[g][shard] += b
+		compute[g] += b
+	})
+	chunks = make([]Chunk, n)
+	bounds = make([]int, n)
+	for g := 0; g < n; g++ {
+		var ts []Transfer
+		for src, b := range srcBytes[g] {
+			if b > 0 {
+				ts = append(ts, Transfer{Src: src, Dst: Coordinator, Bytes: b})
+			}
+		}
+		chunks[g] = Chunk{Transfers: ts, ComputeBytes: compute[g]}
+		end := (g + 1) * chunkRows
+		if end > total {
+			end = total
+		}
+		bounds[g] = end
+	}
+	return chunks, bounds
+}
+
+// PartialGatherChunks builds the pipelined gather of per-shard partial
+// aggregations: chunk g carries each shard's g-th sub-partial (shards
+// with fewer sub-partials simply stop contributing). Transfer and
+// compute bytes use the partials' own encoded size, as the bulk gather
+// does.
+func PartialGatherChunks(subs [][]*relational.PartialAgg) []Chunk {
+	n := 0
+	for _, s := range subs {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	chunks := make([]Chunk, n)
+	for g := 0; g < n; g++ {
+		var ts []Transfer
+		compute := 0.0
+		for i, s := range subs {
+			if g >= len(s) {
+				continue
+			}
+			b := s[g].EncodedBytes()
+			compute += b
+			if b > 0 {
+				ts = append(ts, Transfer{Src: i, Dst: Coordinator, Bytes: b})
+			}
+		}
+		chunks[g] = Chunk{Transfers: ts, ComputeBytes: compute}
+	}
+	return chunks
+}
+
+// SeqMerger incrementally reproduces MergeBySeq: Take(upto) appends the
+// globally seq-ordered rows ranked below upto that have not been taken
+// yet. Taking bounds[0], bounds[1], … as gather chunks land yields, row
+// for row, the relation the bulk MergeBySeq builds in one shot.
+type SeqMerger struct {
+	shards []*relational.Relation
+	seqCol int
+	pos    []int
+	taken  int
+}
+
+// NewSeqMerger returns a merger over the per-shard relations (each must
+// be seq-ascending, as shard streams are by construction).
+func NewSeqMerger(shards []*relational.Relation, seqCol int) *SeqMerger {
+	return &SeqMerger{shards: shards, seqCol: seqCol, pos: make([]int, len(shards))}
+}
+
+// Take visits rows ranked [taken, upto) in global seq order, calling
+// fn(shard, rowIndex) for each, and advances the merger.
+func (m *SeqMerger) Take(upto int, fn func(shard, row int)) {
+	for m.taken < upto {
+		best := -1
+		var bestSeq int64
+		for i, s := range m.shards {
+			if m.pos[i] >= len(s.Rows) {
+				continue
+			}
+			if seq := s.Rows[m.pos[i]][m.seqCol].I; best < 0 || seq < bestSeq {
+				best, bestSeq = i, seq
+			}
+		}
+		if best < 0 {
+			return
+		}
+		fn(best, m.pos[best])
+		m.pos[best]++
+		m.taken++
+	}
+}

@@ -31,6 +31,14 @@ import (
 // arithmetic no matter how much virtual time earlier rounds consumed;
 // BusySeconds accumulates the round makespans for utilization windows.
 //
+// Pipelined workloads split a phase into chunks and offer each via
+// SubmitEager: an eager submission triggers a sub-round immediately with
+// whatever submissions are pending, instead of waiting for every party
+// to reach a phase boundary. Parties with a normal Submit queued are
+// carried along (no starvation at the barrier); parties still computing
+// are simply not waited for. See SubmitEager for the determinism
+// contract.
+//
 // All methods are safe for concurrent use.
 type Admission struct {
 	mu   sync.Mutex
@@ -84,6 +92,10 @@ type AdmissionStats struct {
 	// path overrides that were refused (the flow kept its default route).
 	PathOverrides     int
 	RejectedOverrides int
+	// EagerRounds counts rounds that ran before every joined party had a
+	// submission pending — the pipelined sub-rounds of SubmitEager. A
+	// fabric with no pipelined traffic reports zero.
+	EagerRounds int
 }
 
 // FlowReq is one requested flow of a submission. Class and Weight
@@ -129,6 +141,11 @@ type PartyStats struct {
 	// Class and Weight are the party's QoS defaults (weight 0 reads as 1).
 	Class  string
 	Weight float64
+	// SubRounds counts this party's eager submissions (pipelined chunks)
+	// that were admitted — each is one sub-round the party triggered (or
+	// joined without waiting for the full barrier). Zero for parties that
+	// only ever Submit.
+	SubRounds int
 }
 
 // submission is one pending phase: the requests going in, and the
@@ -142,6 +159,7 @@ type submission struct {
 	flows   []*Flow
 	seconds float64
 	done    bool
+	eager   bool
 	err     error
 }
 
@@ -175,6 +193,10 @@ func (a *Admission) JoinQoS(cancelled func() error, class string, weight float64
 	}
 	a.nextID++
 	a.parties[p.id] = p
+	// A join can complete an eager sub-round's floor (it can never
+	// complete ready(), which needs the newcomer pending too), so parked
+	// eager submitters must re-evaluate.
+	a.cond.Broadcast()
 	return p
 }
 
@@ -262,6 +284,27 @@ func (a *Admission) LinkLoads() []LinkLoad {
 // a round. Submit returns the party's cancellation error if it trips
 // while the phase is still queued.
 func (p *Party) Submit(reqs []FlowReq) (float64, []*Flow, error) {
+	return p.submit(reqs, false)
+}
+
+// SubmitEager is Submit for pipelined sub-rounds: instead of waiting for
+// every joined party to reach a communication phase, it triggers a round
+// immediately (floor permitting) with whatever submissions are pending
+// right now. Parties that happen to have a phase queued are carried
+// along — a bulk-synchronous query is never starved by a pipelined
+// neighbour's chunk stream — while parties still computing are simply
+// not waited for, which is what lets chunk k's flows drain while the
+// receiver digests chunk k-1.
+//
+// A solo party's eager rounds replay bit-identically (same membership,
+// same seeded ECMP sequence); when several parties pipeline at once,
+// sub-round membership depends on wall-clock interleaving, which is the
+// determinism the caller trades for overlap.
+func (p *Party) SubmitEager(reqs []FlowReq) (float64, []*Flow, error) {
+	return p.submit(reqs, true)
+}
+
+func (p *Party) submit(reqs []FlowReq, eager bool) (float64, []*Flow, error) {
 	if len(reqs) == 0 {
 		return 0, nil, nil
 	}
@@ -271,7 +314,7 @@ func (p *Party) Submit(reqs []FlowReq) (float64, []*Flow, error) {
 	if p.left {
 		return 0, nil, fmt.Errorf("netsim: submit after leave")
 	}
-	sub := &submission{reqs: reqs, queued: time.Now()}
+	sub := &submission{reqs: reqs, queued: time.Now(), eager: eager}
 	p.pending = sub
 	a.cond.Broadcast()
 	for !sub.done {
@@ -282,7 +325,7 @@ func (p *Party) Submit(reqs []FlowReq) (float64, []*Flow, error) {
 			a.cond.Broadcast()
 			return 0, nil, err
 		}
-		if a.ready() {
+		if a.ready() || a.eagerPending() {
 			a.runRound()
 			continue
 		}
@@ -340,9 +383,27 @@ func (a *Admission) ready() bool {
 	return true
 }
 
+// eagerPending reports whether a pipelined sub-round may run: the floor
+// is met and at least one pending submission is eager. Unlike ready(),
+// parties with nothing pending do not hold the round back. Callers hold
+// a.mu.
+func (a *Admission) eagerPending() bool {
+	if len(a.parties) == 0 || len(a.parties) < a.floor {
+		return false
+	}
+	for _, p := range a.parties {
+		if p.pending != nil && p.pending.eager {
+			return true
+		}
+	}
+	return false
+}
+
 // runRound admits every pending submission at virtual time zero, runs
 // the simulator until all of the round's flows complete, and records
-// per-submission makespans. Between collecting the round's requests and
+// per-submission makespans. In a bulk-synchronous round every party has
+// a submission; in an eager sub-round parties that are still computing
+// have none and are skipped. Between collecting the round's requests and
 // injecting them, the controller (if any) observes the pending flows
 // plus link state and may override any flow's route or weight. Callers
 // hold a.mu; the round runs entirely under the lock, so waiters only
@@ -356,6 +417,7 @@ func (a *Admission) runRound() {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	eagerRound := !a.ready()
 	subs := make([]*submission, 0, len(ids))
 	// First pass: route every admissible request on its default seeded
 	// ECMP path and resolve its effective QoS identity. Requests that
@@ -370,9 +432,17 @@ func (a *Admission) runRound() {
 	for _, id := range ids {
 		p := a.parties[id]
 		sub := p.pending
+		if sub == nil {
+			// Eager sub-round: this party is mid-compute; it joins a later
+			// round with its next phase.
+			continue
+		}
 		p.pending = nil
 		sub.done = true
 		p.pstats.RoundsJoined++
+		if sub.eager {
+			p.pstats.SubRounds++
+		}
 		p.pstats.BarrierWaitSeconds += now.Sub(sub.queued).Seconds()
 		for _, r := range sub.reqs {
 			seed := p.seed
@@ -475,6 +545,9 @@ func (a *Admission) runRound() {
 		}
 	}
 	a.stats.Rounds++
+	if eagerRound {
+		a.stats.EagerRounds++
+	}
 	if nflows > a.stats.PeakFlows {
 		a.stats.PeakFlows = nflows
 	}

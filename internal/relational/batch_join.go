@@ -16,6 +16,13 @@ type joinCore struct {
 	schema             Schema
 	buildWidth         int
 	workers            int
+	// buildKeyInt records whether the build key column is Int (the fast
+	// hash path); kept on the core because prebuilt joins have no build
+	// operator to consult. pre, when non-nil, is an externally
+	// constructed build table adopted instead of draining a build stream
+	// — the pipelined distributed path fills it chunk by chunk.
+	buildKeyInt bool
+	pre         *HashBuild
 
 	budget *MemoryBudget
 	meter  *spillMeter
@@ -39,6 +46,19 @@ type buildPartial struct {
 }
 
 func (c *joinCore) runBuild() {
+	if c.pre != nil {
+		// Prebuilt table: adopt its rows (serial order by construction)
+		// and, when resident, its maps. The budget reservation and grace
+		// fallback mirror the streaming path bit-for-bit, so a budgeted
+		// pipelined join spills exactly where the bulk join would.
+		c.rows = c.pre.rows
+		if c.budget != nil && !c.budget.Reserve(int64(c.pre.bytes)) {
+			c.buildGrace()
+			return
+		}
+		c.intT, c.keyT = c.pre.intT, c.pre.keyT
+		return
+	}
 	parts := partitionOrSelf(c.build, c.workers, true)
 	partials := make([]*buildPartial, len(parts))
 	cg := &cancelGroup{}
@@ -93,7 +113,7 @@ func (c *joinCore) runBuild() {
 		c.buildGrace()
 		return
 	}
-	useInt := c.build.Schema()[c.buildCol].Type == Int
+	useInt := c.buildKeyInt
 	if useInt {
 		c.intT = map[int64][]int32{}
 	} else {
@@ -157,7 +177,27 @@ func NewBatchHashJoin(build, probe BatchOp, buildCol, probeCol, workers int) (*B
 	core := &joinCore{
 		build: build, buildCol: buildCol, probeCol: probeCol,
 		schema: bs.Concat(ps), buildWidth: len(bs),
-		workers: EffectiveWorkers(workers),
+		workers:     EffectiveWorkers(workers),
+		buildKeyInt: bs[buildCol].Type == Int,
+	}
+	return &BatchHashJoin{core: core, probe: probe, stat: &opCount{}}, nil
+}
+
+// NewBatchHashJoinPrebuilt joins an externally constructed build table
+// (see HashBuild) against probe.probeCol. The table must be fully
+// appended before the first NextBatch; it may be shared read-only by
+// several concurrent joins — the pipelined distributed path probes one
+// incrementally-landed table from every shard at once.
+func NewBatchHashJoinPrebuilt(pre *HashBuild, probe BatchOp, probeCol, workers int) (*BatchHashJoin, error) {
+	ps := probe.Schema()
+	if probeCol < 0 || probeCol >= len(ps) {
+		return nil, fmt.Errorf("relational: join probe column %d out of range", probeCol)
+	}
+	core := &joinCore{
+		pre: pre, buildCol: pre.keyCol, probeCol: probeCol,
+		schema: pre.schema.Concat(ps), buildWidth: len(pre.schema),
+		workers:     EffectiveWorkers(workers),
+		buildKeyInt: pre.useInt,
 	}
 	return &BatchHashJoin{core: core, probe: probe, stat: &opCount{}}, nil
 }

@@ -148,7 +148,7 @@ func (c *joinCore) routeLeaf(v Value) *graceLeaf {
 // concurrent probe partitions, hence the once).
 func (l *graceLeaf) tables(c *joinCore) {
 	l.once.Do(func() {
-		if c.build.Schema()[c.buildCol].Type == Int {
+		if c.buildKeyInt {
 			l.intT = make(map[int64][]int32, len(l.idxs))
 			for _, i := range l.idxs {
 				k := c.rows[i][c.buildCol].I

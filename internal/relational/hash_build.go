@@ -1,0 +1,61 @@
+package relational
+
+import "fmt"
+
+// HashBuild is an incrementally constructed hash-join build table: the
+// pipelined distributed path appends each repartition/broadcast chunk's
+// rows as they land, so the probe-ready table exists the moment the last
+// chunk drains instead of being built from scratch afterwards. Appending
+// in landed order reproduces the bulk build's insertion order exactly
+// (per-key row lists match the serial engine's), which is what keeps
+// pipelined join output row-for-row identical to the bulk path.
+//
+// Append is not safe for concurrent use; once appending is done the
+// table is read-only and may be shared by any number of concurrently
+// probing joins (NewBatchHashJoinPrebuilt).
+type HashBuild struct {
+	schema Schema
+	keyCol int
+	useInt bool
+	rows   []Row
+	intT   map[int64][]int32
+	keyT   map[string][]int32
+	bytes  float64
+}
+
+// NewHashBuild returns an empty build table keyed on keyCol of schema.
+func NewHashBuild(schema Schema, keyCol int) (*HashBuild, error) {
+	if keyCol < 0 || keyCol >= len(schema) {
+		return nil, fmt.Errorf("relational: hash build key column %d out of range", keyCol)
+	}
+	h := &HashBuild{schema: schema, keyCol: keyCol, useInt: schema[keyCol].Type == Int}
+	if h.useInt {
+		h.intT = map[int64][]int32{}
+	} else {
+		h.keyT = map[string][]int32{}
+	}
+	return h, nil
+}
+
+// Append inserts rows in order. Rows are referenced, not copied — the
+// caller must not mutate them afterwards.
+func (h *HashBuild) Append(rows []Row) {
+	for _, row := range rows {
+		idx := int32(len(h.rows))
+		h.rows = append(h.rows, row)
+		h.bytes += row.EncodedBytes()
+		if h.useInt {
+			k := row[h.keyCol].I
+			h.intT[k] = append(h.intT[k], idx)
+		} else {
+			k := row[h.keyCol].Key()
+			h.keyT[k] = append(h.keyT[k], idx)
+		}
+	}
+}
+
+// Len returns the number of rows inserted.
+func (h *HashBuild) Len() int { return len(h.rows) }
+
+// Schema returns the build-side schema.
+func (h *HashBuild) Schema() Schema { return h.schema }

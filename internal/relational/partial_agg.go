@@ -253,6 +253,41 @@ func (p *PartialAgg) EmitRows(schema Schema, bySeq bool) []Row {
 	return rows
 }
 
+// SplitChunks slices the partial into sub-partials of at most maxGroups
+// groups each, in this partial's first-seen order. The subs reference
+// the original group states (no copying): merging them back in order
+// via MergeFrom reconstructs this partial exactly — same group pointers,
+// same order, same ord — which is what lets the pipelined distributed
+// gather ship and fold a shard's partial generation by generation while
+// keeping the coordinator's final merge bit-identical to the bulk one.
+// The first sub carries the whole arrival count (ord is a partial-level
+// counter, not a per-group one), so the counts sum correctly. maxGroups
+// <= 0, or a partial that fits one chunk, returns []{p} itself.
+func (p *PartialAgg) SplitChunks(maxGroups int) []*PartialAgg {
+	if maxGroups <= 0 || len(p.order) <= maxGroups {
+		return []*PartialAgg{p}
+	}
+	var subs []*PartialAgg
+	for start := 0; start < len(p.order); start += maxGroups {
+		end := start + maxGroups
+		if end > len(p.order) {
+			end = len(p.order)
+		}
+		sub := NewPartialAgg(p.groupCols, p.aggs)
+		for _, k := range p.order[start:end] {
+			gr := p.groups[k]
+			sub.groups[k] = gr
+			sub.order = append(sub.order, k)
+			sub.bytes += groupStateBytes(gr.key, len(p.aggs))
+		}
+		if start == 0 {
+			sub.ord = p.ord
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
 // EncodedBytes returns the serialized size of the partial — what a shard
 // ships to the coordinator in the distributed final-merge phase: each
 // group's key plus the fixed aggregate state (count, two sums, min, max).

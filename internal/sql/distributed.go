@@ -282,6 +282,12 @@ type distExec struct {
 	distJoin string // "", "auto", "broadcast", "repartition"
 	class    string
 	weight   float64
+	// chunkRows > 0 pipelines every movement phase: payloads split into
+	// seq-rank chunks admitted as eager fabric sub-rounds while the
+	// receiving side digests the previous chunk (incremental hash builds,
+	// generation-wise partial-agg folds, streaming seq merge). 0 is the
+	// bulk engine, bit-identical with pre-pipeline code paths.
+	chunkRows int
 	// place holds one device placer per shard (nil on the homogeneous
 	// engine): forks of the query placer, so every simulated worker
 	// host decides morsel placement independently on its own device
@@ -388,9 +394,36 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 	buildWidth := len(build.schema)
 	movement := e.chooseMovement(build.bytes(), probe.bytes())
 
+	// buildFor lowers shard s's build stream (the bulk path); preFor,
+	// when set instead, yields the incrementally appended hash table the
+	// pipelined movement already filled (see RunPipelined below).
 	var buildFor func(s int) (relational.BatchOp, error)
+	var preFor func(s int) *relational.HashBuild
 	out := &distStream{schema: combined, cancel: cancel, joined: true}
-	if movement == "broadcast" {
+	switch {
+	case movement == "broadcast" && e.chunkRows > 0:
+		// Pipelined replication: the merged build side streams out in
+		// seq-rank chunks, and the shared hash table fills while the next
+		// chunk's flows are in flight. Appending chunk prefixes of the
+		// seq-merged relation reproduces the bulk build's insertion order
+		// exactly.
+		merged, chunks, bounds := dist.BroadcastChunks(build.base, buildWidth, true, e.chunkRows)
+		pre, err := relational.NewHashBuild(merged.Schema, buildCol)
+		if err != nil {
+			return nil, err
+		}
+		prev := 0
+		consume := func(k int) error {
+			pre.Append(merged.Rows[prev:bounds[k]])
+			prev = bounds[k]
+			return nil
+		}
+		if err := qr.RunPipelined(fmt.Sprintf("broadcast#%d", ji), chunks, "", 0, consume); err != nil {
+			return nil, err
+		}
+		out.base = probe.base
+		preFor = func(int) *relational.HashBuild { return pre }
+	case movement == "broadcast":
 		// Replicate the whole build side to every worker; the probe side
 		// does not move.
 		buildRel, transfers := dist.Broadcast(build.base, buildWidth, true)
@@ -401,7 +434,66 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 		buildFor = func(int) (relational.BatchOp, error) {
 			return relational.NewBatchScan(buildRel), nil
 		}
-	} else {
+	case e.chunkRows > 0:
+		// Pipelined shuffle: both sides' buckets move in seq-rank chunks
+		// (build transfers ahead of probe transfers within each chunk,
+		// exactly the bulk phase's flow order), and every destination's
+		// hash table inserts its landed build prefix while the next chunk
+		// drains. Probe rows charge consumer compute too — they must be
+		// received and staged into their buckets before the probe scan —
+		// though only the build side feeds the incremental hash table.
+		buildB, bChunks, bCum := dist.RepartitionChunks(build.base, buildCol, buildWidth, e.chunkRows)
+		probeB, pChunks, _ := dist.RepartitionChunks(probe.base, probeCol, len(probe.schema), e.chunkRows)
+		n := len(bChunks)
+		if len(pChunks) > n {
+			n = len(pChunks)
+		}
+		chunks := make([]dist.Chunk, n)
+		for k := range chunks {
+			var ts []dist.Transfer
+			if k < len(bChunks) {
+				ts = append(ts, bChunks[k].Transfers...)
+				chunks[k].ComputeBytes += bChunks[k].ComputeBytes
+			}
+			if k < len(pChunks) {
+				ts = append(ts, pChunks[k].Transfers...)
+				chunks[k].ComputeBytes += pChunks[k].ComputeBytes
+			}
+			chunks[k].Transfers = ts
+		}
+		buildVisible := build.schema
+		pres := make([]*relational.HashBuild, len(buildB))
+		for i := range pres {
+			var err error
+			if pres[i], err = relational.NewHashBuild(buildVisible, buildCol); err != nil {
+				return nil, err
+			}
+		}
+		prev := make([]int, len(buildB))
+		consume := func(k int) error {
+			if k >= len(bCum) {
+				return nil
+			}
+			for d := range buildB {
+				rows := buildB[d].Rows[prev[d]:bCum[k][d]]
+				if len(rows) == 0 {
+					continue
+				}
+				stripped := make([]relational.Row, len(rows))
+				for i, r := range rows {
+					stripped[i] = r[:buildWidth]
+				}
+				pres[d].Append(stripped)
+				prev[d] = bCum[k][d]
+			}
+			return nil
+		}
+		if err := qr.RunPipelined(fmt.Sprintf("shuffle#%d", ji), chunks, "", 0, consume); err != nil {
+			return nil, err
+		}
+		out.base = probeB
+		preFor = func(s int) *relational.HashBuild { return pres[s] }
+	default:
 		// Hash-repartition both sides on the join key; bucket p's build
 		// rows arrive seq-sorted, preserving the serial insertion order.
 		buildB, tA := dist.Repartition(build.base, buildCol, buildWidth)
@@ -417,13 +509,22 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 	}
 	workers, swapped := e.workers, jp.swapped
 	out.decor = append(out.decor, func(s int, op relational.BatchOp) (relational.BatchOp, error) {
-		bop, err := buildFor(s)
-		if err != nil {
-			return nil, err
-		}
-		jn, err := relational.NewBatchHashJoin(bop, op, buildCol, probeCol, workers)
-		if err != nil {
-			return nil, err
+		var jn *relational.BatchHashJoin
+		if preFor != nil {
+			var err error
+			jn, err = relational.NewBatchHashJoinPrebuilt(preFor(s), op, probeCol, workers)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			bop, err := buildFor(s)
+			if err != nil {
+				return nil, err
+			}
+			jn, err = relational.NewBatchHashJoin(bop, op, buildCol, probeCol, workers)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if s < len(e.shardBudget) && e.shardBudget[s] != nil {
 			jn.SetBudget(e.shardBudget[s])
@@ -596,6 +697,11 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		cluster: cluster, fabric: fabric, cancel: pl.cancel,
 		workers: workers, distJoin: pl.cfg.DistJoin,
 		class: pl.class, weight: pl.weight,
+		chunkRows: pl.cfg.PipelineChunkRows,
+	}
+	if dx.chunkRows > 0 {
+		p.Steps = append(p.Steps, fmt.Sprintf("pipeline: chunked movement (%d rows/chunk, eager sub-rounds; gather weight x%d)",
+			dx.chunkRows, dist.GatherWeightBoost))
 	}
 	// Heterogeneous placement: the query placer forks once per shard, so
 	// each simulated worker host places its fragment morsels
@@ -709,16 +815,50 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 		if err != nil {
 			return nil, nil, err
 		}
-		bytes := make([]float64, len(partials))
-		for i, pa := range partials {
-			bytes[i] = pa.EncodedBytes()
-		}
-		if err := qr.RunPhase("gather", dist.GatherTransfers(bytes)); err != nil {
-			return nil, nil, err
-		}
-		merged := partials[0]
-		for _, pa := range partials[1:] {
-			merged.MergeFrom(pa)
+		var merged *relational.PartialAgg
+		if dx.chunkRows > 0 {
+			// Pipelined gather: each shard's partial splits into
+			// generations of at most chunkRows groups, shipped as chunks;
+			// per-shard accumulators fold generation k while generation
+			// k+1 is in flight, reconstructing each shard's partial
+			// exactly (same group states, same first-seen order), so the
+			// final shard-order fold is bit-identical to the bulk merge.
+			subs := make([][]*relational.PartialAgg, len(partials))
+			for i, pa := range partials {
+				subs[i] = pa.SplitChunks(dx.chunkRows)
+			}
+			acc := make([]*relational.PartialAgg, len(partials))
+			for i := range acc {
+				acc[i] = relational.NewPartialAgg(ap.groupCols, ap.aggSpecs)
+			}
+			consume := func(k int) error {
+				for i := range subs {
+					if k < len(subs[i]) {
+						acc[i].MergeFrom(subs[i][k])
+					}
+				}
+				return nil
+			}
+			chunks := dist.PartialGatherChunks(subs)
+			if err := qr.RunPipelined("gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
+				return nil, nil, err
+			}
+			merged = acc[0]
+			for _, pa := range acc[1:] {
+				merged.MergeFrom(pa)
+			}
+		} else {
+			bytes := make([]float64, len(partials))
+			for i, pa := range partials {
+				bytes[i] = pa.EncodedBytes()
+			}
+			if err := qr.RunPhaseQoS("gather", dist.GatherTransfers(bytes), dist.GatherClass, dist.GatherWeightBoost); err != nil {
+				return nil, nil, err
+			}
+			merged = partials[0]
+			for _, pa := range partials[1:] {
+				merged.MergeFrom(pa)
+			}
 		}
 		aggRel := relational.NewRelation("agg", aggOutSchema)
 		aggRel.Rows = merged.EmitRows(aggOutSchema, true)
@@ -789,10 +929,30 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 		if err := st.materialize(dx.workers); err != nil {
 			return nil, nil, err
 		}
-		if err := qr.RunPhase("gather", dist.GatherTransfers(st.bytes())); err != nil {
-			return nil, nil, err
+		seqCol := len(wideSchema)
+		var merged *relational.Relation
+		if dx.chunkRows > 0 {
+			// Pipelined gather: the coordinator's seq merge advances to
+			// each chunk's global row bound while the next chunk's flows
+			// drain, reproducing MergeBySeq's row order incrementally.
+			chunks, bounds := dist.GatherChunks(st.base, seqCol, dx.chunkRows)
+			merged = relational.NewRelation("gathered", st.base[0].Schema[:seqCol])
+			merger := dist.NewSeqMerger(st.base, seqCol)
+			consume := func(k int) error {
+				merger.Take(bounds[k], func(shard, row int) {
+					merged.Rows = append(merged.Rows, st.base[shard].Rows[row][:seqCol])
+				})
+				return nil
+			}
+			if err := qr.RunPipelined("gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if err := qr.RunPhaseQoS("gather", dist.GatherTransfers(st.bytes()), dist.GatherClass, dist.GatherWeightBoost); err != nil {
+				return nil, nil, err
+			}
+			merged = dist.MergeBySeq("gathered", st.base, seqCol, true)
 		}
-		merged := dist.MergeBySeq("gathered", st.base, len(wideSchema), true)
 		var op relational.Op = relational.NewScan(merged)
 		if len(keyCols) > 0 {
 			keys := make([]relational.SortKey, len(keyCols))

@@ -101,6 +101,21 @@ type Config struct {
 	// budget models is a no-op, not an out-of-core strategy. Sessions
 	// may override it (Session.SpillTier).
 	SpillTier string
+	// PipelineChunkRows turns on pipelined distributed movement: every
+	// bulk phase (broadcast, shuffle, gather) splits into chunks of at
+	// most this many rows, admitted on the shared fabric as eager
+	// sub-rounds while receivers consume the previous chunk — hash-join
+	// build tables fill as repartitioned rows land, partial-aggregate
+	// merges fold generation by generation, the final gather streams
+	// into the seq merge. Overlap is measured, not assumed: the modeled
+	// compute/network overlap lands in Result.Net.OverlapSeconds.
+	// Chunking never changes answers — chunk boundaries derive from the
+	// deterministic seq tags, so results are row-for-row identical at
+	// every chunk size — and 0 (the default, "chunk size infinity") is
+	// the bulk engine, bit-identical with pre-pipeline code paths.
+	// Negative values are rejected at NewEngine. Sessions may override
+	// it (Session.PipelineChunkRows).
+	PipelineChunkRows int
 }
 
 // Options is the former name of Config.
@@ -155,6 +170,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if err := validateSpill(cfg.MemoryBudget, cfg.SpillTier); err != nil {
 		return nil, err
+	}
+	if cfg.PipelineChunkRows < 0 {
+		return nil, fmt.Errorf("sql: negative PipelineChunkRows %d", cfg.PipelineChunkRows)
 	}
 	e := newEngine(cfg)
 	if cfg.Distributed {

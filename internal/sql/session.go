@@ -50,6 +50,13 @@ type Session struct {
 	// "disk") for this session's queries; "" inherits the engine's. An
 	// unknown tier surfaces as a planning error at Query/Prepare.
 	SpillTier string
+	// PipelineChunkRows overrides the engine's pipelined-movement chunk
+	// size for this session's queries when positive (see
+	// Config.PipelineChunkRows); zero inherits the engine's. There is no
+	// per-session way to force the bulk path on a pipelined engine —
+	// like MemoryBudget, asking for finer chunks than the engine default
+	// is the meaningful direction, and results are identical either way.
+	PipelineChunkRows int
 }
 
 // Engine returns the session's engine.
@@ -72,6 +79,9 @@ func (s *Session) cfg() Config {
 	}
 	if s.SpillTier != "" {
 		cfg.SpillTier = s.SpillTier
+	}
+	if s.PipelineChunkRows > 0 {
+		cfg.PipelineChunkRows = s.PipelineChunkRows
 	}
 	return cfg
 }
