@@ -41,9 +41,15 @@
 // evicted, bytes moved, modeled tier write/read time and energy. Rows
 // are identical at every budget.
 //
+// JSON output: -json renders each result as one canonical wire-format
+// document per line — the same encoding (internal/serve/wire) the
+// rethinkd daemon serves and rethink-load reports, so downstream
+// tooling parses one format regardless of which surface produced it.
+//
 // Usage:
 //
 //	rethink-sql -rows 50000 "SELECT region, COUNT(*) FROM sales GROUP BY region"
+//	rethink-sql -json -dist "SELECT ... "           # wire-format JSON per result
 //	rethink-sql -explain "SELECT ... "
 //	rethink-sql -serial "SELECT ... "
 //	rethink-sql -devices cpu,gpu,fpga -placement auto "SELECT ... "
@@ -60,6 +66,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -72,6 +79,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/relational"
 	"repro/internal/sdn"
+	"repro/internal/serve/wire"
 	"repro/internal/sql"
 )
 
@@ -99,6 +107,7 @@ func main() {
 	placement := flag.String("placement", "auto", "morsel placement policy over -devices: "+strings.Join(exec.Placements, ", "))
 	memBudget := flag.Int64("mem-budget", 0, "operator-state memory budget in bytes; overflow spills to -spill-tier (0 = unbudgeted)")
 	spillTier := flag.String("spill-tier", "", "spill tier for budget overflow: "+strings.Join(memtier.SpillTiers, ", ")+" (default ssd when budgeted)")
+	jsonOut := flag.Bool("json", false, "emit each result as one canonical wire-format JSON document (the same encoding rethinkd serves) instead of tables")
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -158,7 +167,7 @@ func main() {
 		sess := eng.Session()
 		sess.Priority, sess.Weight = *priority, *weight
 		for _, q := range queries {
-			out, err := runOne(sess, q, *timeout)
+			out, err := runOne(sess, q, *timeout, *jsonOut)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -198,7 +207,7 @@ func main() {
 			}
 			var b strings.Builder
 			for q := range work {
-				out, err := runOne(sess, q, *timeout)
+				out, err := runOne(sess, q, *timeout, *jsonOut)
 				if err != nil {
 					errs[i] = err
 					// This session dies before (or between) fabric
@@ -228,8 +237,10 @@ func main() {
 	}
 }
 
-// runOne executes one query on the session and renders its result block.
-func runOne(sess *sql.Session, q string, timeout time.Duration) (string, error) {
+// runOne executes one query on the session and renders its result block
+// — human-readable tables, or (jsonOut) the canonical wire encoding
+// shared with the rethinkd daemon and the rethink-load reports.
+func runOne(sess *sql.Session, q string, timeout time.Duration, jsonOut bool) (string, error) {
 	ctx := context.Background()
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -239,6 +250,17 @@ func runOne(sess *sql.Session, q string, timeout time.Duration) (string, error) 
 	res, err := sess.Query(ctx, q)
 	if err != nil {
 		return "", fmt.Errorf("%s: %w", q, err)
+	}
+	if jsonOut {
+		doc := struct {
+			SQL string `json:"sql"`
+			*wire.Result
+		}{SQL: q, Result: wire.FromResult(res)}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			return "", err
+		}
+		return string(data) + "\n", nil
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "sql> %s\n", q)

@@ -61,9 +61,25 @@
 // overlap is measured, not assumed (QueryStats.ComputeSeconds /
 // OverlapSeconds / WallSeconds beside NetSeconds), rows stay identical
 // to the bulk engine at every chunk size, and a chunk covering the
-// whole payload replays bulk bit-identically. See README.md for the
-// package map, the migration table from the deprecated DB/Options API,
-// the control-plane policy catalog, the heterogeneous-execution,
-// out-of-core and pipelined-execution sections, and build, test and
-// benchmark instructions.
+// whole payload replays bulk bit-identically. The whole engine is
+// servable the same way it is embeddable: internal/serve fronts one
+// shared Engine as the multi-tenant rethinkd daemon (cmd/rethinkd) —
+// API-key tenants whose configured QoS class, fabric weight, worker and
+// memory-budget defaults apply to every query they submit, an HTTP/JSON
+// wire surface whose canonical encoding (internal/serve/wire) is shared
+// with rethink-sql -json and the rethink-load harness (cmd/rethink-load:
+// thousands of concurrent sessions dealt across tenants by share,
+// per-tenant wall and modeled latency quantiles, row-fingerprint parity
+// against direct library execution), a server-side prepared-statement
+// cache keyed by (tenant, statement, session-config) whose entries
+// record the engine's catalog epoch at preparation so Engine.Register
+// invalidates them by construction, client-disconnect cancellation
+// threaded onto the engine's cancel path (a dead client releases its
+// admission-barrier slot instead of wedging the round), and graceful
+// drain — in-flight queries finish, new ones get 503, orphaned gang
+// slots are withdrawn from the shared fabric's barrier. See README.md
+// for the package map, the migration table from the deprecated
+// DB/Options API, the control-plane policy catalog, the
+// heterogeneous-execution, out-of-core, pipelined-execution and serving
+// sections, and build, test and benchmark instructions.
 package repro

@@ -95,6 +95,12 @@ func (f *Fabric) NewQueryQoS(t *relational.CancelToken, class string, weight flo
 	return q
 }
 
+// Admission snapshots the raw admission-layer aggregate — everything
+// FabricStats summarizes plus the counters it omits (eager sub-rounds,
+// rejected controller overrides). Operational surfaces (a daemon's
+// /metrics endpoint) report it verbatim.
+func (f *Fabric) Admission() netsim.AdmissionStats { return f.adm.Stats() }
+
 // FabricStats is the aggregate, cross-query view of the shared fabric:
 // the contention counters plus link utilization over the fabric's total
 // busy time. Per-query views live in QueryStats.

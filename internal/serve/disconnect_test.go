@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Client-disconnect cancellation at the server layer: dropping the HTTP
+// connection mid-query must cancel the running statement through the
+// engine's relational.CancelToken path, release the query's announced
+// gang slot on the fabric's admission barrier, and leave the engine
+// healthy for the next query. These run over real TCP (httptest.Server)
+// so the request context is cancelled the way production disconnects
+// cancel it.
+
+// postSQL submits one statement over TCP with the given context.
+func postSQL(ctx context.Context, cl *http.Client, base, key, q string) (int, *QueryResponse, error) {
+	body, _ := json.Marshal(QueryRequest{SQL: q})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sql", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("X-API-Key", key)
+	resp, err := cl.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		return resp.StatusCode, nil, fmt.Errorf("%s: %s", resp.Status, data)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, &qr, nil
+}
+
+// TestDisconnectWithdrawsGangSlot is the deterministic disconnect test:
+// a query holding a gang slot parks at the admission barrier (floor 2,
+// one party), its client disconnects, and the server must both cancel
+// the query and withdraw the slot — proven by a follow-up query that
+// claims the remaining announced slot and completes instead of waiting
+// forever for the dead query.
+func TestDisconnectWithdrawsGangSlot(t *testing.T) {
+	srv := testServer(t, 2000)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	baseline := runtime.NumGoroutine()
+
+	if code := do(t, srv.Handler(), "POST", "/v1/gang", "gold-key", GangRequest{Announce: 2}, nil); code != http.StatusOK {
+		t.Fatalf("gang announce: %d", code)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := postSQL(ctx, cl, ts.URL, "gold-key", testQuery)
+		errc <- err
+	}()
+	waitInflight(t, srv, 1)
+	time.Sleep(200 * time.Millisecond) // let it park at the barrier
+	select {
+	case err := <-errc:
+		t.Fatalf("query finished despite gang floor: %v", err)
+	default:
+	}
+
+	cancel() // client goes away mid-query
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("disconnect did not cancel the in-flight query")
+	}
+	waitInflight(t, srv, 0)
+
+	// The dead query's gang slot must be back on the barrier's books:
+	// this query claims the second announced slot and, because the floor
+	// was lowered by the withdrawal, runs alone to completion.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	code, resp, err := postSQL(ctx2, cl, ts.URL, "gold-key", testQuery)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("follow-up query after disconnect: code %d, err %v (gang slot not withdrawn?)", code, err)
+	}
+	if resp.Result.RowCount == 0 {
+		t.Fatal("follow-up query returned no rows")
+	}
+
+	// The disconnect was counted as a tenant error, not a served query.
+	m := srv.MetricsSnapshot()
+	if g := m.Tenants["gold"]; g.Errors != 1 || g.Queries != 1 {
+		t.Fatalf("gold counters after disconnect = %+v (want 1 error, 1 query)", g)
+	}
+
+	cl.CloseIdleConnections()
+	settleGoroutines(t, "disconnect-gang", baseline)
+}
+
+// TestDisconnectMidQueryHTTP mirrors the sql package's mid-flight
+// cancellation tests at the server layer: the client disconnects
+// shortly after submitting a heavy statement, the server must abort it
+// promptly, and a follow-up on the same server runs clean. If a run
+// completes before the disconnect lands, the table grows and the run
+// retries (fast-machine guard).
+func TestDisconnectMidQueryHTTP(t *testing.T) {
+	const heavy = "SELECT region, SUM(price * (1 - discount) * quantity) AS v FROM sales WHERE quantity * 3 > 2 GROUP BY region"
+	cl := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	baseline := runtime.NumGoroutine()
+	rows := 200_000
+	for attempt := 0; attempt < 5; attempt++ {
+		srv := testServer(t, rows)
+		ts := httptest.NewServer(srv.Handler())
+
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(2*time.Millisecond, cancel)
+		started := time.Now()
+		code, _, err := postSQL(ctx, cl, ts.URL, "bronze-key", heavy)
+		elapsed := time.Since(started)
+		timer.Stop()
+		cancel()
+		if err == nil && code == http.StatusOK {
+			// Completed before the disconnect fired: grow and retry.
+			ts.Close()
+			rows *= 2
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("client error = %v, want context.Canceled", err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("server held the connection %v after disconnect", elapsed)
+		}
+		waitInflight(t, srv, 0)
+
+		// Same server, same engine: the next query must run clean.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel2()
+		code, resp, err := postSQL(ctx2, cl, ts.URL, "bronze-key", heavy)
+		if err != nil || code != http.StatusOK || resp.Result.RowCount == 0 {
+			t.Fatalf("follow-up query after disconnect: code %d, err %v", code, err)
+		}
+		ts.Close()
+		cl.CloseIdleConnections()
+		settleGoroutines(t, "disconnect-mid", baseline)
+		return
+	}
+	t.Fatalf("query kept completing before the disconnect up to %d rows", rows)
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/serve/wire"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline (small slack for runtime helpers) and fails if it does not —
+// the serving-layer leak detector, same idiom as the sql package's
+// cancellation suite.
+func settleGoroutines(t *testing.T, name string, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%s: goroutines leaked: %d running, baseline %d", name, runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitInflight polls the server until the in-flight count reaches want.
+func waitInflight(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.MetricsSnapshot().Inflight != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight count never reached %d (at %d)", want, srv.MetricsSnapshot().Inflight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainGraceful is the graceful-shutdown acceptance test: a query
+// in flight when Drain starts — parked at the fabric's admission
+// barrier behind an announced-but-unfilled gang slot — completes with
+// correct rows because Drain withdraws the orphan slot; submissions
+// after Drain get 503 on every endpoint; and no goroutines are left
+// behind.
+func TestDrainGraceful(t *testing.T) {
+	srv := testServer(t, 2000)
+	h := srv.Handler()
+	baseline := runtime.NumGoroutine()
+
+	// Announce a gang of 2. Only one query will ever arrive, so its
+	// admission round cannot run until the orphan slot is withdrawn —
+	// exactly what Drain must do, or the in-flight query never finishes
+	// and Drain deadlocks.
+	if code := do(t, h, "POST", "/v1/gang", "gold-key", GangRequest{Announce: 2}, nil); code != http.StatusOK {
+		t.Fatalf("gang announce: %d", code)
+	}
+
+	type outcome struct {
+		code int
+		resp QueryResponse
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		body, _ := json.Marshal(QueryRequest{SQL: testQuery})
+		req := httptest.NewRequest("POST", "/v1/sql", bytes.NewReader(body))
+		req.Header.Set("X-API-Key", "gold-key")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		var o outcome
+		o.code = rec.Code
+		_ = json.NewDecoder(rec.Body).Decode(&o.resp)
+		done <- o
+	}()
+	waitInflight(t, srv, 1)
+	// Give the query time to actually park at the barrier (floor 2, one
+	// party): drain must resolve the park, not just race past it.
+	time.Sleep(200 * time.Millisecond)
+	select {
+	case o := <-done:
+		t.Fatalf("query finished before drain despite gang floor (code %d)", o.code)
+	default:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v (in-flight query stuck at the admission barrier?)", err)
+	}
+
+	var o outcome
+	select {
+	case o = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query response never arrived after drain")
+	}
+	if o.code != http.StatusOK {
+		t.Fatalf("in-flight query during drain: code %d, want 200", o.code)
+	}
+	// Row-correctness of the drained query: identical to a fresh direct
+	// execution.
+	ref, err := testEngine(t, 2000).Session().Query(context.Background(), testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wire.Fingerprint(o.resp.Result) != wire.Fingerprint(wire.FromResult(ref)) {
+		t.Fatal("query drained with wrong rows")
+	}
+
+	// Everything after drain is refused.
+	if code := do(t, h, "POST", "/v1/sql", "gold-key", QueryRequest{SQL: testQuery}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain sql: code %d, want 503", code)
+	}
+	if code := do(t, h, "POST", "/v1/tables", "gold-key", TableRequest{Name: "x"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain tables: code %d, want 503", code)
+	}
+	if code := do(t, h, "POST", "/v1/gang", "gold-key", GangRequest{Announce: 1}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain gang: code %d, want 503", code)
+	}
+	var m Metrics
+	do(t, h, "GET", "/metrics", "", nil, &m)
+	if !m.Draining || m.Inflight != 0 {
+		t.Fatalf("post-drain metrics: %+v", m)
+	}
+
+	// Drain is idempotent: a second call returns immediately.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := srv.Drain(ctx2); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+
+	settleGoroutines(t, "drain", baseline)
+}
+
+// TestDrainEndpoint drives the same flow over POST /drain.
+func TestDrainEndpoint(t *testing.T) {
+	srv := testServer(t, 200)
+	h := srv.Handler()
+	var m Metrics
+	if code := do(t, h, "POST", "/drain", "", nil, &m); code != http.StatusOK {
+		t.Fatalf("drain endpoint: %d", code)
+	}
+	if !m.Draining {
+		t.Fatal("drain response should report draining")
+	}
+	if code := do(t, h, "POST", "/v1/sql", "gold-key", QueryRequest{SQL: testQuery}, nil); code != http.StatusServiceUnavailable {
+		t.Fatal("post-drain query accepted")
+	}
+}

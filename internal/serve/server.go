@@ -1,0 +1,529 @@
+// Package serve is the multi-tenant serving front door over one shared
+// sql.Engine: the wire surface of the rethinkd daemon. It authenticates
+// tenants by API key, maps each tenant's QoS/budget configuration onto
+// per-request engine sessions, caches prepared statements per (tenant,
+// statement, session-config) with catalog-epoch invalidation, threads
+// client disconnects onto the engine's cancellation path, and drains
+// gracefully — in-flight queries finish, new ones get 503, and any
+// announced-but-unfilled fabric gang slots are withdrawn so the shared
+// admission barrier can never deadlock on a query that will now never
+// arrive.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/serve/wire"
+	"repro/internal/sql"
+)
+
+// Server is the HTTP front door of one engine. Create with New, mount
+// via Handler. All methods are safe for concurrent use.
+type Server struct {
+	eng     *sql.Engine
+	tenants *Tenants
+	cache   *PlanCache
+	mux     *http.ServeMux
+	start   time.Time
+
+	mu            sync.Mutex
+	draining      bool
+	drained       chan struct{} // closed when the first Drain completes
+	drainOnce     sync.Once
+	inflight      sync.WaitGroup
+	inflightCount int
+	gangRemaining int
+	served        uint64
+	tstats        map[string]*TenantCounters
+}
+
+// TenantCounters is one tenant's serving totals for /metrics.
+type TenantCounters struct {
+	Queries   uint64 `json:"queries"`
+	Errors    uint64 `json:"errors"`
+	Rows      uint64 `json:"rows"`
+	CacheHits uint64 `json:"cache_hits"`
+}
+
+// DefaultCacheCap bounds the plan cache when Options.CacheCap is 0.
+const DefaultCacheCap = 1024
+
+// Options tunes the server.
+type Options struct {
+	// CacheCap bounds the prepared-statement cache (default 1024).
+	CacheCap int
+}
+
+// New fronts eng with the given tenant set.
+func New(eng *sql.Engine, tenants *Tenants, opt Options) *Server {
+	cap := opt.CacheCap
+	if cap <= 0 {
+		cap = DefaultCacheCap
+	}
+	s := &Server{
+		eng:     eng,
+		tenants: tenants,
+		cache:   NewPlanCache(cap),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		drained: make(chan struct{}),
+		tstats:  map[string]*TenantCounters{},
+	}
+	for _, t := range tenants.List() {
+		s.tstats[t.Name] = &TenantCounters{}
+	}
+	s.mux.HandleFunc("POST /v1/sql", s.handleSQL)
+	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
+	s.mux.HandleFunc("POST /v1/gang", s.handleGang)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /drain", s.handleDrain)
+	return s
+}
+
+// Handler returns the server's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine returns the fronted engine (tests register fixtures on it).
+func (s *Server) Engine() *sql.Engine { return s.eng }
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// authenticate resolves the request's tenant from Authorization: Bearer
+// or X-API-Key.
+func (s *Server) authenticate(r *http.Request) (*Tenant, bool) {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		return nil, false
+	}
+	return s.tenants.ByKey(key)
+}
+
+// admit gates a request on the drain state and tracks it in-flight.
+// The returned release must be called when the request finishes; ok is
+// false when the server is draining (the caller 503s).
+func (s *Server) admit() (release func(), ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.inflightCount++
+	return func() {
+		s.mu.Lock()
+		s.inflightCount--
+		s.mu.Unlock()
+		s.inflight.Done()
+	}, true
+}
+
+// consumeGangSlot claims one announced gang slot, if any are
+// outstanding. The caller owes a Withdraw on any path where the claimed
+// query dies without reaching the fabric.
+func (s *Server) consumeGangSlot() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gangRemaining > 0 {
+		s.gangRemaining--
+		return true
+	}
+	return false
+}
+
+// QueryRequest is the /v1/sql body.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Prepare routes the statement through the prepared-statement cache:
+	// the first submission prepares and caches, repeats hit. One-shot
+	// queries (Prepare false) parse fresh every time.
+	Prepare bool `json:"prepare,omitempty"`
+}
+
+// QueryResponse is the /v1/sql response: the canonical wire result plus
+// the serving envelope.
+type QueryResponse struct {
+	Tenant string `json:"tenant"`
+	// CacheHit reports that a prepared submission was served from the
+	// plan cache (false on the priming miss and for one-shot queries).
+	CacheHit bool `json:"cache_hit"`
+	// CatalogEpoch is the engine catalog version the statement ran
+	// against.
+	CatalogEpoch uint64 `json:"catalog_epoch"`
+	// ElapsedMS is the server-side wall-clock handling time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ModelMS is the modeled service time (simulated network wall plus
+	// spill I/O; 0 for single-node runs) — see wire.Result.ModelSeconds.
+	ModelMS float64      `json:"model_ms"`
+	Result  *wire.Result `json:"result"`
+}
+
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	tenant, ok := s.authenticate(r)
+	if !ok {
+		writeErr(w, http.StatusUnauthorized, "serve: unknown or missing API key")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeErr(w, http.StatusServiceUnavailable, "serve: draining — not accepting new queries")
+		return
+	}
+	defer release()
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
+		writeErr(w, http.StatusBadRequest, "serve: body must be JSON {\"sql\": ...}")
+		return
+	}
+	gangSlot := s.consumeGangSlot()
+	started := time.Now()
+	res, hit, epoch, err := s.execute(r.Context(), tenant, req)
+	ts := s.tstats[tenant.Name]
+	if err != nil {
+		// The query never reached (or died holding) its barrier slot; if
+		// it was counted toward an announced gang, release the slot so
+		// the surviving parties' admission round can run. Withdraw is
+		// monotone-safe: it only ever lowers the floor.
+		if gangSlot {
+			if fab := s.eng.Fabric(); fab != nil {
+				fab.Withdraw()
+			}
+		}
+		s.mu.Lock()
+		ts.Errors++
+		s.mu.Unlock()
+		code := http.StatusUnprocessableEntity
+		if r.Context().Err() != nil {
+			// Client went away mid-query; the write below is best-effort.
+			code = http.StatusRequestTimeout
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	wres := wire.FromResult(res)
+	s.mu.Lock()
+	s.served++
+	ts.Queries++
+	ts.Rows += uint64(wres.RowCount)
+	if hit {
+		ts.CacheHits++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Tenant:       tenant.Name,
+		CacheHit:     hit,
+		CatalogEpoch: epoch,
+		ElapsedMS:    time.Since(started).Seconds() * 1e3,
+		ModelMS:      wres.ModelSeconds() * 1e3,
+		Result:       wres,
+	})
+}
+
+// execute runs one statement for a tenant, through the plan cache when
+// the request asks for a prepared statement.
+func (s *Server) execute(ctx context.Context, tenant *Tenant, req QueryRequest) (*sql.Result, bool, uint64, error) {
+	sess := tenant.Session(s.eng)
+	if !req.Prepare {
+		res, err := sess.Query(ctx, req.SQL)
+		return res, false, s.eng.CatalogEpoch(), err
+	}
+	key := s.cache.Key(tenant, req.SQL)
+	epoch := s.eng.CatalogEpoch()
+	if stmt, ok := s.cache.Get(key, epoch); ok {
+		res, err := stmt.Bind(sess).Exec(ctx)
+		return res, true, epoch, err
+	}
+	stmt, err := sess.Prepare(req.SQL)
+	if err != nil {
+		return nil, false, epoch, err
+	}
+	// Cache under the epoch read before preparing: if a Register landed
+	// in between, the entry is already stale and the next lookup
+	// re-prepares — conservative, never wrong.
+	s.cache.Put(key, stmt, epoch)
+	res, err := stmt.Exec(ctx)
+	return res, false, epoch, err
+}
+
+// TableRequest is the /v1/tables body: a relation to register (or
+// replace) in the engine catalog.
+type TableRequest struct {
+	Name   string        `json:"name"`
+	Schema []wire.Column `json:"schema"`
+	// Rows carries one []any per row; int cells may arrive as JSON
+	// numbers (float64) and are accepted when integral.
+	Rows [][]any `json:"rows"`
+}
+
+// TableResponse acknowledges a registration.
+type TableResponse struct {
+	Name         string `json:"name"`
+	Rows         int    `json:"rows"`
+	CatalogEpoch uint64 `json:"catalog_epoch"`
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(r); !ok {
+		writeErr(w, http.StatusUnauthorized, "serve: unknown or missing API key")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeErr(w, http.StatusServiceUnavailable, "serve: draining — not accepting new registrations")
+		return
+	}
+	defer release()
+	var req TableRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "serve: bad table body: %v", err)
+		return
+	}
+	rel, err := decodeRelation(&req)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.eng.Register(rel)
+	writeJSON(w, http.StatusOK, TableResponse{Name: rel.Name, Rows: rel.Len(), CatalogEpoch: s.eng.CatalogEpoch()})
+}
+
+// decodeRelation converts a wire table into a relational.Relation.
+func decodeRelation(req *TableRequest) (*relational.Relation, error) {
+	if req.Name == "" || len(req.Schema) == 0 {
+		return nil, fmt.Errorf("serve: table needs a name and a schema")
+	}
+	schema := make(relational.Schema, len(req.Schema))
+	for i, c := range req.Schema {
+		var t relational.Type
+		switch c.Type {
+		case "int":
+			t = relational.Int
+		case "float":
+			t = relational.Float
+		case "string":
+			t = relational.String
+		default:
+			return nil, fmt.Errorf("serve: column %s: unknown type %q", c.Name, c.Type)
+		}
+		schema[i] = relational.Column{Name: c.Name, Type: t}
+	}
+	rel := relational.NewRelation(req.Name, schema)
+	for rn, cells := range req.Rows {
+		if len(cells) != len(schema) {
+			return nil, fmt.Errorf("serve: row %d: arity %d != schema arity %d", rn, len(cells), len(schema))
+		}
+		row := make(relational.Row, len(cells))
+		for i, cell := range cells {
+			v, err := decodeCell(cell, schema[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("serve: row %d, column %s: %w", rn, schema[i].Name, err)
+			}
+			row[i] = v
+		}
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// decodeCell converts one JSON scalar to a typed value.
+func decodeCell(cell any, t relational.Type) (relational.Value, error) {
+	switch t {
+	case relational.Int:
+		f, ok := cell.(float64)
+		if !ok || f != float64(int64(f)) {
+			return relational.Value{}, fmt.Errorf("expected integer, got %v", cell)
+		}
+		return relational.IntV(int64(f)), nil
+	case relational.Float:
+		f, ok := cell.(float64)
+		if !ok {
+			return relational.Value{}, fmt.Errorf("expected number, got %v", cell)
+		}
+		return relational.FloatV(f), nil
+	default:
+		str, ok := cell.(string)
+		if !ok {
+			return relational.Value{}, fmt.Errorf("expected string, got %v", cell)
+		}
+		return relational.StringV(str), nil
+	}
+}
+
+// GangRequest is the /v1/gang body: Announce delays the shared fabric's
+// next admission round until that many queries are in flight (the load
+// harness uses it so a wave of concurrent sessions genuinely contends —
+// the serving analogue of rethink-sql's Expect barrier), and Withdraw
+// releases slots a client announced but can no longer fill (e.g. its
+// own request errored before reaching the server).
+type GangRequest struct {
+	Announce int `json:"announce,omitempty"`
+	Withdraw int `json:"withdraw,omitempty"`
+}
+
+// GangResponse reports the outstanding slot count.
+type GangResponse struct {
+	Outstanding int `json:"outstanding"`
+}
+
+func (s *Server) handleGang(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(r); !ok {
+		writeErr(w, http.StatusUnauthorized, "serve: unknown or missing API key")
+		return
+	}
+	var req GangRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Announce < 0 || req.Withdraw < 0 {
+		writeErr(w, http.StatusBadRequest, "serve: body must be JSON {\"announce\": n} or {\"withdraw\": n}")
+		return
+	}
+	fab := s.eng.Fabric()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "serve: draining")
+		return
+	}
+	if req.Announce > 0 {
+		s.gangRemaining += req.Announce
+		if fab != nil {
+			fab.Expect(s.gangRemaining)
+		}
+	}
+	wd := req.Withdraw
+	if wd > s.gangRemaining {
+		wd = s.gangRemaining
+	}
+	s.gangRemaining -= wd
+	out := s.gangRemaining
+	s.mu.Unlock()
+	if fab != nil {
+		for i := 0; i < wd; i++ {
+			fab.Withdraw()
+		}
+	}
+	writeJSON(w, http.StatusOK, GangResponse{Outstanding: out})
+}
+
+// Metrics is the /metrics document.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Inflight      int     `json:"inflight"`
+	QueriesServed uint64  `json:"queries_served"`
+	CatalogEpoch  uint64  `json:"catalog_epoch"`
+	// Tenants maps tenant name to its serving totals.
+	Tenants map[string]*TenantCounters `json:"tenants"`
+	// PlanCache is the prepared-statement cache counter snapshot.
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	// Fabric is the shared-fabric aggregate (nil on single-node engines):
+	// link utilization plus the raw admission counters, whose ClassBytes
+	// map is the per-tenant-class bandwidth attribution.
+	Fabric *wire.FabricMetrics `json:"fabric,omitempty"`
+}
+
+// MetricsSnapshot builds the /metrics document (exported for in-process
+// harnesses).
+func (s *Server) MetricsSnapshot() *Metrics {
+	m := &Metrics{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CatalogEpoch:  s.eng.CatalogEpoch(),
+		PlanCache:     s.cache.Stats(),
+		Tenants:       map[string]*TenantCounters{},
+	}
+	s.mu.Lock()
+	m.Draining = s.draining
+	m.Inflight = s.inflightCount
+	m.QueriesServed = s.served
+	for name, ts := range s.tstats {
+		c := *ts
+		m.Tenants[name] = &c
+	}
+	s.mu.Unlock()
+	if fab := s.eng.Fabric(); fab != nil {
+		m.Fabric = wire.FromFabric(fab.Stats(), fab.Admission())
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": status})
+}
+
+// Drain puts the server into graceful shutdown: new work is refused
+// with 503, announced-but-unfilled gang slots are withdrawn from the
+// fabric's admission barrier (so in-flight queries parked there resume
+// instead of waiting for peers that will never arrive), and the call
+// blocks until every in-flight request has finished or ctx expires.
+// Drain is idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		orphans := s.gangRemaining
+		s.gangRemaining = 0
+		s.mu.Unlock()
+		if fab := s.eng.Fabric(); fab != nil {
+			for i := 0; i < orphans; i++ {
+				fab.Withdraw()
+			}
+		}
+		go func() {
+			s.inflight.Wait()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.Drain(r.Context()); err != nil {
+		writeErr(w, http.StatusRequestTimeout, "serve: drain interrupted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

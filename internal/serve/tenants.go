@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sql"
+)
+
+// Tenant is one project on a shared engine: an API key to authenticate
+// its requests and the per-session defaults every query it submits runs
+// under. The QoS fields map straight onto sql.Session — a tenant at
+// Weight 3 competes for the shared fabric with three times the
+// bandwidth share of a Weight-1 tenant, which is the whole point of
+// fronting one engine with a multi-tenant daemon.
+type Tenant struct {
+	// Name identifies the tenant in metrics and reports.
+	Name string `json:"name"`
+	// APIKey authenticates requests (Authorization: Bearer <key> or
+	// X-API-Key). Keys must be unique across the tenant set.
+	APIKey string `json:"api_key"`
+	// Priority is the QoS class the tenant's fabric flows carry
+	// (sql.Session.Priority); "" is best-effort.
+	Priority string `json:"priority,omitempty"`
+	// Weight is the tenant's weighted max-min scheduling weight
+	// (sql.Session.Weight); 0 inherits uniform weight 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Workers overrides per-host batch parallelism (sql.Session.Workers).
+	Workers int `json:"workers,omitempty"`
+	// MemoryBudget caps the tenant's resident operator state in bytes
+	// (sql.Session.MemoryBudget); 0 inherits the engine's.
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// SpillTier names where the tenant's budget overflow spills
+	// ("nvm", "ssd", "disk"); "" inherits the engine's.
+	SpillTier string `json:"spill_tier,omitempty"`
+	// Placement overrides the morsel placement policy over the engine's
+	// device set; "" inherits the engine's.
+	Placement string `json:"placement,omitempty"`
+	// DistJoin overrides the distributed join movement strategy; ""
+	// inherits the engine's.
+	DistJoin string `json:"dist_join,omitempty"`
+	// PipelineChunkRows overrides the pipelined-movement chunk size; 0
+	// inherits the engine's.
+	PipelineChunkRows int `json:"pipeline_chunk_rows,omitempty"`
+}
+
+// Session opens a fresh engine session carrying the tenant's defaults.
+// Sessions are cheap; the server opens one per request.
+func (t *Tenant) Session(eng *sql.Engine) *sql.Session {
+	s := eng.Session()
+	s.Priority = t.Priority
+	s.Weight = t.Weight
+	s.Workers = t.Workers
+	s.MemoryBudget = t.MemoryBudget
+	s.SpillTier = t.SpillTier
+	s.Placement = t.Placement
+	s.DistJoin = t.DistJoin
+	s.PipelineChunkRows = t.PipelineChunkRows
+	return s
+}
+
+// configKey renders the tenant's effective session configuration as a
+// deterministic string — the "session-config" leg of the plan-cache
+// key, so two tenants (or one reconfigured tenant) never share a cached
+// statement unless every knob that affects planning agrees.
+func (t *Tenant) configKey() string {
+	return fmt.Sprintf("%s|%g|%d|%d|%s|%s|%s|%d",
+		t.Priority, t.Weight, t.Workers, t.MemoryBudget, t.SpillTier,
+		t.Placement, t.DistJoin, t.PipelineChunkRows)
+}
+
+// Tenants is an immutable tenant set with API-key lookup.
+type Tenants struct {
+	byKey  map[string]*Tenant
+	byName map[string]*Tenant
+	order  []*Tenant
+}
+
+// NewTenants validates the set: names and API keys must be non-empty
+// and unique, weights non-negative.
+func NewTenants(list []Tenant) (*Tenants, error) {
+	if len(list) == 0 {
+		return nil, fmt.Errorf("serve: no tenants configured")
+	}
+	ts := &Tenants{byKey: map[string]*Tenant{}, byName: map[string]*Tenant{}}
+	for i := range list {
+		t := &list[i]
+		if t.Name == "" || t.APIKey == "" {
+			return nil, fmt.Errorf("serve: tenant %d needs a name and an api_key", i)
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("serve: tenant %s: negative weight %g", t.Name, t.Weight)
+		}
+		if _, dup := ts.byName[t.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)
+		}
+		if _, dup := ts.byKey[t.APIKey]; dup {
+			return nil, fmt.Errorf("serve: duplicate api key (tenant %s)", t.Name)
+		}
+		ts.byName[t.Name] = t
+		ts.byKey[t.APIKey] = t
+		ts.order = append(ts.order, t)
+	}
+	return ts, nil
+}
+
+// ParseTenants decodes a JSON tenant list (the -tenants file format of
+// rethinkd: a top-level array of Tenant objects) and validates it.
+func ParseTenants(data []byte) (*Tenants, error) {
+	var list []Tenant
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("serve: tenants config: %w", err)
+	}
+	return NewTenants(list)
+}
+
+// DefaultTenants is the two-tenant playground the daemon and load
+// harness boot with when no tenant file is given: "gold" at weight 3 in
+// the interactive class against best-effort "bronze" at weight 1 — the
+// 3:1 walkthrough of the QoS examples, as a serving config.
+func DefaultTenants() *Tenants {
+	ts, err := NewTenants([]Tenant{
+		{Name: "gold", APIKey: "gold-key", Priority: "interactive", Weight: 3},
+		{Name: "bronze", APIKey: "bronze-key", Weight: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// ByKey resolves an API key to its tenant.
+func (ts *Tenants) ByKey(key string) (*Tenant, bool) {
+	t, ok := ts.byKey[key]
+	return t, ok
+}
+
+// ByName resolves a tenant name.
+func (ts *Tenants) ByName(name string) (*Tenant, bool) {
+	t, ok := ts.byName[name]
+	return t, ok
+}
+
+// List returns the tenants in configuration order.
+func (ts *Tenants) List() []*Tenant { return ts.order }

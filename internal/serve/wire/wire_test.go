@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// TestCellTypes: each relational type maps to its JSON scalar.
+func TestCellTypes(t *testing.T) {
+	if v := Cell(relational.IntV(42)); v != int64(42) {
+		t.Fatalf("int cell = %v (%T)", v, v)
+	}
+	if v := Cell(relational.FloatV(2.5)); v != 2.5 {
+		t.Fatalf("float cell = %v (%T)", v, v)
+	}
+	if v := Cell(relational.StringV("x")); v != "x" {
+		t.Fatalf("string cell = %v (%T)", v, v)
+	}
+}
+
+// TestFromResultRoundTrip: a distributed query's full report survives a
+// JSON round trip — rows stay row-for-row identical (same fingerprint)
+// and the stats envelope keeps its numbers.
+func TestFromResultRoundTrip(t *testing.T) {
+	cfg := sql.DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = 2
+	eng, err := sql.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql.RegisterDemo(eng, 42, 2000, 50)
+	res, err := eng.Session().Query(context.Background(),
+		"SELECT c.segment, SUM(s.price) AS revenue FROM sales s JOIN customers c ON s.customer_id = c.customer_id GROUP BY c.segment ORDER BY revenue DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := FromResult(res)
+	if w.RowCount != res.Rows.Len() || len(w.Rows) != w.RowCount {
+		t.Fatalf("row counts: wire %d/%d, library %d", w.RowCount, len(w.Rows), res.Rows.Len())
+	}
+	if len(w.Columns) != 2 || w.Columns[0].Type != "string" || w.Columns[1].Type != "float" {
+		t.Fatalf("columns = %+v", w.Columns)
+	}
+	if w.Net == nil || w.Net.Shards != 2 || w.Net.BytesShuffled <= 0 || w.Net.WallSeconds <= 0 {
+		t.Fatalf("net stats = %+v", w.Net)
+	}
+	if w.Admission == nil || w.Admission.RoundsJoined == 0 {
+		t.Fatalf("admission stats = %+v", w.Admission)
+	}
+	if w.ModelSeconds() != w.Net.WallSeconds+w.Net.SpillSeconds {
+		t.Fatal("ModelSeconds != wall + spill")
+	}
+
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(&back) != Fingerprint(w) {
+		t.Fatal("fingerprint changed across the JSON round trip")
+	}
+	if back.Net.BytesShuffled != w.Net.BytesShuffled || back.Net.WallSeconds != w.Net.WallSeconds {
+		t.Fatal("net stats changed across the JSON round trip")
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must distinguish row
+// order, cell values, and schema.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := &Result{
+		Columns: []Column{{Name: "a", Type: "int"}},
+		Rows:    [][]any{{int64(1)}, {int64(2)}},
+	}
+	same := &Result{
+		Columns: []Column{{Name: "a", Type: "int"}},
+		Rows:    [][]any{{int64(1)}, {int64(2)}},
+	}
+	if Fingerprint(base) != Fingerprint(same) {
+		t.Fatal("identical results, different fingerprints")
+	}
+	swapped := &Result{Columns: base.Columns, Rows: [][]any{{int64(2)}, {int64(1)}}}
+	if Fingerprint(base) == Fingerprint(swapped) {
+		t.Fatal("row order not fingerprinted")
+	}
+	renamed := &Result{Columns: []Column{{Name: "b", Type: "int"}}, Rows: base.Rows}
+	if Fingerprint(base) == Fingerprint(renamed) {
+		t.Fatal("schema not fingerprinted")
+	}
+}
+
+// TestIntCellsStayExact: Int cells marshal as JSON integers, not
+// floats, so int64 values round-trip exactly in the canonical encoding.
+func TestIntCellsStayExact(t *testing.T) {
+	rel := relational.NewRelation("t", relational.Schema{{Name: "n", Type: relational.Int}})
+	_ = rel.Append(relational.Row{relational.IntV(1 << 40)})
+	w := &Result{Columns: []Column{{Name: "n", Type: "int"}}, Rows: Rows(rel), RowCount: 1}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "1099511627776") {
+		t.Fatalf("int cell lost exactness: %s", data)
+	}
+}

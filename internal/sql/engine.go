@@ -154,6 +154,8 @@ type Engine struct {
 	fabric  *dist.Fabric
 	// clusterKey caches which (topology, shards) pair cluster serves.
 	clusterKey string
+	// epoch counts catalog mutations (see CatalogEpoch).
+	epoch uint64
 }
 
 // NewEngine validates cfg and returns an empty engine. In distributed
@@ -201,17 +203,31 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) Session() *Session { return &Session{eng: e} }
 
 // Register adds (or replaces) a table under its lowercased name,
-// invalidating any cached shard placements of the previous version.
+// invalidating any cached shard placements of the previous version and
+// bumping the catalog epoch (see CatalogEpoch).
 func (e *Engine) Register(rel *relational.Relation) {
 	name := strings.ToLower(rel.Name)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.tables[name] = rel
+	e.epoch++
 	for k := range e.sharded {
 		if strings.HasPrefix(k, name+"|") {
 			delete(e.sharded, k)
 		}
 	}
+}
+
+// CatalogEpoch returns the number of catalog mutations the engine has
+// seen: every Register — including one that replaces an existing
+// relation — increments it. Anything derived from the catalog (a
+// server-side prepared-statement cache, most prominently) records the
+// epoch it was built under and treats a mismatch as staleness, so a
+// cached plan can never survive a Register by construction.
+func (e *Engine) CatalogEpoch() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.epoch
 }
 
 // Table looks a table up by name.

@@ -137,6 +137,17 @@ type Stmt struct {
 // Text returns the statement's SQL.
 func (st *Stmt) Text() string { return st.text }
 
+// Bind returns the statement re-bound to another session of the same
+// engine: the parsed form is shared (planning never mutates it — every
+// Exec lowers a fresh operator tree from it already), only the session
+// whose configuration and QoS identity each Exec runs under changes.
+// This is what lets a server cache one prepared statement per (tenant,
+// statement, config) and execute it from any number of concurrent
+// request handlers, each on its own cheap Session.
+func (st *Stmt) Bind(s *Session) *Stmt {
+	return &Stmt{sess: s, text: st.text, ast: st.ast}
+}
+
 // Exec runs the statement under ctx. See Session.Query for cancellation
 // semantics.
 func (st *Stmt) Exec(ctx context.Context) (*Result, error) {
