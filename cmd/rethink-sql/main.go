@@ -60,6 +60,7 @@
 //	rethink-sql -dist -concurrency 4                # demo queries, 4 parallel sessions
 //	rethink-sql -dist -concurrency 4 -priority interactive -weight 3
 //	rethink-sql -dist -sdn reroute+priority -concurrency 4
+//	rethink-sql -dist -replication 2 -chaos 'kill:1@0:0.5' "SELECT ... "
 //	rethink-sql -timeout 100ms "SELECT ... "        # context cancellation
 //	rethink-sql                                     # runs a demo query set
 package main
@@ -74,7 +75,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/lifecycle"
 	"repro/internal/memtier"
 	"repro/internal/metrics"
 	"repro/internal/relational"
@@ -108,6 +111,8 @@ func main() {
 	memBudget := flag.Int64("mem-budget", 0, "operator-state memory budget in bytes; overflow spills to -spill-tier (0 = unbudgeted)")
 	spillTier := flag.String("spill-tier", "", "spill tier for budget overflow: "+strings.Join(memtier.SpillTiers, ", ")+" (default ssd when budgeted)")
 	jsonOut := flag.Bool("json", false, "emit each result as one canonical wire-format JSON document (the same encoding rethinkd serves) instead of tables")
+	replication := flag.Int("replication", 0, "shard replica count (R>1 enables the elastic lifecycle layer; requires -dist)")
+	chaos := flag.String("chaos", "", "fault schedule: kill:W@P[:FRAC],slow:W@R[:FACTOR],degrade:W@P[:FACTOR],partition:W@P,seed:N (requires -dist)")
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -125,6 +130,14 @@ func main() {
 	}
 	cfg.MemoryBudget = *memBudget
 	cfg.SpillTier = *spillTier
+	cfg.Replication = *replication
+	if *chaos != "" {
+		plan, err := lifecycle.ParsePlan(*chaos, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
 	if *sdnPolicy != "" {
 		pol := sdn.PolicyByName(*sdnPolicy)
 		if pol == nil {
@@ -206,6 +219,13 @@ func main() {
 				sess.Priority, sess.Weight = *priority, *weight
 			}
 			var b strings.Builder
+			// One idempotent release handle per session: if an error ever
+			// grows a second release site (a cancellation hook, a retry
+			// loop), the Expect slot still comes back exactly once.
+			var slot *dist.Slot
+			if fab := eng.Fabric(); fab != nil {
+				slot = fab.Claim()
+			}
 			for q := range work {
 				out, err := runOne(sess, q, *timeout, *jsonOut)
 				if err != nil {
@@ -213,9 +233,7 @@ func main() {
 					// This session dies before (or between) fabric
 					// registrations; release its Expect slot so the
 					// surviving sessions' admission barrier resolves.
-					if fab := eng.Fabric(); fab != nil {
-						fab.Withdraw()
-					}
+					slot.Withdraw()
 					return
 				}
 				b.WriteString(out)

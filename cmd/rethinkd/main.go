@@ -10,7 +10,8 @@
 //	POST /v1/sql     {"sql": "...", "prepare": true}   run a statement
 //	POST /v1/tables  {"name", "schema", "rows"}        register a relation
 //	POST /v1/gang    {"announce": n} / {"withdraw": n} wave barrier
-//	GET  /metrics                                      fabric + cache + tenant counters
+//	POST /v1/hosts   {"action": "drain|restore|join"}  elastic membership
+//	GET  /metrics                                      fabric + cache + tenant + cluster counters
 //	GET  /healthz                                      liveness (503 while draining)
 //	POST /drain                                        graceful shutdown
 //
@@ -29,6 +30,7 @@
 //	rethinkd -addr :8343 -tenants tenants.json # custom tenant set
 //	rethinkd -shards 8 -topo fattree -rows 200000
 //	rethinkd -sdn reroute+priority -pipeline-chunk 4096
+//	rethinkd -replication 2 -chaos 'kill:1@0:0.5'      # chaos serving
 package main
 
 import (
@@ -43,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/lifecycle"
 	"repro/internal/sdn"
 	"repro/internal/serve"
 	"repro/internal/sql"
@@ -68,6 +71,8 @@ func main() {
 	sdnPolicy := flag.String("sdn", "", "fabric controller policy: "+strings.Join(sdn.Policies, ", ")+" (empty = fixed data plane)")
 	memBudget := flag.Int64("mem-budget", 0, "engine-default operator-state memory budget in bytes (tenants may tighten)")
 	spillTier := flag.String("spill-tier", "", "spill tier for budget overflow (default ssd when budgeted)")
+	replication := flag.Int("replication", 0, "shard replica count (R>1 enables the elastic lifecycle layer: /v1/hosts, read-side failover)")
+	chaos := flag.String("chaos", "", "fault schedule: kill:W@P[:FRAC],slow:W@R[:FACTOR],degrade:W@P[:FACTOR],partition:W@P,seed:N")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
 
@@ -82,6 +87,14 @@ func main() {
 	cfg.PipelineChunkRows = *pipelineChunk
 	cfg.MemoryBudget = *memBudget
 	cfg.SpillTier = *spillTier
+	cfg.Replication = *replication
+	if *chaos != "" {
+		plan, err := lifecycle.ParsePlan(*chaos, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
 	if *sdnPolicy != "" {
 		pol := sdn.PolicyByName(*sdnPolicy)
 		if pol == nil {
@@ -124,6 +137,11 @@ func main() {
 	fmt.Printf(")\n")
 	if *rows > 0 {
 		fmt.Printf("rethinkd: demo catalog loaded: sales(%d rows), customers(%d rows)\n", *rows, *customers)
+	}
+	if lcm := eng.Lifecycle(); lcm != nil {
+		h := lcm.Health()
+		fmt.Printf("rethinkd: elastic lifecycle on: replication %d, %d workers (%d spare hosts), %d scheduled faults\n",
+			h.Replication, h.Workers, h.Spares, h.EventsTotal)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -77,9 +77,24 @@
 // threaded onto the engine's cancel path (a dead client releases its
 // admission-barrier slot instead of wedging the round), and graceful
 // drain — in-flight queries finish, new ones get 503, orphaned gang
-// slots are withdrawn from the shared fabric's barrier. See README.md
+// slots are withdrawn from the shared fabric's barrier, and tenants
+// with a configured max-inflight cap are refused with 429 before the
+// fabric sees their excess work. The cluster underneath is elastic the
+// same way the engine is servable: internal/lifecycle
+// (sql.Config.Replication / Config.Faults, rethinkd -replication
+// -chaos) replicates every shard across R live hosts, reshapes
+// membership at runtime — drain/restore/join with the evacuated bytes
+// billed to the fabric as rebalance-class flows, /v1/hosts over the
+// wire — and injects deterministic faults (kill mid-phase with
+// replica failover and re-shipped recovery, stragglers raced by
+// speculative duplicates with first-result-wins, link degradation and
+// partitions), pricing survival into QueryStats.RecoverySeconds /
+// RetriedFragments / SpeculativeWins while rows stay identical to the
+// failure-free run and fault-free clusters replay the static engine
+// bit-identically. See README.md
 // for the package map, the migration table from the deprecated
 // DB/Options API, the control-plane policy catalog, the
-// heterogeneous-execution, out-of-core, pipelined-execution and serving
-// sections, and build, test and benchmark instructions.
+// heterogeneous-execution, out-of-core, pipelined-execution, serving
+// and elastic-cluster sections, and build, test and benchmark
+// instructions.
 package repro

@@ -192,6 +192,18 @@ type QueryStats struct {
 	// where consumption starts only after NetSeconds has fully elapsed.
 	ComputeSeconds float64
 	OverlapSeconds float64
+	// RecoverySeconds is the modeled cost of surviving injected faults:
+	// the network time of recovery phases that re-shipped data lost with
+	// a dead host from surviving replicas, plus the modeled re-derivation
+	// compute of that data, plus the duplicated compute of speculative
+	// fragment executions whose backup won. RetriedFragments counts shard
+	// fragments re-dispatched from a dead host to a surviving replica;
+	// SpeculativeWins counts straggler fragments whose speculative
+	// duplicate finished first. All three are zero on fault-free runs —
+	// the failure-free engine never records recovery work.
+	RecoverySeconds  float64
+	RetriedFragments int
+	SpeculativeWins  int
 }
 
 // WallSeconds is the modeled movement-plus-consumption critical path:
@@ -229,6 +241,10 @@ func (s *QueryStats) Summary() string {
 		fmt.Fprintf(&b, "\n  pipeline: %.3f ms chunk compute, %.3f ms overlapped — %.3f ms wall (vs %.3f ms bulk)",
 			s.ComputeSeconds*1e3, s.OverlapSeconds*1e3, s.WallSeconds()*1e3, (s.NetSeconds+s.ComputeSeconds)*1e3)
 	}
+	if s.RecoverySeconds > 0 || s.RetriedFragments > 0 || s.SpeculativeWins > 0 {
+		fmt.Fprintf(&b, "\n  recovery: %.3f ms modeled, %d fragments retried, %d speculative wins",
+			s.RecoverySeconds*1e3, s.RetriedFragments, s.SpeculativeWins)
+	}
 	return b.String()
 }
 
@@ -258,6 +274,26 @@ type QueryRun struct {
 	// query's own weight rather than replace it with an absolute one.
 	class  string
 	weight float64
+	// hostOf, when set, overrides the cluster's static shard→host map for
+	// this query's flow endpoints. The lifecycle layer installs it so a
+	// shard whose primary host died resolves to a surviving replica, and
+	// every later phase of the query ships to and from the new placement.
+	hostOf func(i int) int
+}
+
+// SetHostResolver installs a shard→host resolver overriding the
+// cluster's static placement for this query's flows. The resolver
+// receives a Transfer endpoint (shard index or Coordinator) and returns
+// a host node ID. A nil resolver restores static placement.
+func (q *QueryRun) SetHostResolver(fn func(i int) int) { q.hostOf = fn }
+
+// host resolves a Transfer endpoint through the installed resolver, or
+// the cluster's static placement when none is set.
+func (q *QueryRun) host(i int) int {
+	if q.hostOf != nil {
+		return q.hostOf(i)
+	}
+	return q.c.host(i)
 }
 
 // NewQuery starts a flow-accounting run for one query on a private
@@ -300,11 +336,11 @@ func (q *QueryRun) flowReqs(transfers []Transfer, class string, weightScale floa
 	var reqs []netsim.FlowReq
 	bytes := 0.0
 	for _, t := range transfers {
-		if t.Bytes <= 0 || q.c.host(t.Src) == q.c.host(t.Dst) {
+		if t.Bytes <= 0 || q.host(t.Src) == q.host(t.Dst) {
 			continue
 		}
 		reqs = append(reqs, netsim.FlowReq{
-			Src: q.c.host(t.Src), Dst: q.c.host(t.Dst), Bytes: t.Bytes,
+			Src: q.host(t.Src), Dst: q.host(t.Dst), Bytes: t.Bytes,
 			Class: class, Weight: weight,
 		})
 		bytes += t.Bytes
@@ -336,20 +372,39 @@ func (q *QueryRun) RunPhase(name string, transfers []Transfer) error {
 // unscaled). The lowerer uses it to mark the latency-critical final
 // gather hotter than the bulk shuffles it now coexists with.
 func (q *QueryRun) RunPhaseQoS(name string, transfers []Transfer, class string, weightScale float64) error {
+	_, err := q.RunPhaseMeasured(name, transfers, class, weightScale)
+	return err
+}
+
+// RunPhaseMeasured is RunPhaseQoS returning the phase's simulated
+// makespan. The lifecycle fault injector uses the measurement to place a
+// host death *within* the phase (die at Frac×makespan) and to price the
+// recovery phases it then runs.
+func (q *QueryRun) RunPhaseMeasured(name string, transfers []Transfer, class string, weightScale float64) (float64, error) {
 	if err := q.cancel.Err(); err != nil {
-		return fmt.Errorf("dist: phase %s: %w", name, err)
+		return 0, fmt.Errorf("dist: phase %s: %w", name, err)
 	}
 	reqs, bytes := q.flowReqs(transfers, class, weightScale)
 	sec, flows, err := q.party.Submit(reqs)
 	if err != nil {
-		return fmt.Errorf("dist: phase %s: %w", name, err)
+		return 0, fmt.Errorf("dist: phase %s: %w", name, err)
 	}
 	q.attribute(flows)
 	q.stats.Phases = append(q.stats.Phases, PhaseStat{Name: name, Flows: len(reqs), Bytes: bytes, Seconds: sec})
 	q.stats.Flows += len(reqs)
 	q.stats.BytesShuffled += bytes
 	q.stats.NetSeconds += sec
-	return nil
+	return sec, nil
+}
+
+// AddRecovery folds fault-recovery work into the query's stats: sec of
+// modeled recovery time (re-shipped data, re-derivation, duplicated
+// speculative compute), retried fragments re-dispatched off dead hosts,
+// and speculative executions whose backup won.
+func (q *QueryRun) AddRecovery(sec float64, retried, wins int) {
+	q.stats.RecoverySeconds += sec
+	q.stats.RetriedFragments += retried
+	q.stats.SpeculativeWins += wins
 }
 
 // Close deregisters the query from the shared fabric without finalizing

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/netsim"
 	"repro/internal/relational"
+	"repro/internal/topo"
 )
 
 // Fabric is the shared network of one SQL engine: a single long-lived
@@ -57,7 +59,44 @@ func (f *Fabric) Expect(n int) { f.adm.Expect(n) }
 // Withdraw releases one Expect slot: an expected query failed before
 // registering (e.g. a parse or plan error), so the barrier must stop
 // waiting for it.
+//
+// Withdraw is a raw decrement: a workload whose error handling can reach
+// it twice (an error path that also fires a cancellation hook, say)
+// would release two slots for one failure, letting the barrier run a
+// round before a genuinely expected query arrives. Callers with more
+// than one release site should hold a Slot instead.
 func (f *Fabric) Withdraw() { f.adm.Withdraw() }
+
+// Slot is an idempotent handle on one Expect slot. However many error
+// paths call Withdraw — a failure handler and a cancellation hook both
+// firing, a retry loop re-entering cleanup — the underlying slot is
+// released exactly once. A nil Slot is safe to withdraw (no-op), so
+// callers can hold one unconditionally whether or not a fabric exists.
+type Slot struct {
+	f    *Fabric
+	once sync.Once
+}
+
+// Claim reserves an idempotent release handle for one Expect slot. It
+// performs no accounting by itself — the slot was created by Expect —
+// it only guarantees the paired Withdraw happens at most once.
+func (f *Fabric) Claim() *Slot { return &Slot{f: f} }
+
+// Withdraw releases the slot on first call; later calls (and calls on a
+// nil Slot) are no-ops.
+func (s *Slot) Withdraw() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { s.f.adm.Withdraw() })
+}
+
+// MutateNet runs fn against the fabric's live topology under the
+// admission lock, between rounds: link-speed changes (degradation,
+// partition) are atomic with respect to rate allocation and take effect
+// from the next admission round. The lifecycle fault injector is the
+// intended caller.
+func (f *Fabric) MutateNet(fn func(*topo.Network)) { f.adm.MutateNet(fn) }
 
 // NewQuery registers a query with the shared fabric and starts its flow
 // accounting. The query MUST end with Finish (for stats) or Close (on

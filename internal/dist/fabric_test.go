@@ -3,7 +3,9 @@ package dist
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestFabricSharedContention: two QueryRuns on one fabric share rounds;
@@ -110,5 +112,67 @@ func TestQueryRunCloseIdempotent(t *testing.T) {
 	}
 	if s := q2.Finish(); s.NetSeconds <= 0 {
 		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestSlotWithdrawOnce: regression for the double-withdraw over-release.
+// A workload whose error handling has two release sites (an error path
+// plus a cancellation hook) used to call Fabric.Withdraw twice for one
+// failure, dropping the barrier floor by 2 — a round could then run
+// before a genuinely expected query arrived. A Slot releases exactly
+// once no matter how many paths fire: after Expect(3) and one failed
+// party double-withdrawing through its Slot, a single live party must
+// still park at the barrier until the second arrives.
+func TestSlotWithdrawOnce(t *testing.T) {
+	c, err := NewCluster("single", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFabric(c)
+	f.Expect(3)
+
+	// The failed party's cleanup fires from two goroutines at once.
+	slot := f.Claim()
+	var cleanup sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		cleanup.Add(1)
+		go func() {
+			defer cleanup.Done()
+			slot.Withdraw()
+		}()
+	}
+	cleanup.Wait()
+	var nilSlot *Slot
+	nilSlot.Withdraw() // nil handle: no-op, not a panic
+
+	// Party A alone must wait: the floor is 2, not 1.
+	var aDone atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		qr := f.NewQuery()
+		defer qr.Close()
+		if err := qr.RunPhase("move", []Transfer{{Src: 0, Dst: 1, Bytes: 1e6}}); err != nil {
+			t.Error(err)
+		}
+		qr.Finish()
+		aDone.Store(true)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if aDone.Load() {
+		t.Fatal("single party ran a round: the double Withdraw over-released the barrier floor")
+	}
+
+	// Party B joins; the round runs and both complete.
+	qr := f.NewQuery()
+	defer qr.Close()
+	if err := qr.RunPhase("move", []Transfer{{Src: 2, Dst: 3, Bytes: 1e6}}); err != nil {
+		t.Fatal(err)
+	}
+	qr.Finish()
+	wg.Wait()
+	if !aDone.Load() {
+		t.Fatal("party A never completed")
 	}
 }

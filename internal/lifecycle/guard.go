@@ -1,0 +1,339 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/relational"
+)
+
+// errSpeculationLost cancels the losing attempt of a speculative pair.
+// It never escapes the Guard: the loser's error is expected and dropped.
+var errSpeculationLost = fmt.Errorf("lifecycle: speculative duplicate lost the race")
+
+// Guard threads one query's execution through the elastic cluster view:
+// it resolves shard endpoints to live replicas, claims the fault plan's
+// events as the query's phases reach their ordinals, and runs the
+// recovery those faults oblige — re-shipped data, re-dispatched
+// fragments, speculative duplicates — measuring every bit of it into the
+// query's stats. One Guard per QueryRun; its methods are called from the
+// query's own goroutine, phases in order.
+type Guard struct {
+	m         *Manager
+	qr        *dist.QueryRun
+	phase     int
+	fragRound int
+}
+
+// NewGuard wires a query run into the elastic view: the Guard installs
+// itself as the run's host resolver (flows follow live primaries) and
+// intercepts its movement phases and fragment rounds.
+func (m *Manager) NewGuard(qr *dist.QueryRun) *Guard {
+	g := &Guard{m: m, qr: qr}
+	qr.SetHostResolver(g.HostFor)
+	return g
+}
+
+// HostFor resolves a Transfer endpoint to the host node of the shard's
+// current primary replica (the coordinator resolves to itself).
+func (g *Guard) HostFor(i int) int { return g.m.hostFor(i) }
+
+// RunPhase runs one bulk movement phase under fault injection: degrade
+// and partition events scheduled at this phase's ordinal land before the
+// flows are admitted (the phase runs over the degraded fabric), and a
+// kill event lands Frac through the phase — the dead host's data is
+// re-shipped from replicas in a "recover:" phase and the recovery cost
+// is measured into the query's stats.
+func (g *Guard) RunPhase(name string, transfers []dist.Transfer, class string, weightScale float64) error {
+	idx := g.phase
+	g.phase++
+	evs := g.m.claimPhaseEvents(idx)
+	if err := g.applyLinkFaults(evs); err != nil {
+		return err
+	}
+	_, err := g.qr.RunPhaseMeasured(name, transfers, class, weightScale)
+	if err != nil {
+		return err
+	}
+	return g.applyKills(name, evs, func(ev Event, deadNode int) ([]dist.Transfer, float64) {
+		return lostTransfers(transfers, g.preResolve(transfers), deadNode, killFrac(ev))
+	})
+}
+
+// RunPipelined runs one pipelined movement phase under fault injection.
+// A kill at this ordinal lands at the chunk boundary nearest Frac: data
+// sent to the dead host in any chunk is lost (the receiver died with
+// it), data from the dead host is lost for chunks at or past the death
+// point (earlier chunks were already delivered and consumed).
+func (g *Guard) RunPipelined(name string, chunks []dist.Chunk, class string, weightScale float64, consume func(k int) error) error {
+	idx := g.phase
+	g.phase++
+	evs := g.m.claimPhaseEvents(idx)
+	if err := g.applyLinkFaults(evs); err != nil {
+		return err
+	}
+	if err := g.qr.RunPipelined(name, chunks, class, weightScale, consume); err != nil {
+		return err
+	}
+	return g.applyKills(name, evs, func(ev Event, deadNode int) ([]dist.Transfer, float64) {
+		k0 := int(killFrac(ev) * float64(len(chunks)))
+		if k0 >= len(chunks) {
+			k0 = len(chunks) - 1
+		}
+		var lost []dist.Transfer
+		lostBytes := 0.0
+		for k, ch := range chunks {
+			pre := g.preResolve(ch.Transfers)
+			frac := 0.0 // chunks at/past the death point delivered nothing from the dead host
+			if k < k0 {
+				frac = 1 // earlier chunks were already delivered and consumed
+			}
+			l, b := lostTransfers(ch.Transfers, pre, deadNode, frac)
+			lost = append(lost, l...)
+			lostBytes += b
+		}
+		return lost, lostBytes
+	})
+}
+
+// preResolve snapshots the transfers' endpoint resolution under current
+// (pre-kill) membership, so the Guard can tell which flows touched a
+// host after it is marked dead.
+func (g *Guard) preResolve(ts []dist.Transfer) [][2]int {
+	pre := make([][2]int, len(ts))
+	for i, t := range ts {
+		pre[i] = [2]int{g.HostFor(t.Src), g.HostFor(t.Dst)}
+	}
+	return pre
+}
+
+func killFrac(ev Event) float64 {
+	if ev.Frac <= 0 || ev.Frac > 1 {
+		return 0.5
+	}
+	return ev.Frac
+}
+
+// lostTransfers selects the transfers a host death invalidates, given
+// the pre-kill endpoint resolution. A transfer *into* the dead host
+// must re-ship in full — the receiver died holding it. A transfer *out
+// of* the dead host was frac-complete at death, so (1−frac) of it must
+// re-ship from a replica.
+func lostTransfers(ts []dist.Transfer, pre [][2]int, deadNode int, frac float64) ([]dist.Transfer, float64) {
+	var lost []dist.Transfer
+	bytes := 0.0
+	for i, t := range ts {
+		if t.Bytes <= 0 || pre[i][0] == pre[i][1] {
+			continue
+		}
+		switch deadNode {
+		case pre[i][1]:
+			lost = append(lost, t)
+			bytes += t.Bytes
+		case pre[i][0]:
+			if rem := t.Bytes * (1 - frac); rem > 0 {
+				lost = append(lost, dist.Transfer{Src: t.Src, Dst: t.Dst, Bytes: rem})
+				bytes += rem
+			}
+		}
+	}
+	return lost, bytes
+}
+
+// applyLinkFaults lands degrade/partition events before a phase runs.
+func (g *Guard) applyLinkFaults(evs []Event) error {
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EventDegrade:
+			if err := g.m.DegradeWorker(ev.Worker, ev.Factor); err != nil {
+				return err
+			}
+		case EventPartition:
+			if err := g.m.DegradeWorker(ev.Worker, PartitionFactor); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyKills lands kill events after their phase ran: the worker dies,
+// the Manager repairs replication, and the query re-ships whatever the
+// phase lost — computed by the select callback against the *pre-kill*
+// resolution — under the new placement, charging the recovery network
+// time plus the modeled re-derivation of the lost bytes.
+func (g *Guard) applyKills(name string, evs []Event, selectLost func(Event, int) ([]dist.Transfer, float64)) error {
+	for _, ev := range evs {
+		if ev.Kind != EventKill {
+			continue
+		}
+		// Resolve the victim and the lost flows against *pre-kill*
+		// membership, then mark it dead.
+		deadNode, err := g.m.NodeOf(ev.Worker)
+		if err != nil {
+			return fmt.Errorf("lifecycle: phase %s: %w", name, err)
+		}
+		lost, lostBytes := selectLost(ev, deadNode)
+		_, remapped, err := g.m.Kill(ev.Worker)
+		if err != nil {
+			return fmt.Errorf("lifecycle: phase %s: %w", name, err)
+		}
+		recSec := 0.0
+		if len(lost) > 0 {
+			recSec, err = g.qr.RunPhaseMeasured("recover:"+name, lost, "", 0)
+			if err != nil {
+				return err
+			}
+		}
+		g.qr.AddRecovery(recSec+lostBytes/dist.ChunkComputeBytesPerSec, len(remapped), 0)
+	}
+	return nil
+}
+
+// RunFragments executes one shard-local fragment per shard, building
+// each operator tree via build (callable more than once per shard — a
+// speculative duplicate rebuilds its own tree). Without a slow event at
+// this round's ordinal it delegates to dist.RunFragments unchanged.
+// With one, the straggling shards run as speculative pairs: the primary
+// attempt is delayed Factor×StragglerDelay (the injected straggle), a
+// watchdog launches a duplicate after SpecThreshold, the first result
+// wins, and the loser is cancelled and joined before returning — no
+// goroutine outlives the call. Wins and the duplicated compute are
+// measured into the query's stats.
+func (g *Guard) RunFragments(name string, n, workers int, build func(int) (relational.BatchOp, error)) ([]*relational.Relation, error) {
+	round := g.fragRound
+	g.fragRound++
+	slow := g.m.claimSlowEvents(round)
+	slowShards := map[int]float64{}
+	for s := 0; s < n; s++ {
+		w, err := g.m.PrimaryWorker(s)
+		if err != nil {
+			return nil, err
+		}
+		if f, ok := slow[w]; ok {
+			slowShards[s] = f
+		}
+	}
+	if len(slowShards) == 0 {
+		frags := make([]relational.BatchOp, n)
+		for i := range frags {
+			op, err := build(i)
+			if err != nil {
+				return nil, err
+			}
+			frags[i] = op
+		}
+		return dist.RunFragments(name, frags, workers)
+	}
+	outs := make([]*relational.Relation, n)
+	errs := make([]error, n)
+	var mu sync.Mutex
+	wins := 0
+	dupBytes := 0.0
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			factor, isSlow := slowShards[s]
+			if !isSlow {
+				outs[s], errs[s] = runAttempt(name, s, workers, build, 0, nil)
+				return
+			}
+			rel, won, err := g.speculate(name, s, workers, build, factor)
+			outs[s], errs[s] = rel, err
+			if err == nil {
+				mu.Lock()
+				if won {
+					wins++
+				}
+				dupBytes += rel.EncodedBytes()
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	g.qr.AddRecovery(dupBytes/dist.ChunkComputeBytesPerSec, 0, wins)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// runAttempt builds and drains one fragment attempt. delay gates the
+// drain (the injected straggle) and tok cancels both the gate and the
+// stream at the next batch boundary.
+func runAttempt(name string, s, workers int, build func(int) (relational.BatchOp, error), delay time.Duration, tok *relational.CancelToken) (*relational.Relation, error) {
+	op, err := build(s)
+	if err != nil {
+		return nil, err
+	}
+	if delay > 0 {
+		gate := make(chan struct{})
+		var once sync.Once
+		if tok != nil {
+			tok.OnCancel(func() { once.Do(func() { close(gate) }) })
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-gate:
+			t.Stop()
+			return nil, tok.Err()
+		}
+	}
+	if tok != nil {
+		op = relational.GuardBatch(op, tok)
+	}
+	return relational.Collect(relational.RowsOf(relational.NewExchange(op, workers)), name)
+}
+
+// speculate races a straggling primary attempt against a duplicate
+// launched after the speculation threshold: first result wins, the
+// loser is cancelled and joined. won reports whether the duplicate won.
+func (g *Guard) speculate(name string, s, workers int, build func(int) (relational.BatchOp, error), factor float64) (rel *relational.Relation, won bool, err error) {
+	type attempt struct {
+		rel    *relational.Relation
+		err    error
+		backup bool
+	}
+	primTok, backTok := relational.NewCancelToken(), relational.NewCancelToken()
+	delay := time.Duration(float64(g.m.plan.stragglerDelay()) * factor)
+	ch := make(chan attempt, 2)
+	go func() {
+		r, e := runAttempt(name, s, workers, build, delay, primTok)
+		ch <- attempt{r, e, false}
+	}()
+	watchdog := time.NewTimer(g.m.plan.specThreshold())
+	var first attempt
+	select {
+	case first = <-ch:
+		// The "straggler" beat the threshold after all — no duplicate.
+		watchdog.Stop()
+		return first.rel, false, first.err
+	case <-watchdog.C:
+		go func() {
+			r, e := runAttempt(name, s, workers, build, 0, backTok)
+			ch <- attempt{r, e, true}
+		}()
+		first = <-ch
+	}
+	if first.backup {
+		primTok.Cancel(errSpeculationLost)
+	} else {
+		backTok.Cancel(errSpeculationLost)
+	}
+	second := <-ch // join the loser: no goroutine outlives the call
+	winner := first
+	if first.err != nil && second.err == nil {
+		winner = second
+	}
+	if winner.err != nil {
+		return nil, false, winner.err
+	}
+	return winner.rel, winner.backup, nil
+}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/topo"
 )
 
 // Admission is the concurrent-safe flow-admission layer over one shared
@@ -250,6 +252,20 @@ func (a *Admission) Withdraw() {
 func (a *Admission) Wake() {
 	a.mu.Lock()
 	a.cond.Broadcast()
+	a.mu.Unlock()
+}
+
+// MutateNet runs fn against the simulator's topology under the admission
+// lock. Rounds run entirely inside that lock and the allocator reads
+// link speeds live at every reallocation, so a mutation (degrading a
+// dead host's access links, partitioning a rack) is atomic with respect
+// to rate allocation and takes effect from the next round. fn must not
+// add or remove links or nodes — only mutate attributes of existing
+// ones (Speed, DelayNS) — and must never set a speed to zero, which
+// would wedge any flow crossing the link.
+func (a *Admission) MutateNet(fn func(*topo.Network)) {
+	a.mu.Lock()
+	fn(a.sim.Net)
 	a.mu.Unlock()
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/relational"
 	"repro/internal/serve/wire"
 	"repro/internal/sql"
@@ -42,6 +43,7 @@ type Server struct {
 	gangRemaining int
 	served        uint64
 	tstats        map[string]*TenantCounters
+	tinflight     map[string]int
 }
 
 // TenantCounters is one tenant's serving totals for /metrics.
@@ -50,6 +52,9 @@ type TenantCounters struct {
 	Errors    uint64 `json:"errors"`
 	Rows      uint64 `json:"rows"`
 	CacheHits uint64 `json:"cache_hits"`
+	// Throttled counts submissions refused with 429 because the tenant
+	// was at its max_inflight cap.
+	Throttled uint64 `json:"throttled,omitempty"`
 }
 
 // DefaultCacheCap bounds the plan cache when Options.CacheCap is 0.
@@ -73,8 +78,9 @@ func New(eng *sql.Engine, tenants *Tenants, opt Options) *Server {
 		cache:   NewPlanCache(cap),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
-		drained: make(chan struct{}),
-		tstats:  map[string]*TenantCounters{},
+		drained:   make(chan struct{}),
+		tstats:    map[string]*TenantCounters{},
+		tinflight: map[string]int{},
 	}
 	for _, t := range tenants.List() {
 		s.tstats[t.Name] = &TenantCounters{}
@@ -82,6 +88,7 @@ func New(eng *sql.Engine, tenants *Tenants, opt Options) *Server {
 	s.mux.HandleFunc("POST /v1/sql", s.handleSQL)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
 	s.mux.HandleFunc("POST /v1/gang", s.handleGang)
+	s.mux.HandleFunc("POST /v1/hosts", s.handleHosts)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("POST /drain", s.handleDrain)
@@ -145,17 +152,40 @@ func (s *Server) admit() (release func(), ok bool) {
 	}, true
 }
 
-// consumeGangSlot claims one announced gang slot, if any are
-// outstanding. The caller owes a Withdraw on any path where the claimed
-// query dies without reaching the fabric.
-func (s *Server) consumeGangSlot() bool {
+// admitTenant gates one query on its tenant's max_inflight cap. ok is
+// false when the tenant is at its limit (the caller 429s); otherwise
+// the returned release must be called when the query finishes.
+func (s *Server) admitTenant(t *Tenant) (release func(), ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.gangRemaining > 0 {
-		s.gangRemaining--
-		return true
+	if t.MaxInflight > 0 && s.tinflight[t.Name] >= t.MaxInflight {
+		s.tstats[t.Name].Throttled++
+		return nil, false
 	}
-	return false
+	s.tinflight[t.Name]++
+	return func() {
+		s.mu.Lock()
+		s.tinflight[t.Name]--
+		s.mu.Unlock()
+	}, true
+}
+
+// consumeGangSlot claims one announced gang slot, if any are
+// outstanding. The returned Slot (nil when none were outstanding or the
+// engine has no fabric — nil is safe to Withdraw) is the idempotent
+// release handle: however many error paths fire on a query that dies
+// without reaching the fabric, the slot is withdrawn at most once.
+func (s *Server) consumeGangSlot() *dist.Slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gangRemaining <= 0 {
+		return nil
+	}
+	s.gangRemaining--
+	if fab := s.eng.Fabric(); fab != nil {
+		return fab.Claim()
+	}
+	return nil
 }
 
 // QueryRequest is the /v1/sql body.
@@ -197,6 +227,16 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	trelease, ok := s.admitTenant(tenant)
+	if !ok {
+		// Refused before the body is even read: an over-limit tenant
+		// costs the server one map lookup, not a parse.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			"serve: tenant %s at max inflight (%d) — retry later", tenant.Name, tenant.MaxInflight)
+		return
+	}
+	defer trelease()
 	var req QueryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.SQL == "" {
 		writeErr(w, http.StatusBadRequest, "serve: body must be JSON {\"sql\": ...}")
@@ -209,13 +249,10 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The query never reached (or died holding) its barrier slot; if
 		// it was counted toward an announced gang, release the slot so
-		// the surviving parties' admission round can run. Withdraw is
-		// monotone-safe: it only ever lowers the floor.
-		if gangSlot {
-			if fab := s.eng.Fabric(); fab != nil {
-				fab.Withdraw()
-			}
-		}
+		// the surviving parties' admission round can run. The Slot is
+		// once-guarded, so this stays safe even if another error hook
+		// (a cancellation path, say) also withdraws it.
+		gangSlot.Withdraw()
 		s.mu.Lock()
 		ts.Errors++
 		s.mu.Unlock()
@@ -447,6 +484,10 @@ type Metrics struct {
 	// link utilization plus the raw admission counters, whose ClassBytes
 	// map is the per-tenant-class bandwidth attribution.
 	Fabric *wire.FabricMetrics `json:"fabric,omitempty"`
+	// Cluster is the elastic-cluster health snapshot (nil unless the
+	// engine runs with replication > 1 or a fault plan): membership
+	// counts, rebalance/repair totals, and fault-schedule progress.
+	Cluster *wire.ClusterHealth `json:"cluster,omitempty"`
 }
 
 // MetricsSnapshot builds the /metrics document (exported for in-process
@@ -470,7 +511,71 @@ func (s *Server) MetricsSnapshot() *Metrics {
 	if fab := s.eng.Fabric(); fab != nil {
 		m.Fabric = wire.FromFabric(fab.Stats(), fab.Admission())
 	}
+	if lcm := s.eng.Lifecycle(); lcm != nil {
+		m.Cluster = wire.FromHealth(lcm.Health())
+	}
 	return m
+}
+
+// HostRequest is the /v1/hosts body: one membership action against the
+// elastic cluster. "drain" evacuates a worker's shards to other live
+// replicas (the host stays up as a copy source but serves no primaries),
+// "restore" re-admits a drained worker, "join" annexes a spare topology
+// host as a new worker. Drain/restore address a worker index; join
+// ignores it.
+type HostRequest struct {
+	Action string `json:"action"`
+	Worker int    `json:"worker"`
+}
+
+// HostResponse reports the affected worker (the new worker's index for
+// join) and the post-action cluster health.
+type HostResponse struct {
+	Action  string              `json:"action"`
+	Worker  int                 `json:"worker"`
+	Cluster *wire.ClusterHealth `json:"cluster"`
+}
+
+func (s *Server) handleHosts(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authenticate(r); !ok {
+		writeErr(w, http.StatusUnauthorized, "serve: unknown or missing API key")
+		return
+	}
+	release, ok := s.admit()
+	if !ok {
+		writeErr(w, http.StatusServiceUnavailable, "serve: draining — not accepting membership changes")
+		return
+	}
+	defer release()
+	var req HostRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "serve: body must be JSON {\"action\": ..., \"worker\": n}")
+		return
+	}
+	lcm := s.eng.Lifecycle()
+	if lcm == nil {
+		writeErr(w, http.StatusConflict,
+			"serve: cluster lifecycle inactive — boot the engine with replication > 1 or a fault plan")
+		return
+	}
+	worker := req.Worker
+	var err error
+	switch req.Action {
+	case "drain":
+		err = s.eng.DrainHost(req.Worker)
+	case "restore":
+		err = s.eng.RestoreHost(req.Worker)
+	case "join":
+		worker, err = s.eng.JoinHost()
+	default:
+		writeErr(w, http.StatusBadRequest, "serve: unknown host action %q (have drain, restore, join)", req.Action)
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HostResponse{Action: req.Action, Worker: worker, Cluster: wire.FromHealth(lcm.Health())})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -42,6 +42,11 @@ type Tenant struct {
 	// PipelineChunkRows overrides the pipelined-movement chunk size; 0
 	// inherits the engine's.
 	PipelineChunkRows int `json:"pipeline_chunk_rows,omitempty"`
+	// MaxInflight caps the tenant's concurrently executing queries: a
+	// submission past the cap is refused with 429 and a Retry-After hint
+	// instead of queueing, so one tenant's burst cannot monopolize the
+	// engine ahead of the fabric's QoS weights. 0 means uncapped.
+	MaxInflight int `json:"max_inflight,omitempty"`
 }
 
 // Session opens a fresh engine session carrying the tenant's defaults.
@@ -62,7 +67,8 @@ func (t *Tenant) Session(eng *sql.Engine) *sql.Session {
 // configKey renders the tenant's effective session configuration as a
 // deterministic string — the "session-config" leg of the plan-cache
 // key, so two tenants (or one reconfigured tenant) never share a cached
-// statement unless every knob that affects planning agrees.
+// statement unless every knob that affects planning agrees. MaxInflight
+// is deliberately absent: it gates admission, not planning.
 func (t *Tenant) configKey() string {
 	return fmt.Sprintf("%s|%g|%d|%d|%s|%s|%s|%d",
 		t.Priority, t.Weight, t.Workers, t.MemoryBudget, t.SpillTier,
@@ -90,6 +96,9 @@ func NewTenants(list []Tenant) (*Tenants, error) {
 		}
 		if t.Weight < 0 {
 			return nil, fmt.Errorf("serve: tenant %s: negative weight %g", t.Name, t.Weight)
+		}
+		if t.MaxInflight < 0 {
+			return nil, fmt.Errorf("serve: tenant %s: negative max_inflight %d", t.Name, t.MaxInflight)
 		}
 		if _, dup := ts.byName[t.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/lifecycle"
 	"repro/internal/netsim"
 	"repro/internal/relational"
 	"repro/internal/sql"
@@ -64,7 +65,14 @@ type NetStats struct {
 	SpillSeconds   float64     `json:"spill_seconds,omitempty"`
 	MeanLinkUtil   float64     `json:"mean_link_util"`
 	MaxLinkUtil    float64     `json:"max_link_util"`
-	Phases         []PhaseStat `json:"phases,omitempty"`
+	// Recovery fields are nonzero only when the elastic lifecycle layer
+	// had to repair the query: modeled seconds spent re-shipping and
+	// re-deriving lost data, fragments re-dispatched off a dead host, and
+	// speculative duplicates that beat their straggling primaries.
+	RecoverySeconds  float64     `json:"recovery_seconds,omitempty"`
+	RetriedFragments int         `json:"retried_fragments,omitempty"`
+	SpeculativeWins  int         `json:"speculative_wins,omitempty"`
+	Phases           []PhaseStat `json:"phases,omitempty"`
 }
 
 // PhaseStat mirrors dist.PhaseStat.
@@ -135,6 +143,47 @@ type FabricMetrics struct {
 	MeanLinkUtil float64         `json:"mean_link_util"`
 	MaxLinkUtil  float64         `json:"max_link_util"`
 	Admission    *AdmissionStats `json:"admission"`
+}
+
+// ClusterHealth mirrors lifecycle.Health — the elastic-cluster view a
+// daemon's /metrics endpoint reports when the lifecycle layer is active.
+type ClusterHealth struct {
+	Generation  int `json:"generation"`
+	Replication int `json:"replication"`
+	// The membership counts are always present — a zero is a fact about
+	// the cluster, not an omission.
+	Workers          int     `json:"workers"`
+	Live             int     `json:"live"`
+	Drained          int     `json:"drained"`
+	Dead             int     `json:"dead"`
+	Spares           int     `json:"spares"`
+	RebalancedBytes  float64 `json:"rebalanced_bytes,omitempty"`
+	RebalanceSeconds float64 `json:"rebalance_seconds,omitempty"`
+	RepairBytes      float64 `json:"repair_bytes,omitempty"`
+	RepairSeconds    float64 `json:"repair_seconds,omitempty"`
+	Repairs          int     `json:"repairs,omitempty"`
+	EventsFired      int     `json:"events_fired"`
+	EventsTotal      int     `json:"events_total"`
+}
+
+// FromHealth converts an elastic-cluster snapshot to its wire form.
+func FromHealth(h lifecycle.Health) *ClusterHealth {
+	return &ClusterHealth{
+		Generation:       h.Generation,
+		Replication:      h.Replication,
+		Workers:          h.Workers,
+		Live:             h.Live,
+		Drained:          h.Drained,
+		Dead:             h.Dead,
+		Spares:           h.Spares,
+		RebalancedBytes:  h.RebalancedBytes,
+		RebalanceSeconds: h.RebalanceSeconds,
+		RepairBytes:      h.RepairBytes,
+		RepairSeconds:    h.RepairSeconds,
+		Repairs:          h.Repairs,
+		EventsFired:      h.EventsFired,
+		EventsTotal:      h.EventsTotal,
+	}
 }
 
 // Cell converts one relational value to its JSON scalar.
@@ -218,6 +267,10 @@ func FromQueryStats(s *dist.QueryStats) *NetStats {
 		SpillSeconds:   s.SpillSeconds,
 		MeanLinkUtil:   s.MeanLinkUtil,
 		MaxLinkUtil:    s.MaxLinkUtil,
+
+		RecoverySeconds:  s.RecoverySeconds,
+		RetriedFragments: s.RetriedFragments,
+		SpeculativeWins:  s.SpeculativeWins,
 	}
 	for _, p := range s.Phases {
 		out.Phases = append(out.Phases, PhaseStat{

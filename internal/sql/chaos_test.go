@@ -1,0 +1,214 @@
+package sql
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/lifecycle"
+)
+
+const chaosQuery = "SELECT c.segment, COUNT(*) AS n, SUM(s.price) AS v " +
+	"FROM sales s JOIN customers c ON s.customer_id = c.customer_id " +
+	"GROUP BY c.segment ORDER BY v DESC"
+
+// chaosEngine builds a 4-shard repartition-join engine with the given
+// replication factor and fault schedule ("" = none).
+func chaosEngine(t *testing.T, replication int, chaos string) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = 4
+	cfg.Topology = "leafspine"
+	cfg.DistJoin = "repartition"
+	cfg.Replication = replication
+	if chaos != "" {
+		plan, err := lifecycle.ParsePlan(chaos, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterDemo(eng, 7, 8000, 200)
+	return eng
+}
+
+func chaosRun(t *testing.T, eng *Engine) *Result {
+	t.Helper()
+	res, err := eng.Session().Query(context.Background(), chaosQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChaosKillMidShuffleParity is the headline: kill a worker halfway
+// through the shuffle on a replication-2 cluster. The rows must be
+// identical to the failure-free run, the stats must price the recovery
+// (retried fragments, nonzero modeled recovery seconds), and no
+// goroutine may outlive the query.
+func TestChaosKillMidShuffleParity(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	clean := chaosRun(t, chaosEngine(t, 2, ""))
+	killed := chaosRun(t, chaosEngine(t, 2, "kill:1@0:0.5"))
+	if !reflect.DeepEqual(killed.Rows.Rows, clean.Rows.Rows) {
+		t.Fatalf("kill changed the rows:\n%v\nvs\n%v", killed.Rows.Rows, clean.Rows.Rows)
+	}
+	if killed.Net.RetriedFragments == 0 {
+		t.Fatal("kill run retried no fragments")
+	}
+	if killed.Net.RecoverySeconds <= 0 {
+		t.Fatalf("kill run modeled no recovery cost: %v", killed.Net.RecoverySeconds)
+	}
+	if clean.Net.RetriedFragments != 0 || clean.Net.RecoverySeconds != 0 {
+		t.Fatalf("clean run reported recovery: %+v", clean.Net)
+	}
+	// The faulted run re-ships lost data in a recover: phase.
+	found := false
+	for _, p := range killed.Net.Phases {
+		if strings.HasPrefix(p.Name, "recover:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recover: phase in %+v", killed.Net.Phases)
+	}
+	settleGoroutines(t, "chaos-kill", baseline)
+}
+
+// TestChaosReplicationOneKillFails: the identical kill without replicas
+// loses the shard and must fail loudly, naming the loss.
+func TestChaosReplicationOneKillFails(t *testing.T) {
+	eng := chaosEngine(t, 1, "kill:1@0:0.5")
+	_, err := eng.Session().Query(context.Background(), chaosQuery)
+	if err == nil || !strings.Contains(err.Error(), "lost every replica") {
+		t.Fatalf("replication-1 kill: %v, want lost-replica error", err)
+	}
+	// The failure is contained: a fresh fault-free engine on the same
+	// process serves the query.
+	if res := chaosRun(t, chaosEngine(t, 1, "")); res.Rows.Len() == 0 {
+		t.Fatal("fault-free engine returned no rows")
+	}
+}
+
+// TestChaosSpeculation: a worker straggling past the speculation
+// threshold gets a duplicate fragment; the duplicate wins, the rows are
+// unchanged, and the win is measured.
+func TestChaosSpeculation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	clean := chaosRun(t, chaosEngine(t, 2, ""))
+	slow := chaosRun(t, chaosEngine(t, 2, "slow:2@0:4"))
+	if !reflect.DeepEqual(slow.Rows.Rows, clean.Rows.Rows) {
+		t.Fatalf("speculation changed the rows:\n%v\nvs\n%v", slow.Rows.Rows, clean.Rows.Rows)
+	}
+	if slow.Net.SpeculativeWins == 0 {
+		t.Fatal("straggler produced no speculative wins")
+	}
+	if slow.Net.RecoverySeconds <= 0 {
+		t.Fatal("speculative duplicate's compute was not priced")
+	}
+	settleGoroutines(t, "chaos-speculation", baseline)
+}
+
+// TestChaosBitIdenticalReplay: with faults off, the lifecycle layer
+// must be invisible — replication 1 keeps the pre-lifecycle code paths,
+// and replication 2 with every host live places shards exactly where
+// the static cluster does. Rows and every network float must match the
+// default engine bit for bit.
+func TestChaosBitIdenticalReplay(t *testing.T) {
+	ref := chaosRun(t, chaosEngine(t, 0, ""))
+	for _, replication := range []int{1, 2} {
+		res := chaosRun(t, chaosEngine(t, replication, ""))
+		if !reflect.DeepEqual(res.Rows.Rows, ref.Rows.Rows) {
+			t.Fatalf("replication %d changed the rows", replication)
+		}
+		a, b := res.Net, ref.Net
+		if a.NetSeconds != b.NetSeconds || a.BytesShuffled != b.BytesShuffled || a.Flows != b.Flows {
+			t.Fatalf("replication %d diverged from the default engine: {%v %v %d} vs {%v %v %d}",
+				replication, a.NetSeconds, a.BytesShuffled, a.Flows, b.NetSeconds, b.BytesShuffled, b.Flows)
+		}
+	}
+}
+
+// TestChaosDegradeAndPartition: degraded links slow the query down
+// without changing its rows; a partition slows it down much more.
+func TestChaosDegradeAndPartition(t *testing.T) {
+	clean := chaosRun(t, chaosEngine(t, 2, ""))
+	degraded := chaosRun(t, chaosEngine(t, 2, "degrade:3@0:10"))
+	parted := chaosRun(t, chaosEngine(t, 2, "partition:3@0"))
+	for name, res := range map[string]*Result{"degrade": degraded, "partition": parted} {
+		if !reflect.DeepEqual(res.Rows.Rows, clean.Rows.Rows) {
+			t.Fatalf("%s changed the rows", name)
+		}
+		if res.Net.NetSeconds <= clean.Net.NetSeconds {
+			t.Fatalf("%s did not slow the query: %v vs clean %v", name, res.Net.NetSeconds, clean.Net.NetSeconds)
+		}
+	}
+	if parted.Net.NetSeconds <= degraded.Net.NetSeconds {
+		t.Fatalf("partition (%v) should cost more than a 10x degrade (%v)",
+			parted.Net.NetSeconds, degraded.Net.NetSeconds)
+	}
+}
+
+// TestChaosDrainJoinRebalance: draining a worker through the engine
+// moves its resident shard bytes over the fabric and leaves queries
+// correct; joining annexes a spare host; restore brings the worker
+// back. A lifecycle-less engine refuses all three.
+func TestChaosDrainJoinRebalance(t *testing.T) {
+	eng := chaosEngine(t, 2, "")
+	clean := chaosRun(t, eng) // also shards the tables so a drain has bytes to move
+	if err := eng.DrainHost(1); err != nil {
+		t.Fatal(err)
+	}
+	h := eng.Lifecycle().Health()
+	if h.Drained != 1 || h.RebalancedBytes <= 0 {
+		t.Fatalf("drain health: %+v", h)
+	}
+	if res := chaosRun(t, eng); !reflect.DeepEqual(res.Rows.Rows, clean.Rows.Rows) {
+		t.Fatal("drained cluster changed the rows")
+	}
+	if _, err := eng.JoinHost(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RestoreHost(1); err != nil {
+		t.Fatal(err)
+	}
+	if res := chaosRun(t, eng); !reflect.DeepEqual(res.Rows.Rows, clean.Rows.Rows) {
+		t.Fatal("grown-and-restored cluster changed the rows")
+	}
+
+	plain := chaosEngine(t, 0, "")
+	if err := plain.DrainHost(1); err == nil {
+		t.Fatal("lifecycle-less engine must refuse DrainHost")
+	}
+	if _, err := plain.JoinHost(); err == nil {
+		t.Fatal("lifecycle-less engine must refuse JoinHost")
+	}
+}
+
+// TestChaosConfigValidation: the lifecycle knobs reject nonsense.
+func TestChaosConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Replication = 2
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("replication without Distributed must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.Distributed = true
+	cfg.Shards = 4
+	cfg.Replication = -1
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("negative replication must be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.Faults = &lifecycle.FaultPlan{Events: []lifecycle.Event{{Kind: lifecycle.EventKill, Worker: 0}}}
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("faults without Distributed must be rejected")
+	}
+}

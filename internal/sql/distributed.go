@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/lifecycle"
 	"repro/internal/relational"
 )
 
@@ -94,6 +95,10 @@ type distStream struct {
 	// duplicates its seq tags, so the stream must be re-sequenced before
 	// it moves between shards again.
 	joined bool
+	// dx links back to the execution context so materialize can route
+	// fragment rounds through the lifecycle guard (straggler speculation,
+	// replica-aware dispatch) when one is active.
+	dx *distExec
 }
 
 func (st *distStream) fragment(s int) (relational.BatchOp, error) {
@@ -120,16 +125,25 @@ func (st *distStream) fragments() ([]relational.BatchOp, error) {
 }
 
 // materialize runs the pending decorators on every shard (in parallel,
-// one simulated host each) and replaces the base relations.
+// one simulated host each) and replaces the base relations. With an
+// active lifecycle guard the round runs through it: a straggling shard
+// gets a speculative duplicate (the guard rebuilds the fragment via
+// st.fragment), and fragments follow live replicas.
 func (st *distStream) materialize(workers int) error {
 	if len(st.decor) == 0 {
 		return nil
 	}
-	frags, err := st.fragments()
-	if err != nil {
-		return err
+	var rels []*relational.Relation
+	var err error
+	if st.dx != nil && st.dx.guard != nil {
+		rels, err = st.dx.guard.RunFragments("frag", len(st.base), workers, st.fragment)
+	} else {
+		var frags []relational.BatchOp
+		if frags, err = st.fragments(); err != nil {
+			return err
+		}
+		rels, err = dist.RunFragments("frag", frags, workers)
 	}
-	rels, err := dist.RunFragments("frag", frags, workers)
 	if err != nil {
 		return err
 	}
@@ -248,7 +262,7 @@ type distLegPlan struct {
 
 // stream builds the leg's distStream over its table shards.
 func (lp *distLegPlan) stream(dx *distExec) *distStream {
-	st := &distStream{base: lp.table.Shards, schema: lp.schema, cancel: dx.cancel}
+	st := &distStream{base: lp.table.Shards, schema: lp.schema, cancel: dx.cancel, dx: dx}
 	picks := append(append([]int{}, lp.prune...), lp.table.SeqCol())
 	st.decor = append(st.decor, pickDecor(withSeq(lp.schema), picks))
 	if lp.ranges != nil || lp.pred != nil {
@@ -304,6 +318,42 @@ type distExec struct {
 	// exactly the placer/fork relationship, for memory.
 	budget      *relational.MemoryBudget
 	shardBudget []*relational.MemoryBudget
+	// lcm is the engine's elastic-membership manager (nil on static,
+	// failure-free clusters — the common case, which keeps every phase on
+	// the pre-lifecycle code paths bit-identically). guard is the
+	// per-execution lifecycle guard attachGuard wires to the query run:
+	// it resolves shards to live replicas and lands injected faults.
+	lcm   *lifecycle.Manager
+	guard *lifecycle.Guard
+}
+
+// attachGuard wires the execution into the elastic cluster view: the
+// guard installs itself as qr's host resolver and every later phase and
+// fragment round routes through it. A nil manager leaves the run on the
+// static placement.
+func (e *distExec) attachGuard(qr *dist.QueryRun) {
+	if e.lcm != nil {
+		e.guard = e.lcm.NewGuard(qr)
+	}
+}
+
+// runPhase routes one bulk movement phase through the lifecycle guard
+// when one is active (fault injection, replica-aware endpoints) and
+// straight to the query run otherwise — the pre-lifecycle path,
+// bit-identical.
+func (e *distExec) runPhase(qr *dist.QueryRun, name string, transfers []dist.Transfer, class string, weightScale float64) error {
+	if e.guard != nil {
+		return e.guard.RunPhase(name, transfers, class, weightScale)
+	}
+	return qr.RunPhaseQoS(name, transfers, class, weightScale)
+}
+
+// runPipelined is runPhase for chunked movement phases.
+func (e *distExec) runPipelined(qr *dist.QueryRun, name string, chunks []dist.Chunk, class string, weightScale float64, consume func(k int) error) error {
+	if e.guard != nil {
+		return e.guard.RunPipelined(name, chunks, class, weightScale, consume)
+	}
+	return qr.RunPipelined(name, chunks, class, weightScale, consume)
 }
 
 // dispatchers builds one per-shard dispatcher for a kernel, or nil on
@@ -399,7 +449,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 	// pipelined movement already filled (see RunPipelined below).
 	var buildFor func(s int) (relational.BatchOp, error)
 	var preFor func(s int) *relational.HashBuild
-	out := &distStream{schema: combined, cancel: cancel, joined: true}
+	out := &distStream{schema: combined, cancel: cancel, joined: true, dx: e}
 	switch {
 	case movement == "broadcast" && e.chunkRows > 0:
 		// Pipelined replication: the merged build side streams out in
@@ -418,7 +468,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 			prev = bounds[k]
 			return nil
 		}
-		if err := qr.RunPipelined(fmt.Sprintf("broadcast#%d", ji), chunks, "", 0, consume); err != nil {
+		if err := e.runPipelined(qr, fmt.Sprintf("broadcast#%d", ji), chunks, "", 0, consume); err != nil {
 			return nil, err
 		}
 		out.base = probe.base
@@ -427,7 +477,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 		// Replicate the whole build side to every worker; the probe side
 		// does not move.
 		buildRel, transfers := dist.Broadcast(build.base, buildWidth, true)
-		if err := qr.RunPhase(fmt.Sprintf("broadcast#%d", ji), transfers); err != nil {
+		if err := e.runPhase(qr, fmt.Sprintf("broadcast#%d", ji), transfers, "", 0); err != nil {
 			return nil, err
 		}
 		out.base = probe.base
@@ -488,7 +538,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 			}
 			return nil
 		}
-		if err := qr.RunPipelined(fmt.Sprintf("shuffle#%d", ji), chunks, "", 0, consume); err != nil {
+		if err := e.runPipelined(qr, fmt.Sprintf("shuffle#%d", ji), chunks, "", 0, consume); err != nil {
 			return nil, err
 		}
 		out.base = probeB
@@ -498,7 +548,7 @@ func (e *distExec) joinStage(qr *dist.QueryRun, st *distStream, right *distStrea
 		// rows arrive seq-sorted, preserving the serial insertion order.
 		buildB, tA := dist.Repartition(build.base, buildCol, buildWidth)
 		probeB, tB := dist.Repartition(probe.base, probeCol, len(probe.schema))
-		if err := qr.RunPhase(fmt.Sprintf("shuffle#%d", ji), append(tA, tB...)); err != nil {
+		if err := e.runPhase(qr, fmt.Sprintf("shuffle#%d", ji), append(tA, tB...), "", 0); err != nil {
 			return nil, err
 		}
 		out.base = probeB
@@ -698,6 +748,7 @@ func (pl *planner) planDistStmt(stmt *SelectStmt) (*Planned, error) {
 		workers: workers, distJoin: pl.cfg.DistJoin,
 		class: pl.class, weight: pl.weight,
 		chunkRows: pl.cfg.PipelineChunkRows,
+		lcm:       pl.eng.Lifecycle(),
 	}
 	if dx.chunkRows > 0 {
 		p.Steps = append(p.Steps, fmt.Sprintf("pipeline: chunked movement (%d rows/chunk, eager sub-rounds; gather weight x%d)",
@@ -800,6 +851,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 		// deregister from the shared fabric, or concurrent queries would
 		// wait for it at the admission barrier forever.
 		defer qr.Close()
+		dx.attachGuard(qr)
 		st, err := runJoins(qr)
 		if err != nil {
 			return nil, nil, err
@@ -840,7 +892,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 				return nil
 			}
 			chunks := dist.PartialGatherChunks(subs)
-			if err := qr.RunPipelined("gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
+			if err := dx.runPipelined(qr, "gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
 				return nil, nil, err
 			}
 			merged = acc[0]
@@ -852,7 +904,7 @@ func (pl *planner) planDistAggregate(stmt *SelectStmt, p *Planned, sc *scope, co
 			for i, pa := range partials {
 				bytes[i] = pa.EncodedBytes()
 			}
-			if err := qr.RunPhaseQoS("gather", dist.GatherTransfers(bytes), dist.GatherClass, dist.GatherWeightBoost); err != nil {
+			if err := dx.runPhase(qr, "gather", dist.GatherTransfers(bytes), dist.GatherClass, dist.GatherWeightBoost); err != nil {
 				return nil, nil, err
 			}
 			merged = partials[0]
@@ -916,6 +968,7 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 	run := func() (*relational.Relation, *dist.QueryStats, error) {
 		qr := dx.newQuery()
 		defer qr.Close() // deregister from the shared fabric on error paths
+		dx.attachGuard(qr)
 		st, err := runJoins(qr)
 		if err != nil {
 			return nil, nil, err
@@ -944,11 +997,11 @@ func (pl *planner) planDistSimple(stmt *SelectStmt, p *Planned, sc *scope, combi
 				})
 				return nil
 			}
-			if err := qr.RunPipelined("gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
+			if err := dx.runPipelined(qr, "gather", chunks, dist.GatherClass, dist.GatherWeightBoost, consume); err != nil {
 				return nil, nil, err
 			}
 		} else {
-			if err := qr.RunPhaseQoS("gather", dist.GatherTransfers(st.bytes()), dist.GatherClass, dist.GatherWeightBoost); err != nil {
+			if err := dx.runPhase(qr, "gather", dist.GatherTransfers(st.bytes()), dist.GatherClass, dist.GatherWeightBoost); err != nil {
 				return nil, nil, err
 			}
 			merged = dist.MergeBySeq("gathered", st.base, seqCol, true)

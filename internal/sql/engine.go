@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/exec"
+	"repro/internal/lifecycle"
 	"repro/internal/memtier"
 	"repro/internal/netsim"
 	"repro/internal/relational"
@@ -116,6 +117,27 @@ type Config struct {
 	// Negative values are rejected at NewEngine. Sessions may override
 	// it (Session.PipelineChunkRows).
 	PipelineChunkRows int
+	// Replication places each shard's data on this many distinct live
+	// hosts (distributed mode only). Reads follow the primary replica —
+	// with every host live that is the static placement, so any
+	// replication factor replays the unreplicated engine bit-identically
+	// until membership changes — and failover re-dispatches a dead
+	// primary's fragments to a surviving replica. 0 and 1 both mean one
+	// copy; values above Shards are rejected at NewEngine. Replication is
+	// construction-time only (the cluster's placement is shared state, not
+	// a per-session knob).
+	Replication int
+	// Faults installs a deterministic fault-injection schedule on the
+	// engine's cluster (distributed mode only): host deaths mid-phase,
+	// stragglers with speculative re-execution, link degradation and
+	// partitions, each firing once when the first query reaches the
+	// event's ordinal. Recovery work is measured into Result.Net
+	// (RecoverySeconds, RetriedFragments, SpeculativeWins). Nil (the
+	// default) injects nothing and — together with Replication ≤ 1 —
+	// keeps the engine on the pre-lifecycle code paths, bit-identically.
+	// Construction-time only. Build plans with lifecycle.ParsePlan or
+	// lifecycle.Seeded.
+	Faults *lifecycle.FaultPlan
 }
 
 // Options is the former name of Config.
@@ -152,7 +174,12 @@ type Engine struct {
 	sharded map[string]*dist.ShardedTable
 	cluster *dist.Cluster
 	fabric  *dist.Fabric
-	// clusterKey caches which (topology, shards) pair cluster serves.
+	// lcm is the elastic-membership manager, non-nil only when
+	// Replication > 1 or a fault plan is installed — the nil case keeps
+	// every query on the pre-lifecycle code paths.
+	lcm *lifecycle.Manager
+	// clusterKey caches which (topology, shards, replication) triple
+	// cluster serves.
 	clusterKey string
 	// epoch counts catalog mutations (see CatalogEpoch).
 	epoch uint64
@@ -175,6 +202,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.PipelineChunkRows < 0 {
 		return nil, fmt.Errorf("sql: negative PipelineChunkRows %d", cfg.PipelineChunkRows)
+	}
+	if cfg.Replication < 0 {
+		return nil, fmt.Errorf("sql: negative Replication %d", cfg.Replication)
+	}
+	if (cfg.Replication > 1 || cfg.Faults != nil) && !cfg.Distributed {
+		return nil, fmt.Errorf("sql: Replication/Faults require Distributed mode")
 	}
 	e := newEngine(cfg)
 	if cfg.Distributed {
@@ -258,7 +291,7 @@ func (e *Engine) clusterFor(cfg Config) (*dist.Cluster, *dist.Fabric, error) {
 	if shards <= 0 {
 		shards = distDefaultShards
 	}
-	key := fmt.Sprintf("%s|%d", cfg.Topology, shards)
+	key := fmt.Sprintf("%s|%d|r%d", cfg.Topology, shards, cfg.Replication)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cluster != nil && e.clusterKey == key {
@@ -274,7 +307,79 @@ func (e *Engine) clusterFor(cfg Config) (*dist.Cluster, *dist.Fabric, error) {
 	// cluster. A controller change alone does not rebuild an existing
 	// cluster — fabric control is construction-time state.
 	e.cluster, e.fabric, e.clusterKey = c, dist.NewFabricController(c, cfg.Controller), key
+	e.lcm = nil
+	if cfg.Replication > 1 || cfg.Faults != nil {
+		lcm, err := lifecycle.NewManager(e.fabric, cfg.Replication, cfg.Faults, e.shardBytes(shards))
+		if err != nil {
+			e.cluster, e.fabric, e.clusterKey = nil, nil, ""
+			return nil, nil, err
+		}
+		e.lcm = lcm
+	}
 	return e.cluster, e.fabric, nil
+}
+
+// shardBytes builds the lifecycle manager's per-shard resident-bytes
+// provider: the sum, over every cached shard placement, of the encoded
+// bytes living on each shard — what a rebalance or repair must actually
+// move. Tables not yet sharded (never queried distributed) weigh
+// nothing until they are.
+func (e *Engine) shardBytes(shards int) func() []float64 {
+	return func() []float64 {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		out := make([]float64, shards)
+		for _, t := range e.sharded {
+			for i, sh := range t.Shards {
+				if i < shards {
+					out[i] += sh.EncodedBytes()
+				}
+			}
+		}
+		return out
+	}
+}
+
+// Lifecycle exposes the elastic-membership manager, or nil on engines
+// without replication or a fault plan (the static, failure-free
+// cluster).
+func (e *Engine) Lifecycle() *lifecycle.Manager {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.lcm
+}
+
+// errNoLifecycle reports membership operations on a static cluster.
+var errNoLifecycle = fmt.Errorf("sql: cluster lifecycle inactive (set Config.Replication > 1 or Config.Faults)")
+
+// DrainHost evacuates a worker host: its replicas copy to other live
+// hosts (movement charged to the shared fabric) and no fragments land
+// on it until RestoreHost.
+func (e *Engine) DrainHost(worker int) error {
+	lcm := e.Lifecycle()
+	if lcm == nil {
+		return errNoLifecycle
+	}
+	return lcm.DrainWorker(worker)
+}
+
+// RestoreHost returns a drained worker host to service.
+func (e *Engine) RestoreHost(worker int) error {
+	lcm := e.Lifecycle()
+	if lcm == nil {
+		return errNoLifecycle
+	}
+	return lcm.RestoreWorker(worker)
+}
+
+// JoinHost annexes a spare topology host as a new worker, returning its
+// worker index.
+func (e *Engine) JoinHost() (int, error) {
+	lcm := e.Lifecycle()
+	if lcm == nil {
+		return -1, errNoLifecycle
+	}
+	return lcm.JoinHost()
 }
 
 // shardedTable returns the cached shard placement of rel: contiguous row
