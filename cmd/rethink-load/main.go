@@ -16,11 +16,20 @@
 // (PeakParties in the report equals the session count) instead of
 // depending on goroutine timing.
 //
+// With -stream N the harness switches to streaming mode: it registers
+// a fresh events relation, opens a continuous-query subscription on
+// /v1/stream, pumps N events through the ingest path while windows
+// emit live, closes the stream, and reports ingest throughput (events
+// per second, batch count, modeled ingest-class fabric time) plus the
+// subscription's window-freshness quantiles.
+//
 // Usage:
 //
 //	rethink-load -addr http://127.0.0.1:8343 -sessions 1000 -gang
 //	rethink-load -inproc -sessions 1000 -queries-per 2 -json report.json
 //	rethink-load -inproc -sessions 200 -shares gold=3,bronze=1 -verify
+//	rethink-load -addr http://127.0.0.1:8343 -stream 200000 -json BENCH.json
+//	rethink-load -inproc -stream 100000 -stream-window 2000 -stream-slide 500
 package main
 
 import (
@@ -51,6 +60,11 @@ func main() {
 	jsonOut := flag.String("json", "", "write the machine-readable report to this file")
 	verify := flag.Bool("verify", false, "replay every distinct statement on a reference engine and compare rows (in-proc, or remote daemons started with the same -rows/-customers/-seed)")
 	query := flag.String("query", "", "single statement to drive (empty = the default 3-statement mix)")
+	streamN := flag.Int("stream", 0, "streaming mode: ingest this many events through /v1/stream under a live continuous-query subscription and report ingest throughput + window freshness (0 = query load)")
+	streamBatch := flag.Int("stream-batch", 500, "events per ingest request in -stream mode")
+	streamKeys := flag.Int("stream-keys", 50, "group-key cardinality in -stream mode")
+	streamWindow := flag.Int64("stream-window", 1000, "window size in event-time ticks in -stream mode")
+	streamSlide := flag.Int64("stream-slide", 250, "window slide in ticks in -stream mode (0 = tumbling)")
 	// In-proc / verify reference engine knobs (match the daemon's flags).
 	rows := flag.Int("rows", 20000, "demo sales rows for -inproc / -verify reference")
 	customers := flag.Int("customers", 500, "demo customers for -inproc / -verify reference")
@@ -72,6 +86,38 @@ func main() {
 		}
 		sql.RegisterDemo(eng, *seed, *rows, *customers)
 		return eng
+	}
+
+	if *streamN > 0 {
+		sc := serve.StreamLoadConfig{
+			Events: *streamN,
+			Batch:  *streamBatch,
+			Keys:   *streamKeys,
+			Window: serve.WindowRequest{TimeCol: "t", Size: *streamWindow, Slide: *streamSlide},
+		}
+		if *inproc {
+			sc.Handler = serve.New(refEngine(), serve.DefaultTenants(), serve.Options{}).Handler()
+		} else if *addr != "" {
+			sc.BaseURL = *addr
+		} else {
+			log.Fatal("need -addr or -inproc")
+		}
+		report, err := serve.RunStreamLoad(context.Background(), sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.Summary())
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("report: %s\n", *jsonOut)
+		}
+		return
 	}
 
 	lc := serve.LoadConfig{

@@ -41,6 +41,14 @@
 // evicted, bytes moved, modeled tier write/read time and energy. Rows
 // are identical at every budget.
 //
+// Streaming execution: -stream N feeds N synthetic events into a
+// growing relation through the append path while a continuous query
+// (the query argument, or a default per-key aggregate) runs against it
+// — each event-time window prints as the watermark emits it, computed
+// incrementally from per-pane partial aggregates, and the closing
+// report shows late/dropped accounting, window freshness quantiles and
+// (with -dist) the fabric bytes billed to the ingest QoS class.
+//
 // JSON output: -json renders each result as one canonical wire-format
 // document per line — the same encoding (internal/serve/wire) the
 // rethinkd daemon serves and rethink-load reports, so downstream
@@ -62,6 +70,8 @@
 //	rethink-sql -dist -sdn reroute+priority -concurrency 4
 //	rethink-sql -dist -replication 2 -chaos 'kill:1@0:0.5' "SELECT ... "
 //	rethink-sql -timeout 100ms "SELECT ... "        # context cancellation
+//	rethink-sql -stream 20000 -stream-window 200    # continuous query demo
+//	rethink-sql -dist -stream 20000 "SELECT k, COUNT(*) AS n FROM events GROUP BY k"
 //	rethink-sql                                     # runs a demo query set
 package main
 
@@ -84,6 +94,7 @@ import (
 	"repro/internal/sdn"
 	"repro/internal/serve/wire"
 	"repro/internal/sql"
+	"repro/internal/stream"
 )
 
 func main() {
@@ -113,6 +124,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit each result as one canonical wire-format JSON document (the same encoding rethinkd serves) instead of tables")
 	replication := flag.Int("replication", 0, "shard replica count (R>1 enables the elastic lifecycle layer; requires -dist)")
 	chaos := flag.String("chaos", "", "fault schedule: kill:W@P[:FRAC],slow:W@R[:FACTOR],degrade:W@P[:FACTOR],partition:W@P,seed:N (requires -dist)")
+	streamN := flag.Int("stream", 0, "streaming demo: feed this many synthetic events into a growing relation under a continuous query, printing each window as the watermark emits it (0 = off; the query argument, or a default per-key aggregate, is the continuous query)")
+	streamWindow := flag.Int64("stream-window", 100, "window size in event-time ticks for -stream")
+	streamSlide := flag.Int64("stream-slide", 0, "window slide in ticks for -stream (0 = tumbling)")
+	streamLateness := flag.Int64("stream-lateness", 5, "event-time disorder to absorb before emitting, for -stream")
 	flag.Parse()
 
 	cfg := sql.DefaultConfig()
@@ -152,6 +167,17 @@ func main() {
 		log.Fatal(err)
 	}
 	sql.RegisterDemo(eng, *seed, *rows, *customers)
+
+	if *streamN > 0 {
+		q := ""
+		if args := flag.Args(); len(args) > 0 {
+			q = args[0]
+		}
+		if err := runStreamDemo(eng, q, *streamN, *streamWindow, *streamSlide, *streamLateness); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	queries := flag.Args()
 	if len(queries) == 0 {
@@ -253,6 +279,102 @@ func main() {
 	if fab := eng.Fabric(); fab != nil {
 		fmt.Printf("== aggregate contention (%d sessions) ==\n%s\n", n, fab.Stats().Summary())
 	}
+}
+
+// runStreamDemo grows an events relation live under a continuous query:
+// n synthetic events (keys k0..k9, mildly disordered event time, value
+// = event index mod 17) stream in batches through the append path while
+// the subscription prints each window the watermark emits. The closing
+// flush drains the tail, then the stream report (events, late/dropped,
+// freshness quantiles, spill) and — distributed — the fabric's
+// ingest-class bytes close the run.
+func runStreamDemo(eng *sql.Engine, query string, n int, size, slide, lateness int64) error {
+	eng.Register(relational.NewRelation("events", relational.Schema{
+		{Name: "k", Type: relational.String},
+		{Name: "t", Type: relational.Int},
+		{Name: "v", Type: relational.Int},
+	}))
+	if query == "" {
+		query = "SELECT k, SUM(v) AS total, COUNT(*) AS events FROM events GROUP BY k"
+	}
+	sess := eng.Session()
+	spec := stream.WindowSpec{TimeCol: "t", Size: size, Slide: slide, Lateness: lateness}
+	sub, err := sess.Subscribe(context.Background(), query, spec)
+	if err != nil {
+		return err
+	}
+	src, err := sess.StreamSource("events")
+	if err != nil {
+		return err
+	}
+	effSlide := slide
+	if effSlide == 0 {
+		effSlide = size
+	}
+	fmt.Printf("stream> %s\n", query)
+	fmt.Printf("  window size %d slide %d lateness %d over %d events\n\n", size, effSlide, lateness, n)
+
+	feedErr := make(chan error, 1)
+	go func() {
+		defer src.Close()
+		const batch = 256
+		rows := make([]relational.Row, 0, batch)
+		for i := 0; i < n; i++ {
+			// Event time advances every other event and jitters backwards
+			// within the lateness bound, so the watermark machinery has
+			// disorder to absorb.
+			t := int64(i/2) - int64(i%3)
+			if t < 0 {
+				t = 0
+			}
+			rows = append(rows, relational.Row{
+				relational.StringV(fmt.Sprintf("k%d", i%10)),
+				relational.IntV(t),
+				relational.IntV(int64(i % 17)),
+			})
+			if len(rows) == batch || i == n-1 {
+				if err := src.Append(rows...); err != nil {
+					feedErr <- err
+					return
+				}
+				rows = rows[:0]
+			}
+		}
+		feedErr <- nil
+	}()
+
+	for win := range sub.Out() {
+		fmt.Printf("window [%d, %d): %d events", win.Start, win.End, win.Events)
+		if win.Late > 0 {
+			fmt.Printf(" (%d late)", win.Late)
+		}
+		fmt.Printf(", %d groups\n", win.Rows.Len())
+		fmt.Print(renderRelation(win.Rows))
+	}
+	if err := <-feedErr; err != nil {
+		return err
+	}
+	if err := sub.Err(); err != nil {
+		return err
+	}
+	st := sub.Stats()
+	fmt.Printf("\nstream report: %d events (%d filtered, %d late, %d dropped), %d windows\n",
+		st.Events, st.Filtered, st.Late, st.Dropped, st.Windows)
+	fmt.Printf("  freshness: p50 %.2fms p95 %.2fms max %.2fms\n",
+		st.FreshnessP50*1e3, st.FreshnessP95*1e3, st.FreshnessMax*1e3)
+	if st.Spill != nil && st.Spill.Active() {
+		fmt.Printf("  %s\n", st.Spill)
+	}
+	ist := src.Stats()
+	fmt.Printf("  ingest: %d batches, %s", ist.Batches, metrics.FormatBytes(ist.Bytes))
+	if ist.NetSeconds > 0 {
+		fmt.Printf(", %s modeled fabric time", metrics.FormatSeconds(ist.NetSeconds))
+	}
+	fmt.Println()
+	if fab := eng.Fabric(); fab != nil {
+		fmt.Printf("  fabric ingest-class bytes: %s\n", metrics.FormatBytes(fab.Stats().ClassBytes[sql.IngestClass]))
+	}
+	return nil
 }
 
 // runOne executes one query on the session and renders its result block

@@ -1,0 +1,117 @@
+package dataflow_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/stream"
+)
+
+// TestTumblingWindowSumParity pins the deprecated micro-batch simulation
+// to the real streaming subsystem: the same integer-valued events, the
+// same tumbling windows, and every (window, key) pair must carry the
+// same sum and count on both paths. The two models disagree about
+// emission *time* (micro-batch boundaries vs watermarks) — that is the
+// point of the deprecation — but never about window contents.
+func TestTumblingWindowSumParity(t *testing.T) {
+	// 4096 events at 8 per tick span ticks 0..511 — a whole number of
+	// windows, because the micro-batch path never emits a window still
+	// open when its event list runs out, while the engine's close
+	// flushes partials. Ending on a boundary compares what both define.
+	const (
+		n       = 4096
+		windowS = 8
+	)
+	// Time-ordered integer-tick events (the legacy path enforces order),
+	// four keys, deterministic integer values so float accumulation
+	// cannot smear the comparison.
+	events := make([]dataflow.KeyedEvent, n)
+	for i := range events {
+		events[i] = dataflow.KeyedEvent{
+			Key:   fmt.Sprintf("sensor-%d", i%4),
+			Time:  float64(i / 8),
+			Value: float64((i*7 + 3) % 23),
+		}
+	}
+	type cell struct {
+		sum   float64
+		count int
+	}
+	type wk struct {
+		start int64
+		key   string
+	}
+
+	legacy := map[wk]cell{}
+	results, _, err := dataflow.TumblingWindowSum(events, dataflow.MicroBatchConfig{
+		WindowS: windowS, BatchS: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		legacy[wk{start: int64(r.WindowStart), key: r.Key}] = cell{sum: r.Sum, count: r.Count}
+	}
+
+	eng, err := sql.NewEngine(sql.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Register(relational.NewRelation("events", relational.Schema{
+		{Name: "k", Type: relational.String},
+		{Name: "t", Type: relational.Int},
+		{Name: "v", Type: relational.Int},
+	}))
+	sess := eng.Session()
+	sub, err := sess.Subscribe(context.Background(),
+		"SELECT k, SUM(v) AS s, COUNT(*) AS n FROM events GROUP BY k",
+		stream.WindowSpec{TimeCol: "t", Size: windowS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]relational.Row, len(events))
+	for i, e := range events {
+		rows[i] = relational.Row{
+			relational.StringV(e.Key),
+			relational.IntV(int64(e.Time)),
+			relational.IntV(int64(e.Value)),
+		}
+	}
+	if _, err := eng.AppendRows("events", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.CloseStream("events"); err != nil {
+		t.Fatal(err)
+	}
+	engine := map[wk]cell{}
+	for w := range sub.Out() {
+		for _, row := range w.Rows.Rows {
+			engine[wk{start: w.Start, key: row[0].S}] = cell{
+				sum:   float64(row[1].I),
+				count: int(row[2].I),
+			}
+		}
+	}
+	if err := sub.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if st := sub.Stats(); st.Dropped != 0 || st.Events != n {
+		t.Fatalf("engine stream stats = %+v", st)
+	}
+	if len(engine) == 0 || len(engine) != len(legacy) {
+		t.Fatalf("cell counts diverge: engine %d, legacy %d", len(engine), len(legacy))
+	}
+	for k, lc := range legacy {
+		ec, ok := engine[k]
+		if !ok {
+			t.Fatalf("window %d key %s missing from engine output", k.start, k.key)
+		}
+		if ec != lc {
+			t.Fatalf("window %d key %s: engine %+v, legacy %+v", k.start, k.key, ec, lc)
+		}
+	}
+}

@@ -51,6 +51,19 @@ type StreamStats struct {
 // TumblingWindowSum processes time-ordered events through a micro-batch
 // engine, summing values per (key, tumbling window). Events must be sorted
 // by Time (enforced). Results are ordered by (window, key).
+//
+// Deprecated: this is the standalone micro-batch model study from the
+// early dataflow experiments — a closed-form simulation over float
+// timestamps, detached from the relational engine. Streaming now runs
+// on the engine itself: register a relation, append through
+// sql.Session.StreamSource (or POST /v1/stream), and attach a
+// continuous query with sql.Session.Subscribe — windows are maintained
+// incrementally by internal/stream with watermark-driven emission,
+// late/dropped accounting, spill-under-budget and distributed ingest
+// billing, none of which this function models. It is kept for the
+// micro-batch latency/overhead comparison in examples/streaming and
+// internal/experiments; TestTumblingWindowSumParity pins its window
+// contents to the real subsystem's.
 func TumblingWindowSum(events []KeyedEvent, cfg MicroBatchConfig) ([]WindowResult, StreamStats, error) {
 	if cfg.WindowS <= 0 || cfg.BatchS <= 0 {
 		return nil, StreamStats{}, fmt.Errorf("dataflow: window and batch must be positive")

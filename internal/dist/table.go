@@ -73,6 +73,24 @@ func ShardRelation(rel *relational.Relation, shards int, strategy Strategy, keyC
 // SeqCol returns the index of the #seq column in the shard schema.
 func (t *ShardedTable) SeqCol() int { return len(t.Rel.Schema) }
 
+// ShardFor returns the destination shard of row idx (of total rows)
+// under the given placement strategy — the same mapping ShardRelation
+// applies, exposed so the streaming ingest path can bill an appended
+// row's movement to the shard it will land on when the table is next
+// (re)sharded. keyCol is ignored for RangeShard.
+func ShardFor(strategy Strategy, keyCol, shards int, row relational.Row, idx, total int) int {
+	if shards <= 0 {
+		return 0
+	}
+	if strategy == HashShard {
+		return int(hashValue(row[keyCol]) % uint64(shards))
+	}
+	if total <= 0 {
+		return 0
+	}
+	return idx * shards / total
+}
+
 // SourceRows returns how many source rows the placement covers. Callers
 // caching placements compare it against the live relation's length to
 // detect appends since sharding (mirroring Relation.Columnar's own

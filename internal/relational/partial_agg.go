@@ -193,6 +193,28 @@ func (p *PartialAgg) globalFast(st []aggState, b *Batch) bool {
 	return true
 }
 
+// Clone deep-copies the partial's group states. MergeFrom inserts group
+// POINTERS for unseen groups, so a partial that merges into several
+// accumulators (a streaming pane folded into every sliding window that
+// covers it) must hand each accumulator its own copy — merging the
+// original would let a later MergeFrom mutate state other windows still
+// need. Group keys are shared (Values are immutable); states are copied.
+func (p *PartialAgg) Clone() *PartialAgg {
+	q := NewPartialAgg(p.groupCols, p.aggs)
+	q.ord = p.ord
+	q.bytes = p.bytes
+	q.order = append([]string(nil), p.order...)
+	for k, gr := range p.groups {
+		q.groups[k] = &partialGroup{
+			key:      gr.key,
+			states:   append([]aggState(nil), gr.states...),
+			firstSeq: gr.firstSeq,
+			firstOrd: gr.firstOrd,
+		}
+	}
+	return q
+}
+
 // MergeFrom folds a later partial into p: shared groups merge their
 // states (and keep the lexicographically smallest (firstSeq, firstOrd));
 // unseen groups append in o's first-seen order. Folding partials in
@@ -204,6 +226,37 @@ func (p *PartialAgg) MergeFrom(o *PartialAgg) {
 		mg, ok := p.groups[k]
 		if !ok {
 			p.groups[k] = og
+			p.order = append(p.order, k)
+			p.bytes += groupStateBytes(og.key, len(p.aggs))
+			continue
+		}
+		for i := range mg.states {
+			mg.states[i].mergeFrom(&og.states[i])
+		}
+		if og.firstSeq < mg.firstSeq || (og.firstSeq == mg.firstSeq && og.firstOrd < mg.firstOrd) {
+			mg.firstSeq, mg.firstOrd = og.firstSeq, og.firstOrd
+		}
+	}
+	p.ord += o.ord
+}
+
+// MergeCopy folds o into p like MergeFrom but never aliases o's state:
+// unseen groups insert as copies, so o can be merged into any number of
+// accumulators — and mutated afterwards — without corrupting them. The
+// streaming windower folds each pane's memoized snapshot into every
+// sliding window covering it this way, paying one state copy per group
+// instead of cloning the whole pane per window.
+func (p *PartialAgg) MergeCopy(o *PartialAgg) {
+	for _, k := range o.order {
+		og := o.groups[k]
+		mg, ok := p.groups[k]
+		if !ok {
+			p.groups[k] = &partialGroup{
+				key:      og.key,
+				states:   append([]aggState(nil), og.states...),
+				firstSeq: og.firstSeq,
+				firstOrd: og.firstOrd,
+			}
 			p.order = append(p.order, k)
 			p.bytes += groupStateBytes(og.key, len(p.aggs))
 			continue

@@ -110,6 +110,41 @@ func splitPartial(p *PartialAgg, fanout int) []*PartialAgg {
 	return subs
 }
 
+// Snapshot is a repeatable Finish: it merges clones of the spilled
+// partitions and the resident generation, leaving every original intact
+// so more batches may fold in afterwards. Streaming windows use it — a
+// pane's aggregate is read once per window that covers it while the pane
+// keeps accepting late events. Reads of spilled partitions are priced on
+// every call, like the re-reads they model. The returned partial is
+// owned by the caller (safe to MergeFrom into an accumulator).
+func (s *SpillableAgg) Snapshot() *PartialAgg {
+	if s.spills == 0 {
+		return s.cur.Clone()
+	}
+	total := s.cur.Rows()
+	out := NewPartialAgg(s.groupCols, s.aggs)
+	for j := range s.spilled {
+		for _, sp := range s.spilled[j] {
+			s.meter.chargeRead(sp.bytes)
+			out.MergeCopy(sp.pa)
+		}
+	}
+	out.MergeCopy(s.cur)
+	out.SortOrderBySeq()
+	out.StartOrdAt(total)
+	return out
+}
+
+// Discard releases the resident generation's budget reservation — the
+// retirement path of a streaming pane that has been read into its last
+// window. The aggregate must not observe further batches afterwards.
+func (s *SpillableAgg) Discard() {
+	if s.budget != nil && s.reserved > 0 {
+		s.budget.Release(s.reserved)
+		s.reserved = 0
+	}
+}
+
 // Finish merges the spilled partitions back (pricing the reads), folds
 // the resident generation in last, and restores the stream's true
 // first-seen order. The returned partial is interchangeable with one

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateLimiter enforces each tenant's RatePerSec with a classic token
+// bucket: a bucket of depth Burst refills continuously at RatePerSec
+// and every admitted request takes one token. Tenants with no rate
+// configured never touch a bucket. The limiter sits in front of the
+// inflight cap — it bounds how often a tenant may *submit*, which
+// MaxInflight (a concurrency cap) cannot see when queries are short.
+type rateLimiter struct {
+	mu  sync.Mutex
+	now func() time.Time
+	b   map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter reading time from now; nil means
+// time.Now (tests inject a fake clock for determinism).
+func newRateLimiter(now func() time.Time) *rateLimiter {
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{now: now, b: map[string]*bucket{}}
+}
+
+// allow charges one submission to t's bucket. When refused, retryAfter
+// is the whole number of seconds (at least 1) until the bucket will
+// hold a full token again — the value served in the Retry-After header.
+func (rl *rateLimiter) allow(t *Tenant) (ok bool, retryAfter int) {
+	if t.RatePerSec <= 0 {
+		return true, 0
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	burst := t.burst()
+	bk := rl.b[t.Name]
+	if bk == nil {
+		bk = &bucket{tokens: burst, last: now}
+		rl.b[t.Name] = bk
+	}
+	if dt := now.Sub(bk.last).Seconds(); dt > 0 {
+		bk.tokens = math.Min(burst, bk.tokens+dt*t.RatePerSec)
+	}
+	bk.last = now
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	wait := (1 - bk.tokens) / t.RatePerSec
+	retryAfter = int(math.Ceil(wait))
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
+	return false, retryAfter
+}

@@ -3,7 +3,10 @@
 // tenants by API key, maps each tenant's QoS/budget configuration onto
 // per-request engine sessions, caches prepared statements per (tenant,
 // statement, session-config) with catalog-epoch invalidation, threads
-// client disconnects onto the engine's cancellation path, and drains
+// client disconnects onto the engine's cancellation path, rate-limits
+// each tenant's submissions with a token bucket (429 + Retry-After),
+// serves streaming ingest and held-open continuous-query subscriptions
+// on /v1/stream, and drains
 // gracefully — in-flight queries finish, new ones get 503, and any
 // announced-but-unfilled fabric gang slots are withdrawn so the shared
 // admission barrier can never deadlock on a query that will now never
@@ -15,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -31,12 +35,14 @@ type Server struct {
 	eng     *sql.Engine
 	tenants *Tenants
 	cache   *PlanCache
+	limiter *rateLimiter
 	mux     *http.ServeMux
 	start   time.Time
 
 	mu            sync.Mutex
 	draining      bool
 	drained       chan struct{} // closed when the first Drain completes
+	subsStop      chan struct{} // closed when a drain starts: ends held-open subscriptions
 	drainOnce     sync.Once
 	inflight      sync.WaitGroup
 	inflightCount int
@@ -55,6 +61,9 @@ type TenantCounters struct {
 	// Throttled counts submissions refused with 429 because the tenant
 	// was at its max_inflight cap.
 	Throttled uint64 `json:"throttled,omitempty"`
+	// RateLimited counts submissions refused with 429 because the
+	// tenant's rate_per_sec token bucket was empty.
+	RateLimited uint64 `json:"rate_limited,omitempty"`
 }
 
 // DefaultCacheCap bounds the plan cache when Options.CacheCap is 0.
@@ -76,9 +85,11 @@ func New(eng *sql.Engine, tenants *Tenants, opt Options) *Server {
 		eng:     eng,
 		tenants: tenants,
 		cache:   NewPlanCache(cap),
+		limiter: newRateLimiter(nil),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		drained:   make(chan struct{}),
+		subsStop:  make(chan struct{}),
 		tstats:    map[string]*TenantCounters{},
 		tinflight: map[string]int{},
 	}
@@ -86,6 +97,7 @@ func New(eng *sql.Engine, tenants *Tenants, opt Options) *Server {
 		s.tstats[t.Name] = &TenantCounters{}
 	}
 	s.mux.HandleFunc("POST /v1/sql", s.handleSQL)
+	s.mux.HandleFunc("POST /v1/stream", s.handleStream)
 	s.mux.HandleFunc("POST /v1/tables", s.handleTables)
 	s.mux.HandleFunc("POST /v1/gang", s.handleGang)
 	s.mux.HandleFunc("POST /v1/hosts", s.handleHosts)
@@ -150,6 +162,23 @@ func (s *Server) admit() (release func(), ok bool) {
 		s.mu.Unlock()
 		s.inflight.Done()
 	}, true
+}
+
+// admitRate charges one submission to the tenant's token bucket,
+// answering the refusal (429 + Retry-After sized to the bucket's
+// deficit) itself. Returns false when the caller should stop.
+func (s *Server) admitRate(t *Tenant, w http.ResponseWriter) bool {
+	ok, retryAfter := s.limiter.allow(t)
+	if ok {
+		return true
+	}
+	s.mu.Lock()
+	s.tstats[t.Name].RateLimited++
+	s.mu.Unlock()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeErr(w, http.StatusTooManyRequests,
+		"serve: tenant %s over rate limit (%g/s) — retry in %ds", t.Name, t.RatePerSec, retryAfter)
+	return false
 }
 
 // admitTenant gates one query on its tenant's max_inflight cap. ok is
@@ -227,6 +256,9 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	if !s.admitRate(tenant, w) {
+		return
+	}
 	trelease, ok := s.admitTenant(tenant)
 	if !ok {
 		// Refused before the body is even read: an over-limit tenant
@@ -607,6 +639,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		orphans := s.gangRemaining
 		s.gangRemaining = 0
 		s.mu.Unlock()
+		close(s.subsStop) // held-open subscriptions end now, not at stream close
 		if fab := s.eng.Fabric(); fab != nil {
 			for i := 0; i < orphans; i++ {
 				fab.Withdraw()

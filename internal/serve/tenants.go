@@ -47,6 +47,30 @@ type Tenant struct {
 	// instead of queueing, so one tenant's burst cannot monopolize the
 	// engine ahead of the fabric's QoS weights. 0 means uncapped.
 	MaxInflight int `json:"max_inflight,omitempty"`
+	// RatePerSec caps the tenant's sustained submission rate across
+	// /v1/sql and /v1/stream in requests per second, enforced by a token
+	// bucket: a submission with no token is refused with 429 and a
+	// Retry-After hint sized to the bucket's deficit. Where MaxInflight
+	// bounds concurrency, RatePerSec bounds throughput — a tenant issuing
+	// fast one-shot queries can stay under one cap while blowing through
+	// the other. 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token bucket's depth — how many submissions may land
+	// back-to-back before RatePerSec applies. 0 defaults to RatePerSec
+	// (at least 1).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// burst is the tenant's effective bucket depth.
+func (t *Tenant) burst() float64 {
+	b := t.Burst
+	if b <= 0 {
+		b = t.RatePerSec
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
 }
 
 // Session opens a fresh engine session carrying the tenant's defaults.
@@ -67,8 +91,9 @@ func (t *Tenant) Session(eng *sql.Engine) *sql.Session {
 // configKey renders the tenant's effective session configuration as a
 // deterministic string — the "session-config" leg of the plan-cache
 // key, so two tenants (or one reconfigured tenant) never share a cached
-// statement unless every knob that affects planning agrees. MaxInflight
-// is deliberately absent: it gates admission, not planning.
+// statement unless every knob that affects planning agrees. MaxInflight,
+// RatePerSec and Burst are deliberately absent: they gate admission, not
+// planning.
 func (t *Tenant) configKey() string {
 	return fmt.Sprintf("%s|%g|%d|%d|%s|%s|%s|%d",
 		t.Priority, t.Weight, t.Workers, t.MemoryBudget, t.SpillTier,
@@ -99,6 +124,12 @@ func NewTenants(list []Tenant) (*Tenants, error) {
 		}
 		if t.MaxInflight < 0 {
 			return nil, fmt.Errorf("serve: tenant %s: negative max_inflight %d", t.Name, t.MaxInflight)
+		}
+		if t.RatePerSec < 0 {
+			return nil, fmt.Errorf("serve: tenant %s: negative rate_per_sec %g", t.Name, t.RatePerSec)
+		}
+		if t.Burst < 0 {
+			return nil, fmt.Errorf("serve: tenant %s: negative burst %g", t.Name, t.Burst)
 		}
 		if _, dup := ts.byName[t.Name]; dup {
 			return nil, fmt.Errorf("serve: duplicate tenant name %q", t.Name)

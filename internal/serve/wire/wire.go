@@ -22,6 +22,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/relational"
 	"repro/internal/sql"
+	"repro/internal/stream"
 )
 
 // Column is one result-schema column.
@@ -50,6 +51,62 @@ type Result struct {
 	Placement string        `json:"placement,omitempty"`
 	// Spill is the out-of-core report (budgeted runs only).
 	Spill *SpillStats `json:"spill,omitempty"`
+	// Stream is the streaming report (results assembled by the streaming
+	// subsystem only).
+	Stream *StreamStats `json:"stream,omitempty"`
+}
+
+// StreamStats mirrors stream.Stats plus the ingest-side accounting of
+// stream.IngestStats — one streaming subscription's (or source's)
+// report on the wire.
+type StreamStats struct {
+	// Subscription side: event dispositions, emitted windows, and
+	// freshness quantiles over per-window emission delay.
+	Events       int64   `json:"events"`
+	Filtered     int64   `json:"filtered,omitempty"`
+	Late         int64   `json:"late,omitempty"`
+	Dropped      int64   `json:"dropped,omitempty"`
+	Windows      int64   `json:"windows"`
+	FreshnessP50 float64 `json:"freshness_p50_s"`
+	FreshnessP95 float64 `json:"freshness_p95_s"`
+	FreshnessMax float64 `json:"freshness_max_s"`
+	// Spill is the budgeted subscription's out-of-core report.
+	Spill *SpillStats `json:"spill,omitempty"`
+	// Ingest side (present on ingest acknowledgements).
+	IngestBatches    int64   `json:"ingest_batches,omitempty"`
+	IngestRows       int64   `json:"ingest_rows,omitempty"`
+	IngestBytes      float64 `json:"ingest_bytes,omitempty"`
+	IngestNetSeconds float64 `json:"ingest_net_seconds,omitempty"`
+	IngestSeconds    float64 `json:"ingest_seconds,omitempty"`
+}
+
+// FromStream converts a subscription report (nil in, nil out).
+func FromStream(s *stream.Stats) *StreamStats {
+	if s == nil {
+		return nil
+	}
+	return &StreamStats{
+		Events:       s.Events,
+		Filtered:     s.Filtered,
+		Late:         s.Late,
+		Dropped:      s.Dropped,
+		Windows:      s.Windows,
+		FreshnessP50: s.FreshnessP50,
+		FreshnessP95: s.FreshnessP95,
+		FreshnessMax: s.FreshnessMax,
+		Spill:        FromSpill(s.Spill),
+	}
+}
+
+// FromIngest converts a source's ingest accounting.
+func FromIngest(s stream.IngestStats) *StreamStats {
+	return &StreamStats{
+		IngestBatches:    s.Batches,
+		IngestRows:       s.Rows,
+		IngestBytes:      s.Bytes,
+		IngestNetSeconds: s.NetSeconds,
+		IngestSeconds:    s.WallSeconds,
+	}
 }
 
 // NetStats mirrors dist.QueryStats.
@@ -241,10 +298,17 @@ func FromResult(res *sql.Result) *Result {
 		Devices:   FromDevices(res.Devices),
 		Placement: res.Placement,
 		Spill:     FromSpill(res.Spill),
+		Stream:    FromStream(res.Stream),
 	}
-	out.Columns = make([]Column, len(res.Rows.Schema))
-	for i, c := range res.Rows.Schema {
-		out.Columns[i] = Column{Name: c.Name, Type: c.Type.String()}
+	out.Columns = Columns(res.Rows.Schema)
+	return out
+}
+
+// Columns converts a relational schema to its wire form.
+func Columns(schema relational.Schema) []Column {
+	out := make([]Column, len(schema))
+	for i, c := range schema {
+		out[i] = Column{Name: c.Name, Type: c.Type.String()}
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/memtier"
 	"repro/internal/netsim"
 	"repro/internal/relational"
+	"repro/internal/stream"
 )
 
 // Config selects the execution engine and the optimizer rules (the
@@ -183,6 +184,14 @@ type Engine struct {
 	clusterKey string
 	// epoch counts catalog mutations (see CatalogEpoch).
 	epoch uint64
+	// dataEpochs counts per-table data mutations — appends bump them
+	// WITHOUT touching epoch, so cached plans survive growth (schema
+	// unchanged) while result caches and subscriptions can still detect
+	// it (see DataEpoch).
+	dataEpochs map[string]uint64
+	// hub fans appended batches out to streaming subscriptions. Inert
+	// (no goroutines, no cost) until the first Subscribe.
+	hub *stream.Hub
 }
 
 // NewEngine validates cfg and returns an empty engine. In distributed
@@ -222,9 +231,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 // wrapper surfaces config errors at plan time, as it always did).
 func newEngine(cfg Config) *Engine {
 	return &Engine{
-		cfg:     cfg,
-		tables:  map[string]*relational.Relation{},
-		sharded: map[string]*dist.ShardedTable{},
+		cfg:        cfg,
+		tables:     map[string]*relational.Relation{},
+		sharded:    map[string]*dist.ShardedTable{},
+		dataEpochs: map[string]uint64{},
+		hub:        stream.NewHub(),
 	}
 }
 
@@ -244,11 +255,132 @@ func (e *Engine) Register(rel *relational.Relation) {
 	defer e.mu.Unlock()
 	e.tables[name] = rel
 	e.epoch++
+	e.dataEpochs[name]++
 	for k := range e.sharded {
 		if strings.HasPrefix(k, name+"|") {
 			delete(e.sharded, k)
 		}
 	}
+	// Replacing the relation starts a fresh stream: a name whose previous
+	// incarnation was closed accepts appends again.
+	e.hub.Reopen(name)
+}
+
+// IngestClass is the QoS class distributed stream appends bill their
+// fabric flows under: ingest bytes show up per class in the fabric
+// aggregate (FabricStats.ClassBytes) and contend with query flows in
+// the same admission rounds.
+const IngestClass = "ingest"
+
+// AppendRows appends rows to a registered table as one morsel: the
+// catalog swaps to a fresh relation header sharing the old backing
+// array, so running queries keep scanning their snapshot while new
+// queries (and the sharded-placement freshness check) see the growth.
+// The table's data epoch bumps; the catalog epoch does NOT — the schema
+// is unchanged, so cached plans stay valid. Streaming subscriptions on
+// the table observe the batch in append order. On a distributed engine
+// the appended bytes are billed to the shared fabric as ingest-class
+// flows from the coordinator to each row's destination shard. The
+// returned acknowledgement covers rows durable in the catalog.
+func (e *Engine) AppendRows(table string, rows []relational.Row) (stream.Ingest, error) {
+	if len(rows) == 0 {
+		return stream.Ingest{}, nil
+	}
+	name := strings.ToLower(table)
+	e.mu.Lock()
+	old, ok := e.tables[name]
+	if !ok {
+		e.mu.Unlock()
+		return stream.Ingest{}, fmt.Errorf("sql: unknown table %q", table)
+	}
+	if e.hub.TableClosed(name) {
+		e.mu.Unlock()
+		return stream.Ingest{}, fmt.Errorf("sql: stream for table %q is closed", table)
+	}
+	nrel := &relational.Relation{Name: old.Name, Schema: old.Schema, Rows: old.Rows}
+	start := int64(old.Len())
+	for _, row := range rows {
+		if err := nrel.Append(row); err != nil {
+			e.mu.Unlock()
+			return stream.Ingest{}, err
+		}
+	}
+	e.tables[name] = nrel
+	e.dataEpochs[name]++
+	for k := range e.sharded {
+		if strings.HasPrefix(k, name+"|") {
+			delete(e.sharded, k)
+		}
+	}
+	// Publish under the catalog lock: subscription arrival order must
+	// equal append order (the hub only enqueues — no blocking, no
+	// reentry into the engine). The published slice is the catalog's own
+	// copy, not the caller's — callers may reuse their batch buffer the
+	// moment Append returns, while subscriptions drain asynchronously.
+	e.hub.Publish(name, nrel.Rows[start:])
+	e.mu.Unlock()
+
+	ing := stream.Ingest{Start: start, Rows: len(rows)}
+	for _, row := range rows {
+		ing.Bytes += row.EncodedBytes()
+	}
+	ing.NetSeconds = e.billIngest(nrel, rows, int(start))
+	return ing, nil
+}
+
+// billIngest charges one appended batch's movement to the shared fabric
+// as ingest-class flows (coordinator → destination shard, per the
+// table's sharding strategy). The party is short-lived — join, one
+// phase, leave — so it contends in admission rounds with whatever
+// queries are in flight without ever holding the round barrier open.
+// Returns the modeled fabric seconds (0 on single-node engines).
+func (e *Engine) billIngest(rel *relational.Relation, rows []relational.Row, start int) float64 {
+	fab := e.Fabric()
+	if fab == nil {
+		return 0
+	}
+	shards := e.cfg.Shards
+	if shards <= 0 {
+		shards = distDefaultShards
+	}
+	strategy, keyCol := dist.RangeShard, -1
+	if e.cfg.ShardHash {
+		strategy, keyCol = dist.HashShard, 0
+		for i, c := range rel.Schema {
+			if c.Type == relational.Int {
+				keyCol = i
+				break
+			}
+		}
+	}
+	total := rel.Len()
+	bytes := make([]float64, shards)
+	for i, row := range rows {
+		sh := dist.ShardFor(strategy, keyCol, shards, row, start+i, total)
+		bytes[sh] += row.EncodedBytes()
+	}
+	transfers := make([]dist.Transfer, 0, shards)
+	for sh, b := range bytes {
+		if b > 0 {
+			transfers = append(transfers, dist.Transfer{Src: dist.Coordinator, Dst: sh, Bytes: b})
+		}
+	}
+	qr := fab.NewQueryQoS(nil, IngestClass, 0)
+	if err := qr.RunPhase("ingest", transfers); err != nil {
+		qr.Close()
+		return 0
+	}
+	return qr.Finish().NetSeconds
+}
+
+// DataEpoch returns how many data mutations (appends or Register
+// replacements) the named table has seen. Unlike CatalogEpoch it is
+// per-table and appends bump it — the freshness signal for anything
+// caching results rather than plans.
+func (e *Engine) DataEpoch(table string) uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.dataEpochs[strings.ToLower(table)]
 }
 
 // CatalogEpoch returns the number of catalog mutations the engine has

@@ -7,6 +7,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/netsim"
 	"repro/internal/relational"
+	"repro/internal/stream"
 )
 
 // Result is one executed query: the materialized rows plus everything a
@@ -47,6 +48,10 @@ type Result struct {
 	// when a budget was set and everything fit. Rows are identical
 	// regardless — the budget models cost, not semantics.
 	Spill *relational.SpillStats
+	// Stream is the streaming report when the serving layer assembled
+	// this result from the streaming subsystem (an ingest acknowledgement
+	// or a completed subscription's summary); nil for ordinary queries.
+	Stream *stream.Stats
 }
 
 // ErrPlanSpent reports an attempt to pull a Planned root a second time.
